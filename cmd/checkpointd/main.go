@@ -1,0 +1,60 @@
+// Command checkpointd runs the checkpoint storage service.
+//
+// With -dir it persists checkpoints to disk (surviving restarts — the
+// persistence the paper lists as future work); without it, checkpoints
+// live in memory like the paper's prototype.
+//
+//	checkpointd -addr 127.0.0.1:9003 -dir /var/lib/checkpoints
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/ft"
+	"repro/internal/orb"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9003", "listen address")
+	dir := flag.String("dir", "", "persist checkpoints to this directory (empty: in-memory)")
+	refFile := flag.String("ref-file", "", "write the service SIOR to this file")
+	flag.Parse()
+
+	var store ft.Store
+	if *dir != "" {
+		ds, err := ft.NewDiskStore(*dir)
+		if err != nil {
+			log.Fatalf("checkpointd: %v", err)
+		}
+		store = ds
+		log.Printf("checkpointd: disk store in %s", *dir)
+	} else {
+		store = ft.NewMemStore()
+		log.Print("checkpointd: in-memory store")
+	}
+
+	o := orb.New(orb.Options{Name: "checkpointd"})
+	defer o.Shutdown()
+	ad, err := o.NewAdapter(*addr)
+	if err != nil {
+		log.Fatalf("checkpointd: %v", err)
+	}
+	ref := ad.Activate(ft.StoreDefaultKey, ft.NewStoreServant(store))
+	sior := ref.ToString()
+	fmt.Println(sior)
+	if *refFile != "" {
+		if err := os.WriteFile(*refFile, []byte(sior+"\n"), 0o644); err != nil {
+			log.Fatalf("checkpointd: write ref file: %v", err)
+		}
+	}
+	log.Printf("checkpointd: serving on %s", ad.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}

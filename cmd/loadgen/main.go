@@ -1,0 +1,59 @@
+// Command loadgen generates artificial background load, the way the
+// paper's experiments load selected workstations ("a background load was
+// generated on 0, 2, 4, 6 or 8 hosts"): it spins the requested number of
+// CPU-bound worker loops for the requested duration.
+//
+//	loadgen -procs 2 -duration 5m
+package main
+
+import (
+	"flag"
+	"log"
+	"math"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+func main() {
+	procs := flag.Int("procs", 1, "number of CPU-bound load loops")
+	duration := flag.Duration("duration", 0, "stop after this long (0: until interrupted)")
+	flag.Parse()
+	if *procs < 1 {
+		log.Fatal("loadgen: -procs must be >= 1")
+	}
+
+	var stop atomic.Bool
+	for i := 0; i < *procs; i++ {
+		go func(seed float64) {
+			x := seed
+			for !stop.Load() {
+				// Arbitrary FP churn the compiler cannot remove.
+				x = math.Sqrt(x*x+1.000001) * 0.999999
+				if x > 1e12 {
+					x = seed
+				}
+			}
+			sinkFloat(x)
+		}(float64(i + 2))
+	}
+	log.Printf("loadgen: %d load processes running", *procs)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if *duration > 0 {
+		select {
+		case <-time.After(*duration):
+		case <-sig:
+		}
+	} else {
+		<-sig
+	}
+	stop.Store(true)
+	log.Print("loadgen: done")
+}
+
+//go:noinline
+func sinkFloat(float64) {}

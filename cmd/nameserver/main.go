@@ -1,0 +1,97 @@
+// Command nameserver runs the naming service as a standalone daemon.
+//
+// By default it serves the plain (round-robin) service; pass -winner with
+// the stringified reference of a Winner system manager to serve the
+// paper's load-distribution naming service instead.
+//
+//	nameserver -addr 127.0.0.1:9001
+//	nameserver -addr 127.0.0.1:9001 -winner "$(cat winner.ref)"
+//
+// The service's stringified object reference (SIOR) is printed on stdout
+// and optionally written to -ref-file for other processes to pick up.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/naming"
+	"repro/internal/orb"
+	"repro/internal/winner"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9001", "listen address")
+	winnerRef := flag.String("winner", "", "SIOR of the Winner system manager (enables load distribution)")
+	refFile := flag.String("ref-file", "", "write the service SIOR to this file")
+	store := flag.String("store", "", "persist bindings to this snapshot file")
+	savePeriod := flag.Duration("save-period", 10*time.Second, "snapshot save interval (with -store)")
+	flag.Parse()
+
+	o := orb.New(orb.Options{Name: "nameserver"})
+	defer o.Shutdown()
+	ad, err := o.NewAdapter(*addr)
+	if err != nil {
+		log.Fatalf("nameserver: %v", err)
+	}
+
+	reg := naming.NewRegistry()
+	if *store != "" {
+		if err := reg.LoadFile(*store); err != nil {
+			log.Fatalf("nameserver: %v", err)
+		}
+		log.Printf("nameserver: persisting bindings to %s", *store)
+	}
+	var servant *naming.Servant
+	if *winnerRef != "" {
+		ref, err := orb.RefFromString(*winnerRef)
+		if err != nil {
+			log.Fatalf("nameserver: bad -winner reference: %v", err)
+		}
+		servant = core.NewLoadNamingServant(reg, winner.NewClient(o, ref))
+		log.Printf("nameserver: load distribution enabled via %v", ref)
+	} else {
+		servant = core.NewPlainNamingServant(reg)
+	}
+
+	ref := ad.Activate(naming.DefaultKey, servant)
+	sior := ref.ToString()
+	fmt.Println(sior)
+	if *refFile != "" {
+		if err := os.WriteFile(*refFile, []byte(sior+"\n"), 0o644); err != nil {
+			log.Fatalf("nameserver: write ref file: %v", err)
+		}
+	}
+	log.Printf("nameserver: serving on %s", ad.Addr())
+
+	var saveTick <-chan time.Time
+	if *store != "" {
+		t := time.NewTicker(*savePeriod)
+		defer t.Stop()
+		saveTick = t.C
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case <-saveTick:
+			if err := reg.SaveFile(*store); err != nil {
+				log.Printf("nameserver: snapshot: %v", err)
+			}
+		case <-sig:
+			if *store != "" {
+				if err := reg.SaveFile(*store); err != nil {
+					log.Printf("nameserver: final snapshot: %v", err)
+				}
+			}
+			log.Print("nameserver: shutting down")
+			return
+		}
+	}
+}

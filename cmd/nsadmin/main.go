@@ -1,0 +1,155 @@
+// Command nsadmin inspects and edits a running naming service.
+//
+//	nsadmin -ns "$SIOR" list [path]        # list bindings of a context
+//	nsadmin -ns "$SIOR" tree               # recursive dump of the tree
+//	nsadmin -ns "$SIOR" resolve a/b        # resolve a name
+//	nsadmin -ns "$SIOR" offers a/b         # list a group's offers
+//	nsadmin -ns "$SIOR" bind a/b "$SIOR2"  # bind a stringified reference
+//	nsadmin -ns "$SIOR" unbind a/b         # remove a binding
+//	nsadmin -ns "$SIOR" mkdir a/b          # create a sub-context
+//	nsadmin -ns "$SIOR" ping a/b           # resolve and liveness-probe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/naming"
+	"repro/internal/orb"
+)
+
+func main() {
+	nsRefStr := flag.String("ns", "", "SIOR of the naming service (required)")
+	flag.Parse()
+	if *nsRefStr == "" || flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	nsRef, err := orb.RefFromString(*nsRefStr)
+	if err != nil {
+		log.Fatalf("nsadmin: bad -ns reference: %v", err)
+	}
+	o := orb.New(orb.Options{Name: "nsadmin"})
+	defer o.Shutdown()
+	ns := naming.NewClient(o, nsRef)
+
+	cmd := flag.Arg(0)
+	arg := func(i int) string {
+		if flag.NArg() <= i {
+			log.Fatalf("nsadmin: %s needs more arguments", cmd)
+		}
+		return flag.Arg(i)
+	}
+	parse := func(s string) naming.Name {
+		n, err := naming.ParseName(s)
+		if err != nil {
+			log.Fatalf("nsadmin: %v", err)
+		}
+		return n
+	}
+
+	switch cmd {
+	case "list":
+		var name naming.Name
+		if flag.NArg() > 1 {
+			name = parse(flag.Arg(1))
+		}
+		bindings, err := ns.List(name)
+		if err != nil {
+			log.Fatalf("nsadmin: %v", err)
+		}
+		for _, b := range bindings {
+			fmt.Printf("%-10s %s\n", typeLabel(b.Type), b.Name)
+		}
+
+	case "tree":
+		if err := tree(ns, nil, ""); err != nil {
+			log.Fatalf("nsadmin: %v", err)
+		}
+
+	case "resolve":
+		ref, err := ns.Resolve(parse(arg(1)))
+		if err != nil {
+			log.Fatalf("nsadmin: %v", err)
+		}
+		fmt.Println(ref.ToString())
+		fmt.Println(ref)
+
+	case "offers":
+		offers, err := ns.ListOffers(parse(arg(1)))
+		if err != nil {
+			log.Fatalf("nsadmin: %v", err)
+		}
+		for _, of := range offers {
+			fmt.Printf("%-12s %v\n", of.Host, of.Ref)
+		}
+
+	case "bind":
+		target, err := orb.RefFromString(arg(2))
+		if err != nil {
+			log.Fatalf("nsadmin: bad target reference: %v", err)
+		}
+		if err := ns.Bind(parse(arg(1)), target); err != nil {
+			log.Fatalf("nsadmin: %v", err)
+		}
+
+	case "unbind":
+		if err := ns.Unbind(parse(arg(1))); err != nil {
+			log.Fatalf("nsadmin: %v", err)
+		}
+
+	case "mkdir":
+		if err := ns.BindNewContext(parse(arg(1))); err != nil {
+			log.Fatalf("nsadmin: %v", err)
+		}
+
+	case "ping":
+		ref, err := ns.Resolve(parse(arg(1)))
+		if err != nil {
+			log.Fatalf("nsadmin: resolve: %v", err)
+		}
+		if err := o.Ping(ref); err != nil {
+			fmt.Printf("DEAD  %v: %v\n", ref, err)
+			os.Exit(1)
+		}
+		fmt.Printf("ALIVE %v\n", ref)
+
+	default:
+		log.Fatalf("nsadmin: unknown command %q", cmd)
+	}
+}
+
+func typeLabel(t naming.BindingType) string {
+	switch t {
+	case naming.BindObject:
+		return "object"
+	case naming.BindContext:
+		return "context"
+	case naming.BindGroup:
+		return "group"
+	case naming.BindRemote:
+		return "remote"
+	default:
+		return "?"
+	}
+}
+
+// tree prints the naming tree recursively.
+func tree(ns *naming.Client, ctx naming.Name, indent string) error {
+	bindings, err := ns.List(ctx)
+	if err != nil {
+		return err
+	}
+	for _, b := range bindings {
+		fmt.Printf("%s%-10s %s\n", indent, typeLabel(b.Type), b.Name)
+		if b.Type == naming.BindContext {
+			sub := append(append(naming.Name{}, ctx...), b.Name...)
+			if err := tree(ns, sub, indent+"  "); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

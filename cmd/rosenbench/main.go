@@ -1,0 +1,82 @@
+// Command rosenbench regenerates the paper's evaluation.
+//
+//	rosenbench -experiment fig3    # Figure 3: load distribution benefit
+//	rosenbench -experiment table1  # Table 1: fault-tolerance overhead
+//	rosenbench -experiment both    # everything (default)
+//
+// Figure 3 runs on the simulated 10-workstation NOW in virtual time
+// (deterministic); Table 1 measures real wall-clock overhead of
+// checkpointing proxies over loopback TCP. Use -quick for a small, fast
+// variant of both sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "both", "fig3 | table1 | both")
+	quick := flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
+	workerIters := flag.Int("worker-iters", 0, "override worker Complex Box iterations (fig3)")
+	managerIters := flag.Int("manager-iters", 0, "override manager Complex Box iterations")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	runFig3 := *experiment == "fig3" || *experiment == "both"
+	runTable1 := *experiment == "table1" || *experiment == "both"
+	if !runFig3 && !runTable1 {
+		log.Fatalf("rosenbench: unknown experiment %q", *experiment)
+	}
+
+	if runFig3 {
+		cfg := experiments.DefaultFigure3Config()
+		cfg.Seed = *seed
+		if *quick {
+			cfg.Cases = []experiments.Figure3Case{
+				{N: 30, Workers: 3, WorkerHosts: 5},
+			}
+			cfg.WorkerIterations = 60
+			cfg.ManagerIterations = 5
+		}
+		if *workerIters > 0 {
+			cfg.WorkerIterations = *workerIters
+		}
+		if *managerIters > 0 {
+			cfg.ManagerIterations = *managerIters
+		}
+		series, err := experiments.RunFigure3(cfg)
+		if err != nil {
+			log.Fatalf("rosenbench: figure 3: %v", err)
+		}
+		experiments.RenderFigure3(os.Stdout, series)
+		fmt.Println()
+		experiments.RenderFigure3Chart(os.Stdout, series)
+		fmt.Println()
+	}
+
+	if runTable1 {
+		if runFig3 {
+			experiments.RenderSeparator(os.Stdout)
+			fmt.Println()
+		}
+		cfg := experiments.DefaultTable1Config()
+		cfg.Seed = *seed
+		if *quick {
+			cfg.N, cfg.Workers = 30, 3
+			cfg.Iterations = []int{100, 1000, 5000}
+		}
+		if *managerIters > 0 {
+			cfg.ManagerIterations = *managerIters
+		}
+		rows, err := experiments.RunTable1(cfg)
+		if err != nil {
+			log.Fatalf("rosenbench: table 1: %v", err)
+		}
+		experiments.RenderTable1(os.Stdout, rows)
+	}
+}

@@ -1,0 +1,88 @@
+// Command winnerd runs the Winner resource management system.
+//
+// In -role system (default) it serves the central system manager and
+// prints its stringified reference. In -role node it runs a node manager:
+// it samples this machine's /proc/loadavg periodically and reports to the
+// system manager given by -manager.
+//
+//	winnerd -role system -addr 127.0.0.1:9002
+//	winnerd -role node -manager "$(cat winner.ref)" -host node07 -period 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/orb"
+	"repro/internal/winner"
+)
+
+func main() {
+	role := flag.String("role", "system", "system | node")
+	addr := flag.String("addr", "127.0.0.1:9002", "listen address (system role)")
+	managerRef := flag.String("manager", "", "SIOR of the system manager (node role)")
+	host := flag.String("host", "", "host name to report (node role; default: hostname)")
+	speed := flag.Float64("speed", 1, "relative CPU speed of this host (node role)")
+	period := flag.Duration("period", 2*time.Second, "sampling period (node role)")
+	refFile := flag.String("ref-file", "", "write the system manager SIOR to this file")
+	flag.Parse()
+
+	switch *role {
+	case "system":
+		runSystem(*addr, *refFile)
+	case "node":
+		runNode(*managerRef, *host, *speed, *period)
+	default:
+		log.Fatalf("winnerd: unknown role %q", *role)
+	}
+}
+
+func runSystem(addr, refFile string) {
+	o := orb.New(orb.Options{Name: "winnerd"})
+	defer o.Shutdown()
+	ad, err := o.NewAdapter(addr)
+	if err != nil {
+		log.Fatalf("winnerd: %v", err)
+	}
+	mgr := winner.NewManager()
+	ref := ad.Activate(winner.DefaultKey, winner.NewServant(mgr))
+	sior := ref.ToString()
+	fmt.Println(sior)
+	if refFile != "" {
+		if err := os.WriteFile(refFile, []byte(sior+"\n"), 0o644); err != nil {
+			log.Fatalf("winnerd: write ref file: %v", err)
+		}
+	}
+	log.Printf("winnerd: system manager on %s", ad.Addr())
+	wait()
+}
+
+func runNode(managerRef, host string, speed float64, period time.Duration) {
+	if managerRef == "" {
+		log.Fatal("winnerd: -role node requires -manager")
+	}
+	ref, err := orb.RefFromString(managerRef)
+	if err != nil {
+		log.Fatalf("winnerd: bad -manager reference: %v", err)
+	}
+	o := orb.New(orb.Options{Name: "winnerd-node"})
+	defer o.Shutdown()
+	client := winner.NewClient(o, ref)
+	src := &winner.ProcLoadSource{Host: host, Speed: speed}
+	nm := winner.NewNodeManager(src, client, period)
+	nm.Start()
+	defer nm.Stop()
+	log.Printf("winnerd: node manager reporting %q every %v", src.Sample().Host, period)
+	wait()
+}
+
+func wait() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}

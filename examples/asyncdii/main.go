@@ -1,0 +1,144 @@
+// Asyncdii: asynchronous method invocation with DII-style request
+// objects, plus the fault-tolerant request proxies of the paper — several
+// subproblems dispatched concurrently, one server killed before the
+// results are collected.
+//
+//	go run ./examples/asyncdii
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/ft"
+	"repro/internal/naming"
+	"repro/internal/orb"
+)
+
+// primeCounter counts primes below a bound — a stand-in for an expensive
+// numeric service call.
+type primeCounter struct{}
+
+func (primeCounter) TypeID() string { return "IDL:example/PrimeCounter:1.0" }
+
+func (primeCounter) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+	if op != "count" {
+		return orb.BadOperation(op)
+	}
+	limit := in.GetInt64()
+	if err := in.Err(); err != nil {
+		return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+	}
+	var count int64
+	for n := int64(2); n < limit; n++ {
+		isPrime := true
+		for d := int64(2); d*d <= n; d++ {
+			if n%d == 0 {
+				isPrime = false
+				break
+			}
+		}
+		if isPrime {
+			count++
+		}
+	}
+	out.PutInt64(count)
+	return nil
+}
+
+func (primeCounter) Checkpoint() ([]byte, error) { return nil, nil } // stateless
+func (primeCounter) Restore([]byte) error        { return nil }
+
+func main() {
+	// Services process: naming + checkpoint store.
+	services := orb.New(orb.Options{Name: "services"})
+	defer services.Shutdown()
+	svcAd, err := services.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := naming.NewRegistry()
+	nsRef := svcAd.Activate(naming.DefaultKey, naming.NewServant(reg, naming.RoundRobinSelector()))
+	storeRef := svcAd.Activate(ft.StoreDefaultKey, ft.NewStoreServant(ft.NewMemStore()))
+
+	// Two server processes offering the same service.
+	name := naming.NewName("primes")
+	client := orb.New(orb.Options{Name: "client"})
+	defer client.Shutdown()
+	ns := naming.NewClient(client, nsRef)
+
+	var servers []*orb.ORB
+	addrToServer := map[string]*orb.ORB{}
+	for i := 0; i < 2; i++ {
+		srv := orb.New(orb.Options{Name: fmt.Sprintf("server%d", i)})
+		ad, err := srv.NewAdapter("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref := ad.Activate("primes", ft.Wrap(primeCounter{}))
+		if err := ns.BindOffer(name, ref, fmt.Sprintf("host%d", i)); err != nil {
+			log.Fatal(err)
+		}
+		servers = append(servers, srv)
+		addrToServer[ref.Addr] = srv
+	}
+	defer func() {
+		for _, srv := range servers {
+			srv.Shutdown()
+		}
+	}()
+
+	// Plain DII: dispatch three requests concurrently, then collect.
+	direct, err := ns.Resolve(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plain DII requests:")
+	limits := []int64{10_000, 50_000, 100_000}
+	var reqs []*orb.Request
+	for _, limit := range limits {
+		req := client.CreateRequest(direct, "count")
+		req.Args().PutInt64(limit)
+		req.Send()
+		reqs = append(reqs, req)
+	}
+	for i, req := range reqs {
+		for !req.PollResponse() {
+			time.Sleep(time.Millisecond)
+		}
+		var count int64
+		if err := req.GetResponse(func(d *cdr.Decoder) error { count = d.GetInt64(); return d.Err() }); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  π(%d) = %d\n", limits[i], count)
+	}
+
+	// FT request proxies: dispatch, kill the first server, then collect —
+	// the proxies replay the lost requests against the standby.
+	fmt.Println("\nfault-tolerant request proxies (server killed mid-flight):")
+	proxy, err := ft.NewProxy(client, name, ns, ft.NewStoreClient(client, storeRef),
+		ft.Policy{CheckpointEvery: 0, MaxRecoveries: 3}, ft.WithUnbinder(ns))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var freqs []*ft.RequestProxy
+	for _, limit := range limits {
+		req := proxy.NewRequest("count")
+		req.Args().PutInt64(limit)
+		req.Send()
+		freqs = append(freqs, req)
+	}
+	// Crash exactly the server the proxy resolved to.
+	addrToServer[proxy.Ref().Addr].Shutdown()
+	for i, req := range freqs {
+		var count int64
+		if err := req.GetResponse(func(d *cdr.Decoder) error { count = d.GetInt64(); return d.Err() }); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  π(%d) = %d\n", limits[i], count)
+	}
+	st := proxy.Stats()
+	fmt.Printf("\nproxy stats: %d calls, %d recoveries, %d replays\n", st.Calls, st.Recoveries, st.Replays)
+}

@@ -1,0 +1,92 @@
+// Loadbalanced: the paper's headline scenario on a simulated network of
+// workstations — a decomposed Rosenbrock optimization whose workers are
+// placed through the naming service, with and without Winner load
+// distribution, while some workstations carry background load.
+//
+//	go run ./examples/loadbalanced
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ft"
+	"repro/internal/naming"
+	"repro/internal/rosen"
+)
+
+func main() {
+	const (
+		hosts   = 8
+		loaded  = 3 // background load on 3 of the 7 worker hosts
+		dim     = 30
+		workers = 3
+	)
+
+	fmt.Printf("simulated NOW: %d workstations, background load on %d\n", hosts, loaded)
+	fmt.Printf("problem: %d-dimensional Rosenbrock, %d workers\n\n", dim, workers)
+
+	for _, useWinner := range []bool{false, true} {
+		runtime, placed := run(useWinner, hosts, loaded, dim, workers)
+		mode := "plain naming (CORBA)"
+		if useWinner {
+			mode = "Winner naming (CORBA/Winner)"
+		}
+		fmt.Printf("%-30s runtime %8.1f virtual s, workers on %v\n", mode, runtime, placed)
+	}
+}
+
+// run boots a fresh environment and performs one optimization, returning
+// the virtual runtime and the hosts the workers were placed on.
+func run(useWinner bool, hosts, loaded, dim, workers int) (float64, []string) {
+	env, err := core.Start(core.EnvironmentOptions{Hosts: hosts, UseWinner: useWinner})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+
+	// One worker service per workstation (host 0 keeps the services and
+	// the manager).
+	name := naming.NewName(rosen.ServiceName)
+	addrToHost := map[string]string{}
+	for _, h := range env.Cluster.Hosts()[1:] {
+		node, err := env.NewNode(h.Name())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref := node.Adapter.Activate("worker", ft.Wrap(rosen.NewWorker(h)))
+		if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+			log.Fatal(err)
+		}
+		addrToHost[ref.Addr] = h.Name()
+	}
+
+	// Background load on the first `loaded` worker hosts.
+	for i := 0; i < loaded; i++ {
+		env.Cluster.Hosts()[1+i].SetBackground(1)
+	}
+	env.SampleAll()
+
+	mgrNode, err := env.NewNode(env.Cluster.Hosts()[0].Name())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := rosen.NewManager(mgrNode.ORB, env.NamingClientFor(mgrNode), rosen.Config{
+		N: dim, Workers: workers,
+		WorkerIterations:  100,
+		ManagerIterations: 6,
+		Seed:              1,
+		EvalCost:          0.02,
+	}).OnHost(mgrNode.Host)
+
+	res, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var placed []string
+	for _, ref := range m.WorkerRefs() {
+		placed = append(placed, addrToHost[ref.Addr])
+	}
+	return res.Runtime, placed
+}

@@ -1,0 +1,147 @@
+// MDO: the application class that motivates the paper — multidisciplinary
+// design optimization, "typically arising in the automotive or aerospace
+// industry". A toy wing design couples two discipline analyses
+// (aerodynamics → drag, structures → weight) exposed as services on a
+// simulated NOW. The optimizer evaluates candidate designs by remote
+// calls placed through the Winner naming service and guarded by
+// fault-tolerant proxies; one workstation is killed mid-optimization and
+// the run completes anyway.
+//
+//	go run ./examples/mdo
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/cdr"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ft"
+	"repro/internal/naming"
+	"repro/internal/opt"
+	"repro/internal/orb"
+)
+
+// disciplineServant evaluates one discipline model. It is stateless, but
+// still checkpointable (empty state) so the generic FT machinery applies.
+type disciplineServant struct {
+	name  string
+	model func(span, area float64) float64
+}
+
+func (s *disciplineServant) TypeID() string { return "IDL:example/Discipline:1.0" }
+
+func (s *disciplineServant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+	if op != "evaluate" {
+		return orb.BadOperation(op)
+	}
+	span := in.GetFloat64()
+	area := in.GetFloat64()
+	if err := in.Err(); err != nil {
+		return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+	}
+	out.PutFloat64(s.model(span, area))
+	return nil
+}
+
+func (s *disciplineServant) Checkpoint() ([]byte, error) { return nil, nil }
+func (s *disciplineServant) Restore([]byte) error        { return nil }
+
+// Toy discipline models. Drag falls with span (induced drag) but the
+// structure gets heavier; area trades lift for weight.
+func dragModel(span, area float64) float64 {
+	induced := 40.0 / (span * span)
+	parasitic := 0.8 * area
+	return induced + parasitic
+}
+
+func weightModel(span, area float64) float64 {
+	return 0.7*span*span/math.Sqrt(area) + 2.0*area
+}
+
+func main() {
+	env, err := core.Start(core.EnvironmentOptions{Hosts: 5, UseWinner: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+
+	storeRef := env.ServiceNode.Adapter.Activate(ft.StoreDefaultKey, ft.NewStoreServant(ft.NewMemStore()))
+	if err := env.Naming.BindNewContext(naming.NewName("mdo")); err != nil {
+		log.Fatal(err)
+	}
+	aeroName := naming.NewName("mdo", "aero")
+	structName := naming.NewName("mdo", "struct")
+
+	// Every workstation offers both discipline services.
+	var nodes []*cluster.Node
+	for _, h := range env.Cluster.Hosts()[1:] {
+		node, err := env.NewNode(h.Name())
+		if err != nil {
+			log.Fatal(err)
+		}
+		aeroRef := node.Adapter.Activate("aero", ft.Wrap(&disciplineServant{name: "aero", model: dragModel}))
+		structRef := node.Adapter.Activate("struct", ft.Wrap(&disciplineServant{name: "struct", model: weightModel}))
+		if err := env.Naming.BindOffer(aeroName, aeroRef, h.Name()); err != nil {
+			log.Fatal(err)
+		}
+		if err := env.Naming.BindOffer(structName, structRef, h.Name()); err != nil {
+			log.Fatal(err)
+		}
+		nodes = append(nodes, node)
+	}
+	env.SampleAll()
+
+	client := env.ServiceNode.ORB
+	store := ft.NewStoreClient(client, storeRef)
+	aero, err := ft.NewProxy(client, aeroName, env.Naming, store,
+		ft.Policy{CheckpointEvery: 0}, ft.WithUnbinder(env.Naming))
+	if err != nil {
+		log.Fatal(err)
+	}
+	structural, err := ft.NewProxy(client, structName, env.Naming, store,
+		ft.Policy{CheckpointEvery: 0}, ft.WithUnbinder(env.Naming))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	evaluate := func(p *ft.Proxy, span, area float64) float64 {
+		var v float64
+		if err := p.Invoke("evaluate",
+			func(e *cdr.Encoder) { e.PutFloat64(span); e.PutFloat64(area) },
+			func(d *cdr.Decoder) error { v = d.GetFloat64(); return d.Err() }); err != nil {
+			log.Fatal(err)
+		}
+		return v
+	}
+
+	evals := 0
+	objective := func(x []float64) float64 {
+		evals++
+		if evals == 40 {
+			// A workstation dies in the middle of the optimization.
+			fmt.Println("  *** workstation crash during evaluation 40 ***")
+			nodes[0].Fail()
+		}
+		span, area := x[0], x[1]
+		drag := evaluate(aero, span, area)
+		weight := evaluate(structural, span, area)
+		return drag + 0.1*weight
+	}
+
+	fmt.Println("minimizing drag + 0.1*weight over (span, area) with remote discipline services")
+	res, err := opt.MinimizeComplexBox(objective, opt.Bounds{
+		Lo: []float64{4, 5},
+		Hi: []float64{20, 40},
+	}, opt.ComplexBoxOptions{MaxIterations: 150, Seed: 7, Tolerance: 1e-9})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nbest design: span=%.2f m, area=%.2f m², objective=%.4f\n", res.X[0], res.X[1], res.F)
+	fmt.Printf("remote evaluations: %d aero + %d struct\n", aero.Stats().Calls, structural.Stats().Calls)
+	fmt.Printf("aero proxy recoveries: %d, struct proxy recoveries: %d\n",
+		aero.Stats().Recoveries, structural.Stats().Recoveries)
+}

@@ -1,0 +1,83 @@
+// Quickstart: bring up the mini-ORB, a naming service and one application
+// object in a single process; resolve the object by name and call it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cdr"
+	"repro/internal/naming"
+	"repro/internal/orb"
+)
+
+// greeter is a minimal servant: one operation, greet(name) -> string.
+type greeter struct{}
+
+func (greeter) TypeID() string { return "IDL:example/Greeter:1.0" }
+
+func (greeter) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+	if op != "greet" {
+		return orb.BadOperation(op)
+	}
+	who := in.GetString()
+	if err := in.Err(); err != nil {
+		return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+	}
+	out.PutString("Hello, " + who + "! Greetings from the object side.")
+	return nil
+}
+
+func main() {
+	// 1. Initialize the ORB and an object adapter (server side).
+	server := orb.New(orb.Options{Name: "quickstart-server"})
+	defer server.Shutdown()
+	adapter, err := server.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Run a naming service and activate the application object.
+	registry := naming.NewRegistry()
+	nsRef := adapter.Activate(naming.DefaultKey, naming.NewServant(registry, nil))
+	greeterRef := adapter.Activate("greeter-1", greeter{})
+
+	// 3. A client (separate ORB — could be a separate process: the
+	// reference travels as a string) binds and resolves the name.
+	client := orb.New(orb.Options{Name: "quickstart-client"})
+	defer client.Shutdown()
+
+	sior := nsRef.ToString()
+	fmt.Printf("naming service SIOR: %s...\n", sior[:40])
+	parsed, err := orb.RefFromString(sior)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ns := naming.NewClient(client, parsed)
+
+	name := naming.NewName("examples", "greeter")
+	if err := ns.BindNewContext(naming.NewName("examples")); err != nil {
+		log.Fatal(err)
+	}
+	if err := ns.Bind(name, greeterRef); err != nil {
+		log.Fatal(err)
+	}
+
+	resolved, err := ns.Resolve(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resolved %q -> %v\n", name, resolved)
+
+	// 4. Invoke the remote operation.
+	var reply string
+	err = client.Invoke(resolved, "greet",
+		func(e *cdr.Encoder) { e.PutString("world") },
+		func(d *cdr.Decoder) error { reply = d.GetString(); return d.Err() })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(reply)
+}

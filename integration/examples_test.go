@@ -1,0 +1,42 @@
+package integration
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end and checks a
+// characteristic line of its output, so the documented entry points can
+// never silently rot.
+func TestExamplesRun(t *testing.T) {
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"quickstart", []string{"Hello, world!", "resolved"}},
+		{"loadbalanced", []string{"plain naming (CORBA)", "Winner naming (CORBA/Winner)"}},
+		{"faulttolerant", []string{"recovered transparently", "1 recoveries"}},
+		{"asyncdii", []string{"fault-tolerant request proxies", "1 recoveries"}},
+		{"migration", []string{"migrator moved the service", "offers remaining: 1"}},
+		{"mdo", []string{"best design", "workstation crash"}},
+		{"generatedbank", []string{"typed exception: missing 700", "1 recoveries"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+c.dir)
+			cmd.Dir = ".."
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s: %v\n%s", c.dir, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Fatalf("example %s output missing %q:\n%s", c.dir, want, out)
+				}
+			}
+		})
+	}
+}

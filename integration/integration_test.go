@@ -1,0 +1,289 @@
+// Package integration exercises the command-line daemons as real
+// processes wired by stringified object references — the deployment shape
+// of a classic CORBA installation: winnerd (system manager + node
+// manager), nameserver (load-distribution naming service) and checkpointd
+// (checkpoint storage), driven by an in-process client ORB.
+package integration
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ft"
+	"repro/internal/naming"
+	"repro/internal/orb"
+	"repro/internal/winner"
+)
+
+// buildOnce compiles the daemons into a shared temp dir.
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "repro-bin")
+	if err != nil {
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binDir = dir
+	for _, tool := range []string{"nameserver", "winnerd", "checkpointd", "nsadmin"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+		cmd.Dir = ".."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			os.Stderr.WriteString("build " + tool + ": " + err.Error() + "\n" + string(out))
+			os.Exit(1)
+		}
+	}
+	os.Exit(m.Run())
+}
+
+// startDaemon launches a built daemon and returns the first line of its
+// stdout (the SIOR).
+func startDaemon(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	lineCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		if sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+	}()
+	select {
+	case line, ok := <-lineCh:
+		if !ok || !strings.HasPrefix(line, "SIOR:") {
+			t.Fatalf("%s printed %q, want a SIOR", name, line)
+		}
+		return line
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s never printed its reference", name)
+		return ""
+	}
+}
+
+func TestDaemonsEndToEnd(t *testing.T) {
+	winnerSIOR := startDaemon(t, "winnerd", "-role", "system", "-addr", "127.0.0.1:0")
+	nsSIOR := startDaemon(t, "nameserver", "-addr", "127.0.0.1:0", "-winner", winnerSIOR)
+	ckptDir := t.TempDir()
+	storeSIOR := startDaemon(t, "checkpointd", "-addr", "127.0.0.1:0", "-dir", ckptDir)
+
+	client := orb.New(orb.Options{Name: "it-client"})
+	defer client.Shutdown()
+
+	winnerRef, err := orb.RefFromString(winnerSIOR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsRef, err := orb.RefFromString(nsSIOR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeRef, err := orb.RefFromString(storeSIOR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := winner.NewClient(client, winnerRef)
+	ns := naming.NewClient(client, nsRef)
+	store := ft.NewStoreClient(client, storeRef)
+
+	// Feed load data for two synthetic hosts across the process border.
+	if err := wc.Report(winner.LoadSample{Host: "alpha", Speed: 1, RunQueue: 3, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Report(winner.LoadSample{Host: "beta", Speed: 1, RunQueue: 0, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	best, err := wc.BestHost(nil)
+	if err != nil || best != "beta" {
+		t.Fatalf("BestHost = %q, %v", best, err)
+	}
+
+	// Group binding resolved through the load-distribution nameserver:
+	// the offer on the (still) less loaded host must win.
+	name := naming.NewName("it", "svc")
+	if err := ns.BindNewContext(naming.NewName("it")); err != nil {
+		t.Fatal(err)
+	}
+	refAlpha := orb.ObjectRef{TypeID: "T", Addr: "10.0.0.1:1", Key: "a"}
+	refBeta := orb.ObjectRef{TypeID: "T", Addr: "10.0.0.2:1", Key: "b"}
+	if err := ns.BindOffer(name, refAlpha, "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.BindOffer(name, refBeta, "beta"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ns.Resolve(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != refBeta {
+		t.Fatalf("resolve = %v, want the offer on beta", got)
+	}
+
+	// Checkpoints persist across a checkpointd restart (disk store).
+	if err := store.Put("it/svc", 1, []byte("state-v1")); err != nil {
+		t.Fatal(err)
+	}
+	epoch, data, err := store.Get("it/svc")
+	if err != nil || epoch != 1 || string(data) != "state-v1" {
+		t.Fatalf("get = %d %q %v", epoch, data, err)
+	}
+
+	storeSIOR2 := startDaemon(t, "checkpointd", "-addr", "127.0.0.1:0", "-dir", ckptDir)
+	storeRef2, err := orb.RefFromString(storeSIOR2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store2 := ft.NewStoreClient(client, storeRef2)
+	epoch, data, err = store2.Get("it/svc")
+	if err != nil || epoch != 1 || string(data) != "state-v1" {
+		t.Fatalf("restarted store get = %d %q %v", epoch, data, err)
+	}
+}
+
+func TestNsadminAgainstLiveNameserver(t *testing.T) {
+	nsSIOR := startDaemon(t, "nameserver", "-addr", "127.0.0.1:0")
+
+	run := func(wantOK bool, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(binDir, "nsadmin"), append([]string{"-ns", nsSIOR}, args...)...)
+		out, err := cmd.CombinedOutput()
+		if wantOK && err != nil {
+			t.Fatalf("nsadmin %v: %v\n%s", args, err, out)
+		}
+		if !wantOK && err == nil {
+			t.Fatalf("nsadmin %v succeeded:\n%s", args, out)
+		}
+		return string(out)
+	}
+
+	target := orb.ObjectRef{TypeID: "T", Addr: "10.9.9.9:1", Key: "x"}
+	run(true, "mkdir", "apps")
+	run(true, "bind", "apps/solver", target.ToString())
+	out := run(true, "resolve", "apps/solver")
+	if !strings.Contains(out, "10.9.9.9:1") {
+		t.Fatalf("resolve output: %s", out)
+	}
+	out = run(true, "list", "apps")
+	if !strings.Contains(out, "object") || !strings.Contains(out, "solver") {
+		t.Fatalf("list output: %s", out)
+	}
+	out = run(true, "tree")
+	if !strings.Contains(out, "context") || !strings.Contains(out, "solver") {
+		t.Fatalf("tree output: %s", out)
+	}
+	// ping resolves but the target is unreachable → exit 1.
+	run(false, "ping", "apps/solver")
+	run(true, "unbind", "apps/solver")
+	run(false, "resolve", "apps/solver")
+}
+
+func TestNameserverPersistenceAcrossRestart(t *testing.T) {
+	snapshot := filepath.Join(t.TempDir(), "ns.snapshot")
+
+	// First incarnation: bind, then terminate gracefully (SIGTERM makes
+	// it write a final snapshot).
+	cmd := exec.Command(filepath.Join(binDir, "nameserver"),
+		"-addr", "127.0.0.1:0", "-store", snapshot, "-save-period", "1h")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatal("no SIOR from nameserver")
+	}
+	sior := sc.Text()
+
+	client := orb.New(orb.Options{Name: "persist-client"})
+	defer client.Shutdown()
+	nsRef, err := orb.RefFromString(sior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := naming.NewClient(client, nsRef)
+	target := orb.ObjectRef{TypeID: "T", Addr: "10.1.1.1:1", Key: "persisted"}
+	if err := ns.Bind(naming.NewName("durable"), target); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("nameserver exit: %v", err)
+	}
+
+	// Second incarnation on the same snapshot: the binding survives.
+	sior2 := startDaemon(t, "nameserver", "-addr", "127.0.0.1:0", "-store", snapshot)
+	nsRef2, err := orb.RefFromString(sior2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns2 := naming.NewClient(client, nsRef2)
+	got, err := ns2.Resolve(naming.NewName("durable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != target {
+		t.Fatalf("resolved %v, want %v", got, target)
+	}
+}
+
+func TestNodeManagerDaemonReportsRealLoad(t *testing.T) {
+	if _, err := os.Stat("/proc/loadavg"); err != nil {
+		t.Skip("no /proc/loadavg")
+	}
+	winnerSIOR := startDaemon(t, "winnerd", "-role", "system", "-addr", "127.0.0.1:0")
+
+	// Node-role winnerd samples this machine and reports periodically.
+	cmd := exec.Command(filepath.Join(binDir, "winnerd"),
+		"-role", "node", "-manager", winnerSIOR, "-host", "this-box", "-period", "50ms")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+
+	client := orb.New(orb.Options{Name: "it-client2"})
+	defer client.Shutdown()
+	winnerRef, err := orb.RefFromString(winnerSIOR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := winner.NewClient(client, winnerRef)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if info, err := wc.HostInfo("this-box"); err == nil && info.Sample.Seq >= 2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node manager daemon never reported twice")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

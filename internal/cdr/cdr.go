@@ -1,0 +1,369 @@
+// Package cdr implements a binary marshalling format modelled on the CORBA
+// Common Data Representation (CDR).
+//
+// Values are encoded big-endian ("network order") with CDR's natural
+// alignment rules: every primitive of size n is aligned to an n-byte
+// boundary relative to the start of the stream. Strings are encoded as a
+// uint32 length followed by the raw bytes (no trailing NUL; documented
+// deviation from CORBA CDR 1.x, which includes one). Sequences are a uint32
+// element count followed by the elements.
+//
+// The package provides a stateful Encoder/Decoder pair plus an
+// encapsulation helper mirroring CDR encapsulations (self-contained octet
+// sequences used for service contexts and object references).
+package cdr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Marshaler is implemented by types that can append themselves to an
+// Encoder. It is the CDR analogue of an IDL struct's generated insertion
+// operator.
+type Marshaler interface {
+	MarshalCDR(e *Encoder)
+}
+
+// Unmarshaler is implemented by types that can read themselves from a
+// Decoder.
+type Unmarshaler interface {
+	UnmarshalCDR(d *Decoder) error
+}
+
+// ErrTruncated is reported when a Decoder runs out of bytes.
+var ErrTruncated = errors.New("cdr: truncated stream")
+
+// ErrTooLong is reported when a declared length exceeds the sanity limit.
+var ErrTooLong = errors.New("cdr: declared length exceeds limit")
+
+// MaxSequenceLen bounds any single decoded string/sequence length. It
+// protects servers from hostile or corrupt length prefixes.
+const MaxSequenceLen = 1 << 26 // 64 Mi elements
+
+// Encoder accumulates a CDR byte stream.
+//
+// The zero value is ready to use. Encoders may be reused via Reset.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder with the given initial capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Reset discards the encoded bytes but keeps the underlying buffer.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Bytes returns the encoded stream. The slice aliases the Encoder's
+// internal buffer and is invalidated by further writes.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// align pads the stream with zero bytes to an n-byte boundary.
+func (e *Encoder) align(n int) {
+	for len(e.buf)%n != 0 {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// PutOctet appends a single byte.
+func (e *Encoder) PutOctet(v byte) { e.buf = append(e.buf, v) }
+
+// PutBool appends a boolean as one octet (0 or 1).
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.PutOctet(1)
+	} else {
+		e.PutOctet(0)
+	}
+}
+
+// PutUint16 appends a 2-byte-aligned big-endian uint16.
+func (e *Encoder) PutUint16(v uint16) {
+	e.align(2)
+	e.buf = append(e.buf, byte(v>>8), byte(v))
+}
+
+// PutUint32 appends a 4-byte-aligned big-endian uint32.
+func (e *Encoder) PutUint32(v uint32) {
+	e.align(4)
+	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// PutUint64 appends an 8-byte-aligned big-endian uint64.
+func (e *Encoder) PutUint64(v uint64) {
+	e.align(8)
+	e.buf = append(e.buf,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// PutInt16 appends a 2-byte-aligned big-endian int16.
+func (e *Encoder) PutInt16(v int16) { e.PutUint16(uint16(v)) }
+
+// PutInt32 appends a 4-byte-aligned big-endian int32.
+func (e *Encoder) PutInt32(v int32) { e.PutUint32(uint32(v)) }
+
+// PutInt64 appends an 8-byte-aligned big-endian int64.
+func (e *Encoder) PutInt64(v int64) { e.PutUint64(uint64(v)) }
+
+// PutFloat32 appends a 4-byte-aligned IEEE-754 float32.
+func (e *Encoder) PutFloat32(v float32) { e.PutUint32(math.Float32bits(v)) }
+
+// PutFloat64 appends an 8-byte-aligned IEEE-754 float64.
+func (e *Encoder) PutFloat64(v float64) { e.PutUint64(math.Float64bits(v)) }
+
+// PutString appends a uint32 length followed by the string bytes.
+func (e *Encoder) PutString(s string) {
+	e.PutUint32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// PutBytes appends a sequence<octet>: uint32 count plus raw bytes.
+func (e *Encoder) PutBytes(b []byte) {
+	e.PutUint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutRaw appends bytes with no length prefix and no alignment.
+func (e *Encoder) PutRaw(b []byte) { e.buf = append(e.buf, b...) }
+
+// PutFloat64Seq appends a sequence<double>.
+func (e *Encoder) PutFloat64Seq(v []float64) {
+	e.PutUint32(uint32(len(v)))
+	for _, x := range v {
+		e.PutFloat64(x)
+	}
+}
+
+// PutInt32Seq appends a sequence<long>.
+func (e *Encoder) PutInt32Seq(v []int32) {
+	e.PutUint32(uint32(len(v)))
+	for _, x := range v {
+		e.PutInt32(x)
+	}
+}
+
+// PutStringSeq appends a sequence<string>.
+func (e *Encoder) PutStringSeq(v []string) {
+	e.PutUint32(uint32(len(v)))
+	for _, s := range v {
+		e.PutString(s)
+	}
+}
+
+// PutValue appends a Marshaler.
+func (e *Encoder) PutValue(m Marshaler) { m.MarshalCDR(e) }
+
+// Decoder consumes a CDR byte stream produced by Encoder.
+//
+// Decoding errors are sticky: after the first failure all subsequent Get
+// calls return zero values and Err reports the original error.
+type Decoder struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+// NewDecoder returns a Decoder over data. The Decoder does not copy data.
+func NewDecoder(data []byte) *Decoder { return &Decoder{data: data} }
+
+// Err returns the first error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.data) - d.pos }
+
+// fail records the first decoding error.
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// align advances the read position to an n-byte boundary.
+func (d *Decoder) align(n int) {
+	pad := (n - d.pos%n) % n
+	if d.pos+pad > len(d.data) {
+		d.fail(ErrTruncated)
+		d.pos = len(d.data)
+		return
+	}
+	d.pos += pad
+}
+
+// take returns the next n bytes or nil after recording ErrTruncated.
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.pos+n > len(d.data) {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	b := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+// GetOctet reads one byte.
+func (d *Decoder) GetOctet() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// GetBool reads one octet as a boolean; any nonzero value is true.
+func (d *Decoder) GetBool() bool { return d.GetOctet() != 0 }
+
+// GetUint16 reads an aligned big-endian uint16.
+func (d *Decoder) GetUint16() uint16 {
+	d.align(2)
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return uint16(b[0])<<8 | uint16(b[1])
+}
+
+// GetUint32 reads an aligned big-endian uint32.
+func (d *Decoder) GetUint32() uint32 {
+	d.align(4)
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// GetUint64 reads an aligned big-endian uint64.
+func (d *Decoder) GetUint64() uint64 {
+	d.align(8)
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+// GetInt16 reads an aligned big-endian int16.
+func (d *Decoder) GetInt16() int16 { return int16(d.GetUint16()) }
+
+// GetInt32 reads an aligned big-endian int32.
+func (d *Decoder) GetInt32() int32 { return int32(d.GetUint32()) }
+
+// GetInt64 reads an aligned big-endian int64.
+func (d *Decoder) GetInt64() int64 { return int64(d.GetUint64()) }
+
+// GetFloat32 reads an aligned IEEE-754 float32.
+func (d *Decoder) GetFloat32() float32 { return math.Float32frombits(d.GetUint32()) }
+
+// GetFloat64 reads an aligned IEEE-754 float64.
+func (d *Decoder) GetFloat64() float64 { return math.Float64frombits(d.GetUint64()) }
+
+// seqLen reads and validates a sequence length prefix, bounding it both by
+// MaxSequenceLen and by the bytes actually remaining (each element needs at
+// least minElemSize bytes), so hostile prefixes cannot force allocation.
+func (d *Decoder) seqLen(minElemSize int) int {
+	n := d.GetUint32()
+	if d.err != nil {
+		return 0
+	}
+	if n > MaxSequenceLen {
+		d.fail(fmt.Errorf("%w: %d", ErrTooLong, n))
+		return 0
+	}
+	if minElemSize > 0 && int(n) > d.Remaining()/minElemSize+1 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	return int(n)
+}
+
+// GetString reads a length-prefixed string.
+func (d *Decoder) GetString() string {
+	n := d.seqLen(1)
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// GetBytes reads a sequence<octet>. The returned slice is a copy.
+func (d *Decoder) GetBytes() []byte {
+	n := d.seqLen(1)
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// GetFloat64Seq reads a sequence<double>.
+func (d *Decoder) GetFloat64Seq() []float64 {
+	n := d.seqLen(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.GetFloat64()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// GetInt32Seq reads a sequence<long>.
+func (d *Decoder) GetInt32Seq() []int32 {
+	n := d.seqLen(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = d.GetInt32()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// GetStringSeq reads a sequence<string>.
+func (d *Decoder) GetStringSeq() []string {
+	n := d.seqLen(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.GetString()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// GetValue decodes into an Unmarshaler and records any error it returns.
+func (d *Decoder) GetValue(u Unmarshaler) {
+	if d.err != nil {
+		return
+	}
+	if err := u.UnmarshalCDR(d); err != nil {
+		d.fail(err)
+	}
+}

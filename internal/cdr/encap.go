@@ -1,0 +1,43 @@
+package cdr
+
+// An encapsulation is a self-contained CDR stream stored as an octet
+// sequence, used wherever a blob must be decoded independently of its
+// surrounding stream (service contexts, object reference profiles,
+// checkpoint payloads). CORBA encapsulations begin with a byte-order flag
+// octet; this implementation is always big-endian but keeps the flag for
+// wire compatibility with the format's intent.
+
+// encapFlagBigEndian is the byte-order flag stored at offset 0 of every
+// encapsulation (0 = big-endian in CDR).
+const encapFlagBigEndian = 0
+
+// Encapsulate runs fill against a fresh Encoder and returns the resulting
+// stream prefixed with the byte-order flag, ready for PutBytes.
+func Encapsulate(fill func(*Encoder)) []byte {
+	e := NewEncoder(64)
+	e.PutOctet(encapFlagBigEndian)
+	fill(e)
+	return e.Bytes()
+}
+
+// OpenEncapsulation validates the byte-order flag of an encapsulation and
+// returns a Decoder positioned after it.
+func OpenEncapsulation(data []byte) (*Decoder, error) {
+	d := NewDecoder(data)
+	flag := d.GetOctet()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if flag != encapFlagBigEndian {
+		return nil, ErrByteOrder
+	}
+	return d, nil
+}
+
+// ErrByteOrder is reported for encapsulations declaring little-endian
+// order, which this implementation does not produce or accept.
+var ErrByteOrder = errorString("cdr: unsupported little-endian encapsulation")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,29 @@
+package cdr
+
+// PutSeq encodes a sequence with a per-element encoder, for element types
+// without a dedicated helper (generated stubs use it with method
+// expressions, e.g. PutSeq(e, v, (*Encoder).PutInt16)).
+func PutSeq[T any](e *Encoder, v []T, put func(*Encoder, T)) {
+	e.PutUint32(uint32(len(v)))
+	for _, x := range v {
+		put(e, x)
+	}
+}
+
+// GetSeq decodes a sequence with a per-element decoder. minElemSize is the
+// minimal encoded element size in bytes; it bounds the up-front allocation
+// against hostile length prefixes exactly like the typed helpers.
+func GetSeq[T any](d *Decoder, minElemSize int, get func(*Decoder) T) []T {
+	n := d.seqLen(minElemSize)
+	if n == 0 || d.err != nil {
+		return nil
+	}
+	out := make([]T, n)
+	for i := range out {
+		out[i] = get(d)
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}

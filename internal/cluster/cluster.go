@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Cluster is a simulated network of workstations.
+type Cluster struct {
+	mu    sync.RWMutex
+	hosts map[string]*Host
+	order []string
+}
+
+// New creates an empty cluster.
+func New() *Cluster {
+	return &Cluster{hosts: make(map[string]*Host)}
+}
+
+// NewUniform creates a cluster of n identical hosts named
+// prefix00..prefix<n-1>, all with speed 1.0.
+func NewUniform(n int, prefix string) *Cluster {
+	c := New()
+	for i := 0; i < n; i++ {
+		c.Add(NewHost(fmt.Sprintf("%s%02d", prefix, i), 1))
+	}
+	return c
+}
+
+// Add registers a host. Adding a host with a duplicate name replaces the
+// previous one but keeps its position in the ordering.
+func (c *Cluster) Add(h *Host) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.hosts[h.Name()]; !exists {
+		c.order = append(c.order, h.Name())
+	}
+	c.hosts[h.Name()] = h
+}
+
+// Host returns the named host, or nil.
+func (c *Cluster) Host(name string) *Host {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hosts[name]
+}
+
+// Hosts returns all hosts in registration order.
+func (c *Cluster) Hosts() []*Host {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Host, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.hosts[n])
+	}
+	return out
+}
+
+// Names returns all host names in registration order.
+func (c *Cluster) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Size returns the number of hosts.
+func (c *Cluster) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.hosts)
+}
+
+// ApplyBackgroundLoad puts procs background processes on each of the first
+// n hosts (in registration order) and clears background load on the rest —
+// the paper's "background load was generated on 0, 2, 4, 6 or 8 hosts"
+// setup. It returns the names of the loaded hosts.
+func (c *Cluster) ApplyBackgroundLoad(n, procs int) []string {
+	hosts := c.Hosts()
+	var loaded []string
+	for i, h := range hosts {
+		if i < n {
+			h.SetBackground(procs)
+			loaded = append(loaded, h.Name())
+		} else {
+			h.SetBackground(0)
+		}
+	}
+	return loaded
+}
+
+// ResetClocks zeroes every host clock (between experiment runs).
+func (c *Cluster) ResetClocks() {
+	for _, h := range c.Hosts() {
+		h.Clock().Reset()
+	}
+}
+
+// MaxClock returns the maximum virtual time across all hosts.
+func (c *Cluster) MaxClock() float64 {
+	var max float64
+	for _, h := range c.Hosts() {
+		if t := h.Clock().Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// LoadedHosts returns the names of hosts with nonzero background load,
+// sorted.
+func (c *Cluster) LoadedHosts() []string {
+	var out []string
+	for _, h := range c.Hosts() {
+		if h.Background() > 0 {
+			out = append(out, h.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}

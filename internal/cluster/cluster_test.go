@@ -1,0 +1,352 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cdr"
+	"repro/internal/orb"
+)
+
+func TestClockAdvanceAndMerge(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("clock not zero")
+	}
+	c.Advance(1.5)
+	if c.Now() != 1.5 {
+		t.Fatalf("now = %v", c.Now())
+	}
+	c.Merge(1.0) // behind: no-op
+	if c.Now() != 1.5 {
+		t.Fatalf("merge moved backwards: %v", c.Now())
+	}
+	c.Merge(3.0)
+	if c.Now() != 3.0 {
+		t.Fatalf("merge = %v", c.Now())
+	}
+	c.Advance(-5) // ignored
+	if c.Now() != 3.0 {
+		t.Fatalf("negative advance applied: %v", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestClockConcurrentMonotone(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Advance(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); math.Abs(got-8.0) > 1e-6 {
+		t.Fatalf("now = %v, want 8.0", got)
+	}
+}
+
+// Property: merge never moves a clock backwards.
+func TestQuickClockMergeMonotone(t *testing.T) {
+	f := func(adv, merge float64) bool {
+		var c Clock
+		c.Advance(math.Abs(adv))
+		before := c.Now()
+		after := c.Merge(merge)
+		return after >= before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostComputeTime(t *testing.T) {
+	h := NewHost("n", 1)
+	if err := h.Compute(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Clock().Now(); got != 2 {
+		t.Fatalf("clock = %v", got)
+	}
+}
+
+func TestHostBackgroundSlowsCompute(t *testing.T) {
+	h := NewHost("n", 1)
+	h.SetBackground(1)
+	if err := h.Compute(2); err != nil {
+		t.Fatal(err)
+	}
+	// speed 1 / (1+1) = 0.5 → 2 units take 4 virtual seconds.
+	if got := h.Clock().Now(); got != 4 {
+		t.Fatalf("clock = %v", got)
+	}
+}
+
+func TestHostSpeedScalesCompute(t *testing.T) {
+	h := NewHost("fast", 2)
+	if err := h.Compute(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Clock().Now(); got != 1 {
+		t.Fatalf("clock = %v", got)
+	}
+}
+
+func TestHostFailedComputeErrors(t *testing.T) {
+	h := NewHost("n", 1)
+	h.Fail()
+	if err := h.Compute(1); err != ErrHostFailed {
+		t.Fatalf("err = %v", err)
+	}
+	h.Recover()
+	if err := h.Compute(1); err != nil {
+		t.Fatalf("err after recover = %v", err)
+	}
+}
+
+func TestHostSampleReflectsLoad(t *testing.T) {
+	h := NewHost("n", 1.5)
+	h.SetBackground(2)
+	h.BeginJob()
+	s := h.Sample()
+	if s.Host != "n" || s.Speed != 1.5 || s.RunQueue != 3 {
+		t.Fatalf("sample = %+v", s)
+	}
+	h.EndJob()
+	if s := h.Sample(); s.RunQueue != 2 {
+		t.Fatalf("runq after EndJob = %v", s.RunQueue)
+	}
+	h.EndJob() // extra EndJob must not go negative
+	if s := h.Sample(); s.RunQueue != 2 {
+		t.Fatalf("runq after extra EndJob = %v", s.RunQueue)
+	}
+}
+
+func TestHostDefaults(t *testing.T) {
+	h := NewHost("n", 0) // invalid speed coerced to 1
+	if h.Speed() != 1 {
+		t.Fatalf("speed = %v", h.Speed())
+	}
+	h.SetBackground(-3)
+	if h.Background() != 0 {
+		t.Fatalf("background = %d", h.Background())
+	}
+}
+
+func TestClusterUniform(t *testing.T) {
+	c := NewUniform(10, "node")
+	if c.Size() != 10 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	names := c.Names()
+	if names[0] != "node00" || names[9] != "node09" {
+		t.Fatalf("names = %v", names)
+	}
+	if c.Host("node05") == nil || c.Host("nope") != nil {
+		t.Fatal("Host lookup")
+	}
+}
+
+func TestClusterBackgroundLoad(t *testing.T) {
+	c := NewUniform(6, "n")
+	loaded := c.ApplyBackgroundLoad(2, 1)
+	if len(loaded) != 2 || loaded[0] != "n00" || loaded[1] != "n01" {
+		t.Fatalf("loaded = %v", loaded)
+	}
+	if got := c.LoadedHosts(); len(got) != 2 {
+		t.Fatalf("LoadedHosts = %v", got)
+	}
+	// Re-applying with fewer hosts clears the rest.
+	c.ApplyBackgroundLoad(1, 2)
+	if got := c.LoadedHosts(); len(got) != 1 || got[0] != "n00" {
+		t.Fatalf("LoadedHosts = %v", got)
+	}
+	if c.Host("n00").Background() != 2 {
+		t.Fatal("procs not applied")
+	}
+}
+
+func TestClusterClocks(t *testing.T) {
+	c := NewUniform(3, "n")
+	c.Host("n01").Clock().Advance(5)
+	if got := c.MaxClock(); got != 5 {
+		t.Fatalf("MaxClock = %v", got)
+	}
+	c.ResetClocks()
+	if got := c.MaxClock(); got != 0 {
+		t.Fatalf("MaxClock after reset = %v", got)
+	}
+}
+
+func TestTimeCodec(t *testing.T) {
+	for _, v := range []float64{0, 1.5, math.Pi, 1e9} {
+		got, ok := decodeTime(encodeTime(v))
+		if !ok || got != v {
+			t.Fatalf("codec %v -> %v ok=%v", v, got, ok)
+		}
+	}
+	if _, ok := decodeTime([]byte{1, 2}); ok {
+		t.Fatal("short buffer decoded")
+	}
+	if _, ok := decodeTime(nil); ok {
+		t.Fatal("nil decoded")
+	}
+}
+
+// computeServant advances its host's clock by the requested units.
+type computeServant struct{ host *Host }
+
+func (s *computeServant) TypeID() string { return "IDL:repro/Compute:1.0" }
+func (s *computeServant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+	if op != "work" {
+		return orb.BadOperation(op)
+	}
+	units := in.GetFloat64()
+	if err := s.host.Compute(units); err != nil {
+		return &orb.SystemException{Kind: orb.ExTransient, Detail: err.Error()}
+	}
+	out.PutFloat64(s.host.Clock().Now())
+	return nil
+}
+
+func startNode(t *testing.T, h *Host, latency float64) *Node {
+	t.Helper()
+	n, err := NewNode(h, NodeOptions{Latency: latency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestVirtualTimePropagatesThroughCalls(t *testing.T) {
+	client := NewHost("client", 1)
+	server := NewHost("server", 1)
+	cn := startNode(t, client, 0)
+	sn := startNode(t, server, 0)
+	ref := sn.Adapter.Activate("w", &computeServant{host: server})
+
+	// The client does 1s of local work, then asks the server for 3s of
+	// work. After the reply, the client clock must read 4s.
+	if err := client.Compute(1); err != nil {
+		t.Fatal(err)
+	}
+	err := cn.ORB.Invoke(ref, "work",
+		func(e *cdr.Encoder) { e.PutFloat64(3) },
+		func(d *cdr.Decoder) error { d.GetFloat64(); return d.Err() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := client.Clock().Now(); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("client clock = %v, want 4", got)
+	}
+	// The server merged the client's send time (1s) before computing.
+	if got := server.Clock().Now(); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("server clock = %v, want 4", got)
+	}
+}
+
+func TestVirtualTimeParallelForkJoin(t *testing.T) {
+	// A manager fans out to two workers; the join time is the max of the
+	// branches, not the sum — the essence of the Figure 3 simulation.
+	mgr := NewHost("mgr", 1)
+	w1 := NewHost("w1", 1)
+	w2 := NewHost("w2", 1)
+	w2.SetBackground(1) // w2 runs at half speed
+	mn := startNode(t, mgr, 0)
+	n1 := startNode(t, w1, 0)
+	n2 := startNode(t, w2, 0)
+	ref1 := n1.Adapter.Activate("w", &computeServant{host: w1})
+	ref2 := n2.Adapter.Activate("w", &computeServant{host: w2})
+
+	call := func(ref orb.ObjectRef, units float64) *orb.Request {
+		req := mn.ORB.CreateRequest(ref, "work")
+		req.Args().PutFloat64(units)
+		req.Send()
+		return req
+	}
+	r1 := call(ref1, 2) // 2s on idle host
+	r2 := call(ref2, 2) // 4s on loaded host
+	for _, r := range []*orb.Request{r1, r2} {
+		if err := r.GetResponse(func(d *cdr.Decoder) error { d.GetFloat64(); return d.Err() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mgr.Clock().Now(); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("manager clock = %v, want max(2,4)=4", got)
+	}
+}
+
+func TestLatencyCharged(t *testing.T) {
+	client := NewHost("client", 1)
+	server := NewHost("server", 1)
+	cn := startNode(t, client, 0.25)
+	sn := startNode(t, server, 0.25)
+	ref := sn.Adapter.Activate("w", &computeServant{host: server})
+	err := cn.ORB.Invoke(ref, "work",
+		func(e *cdr.Encoder) { e.PutFloat64(1) },
+		func(d *cdr.Decoder) error { d.GetFloat64(); return d.Err() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.25 request latency + 1s work + 0.25 reply latency.
+	if got := client.Clock().Now(); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("client clock = %v, want 1.5", got)
+	}
+}
+
+func TestNodeFailGivesCommFailure(t *testing.T) {
+	client := NewHost("client", 1)
+	server := NewHost("server", 1)
+	cn := startNode(t, client, 0)
+	sn, err := NewNode(server, NodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sn.Adapter.Activate("w", &computeServant{host: server})
+	if err := cn.ORB.Invoke(ref, "work", func(e *cdr.Encoder) { e.PutFloat64(0) }, nil); err != nil {
+		t.Fatal(err)
+	}
+	sn.Fail()
+	if !sn.Failed() {
+		t.Fatal("node not failed")
+	}
+	err = cn.ORB.Invoke(ref, "work", func(e *cdr.Encoder) { e.PutFloat64(0) }, nil)
+	if !orb.IsCommFailure(err) {
+		t.Fatalf("err = %v, want COMM_FAILURE", err)
+	}
+	sn.Fail() // idempotent
+}
+
+func TestNodeRestartServesAgain(t *testing.T) {
+	client := NewHost("client", 1)
+	server := NewHost("server", 1)
+	cn := startNode(t, client, 0)
+	sn, err := NewNode(server, NodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Close()
+	sn.Adapter.Activate("w", &computeServant{host: server})
+	sn.Fail()
+	if err := sn.Restart(NodeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh adapter, fresh port; re-activate and call.
+	ref2 := sn.Adapter.Activate("w", &computeServant{host: server})
+	if err := cn.ORB.Invoke(ref2, "work", func(e *cdr.Encoder) { e.PutFloat64(1) }, nil); err != nil {
+		t.Fatalf("call after restart: %v", err)
+	}
+	if err := sn.Restart(NodeOptions{}); err != nil {
+		t.Fatal("restart of healthy node must be a no-op")
+	}
+}

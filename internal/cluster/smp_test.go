@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSMPHostFullSpeedUpToCPUCount(t *testing.T) {
+	h := NewHostMP("smp", 1, 4)
+	if h.CPUs() != 4 {
+		t.Fatalf("cpus = %d", h.CPUs())
+	}
+	// Three background processes + one job = 4 runnable on 4 CPUs: the
+	// job still runs at full speed.
+	h.SetBackground(3)
+	if got := h.EffectiveSpeed(); got != 1 {
+		t.Fatalf("eff = %v", got)
+	}
+	if err := h.Compute(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Clock().Now(); got != 2 {
+		t.Fatalf("clock = %v", got)
+	}
+}
+
+func TestSMPHostTimeSharesBeyondCPUs(t *testing.T) {
+	h := NewHostMP("smp", 1, 2)
+	h.SetBackground(3) // demand 4 on 2 CPUs → share 0.5
+	if got := h.EffectiveSpeed(); got != 0.5 {
+		t.Fatalf("eff = %v", got)
+	}
+	if err := h.Compute(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Clock().Now(); got != 2 {
+		t.Fatalf("clock = %v", got)
+	}
+}
+
+func TestSMPColocatedJobsShareFairly(t *testing.T) {
+	h := NewHostMP("smp", 1, 2)
+	// Two concurrent jobs on two CPUs: no slowdown.
+	h.BeginJob()
+	h.BeginJob()
+	if err := h.Compute(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Clock().Now(); got != 3 {
+		t.Fatalf("clock = %v", got)
+	}
+	// A third job pushes demand to 3 on 2 CPUs → share 2/3.
+	h.BeginJob()
+	if err := h.Compute(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Clock().Now(); got != 6 {
+		t.Fatalf("clock = %v", got)
+	}
+	h.EndJob()
+	h.EndJob()
+	h.EndJob()
+}
+
+func TestSMPSampleCarriesCPUs(t *testing.T) {
+	h := NewHostMP("smp", 1.5, 8)
+	s := h.Sample()
+	if s.CPUs != 8 || s.Speed != 1.5 {
+		t.Fatalf("sample = %+v", s)
+	}
+}
+
+func TestNewHostMPCoercesBadValues(t *testing.T) {
+	h := NewHostMP("x", -1, 0)
+	if h.Speed() != 1 || h.CPUs() != 1 {
+		t.Fatalf("host = speed %v cpus %d", h.Speed(), h.CPUs())
+	}
+}
+
+func TestSMPConcurrentComputeSafe(t *testing.T) {
+	h := NewHostMP("smp", 1, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.BeginJob()
+			defer h.EndJob()
+			for i := 0; i < 100; i++ {
+				if err := h.Compute(0.001); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Clock().Now() <= 0 {
+		t.Fatal("no time advanced")
+	}
+}

@@ -1,0 +1,103 @@
+// Package core implements the paper's primary contribution: load
+// distribution integrated transparently into the CORBA naming service.
+//
+// Servers on each workstation of a NOW register their object references as
+// *offers* under one name. Clients resolve that name exactly as they would
+// against an unmodified naming service — no client code changes — but the
+// service's resolve consults the Winner resource management system and
+// returns the offer on the host with the currently best performance
+// (Figure 1 of the paper). The plain baseline and the Winner-enhanced
+// service differ only in the Selector plugged into the same servant,
+// mirroring the paper's claim that the extension is interface-compatible
+// and reusable with any ORB.
+package core
+
+import (
+	"repro/internal/naming"
+	"repro/internal/orb"
+	"repro/internal/winner"
+)
+
+// HostRanker answers "which of these hosts is currently best?". Both the
+// in-process winner.Manager and the remote winner.Client satisfy it, so
+// the naming service can colocate with the system manager or consult it
+// over the ORB.
+type HostRanker interface {
+	BestOf(candidates []string) (string, error)
+}
+
+var (
+	_ HostRanker = (*winner.Manager)(nil)
+	_ HostRanker = (*winner.Client)(nil)
+)
+
+// WinnerSelector is the load-distribution policy: among a name's offers it
+// picks the one on the host Winner ranks best. Offers on hosts unknown to
+// Winner are still eligible as a fallback — the paper's requirement that
+// the enhanced service is never worse than the plain one means resolve
+// must keep working when load data is missing or the system manager is
+// unreachable.
+type WinnerSelector struct {
+	ranker HostRanker
+	// Fallback handles offers when Winner cannot rank (no data, system
+	// manager down). Defaults to registration-order round-robin, i.e.
+	// plain-naming behaviour.
+	fallback naming.Selector
+}
+
+// NewWinnerSelector builds a selector backed by ranker. fallback may be
+// nil for the round-robin default.
+func NewWinnerSelector(ranker HostRanker, fallback naming.Selector) *WinnerSelector {
+	if fallback == nil {
+		fallback = naming.RoundRobinSelector()
+	}
+	return &WinnerSelector{ranker: ranker, fallback: fallback}
+}
+
+// Select implements naming.Selector.
+func (s *WinnerSelector) Select(name naming.Name, offers []naming.Offer) (naming.Offer, error) {
+	hosts := make([]string, 0, len(offers))
+	seen := make(map[string]bool, len(offers))
+	for _, o := range offers {
+		if o.Host != "" && !seen[o.Host] {
+			seen[o.Host] = true
+			hosts = append(hosts, o.Host)
+		}
+	}
+	if len(hosts) == 0 {
+		return s.fallback.Select(name, offers)
+	}
+	best, err := s.ranker.BestOf(hosts)
+	if err != nil {
+		// No ranking available: degrade to plain behaviour rather than
+		// failing the resolve.
+		return s.fallback.Select(name, offers)
+	}
+	for _, o := range offers {
+		if o.Host == best {
+			return o, nil
+		}
+	}
+	return s.fallback.Select(name, offers)
+}
+
+// NewLoadNamingServant assembles the paper's enhanced naming service: a
+// standard naming servant whose group resolution is driven by Winner.
+func NewLoadNamingServant(reg *naming.Registry, ranker HostRanker) *naming.Servant {
+	return naming.NewServant(reg, NewWinnerSelector(ranker, nil))
+}
+
+// NewPlainNamingServant assembles the unmodified baseline: the same
+// servant with registration-order round-robin resolution.
+func NewPlainNamingServant(reg *naming.Registry) *naming.Servant {
+	return naming.NewServant(reg, naming.RoundRobinSelector())
+}
+
+// Resolver is the client-side dependency of the fault-tolerance layer: a
+// way to obtain a (fresh) reference for a service name. naming.Client
+// implements it; tests may substitute local resolvers.
+type Resolver interface {
+	Resolve(name naming.Name) (orb.ObjectRef, error)
+}
+
+var _ Resolver = (*naming.Client)(nil)

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/naming"
+	"repro/internal/orb"
+	"repro/internal/winner"
+)
+
+func offer(i int, host string) naming.Offer {
+	return naming.Offer{
+		Ref:  orb.ObjectRef{TypeID: "T", Addr: fmt.Sprintf("127.0.0.1:%d", 1000+i), Key: "w"},
+		Host: host,
+	}
+}
+
+func TestWinnerSelectorPicksBestHost(t *testing.T) {
+	m := winner.NewManager()
+	m.Report(winner.LoadSample{Host: "busy", Speed: 1, RunQueue: 2, Seq: 1})
+	m.Report(winner.LoadSample{Host: "idle", Speed: 1, RunQueue: 0, Seq: 1})
+	sel := NewWinnerSelector(m, nil)
+	offers := []naming.Offer{offer(0, "busy"), offer(1, "idle")}
+	got, err := sel.Select(naming.NewName("w"), offers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Host != "idle" {
+		t.Fatalf("selected %q", got.Host)
+	}
+}
+
+func TestWinnerSelectorSpreadsPlacements(t *testing.T) {
+	m := winner.NewManager()
+	for i := 0; i < 4; i++ {
+		m.Report(winner.LoadSample{Host: fmt.Sprintf("h%d", i), Speed: 1, Seq: 1})
+	}
+	sel := NewWinnerSelector(m, nil)
+	offers := make([]naming.Offer, 4)
+	for i := range offers {
+		offers[i] = offer(i, fmt.Sprintf("h%d", i))
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		got, err := sel.Select(naming.NewName("w"), offers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[got.Host] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("placements dog-piled: %v", seen)
+	}
+}
+
+func TestWinnerSelectorFallsBackWithoutLoadData(t *testing.T) {
+	m := winner.NewManager() // knows no hosts
+	sel := NewWinnerSelector(m, nil)
+	offers := []naming.Offer{offer(0, "a"), offer(1, "b")}
+	got1, err := sel.Select(naming.NewName("w"), offers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := sel.Select(naming.NewName("w"), offers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin fallback: two resolves hit two different offers.
+	if got1.Host == got2.Host {
+		t.Fatalf("fallback not round-robin: %q %q", got1.Host, got2.Host)
+	}
+}
+
+func TestWinnerSelectorFallsBackOnHostlessOffers(t *testing.T) {
+	m := winner.NewManager()
+	m.Report(winner.LoadSample{Host: "known", Speed: 1, Seq: 1})
+	sel := NewWinnerSelector(m, nil)
+	offers := []naming.Offer{offer(0, ""), offer(1, "")}
+	if _, err := sel.Select(naming.NewName("w"), offers); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type failingRanker struct{}
+
+func (failingRanker) BestOf([]string) (string, error) { return "", errors.New("down") }
+
+func TestWinnerSelectorSurvivesRankerFailure(t *testing.T) {
+	sel := NewWinnerSelector(failingRanker{}, nil)
+	offers := []naming.Offer{offer(0, "a"), offer(1, "b")}
+	got, err := sel.Select(naming.NewName("w"), offers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Host == "" {
+		t.Fatal("no offer selected")
+	}
+}
+
+type wrongHostRanker struct{}
+
+func (wrongHostRanker) BestOf([]string) (string, error) { return "not-an-offer-host", nil }
+
+func TestWinnerSelectorFallsBackOnForeignBestHost(t *testing.T) {
+	sel := NewWinnerSelector(wrongHostRanker{}, nil)
+	offers := []naming.Offer{offer(0, "a")}
+	got, err := sel.Select(naming.NewName("w"), offers)
+	if err != nil || got.Host != "a" {
+		t.Fatalf("got %+v, %v", got, err)
+	}
+}
+
+func startEnv(t *testing.T, useWinner bool, hosts int) *Environment {
+	t.Helper()
+	env, err := Start(EnvironmentOptions{Hosts: hosts, UseWinner: useWinner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.Close)
+	return env
+}
+
+func TestEnvironmentWinnerResolvesLeastLoaded(t *testing.T) {
+	env := startEnv(t, true, 4)
+	// Register one offer per host under one name.
+	name := naming.NewName("workers")
+	for i, h := range env.Cluster.Hosts() {
+		ref := orb.ObjectRef{TypeID: "T", Addr: fmt.Sprintf("127.0.0.1:%d", 2000+i), Key: "w"}
+		if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Load the first two hosts, refresh samples.
+	env.Cluster.ApplyBackgroundLoad(2, 1)
+	env.SampleAll()
+
+	got, err := env.Naming.Resolve(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best hosts are node02/node03 (unloaded); offer addr ports 2002/2003.
+	if got.Addr != "127.0.0.1:2002" && got.Addr != "127.0.0.1:2003" {
+		t.Fatalf("resolved %v, want an unloaded host's offer", got)
+	}
+}
+
+func TestEnvironmentPlainIgnoresLoad(t *testing.T) {
+	env := startEnv(t, false, 4)
+	name := naming.NewName("workers")
+	for i, h := range env.Cluster.Hosts() {
+		ref := orb.ObjectRef{TypeID: "T", Addr: fmt.Sprintf("127.0.0.1:%d", 2000+i), Key: "w"}
+		if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env.Cluster.ApplyBackgroundLoad(2, 1)
+	env.SampleAll()
+
+	// Plain naming round-robins from the head: first resolve returns the
+	// first-registered (loaded) host.
+	got, err := env.Naming.Resolve(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != "127.0.0.1:2000" {
+		t.Fatalf("resolved %v, want the first offer", got)
+	}
+}
+
+func TestEnvironmentSamplingReflectsJobs(t *testing.T) {
+	env := startEnv(t, true, 2)
+	h := env.Cluster.Hosts()[1]
+	h.BeginJob()
+	env.SampleAll()
+	info, err := env.Winner.HostInfo(h.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Sample.RunQueue != 1 {
+		t.Fatalf("runq = %v", info.Sample.RunQueue)
+	}
+	h.EndJob()
+}
+
+func TestEnvironmentNewNode(t *testing.T) {
+	env := startEnv(t, true, 2)
+	n, err := env.NewNode("node01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := env.NamingClientFor(n)
+	if err := nc.Bind(naming.NewName("x"), orb.ObjectRef{TypeID: "T", Addr: "a:1", Key: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := env.Naming.Resolve(naming.NewName("x"))
+	if err != nil || got.Key != "k" {
+		t.Fatalf("resolve = %v, %v", got, err)
+	}
+	if _, err := env.NewNode("ghost"); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}
+
+func TestEnvironmentLatencyPropagatesToNodes(t *testing.T) {
+	env, err := Start(EnvironmentOptions{Hosts: 2, UseWinner: true, Latency: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	n, err := env.NewNode("node01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A resolve from the node crosses two latency-charged messages.
+	nc := env.NamingClientFor(n)
+	if err := nc.Bind(naming.NewName("x"), orb.ObjectRef{TypeID: "T", Addr: "a:1", Key: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Host.Clock().Now(); got < 1.0-1e-9 {
+		t.Fatalf("node clock = %v, want >= 1.0 (two 0.5s hops)", got)
+	}
+}
+
+func TestEnvironmentDefaultsToTenHosts(t *testing.T) {
+	env, err := Start(EnvironmentOptions{Hosts: -1, UseWinner: true})
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	defer env.Close()
+	if env.Cluster.Size() != 10 {
+		t.Fatalf("hosts = %d, want the paper's 10", env.Cluster.Size())
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderFigure3Chart draws the reproduction of Figure 3 as an ASCII
+// chart: runtime (virtual seconds) over the number of hosts with
+// background load, one mark pair per case (plain = 'P', Winner = 'W',
+// overlap = '*'), mirroring the paper's plot.
+func RenderFigure3Chart(w io.Writer, series []Figure3Series) {
+	const (
+		height = 16
+		colW   = 9
+	)
+	var maxY float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Plain > maxY {
+				maxY = p.Plain
+			}
+			if p.Winner > maxY {
+				maxY = p.Winner
+			}
+		}
+	}
+	if maxY == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+
+	fmt.Fprintln(w, "Runtime (virtual seconds) vs. hosts with background load")
+	for _, s := range series {
+		fmt.Fprintf(w, "\ncase %s   P = CORBA, W = CORBA/Winner, * = overlap\n", s.Case.Label())
+		grid := make([][]byte, height)
+		for r := range grid {
+			grid[r] = []byte(strings.Repeat(" ", colW*len(s.Points)))
+		}
+		row := func(v float64) int {
+			r := height - 1 - int(v/maxY*float64(height-1)+0.5)
+			if r < 0 {
+				r = 0
+			}
+			if r >= height {
+				r = height - 1
+			}
+			return r
+		}
+		for i, p := range s.Points {
+			col := i*colW + colW/2
+			rp, rw := row(p.Plain), row(p.Winner)
+			if rp == rw {
+				grid[rp][col] = '*'
+			} else {
+				grid[rp][col] = 'P'
+				grid[rw][col] = 'W'
+			}
+		}
+		for r, line := range grid {
+			label := "        "
+			// Y-axis labels at the top, middle and bottom rows.
+			switch r {
+			case 0:
+				label = fmt.Sprintf("%7.0f ", maxY)
+			case height / 2:
+				label = fmt.Sprintf("%7.0f ", maxY/2)
+			case height - 1:
+				label = fmt.Sprintf("%7.0f ", 0.0)
+			}
+			fmt.Fprintf(w, "%s|%s\n", label, string(line))
+		}
+		fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", colW*len(s.Points)))
+		var axis strings.Builder
+		for _, p := range s.Points {
+			axis.WriteString(fmt.Sprintf("%*d", colW/2+1, p.Loaded))
+			axis.WriteString(strings.Repeat(" ", colW-colW/2-1))
+		}
+		fmt.Fprintf(w, "        %s\n", axis.String())
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func chartFixture() []Figure3Series {
+	return []Figure3Series{{
+		Case: Figure3Case{N: 30, Workers: 3, WorkerHosts: 5},
+		Points: []Figure3Point{
+			{Loaded: 0, Plain: 800, Winner: 800},
+			{Loaded: 2, Plain: 1600, Winner: 800},
+			{Loaded: 4, Plain: 1600, Winner: 1400},
+		},
+	}}
+}
+
+func TestChartContainsMarks(t *testing.T) {
+	var sb strings.Builder
+	RenderFigure3Chart(&sb, chartFixture())
+	out := sb.String()
+	if !strings.Contains(out, "P") || !strings.Contains(out, "W") {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("overlap mark missing for equal points:\n%s", out)
+	}
+	if !strings.Contains(out, "case 30/3") {
+		t.Fatalf("case label missing:\n%s", out)
+	}
+	// X-axis shows the load counts.
+	for _, x := range []string{"0", "2", "4"} {
+		if !strings.Contains(out, x) {
+			t.Fatalf("axis label %s missing:\n%s", x, out)
+		}
+	}
+}
+
+func TestChartPlainAboveWinner(t *testing.T) {
+	var sb strings.Builder
+	RenderFigure3Chart(&sb, chartFixture())
+	lines := strings.Split(sb.String(), "\n")
+	// In the loaded column the plain mark (slower = higher runtime) must
+	// appear on an earlier (higher) line than the Winner mark.
+	pLine, wLine := -1, -1
+	for i, line := range lines {
+		if strings.Contains(line, "=") || !strings.Contains(line, "|") {
+			continue // header/axis lines, not chart rows
+		}
+		if idx := strings.IndexByte(line, 'P'); idx >= 0 && pLine == -1 {
+			pLine = i
+		}
+		if idx := strings.IndexByte(line, 'W'); idx >= 0 && wLine == -1 {
+			wLine = i
+		}
+	}
+	if pLine == -1 || wLine == -1 || pLine >= wLine {
+		t.Fatalf("P line %d not above W line %d:\n%s", pLine, wLine, sb.String())
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	var sb strings.Builder
+	RenderFigure3Chart(&sb, nil)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatalf("empty chart output: %q", sb.String())
+	}
+}

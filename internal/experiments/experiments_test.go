@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyFig3 keeps the sweep small enough for unit testing while preserving
+// the paper's structure.
+func tinyFig3() Figure3Config {
+	return Figure3Config{
+		Hosts:             7,
+		LoadedCounts:      []int{0, 2, 4},
+		BackgroundProcs:   1,
+		Cases:             []Figure3Case{{N: 12, Workers: 3, WorkerHosts: 5}},
+		WorkerIterations:  40,
+		ManagerIterations: 4,
+		Seed:              1,
+		EvalCost:          0.01,
+	}
+}
+
+func TestFigure3ShapeHolds(t *testing.T) {
+	series, err := RunFigure3(tinyFig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].Points) != 3 {
+		t.Fatalf("series shape: %+v", series)
+	}
+	pts := series[0].Points
+
+	// Claim 1: with no background load the two services perform equally
+	// (same placement quality, same deterministic numerics).
+	p0 := pts[0]
+	if rel := (p0.Plain - p0.Winner) / p0.Plain; rel > 0.05 || rel < -0.05 {
+		t.Fatalf("unloaded cell differs: plain %v winner %v", p0.Plain, p0.Winner)
+	}
+
+	// Claim 2: with 2 of 5 worker hosts loaded and only 3 workers,
+	// Winner avoids the loaded hosts entirely — its runtime stays at the
+	// unloaded level while plain degrades.
+	p2 := pts[1]
+	if p2.Winner > p0.Winner*1.05 {
+		t.Fatalf("winner did not avoid loaded hosts: %v vs unloaded %v", p2.Winner, p0.Winner)
+	}
+	if p2.Plain < p2.Winner*1.3 {
+		t.Fatalf("plain not visibly slower: plain %v winner %v", p2.Plain, p2.Winner)
+	}
+
+	// Claim 3: Winner is never worse than plain.
+	sum := series[0].Summarize()
+	if !sum.NeverWorse {
+		t.Fatalf("winner worse than plain somewhere: %+v", pts)
+	}
+	if sum.BestReduction < 20 {
+		t.Fatalf("best reduction only %.1f%%", sum.BestReduction)
+	}
+
+	// Claim 4: with most hosts loaded the advantage diminishes.
+	p4 := pts[2] // 4 of 5 worker hosts loaded, 3 workers → at least 2 on loaded hosts
+	if p4.Reduction() >= p2.Reduction() {
+		t.Fatalf("advantage did not diminish: %.1f%% -> %.1f%%", p2.Reduction(), p4.Reduction())
+	}
+}
+
+func TestFigure3Deterministic(t *testing.T) {
+	a, err := RunFigure3(tinyFig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFigure3(tinyFig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a[0].Points {
+		if a[0].Points[i] != b[0].Points[i] {
+			t.Fatalf("nondeterministic point %d: %+v vs %+v", i, a[0].Points[i], b[0].Points[i])
+		}
+	}
+}
+
+func TestFigure3RejectsOversizedCase(t *testing.T) {
+	cfg := tinyFig3()
+	cfg.Cases = []Figure3Case{{N: 12, Workers: 3, WorkerHosts: 99}}
+	if _, err := RunFigure3(cfg); err == nil {
+		t.Fatal("oversized case accepted")
+	}
+}
+
+func tinyTable1() Table1Config {
+	return Table1Config{
+		N: 20, Workers: 3,
+		Iterations:        []int{20, 400},
+		ManagerIterations: 2,
+		Seed:              1,
+		Repeats:           1,
+	}
+}
+
+func TestTable1OverheadShrinksWithWork(t *testing.T) {
+	rows, err := RunTable1(tinyTable1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Plain <= 0 || r.Proxy <= 0 {
+			t.Fatalf("non-positive runtime: %+v", r)
+		}
+		if r.Checkpoints == 0 {
+			t.Fatalf("no checkpoints recorded: %+v", r)
+		}
+	}
+	// The paper's core observation: "the relative slowdown is lower the
+	// more time is spent in the called method". Wall-clock noise can
+	// wiggle single measurements, so only require monotone direction
+	// with generous slack.
+	if rows[1].OverheadPct() > rows[0].OverheadPct()+25 {
+		t.Fatalf("overhead did not shrink: %v%% -> %v%%",
+			rows[0].OverheadPct(), rows[1].OverheadPct())
+	}
+}
+
+func TestTable1ProxyCostsMoreThanPlain(t *testing.T) {
+	cfg := tinyTable1()
+	cfg.Iterations = []int{20}
+	rows, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At tiny per-call work the checkpoint round trips must dominate:
+	// proxy strictly slower.
+	if rows[0].Proxy <= rows[0].Plain {
+		t.Fatalf("proxy not slower at tiny work: %+v", rows[0])
+	}
+}
+
+func TestMixedClusterAblationWinnerFaster(t *testing.T) {
+	plain, winner, err := RunMixedClusterAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(winner < plain) {
+		t.Fatalf("winner %v not faster than plain %v", winner, plain)
+	}
+}
+
+func TestReplicationAblationCostOrdering(t *testing.T) {
+	single, err := RunReplicationAblation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := RunReplicationAblation(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(dual > single*1.2) {
+		t.Fatalf("replication cost invisible: %v vs %v", dual, single)
+	}
+}
+
+func TestSelectionAblationPolicies(t *testing.T) {
+	winnerRT, err := RunSelectionAblation("winner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrRT, err := RunSelectionAblation("roundrobin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(winnerRT < rrRT) {
+		t.Fatalf("winner %v not faster than round-robin %v", winnerRT, rrRT)
+	}
+	for _, p := range []string{"random", "first"} {
+		if _, err := RunSelectionAblation(p); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+	if _, err := RunSelectionAblation("nonsense"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestDecompositionAblationSpeedup(t *testing.T) {
+	two, err := RunDecompositionAblation(30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := RunDecompositionAblation(30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(five < two) {
+		t.Fatalf("5 workers (%v) not faster than 2 (%v)", five, two)
+	}
+}
+
+func TestTable1AblationCheckpointFrequency(t *testing.T) {
+	cfg := Table1Config{N: 12, Workers: 3, Iterations: []int{50},
+		ManagerIterations: 2, Seed: 1, Repeats: 1}
+	everyCall, err := RunTable1Ablation(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	every10, err := RunTable1Ablation(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if everyCall[0].Checkpoints <= every10[0].Checkpoints {
+		t.Fatalf("checkpoint counts not ordered: %d vs %d",
+			everyCall[0].Checkpoints, every10[0].Checkpoints)
+	}
+}
+
+func TestDefaultConfigsSane(t *testing.T) {
+	f := DefaultFigure3Config()
+	if f.Hosts != 10 || len(f.Cases) != 2 || len(f.LoadedCounts) != 5 {
+		t.Fatalf("fig3 default = %+v", f)
+	}
+	tb := DefaultTable1Config()
+	if tb.N != 100 || tb.Workers != 7 || len(tb.Iterations) == 0 {
+		t.Fatalf("table1 default = %+v", tb)
+	}
+}
+
+func TestLatencyAblationMonotone(t *testing.T) {
+	lan, err := RunLatencyAblation(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wan, err := RunLatencyAblation(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wan <= lan {
+		t.Fatalf("latency had no cost: %v vs %v", wan, lan)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	var sb strings.Builder
+	series := []Figure3Series{{
+		Case:   Figure3Case{N: 30, Workers: 3, WorkerHosts: 5},
+		Points: []Figure3Point{{Loaded: 0, Plain: 100, Winner: 100}, {Loaded: 2, Plain: 140, Winner: 100}},
+	}}
+	RenderFigure3(&sb, series)
+	out := sb.String()
+	for _, want := range []string{"Figure 3", "30/3", "CORBA/Winner", "never worse: true", "28.6%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	RenderTable1(&sb, []Table1Row{{Iterations: 10000, Plain: 1, Proxy: 3.2, Checkpoints: 70}})
+	out = sb.String()
+	for _, want := range []string{"Table 1", "10000", "220.0%", "70"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	RenderSeparator(&sb)
+	if sb.Len() == 0 {
+		t.Fatal("separator empty")
+	}
+}
+
+func TestFigure3PointReduction(t *testing.T) {
+	if r := (Figure3Point{Plain: 0, Winner: 0}).Reduction(); r != 0 {
+		t.Fatalf("zero plain reduction = %v", r)
+	}
+	if r := (Figure3Point{Plain: 200, Winner: 100}).Reduction(); r != 50 {
+		t.Fatalf("reduction = %v", r)
+	}
+}
+
+func TestTable1RowOverhead(t *testing.T) {
+	if o := (Table1Row{Plain: 0}).OverheadPct(); o != 0 {
+		t.Fatalf("overhead = %v", o)
+	}
+	if o := (Table1Row{Plain: 2, Proxy: 3}).OverheadPct(); o != 50 {
+		t.Fatalf("overhead = %v", o)
+	}
+}

@@ -1,0 +1,200 @@
+// Package experiments regenerates the paper's evaluation: Figure 3 (load
+// distribution benefit of the Winner-enhanced naming service) and Table 1
+// (runtime overhead of fault-tolerant proxies), plus the summary claims of
+// section 4 and ablation sweeps over the design choices.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ft"
+	"repro/internal/naming"
+	"repro/internal/rosen"
+)
+
+// Figure3Case is one problem configuration of Figure 3.
+type Figure3Case struct {
+	// N and Workers define the decomposed Rosenbrock problem (the paper
+	// runs 30/3 and 100/7).
+	N, Workers int
+	// WorkerHosts is how many workstations offer worker services (the
+	// paper's 30/3 scenario had "6 workstations available for the 4
+	// processes": 5 worker hosts + the manager/services host; 100/7 uses
+	// the whole 10-host NOW: 9 worker hosts + the manager host).
+	WorkerHosts int
+}
+
+// Label renders the paper's curve label, e.g. "100/7".
+func (c Figure3Case) Label() string { return fmt.Sprintf("%d/%d", c.N, c.Workers) }
+
+// Figure3Config parameterizes the Figure 3 reproduction.
+type Figure3Config struct {
+	// Hosts is the NOW size (paper: 10).
+	Hosts int
+	// LoadedCounts is the x-axis: numbers of hosts with background load
+	// (paper: 0, 2, 4, 6, 8).
+	LoadedCounts []int
+	// BackgroundProcs is the per-loaded-host competing process count.
+	BackgroundProcs int
+	// Cases are the problem configurations (paper: 100/7 and 30/3).
+	Cases []Figure3Case
+	// WorkerIterations / ManagerIterations are the Complex Box budgets.
+	WorkerIterations  int
+	ManagerIterations int
+	// Seed drives all randomness.
+	Seed int64
+	// EvalCost is the virtual CPU cost per objective evaluation per
+	// dimension (sets the virtual-seconds scale of the y-axis).
+	EvalCost float64
+}
+
+// DefaultFigure3Config reproduces the paper's setup.
+func DefaultFigure3Config() Figure3Config {
+	return Figure3Config{
+		Hosts:             10,
+		LoadedCounts:      []int{0, 2, 4, 6, 8},
+		BackgroundProcs:   1,
+		Cases:             []Figure3Case{{N: 100, Workers: 7, WorkerHosts: 9}, {N: 30, Workers: 3, WorkerHosts: 5}},
+		WorkerIterations:  120,
+		ManagerIterations: 8,
+		Seed:              1,
+		EvalCost:          0.02,
+	}
+}
+
+// Figure3Point is one x-position of one curve pair.
+type Figure3Point struct {
+	// Loaded is the number of hosts with background load.
+	Loaded int
+	// Plain and Winner are the virtual runtimes (seconds) under the
+	// unmodified and the load-distribution naming service.
+	Plain, Winner float64
+}
+
+// Reduction returns the runtime reduction of Winner vs plain in percent.
+func (p Figure3Point) Reduction() float64 {
+	if p.Plain == 0 {
+		return 0
+	}
+	return 100 * (p.Plain - p.Winner) / p.Plain
+}
+
+// Figure3Series is one case's curve pair.
+type Figure3Series struct {
+	Case   Figure3Case
+	Points []Figure3Point
+}
+
+// Figure3Summary aggregates the section-4 claims for one case.
+type Figure3Summary struct {
+	Case Figure3Case
+	// BestReduction is the maximum runtime reduction (paper: ≈40%).
+	BestReduction float64
+	// AvgReduction is the mean reduction over all load points
+	// (paper: ≈15%).
+	AvgReduction float64
+	// NeverWorse reports whether Winner was at least as fast as plain at
+	// every point (paper: "at least the same results").
+	NeverWorse bool
+}
+
+// Summarize computes the summary for one series.
+func (s Figure3Series) Summarize() Figure3Summary {
+	out := Figure3Summary{Case: s.Case, NeverWorse: true}
+	var sum float64
+	for _, p := range s.Points {
+		r := p.Reduction()
+		sum += r
+		if r > out.BestReduction {
+			out.BestReduction = r
+		}
+		if p.Winner > p.Plain*1.0001 { // tolerate float noise
+			out.NeverWorse = false
+		}
+	}
+	if len(s.Points) > 0 {
+		out.AvgReduction = sum / float64(len(s.Points))
+	}
+	return out
+}
+
+// RunFigure3 executes the full sweep: for every case and every
+// background-load level it measures the virtual runtime of the distributed
+// decomposed-Rosenbrock optimization under the plain and the
+// Winner-enhanced naming service.
+func RunFigure3(cfg Figure3Config) ([]Figure3Series, error) {
+	var out []Figure3Series
+	for _, c := range cfg.Cases {
+		series := Figure3Series{Case: c}
+		for _, loaded := range cfg.LoadedCounts {
+			plain, err := runFigure3Cell(cfg, c, loaded, false)
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s plain loaded=%d: %w", c.Label(), loaded, err)
+			}
+			win, err := runFigure3Cell(cfg, c, loaded, true)
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s winner loaded=%d: %w", c.Label(), loaded, err)
+			}
+			series.Points = append(series.Points, Figure3Point{Loaded: loaded, Plain: plain, Winner: win})
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// runFigure3Cell measures one (case, load level, naming mode) cell on a
+// fresh deterministic environment.
+func runFigure3Cell(cfg Figure3Config, c Figure3Case, loaded int, useWinner bool) (float64, error) {
+	env, err := core.Start(core.EnvironmentOptions{Hosts: cfg.Hosts, UseWinner: useWinner})
+	if err != nil {
+		return 0, err
+	}
+	defer env.Close()
+
+	hosts := env.Cluster.Hosts()
+	if c.WorkerHosts+1 > len(hosts) {
+		return 0, fmt.Errorf("case %s needs %d hosts, cluster has %d", c.Label(), c.WorkerHosts+1, len(hosts))
+	}
+
+	// Worker services on hosts 1..WorkerHosts (host 0 runs naming,
+	// Winner and the manager process).
+	name := naming.NewName(rosen.ServiceName)
+	for _, h := range hosts[1 : 1+c.WorkerHosts] {
+		node, err := env.NewNode(h.Name())
+		if err != nil {
+			return 0, err
+		}
+		ref := node.Adapter.Activate("worker", ft.Wrap(rosen.NewWorker(h)))
+		if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+			return 0, err
+		}
+	}
+
+	// Background load on the first `loaded` worker hosts — the hosts the
+	// plain naming service will hand out first, as in the paper's setup
+	// where load lands on machines the unmodified service keeps using.
+	for i := 0; i < loaded && i < c.WorkerHosts; i++ {
+		hosts[1+i].SetBackground(cfg.BackgroundProcs)
+	}
+	env.SampleAll()
+
+	mgrNode, err := env.NewNode(hosts[0].Name())
+	if err != nil {
+		return 0, err
+	}
+	m := rosen.NewManager(mgrNode.ORB, env.NamingClientFor(mgrNode), rosen.Config{
+		N:                 c.N,
+		Workers:           c.Workers,
+		WorkerIterations:  cfg.WorkerIterations,
+		ManagerIterations: cfg.ManagerIterations,
+		Seed:              cfg.Seed,
+		EvalCost:          cfg.EvalCost,
+	}).OnHost(mgrNode.Host)
+
+	res, err := m.Run()
+	if err != nil {
+		return 0, err
+	}
+	return res.Runtime, nil
+}

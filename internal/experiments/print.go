@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderFigure3 prints the Figure 3 reproduction as text series: one block
+// per case with the plain/Winner runtimes per load level and the summary
+// line the paper's section 4 states.
+func RenderFigure3(w io.Writer, series []Figure3Series) {
+	fmt.Fprintln(w, "Figure 3 — runtime of the decomposed Rosenbrock optimization")
+	fmt.Fprintln(w, "(virtual seconds; simulated 10-workstation NOW; background load = 1 process/host)")
+	for _, s := range series {
+		fmt.Fprintf(w, "\ncase %s (dim %d, %d workers, %d worker hosts)\n",
+			s.Case.Label(), s.Case.N, s.Case.Workers, s.Case.WorkerHosts)
+		fmt.Fprintf(w, "  %-18s %14s %16s %12s\n", "hosts with load", "CORBA [s]", "CORBA/Winner [s]", "reduction")
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "  %-18d %14.1f %16.1f %11.1f%%\n", p.Loaded, p.Plain, p.Winner, p.Reduction())
+		}
+		sum := s.Summarize()
+		fmt.Fprintf(w, "  summary: best reduction %.1f%%, average %.1f%%, never worse: %v\n",
+			sum.BestReduction, sum.AvgReduction, sum.NeverWorse)
+	}
+}
+
+// RenderTable1 prints the Table 1 reproduction: runtimes with and without
+// fault-tolerant proxies across worker iteration budgets.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1 — runtimes for the 100-dimensional Rosenbrock function with 7 workers")
+	fmt.Fprintln(w, "(wall-clock seconds on loopback TCP; proxies checkpoint after every call)")
+	fmt.Fprintf(w, "  %-12s %18s %15s %12s %13s\n", "iterations", "runtime w/o proxy", "runtime w/ proxy", "overhead", "checkpoints")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-12d %17.3fs %14.3fs %11.1f%% %13d\n",
+			r.Iterations, r.Plain, r.Proxy, r.OverheadPct(), r.Checkpoints)
+	}
+}
+
+// RenderSeparator prints a visual divider.
+func RenderSeparator(w io.Writer) {
+	fmt.Fprintln(w, strings.Repeat("-", 78))
+}

@@ -1,0 +1,97 @@
+// Package ft implements the paper's fault-tolerance contribution:
+// client-side proxy classes that checkpoint a server object's state after
+// each successful method call and, on CORBA::COMM_FAILURE, obtain a fresh
+// reference from the naming service (getting load-aware placement for
+// free), restore the last checkpoint into the new server object, and
+// replay the failed call. The same recovery wraps DII deferred requests
+// via request proxies, and a checkpoint storage service holds the state
+// blobs (memory-backed like the paper's prototype, or disk-backed — the
+// persistence the paper lists as future work).
+package ft
+
+import (
+	"repro/internal/cdr"
+	"repro/internal/orb"
+)
+
+// Checkpointing operations every fault-tolerant service exposes. The
+// underscore prefix mirrors CORBA's reserved pseudo-operations; the
+// Wrapper adds them to any servant.
+const (
+	// OpCheckpoint returns the servant's serialized state.
+	OpCheckpoint = "_get_checkpoint"
+	// OpRestore replaces the servant's state with a serialized blob.
+	OpRestore = "_restore"
+)
+
+// Checkpointable is the state contract a service implementation provides
+// so its servant can be wrapped: serialize the internal state, and replace
+// it from a serialized blob (the paper's "method to create a checkpoint
+// for restarting the service").
+type Checkpointable interface {
+	Checkpoint() ([]byte, error)
+	Restore(data []byte) error
+}
+
+// ExCheckpointFailed is raised when a servant cannot produce or apply a
+// checkpoint.
+const ExCheckpointFailed = "IDL:repro/FT/CheckpointFailed:1.0"
+
+// Wrapper extends any servant with the checkpointing operations. Business
+// operations pass through to Inner; OpCheckpoint/OpRestore go to State.
+// Inner and State are typically the same object.
+type Wrapper struct {
+	Inner orb.Servant
+	State Checkpointable
+}
+
+// Wrap builds a Wrapper for a servant that implements both orb.Servant and
+// Checkpointable.
+func Wrap[S interface {
+	orb.Servant
+	Checkpointable
+}](s S) *Wrapper {
+	return &Wrapper{Inner: s, State: s}
+}
+
+// TypeID implements orb.Servant.
+func (w *Wrapper) TypeID() string { return w.Inner.TypeID() }
+
+// Invoke implements orb.Servant.
+func (w *Wrapper) Invoke(ctx *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+	switch op {
+	case OpCheckpoint:
+		data, err := w.State.Checkpoint()
+		if err != nil {
+			return &orb.UserException{RepoID: ExCheckpointFailed, Detail: err.Error()}
+		}
+		out.PutBytes(data)
+		return nil
+	case OpRestore:
+		data := in.GetBytes()
+		if err := in.Err(); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		if err := w.State.Restore(data); err != nil {
+			return &orb.UserException{RepoID: ExCheckpointFailed, Detail: err.Error()}
+		}
+		return nil
+	default:
+		return w.Inner.Invoke(ctx, op, in, out)
+	}
+}
+
+// FetchCheckpoint pulls the current state blob from the servant at ref.
+func FetchCheckpoint(o *orb.ORB, ref orb.ObjectRef) ([]byte, error) {
+	var data []byte
+	err := o.Invoke(ref, OpCheckpoint, nil, func(d *cdr.Decoder) error {
+		data = d.GetBytes()
+		return d.Err()
+	})
+	return data, err
+}
+
+// PushRestore installs a state blob into the servant at ref.
+func PushRestore(o *orb.ORB, ref orb.ObjectRef, data []byte) error {
+	return o.Invoke(ref, OpRestore, func(e *cdr.Encoder) { e.PutBytes(data) }, nil)
+}

@@ -1,0 +1,169 @@
+package ft
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/naming"
+	"repro/internal/orb"
+)
+
+// Pinger probes an object reference for liveness; orb.ORB satisfies it
+// (GIOP LocateRequest underneath).
+type Pinger interface {
+	Ping(ref orb.ObjectRef) error
+}
+
+// DetectorOptions tune a Detector.
+type DetectorOptions struct {
+	// Suspicions is how many consecutive failed probes declare an offer
+	// dead (default 2; transient hiccups shouldn't unbind servers).
+	Suspicions int
+	// Period is the probe interval for the background loop (default 1s).
+	Period time.Duration
+}
+
+// Detector is a proactive failure detector for group bindings: it probes
+// every offer of a set of names and unbinds offers that stay unreachable,
+// so the naming service stops handing out dead references *before* a
+// client trips over COMM_FAILURE. The paper's proxies recover reactively;
+// systems it compares against (Piranha) monitor proactively — the
+// detector provides that complementary path with no ORB extensions,
+// exactly in the spirit of the paper's portability argument.
+type Detector struct {
+	pinger Pinger
+	nsList OfferLister
+	nsBind Unbinder
+	opts   DetectorOptions
+
+	mu        sync.Mutex
+	names     []naming.Name
+	suspicion map[string]int // offer key -> consecutive failures
+	removed   int
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	started  bool
+}
+
+// NewDetector builds a detector probing with pinger and editing bindings
+// through the naming client (which satisfies both OfferLister and
+// Unbinder).
+func NewDetector(pinger Pinger, ns interface {
+	OfferLister
+	Unbinder
+}, opts DetectorOptions) *Detector {
+	if opts.Suspicions <= 0 {
+		opts.Suspicions = 2
+	}
+	if opts.Period <= 0 {
+		opts.Period = time.Second
+	}
+	return &Detector{
+		pinger:    pinger,
+		nsList:    ns,
+		nsBind:    ns,
+		opts:      opts,
+		suspicion: make(map[string]int),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Watch adds a group name to the probe set.
+func (d *Detector) Watch(name naming.Name) {
+	d.mu.Lock()
+	d.names = append(d.names, name)
+	d.mu.Unlock()
+}
+
+// Removed returns how many dead offers the detector has unbound.
+func (d *Detector) Removed() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.removed
+}
+
+// offerKey identifies an offer within a name for suspicion counting.
+func offerKey(name naming.Name, ref orb.ObjectRef) string {
+	return name.String() + "|" + ref.Addr + "|" + ref.Key
+}
+
+// Step probes every watched offer once and unbinds those whose suspicion
+// counter reaches the threshold. It returns the number of offers unbound
+// in this step. Tests and simulations call Step directly; production use
+// runs Start.
+func (d *Detector) Step() int {
+	d.mu.Lock()
+	names := append([]naming.Name(nil), d.names...)
+	d.mu.Unlock()
+
+	unbound := 0
+	for _, name := range names {
+		offers, err := d.nsList.ListOffers(name)
+		if err != nil {
+			continue
+		}
+		for _, o := range offers {
+			key := offerKey(name, o.Ref)
+			if err := d.pinger.Ping(o.Ref); err == nil {
+				d.mu.Lock()
+				delete(d.suspicion, key)
+				d.mu.Unlock()
+				continue
+			}
+			d.mu.Lock()
+			d.suspicion[key]++
+			guilty := d.suspicion[key] >= d.opts.Suspicions
+			if guilty {
+				delete(d.suspicion, key)
+			}
+			d.mu.Unlock()
+			if guilty {
+				if err := d.nsBind.UnbindOffer(name, o.Ref); err == nil {
+					d.mu.Lock()
+					d.removed++
+					d.mu.Unlock()
+					unbound++
+				}
+			}
+		}
+	}
+	return unbound
+}
+
+// Start launches the periodic probe loop. Start is idempotent.
+func (d *Detector) Start() {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.mu.Unlock()
+	go func() {
+		defer close(d.done)
+		t := time.NewTicker(d.opts.Period)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				d.Step()
+			case <-d.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the probe loop and waits for it to exit.
+func (d *Detector) Stop() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.mu.Lock()
+	started := d.started
+	d.mu.Unlock()
+	if started {
+		<-d.done
+	}
+}

@@ -1,0 +1,78 @@
+package ft
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cdr"
+	"repro/internal/orb"
+)
+
+// FactoryTypeID is the repository id of the service factory interface.
+const FactoryTypeID = "IDL:repro/FT/ServiceFactory:1.0"
+
+// ExCreateFailed is raised when a factory cannot create a servant.
+const ExCreateFailed = "IDL:repro/FT/CreateFailed:1.0"
+
+const opCreate = "_create"
+
+// Factory creates fresh servants of one service type — the "start a new
+// server (using the checkpoint)" half of the paper's restart story when no
+// standby instance is already running. A factory servant runs on each host
+// willing to accept restarted services.
+type Factory struct {
+	adapter *orb.Adapter
+	make    func() orb.Servant
+	prefix  string
+	counter atomic.Uint64
+
+	mu      sync.Mutex
+	created []orb.ObjectRef
+}
+
+// NewFactory builds a factory that activates servants produced by make on
+// adapter, under object keys derived from prefix.
+func NewFactory(adapter *orb.Adapter, prefix string, make func() orb.Servant) *Factory {
+	return &Factory{adapter: adapter, make: make, prefix: prefix}
+}
+
+// TypeID implements orb.Servant.
+func (f *Factory) TypeID() string { return FactoryTypeID }
+
+// Created returns the references created so far.
+func (f *Factory) Created() []orb.ObjectRef {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]orb.ObjectRef, len(f.created))
+	copy(out, f.created)
+	return out
+}
+
+// Invoke implements orb.Servant.
+func (f *Factory) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+	if op != opCreate {
+		return orb.BadOperation(op)
+	}
+	sv := f.make()
+	if sv == nil {
+		return &orb.UserException{RepoID: ExCreateFailed, Detail: "factory returned no servant"}
+	}
+	key := fmt.Sprintf("%s-%d", f.prefix, f.counter.Add(1))
+	ref := f.adapter.Activate(key, sv)
+	f.mu.Lock()
+	f.created = append(f.created, ref)
+	f.mu.Unlock()
+	ref.MarshalCDR(out)
+	return nil
+}
+
+// CreateViaFactory asks the factory at factoryRef to create a new servant
+// and returns its reference.
+func CreateViaFactory(o *orb.ORB, factoryRef orb.ObjectRef) (orb.ObjectRef, error) {
+	var ref orb.ObjectRef
+	err := o.Invoke(factoryRef, opCreate, nil, func(d *cdr.Decoder) error {
+		return ref.UnmarshalCDR(d)
+	})
+	return ref, err
+}

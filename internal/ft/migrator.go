@@ -1,0 +1,113 @@
+package ft
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/naming"
+)
+
+// OfferLister reads the offers of a group binding (naming.Client
+// satisfies it).
+type OfferLister interface {
+	ListOffers(name naming.Name) ([]naming.Offer, error)
+}
+
+// MigratorOptions tune a Migrator.
+type MigratorOptions struct {
+	// MinImprovement is the factor by which a candidate host's effective
+	// speed must beat the current host's before migrating (default 1.5 —
+	// migration costs a checkpoint transfer, so don't chase noise).
+	MinImprovement float64
+}
+
+// Migrator implements the paper's load-triggered migration extension
+// ("it is in principle possible to migrate a service from one host to
+// another one ... also due to a changing load situation"): it compares
+// the proxy's current host against the other offers using Winner load
+// data and migrates the service state when a sufficiently better host
+// exists. Decisions are pull-based — call Step whenever a reassessment is
+// wanted (a timer, after N calls, after a load alarm).
+type Migrator struct {
+	proxy  *Proxy
+	offers OfferLister
+	ranker RankedLoads
+	opts   MigratorOptions
+
+	mu         sync.Mutex
+	migrations int
+}
+
+// RankedLoads provides per-host effective speeds for migration decisions.
+// winner.Manager and winner.Client both satisfy it via HostInfo.
+type RankedLoads interface {
+	HostEffectiveSpeed(host string) (float64, bool)
+}
+
+// NewMigrator builds a migrator for proxy using the naming service's
+// offer list and Winner load data.
+func NewMigrator(proxy *Proxy, offers OfferLister, loads RankedLoads, opts MigratorOptions) *Migrator {
+	if opts.MinImprovement <= 1 {
+		opts.MinImprovement = 1.5
+	}
+	return &Migrator{proxy: proxy, offers: offers, ranker: loads, opts: opts}
+}
+
+// Migrations returns the number of migrations performed.
+func (m *Migrator) Migrations() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.migrations
+}
+
+// Step reassesses placement once: if another offer's host is at least
+// MinImprovement times faster than the current one, the service state is
+// migrated there. It returns the new host name ("" if no migration
+// happened).
+func (m *Migrator) Step() (string, error) {
+	cur := m.proxy.Ref()
+	offers, err := m.offers.ListOffers(m.proxy.name)
+	if err != nil {
+		return "", fmt.Errorf("ft: migrator: list offers: %w", err)
+	}
+	var curHost string
+	for _, o := range offers {
+		if o.Ref == cur {
+			curHost = o.Host
+		}
+	}
+	if curHost == "" {
+		// The current reference is not among the offers (e.g. obtained
+		// via a factory); nothing to compare against.
+		return "", nil
+	}
+	curEff, ok := m.ranker.HostEffectiveSpeed(curHost)
+	if !ok {
+		return "", nil
+	}
+	var best naming.Offer
+	bestEff := curEff
+	for _, o := range offers {
+		if o.Ref == cur || o.Host == "" {
+			continue
+		}
+		eff, ok := m.ranker.HostEffectiveSpeed(o.Host)
+		if !ok {
+			continue
+		}
+		if eff > bestEff || (eff == bestEff && best.Host != "" && o.Host < best.Host) {
+			best = o
+			bestEff = eff
+		}
+	}
+	if best.Host == "" || bestEff < curEff*m.opts.MinImprovement {
+		return "", nil
+	}
+	if err := m.proxy.Migrate(best.Ref); err != nil {
+		return "", fmt.Errorf("ft: migrator: %w", err)
+	}
+	m.mu.Lock()
+	m.migrations++
+	m.mu.Unlock()
+	return best.Host, nil
+}

@@ -1,0 +1,324 @@
+package ft
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cdr"
+	"repro/internal/naming"
+	"repro/internal/orb"
+)
+
+// Resolver obtains a (fresh) object reference for a service name — the
+// naming service indirection the proxy uses for recovery. naming.Client
+// satisfies it.
+type Resolver interface {
+	Resolve(name naming.Name) (orb.ObjectRef, error)
+}
+
+// Unbinder removes a dead offer from a group binding so the naming
+// service stops handing out references to a crashed server. Optional;
+// naming.Client satisfies it.
+type Unbinder interface {
+	UnbindOffer(name naming.Name, ref orb.ObjectRef) error
+}
+
+// Policy tunes proxy behaviour.
+type Policy struct {
+	// CheckpointEvery stores a checkpoint after every Nth successful
+	// call. 1 (the paper's default) checkpoints after each call; 0
+	// disables checkpointing (stateless services).
+	CheckpointEvery int
+	// MaxRecoveries bounds recovery attempts per call (default 3).
+	MaxRecoveries int
+	// RecoverOn classifies errors as triggering recovery. The default
+	// recovers on COMM_FAILURE (the paper's trigger) and OBJECT_NOT_EXIST
+	// (server restarted without state).
+	RecoverOn func(error) bool
+	// StrictCheckpoint makes a failed post-call checkpoint fail the call.
+	// Off by default: the business result is already known; the failure
+	// is still counted in Stats.
+	StrictCheckpoint bool
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxRecoveries == 0 {
+		p.MaxRecoveries = 3
+	}
+	if p.RecoverOn == nil {
+		p.RecoverOn = func(err error) bool {
+			return orb.IsCommFailure(err) || orb.IsSystemException(err, orb.ExObjectNotExist)
+		}
+	}
+	return p
+}
+
+// Stats are cumulative proxy counters.
+type Stats struct {
+	Calls              uint64 // successful business calls
+	Checkpoints        uint64 // checkpoints stored
+	CheckpointFailures uint64 // checkpoint attempts that failed
+	Recoveries         uint64 // successful recoveries (re-resolve+restore)
+	Replays            uint64 // calls re-issued after recovery
+}
+
+// RecoveryError reports that a call failed and every recovery attempt was
+// exhausted.
+type RecoveryError struct {
+	Op       string
+	Attempts int
+	Last     error
+}
+
+func (e *RecoveryError) Error() string {
+	return fmt.Sprintf("ft: %s failed after %d recovery attempts: %v", e.Op, e.Attempts, e.Last)
+}
+
+func (e *RecoveryError) Unwrap() error { return e.Last }
+
+// Proxy is the paper's client-side proxy class, generalized: it stands in
+// for the IDL stub, forwards every operation, checkpoints the server state
+// after successful calls, and on failure re-resolves the service name,
+// restores the last checkpoint into the fresh server object and replays
+// the call. Proxies are safe for concurrent use; recovery is serialized.
+type Proxy struct {
+	orb      *orb.ORB
+	name     naming.Name
+	resolver Resolver
+	store    Store
+	unbinder Unbinder
+	policy   Policy
+
+	mu        sync.Mutex
+	ref       orb.ObjectRef
+	epoch     uint64
+	sinceCkpt int
+	stats     Stats
+
+	// recoverMu serializes whole recovery sequences.
+	recoverMu sync.Mutex
+}
+
+// ProxyOption customizes a Proxy.
+type ProxyOption func(*Proxy)
+
+// WithUnbinder lets the proxy remove dead offers from the naming service
+// during recovery.
+func WithUnbinder(u Unbinder) ProxyOption {
+	return func(p *Proxy) { p.unbinder = u }
+}
+
+// WithInitialRef skips the initial resolve and starts at ref.
+func WithInitialRef(ref orb.ObjectRef) ProxyOption {
+	return func(p *Proxy) { p.ref = ref }
+}
+
+// NewProxy builds a proxy for the service registered under name. Unless
+// WithInitialRef is given, the name is resolved immediately.
+func NewProxy(o *orb.ORB, name naming.Name, resolver Resolver, store Store, policy Policy, opts ...ProxyOption) (*Proxy, error) {
+	p := &Proxy{
+		orb:      o,
+		name:     name,
+		resolver: resolver,
+		store:    store,
+		policy:   policy.withDefaults(),
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	if p.ref.IsNil() {
+		ref, err := resolver.Resolve(name)
+		if err != nil {
+			return nil, fmt.Errorf("ft: initial resolve of %s: %w", name, err)
+		}
+		p.ref = ref
+	}
+	if p.store != nil {
+		// Adopt any pre-existing checkpoint epoch so our next Put is
+		// newer (a previous proxy incarnation may have written some).
+		if epoch, _, err := p.store.Get(p.key()); err == nil {
+			p.epoch = epoch
+		}
+	}
+	return p, nil
+}
+
+// key is the checkpoint key: the service name.
+func (p *Proxy) key() string { return p.name.String() }
+
+// Ref returns the reference currently used.
+func (p *Proxy) Ref() orb.ObjectRef {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ref
+}
+
+// Stats returns a snapshot of the proxy counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Invoke performs op through the proxy: forward, checkpoint on success,
+// recover and replay on failure. It has the same signature as orb.Invoke,
+// so switching a client from the plain stub to the proxy is the one-line
+// change the paper advertises.
+func (p *Proxy) Invoke(op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
+	ref := p.Ref()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := p.orb.Invoke(ref, op, writeArgs, readReply)
+		if err == nil {
+			return p.afterSuccess(ref, op)
+		}
+		if !p.policy.RecoverOn(err) {
+			return err
+		}
+		lastErr = err
+		if attempt >= p.policy.MaxRecoveries {
+			return &RecoveryError{Op: op, Attempts: attempt, Last: lastErr}
+		}
+		fresh, rerr := p.recoverFrom(ref)
+		if rerr != nil {
+			return &RecoveryError{Op: op, Attempts: attempt + 1, Last: rerr}
+		}
+		ref = fresh
+		p.mu.Lock()
+		p.stats.Replays++
+		p.mu.Unlock()
+	}
+}
+
+// afterSuccess counts the call and checkpoints per policy.
+func (p *Proxy) afterSuccess(ref orb.ObjectRef, op string) error {
+	p.mu.Lock()
+	p.stats.Calls++
+	doCkpt := false
+	if p.policy.CheckpointEvery > 0 {
+		p.sinceCkpt++
+		if p.sinceCkpt >= p.policy.CheckpointEvery {
+			doCkpt = true
+			p.sinceCkpt = 0
+		}
+	}
+	p.mu.Unlock()
+	if !doCkpt {
+		return nil
+	}
+	if err := p.checkpoint(ref); err != nil {
+		p.mu.Lock()
+		p.stats.CheckpointFailures++
+		p.mu.Unlock()
+		if p.policy.StrictCheckpoint {
+			return fmt.Errorf("ft: post-call checkpoint of %s after %s: %w", p.name, op, err)
+		}
+		return nil
+	}
+	return nil
+}
+
+// checkpoint pulls the server state and stores it under the next epoch.
+func (p *Proxy) checkpoint(ref orb.ObjectRef) error {
+	if p.store == nil {
+		return errors.New("ft: no checkpoint store configured")
+	}
+	data, err := FetchCheckpoint(p.orb, ref)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.epoch++
+	epoch := p.epoch
+	p.mu.Unlock()
+	if err := p.store.Put(p.key(), epoch, data); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.stats.Checkpoints++
+	p.mu.Unlock()
+	return nil
+}
+
+// recoverFrom performs the paper's recovery sequence starting from the
+// dead reference: drop the dead offer from the naming service, resolve a
+// fresh reference (the load-aware naming service places the replacement),
+// and restore the last checkpoint into it.
+func (p *Proxy) recoverFrom(dead orb.ObjectRef) (orb.ObjectRef, error) {
+	p.recoverMu.Lock()
+	defer p.recoverMu.Unlock()
+
+	// Another goroutine may have completed recovery while we waited for
+	// the lock; reuse its fresh reference instead of recovering twice.
+	if cur := p.Ref(); cur != dead {
+		return cur, nil
+	}
+
+	if p.unbinder != nil {
+		// Best effort: the offer may already be gone.
+		_ = p.unbinder.UnbindOffer(p.name, dead)
+	}
+	fresh, err := p.resolver.Resolve(p.name)
+	if err != nil {
+		return orb.ObjectRef{}, fmt.Errorf("re-resolve %s: %w", p.name, err)
+	}
+	if err := p.restoreInto(fresh); err != nil {
+		return orb.ObjectRef{}, err
+	}
+	p.mu.Lock()
+	p.ref = fresh
+	p.stats.Recoveries++
+	p.mu.Unlock()
+	return fresh, nil
+}
+
+// restoreInto pushes the newest stored checkpoint into ref. A missing
+// checkpoint is fine (stateless service, or no call completed yet).
+func (p *Proxy) restoreInto(ref orb.ObjectRef) error {
+	if p.store == nil {
+		return nil
+	}
+	epoch, data, err := p.store.Get(p.key())
+	if errors.Is(err, ErrNoCheckpoint) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("fetch checkpoint for %s: %w", p.name, err)
+	}
+	if err := PushRestore(p.orb, ref, data); err != nil {
+		return fmt.Errorf("restore %s into %v: %w", p.name, ref, err)
+	}
+	p.mu.Lock()
+	if epoch > p.epoch {
+		p.epoch = epoch
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// Notify forwards a oneway operation to the current reference. Oneway
+// calls carry no reply, so failure detection — and therefore recovery —
+// does not apply; the call is best-effort by construction.
+func (p *Proxy) Notify(op string, writeArgs func(*cdr.Encoder)) error {
+	return p.orb.Notify(p.Ref(), op, writeArgs)
+}
+
+// Migrate moves the service state to target: checkpoint the current
+// server, restore into target, and switch the proxy over. This is the
+// paper's observation that a checkpoint/restore-capable service "can in
+// principle be migrated from one host to another ... also due to a
+// changing load situation".
+func (p *Proxy) Migrate(target orb.ObjectRef) error {
+	cur := p.Ref()
+	if err := p.checkpoint(cur); err != nil {
+		return fmt.Errorf("ft: migrate checkpoint: %w", err)
+	}
+	if err := p.restoreInto(target); err != nil {
+		return fmt.Errorf("ft: migrate restore: %w", err)
+	}
+	p.mu.Lock()
+	p.ref = target
+	p.mu.Unlock()
+	return nil
+}

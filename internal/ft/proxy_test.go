@@ -1,0 +1,613 @@
+package ft
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/naming"
+	"repro/internal/orb"
+)
+
+// counterServant is a stateful test service: inc(by) returns the new
+// value, get() returns it. State is the single int64.
+type counterServant struct {
+	mu    sync.Mutex
+	value int64
+}
+
+func (c *counterServant) TypeID() string { return "IDL:repro/Counter:1.0" }
+
+func (c *counterServant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch op {
+	case "inc":
+		by := in.GetInt64()
+		if err := in.Err(); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		c.value += by
+		out.PutInt64(c.value)
+		return nil
+	case "get":
+		out.PutInt64(c.value)
+		return nil
+	case "fail_user":
+		return &orb.UserException{RepoID: "IDL:repro/Boom:1.0", Detail: "requested"}
+	default:
+		return orb.BadOperation(op)
+	}
+}
+
+func (c *counterServant) Checkpoint() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := cdr.NewEncoder(8)
+	e.PutInt64(c.value)
+	return e.Bytes(), nil
+}
+
+func (c *counterServant) Restore(data []byte) error {
+	d := cdr.NewDecoder(data)
+	v := d.GetInt64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.value = v
+	c.mu.Unlock()
+	return nil
+}
+
+// ftWorld is a complete fault-tolerance test fixture: a services process
+// (naming + checkpoint store), two server processes each hosting a wrapped
+// counter servant registered as offers of one name, and a client ORB.
+type ftWorld struct {
+	t        *testing.T
+	client   *orb.ORB
+	services *orb.ORB
+	srvA     *orb.ORB
+	srvB     *orb.ORB
+	adA      *orb.Adapter
+	adB      *orb.Adapter
+	ctrA     *counterServant
+	ctrB     *counterServant
+	naming   *naming.Client
+	store    *StoreClient
+	name     naming.Name
+}
+
+func newFTWorld(t *testing.T) *ftWorld {
+	t.Helper()
+	w := &ftWorld{t: t, name: naming.NewName("counter")}
+
+	w.services = orb.New(orb.Options{Name: "services"})
+	t.Cleanup(w.services.Shutdown)
+	svcAd, err := w.services.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := naming.NewRegistry()
+	nsRef := svcAd.Activate(naming.DefaultKey, naming.NewServant(reg, naming.RoundRobinSelector()))
+	storeRef := svcAd.Activate(StoreDefaultKey, NewStoreServant(NewMemStore()))
+
+	w.client = orb.New(orb.Options{Name: "client"})
+	t.Cleanup(w.client.Shutdown)
+	w.naming = naming.NewClient(w.client, nsRef)
+	w.store = NewStoreClient(w.client, storeRef)
+
+	w.srvA = orb.New(orb.Options{Name: "srvA"})
+	t.Cleanup(w.srvA.Shutdown)
+	w.adA, err = w.srvA.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ctrA = &counterServant{}
+	refA := w.adA.Activate("ctr", Wrap(w.ctrA))
+
+	w.srvB = orb.New(orb.Options{Name: "srvB"})
+	t.Cleanup(w.srvB.Shutdown)
+	w.adB, err = w.srvB.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ctrB = &counterServant{}
+	refB := w.adB.Activate("ctr", Wrap(w.ctrB))
+
+	if err := w.naming.BindOffer(w.name, refA, "hostA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.naming.BindOffer(w.name, refB, "hostB"); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func (w *ftWorld) newProxy(policy Policy, opts ...ProxyOption) *Proxy {
+	w.t.Helper()
+	opts = append(opts, WithUnbinder(w.naming))
+	p, err := NewProxy(w.client, w.name, w.naming, w.store, policy, opts...)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return p
+}
+
+func inc(p *Proxy, by int64) (int64, error) {
+	var v int64
+	err := p.Invoke("inc",
+		func(e *cdr.Encoder) { e.PutInt64(by) },
+		func(d *cdr.Decoder) error { v = d.GetInt64(); return d.Err() })
+	return v, err
+}
+
+func TestProxyForwardsCalls(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 1})
+	for i := int64(1); i <= 3; i++ {
+		v, err := inc(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i {
+			t.Fatalf("value = %d, want %d", v, i)
+		}
+	}
+	st := p.Stats()
+	if st.Calls != 3 || st.Checkpoints != 3 || st.Recoveries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProxyCheckpointsLandInStore(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 1})
+	if _, err := inc(p, 41); err != nil {
+		t.Fatal(err)
+	}
+	epoch, data, err := w.store.Get(w.name.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("epoch = %d", epoch)
+	}
+	d := cdr.NewDecoder(data)
+	if got := d.GetInt64(); got != 41 {
+		t.Fatalf("checkpointed value = %d", got)
+	}
+}
+
+func TestProxyRecoversAcrossServerCrash(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 1})
+	// Round-robin resolve: the proxy starts on server A.
+	if _, err := inc(p, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Kill A: the next call hits COMM_FAILURE, recovery resolves B,
+	// restores value=10 there, and replays inc(5) → 15.
+	w.adA.Close()
+	w.srvA.Shutdown()
+	v, err := inc(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 15 {
+		t.Fatalf("value after recovery = %d, want 15", v)
+	}
+	st := p.Stats()
+	if st.Recoveries != 1 || st.Replays != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The dead offer was unbound: only hostB remains.
+	offers, err := w.naming.ListOffers(w.name)
+	if err != nil || len(offers) != 1 || offers[0].Host != "hostB" {
+		t.Fatalf("offers = %+v, %v", offers, err)
+	}
+	// Server B carries the restored state.
+	if w.ctrB.value != 15 {
+		t.Fatalf("ctrB = %d", w.ctrB.value)
+	}
+	// Server A's state is obsolete but untouched (it is dead).
+	if w.ctrA.value != 10 {
+		t.Fatalf("ctrA = %d", w.ctrA.value)
+	}
+}
+
+func TestProxyCrashBeforeAnyCheckpoint(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 1})
+	w.adA.Close()
+	w.srvA.Shutdown()
+	// No checkpoint exists; recovery resolves B and replays against its
+	// zero state — the stateless-service path the paper describes first.
+	v, err := inc(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestProxyCheckpointEveryN(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 3})
+	for i := 0; i < 7; i++ {
+		if _, err := inc(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Checkpoints != 2 { // after calls 3 and 6
+		t.Fatalf("checkpoints = %d", st.Checkpoints)
+	}
+}
+
+func TestProxyNoCheckpointingWhenDisabled(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 0})
+	for i := 0; i < 5; i++ {
+		if _, err := inc(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := p.Stats(); st.Checkpoints != 0 {
+		t.Fatalf("checkpoints = %d", st.Checkpoints)
+	}
+	if _, _, err := w.store.Get(w.name.String()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("store err = %v", err)
+	}
+}
+
+func TestProxyUserExceptionNotRecovered(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 1})
+	err := p.Invoke("fail_user", nil, nil)
+	if !orb.IsUserException(err, "IDL:repro/Boom:1.0") {
+		t.Fatalf("err = %v", err)
+	}
+	if st := p.Stats(); st.Recoveries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProxyRecoveryExhausted(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 1, MaxRecoveries: 2})
+	// Kill both servers: recovery cannot succeed.
+	w.adA.Close()
+	w.srvA.Shutdown()
+	w.adB.Close()
+	w.srvB.Shutdown()
+	_, err := inc(p, 1)
+	var re *RecoveryError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+	// The terminal cause is either the transport failure itself or — once
+	// the proxy has unbound every dead offer — the naming service
+	// reporting that no server is left.
+	cause := errors.Unwrap(re)
+	if !orb.IsCommFailure(cause) && !orb.IsUserException(cause, naming.ExNotFound) {
+		t.Fatalf("unwrapped = %v", cause)
+	}
+}
+
+func TestProxyEpochAdoption(t *testing.T) {
+	w := newFTWorld(t)
+	// Simulate a previous proxy incarnation having stored epoch 9.
+	if err := w.store.Put(w.name.String(), 9, []byte{0, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	p := w.newProxy(Policy{CheckpointEvery: 1})
+	if _, err := inc(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	epoch, _, err := w.store.Get(w.name.String())
+	if err != nil || epoch != 10 {
+		t.Fatalf("epoch = %d, %v", epoch, err)
+	}
+}
+
+func TestProxyStrictCheckpointPropagatesFailure(t *testing.T) {
+	w := newFTWorld(t)
+	// A store that always rejects puts.
+	bad := &rejectingStore{}
+	p, err := NewProxy(w.client, w.name, w.naming, bad, Policy{CheckpointEvery: 1, StrictCheckpoint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc(p, 1); err == nil {
+		t.Fatal("strict checkpoint failure not propagated")
+	}
+	// Non-strict: same failure is absorbed, call succeeds.
+	p2, err := NewProxy(w.client, w.name, w.naming, bad, Policy{CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc(p2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := p2.Stats(); st.CheckpointFailures != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+type rejectingStore struct{}
+
+func (rejectingStore) Put(string, uint64, []byte) error { return errors.New("store full") }
+func (rejectingStore) Get(string) (uint64, []byte, error) {
+	return 0, nil, ErrNoCheckpoint
+}
+func (rejectingStore) Delete(string) error     { return nil }
+func (rejectingStore) Keys() ([]string, error) { return nil, nil }
+
+func TestProxyMigrate(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 1})
+	if _, err := inc(p, 30); err != nil {
+		t.Fatal(err)
+	}
+	// Migrate the service from A to B due to "a changing load situation".
+	offers, err := w.naming.ListOffers(w.name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target orb.ObjectRef
+	for _, o := range offers {
+		if o.Host == "hostB" {
+			target = o.Ref
+		}
+	}
+	if err := p.Migrate(target); err != nil {
+		t.Fatal(err)
+	}
+	if w.ctrB.value != 30 {
+		t.Fatalf("migrated value = %d", w.ctrB.value)
+	}
+	v, err := inc(p, 1)
+	if err != nil || v != 31 {
+		t.Fatalf("post-migration inc = %d, %v", v, err)
+	}
+	if w.ctrA.value != 30 {
+		t.Fatalf("ctrA mutated after migration: %d", w.ctrA.value)
+	}
+}
+
+func TestProxyConcurrentCallsDuringCrash(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 0, MaxRecoveries: 5})
+	if _, err := inc(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	w.adA.Close()
+	w.srvA.Shutdown()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := inc(p, 1)
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.ctrB.value != 8 {
+		t.Fatalf("ctrB = %d, want 8", w.ctrB.value)
+	}
+}
+
+func TestRequestProxyAsyncRecovery(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 1})
+	// Seed state via a sync call (checkpoint lands in the store).
+	if _, err := inc(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	w.adA.Close()
+	w.srvA.Shutdown()
+	req := p.NewRequest("inc")
+	req.Args().PutInt64(1)
+	req.Send()
+	var v int64
+	if err := req.GetResponse(func(d *cdr.Decoder) error { v = d.GetInt64(); return d.Err() }); err != nil {
+		t.Fatal(err)
+	}
+	if v != 101 {
+		t.Fatalf("async recovered value = %d", v)
+	}
+}
+
+func TestRequestProxyNormalFlow(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 1})
+	req := p.NewRequest("inc")
+	req.Args().PutInt64(2)
+	if req.PollResponse() {
+		t.Fatal("poll before send")
+	}
+	req.Send()
+	req.Send() // idempotent
+	var v int64
+	if err := req.GetResponse(func(d *cdr.Decoder) error { v = d.GetInt64(); return d.Err() }); err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("v = %d", v)
+	}
+	if st := p.Stats(); st.Calls != 1 || st.Checkpoints != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProxyWithInitialRef(t *testing.T) {
+	w := newFTWorld(t)
+	offers, err := w.naming.ListOffers(w.name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the proxy to the second offer; no initial resolve happens.
+	p, err := NewProxy(w.client, w.name, w.naming, w.store,
+		Policy{CheckpointEvery: 1}, WithInitialRef(offers[1].Ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ref() != offers[1].Ref {
+		t.Fatalf("ref = %v", p.Ref())
+	}
+	if v, err := inc(p, 3); err != nil || v != 3 {
+		t.Fatalf("inc = %d, %v", v, err)
+	}
+	if w.ctrB.value != 3 {
+		t.Fatalf("call went to the wrong servant: A=%d B=%d", w.ctrA.value, w.ctrB.value)
+	}
+}
+
+func TestProxyNotifyOneway(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{})
+	// The counter servant ignores unknown ops for oneways (no reply), so
+	// just verify the call is written without error.
+	if err := p.Notify("inc", func(e *cdr.Encoder) { e.PutInt64(5) }); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w.ctrA.mu.Lock()
+		v := w.ctrA.value
+		w.ctrA.mu.Unlock()
+		if v == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("oneway never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRequestProxyOperation(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{})
+	if op := p.NewRequest("inc").Operation(); op != "inc" {
+		t.Fatalf("operation = %q", op)
+	}
+	if w.store.Ref().IsNil() {
+		t.Fatal("store ref nil")
+	}
+}
+
+func TestRequestProxyGetBeforeSend(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{})
+	req := p.NewRequest("inc")
+	if err := req.GetResponse(nil); !orb.IsSystemException(err, orb.ExBadOperation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWrapperCheckpointRestoreOps(t *testing.T) {
+	w := newFTWorld(t)
+	offers, err := w.naming.ListOffers(w.name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refA := offers[0].Ref
+	w.ctrA.value = 5
+	data, err := FetchCheckpoint(w.client, refA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ctrA.value = 0
+	if err := PushRestore(w.client, refA, data); err != nil {
+		t.Fatal(err)
+	}
+	if w.ctrA.value != 5 {
+		t.Fatalf("restored = %d", w.ctrA.value)
+	}
+}
+
+func TestWrapperRestoreGarbageFails(t *testing.T) {
+	w := newFTWorld(t)
+	offers, _ := w.naming.ListOffers(w.name)
+	err := PushRestore(w.client, offers[0].Ref, []byte{1, 2, 3})
+	if !orb.IsUserException(err, ExCheckpointFailed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFactoryCreatesServants(t *testing.T) {
+	w := newFTWorld(t)
+	factory := NewFactory(w.adB, "ctr", func() orb.Servant { return Wrap(&counterServant{}) })
+	factoryRef := w.adB.Activate("ctr-factory", factory)
+
+	ref, err := CreateViaFactory(w.client, factoryRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.IsNil() {
+		t.Fatal("nil ref from factory")
+	}
+	// The created servant is live and checkpointable.
+	if err := PushRestore(w.client, ref, mustCheckpoint(t, &counterServant{value: 9})); err != nil {
+		t.Fatal(err)
+	}
+	var v int64
+	if err := w.client.Invoke(ref, "get", nil, func(d *cdr.Decoder) error { v = d.GetInt64(); return d.Err() }); err != nil {
+		t.Fatal(err)
+	}
+	if v != 9 {
+		t.Fatalf("v = %d", v)
+	}
+	if len(factory.Created()) != 1 {
+		t.Fatalf("created = %d", len(factory.Created()))
+	}
+	if err := w.client.Invoke(factoryRef, "bogus", nil, nil); !orb.IsSystemException(err, orb.ExBadOperation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func mustCheckpoint(t *testing.T, c Checkpointable) []byte {
+	t.Helper()
+	data, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestStoreServiceRemote(t *testing.T) {
+	w := newFTWorld(t)
+	if err := w.store.Put("k", 1, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	epoch, data, err := w.store.Get("k")
+	if err != nil || epoch != 1 || string(data) != "v" {
+		t.Fatalf("get = %d %q %v", epoch, data, err)
+	}
+	if err := w.store.Put("k", 1, []byte("v2")); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("err = %v", err)
+	}
+	keys, err := w.store.Keys()
+	if err != nil || len(keys) != 1 || keys[0] != "k" {
+		t.Fatalf("keys = %v, %v", keys, err)
+	}
+	if err := w.store.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.store.Get("k"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v", err)
+	}
+}

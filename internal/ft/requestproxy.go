@@ -1,0 +1,83 @@
+package ft
+
+import (
+	"repro/internal/cdr"
+	"repro/internal/orb"
+)
+
+// RequestProxy is the fault-tolerant counterpart of orb.Request: the
+// paper's "request proxies are used just like the object proxies" for DII
+// asynchronous invocations. The argument stream is retained so the request
+// can be replayed transparently against a recovered server object.
+type RequestProxy struct {
+	proxy *Proxy
+	op    string
+	args  *cdr.Encoder
+	req   *orb.Request
+}
+
+// NewRequest creates a deferred request for op through the proxy.
+func (p *Proxy) NewRequest(op string) *RequestProxy {
+	return &RequestProxy{proxy: p, op: op, args: cdr.NewEncoder(128)}
+}
+
+// Operation returns the operation name.
+func (r *RequestProxy) Operation() string { return r.op }
+
+// Args exposes the argument encoder. Write all arguments before Send.
+func (r *RequestProxy) Args() *cdr.Encoder { return r.args }
+
+// send issues a fresh underlying DII request against ref.
+func (r *RequestProxy) send(ref orb.ObjectRef) {
+	req := r.proxy.orb.CreateRequest(ref, r.op)
+	req.Args().PutRaw(r.args.Bytes())
+	req.Send()
+	r.req = req
+}
+
+// Send initiates the invocation without blocking. Calling Send twice is a
+// no-op.
+func (r *RequestProxy) Send() {
+	if r.req != nil {
+		return
+	}
+	r.send(r.proxy.Ref())
+}
+
+// PollResponse reports whether the (current) underlying request finished.
+func (r *RequestProxy) PollResponse() bool {
+	return r.req != nil && r.req.PollResponse()
+}
+
+// GetResponse waits for the response, driving checkpoint-on-success and
+// recover-and-replay-on-failure exactly like Proxy.Invoke. The replayed
+// request is re-sent asynchronously against the recovered server.
+func (r *RequestProxy) GetResponse(readReply func(*cdr.Decoder) error) error {
+	if r.req == nil {
+		return &orb.SystemException{Kind: orb.ExBadOperation, Detail: "GetResponse before Send"}
+	}
+	p := r.proxy
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		ref := r.req.Ref()
+		err := r.req.GetResponse(readReply)
+		if err == nil {
+			return p.afterSuccess(ref, r.op)
+		}
+		if !p.policy.RecoverOn(err) {
+			return err
+		}
+		lastErr = err
+		if attempt >= p.policy.MaxRecoveries {
+			return &RecoveryError{Op: r.op, Attempts: attempt, Last: lastErr}
+		}
+		fresh, rerr := p.recoverFrom(ref)
+		if rerr != nil {
+			return &RecoveryError{Op: r.op, Attempts: attempt + 1, Last: rerr}
+		}
+		p.mu.Lock()
+		p.stats.Replays++
+		p.mu.Unlock()
+		r.send(fresh)
+	}
+}

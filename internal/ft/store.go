@@ -1,0 +1,208 @@
+package ft
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/cdr"
+)
+
+// ErrNoCheckpoint is returned by Get for keys with no stored checkpoint.
+var ErrNoCheckpoint = errors.New("ft: no checkpoint stored")
+
+// ErrStaleEpoch is returned by Put when a newer checkpoint already exists.
+var ErrStaleEpoch = errors.New("ft: stale checkpoint epoch")
+
+// Store persists the latest checkpoint per key. Epochs order checkpoints
+// of one key; a Put with an epoch not newer than the stored one fails with
+// ErrStaleEpoch, so late writes from a superseded proxy cannot roll state
+// back. Implementations must be safe for concurrent use.
+type Store interface {
+	// Put stores data as the checkpoint for key at epoch.
+	Put(key string, epoch uint64, data []byte) error
+	// Get returns the newest checkpoint for key.
+	Get(key string) (epoch uint64, data []byte, err error)
+	// Delete removes key's checkpoint (idempotent).
+	Delete(key string) error
+	// Keys lists all keys with checkpoints, sorted.
+	Keys() ([]string, error)
+}
+
+// MemStore is the in-memory store — the paper's prototype ("no real
+// persistency like storing checkpoints on disk media has been
+// implemented, yet").
+type MemStore struct {
+	mu   sync.RWMutex
+	data map[string]memEntry
+}
+
+type memEntry struct {
+	epoch uint64
+	data  []byte
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{data: make(map[string]memEntry)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key string, epoch uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.data[key]; ok && epoch <= cur.epoch {
+		return fmt.Errorf("%w: key %q epoch %d <= stored %d", ErrStaleEpoch, key, epoch, cur.epoch)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.data[key] = memEntry{epoch: epoch, data: cp}
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) (uint64, []byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.data[key]
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: key %q", ErrNoCheckpoint, key)
+	}
+	cp := make([]byte, len(e.data))
+	copy(cp, e.data)
+	return e.epoch, cp, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	s.mu.Lock()
+	delete(s.data, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// Keys implements Store.
+func (s *MemStore) Keys() ([]string, error) {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out, nil
+}
+
+// DiskStore persists checkpoints as one file per key under a directory —
+// the real persistence the paper defers to future work. Writes are
+// write-to-temp + rename, so a crash mid-write never corrupts the previous
+// checkpoint.
+type DiskStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewDiskStore opens (creating if needed) a disk-backed store in dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ft: disk store: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// path hex-encodes the key so arbitrary service names map to safe file
+// names.
+func (s *DiskStore) path(key string) string {
+	return filepath.Join(s.dir, hex.EncodeToString([]byte(key))+".ckpt")
+}
+
+func encodeCheckpointFile(epoch uint64, data []byte) []byte {
+	e := cdr.NewEncoder(16 + len(data))
+	e.PutUint64(epoch)
+	e.PutBytes(data)
+	return e.Bytes()
+}
+
+func decodeCheckpointFile(raw []byte) (uint64, []byte, error) {
+	d := cdr.NewDecoder(raw)
+	epoch := d.GetUint64()
+	data := d.GetBytes()
+	if err := d.Err(); err != nil {
+		return 0, nil, fmt.Errorf("ft: corrupt checkpoint file: %w", err)
+	}
+	return epoch, data, nil
+}
+
+// Put implements Store.
+func (s *DiskStore) Put(key string, epoch uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.path(key)
+	if raw, err := os.ReadFile(p); err == nil {
+		cur, _, derr := decodeCheckpointFile(raw)
+		if derr == nil && epoch <= cur {
+			return fmt.Errorf("%w: key %q epoch %d <= stored %d", ErrStaleEpoch, key, epoch, cur)
+		}
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, encodeCheckpointFile(epoch, data), 0o644); err != nil {
+		return fmt.Errorf("ft: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return fmt.Errorf("ft: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *DiskStore) Get(key string) (uint64, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil, fmt.Errorf("%w: key %q", ErrNoCheckpoint, key)
+		}
+		return 0, nil, fmt.Errorf("ft: read checkpoint: %w", err)
+	}
+	return decodeCheckpointFile(raw)
+}
+
+// Delete implements Store.
+func (s *DiskStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := os.Remove(s.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("ft: delete checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Keys implements Store.
+func (s *DiskStore) Keys() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ft: list checkpoints: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) != ".ckpt" {
+			continue
+		}
+		raw, err := hex.DecodeString(name[:len(name)-len(".ckpt")])
+		if err != nil {
+			continue
+		}
+		out = append(out, string(raw))
+	}
+	sort.Strings(out)
+	return out, nil
+}

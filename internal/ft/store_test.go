@@ -1,0 +1,272 @@
+package ft
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// storeImpls enumerates the Store implementations under test.
+func storeImpls(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{
+		"mem":  NewMemStore(),
+		"disk": disk,
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put("svc", 1, []byte("state-1")); err != nil {
+				t.Fatal(err)
+			}
+			epoch, data, err := s.Get("svc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if epoch != 1 || string(data) != "state-1" {
+				t.Fatalf("got %d %q", epoch, data)
+			}
+		})
+	}
+}
+
+func TestStoreNewerEpochReplaces(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put("svc", 1, []byte("old")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("svc", 2, []byte("new")); err != nil {
+				t.Fatal(err)
+			}
+			epoch, data, _ := s.Get("svc")
+			if epoch != 2 || string(data) != "new" {
+				t.Fatalf("got %d %q", epoch, data)
+			}
+		})
+	}
+}
+
+func TestStoreStaleEpochRejected(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put("svc", 5, []byte("v5")); err != nil {
+				t.Fatal(err)
+			}
+			err := s.Put("svc", 5, []byte("v5-again"))
+			if !errors.Is(err, ErrStaleEpoch) {
+				t.Fatalf("err = %v", err)
+			}
+			err = s.Put("svc", 4, []byte("v4"))
+			if !errors.Is(err, ErrStaleEpoch) {
+				t.Fatalf("err = %v", err)
+			}
+			_, data, _ := s.Get("svc")
+			if string(data) != "v5" {
+				t.Fatalf("state rolled back to %q", data)
+			}
+		})
+	}
+}
+
+func TestStoreGetMissing(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := s.Get("ghost"); !errors.Is(err, ErrNoCheckpoint) {
+				t.Fatalf("err = %v", err)
+			}
+		})
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put("svc", 1, []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete("svc"); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := s.Get("svc"); !errors.Is(err, ErrNoCheckpoint) {
+				t.Fatalf("err = %v", err)
+			}
+			if err := s.Delete("svc"); err != nil {
+				t.Fatalf("delete not idempotent: %v", err)
+			}
+		})
+	}
+}
+
+func TestStoreKeys(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, k := range []string{"b", "a", "c/with.weird\\chars"} {
+				if err := s.Put(k, 1, []byte(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			keys, err := s.Keys()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"a", "b", "c/with.weird\\chars"}
+			if len(keys) != len(want) {
+				t.Fatalf("keys = %v", keys)
+			}
+			for i := range want {
+				if keys[i] != want[i] {
+					t.Fatalf("keys = %v", keys)
+				}
+			}
+		})
+	}
+}
+
+func TestStoreEmptyKeys(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			keys, err := s.Keys()
+			if err != nil || len(keys) != 0 {
+				t.Fatalf("keys = %v, %v", keys, err)
+			}
+		})
+	}
+}
+
+func TestMemStoreReturnsCopies(t *testing.T) {
+	s := NewMemStore()
+	orig := []byte("abc")
+	if err := s.Put("k", 1, orig); err != nil {
+		t.Fatal(err)
+	}
+	orig[0] = 'X' // caller mutates its buffer afterwards
+	_, data, _ := s.Get("k")
+	if string(data) != "abc" {
+		t.Fatalf("store aliased caller buffer: %q", data)
+	}
+	data[0] = 'Y' // reader mutates the returned buffer
+	_, data2, _ := s.Get("k")
+	if string(data2) != "abc" {
+		t.Fatalf("store aliased reader buffer: %q", data2)
+	}
+}
+
+func TestDiskStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("svc", 7, []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, data, err := s2.Get("svc")
+	if err != nil || epoch != 7 || string(data) != "persisted" {
+		t.Fatalf("got %d %q %v", epoch, data, err)
+	}
+}
+
+func TestDiskStoreCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("svc", 1, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the file to corrupt it.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte{1, 2}, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.Get("svc"); err == nil {
+		t.Fatal("corrupt checkpoint read succeeded")
+	}
+}
+
+func TestDiskStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "zz-not-hex.ckpt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("real", 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.Keys()
+	if err != nil || len(keys) != 1 || keys[0] != "real" {
+		t.Fatalf("keys = %v, %v", keys, err)
+	}
+}
+
+// Property: for any sequence of monotone puts, Get returns the last one —
+// on both implementations.
+func TestQuickStoreLastWriteWins(t *testing.T) {
+	for name, mk := range map[string]func(t *testing.T) Store{
+		"mem": func(*testing.T) Store { return NewMemStore() },
+		"disk": func(t *testing.T) Store {
+			s, err := NewDiskStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			f := func(blobs [][]byte) bool {
+				if len(blobs) > 12 {
+					blobs = blobs[:12]
+				}
+				s := mk(t)
+				for i, b := range blobs {
+					if err := s.Put("k", uint64(i+1), b); err != nil {
+						return false
+					}
+				}
+				if len(blobs) == 0 {
+					_, _, err := s.Get("k")
+					return errors.Is(err, ErrNoCheckpoint)
+				}
+				epoch, data, err := s.Get("k")
+				if err != nil || epoch != uint64(len(blobs)) {
+					return false
+				}
+				last := blobs[len(blobs)-1]
+				if len(data) != len(last) {
+					return false
+				}
+				for i := range last {
+					if data[i] != last[i] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,161 @@
+package ft
+
+import (
+	"errors"
+
+	"repro/internal/cdr"
+	"repro/internal/orb"
+)
+
+// StoreTypeID is the repository id of the checkpoint storage service.
+const StoreTypeID = "IDL:repro/FT/CheckpointStore:1.0"
+
+// StoreDefaultKey is the conventional object key of the store service.
+const StoreDefaultKey = "CheckpointStore"
+
+// User-exception repository ids of the store service.
+const (
+	ExNoCheckpoint = "IDL:repro/FT/NoCheckpoint:1.0"
+	ExStaleEpoch   = "IDL:repro/FT/StaleEpoch:1.0"
+)
+
+// Operation names of the store wire contract.
+const (
+	opPut    = "put"
+	opGet    = "get"
+	opDelete = "delete"
+	opKeys   = "keys"
+)
+
+// StoreServant exposes any Store as the paper's checkpoint storage
+// service ("a simple service for storing checkpointing data ... functions
+// to store/retrieve arbitrary values").
+type StoreServant struct {
+	store Store
+}
+
+// NewStoreServant wraps store.
+func NewStoreServant(store Store) *StoreServant { return &StoreServant{store: store} }
+
+// TypeID implements orb.Servant.
+func (s *StoreServant) TypeID() string { return StoreTypeID }
+
+// Invoke implements orb.Servant.
+func (s *StoreServant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+	switch op {
+	case opPut:
+		key := in.GetString()
+		epoch := in.GetUint64()
+		data := in.GetBytes()
+		if err := in.Err(); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		if err := s.store.Put(key, epoch, data); err != nil {
+			if errors.Is(err, ErrStaleEpoch) {
+				return &orb.UserException{RepoID: ExStaleEpoch, Detail: err.Error()}
+			}
+			return &orb.SystemException{Kind: orb.ExInternal, Detail: err.Error()}
+		}
+		return nil
+
+	case opGet:
+		key := in.GetString()
+		if err := in.Err(); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		epoch, data, err := s.store.Get(key)
+		if err != nil {
+			if errors.Is(err, ErrNoCheckpoint) {
+				return &orb.UserException{RepoID: ExNoCheckpoint, Detail: err.Error()}
+			}
+			return &orb.SystemException{Kind: orb.ExInternal, Detail: err.Error()}
+		}
+		out.PutUint64(epoch)
+		out.PutBytes(data)
+		return nil
+
+	case opDelete:
+		key := in.GetString()
+		if err := in.Err(); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		if err := s.store.Delete(key); err != nil {
+			return &orb.SystemException{Kind: orb.ExInternal, Detail: err.Error()}
+		}
+		return nil
+
+	case opKeys:
+		keys, err := s.store.Keys()
+		if err != nil {
+			return &orb.SystemException{Kind: orb.ExInternal, Detail: err.Error()}
+		}
+		out.PutStringSeq(keys)
+		return nil
+
+	default:
+		return orb.BadOperation(op)
+	}
+}
+
+// StoreClient is the typed stub for the checkpoint storage service. It
+// implements Store itself, so proxies work identically against a remote
+// store service or a local Store.
+type StoreClient struct {
+	orb *orb.ORB
+	ref orb.ObjectRef
+}
+
+// NewStoreClient builds a stub for the store at ref.
+func NewStoreClient(o *orb.ORB, ref orb.ObjectRef) *StoreClient {
+	return &StoreClient{orb: o, ref: ref}
+}
+
+// Ref returns the service's object reference.
+func (c *StoreClient) Ref() orb.ObjectRef { return c.ref }
+
+var _ Store = (*StoreClient)(nil)
+
+// Put implements Store.
+func (c *StoreClient) Put(key string, epoch uint64, data []byte) error {
+	err := c.orb.Invoke(c.ref, opPut, func(e *cdr.Encoder) {
+		e.PutString(key)
+		e.PutUint64(epoch)
+		e.PutBytes(data)
+	}, nil)
+	if orb.IsUserException(err, ExStaleEpoch) {
+		return ErrStaleEpoch
+	}
+	return err
+}
+
+// Get implements Store.
+func (c *StoreClient) Get(key string) (uint64, []byte, error) {
+	var epoch uint64
+	var data []byte
+	err := c.orb.Invoke(c.ref, opGet,
+		func(e *cdr.Encoder) { e.PutString(key) },
+		func(d *cdr.Decoder) error {
+			epoch = d.GetUint64()
+			data = d.GetBytes()
+			return d.Err()
+		})
+	if orb.IsUserException(err, ExNoCheckpoint) {
+		return 0, nil, ErrNoCheckpoint
+	}
+	return epoch, data, err
+}
+
+// Delete implements Store.
+func (c *StoreClient) Delete(key string) error {
+	return c.orb.Invoke(c.ref, opDelete, func(e *cdr.Encoder) { e.PutString(key) }, nil)
+}
+
+// Keys implements Store.
+func (c *StoreClient) Keys() ([]string, error) {
+	var keys []string
+	err := c.orb.Invoke(c.ref, opKeys, nil, func(d *cdr.Decoder) error {
+		keys = d.GetStringSeq()
+		return d.Err()
+	})
+	return keys, err
+}

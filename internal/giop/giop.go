@@ -1,0 +1,429 @@
+// Package giop implements a message protocol modelled on the CORBA General
+// Inter-ORB Protocol (GIOP 1.0/1.1): a fixed 12-byte header followed by a
+// CDR-encoded message body. Message kinds, reply statuses and service
+// contexts follow the GIOP structure closely enough that the runtime layers
+// above (ORB, naming, fault tolerance) can be written exactly as the paper
+// describes them for omniORB.
+package giop
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cdr"
+)
+
+// Magic is the 4-byte message signature ("SGOP" — simple GIOP — to avoid
+// claiming interoperability with real GIOP implementations).
+var Magic = [4]byte{'S', 'G', 'O', 'P'}
+
+// Version is the protocol version carried in every header.
+const Version = 1
+
+// MsgType enumerates protocol message kinds (GIOP MsgType analogue).
+type MsgType uint8
+
+// Message kinds.
+const (
+	MsgRequest MsgType = iota
+	MsgReply
+	MsgCancelRequest
+	MsgLocateRequest
+	MsgLocateReply
+	MsgCloseConnection
+	MsgError
+	// MsgFragment continues the body of the preceding fragmented message
+	// on the same connection (GIOP 1.1 Fragment analogue).
+	MsgFragment
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgRequest:
+		return "Request"
+	case MsgReply:
+		return "Reply"
+	case MsgCancelRequest:
+		return "CancelRequest"
+	case MsgLocateRequest:
+		return "LocateRequest"
+	case MsgLocateReply:
+		return "LocateReply"
+	case MsgCloseConnection:
+		return "CloseConnection"
+	case MsgError:
+		return "MessageError"
+	case MsgFragment:
+		return "Fragment"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// ReplyStatus enumerates the outcome field of a Reply message.
+type ReplyStatus uint32
+
+// Reply statuses (GIOP ReplyStatusType analogue).
+const (
+	ReplyNoException ReplyStatus = iota
+	ReplyUserException
+	ReplySystemException
+	ReplyLocationForward
+)
+
+func (s ReplyStatus) String() string {
+	switch s {
+	case ReplyNoException:
+		return "NO_EXCEPTION"
+	case ReplyUserException:
+		return "USER_EXCEPTION"
+	case ReplySystemException:
+		return "SYSTEM_EXCEPTION"
+	case ReplyLocationForward:
+		return "LOCATION_FORWARD"
+	default:
+		return fmt.Sprintf("ReplyStatus(%d)", uint32(s))
+	}
+}
+
+// LocateStatus enumerates the outcome field of a LocateReply message.
+type LocateStatus uint32
+
+// Locate statuses.
+const (
+	LocateUnknownObject LocateStatus = iota
+	LocateObjectHere
+	LocateObjectForward
+)
+
+// MaxMessageSize bounds a single protocol message. Larger declared bodies
+// abort the connection rather than exhausting memory.
+const MaxMessageSize = 64 << 20
+
+// HeaderSize is the fixed encoded header length in bytes.
+const HeaderSize = 12
+
+// Errors surfaced by the message layer.
+var (
+	ErrBadMagic    = errors.New("giop: bad magic")
+	ErrBadVersion  = errors.New("giop: unsupported version")
+	ErrTooBig      = errors.New("giop: message exceeds MaxMessageSize")
+	ErrShortHeader = errors.New("giop: truncated header")
+)
+
+// ServiceContext is an opaque tagged blob piggy-backed on requests and
+// replies (GIOP service context analogue). The fault-tolerance and
+// virtual-time layers ride in service contexts.
+type ServiceContext struct {
+	ID   uint32
+	Data []byte
+}
+
+// Well-known service context IDs used by this repository.
+const (
+	// SCVirtualTime carries a cluster virtual-time stamp (uint64 ticks).
+	SCVirtualTime uint32 = 0x56544d45 // "VTME"
+	// SCHostName carries the simulated host name of the sender.
+	SCHostName uint32 = 0x484f5354 // "HOST"
+)
+
+// Message is a fully parsed protocol message. Exactly the fields relevant
+// to its Type are populated.
+type Message struct {
+	Type MsgType
+
+	// Request / Reply / Locate fields.
+	RequestID uint32
+
+	// Request fields.
+	ResponseExpected bool
+	ObjectKey        string
+	Operation        string
+
+	// Reply fields.
+	ReplyStatus ReplyStatus
+
+	// LocateReply fields.
+	LocateStatus LocateStatus
+
+	// Request and Reply carry service contexts.
+	Contexts []ServiceContext
+
+	// Body is the CDR-encoded operation arguments or results.
+	Body []byte
+}
+
+// Context returns the data of the first service context with the given id,
+// or nil if absent.
+func (m *Message) Context(id uint32) []byte {
+	for _, c := range m.Contexts {
+		if c.ID == id {
+			return c.Data
+		}
+	}
+	return nil
+}
+
+// SetContext replaces or appends the service context with the given id.
+func (m *Message) SetContext(id uint32, data []byte) {
+	for i := range m.Contexts {
+		if m.Contexts[i].ID == id {
+			m.Contexts[i].Data = data
+			return
+		}
+	}
+	m.Contexts = append(m.Contexts, ServiceContext{ID: id, Data: data})
+}
+
+func putContexts(e *cdr.Encoder, ctxs []ServiceContext) {
+	e.PutUint32(uint32(len(ctxs)))
+	for _, c := range ctxs {
+		e.PutUint32(c.ID)
+		e.PutBytes(c.Data)
+	}
+}
+
+func getContexts(d *cdr.Decoder) []ServiceContext {
+	n := d.GetUint32()
+	if n > 1024 { // sanity bound; contexts are small and few
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]ServiceContext, 0, n)
+	for i := uint32(0); i < n; i++ {
+		id := d.GetUint32()
+		data := d.GetBytes()
+		if d.Err() != nil {
+			return nil
+		}
+		out = append(out, ServiceContext{ID: id, Data: data})
+	}
+	return out
+}
+
+// encodeBody renders the type-specific portion of m (everything after the
+// fixed header).
+func (m *Message) encodeBody() []byte {
+	e := cdr.NewEncoder(64 + len(m.Body))
+	switch m.Type {
+	case MsgRequest:
+		putContexts(e, m.Contexts)
+		e.PutUint32(m.RequestID)
+		e.PutBool(m.ResponseExpected)
+		e.PutString(m.ObjectKey)
+		e.PutString(m.Operation)
+		e.PutRaw(alignPad(e.Len()))
+		e.PutRaw(m.Body)
+	case MsgReply:
+		putContexts(e, m.Contexts)
+		e.PutUint32(m.RequestID)
+		e.PutUint32(uint32(m.ReplyStatus))
+		e.PutRaw(alignPad(e.Len()))
+		e.PutRaw(m.Body)
+	case MsgCancelRequest:
+		e.PutUint32(m.RequestID)
+	case MsgLocateRequest:
+		e.PutUint32(m.RequestID)
+		e.PutString(m.ObjectKey)
+	case MsgLocateReply:
+		e.PutUint32(m.RequestID)
+		e.PutUint32(uint32(m.LocateStatus))
+		e.PutRaw(alignPad(e.Len()))
+		e.PutRaw(m.Body)
+	case MsgCloseConnection, MsgError:
+		// no body
+	}
+	return e.Bytes()
+}
+
+// alignPad returns the zero padding needed to bring off to an 8-byte
+// boundary, so that a message Body always starts 8-aligned and can be
+// decoded as an independent CDR stream.
+func alignPad(off int) []byte {
+	pad := (8 - off%8) % 8
+	return make([]byte, pad)
+}
+
+// decodeBody parses the type-specific portion into m.
+func (m *Message) decodeBody(data []byte) error {
+	d := cdr.NewDecoder(data)
+	consumeBody := func() {
+		// Skip alignment padding; the remainder is the operation body.
+		off := len(data) - d.Remaining()
+		pad := (8 - off%8) % 8
+		if d.Remaining() >= pad {
+			rest := data[off+pad:]
+			m.Body = make([]byte, len(rest))
+			copy(m.Body, rest)
+		}
+	}
+	switch m.Type {
+	case MsgRequest:
+		m.Contexts = getContexts(d)
+		m.RequestID = d.GetUint32()
+		m.ResponseExpected = d.GetBool()
+		m.ObjectKey = d.GetString()
+		m.Operation = d.GetString()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		consumeBody()
+	case MsgReply:
+		m.Contexts = getContexts(d)
+		m.RequestID = d.GetUint32()
+		m.ReplyStatus = ReplyStatus(d.GetUint32())
+		if err := d.Err(); err != nil {
+			return err
+		}
+		consumeBody()
+	case MsgCancelRequest:
+		m.RequestID = d.GetUint32()
+	case MsgLocateRequest:
+		m.RequestID = d.GetUint32()
+		m.ObjectKey = d.GetString()
+	case MsgLocateReply:
+		m.RequestID = d.GetUint32()
+		m.LocateStatus = LocateStatus(d.GetUint32())
+		if err := d.Err(); err != nil {
+			return err
+		}
+		consumeBody()
+	case MsgCloseConnection, MsgError:
+		// no body
+	}
+	return d.Err()
+}
+
+// flagMoreFragments in the header flags byte marks a message whose body
+// continues in subsequent MsgFragment messages on the same stream.
+const flagMoreFragments = 0x01
+
+// FragmentSize is the body size above which Write splits a message into
+// an initial fragment plus MsgFragment continuations. Large solver states
+// and checkpoints thus never require a single huge buffer on the wire.
+// It is a variable so tests can exercise fragmentation with small bodies.
+var FragmentSize = 4 << 20
+
+// writeOne emits one raw protocol message.
+func writeOne(w io.Writer, typ MsgType, flags byte, body []byte) error {
+	hdr := make([]byte, HeaderSize, HeaderSize+len(body))
+	copy(hdr, Magic[:])
+	hdr[4] = Version
+	hdr[5] = byte(typ)
+	hdr[6] = flags
+	n := uint32(len(body))
+	hdr[8] = byte(n >> 24)
+	hdr[9] = byte(n >> 16)
+	hdr[10] = byte(n >> 8)
+	hdr[11] = byte(n)
+	_, err := w.Write(append(hdr, body...))
+	return err
+}
+
+// Write encodes m to w, fragmenting bodies larger than FragmentSize.
+// Callers multiplexing a connection must serialize whole Write calls (a
+// fragment train may not interleave with other messages).
+func Write(w io.Writer, m *Message) error {
+	body := m.encodeBody()
+	if len(body) > MaxMessageSize {
+		return ErrTooBig
+	}
+	frag := FragmentSize
+	if frag < HeaderSize {
+		frag = HeaderSize
+	}
+	if len(body) <= frag {
+		return writeOne(w, m.Type, 0, body)
+	}
+	chunk := body[:frag]
+	rest := body[frag:]
+	if err := writeOne(w, m.Type, flagMoreFragments, chunk); err != nil {
+		return err
+	}
+	for len(rest) > 0 {
+		n := frag
+		if n > len(rest) {
+			n = len(rest)
+		}
+		flags := byte(0)
+		if n < len(rest) {
+			flags = flagMoreFragments
+		}
+		if err := writeOne(w, MsgFragment, flags, rest[:n]); err != nil {
+			return err
+		}
+		rest = rest[n:]
+	}
+	return nil
+}
+
+// ErrOrphanFragment is reported when a MsgFragment arrives without a
+// preceding fragmented message.
+var ErrOrphanFragment = errors.New("giop: fragment without initial message")
+
+// readOne reads one raw protocol message: its type, flags and body.
+func readOne(r io.Reader) (MsgType, byte, []byte, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, 0, nil, ErrShortHeader
+		}
+		return 0, 0, nil, err
+	}
+	if [4]byte(hdr[:4]) != Magic {
+		return 0, 0, nil, ErrBadMagic
+	}
+	if hdr[4] != Version {
+		return 0, 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
+	}
+	typ := MsgType(hdr[5])
+	if typ > MsgFragment {
+		return 0, 0, nil, fmt.Errorf("giop: unknown message type %d", hdr[5])
+	}
+	n := uint32(hdr[8])<<24 | uint32(hdr[9])<<16 | uint32(hdr[10])<<8 | uint32(hdr[11])
+	if n > MaxMessageSize {
+		return 0, 0, nil, ErrTooBig
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, err
+	}
+	return typ, hdr[6], body, nil
+}
+
+// Read decodes the next protocol message from r, transparently
+// reassembling fragment trains.
+func Read(r io.Reader) (*Message, error) {
+	typ, flags, body, err := readOne(r)
+	if err != nil {
+		return nil, err
+	}
+	if typ == MsgFragment {
+		return nil, ErrOrphanFragment
+	}
+	for flags&flagMoreFragments != 0 {
+		ft, fFlags, chunk, err := readOne(r)
+		if err != nil {
+			return nil, err
+		}
+		if ft != MsgFragment {
+			return nil, fmt.Errorf("giop: expected Fragment continuation, got %v", ft)
+		}
+		if len(body)+len(chunk) > MaxMessageSize {
+			return nil, ErrTooBig
+		}
+		body = append(body, chunk...)
+		flags = fFlags
+	}
+	m := &Message{Type: typ}
+	if err := m.decodeBody(body); err != nil {
+		return nil, fmt.Errorf("giop: decoding %v: %w", m.Type, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,267 @@
+package giop
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cdr"
+)
+
+func roundTrip(t *testing.T, in *Message) *Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return out
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := &Message{
+		Type:             MsgRequest,
+		RequestID:        42,
+		ResponseExpected: true,
+		ObjectKey:        "poa/worker-3",
+		Operation:        "solve",
+		Contexts: []ServiceContext{
+			{ID: SCVirtualTime, Data: []byte{0, 0, 0, 0, 0, 0, 0, 9}},
+			{ID: SCHostName, Data: []byte("node07")},
+		},
+		Body: []byte{1, 2, 3, 4, 5},
+	}
+	out := roundTrip(t, in)
+	if out.Type != MsgRequest || out.RequestID != 42 || !out.ResponseExpected {
+		t.Fatalf("header fields: %+v", out)
+	}
+	if out.ObjectKey != in.ObjectKey || out.Operation != in.Operation {
+		t.Fatalf("key/op: %q %q", out.ObjectKey, out.Operation)
+	}
+	if len(out.Contexts) != 2 || out.Contexts[0].ID != SCVirtualTime {
+		t.Fatalf("contexts: %+v", out.Contexts)
+	}
+	if !bytes.Equal(out.Body, in.Body) {
+		t.Fatalf("body = %v", out.Body)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	for _, st := range []ReplyStatus{ReplyNoException, ReplyUserException, ReplySystemException, ReplyLocationForward} {
+		in := &Message{Type: MsgReply, RequestID: 7, ReplyStatus: st, Body: []byte("result")}
+		out := roundTrip(t, in)
+		if out.ReplyStatus != st || out.RequestID != 7 || !bytes.Equal(out.Body, in.Body) {
+			t.Fatalf("status %v: %+v", st, out)
+		}
+	}
+}
+
+func TestEmptyBodyMessages(t *testing.T) {
+	for _, typ := range []MsgType{MsgCloseConnection, MsgError} {
+		out := roundTrip(t, &Message{Type: typ})
+		if out.Type != typ || out.Body != nil {
+			t.Fatalf("%v: %+v", typ, out)
+		}
+	}
+}
+
+func TestCancelRequestRoundTrip(t *testing.T) {
+	out := roundTrip(t, &Message{Type: MsgCancelRequest, RequestID: 99})
+	if out.RequestID != 99 {
+		t.Fatalf("cancel id = %d", out.RequestID)
+	}
+}
+
+func TestLocateRoundTrip(t *testing.T) {
+	req := roundTrip(t, &Message{Type: MsgLocateRequest, RequestID: 5, ObjectKey: "k"})
+	if req.ObjectKey != "k" {
+		t.Fatalf("locate key = %q", req.ObjectKey)
+	}
+	rep := roundTrip(t, &Message{Type: MsgLocateReply, RequestID: 5, LocateStatus: LocateObjectForward, Body: []byte("ior")})
+	if rep.LocateStatus != LocateObjectForward || !bytes.Equal(rep.Body, []byte("ior")) {
+		t.Fatalf("locate reply: %+v", rep)
+	}
+}
+
+func TestBodyIsEightAligned(t *testing.T) {
+	// Bodies must decode as independent CDR streams: a float64 written at
+	// offset 0 of the body must survive regardless of header field sizes.
+	for _, key := range []string{"", "x", "xy", "xyz", "abcd", "abcde"} {
+		e := cdr.NewEncoder(16)
+		e.PutFloat64(3.25)
+		in := &Message{Type: MsgRequest, ObjectKey: key, Operation: "op", Body: e.Bytes()}
+		out := roundTrip(t, in)
+		d := cdr.NewDecoder(out.Body)
+		if got := d.GetFloat64(); got != 3.25 {
+			t.Fatalf("key %q: float in body = %v", key, got)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := []byte("XXXX\x01\x00\x00\x00\x00\x00\x00\x00")
+	if _, err := Read(bytes.NewReader(data)); err != ErrBadMagic {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	data := append([]byte{}, Magic[:]...)
+	data = append(data, 99, 0, 0, 0, 0, 0, 0, 0)
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestUnknownType(t *testing.T) {
+	data := append([]byte{}, Magic[:]...)
+	data = append(data, Version, 200, 0, 0, 0, 0, 0, 0)
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("expected type error")
+	}
+}
+
+func TestOversizedMessageRejected(t *testing.T) {
+	data := append([]byte{}, Magic[:]...)
+	data = append(data, Version, byte(MsgRequest), 0, 0, 0xff, 0xff, 0xff, 0xff)
+	if _, err := Read(bytes.NewReader(data)); err != ErrTooBig {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	if _, err := Read(bytes.NewReader(Magic[:])); err != ErrShortHeader {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Message{Type: MsgRequest, ObjectKey: "k", Operation: "op"}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-2]
+	if _, err := Read(bytes.NewReader(data)); err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEOFAtMessageBoundaryIsCleanEOF(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMultipleMessagesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint32(0); i < 10; i++ {
+		if err := Write(&buf, &Message{Type: MsgRequest, RequestID: i, ObjectKey: "k", Operation: "op"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint32(0); i < 10; i++ {
+		m, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if m.RequestID != i {
+			t.Fatalf("msg %d: id = %d", i, m.RequestID)
+		}
+	}
+	if _, err := Read(&buf); err != io.EOF {
+		t.Fatalf("trailing read err = %v", err)
+	}
+}
+
+func TestSetAndGetContext(t *testing.T) {
+	m := &Message{}
+	if m.Context(1) != nil {
+		t.Fatal("missing context should be nil")
+	}
+	m.SetContext(1, []byte("a"))
+	m.SetContext(2, []byte("b"))
+	m.SetContext(1, []byte("c")) // replace
+	if string(m.Context(1)) != "c" || string(m.Context(2)) != "b" {
+		t.Fatalf("contexts: %+v", m.Contexts)
+	}
+	if len(m.Contexts) != 2 {
+		t.Fatalf("context count = %d", len(m.Contexts))
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if MsgRequest.String() != "Request" || MsgError.String() != "MessageError" {
+		t.Fatal("MsgType strings")
+	}
+	if ReplySystemException.String() != "SYSTEM_EXCEPTION" {
+		t.Fatal("ReplyStatus string")
+	}
+	if MsgType(77).String() == "" || ReplyStatus(77).String() == "" {
+		t.Fatal("unknown enum strings must be nonempty")
+	}
+}
+
+// Property: request messages round trip for arbitrary keys, operations and
+// bodies.
+func TestQuickRequestRoundTrip(t *testing.T) {
+	f := func(id uint32, key, op string, body []byte, resp bool) bool {
+		in := &Message{Type: MsgRequest, RequestID: id, ResponseExpected: resp,
+			ObjectKey: key, Operation: op, Body: body}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		bodyEqual := bytes.Equal(out.Body, body) || (len(out.Body) == 0 && len(body) == 0)
+		return out.RequestID == id && out.ObjectKey == key &&
+			out.Operation == op && out.ResponseExpected == resp && bodyEqual
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Read never panics on arbitrary byte streams.
+func TestQuickReadNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Read(bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteRequest(b *testing.B) {
+	m := &Message{Type: MsgRequest, RequestID: 1, ResponseExpected: true,
+		ObjectKey: "poa/worker", Operation: "solve", Body: make([]byte, 256)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Write(io.Discard, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadRequest(b *testing.B) {
+	var buf bytes.Buffer
+	m := &Message{Type: MsgRequest, RequestID: 1, ResponseExpected: true,
+		ObjectKey: "poa/worker", Operation: "solve", Body: make([]byte, 256)}
+	if err := Write(&buf, m); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

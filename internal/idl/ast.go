@@ -1,0 +1,111 @@
+package idl
+
+import "fmt"
+
+// BasicKind enumerates the supported primitive IDL types.
+type BasicKind int
+
+// Primitive kinds.
+const (
+	KindVoid BasicKind = iota
+	KindBoolean
+	KindOctet
+	KindShort
+	KindLong
+	KindLongLong
+	KindUShort
+	KindULong
+	KindULongLong
+	KindFloat
+	KindDouble
+	KindString
+)
+
+// Type is an IDL type: a basic kind, optionally wrapped in one level of
+// sequence<...>.
+type Type struct {
+	Kind     BasicKind
+	Sequence bool
+}
+
+// IDL renders the type in IDL syntax.
+func (t Type) IDL() string {
+	base := map[BasicKind]string{
+		KindVoid: "void", KindBoolean: "boolean", KindOctet: "octet",
+		KindShort: "short", KindLong: "long", KindLongLong: "long long",
+		KindUShort: "unsigned short", KindULong: "unsigned long",
+		KindULongLong: "unsigned long long",
+		KindFloat:     "float", KindDouble: "double", KindString: "string",
+	}[t.Kind]
+	if t.Sequence {
+		return fmt.Sprintf("sequence<%s>", base)
+	}
+	return base
+}
+
+// Go renders the corresponding Go type.
+func (t Type) Go() string {
+	base := map[BasicKind]string{
+		KindVoid: "", KindBoolean: "bool", KindOctet: "byte",
+		KindShort: "int16", KindLong: "int32", KindLongLong: "int64",
+		KindUShort: "uint16", KindULong: "uint32", KindULongLong: "uint64",
+		KindFloat: "float32", KindDouble: "float64", KindString: "string",
+	}[t.Kind]
+	if t.Sequence {
+		return "[]" + base
+	}
+	return base
+}
+
+// IsVoid reports whether the type is plain void.
+func (t Type) IsVoid() bool { return t.Kind == KindVoid && !t.Sequence }
+
+// Param is one operation parameter (direction is always "in").
+type Param struct {
+	Name string
+	Type Type
+}
+
+// Operation is one interface operation.
+type Operation struct {
+	Name   string
+	Result Type
+	Params []Param
+	// Raises lists the declared user exceptions by name.
+	Raises []string
+	// Oneway marks fire-and-forget operations (no reply).
+	Oneway bool
+	Line   int
+}
+
+// Member is one exception member field.
+type Member struct {
+	Name string
+	Type Type
+}
+
+// Exception is a user exception declaration.
+type Exception struct {
+	Name    string
+	Members []Member
+	Line    int
+}
+
+// Interface is an IDL interface declaration.
+type Interface struct {
+	Name       string
+	Operations []Operation
+	Line       int
+}
+
+// Module is the root AST node: one named module per file.
+type Module struct {
+	Name       string
+	Exceptions []Exception
+	Interfaces []Interface
+}
+
+// RepoID derives the repository id of a declaration inside the module.
+func (m *Module) RepoID(name string) string {
+	return fmt.Sprintf("IDL:%s/%s:1.0", m.Name, name)
+}

@@ -1,0 +1,98 @@
+package idl
+
+import "fmt"
+
+// CheckError reports a semantic error.
+type CheckError struct {
+	Line int
+	Msg  string
+}
+
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("idl: line %d: %s", e.Line, e.Msg)
+}
+
+// Check validates a parsed module: identifier validity, duplicate names,
+// raises clauses referencing declared exceptions, oneway constraints.
+func Check(m *Module) error {
+	if !validIdent(m.Name) {
+		return &CheckError{Line: 1, Msg: fmt.Sprintf("invalid module name %q", m.Name)}
+	}
+	declared := map[string]int{}
+	exceptions := map[string]bool{}
+	for _, ex := range m.Exceptions {
+		if !validIdent(ex.Name) {
+			return &CheckError{Line: ex.Line, Msg: fmt.Sprintf("invalid exception name %q", ex.Name)}
+		}
+		if prev, dup := declared[ex.Name]; dup {
+			return &CheckError{Line: ex.Line, Msg: fmt.Sprintf("%q already declared at line %d", ex.Name, prev)}
+		}
+		declared[ex.Name] = ex.Line
+		exceptions[ex.Name] = true
+		seen := map[string]bool{}
+		for _, mem := range ex.Members {
+			if !validIdent(mem.Name) {
+				return &CheckError{Line: ex.Line, Msg: fmt.Sprintf("invalid member name %q in exception %s", mem.Name, ex.Name)}
+			}
+			if seen[mem.Name] {
+				return &CheckError{Line: ex.Line, Msg: fmt.Sprintf("duplicate member %q in exception %s", mem.Name, ex.Name)}
+			}
+			seen[mem.Name] = true
+			if mem.Type.IsVoid() {
+				return &CheckError{Line: ex.Line, Msg: fmt.Sprintf("void member %q in exception %s", mem.Name, ex.Name)}
+			}
+		}
+	}
+	for _, ifc := range m.Interfaces {
+		if !validIdent(ifc.Name) {
+			return &CheckError{Line: ifc.Line, Msg: fmt.Sprintf("invalid interface name %q", ifc.Name)}
+		}
+		if prev, dup := declared[ifc.Name]; dup {
+			return &CheckError{Line: ifc.Line, Msg: fmt.Sprintf("%q already declared at line %d", ifc.Name, prev)}
+		}
+		declared[ifc.Name] = ifc.Line
+		if len(ifc.Operations) == 0 {
+			return &CheckError{Line: ifc.Line, Msg: fmt.Sprintf("interface %s has no operations", ifc.Name)}
+		}
+		ops := map[string]bool{}
+		for _, op := range ifc.Operations {
+			if !validIdent(op.Name) {
+				return &CheckError{Line: op.Line, Msg: fmt.Sprintf("invalid operation name %q", op.Name)}
+			}
+			if ops[op.Name] {
+				return &CheckError{Line: op.Line, Msg: fmt.Sprintf("duplicate operation %q in interface %s", op.Name, ifc.Name)}
+			}
+			ops[op.Name] = true
+			if op.Oneway {
+				if !op.Result.IsVoid() {
+					return &CheckError{Line: op.Line, Msg: fmt.Sprintf("oneway operation %q must return void", op.Name)}
+				}
+				if len(op.Raises) > 0 {
+					return &CheckError{Line: op.Line, Msg: fmt.Sprintf("oneway operation %q cannot raise exceptions", op.Name)}
+				}
+			}
+			params := map[string]bool{}
+			for _, pa := range op.Params {
+				if !validIdent(pa.Name) {
+					return &CheckError{Line: op.Line, Msg: fmt.Sprintf("invalid parameter name %q in %s", pa.Name, op.Name)}
+				}
+				if params[pa.Name] {
+					return &CheckError{Line: op.Line, Msg: fmt.Sprintf("duplicate parameter %q in %s", pa.Name, op.Name)}
+				}
+				params[pa.Name] = true
+				if pa.Type.IsVoid() {
+					return &CheckError{Line: op.Line, Msg: fmt.Sprintf("void parameter %q in %s", pa.Name, op.Name)}
+				}
+			}
+			for _, r := range op.Raises {
+				if !exceptions[r] {
+					return &CheckError{Line: op.Line, Msg: fmt.Sprintf("operation %q raises undeclared exception %q", op.Name, r)}
+				}
+			}
+		}
+	}
+	if len(m.Interfaces) == 0 {
+		return &CheckError{Line: 1, Msg: "module declares no interfaces"}
+	}
+	return nil
+}

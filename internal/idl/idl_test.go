@@ -1,0 +1,292 @@
+package idl
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const minimal = `
+module M {
+    interface I {
+        void ping();
+    };
+};
+`
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("module M { interface I ; } :: <>,()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{TokKeyword, TokIdent, TokLBrace, TokKeyword, TokIdent,
+		TokSemi, TokRBrace, TokScope, TokLAngle, TokRAngle, TokComma, TokLParen, TokRParen, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want %v", i, toks[i], k)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `// line comment
+module /* inline */ M { } ;`
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "module" || toks[1].Text != "M" {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[0].Line != 2 {
+		t.Fatalf("line = %d", toks[0].Line)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"§", "a : b", "/* unterminated"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseMinimal(t *testing.T) {
+	mod, err := Parse(minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Name != "M" || len(mod.Interfaces) != 1 {
+		t.Fatalf("mod = %+v", mod)
+	}
+	op := mod.Interfaces[0].Operations[0]
+	if op.Name != "ping" || !op.Result.IsVoid() || len(op.Params) != 0 {
+		t.Fatalf("op = %+v", op)
+	}
+}
+
+func TestParseFullSample(t *testing.T) {
+	src, err := os.ReadFile("sample/bank.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Name != "Bank" || len(mod.Interfaces) != 2 || len(mod.Exceptions) != 2 {
+		t.Fatalf("mod = %+v", mod)
+	}
+	acct := mod.Interfaces[0]
+	if acct.Name != "Account" || len(acct.Operations) != 6 {
+		t.Fatalf("account = %+v", acct)
+	}
+	withdraw := acct.Operations[1]
+	if len(withdraw.Raises) != 1 || withdraw.Raises[0] != "InsufficientFunds" {
+		t.Fatalf("withdraw = %+v", withdraw)
+	}
+	audit := acct.Operations[4]
+	if !audit.Oneway {
+		t.Fatalf("audit = %+v", audit)
+	}
+	hist := acct.Operations[5]
+	if !hist.Result.Sequence || hist.Result.Kind != KindDouble {
+		t.Fatalf("history result = %+v", hist.Result)
+	}
+	teller := mod.Interfaces[1]
+	codes := teller.Operations[3]
+	if !codes.Result.Sequence || codes.Result.Kind != KindShort {
+		t.Fatalf("codes result = %+v", codes.Result)
+	}
+	if !codes.Params[0].Type.Sequence || codes.Params[0].Type.Kind != KindOctet {
+		t.Fatalf("codes param = %+v", codes.Params[0])
+	}
+	count := teller.Operations[2]
+	if count.Result.Kind != KindULong {
+		t.Fatalf("count result = %+v", count.Result)
+	}
+}
+
+func TestParseTypeTable(t *testing.T) {
+	cases := map[string]Type{
+		"boolean":                  {Kind: KindBoolean},
+		"octet":                    {Kind: KindOctet},
+		"short":                    {Kind: KindShort},
+		"long":                     {Kind: KindLong},
+		"long long":                {Kind: KindLongLong},
+		"unsigned short":           {Kind: KindUShort},
+		"unsigned long":            {Kind: KindULong},
+		"unsigned long long":       {Kind: KindULongLong},
+		"float":                    {Kind: KindFloat},
+		"double":                   {Kind: KindDouble},
+		"string":                   {Kind: KindString},
+		"sequence<double>":         {Kind: KindDouble, Sequence: true},
+		"sequence<long long>":      {Kind: KindLongLong, Sequence: true},
+		"sequence<unsigned short>": {Kind: KindUShort, Sequence: true},
+	}
+	for idlType, want := range cases {
+		src := "module M { interface I { " + idlType + " get(); }; };"
+		mod, err := Parse(src)
+		if err != nil {
+			t.Errorf("%s: %v", idlType, err)
+			continue
+		}
+		got := mod.Interfaces[0].Operations[0].Result
+		if got != want {
+			t.Errorf("%s parsed to %+v, want %+v", idlType, got, want)
+		}
+		if got.IDL() != idlType {
+			t.Errorf("IDL round trip %q -> %q", idlType, got.IDL())
+		}
+	}
+}
+
+func TestTypeGoMapping(t *testing.T) {
+	cases := map[Type]string{
+		{Kind: KindBoolean}:                "bool",
+		{Kind: KindOctet, Sequence: true}:  "[]byte",
+		{Kind: KindLongLong}:               "int64",
+		{Kind: KindULongLong}:              "uint64",
+		{Kind: KindDouble, Sequence: true}: "[]float64",
+		{Kind: KindString}:                 "string",
+	}
+	for typ, want := range cases {
+		if got := typ.Go(); got != want {
+			t.Errorf("%v.Go() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                               // empty
+		"interface I { void p(); };",     // no module
+		"module M { interface I { }; };", // empty interface
+		"module M { };",                  // no interfaces
+		"module M { interface I { void p() raises (X); }; };",                                     // unknown exception
+		"module M { interface I { void p(in void v); }; };",                                       // void param
+		"module M { interface I { oneway long p(); }; };",                                         // oneway non-void
+		"module M { interface I { void p(); void p(); }; };",                                      // dup op
+		"module M { interface I { void p(in long a, in long a); }; };",                            // dup param
+		"module M { interface I { sequence<sequence<long>> p(); }; };",                            // nested seq
+		"module M { exception E { }; exception E { }; interface I { void p(); }; };",              // dup decl
+		"module M { exception E { void v; }; interface I { void p(); }; };",                       // void member
+		"module M { interface I { void p(); };",                                                   // missing closing
+		"module M { interface I { unsigned double p(); }; };",                                     // bad unsigned
+		"module M { exception E { string reason; string reason; }; interface I { void p(); }; };", // dup member
+		"module M { interface I { oneway void p() raises (E); }; exception E {}; };",              // oneway raises (and order)
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse succeeded for %q", src)
+		}
+	}
+}
+
+func TestGenerateGoldenMatchesCheckedIn(t *testing.T) {
+	src, err := os.ReadFile("sample/bank.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(mod, GenOptions{Package: "sample", Source: "internal/idl/sample/bank.idl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("sample/bank_gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(code) != string(golden) {
+		t.Fatal("generated code differs from checked-in sample/bank_gen.go; re-run " +
+			"`go run ./cmd/idlgen -in internal/idl/sample/bank.idl -package sample -out internal/idl/sample/bank_gen.go`")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	mod, err := Parse(minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Generate(mod, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(mod, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("nondeterministic generation")
+	}
+	if !strings.Contains(string(a), "package m") {
+		t.Fatalf("default package name missing:\n%s", a)
+	}
+}
+
+func TestGeneratedCodeContainsAllArtifacts(t *testing.T) {
+	src, _ := os.ReadFile("sample/bank.idl")
+	mod, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(mod, GenOptions{Package: "sample"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(code)
+	for _, want := range []string{
+		"const AccountTypeID = \"IDL:Bank/Account:1.0\"",
+		"type Account interface",
+		"type AccountServant struct",
+		"type AccountStub struct",
+		"type AccountProxy struct",
+		"type TellerServant struct",
+		"type InsufficientFunds struct",
+		"func decodeUnknownAccount",
+		"func (s *AccountStub) Audit(", // oneway
+		"orb.BadOperation(op)",
+		"cdr.GetSeq(d, 2, (*cdr.Decoder).GetInt16)", // sequence<short>
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+// Property: any module built from sanitized identifiers parses and
+// generates formattable Go code.
+func TestQuickGenerateAlwaysFormats(t *testing.T) {
+	kinds := []BasicKind{KindBoolean, KindOctet, KindShort, KindLong, KindLongLong,
+		KindUShort, KindULong, KindULongLong, KindFloat, KindDouble, KindString}
+	f := func(opCount uint8, seqFlags uint16, kindSel uint64) bool {
+		n := 1 + int(opCount%6)
+		mod := &Module{Name: "Q"}
+		ifc := Interface{Name: "Svc"}
+		for i := 0; i < n; i++ {
+			k := kinds[int((kindSel>>(4*uint(i)))%uint64(len(kinds)))]
+			op := Operation{
+				Name:   "op" + string(rune('a'+i)),
+				Result: Type{Kind: k, Sequence: seqFlags>>(2*uint(i))&1 == 1},
+				Params: []Param{{Name: "x", Type: Type{Kind: k, Sequence: seqFlags>>(2*uint(i)+1)&1 == 1}}},
+			}
+			ifc.Operations = append(ifc.Operations, op)
+		}
+		mod.Interfaces = []Interface{ifc}
+		if err := Check(mod); err != nil {
+			return false
+		}
+		_, err := Generate(mod, GenOptions{Package: "q"})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

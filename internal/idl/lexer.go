@@ -1,0 +1,223 @@
+// Package idl implements a compiler for a small CORBA-IDL dialect: lexer,
+// parser, semantic checker and Go code generator. For every interface it
+// emits a typed client stub, a server skeleton, and — automating the
+// paper's hand-written proxy classes — a fault-tolerant proxy whose
+// methods checkpoint and recover through internal/ft.
+//
+// Supported IDL subset:
+//
+//	module M { ... };
+//	exception E { string reason; long code; };
+//	interface I {
+//	    long long add(in long long a, in long long b);
+//	    void ping() raises (E);
+//	    sequence<double> solve(in sequence<double> x);
+//	};
+//
+// Types: void, boolean, octet, short, long, "long long", float, double,
+// string, and sequence<basic>. Parameters are "in" only (results travel
+// via return values, the Go idiom).
+package idl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind enumerates lexical token kinds.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokLBrace // {
+	TokRBrace // }
+	TokLParen // (
+	TokRParen // )
+	TokLAngle // <
+	TokRAngle // >
+	TokSemi   // ;
+	TokComma  // ,
+	TokScope  // ::
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of file"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokLBrace:
+		return "'{'"
+	case TokRBrace:
+		return "'}'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokLAngle:
+		return "'<'"
+	case TokRAngle:
+		return "'>'"
+	case TokSemi:
+		return "';'"
+	case TokComma:
+		return "','"
+	case TokScope:
+		return "'::'"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// keywords of the supported dialect.
+var keywords = map[string]bool{
+	"module": true, "interface": true, "exception": true, "raises": true,
+	"in": true, "void": true, "boolean": true, "octet": true,
+	"short": true, "long": true, "float": true, "double": true,
+	"string": true, "sequence": true, "unsigned": true, "oneway": true,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokIdent || t.Kind == TokKeyword {
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+// LexError reports a lexical error with position.
+type LexError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("idl: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lex tokenizes src. Comments (// and /* */) and whitespace are skipped.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k && i < n; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			startLine, startCol := line, col
+			advance(2)
+			closed := false
+			for i < n {
+				if src[i] == '*' && i+1 < n && src[i+1] == '/' {
+					advance(2)
+					closed = true
+					break
+				}
+				advance(1)
+			}
+			if !closed {
+				return nil, &LexError{Line: startLine, Col: startCol, Msg: "unterminated block comment"}
+			}
+		case c == '{':
+			toks = append(toks, Token{TokLBrace, "{", line, col})
+			advance(1)
+		case c == '}':
+			toks = append(toks, Token{TokRBrace, "}", line, col})
+			advance(1)
+		case c == '(':
+			toks = append(toks, Token{TokLParen, "(", line, col})
+			advance(1)
+		case c == ')':
+			toks = append(toks, Token{TokRParen, ")", line, col})
+			advance(1)
+		case c == '<':
+			toks = append(toks, Token{TokLAngle, "<", line, col})
+			advance(1)
+		case c == '>':
+			toks = append(toks, Token{TokRAngle, ">", line, col})
+			advance(1)
+		case c == ';':
+			toks = append(toks, Token{TokSemi, ";", line, col})
+			advance(1)
+		case c == ',':
+			toks = append(toks, Token{TokComma, ",", line, col})
+			advance(1)
+		case c == ':':
+			if i+1 < n && src[i+1] == ':' {
+				toks = append(toks, Token{TokScope, "::", line, col})
+				advance(2)
+			} else {
+				return nil, &LexError{Line: line, Col: col, Msg: "unexpected ':'"}
+			}
+		case isIdentStart(rune(c)):
+			startLine, startCol := line, col
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			advance(j - i)
+			kind := TokIdent
+			if keywords[word] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{kind, word, startLine, startCol})
+		default:
+			return nil, &LexError{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", line, col})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// validIdent rejects identifiers that would break generated Go code.
+func validIdent(s string) bool {
+	if s == "" || strings.HasPrefix(s, "_") {
+		return false
+	}
+	for _, r := range s {
+		if !isIdentPart(r) {
+			return false
+		}
+	}
+	return true
+}

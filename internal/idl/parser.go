@@ -1,0 +1,309 @@
+package idl
+
+import (
+	"fmt"
+)
+
+// ParseError reports a syntax or semantic error with position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("idl: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t Token, format string, args ...any) error {
+	return &ParseError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// expect consumes a token of the given kind (and text, if nonempty).
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	t := p.next()
+	if t.Kind != kind || (text != "" && t.Text != text) {
+		want := kind.String()
+		if text != "" {
+			want = fmt.Sprintf("%q", text)
+		}
+		return t, p.errf(t, "expected %s, got %v", want, t)
+	}
+	return t, nil
+}
+
+// Parse compiles IDL source text to its module AST and runs semantic
+// checks.
+func Parse(src string) (*Module, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	mod, err := p.parseModule()
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(mod); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	if _, err := p.expect(TokKeyword, "module"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Name: nameTok.Text}
+	if _, err := p.expect(TokLBrace, ""); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch {
+		case t.Kind == TokRBrace:
+			p.next()
+			if _, err := p.expect(TokSemi, ""); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokEOF, ""); err != nil {
+				return nil, err
+			}
+			return mod, nil
+		case t.Kind == TokKeyword && t.Text == "exception":
+			ex, err := p.parseException()
+			if err != nil {
+				return nil, err
+			}
+			mod.Exceptions = append(mod.Exceptions, *ex)
+		case t.Kind == TokKeyword && t.Text == "interface":
+			ifc, err := p.parseInterface()
+			if err != nil {
+				return nil, err
+			}
+			mod.Interfaces = append(mod.Interfaces, *ifc)
+		default:
+			return nil, p.errf(t, "expected exception, interface or '}', got %v", t)
+		}
+	}
+}
+
+func (p *parser) parseException() (*Exception, error) {
+	kw, _ := p.expect(TokKeyword, "exception")
+	nameTok, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	ex := &Exception{Name: nameTok.Text, Line: kw.Line}
+	if _, err := p.expect(TokLBrace, ""); err != nil {
+		return nil, err
+	}
+	for p.peek().Kind != TokRBrace {
+		typ, err := p.parseType(false)
+		if err != nil {
+			return nil, err
+		}
+		mTok, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, ""); err != nil {
+			return nil, err
+		}
+		ex.Members = append(ex.Members, Member{Name: mTok.Text, Type: typ})
+	}
+	p.next() // '}'
+	if _, err := p.expect(TokSemi, ""); err != nil {
+		return nil, err
+	}
+	return ex, nil
+}
+
+func (p *parser) parseInterface() (*Interface, error) {
+	kw, _ := p.expect(TokKeyword, "interface")
+	nameTok, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	ifc := &Interface{Name: nameTok.Text, Line: kw.Line}
+	if _, err := p.expect(TokLBrace, ""); err != nil {
+		return nil, err
+	}
+	for p.peek().Kind != TokRBrace {
+		op, err := p.parseOperation()
+		if err != nil {
+			return nil, err
+		}
+		ifc.Operations = append(ifc.Operations, *op)
+	}
+	p.next() // '}'
+	if _, err := p.expect(TokSemi, ""); err != nil {
+		return nil, err
+	}
+	return ifc, nil
+}
+
+func (p *parser) parseOperation() (*Operation, error) {
+	op := &Operation{Line: p.peek().Line}
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == "oneway" {
+		p.next()
+		op.Oneway = true
+	}
+	result, err := p.parseType(true)
+	if err != nil {
+		return nil, err
+	}
+	op.Result = result
+	nameTok, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	op.Name = nameTok.Text
+	if _, err := p.expect(TokLParen, ""); err != nil {
+		return nil, err
+	}
+	for p.peek().Kind != TokRParen {
+		if len(op.Params) > 0 {
+			if _, err := p.expect(TokComma, ""); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokKeyword, "in"); err != nil {
+			return nil, err
+		}
+		typ, err := p.parseType(false)
+		if err != nil {
+			return nil, err
+		}
+		pTok, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		op.Params = append(op.Params, Param{Name: pTok.Text, Type: typ})
+	}
+	p.next() // ')'
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == "raises" {
+		p.next()
+		if _, err := p.expect(TokLParen, ""); err != nil {
+			return nil, err
+		}
+		for {
+			exTok, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			op.Raises = append(op.Raises, exTok.Text)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(TokRParen, ""); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi, ""); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// parseType parses a type; allowVoid permits the bare "void" result type.
+func (p *parser) parseType(allowVoid bool) (Type, error) {
+	t := p.next()
+	if t.Kind != TokKeyword {
+		return Type{}, p.errf(t, "expected a type, got %v", t)
+	}
+	switch t.Text {
+	case "void":
+		if !allowVoid {
+			return Type{}, p.errf(t, "void is only valid as a result type")
+		}
+		return Type{Kind: KindVoid}, nil
+	case "sequence":
+		if _, err := p.expect(TokLAngle, ""); err != nil {
+			return Type{}, err
+		}
+		elem, err := p.parseBasic()
+		if err != nil {
+			return Type{}, err
+		}
+		if _, err := p.expect(TokRAngle, ""); err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: elem, Sequence: true}, nil
+	default:
+		p.pos-- // re-read as a basic type
+		k, err := p.parseBasic()
+		if err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: k}, nil
+	}
+}
+
+// parseBasic parses a primitive type name, handling the two-word forms
+// "long long", "unsigned short/long/long long".
+func (p *parser) parseBasic() (BasicKind, error) {
+	t := p.next()
+	if t.Kind != TokKeyword {
+		return 0, p.errf(t, "expected a primitive type, got %v", t)
+	}
+	switch t.Text {
+	case "boolean":
+		return KindBoolean, nil
+	case "octet":
+		return KindOctet, nil
+	case "short":
+		return KindShort, nil
+	case "float":
+		return KindFloat, nil
+	case "double":
+		return KindDouble, nil
+	case "string":
+		return KindString, nil
+	case "long":
+		if n := p.peek(); n.Kind == TokKeyword && n.Text == "long" {
+			p.next()
+			return KindLongLong, nil
+		}
+		return KindLong, nil
+	case "unsigned":
+		n := p.next()
+		if n.Kind != TokKeyword {
+			return 0, p.errf(n, "expected short or long after unsigned")
+		}
+		switch n.Text {
+		case "short":
+			return KindUShort, nil
+		case "long":
+			if nn := p.peek(); nn.Kind == TokKeyword && nn.Text == "long" {
+				p.next()
+				return KindULongLong, nil
+			}
+			return KindULong, nil
+		default:
+			return 0, p.errf(n, "expected short or long after unsigned, got %v", n)
+		}
+	default:
+		return 0, p.errf(t, "%q is not a primitive type", t.Text)
+	}
+}

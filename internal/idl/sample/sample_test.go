@@ -1,0 +1,318 @@
+// End-to-end tests of the GENERATED code: the bank_gen.go stubs,
+// skeletons and fault-tolerant proxies produced by idlgen from bank.idl,
+// exercised over a live ORB.
+package sample
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ft"
+	"repro/internal/naming"
+	"repro/internal/orb"
+)
+
+// accountImpl implements the generated Account contract plus
+// ft.Checkpointable.
+type accountImpl struct {
+	mu      sync.Mutex
+	balance int64
+	notes   []string
+	audits  []string
+	history []float64
+}
+
+func (a *accountImpl) Deposit(amount int64) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance += amount
+	a.history = append(a.history, float64(a.balance))
+	return a.balance, nil
+}
+
+func (a *accountImpl) Withdraw(amount int64) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if amount > a.balance {
+		return 0, &InsufficientFunds{Reason: "balance too low", Missing: amount - a.balance}
+	}
+	a.balance -= amount
+	a.history = append(a.history, float64(a.balance))
+	return a.balance, nil
+}
+
+func (a *accountImpl) Balance() (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.balance, nil
+}
+
+func (a *accountImpl) Annotate(note string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.notes = append(a.notes, note)
+	return nil
+}
+
+func (a *accountImpl) Audit(event string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.audits = append(a.audits, event)
+	return nil
+}
+
+func (a *accountImpl) History(limit int32) ([]float64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if int(limit) < len(a.history) {
+		return a.history[len(a.history)-int(limit):], nil
+	}
+	return a.history, nil
+}
+
+// Checkpoint/Restore persist only the balance (sufficient for the tests).
+func (a *accountImpl) Checkpoint() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return []byte{byte(a.balance >> 8), byte(a.balance)}, nil
+}
+
+func (a *accountImpl) Restore(data []byte) error {
+	if len(data) != 2 {
+		return errors.New("bad checkpoint")
+	}
+	a.mu.Lock()
+	a.balance = int64(data[0])<<8 | int64(data[1])
+	a.mu.Unlock()
+	return nil
+}
+
+var _ Account = (*accountImpl)(nil)
+
+func startAccount(t *testing.T) (*orb.ORB, *AccountStub, *accountImpl) {
+	t.Helper()
+	server := orb.New(orb.Options{Name: "bank-server"})
+	t.Cleanup(server.Shutdown)
+	ad, err := server.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl := &accountImpl{}
+	ref := ad.Activate("acct", NewAccountServant(impl))
+
+	client := orb.New(orb.Options{Name: "bank-client"})
+	t.Cleanup(client.Shutdown)
+	return client, NewAccountStub(client, ref), impl
+}
+
+func TestGeneratedStubRoundTrip(t *testing.T) {
+	_, stub, _ := startAccount(t)
+	if b, err := stub.Deposit(100); err != nil || b != 100 {
+		t.Fatalf("deposit = %d, %v", b, err)
+	}
+	if b, err := stub.Withdraw(30); err != nil || b != 70 {
+		t.Fatalf("withdraw = %d, %v", b, err)
+	}
+	if b, err := stub.Balance(); err != nil || b != 70 {
+		t.Fatalf("balance = %d, %v", b, err)
+	}
+	if err := stub.Annotate("rent"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := stub.History(1)
+	if err != nil || len(h) != 1 || h[0] != 70 {
+		t.Fatalf("history = %v, %v", h, err)
+	}
+}
+
+func TestGeneratedTypedException(t *testing.T) {
+	_, stub, _ := startAccount(t)
+	_, err := stub.Withdraw(500)
+	var ife *InsufficientFunds
+	if !errors.As(err, &ife) {
+		t.Fatalf("err = %T %v, want *InsufficientFunds", err, err)
+	}
+	if ife.Missing != 500 || ife.Reason != "balance too low" {
+		t.Fatalf("exception members: %+v", ife)
+	}
+}
+
+func TestGeneratedOneway(t *testing.T) {
+	_, stub, impl := startAccount(t)
+	if err := stub.Audit("login"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		impl.mu.Lock()
+		n := len(impl.audits)
+		impl.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("oneway call never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestGeneratedProxyRecovers(t *testing.T) {
+	// Services: naming + store.
+	services := orb.New(orb.Options{Name: "services"})
+	t.Cleanup(services.Shutdown)
+	svcAd, err := services.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := naming.NewRegistry()
+	nsRef := svcAd.Activate(naming.DefaultKey, naming.NewServant(reg, naming.RoundRobinSelector()))
+	storeRef := svcAd.Activate(ft.StoreDefaultKey, ft.NewStoreServant(ft.NewMemStore()))
+
+	client := orb.New(orb.Options{Name: "client"})
+	t.Cleanup(client.Shutdown)
+	ns := naming.NewClient(client, nsRef)
+	store := ft.NewStoreClient(client, storeRef)
+
+	// Two account servers as offers of one name. The servants combine the
+	// generated skeleton with the checkpoint wrapper.
+	name := naming.NewName("acct")
+	srvA := orb.New(orb.Options{Name: "srvA"})
+	t.Cleanup(srvA.Shutdown)
+	adA, _ := srvA.NewAdapter("127.0.0.1:0")
+	implA := &accountImpl{}
+	refA := adA.Activate("a", &ft.Wrapper{Inner: NewAccountServant(implA), State: implA})
+	if err := ns.BindOffer(name, refA, "hostA"); err != nil {
+		t.Fatal(err)
+	}
+	srvB := orb.New(orb.Options{Name: "srvB"})
+	t.Cleanup(srvB.Shutdown)
+	adB, _ := srvB.NewAdapter("127.0.0.1:0")
+	implB := &accountImpl{}
+	refB := adB.Activate("b", &ft.Wrapper{Inner: NewAccountServant(implB), State: implB})
+	if err := ns.BindOffer(name, refB, "hostB"); err != nil {
+		t.Fatal(err)
+	}
+
+	proxy, err := NewAccountProxy(client, name, ns, store,
+		ft.Policy{CheckpointEvery: 1}, ft.WithUnbinder(ns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, err := proxy.Deposit(200); err != nil || b != 200 {
+		t.Fatalf("deposit = %d, %v", b, err)
+	}
+	// Typed exceptions pass through the proxy too.
+	if _, err := proxy.Withdraw(1000); err == nil {
+		t.Fatal("expected InsufficientFunds")
+	} else {
+		var ife *InsufficientFunds
+		if !errors.As(err, &ife) {
+			t.Fatalf("err = %T", err)
+		}
+	}
+	// Crash server A; the generated proxy recovers and replays.
+	srvA.Shutdown()
+	b, err := proxy.Withdraw(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 150 {
+		t.Fatalf("recovered balance = %d, want 150", b)
+	}
+	if implB.balance != 150 {
+		t.Fatalf("implB balance = %d", implB.balance)
+	}
+	st := proxy.Stats()
+	if st.Recoveries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if proxy.Ref().Addr != refB.Addr {
+		t.Fatalf("proxy ref = %v", proxy.Ref())
+	}
+	// Migration through the generated proxy.
+	if err := proxy.Migrate(refB); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tellerImpl exercises the second generated interface (multi-exception
+// raises, unsigned and short-sequence marshalling).
+type tellerImpl struct{}
+
+func (tellerImpl) Transfer(from, to string, amount int64) error {
+	switch {
+	case from == "ghost":
+		return &UnknownAccount{Id: from}
+	case amount > 100:
+		return &InsufficientFunds{Reason: "limit", Missing: amount - 100}
+	default:
+		return nil
+	}
+}
+
+func (tellerImpl) Accounts() ([]string, error) { return []string{"a", "b"}, nil }
+
+func (tellerImpl) Count(activeOnly bool) (uint32, error) {
+	if activeOnly {
+		return 1, nil
+	}
+	return 2, nil
+}
+
+func (tellerImpl) Codes(raw []byte) ([]int16, error) {
+	out := make([]int16, len(raw))
+	for i, b := range raw {
+		out[i] = int16(b) * 2
+	}
+	return out, nil
+}
+
+var _ Teller = tellerImpl{}
+
+func TestGeneratedTellerInterface(t *testing.T) {
+	server := orb.New(orb.Options{Name: "teller-server"})
+	t.Cleanup(server.Shutdown)
+	ad, err := server.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ad.Activate("teller", NewTellerServant(tellerImpl{}))
+	client := orb.New(orb.Options{Name: "teller-client"})
+	t.Cleanup(client.Shutdown)
+	stub := NewTellerStub(client, ref)
+
+	if err := stub.Transfer("a", "b", 10); err != nil {
+		t.Fatal(err)
+	}
+	var ua *UnknownAccount
+	if err := stub.Transfer("ghost", "b", 10); !errors.As(err, &ua) || ua.Id != "ghost" {
+		t.Fatalf("err = %v", err)
+	}
+	var ife *InsufficientFunds
+	if err := stub.Transfer("a", "b", 150); !errors.As(err, &ife) || ife.Missing != 50 {
+		t.Fatalf("err = %v", err)
+	}
+	accts, err := stub.Accounts()
+	if err != nil || len(accts) != 2 || accts[0] != "a" {
+		t.Fatalf("accounts = %v, %v", accts, err)
+	}
+	n, err := stub.Count(true)
+	if err != nil || n != 1 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	codes, err := stub.Codes([]byte{1, 2, 3})
+	if err != nil || len(codes) != 3 || codes[2] != 6 {
+		t.Fatalf("codes = %v, %v", codes, err)
+	}
+}
+
+func TestGeneratedServantRejectsUnknownOp(t *testing.T) {
+	client, stub, _ := startAccount(t)
+	err := client.Invoke(stub.Ref(), "no_such_op", nil, nil)
+	if !orb.IsSystemException(err, orb.ExBadOperation) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+package naming
+
+import (
+	"repro/internal/cdr"
+	"repro/internal/orb"
+)
+
+// Client is the typed client stub for the naming service (the generated
+// CosNaming stub analogue). All methods are remote calls, and all of them
+// transparently follow federation: when an operation's name traverses a
+// context mounted from another naming server, the stub re-issues the
+// operation there with the remaining name (bounded hop count).
+type Client struct {
+	orb *orb.ORB
+	ref orb.ObjectRef
+}
+
+// NewClient builds a stub for the naming service at ref.
+func NewClient(o *orb.ORB, ref orb.ObjectRef) *Client {
+	return &Client{orb: o, ref: ref}
+}
+
+// Ref returns the service's object reference.
+func (c *Client) Ref() orb.ObjectRef { return c.ref }
+
+// follow issues op against the naming service, hopping to remote naming
+// servers whenever the reply says resolution continues elsewhere.
+// writeArgs renders the operation arguments for the (possibly shortened)
+// target name of the current hop.
+func (c *Client) follow(name Name, op string, writeArgs func(e *cdr.Encoder, target Name), readReply func(*cdr.Decoder) error) error {
+	ref := c.ref
+	target := name
+	for hop := 0; hop <= maxFederationHops; hop++ {
+		err := c.orb.Invoke(ref, op,
+			func(e *cdr.Encoder) { writeArgs(e, target) },
+			readReply)
+		if fref, rest, ok := decodeFederated(err); ok {
+			ref, target = fref, rest
+			continue
+		}
+		return err
+	}
+	return &orb.UserException{RepoID: ExFederated, Detail: "too many federation hops"}
+}
+
+// Bind binds ref under name.
+func (c *Client) Bind(name Name, ref orb.ObjectRef) error {
+	return c.follow(name, opBind, func(e *cdr.Encoder, target Name) {
+		target.MarshalCDR(e)
+		ref.MarshalCDR(e)
+	}, nil)
+}
+
+// Rebind binds ref under name, replacing an existing object binding.
+func (c *Client) Rebind(name Name, ref orb.ObjectRef) error {
+	return c.follow(name, opRebind, func(e *cdr.Encoder, target Name) {
+		target.MarshalCDR(e)
+		ref.MarshalCDR(e)
+	}, nil)
+}
+
+// Unbind removes the binding at name.
+func (c *Client) Unbind(name Name) error {
+	return c.follow(name, opUnbind, func(e *cdr.Encoder, target Name) {
+		target.MarshalCDR(e)
+	}, nil)
+}
+
+// Resolve returns the reference bound at name. For group bindings the
+// service's selector (plain or Winner-driven) picks the offer — this is
+// the call whose behaviour the paper changes transparently.
+func (c *Client) Resolve(name Name) (orb.ObjectRef, error) {
+	var ref orb.ObjectRef
+	err := c.follow(name, opResolve,
+		func(e *cdr.Encoder, target Name) { target.MarshalCDR(e) },
+		func(d *cdr.Decoder) error { return ref.UnmarshalCDR(d) })
+	return ref, err
+}
+
+// BindNewContext creates a sub-context at name.
+func (c *Client) BindNewContext(name Name) error {
+	return c.follow(name, opBindNewContext, func(e *cdr.Encoder, target Name) {
+		target.MarshalCDR(e)
+	}, nil)
+}
+
+// BindRemoteContext mounts the naming context served at ref under name
+// (federation): operations traversing name continue at that server.
+func (c *Client) BindRemoteContext(name Name, ref orb.ObjectRef) error {
+	return c.follow(name, opBindRemote, func(e *cdr.Encoder, target Name) {
+		target.MarshalCDR(e)
+		ref.MarshalCDR(e)
+	}, nil)
+}
+
+// List returns the bindings in the context at name (nil for the root).
+func (c *Client) List(name Name) ([]Binding, error) {
+	var out []Binding
+	err := c.follow(name, opList,
+		func(e *cdr.Encoder, target Name) { target.MarshalCDR(e) },
+		func(d *cdr.Decoder) error {
+			n := d.GetUint32()
+			if n > 1<<20 {
+				return &orb.SystemException{Kind: orb.ExMarshal, Detail: "binding list too long"}
+			}
+			out = make([]Binding, 0, n)
+			for i := uint32(0); i < n; i++ {
+				bn, err := DecodeName(d)
+				if err != nil {
+					return err
+				}
+				out = append(out, Binding{Name: bn, Type: BindingType(d.GetUint32())})
+			}
+			return d.Err()
+		})
+	return out, err
+}
+
+// BindOffer adds (ref, host) to the group binding at name, creating the
+// group if absent. Servers on each host of a NOW register their offers
+// this way.
+func (c *Client) BindOffer(name Name, ref orb.ObjectRef, host string) error {
+	return c.follow(name, opBindOffer, func(e *cdr.Encoder, target Name) {
+		target.MarshalCDR(e)
+		ref.MarshalCDR(e)
+		e.PutString(host)
+	}, nil)
+}
+
+// UnbindOffer removes the offer with reference ref from the group at name.
+func (c *Client) UnbindOffer(name Name, ref orb.ObjectRef) error {
+	return c.follow(name, opUnbindOffer, func(e *cdr.Encoder, target Name) {
+		target.MarshalCDR(e)
+		ref.MarshalCDR(e)
+	}, nil)
+}
+
+// ListOffers returns the group bound at name.
+func (c *Client) ListOffers(name Name) ([]Offer, error) {
+	var out []Offer
+	err := c.follow(name, opListOffers,
+		func(e *cdr.Encoder, target Name) { target.MarshalCDR(e) },
+		func(d *cdr.Decoder) error {
+			n := d.GetUint32()
+			if n > 1<<20 {
+				return &orb.SystemException{Kind: orb.ExMarshal, Detail: "offer list too long"}
+			}
+			out = make([]Offer, 0, n)
+			for i := uint32(0); i < n; i++ {
+				var o Offer
+				if err := o.Ref.UnmarshalCDR(d); err != nil {
+					return err
+				}
+				o.Host = d.GetString()
+				out = append(out, o)
+			}
+			return d.Err()
+		})
+	return out, err
+}

@@ -1,0 +1,96 @@
+package naming
+
+import (
+	"fmt"
+
+	"repro/internal/cdr"
+	"repro/internal/orb"
+)
+
+// Federation: a context in one naming server's tree may be a *remote*
+// context — an object reference to a NamingContext served elsewhere.
+// Resolution that reaches a remote context cannot continue locally; the
+// server tells the client where to go on with the rest of the name, and
+// the client stub re-issues the operation there (bounded, to survive
+// cycles). This is how CosNaming graphs span naming servers.
+
+// ExFederated is the user exception carrying the continuation: the remote
+// context's reference plus the unresolved remainder of the name.
+const ExFederated = "IDL:repro/CosNaming/Federated:1.0"
+
+// maxFederationHops bounds cross-server resolution chains.
+const maxFederationHops = 8
+
+// federatedError is the internal signal that resolution must continue at
+// a remote naming context.
+type federatedError struct {
+	Ref  orb.ObjectRef
+	Rest Name
+}
+
+func (e *federatedError) Error() string {
+	return fmt.Sprintf("naming: continue at %v with %q", e.Ref, e.Rest)
+}
+
+// toUser converts the signal to its wire form.
+func (e *federatedError) toUser() *orb.UserException {
+	enc := cdr.NewEncoder(64)
+	e.Ref.MarshalCDR(enc)
+	e.Rest.MarshalCDR(enc)
+	return &orb.UserException{RepoID: ExFederated, Detail: e.Error(), Data: enc.Bytes()}
+}
+
+// decodeFederated parses the wire form; ok is false for other exceptions.
+func decodeFederated(err error) (orb.ObjectRef, Name, bool) {
+	ue, isUE := err.(*orb.UserException)
+	if !isUE || ue.RepoID != ExFederated {
+		return orb.ObjectRef{}, nil, false
+	}
+	d := cdr.NewDecoder(ue.Data)
+	var ref orb.ObjectRef
+	if err := ref.UnmarshalCDR(d); err != nil {
+		return orb.ObjectRef{}, nil, false
+	}
+	rest, err2 := DecodeName(d)
+	if err2 != nil {
+		return orb.ObjectRef{}, nil, false
+	}
+	return ref, rest, true
+}
+
+// BindRemoteContext mounts the naming context served at ref under n.
+// Resolution passing through n continues at the remote server.
+func (r *Registry) BindRemoteContext(n Name, ref orb.ObjectRef) error {
+	if err := n.Validate(); err != nil {
+		return errInvalidName(err.Error())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	node, last, err := r.walk(n)
+	if err != nil {
+		return err
+	}
+	if _, ok := node.entries[key(last)]; ok {
+		return errAlreadyBound(n)
+	}
+	node.entries[key(last)] = &entry{typ: BindRemote, remote: ref}
+	return nil
+}
+
+// remoteSignal builds the continuation for a traversal that hit a remote
+// mount after consuming `consumed` components of n.
+func remoteSignal(e *entry, n Name, consumed int) error {
+	rest := make(Name, len(n)-consumed)
+	copy(rest, n[consumed:])
+	return &federatedError{Ref: e.remote, Rest: rest}
+}
+
+// wireErr converts the internal federation signal to its wire exception;
+// all other errors pass through. Every servant-side registry result goes
+// through it.
+func wireErr(err error) error {
+	if fe, ok := err.(*federatedError); ok {
+		return fe.toUser()
+	}
+	return err
+}

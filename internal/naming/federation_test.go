@@ -1,0 +1,217 @@
+package naming
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/orb"
+)
+
+// twoServers boots two independent naming servers and returns clients for
+// both plus the second server's root reference.
+func twoServers(t *testing.T) (a, b *Client, bRoot orb.ObjectRef) {
+	t.Helper()
+	o := orb.New(orb.Options{Name: "fed-test"})
+	t.Cleanup(o.Shutdown)
+
+	adA, err := o.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refA := adA.Activate(DefaultKey, NewServant(NewRegistry(), nil))
+
+	adB, err := o.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refB := adB.Activate(DefaultKey, NewServant(NewRegistry(), nil))
+
+	return NewClient(o, refA), NewClient(o, refB), refB
+}
+
+func TestFederatedBindAndResolve(t *testing.T) {
+	a, b, bRoot := twoServers(t)
+	if err := a.BindRemoteContext(NewName("campus-b"), bRoot); err != nil {
+		t.Fatal(err)
+	}
+	// Bind through the mount: the entry must land in server B.
+	target := ref(7)
+	if err := a.Bind(NewName("campus-b", "printer"), target); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Resolve(NewName("printer"))
+	if err != nil || got != target {
+		t.Fatalf("B resolve = %v, %v", got, err)
+	}
+	// Resolve through the mount from A's side.
+	got, err = a.Resolve(NewName("campus-b", "printer"))
+	if err != nil || got != target {
+		t.Fatalf("A resolve = %v, %v", got, err)
+	}
+}
+
+func TestFederatedResolveMountItself(t *testing.T) {
+	a, _, bRoot := twoServers(t)
+	if err := a.BindRemoteContext(NewName("campus-b"), bRoot); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Resolve(NewName("campus-b"))
+	if err != nil || got != bRoot {
+		t.Fatalf("resolve mount = %v, %v", got, err)
+	}
+}
+
+func TestFederatedList(t *testing.T) {
+	a, b, bRoot := twoServers(t)
+	if err := a.BindRemoteContext(NewName("campus-b"), bRoot); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Bind(NewName("svc1"), ref(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Bind(NewName("svc2"), ref(2)); err != nil {
+		t.Fatal(err)
+	}
+	bindings, err := a.List(NewName("campus-b"))
+	if err != nil || len(bindings) != 2 {
+		t.Fatalf("list = %+v, %v", bindings, err)
+	}
+	// The mount shows up in A's root listing as a remote binding.
+	rootBindings, err := a.List(nil)
+	if err != nil || len(rootBindings) != 1 || rootBindings[0].Type != BindRemote {
+		t.Fatalf("root list = %+v, %v", rootBindings, err)
+	}
+}
+
+func TestFederatedDeepPath(t *testing.T) {
+	a, b, bRoot := twoServers(t)
+	if err := a.BindRemoteContext(NewName("campus-b"), bRoot); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.BindNewContext(NewName("local")); err != nil {
+		t.Fatal(err)
+	}
+	// Deep name crossing the mount mid-path, after a local context hop is
+	// impossible (mount at root of B); create B-side structure instead.
+	if err := b.BindNewContext(NewName("lab")); err != nil {
+		t.Fatal(err)
+	}
+	target := ref(9)
+	if err := a.Bind(NewName("campus-b", "lab", "scope"), target); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Resolve(NewName("campus-b", "lab", "scope"))
+	if err != nil || got != target {
+		t.Fatalf("deep resolve = %v, %v", got, err)
+	}
+}
+
+func TestFederatedOffers(t *testing.T) {
+	a, _, bRoot := twoServers(t)
+	if err := a.BindRemoteContext(NewName("campus-b"), bRoot); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.BindOffer(NewName("campus-b", "workers"), ref(1), "h1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.BindOffer(NewName("campus-b", "workers"), ref(2), "h2"); err != nil {
+		t.Fatal(err)
+	}
+	offers, err := a.ListOffers(NewName("campus-b", "workers"))
+	if err != nil || len(offers) != 2 {
+		t.Fatalf("offers = %+v, %v", offers, err)
+	}
+	if err := a.UnbindOffer(NewName("campus-b", "workers"), ref(1)); err != nil {
+		t.Fatal(err)
+	}
+	offers, err = a.ListOffers(NewName("campus-b", "workers"))
+	if err != nil || len(offers) != 1 || offers[0].Host != "h2" {
+		t.Fatalf("offers = %+v, %v", offers, err)
+	}
+}
+
+func TestFederatedThreeServerChain(t *testing.T) {
+	o := orb.New(orb.Options{Name: "chain"})
+	t.Cleanup(o.Shutdown)
+	var clients []*Client
+	var roots []orb.ObjectRef
+	for i := 0; i < 3; i++ {
+		ad, err := o.NewAdapter("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := ad.Activate(DefaultKey, NewServant(NewRegistry(), nil))
+		clients = append(clients, NewClient(o, root))
+		roots = append(roots, root)
+	}
+	// 0 mounts 1 under "next", 1 mounts 2 under "next".
+	if err := clients[0].BindRemoteContext(NewName("next"), roots[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := clients[1].BindRemoteContext(NewName("next"), roots[2]); err != nil {
+		t.Fatal(err)
+	}
+	target := ref(5)
+	if err := clients[2].Bind(NewName("end"), target); err != nil {
+		t.Fatal(err)
+	}
+	got, err := clients[0].Resolve(NewName("next", "next", "end"))
+	if err != nil || got != target {
+		t.Fatalf("chained resolve = %v, %v", got, err)
+	}
+}
+
+func TestFederationHopBound(t *testing.T) {
+	a, _, _ := twoServers(t)
+	// A mounts itself: resolution of a long self/self/... name must stop
+	// at the hop bound instead of looping.
+	if err := a.BindRemoteContext(NewName("self"), a.Ref()); err != nil {
+		t.Fatal(err)
+	}
+	name := Name{}
+	for i := 0; i < maxFederationHops+3; i++ {
+		name = append(name, Component{ID: "self"})
+	}
+	name = append(name, Component{ID: "x"})
+	_, err := a.Resolve(name)
+	if err == nil {
+		t.Fatal("unbounded federation resolve succeeded")
+	}
+	if !orb.IsUserException(err, ExFederated) && !strings.Contains(err.Error(), "hops") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFederatedSnapshotPersistsMount(t *testing.T) {
+	a, _, bRoot := twoServers(t)
+	if err := a.BindRemoteContext(NewName("campus-b"), bRoot); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot A's registry by reaching through the servant is not
+	// possible remotely; build an equivalent local registry instead.
+	r := NewRegistry()
+	if err := r.BindRemoteContext(NewName("campus-b"), bRoot); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRegistry()
+	if err := r2.RestoreSnapshot(r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r2.ResolveObject(NewName("campus-b"))
+	if err != nil || got != bRoot {
+		t.Fatalf("restored mount = %v, %v", got, err)
+	}
+}
+
+func TestBindRemoteContextConflicts(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Bind(NewName("x"), ref(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindRemoteContext(NewName("x"), ref(2)); !orb.IsUserException(err, ExAlreadyBound) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := r.BindRemoteContext(Name{}, ref(2)); !orb.IsUserException(err, ExInvalidName) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package naming implements a CORBA CosNaming-style naming service: a
+// hierarchical tree of naming contexts binding compound names to object
+// references, exposed as an ordinary ORB service (servant + client stub).
+//
+// Beyond plain CosNaming the service supports *group bindings*: several
+// object references registered under one name, with a pluggable Selector
+// deciding which one a resolve returns. The plain selector (registration
+// order round-robin) is the paper's unmodified-naming-service baseline;
+// the Winner-driven selector in internal/core is the paper's contribution.
+package naming
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cdr"
+)
+
+// Component is one step of a compound name (CosNaming NameComponent: an id
+// plus an optional kind qualifier).
+type Component struct {
+	ID   string
+	Kind string
+}
+
+func (c Component) String() string {
+	if c.Kind == "" {
+		return escape(c.ID)
+	}
+	return escape(c.ID) + "." + escape(c.Kind)
+}
+
+// Name is a compound name: a path of components from a root context.
+type Name []Component
+
+// NewName builds a Name from plain ids (empty kinds).
+func NewName(ids ...string) Name {
+	n := make(Name, len(ids))
+	for i, id := range ids {
+		n[i] = Component{ID: id}
+	}
+	return n
+}
+
+// String renders the name in the CosNaming string syntax: components
+// separated by '/', id and kind separated by '.', both escapable with '\'.
+func (n Name) String() string {
+	parts := make([]string, len(n))
+	for i, c := range n {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, "/")
+}
+
+// escape backslash-escapes the structural characters '/', '.' and '\'.
+func escape(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r == '/' || r == '.' || r == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// InvalidNameError reports a malformed name or name string.
+type InvalidNameError struct{ Reason string }
+
+func (e *InvalidNameError) Error() string { return "naming: invalid name: " + e.Reason }
+
+// ParseName parses the CosNaming string syntax produced by Name.String.
+func ParseName(s string) (Name, error) {
+	if s == "" {
+		return nil, &InvalidNameError{Reason: "empty name"}
+	}
+	var name Name
+	var cur strings.Builder
+	var id string
+	inKind := false
+	flush := func() error {
+		if inKind {
+			if id == "" && cur.Len() == 0 {
+				return &InvalidNameError{Reason: "empty component"}
+			}
+			name = append(name, Component{ID: id, Kind: cur.String()})
+		} else {
+			if cur.Len() == 0 {
+				return &InvalidNameError{Reason: "empty component"}
+			}
+			name = append(name, Component{ID: cur.String()})
+		}
+		cur.Reset()
+		id = ""
+		inKind = false
+		return nil
+	}
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		switch ch {
+		case '\\':
+			if i+1 >= len(s) {
+				return nil, &InvalidNameError{Reason: "trailing escape"}
+			}
+			i++
+			cur.WriteByte(s[i])
+		case '/':
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		case '.':
+			if inKind {
+				return nil, &InvalidNameError{Reason: "multiple kind separators"}
+			}
+			id = cur.String()
+			cur.Reset()
+			inKind = true
+		default:
+			cur.WriteByte(ch)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return name, nil
+}
+
+// Validate rejects empty names and empty component ids.
+func (n Name) Validate() error {
+	if len(n) == 0 {
+		return &InvalidNameError{Reason: "empty name"}
+	}
+	for _, c := range n {
+		if c.ID == "" {
+			return &InvalidNameError{Reason: "empty component id"}
+		}
+	}
+	return nil
+}
+
+// MarshalCDR encodes the name as a sequence of (id, kind) pairs.
+func (n Name) MarshalCDR(e *cdr.Encoder) {
+	e.PutUint32(uint32(len(n)))
+	for _, c := range n {
+		e.PutString(c.ID)
+		e.PutString(c.Kind)
+	}
+}
+
+// DecodeName reads a Name from d.
+func DecodeName(d *cdr.Decoder) (Name, error) {
+	cnt := d.GetUint32()
+	if cnt > 255 {
+		return nil, &InvalidNameError{Reason: fmt.Sprintf("name too deep: %d", cnt)}
+	}
+	n := make(Name, 0, cnt)
+	for i := uint32(0); i < cnt; i++ {
+		c := Component{ID: d.GetString(), Kind: d.GetString()}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		n = append(n, c)
+	}
+	return n, d.Err()
+}

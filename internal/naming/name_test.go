@@ -1,0 +1,128 @@
+package naming
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cdr"
+)
+
+func TestNameString(t *testing.T) {
+	cases := []struct {
+		name Name
+		want string
+	}{
+		{NewName("a"), "a"},
+		{NewName("a", "b", "c"), "a/b/c"},
+		{Name{{ID: "svc", Kind: "obj"}}, "svc.obj"},
+		{Name{{ID: "a/b", Kind: "c.d"}}, `a\/b.c\.d`},
+		{Name{{ID: `back\slash`}}, `back\\slash`},
+	}
+	for _, c := range cases {
+		if got := c.name.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestParseName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Name
+	}{
+		{"a", NewName("a")},
+		{"a/b/c", NewName("a", "b", "c")},
+		{"svc.obj", Name{{ID: "svc", Kind: "obj"}}},
+		{`a\/b.c\.d`, Name{{ID: "a/b", Kind: "c.d"}}},
+		{"x.", Name{{ID: "x", Kind: ""}}},
+	}
+	for _, c := range cases {
+		got, err := ParseName(c.in)
+		if err != nil {
+			t.Errorf("ParseName(%q): %v", c.in, err)
+			continue
+		}
+		if got.String() != c.want.String() || len(got) != len(c.want) {
+			t.Errorf("ParseName(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseNameErrors(t *testing.T) {
+	for _, in := range []string{"", "/", "a//b", "a.b.c", `a\`, "/a"} {
+		if _, err := ParseName(in); err == nil {
+			t.Errorf("ParseName(%q) succeeded", in)
+		}
+	}
+}
+
+func TestNameValidate(t *testing.T) {
+	if err := (Name{}).Validate(); err == nil {
+		t.Error("empty name validated")
+	}
+	if err := (Name{{ID: ""}}).Validate(); err == nil {
+		t.Error("empty id validated")
+	}
+	if err := NewName("ok").Validate(); err != nil {
+		t.Errorf("valid name rejected: %v", err)
+	}
+}
+
+func TestNameCDRRoundTrip(t *testing.T) {
+	in := Name{{ID: "a", Kind: "k"}, {ID: "b"}, {ID: "", Kind: "only-kind"}}
+	e := cdr.NewEncoder(0)
+	in.MarshalCDR(e)
+	d := cdr.NewDecoder(e.Bytes())
+	out, err := DecodeName(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("component %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDecodeNameTooDeep(t *testing.T) {
+	e := cdr.NewEncoder(0)
+	e.PutUint32(1000)
+	if _, err := DecodeName(cdr.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("expected depth error")
+	}
+}
+
+// Property: String/ParseName round trip for arbitrary component content.
+func TestQuickNameStringRoundTrip(t *testing.T) {
+	f := func(ids []string) bool {
+		var n Name
+		for _, id := range ids {
+			if id == "" {
+				id = "x"
+			}
+			n = append(n, Component{ID: id})
+		}
+		if len(n) == 0 {
+			return true
+		}
+		parsed, err := ParseName(n.String())
+		if err != nil {
+			return false
+		}
+		if len(parsed) != len(n) {
+			return false
+		}
+		for i := range n {
+			if parsed[i].ID != n[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

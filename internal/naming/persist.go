@@ -1,0 +1,153 @@
+package naming
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cdr"
+)
+
+// Registry persistence: the whole naming tree serializes to a CDR
+// encapsulation, so a standalone nameserver can survive restarts without
+// losing bindings (production naming services persist their trees; the
+// format is versioned for forward evolution).
+
+// persistVersion tags the on-disk format.
+const persistVersion = 1
+
+// Snapshot serializes the registry.
+func (r *Registry) Snapshot() []byte {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return cdr.Encapsulate(func(e *cdr.Encoder) {
+		e.PutUint32(persistVersion)
+		snapshotContext(e, r.root)
+	})
+}
+
+func snapshotContext(e *cdr.Encoder, node *contextNode) {
+	e.PutUint32(uint32(len(node.entries)))
+	for k, ent := range node.entries {
+		id, kind, _ := splitKey(k)
+		e.PutString(id)
+		e.PutString(kind)
+		e.PutUint32(uint32(ent.typ))
+		switch ent.typ {
+		case BindObject:
+			ent.ref.MarshalCDR(e)
+		case BindRemote:
+			ent.remote.MarshalCDR(e)
+		case BindContext:
+			snapshotContext(e, ent.ctx)
+		case BindGroup:
+			e.PutUint32(uint32(len(ent.group)))
+			for _, o := range ent.group {
+				o.Ref.MarshalCDR(e)
+				e.PutString(o.Host)
+			}
+		}
+	}
+}
+
+// RestoreSnapshot replaces the registry contents with a snapshot.
+func (r *Registry) RestoreSnapshot(data []byte) error {
+	d, err := cdr.OpenEncapsulation(data)
+	if err != nil {
+		return fmt.Errorf("naming: snapshot: %w", err)
+	}
+	if v := d.GetUint32(); v != persistVersion {
+		return fmt.Errorf("naming: snapshot version %d unsupported", v)
+	}
+	root, err := restoreContext(d, 0)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.root = root
+	r.mu.Unlock()
+	return nil
+}
+
+// maxPersistDepth bounds context nesting in snapshots (corruption guard).
+const maxPersistDepth = 64
+
+func restoreContext(d *cdr.Decoder, depth int) (*contextNode, error) {
+	if depth > maxPersistDepth {
+		return nil, fmt.Errorf("naming: snapshot nests deeper than %d contexts", maxPersistDepth)
+	}
+	n := d.GetUint32()
+	if n > 1<<20 {
+		return nil, fmt.Errorf("naming: snapshot context with %d entries", n)
+	}
+	node := newContextNode()
+	for i := uint32(0); i < n; i++ {
+		id := d.GetString()
+		kind := d.GetString()
+		typ := BindingType(d.GetUint32())
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("naming: snapshot: %w", err)
+		}
+		ent := &entry{typ: typ}
+		switch typ {
+		case BindObject:
+			if err := ent.ref.UnmarshalCDR(d); err != nil {
+				return nil, fmt.Errorf("naming: snapshot: %w", err)
+			}
+		case BindRemote:
+			if err := ent.remote.UnmarshalCDR(d); err != nil {
+				return nil, fmt.Errorf("naming: snapshot: %w", err)
+			}
+		case BindContext:
+			sub, err := restoreContext(d, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			ent.ctx = sub
+		case BindGroup:
+			cnt := d.GetUint32()
+			if cnt > 1<<20 {
+				return nil, fmt.Errorf("naming: snapshot group with %d offers", cnt)
+			}
+			for j := uint32(0); j < cnt; j++ {
+				var o Offer
+				if err := o.Ref.UnmarshalCDR(d); err != nil {
+					return nil, fmt.Errorf("naming: snapshot: %w", err)
+				}
+				o.Host = d.GetString()
+				ent.group = append(ent.group, o)
+			}
+			if err := d.Err(); err != nil {
+				return nil, fmt.Errorf("naming: snapshot: %w", err)
+			}
+		default:
+			return nil, fmt.Errorf("naming: snapshot has unknown binding type %d", typ)
+		}
+		node.entries[key(Component{ID: id, Kind: kind})] = ent
+	}
+	return node, nil
+}
+
+// SaveFile writes the snapshot atomically (write temp + rename).
+func (r *Registry) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, r.Snapshot(), 0o644); err != nil {
+		return fmt.Errorf("naming: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("naming: save: %w", err)
+	}
+	return nil
+}
+
+// LoadFile restores the registry from a snapshot file. A missing file is
+// not an error (fresh start).
+func (r *Registry) LoadFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("naming: load: %w", err)
+	}
+	return r.RestoreSnapshot(raw)
+}

@@ -1,0 +1,346 @@
+package naming
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/orb"
+)
+
+// BindingType distinguishes what a name is bound to.
+type BindingType uint32
+
+// Binding types.
+const (
+	BindObject  BindingType = iota // a single object reference
+	BindContext                    // a sub-context
+	BindGroup                      // a group of offers (load-distribution extension)
+	BindRemote                     // a context served by another naming server (federation)
+)
+
+// Offer is one member of a group binding: an object reference plus the
+// logical host it runs on (the information the Winner selector needs).
+type Offer struct {
+	Ref  orb.ObjectRef
+	Host string
+}
+
+// Binding summarises one entry of a context listing.
+type Binding struct {
+	Name Name // single-component name within the listed context
+	Type BindingType
+}
+
+// User-exception repository ids raised by the service (CosNaming analogue).
+const (
+	ExNotFound     = "IDL:repro/CosNaming/NotFound:1.0"
+	ExAlreadyBound = "IDL:repro/CosNaming/AlreadyBound:1.0"
+	ExNotContext   = "IDL:repro/CosNaming/NotContext:1.0"
+	ExInvalidName  = "IDL:repro/CosNaming/InvalidName:1.0"
+	ExNoOffer      = "IDL:repro/CosNaming/NoOffer:1.0"
+)
+
+func errNotFound(n Name) error {
+	return &orb.UserException{RepoID: ExNotFound, Detail: n.String()}
+}
+func errAlreadyBound(n Name) error {
+	return &orb.UserException{RepoID: ExAlreadyBound, Detail: n.String()}
+}
+func errNotContext(n Name) error {
+	return &orb.UserException{RepoID: ExNotContext, Detail: n.String()}
+}
+func errInvalidName(reason string) error {
+	return &orb.UserException{RepoID: ExInvalidName, Detail: reason}
+}
+
+// entry is one slot in a context: exactly one of ref/ctx/group/remote is
+// set according to typ.
+type entry struct {
+	typ    BindingType
+	ref    orb.ObjectRef
+	ctx    *contextNode
+	group  []Offer
+	remote orb.ObjectRef
+}
+
+// contextNode is one naming context in the tree.
+type contextNode struct {
+	entries map[string]*entry
+}
+
+func newContextNode() *contextNode {
+	return &contextNode{entries: make(map[string]*entry)}
+}
+
+// key flattens a component for map lookup.
+func key(c Component) string { return c.ID + "\x00" + c.Kind }
+
+// Registry is the in-memory naming tree. It is the state behind the
+// naming service servant but is also usable in-process. All methods are
+// safe for concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	root *contextNode
+}
+
+// NewRegistry creates an empty naming tree.
+func NewRegistry() *Registry { return &Registry{root: newContextNode()} }
+
+// walk descends to the context holding the last component of n, creating
+// nothing. Returns the node and the final component.
+func (r *Registry) walk(n Name) (*contextNode, Component, error) {
+	node := r.root
+	for i := 0; i < len(n)-1; i++ {
+		e, ok := node.entries[key(n[i])]
+		if !ok {
+			return nil, Component{}, errNotFound(n[:i+1])
+		}
+		switch e.typ {
+		case BindContext:
+			node = e.ctx
+		case BindRemote:
+			// Resolution continues at another naming server.
+			return nil, Component{}, remoteSignal(e, n, i+1)
+		default:
+			return nil, Component{}, errNotContext(n[:i+1])
+		}
+	}
+	return node, n[len(n)-1], nil
+}
+
+// Bind binds ref under n; it fails with AlreadyBound if n is taken.
+func (r *Registry) Bind(n Name, ref orb.ObjectRef) error {
+	if err := n.Validate(); err != nil {
+		return errInvalidName(err.Error())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	node, last, err := r.walk(n)
+	if err != nil {
+		return err
+	}
+	if _, ok := node.entries[key(last)]; ok {
+		return errAlreadyBound(n)
+	}
+	node.entries[key(last)] = &entry{typ: BindObject, ref: ref}
+	return nil
+}
+
+// Rebind binds ref under n, replacing any existing object binding.
+// Rebinding over a context or group fails with NotContext/AlreadyBound
+// respectively, so structural bindings are not silently destroyed.
+func (r *Registry) Rebind(n Name, ref orb.ObjectRef) error {
+	if err := n.Validate(); err != nil {
+		return errInvalidName(err.Error())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	node, last, err := r.walk(n)
+	if err != nil {
+		return err
+	}
+	if e, ok := node.entries[key(last)]; ok {
+		switch e.typ {
+		case BindContext:
+			return errNotContext(n)
+		case BindGroup:
+			return errAlreadyBound(n)
+		}
+	}
+	node.entries[key(last)] = &entry{typ: BindObject, ref: ref}
+	return nil
+}
+
+// BindNewContext creates (and binds) a fresh sub-context at n.
+func (r *Registry) BindNewContext(n Name) error {
+	if err := n.Validate(); err != nil {
+		return errInvalidName(err.Error())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	node, last, err := r.walk(n)
+	if err != nil {
+		return err
+	}
+	if _, ok := node.entries[key(last)]; ok {
+		return errAlreadyBound(n)
+	}
+	node.entries[key(last)] = &entry{typ: BindContext, ctx: newContextNode()}
+	return nil
+}
+
+// Unbind removes the binding at n (object, context or group).
+func (r *Registry) Unbind(n Name) error {
+	if err := n.Validate(); err != nil {
+		return errInvalidName(err.Error())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	node, last, err := r.walk(n)
+	if err != nil {
+		return err
+	}
+	if _, ok := node.entries[key(last)]; !ok {
+		return errNotFound(n)
+	}
+	delete(node.entries, key(last))
+	return nil
+}
+
+// ResolveObject resolves n to a single object binding.
+func (r *Registry) ResolveObject(n Name) (orb.ObjectRef, error) {
+	if err := n.Validate(); err != nil {
+		return orb.ObjectRef{}, errInvalidName(err.Error())
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	node, last, err := r.walk(n)
+	if err != nil {
+		return orb.ObjectRef{}, err
+	}
+	e, ok := node.entries[key(last)]
+	if !ok {
+		return orb.ObjectRef{}, errNotFound(n)
+	}
+	switch e.typ {
+	case BindObject:
+		return e.ref, nil
+	case BindRemote:
+		// Resolving the mount point itself yields the remote context's
+		// own reference (CosNaming semantics: contexts are objects).
+		return e.remote, nil
+	default:
+		return orb.ObjectRef{}, errNotContext(n)
+	}
+}
+
+// BindOffer adds an offer to the group binding at n, creating the group if
+// n is unbound. Adding to an object/context binding fails.
+func (r *Registry) BindOffer(n Name, offer Offer) error {
+	if err := n.Validate(); err != nil {
+		return errInvalidName(err.Error())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	node, last, err := r.walk(n)
+	if err != nil {
+		return err
+	}
+	e, ok := node.entries[key(last)]
+	if !ok {
+		node.entries[key(last)] = &entry{typ: BindGroup, group: []Offer{offer}}
+		return nil
+	}
+	if e.typ != BindGroup {
+		return errAlreadyBound(n)
+	}
+	for _, o := range e.group {
+		if o.Ref == offer.Ref {
+			return errAlreadyBound(n)
+		}
+	}
+	e.group = append(e.group, offer)
+	return nil
+}
+
+// UnbindOffer removes the offer with the given reference from the group at
+// n. Removing the last offer removes the group binding itself.
+func (r *Registry) UnbindOffer(n Name, ref orb.ObjectRef) error {
+	if err := n.Validate(); err != nil {
+		return errInvalidName(err.Error())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	node, last, err := r.walk(n)
+	if err != nil {
+		return err
+	}
+	e, ok := node.entries[key(last)]
+	if !ok || e.typ != BindGroup {
+		return errNotFound(n)
+	}
+	for i, o := range e.group {
+		if o.Ref == ref {
+			e.group = append(e.group[:i], e.group[i+1:]...)
+			if len(e.group) == 0 {
+				delete(node.entries, key(last))
+			}
+			return nil
+		}
+	}
+	return errNotFound(n)
+}
+
+// Offers returns a copy of the group bound at n. A single object binding
+// is returned as a one-offer group, so group-aware resolvers work
+// uniformly over both binding styles.
+func (r *Registry) Offers(n Name) ([]Offer, error) {
+	if err := n.Validate(); err != nil {
+		return nil, errInvalidName(err.Error())
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	node, last, err := r.walk(n)
+	if err != nil {
+		return nil, err
+	}
+	e, ok := node.entries[key(last)]
+	if !ok {
+		return nil, errNotFound(n)
+	}
+	switch e.typ {
+	case BindObject:
+		return []Offer{{Ref: e.ref}}, nil
+	case BindRemote:
+		return []Offer{{Ref: e.remote}}, nil
+	case BindGroup:
+		out := make([]Offer, len(e.group))
+		copy(out, e.group)
+		return out, nil
+	default:
+		return nil, errNotContext(n)
+	}
+}
+
+// List returns the bindings of the context at n (nil n lists the root),
+// sorted by name for deterministic output.
+func (r *Registry) List(n Name) ([]Binding, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	node := r.root
+	if len(n) > 0 {
+		parent, last, err := r.walk(n)
+		if err != nil {
+			return nil, err
+		}
+		e, ok := parent.entries[key(last)]
+		if !ok {
+			return nil, errNotFound(n)
+		}
+		switch e.typ {
+		case BindContext:
+			node = e.ctx
+		case BindRemote:
+			// Listing a mount point lists the remote server's root.
+			return nil, remoteSignal(e, n, len(n))
+		default:
+			return nil, errNotContext(n)
+		}
+	}
+	out := make([]Binding, 0, len(node.entries))
+	for k, e := range node.entries {
+		id, kind, _ := splitKey(k)
+		out = append(out, Binding{Name: Name{{ID: id, Kind: kind}}, Type: e.typ})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name.String() < out[j].Name.String() })
+	return out, nil
+}
+
+func splitKey(k string) (id, kind string, ok bool) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == 0 {
+			return k[:i], k[i+1:], true
+		}
+	}
+	return k, "", false
+}

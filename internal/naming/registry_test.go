@@ -1,0 +1,368 @@
+package naming
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/orb"
+)
+
+func ref(i int) orb.ObjectRef {
+	return orb.ObjectRef{TypeID: "T", Addr: fmt.Sprintf("h%d:1", i), Key: fmt.Sprintf("k%d", i)}
+}
+
+func TestBindResolve(t *testing.T) {
+	r := NewRegistry()
+	n := NewName("calc")
+	if err := r.Bind(n, ref(1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ResolveObject(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref(1) {
+		t.Fatalf("resolve = %v", got)
+	}
+}
+
+func TestBindDuplicateFails(t *testing.T) {
+	r := NewRegistry()
+	n := NewName("x")
+	if err := r.Bind(n, ref(1)); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Bind(n, ref(2))
+	if !orb.IsUserException(err, ExAlreadyBound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRebindReplaces(t *testing.T) {
+	r := NewRegistry()
+	n := NewName("x")
+	if err := r.Rebind(n, ref(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Rebind(n, ref(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.ResolveObject(n)
+	if got != ref(2) {
+		t.Fatalf("resolve = %v", got)
+	}
+}
+
+func TestRebindOverContextFails(t *testing.T) {
+	r := NewRegistry()
+	if err := r.BindNewContext(NewName("ctx")); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Rebind(NewName("ctx"), ref(1))
+	if !orb.IsUserException(err, ExNotContext) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHierarchicalBind(t *testing.T) {
+	r := NewRegistry()
+	if err := r.BindNewContext(NewName("apps")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindNewContext(NewName("apps", "mdo")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewName("apps", "mdo", "solver")
+	if err := r.Bind(n, ref(3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ResolveObject(n)
+	if err != nil || got != ref(3) {
+		t.Fatalf("resolve = %v, %v", got, err)
+	}
+}
+
+func TestResolveThroughMissingContext(t *testing.T) {
+	r := NewRegistry()
+	_, err := r.ResolveObject(NewName("nope", "x"))
+	if !orb.IsUserException(err, ExNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestResolveThroughNonContext(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Bind(NewName("leaf"), ref(1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.ResolveObject(NewName("leaf", "x"))
+	if !orb.IsUserException(err, ExNotContext) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	r := NewRegistry()
+	n := NewName("x")
+	if err := r.Bind(n, ref(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unbind(n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ResolveObject(n); !orb.IsUserException(err, ExNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := r.Unbind(n); !orb.IsUserException(err, ExNotFound) {
+		t.Fatalf("double unbind err = %v", err)
+	}
+}
+
+func TestInvalidNames(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Bind(Name{}, ref(1)); !orb.IsUserException(err, ExInvalidName) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.ResolveObject(Name{{ID: ""}}); !orb.IsUserException(err, ExInvalidName) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKindDistinguishesBindings(t *testing.T) {
+	r := NewRegistry()
+	a := Name{{ID: "svc", Kind: "v1"}}
+	b := Name{{ID: "svc", Kind: "v2"}}
+	if err := r.Bind(a, ref(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bind(b, ref(2)); err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := r.ResolveObject(a)
+	rb, _ := r.ResolveObject(b)
+	if ra != ref(1) || rb != ref(2) {
+		t.Fatal("kind not distinguishing")
+	}
+}
+
+func TestGroupBindOfferAndResolve(t *testing.T) {
+	r := NewRegistry()
+	n := NewName("workers")
+	for i := 0; i < 3; i++ {
+		if err := r.BindOffer(n, Offer{Ref: ref(i), Host: fmt.Sprintf("node%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	offers, err := r.Offers(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 3 {
+		t.Fatalf("offers = %d", len(offers))
+	}
+	for i, o := range offers {
+		if o.Ref != ref(i) || o.Host != fmt.Sprintf("node%d", i) {
+			t.Fatalf("offer %d = %+v", i, o)
+		}
+	}
+}
+
+func TestBindOfferDuplicateRefFails(t *testing.T) {
+	r := NewRegistry()
+	n := NewName("w")
+	if err := r.BindOffer(n, Offer{Ref: ref(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindOffer(n, Offer{Ref: ref(1)}); !orb.IsUserException(err, ExAlreadyBound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBindOfferOverObjectFails(t *testing.T) {
+	r := NewRegistry()
+	n := NewName("x")
+	if err := r.Bind(n, ref(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindOffer(n, Offer{Ref: ref(2)}); !orb.IsUserException(err, ExAlreadyBound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnbindOffer(t *testing.T) {
+	r := NewRegistry()
+	n := NewName("w")
+	for i := 0; i < 2; i++ {
+		if err := r.BindOffer(n, Offer{Ref: ref(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.UnbindOffer(n, ref(0)); err != nil {
+		t.Fatal(err)
+	}
+	offers, _ := r.Offers(n)
+	if len(offers) != 1 || offers[0].Ref != ref(1) {
+		t.Fatalf("offers = %+v", offers)
+	}
+	// Removing the last offer removes the binding.
+	if err := r.UnbindOffer(n, ref(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Offers(n); !orb.IsUserException(err, ExNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnbindOfferMissing(t *testing.T) {
+	r := NewRegistry()
+	n := NewName("w")
+	if err := r.BindOffer(n, Offer{Ref: ref(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.UnbindOffer(n, ref(9)); !orb.IsUserException(err, ExNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOffersOnObjectBinding(t *testing.T) {
+	r := NewRegistry()
+	n := NewName("single")
+	if err := r.Bind(n, ref(7)); err != nil {
+		t.Fatal(err)
+	}
+	offers, err := r.Offers(n)
+	if err != nil || len(offers) != 1 || offers[0].Ref != ref(7) {
+		t.Fatalf("offers = %+v, %v", offers, err)
+	}
+}
+
+func TestList(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Bind(NewName("b"), ref(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindNewContext(NewName("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindOffer(NewName("c"), Offer{Ref: ref(2)}); err != nil {
+		t.Fatal(err)
+	}
+	bindings, err := r.List(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bindings) != 3 {
+		t.Fatalf("bindings = %d", len(bindings))
+	}
+	// Sorted: a (context), b (object), c (group).
+	wantTypes := []BindingType{BindContext, BindObject, BindGroup}
+	wantNames := []string{"a", "b", "c"}
+	for i, b := range bindings {
+		if b.Name.String() != wantNames[i] || b.Type != wantTypes[i] {
+			t.Fatalf("binding %d = %+v", i, b)
+		}
+	}
+}
+
+func TestListSubContext(t *testing.T) {
+	r := NewRegistry()
+	if err := r.BindNewContext(NewName("sub")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bind(NewName("sub", "x"), ref(1)); err != nil {
+		t.Fatal(err)
+	}
+	bindings, err := r.List(NewName("sub"))
+	if err != nil || len(bindings) != 1 || bindings[0].Name.String() != "x" {
+		t.Fatalf("list sub = %+v, %v", bindings, err)
+	}
+	if _, err := r.List(NewName("missing")); !orb.IsUserException(err, ExNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				n := NewName(fmt.Sprintf("svc-%d-%d", g, i))
+				if err := r.Bind(n, ref(i)); err != nil {
+					t.Errorf("bind: %v", err)
+					return
+				}
+				if _, err := r.ResolveObject(n); err != nil {
+					t.Errorf("resolve: %v", err)
+					return
+				}
+				if err := r.BindOffer(NewName("shared"), Offer{Ref: orb.ObjectRef{Addr: n.String(), Key: "k"}}); err != nil {
+					t.Errorf("offer: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	offers, err := r.Offers(NewName("shared"))
+	if err != nil || len(offers) != 800 {
+		t.Fatalf("offers = %d, %v", len(offers), err)
+	}
+}
+
+func TestRoundRobinSelector(t *testing.T) {
+	sel := RoundRobinSelector()
+	offers := []Offer{{Host: "a"}, {Host: "b"}, {Host: "c"}}
+	n := NewName("w")
+	got := make([]string, 6)
+	for i := range got {
+		o, err := sel.Select(n, offers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[i] = o.Host
+	}
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round robin order %v", got)
+		}
+	}
+}
+
+func TestRoundRobinPerNameState(t *testing.T) {
+	sel := RoundRobinSelector()
+	offers := []Offer{{Host: "a"}, {Host: "b"}}
+	o1, _ := sel.Select(NewName("x"), offers)
+	o2, _ := sel.Select(NewName("y"), offers)
+	if o1.Host != "a" || o2.Host != "a" {
+		t.Fatal("per-name counters not independent")
+	}
+}
+
+func TestRandomSelectorInRange(t *testing.T) {
+	sel := RandomSelector(nil)
+	offers := []Offer{{Host: "a"}, {Host: "b"}, {Host: "c"}}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		o, err := sel.Select(NewName("w"), offers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[o.Host] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("random selector not spreading: %v", seen)
+	}
+}
+
+func TestFirstSelector(t *testing.T) {
+	sel := FirstSelector()
+	o, err := sel.Select(NewName("w"), []Offer{{Host: "first"}, {Host: "second"}})
+	if err != nil || o.Host != "first" {
+		t.Fatalf("first selector = %+v, %v", o, err)
+	}
+}

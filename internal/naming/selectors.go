@@ -1,0 +1,43 @@
+package naming
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// RoundRobinSelector cycles through a group's offers in registration
+// order, independently per name. This models the paper's unmodified
+// ("CORBA") naming service baseline: successive resolves spread over the
+// registered servers but ignore load entirely.
+func RoundRobinSelector() Selector {
+	rr := &roundRobin{next: make(map[string]int)}
+	return rr
+}
+
+type roundRobin struct {
+	mu   sync.Mutex
+	next map[string]int
+}
+
+func (r *roundRobin) Select(name Name, offers []Offer) (Offer, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := name.String()
+	i := r.next[k] % len(offers)
+	r.next[k] = i + 1
+	return offers[i], nil
+}
+
+// RandomSelector picks a uniformly random offer using the given source
+// (nil falls back to a fixed-seed source for reproducibility).
+func RandomSelector(rng *rand.Rand) Selector {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	var mu sync.Mutex
+	return SelectorFunc(func(_ Name, offers []Offer) (Offer, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return offers[rng.Intn(len(offers))], nil
+	})
+}

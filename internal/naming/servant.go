@@ -1,0 +1,213 @@
+package naming
+
+import (
+	"repro/internal/cdr"
+	"repro/internal/orb"
+)
+
+// TypeID is the repository id of the naming service interface.
+const TypeID = "IDL:repro/CosNaming/NamingContext:1.0"
+
+// DefaultKey is the conventional object key of a root naming context
+// ("NameService" initial reference analogue).
+const DefaultKey = "NameService"
+
+// Selector chooses one offer from a group binding at resolve time. The
+// plain selector reproduces an unmodified naming service; the Winner
+// selector in internal/core implements the paper's load distribution.
+// Implementations must be safe for concurrent use.
+type Selector interface {
+	// Select picks an offer for name. It is only called with a non-empty
+	// offer slice.
+	Select(name Name, offers []Offer) (Offer, error)
+}
+
+// SelectorFunc adapts a function to the Selector interface.
+type SelectorFunc func(name Name, offers []Offer) (Offer, error)
+
+// Select implements Selector.
+func (f SelectorFunc) Select(name Name, offers []Offer) (Offer, error) { return f(name, offers) }
+
+// FirstSelector always returns the first (oldest) offer: the most naive
+// baseline — every client lands on the registration-order head.
+func FirstSelector() Selector {
+	return SelectorFunc(func(_ Name, offers []Offer) (Offer, error) {
+		return offers[0], nil
+	})
+}
+
+// Servant exposes a Registry as an ORB service. Group resolution is
+// delegated to the configured Selector (FirstSelector when nil).
+type Servant struct {
+	reg *Registry
+	sel Selector
+}
+
+// NewServant wraps reg; sel may be nil for the plain baseline.
+func NewServant(reg *Registry, sel Selector) *Servant {
+	if sel == nil {
+		sel = FirstSelector()
+	}
+	return &Servant{reg: reg, sel: sel}
+}
+
+// Registry returns the underlying naming tree.
+func (s *Servant) Registry() *Registry { return s.reg }
+
+// TypeID implements orb.Servant.
+func (s *Servant) TypeID() string { return TypeID }
+
+// Operation names of the naming service wire contract.
+const (
+	opBind           = "bind"
+	opRebind         = "rebind"
+	opUnbind         = "unbind"
+	opResolve        = "resolve"
+	opBindNewContext = "bind_new_context"
+	opList           = "list"
+	opBindOffer      = "bind_offer"
+	opUnbindOffer    = "unbind_offer"
+	opListOffers     = "list_offers"
+	opBindRemote     = "bind_remote_context"
+)
+
+// Invoke implements orb.Servant.
+func (s *Servant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+	switch op {
+	case opBind, opRebind:
+		name, err := DecodeName(in)
+		if err != nil {
+			return errInvalidName(err.Error())
+		}
+		var ref orb.ObjectRef
+		if err := ref.UnmarshalCDR(in); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		if op == opBind {
+			return wireErr(s.reg.Bind(name, ref))
+		}
+		return wireErr(s.reg.Rebind(name, ref))
+
+	case opUnbind:
+		name, err := DecodeName(in)
+		if err != nil {
+			return errInvalidName(err.Error())
+		}
+		return wireErr(s.reg.Unbind(name))
+
+	case opResolve:
+		name, err := DecodeName(in)
+		if err != nil {
+			return errInvalidName(err.Error())
+		}
+		ref, err := s.resolve(name)
+		if err != nil {
+			return wireErr(err)
+		}
+		ref.MarshalCDR(out)
+		return nil
+
+	case opBindNewContext:
+		name, err := DecodeName(in)
+		if err != nil {
+			return errInvalidName(err.Error())
+		}
+		return wireErr(s.reg.BindNewContext(name))
+
+	case opList:
+		var name Name
+		if n := in.GetUint32(); n > 0 && in.Err() == nil {
+			// Re-decode with the count already consumed: rebuild by hand.
+			name = make(Name, 0, n)
+			for i := uint32(0); i < n; i++ {
+				name = append(name, Component{ID: in.GetString(), Kind: in.GetString()})
+			}
+		}
+		if err := in.Err(); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		bindings, err := s.reg.List(name)
+		if err != nil {
+			return wireErr(err)
+		}
+		out.PutUint32(uint32(len(bindings)))
+		for _, b := range bindings {
+			b.Name.MarshalCDR(out)
+			out.PutUint32(uint32(b.Type))
+		}
+		return nil
+
+	case opBindOffer:
+		name, err := DecodeName(in)
+		if err != nil {
+			return errInvalidName(err.Error())
+		}
+		var ref orb.ObjectRef
+		if err := ref.UnmarshalCDR(in); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		host := in.GetString()
+		if err := in.Err(); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		return wireErr(s.reg.BindOffer(name, Offer{Ref: ref, Host: host}))
+
+	case opBindRemote:
+		name, err := DecodeName(in)
+		if err != nil {
+			return errInvalidName(err.Error())
+		}
+		var ref orb.ObjectRef
+		if err := ref.UnmarshalCDR(in); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		return wireErr(s.reg.BindRemoteContext(name, ref))
+
+	case opUnbindOffer:
+		name, err := DecodeName(in)
+		if err != nil {
+			return errInvalidName(err.Error())
+		}
+		var ref orb.ObjectRef
+		if err := ref.UnmarshalCDR(in); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		return wireErr(s.reg.UnbindOffer(name, ref))
+
+	case opListOffers:
+		name, err := DecodeName(in)
+		if err != nil {
+			return errInvalidName(err.Error())
+		}
+		offers, err := s.reg.Offers(name)
+		if err != nil {
+			return wireErr(err)
+		}
+		out.PutUint32(uint32(len(offers)))
+		for _, o := range offers {
+			o.Ref.MarshalCDR(out)
+			out.PutString(o.Host)
+		}
+		return nil
+
+	default:
+		return orb.BadOperation(op)
+	}
+}
+
+// resolve implements the load-distribution-aware resolve: object bindings
+// return directly; group bindings go through the Selector.
+func (s *Servant) resolve(name Name) (orb.ObjectRef, error) {
+	offers, err := s.reg.Offers(name)
+	if err != nil {
+		return orb.ObjectRef{}, err
+	}
+	if len(offers) == 1 {
+		return offers[0].Ref, nil
+	}
+	chosen, err := s.sel.Select(name, offers)
+	if err != nil {
+		return orb.ObjectRef{}, err
+	}
+	return chosen.Ref, nil
+}

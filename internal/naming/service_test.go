@@ -1,0 +1,189 @@
+package naming
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/orb"
+)
+
+// startService boots an ORB, an adapter and a naming servant, returning a
+// connected client stub.
+func startService(t *testing.T, sel Selector) *Client {
+	t.Helper()
+	o := orb.New(orb.Options{Name: "naming-test"})
+	t.Cleanup(o.Shutdown)
+	a, err := o.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := NewServant(NewRegistry(), sel)
+	nsRef := a.Activate(DefaultKey, sv)
+	return NewClient(o, nsRef)
+}
+
+func TestRemoteBindResolve(t *testing.T) {
+	c := startService(t, nil)
+	n := NewName("calc")
+	target := orb.ObjectRef{TypeID: "T", Addr: "1.2.3.4:5", Key: "calc"}
+	if err := c.Bind(n, target); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Resolve(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != target {
+		t.Fatalf("resolve = %v", got)
+	}
+}
+
+func TestRemoteResolveNotFound(t *testing.T) {
+	c := startService(t, nil)
+	_, err := c.Resolve(NewName("ghost"))
+	if !orb.IsUserException(err, ExNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemoteRebindUnbind(t *testing.T) {
+	c := startService(t, nil)
+	n := NewName("x")
+	if err := c.Rebind(n, ref(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rebind(n, ref(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Resolve(n)
+	if err != nil || got != ref(2) {
+		t.Fatalf("resolve = %v, %v", got, err)
+	}
+	if err := c.Unbind(n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Resolve(n); !orb.IsUserException(err, ExNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemoteHierarchy(t *testing.T) {
+	c := startService(t, nil)
+	if err := c.BindNewContext(NewName("apps")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewName("apps", "solver")
+	if err := c.Bind(n, ref(5)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Resolve(n)
+	if err != nil || got != ref(5) {
+		t.Fatalf("resolve = %v, %v", got, err)
+	}
+	bindings, err := c.List(NewName("apps"))
+	if err != nil || len(bindings) != 1 {
+		t.Fatalf("list = %+v, %v", bindings, err)
+	}
+}
+
+func TestRemoteList(t *testing.T) {
+	c := startService(t, nil)
+	for i := 0; i < 5; i++ {
+		if err := c.Bind(NewName(fmt.Sprintf("svc%d", i)), ref(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bindings, err := c.List(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bindings) != 5 {
+		t.Fatalf("bindings = %d", len(bindings))
+	}
+}
+
+func TestRemoteOffersRoundRobinResolve(t *testing.T) {
+	c := startService(t, RoundRobinSelector())
+	n := NewName("workers")
+	for i := 0; i < 3; i++ {
+		if err := c.BindOffer(n, ref(i), fmt.Sprintf("node%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	offers, err := c.ListOffers(n)
+	if err != nil || len(offers) != 3 {
+		t.Fatalf("offers = %+v, %v", offers, err)
+	}
+	// Resolve cycles through the group.
+	for i := 0; i < 6; i++ {
+		got, err := c.Resolve(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref(i%3) {
+			t.Fatalf("resolve %d = %v, want %v", i, got, ref(i%3))
+		}
+	}
+}
+
+func TestRemoteUnbindOffer(t *testing.T) {
+	c := startService(t, nil)
+	n := NewName("w")
+	if err := c.BindOffer(n, ref(0), "h0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BindOffer(n, ref(1), "h1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UnbindOffer(n, ref(0)); err != nil {
+		t.Fatal(err)
+	}
+	offers, err := c.ListOffers(n)
+	if err != nil || len(offers) != 1 || offers[0].Host != "h1" {
+		t.Fatalf("offers = %+v, %v", offers, err)
+	}
+}
+
+func TestRemoteSingleOfferBypassesSelector(t *testing.T) {
+	called := false
+	sel := SelectorFunc(func(_ Name, offers []Offer) (Offer, error) {
+		called = true
+		return offers[0], nil
+	})
+	c := startService(t, sel)
+	n := NewName("solo")
+	if err := c.BindOffer(n, ref(1), "h"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Resolve(n); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("selector consulted for single offer")
+	}
+}
+
+func TestRemoteSelectorErrorSurfacesAsUserException(t *testing.T) {
+	sel := SelectorFunc(func(_ Name, _ []Offer) (Offer, error) {
+		return Offer{}, &orb.UserException{RepoID: ExNoOffer, Detail: "no host available"}
+	})
+	c := startService(t, sel)
+	n := NewName("w")
+	for i := 0; i < 2; i++ {
+		if err := c.BindOffer(n, ref(i), "h"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := c.Resolve(n)
+	if !orb.IsUserException(err, ExNoOffer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemoteBadOperation(t *testing.T) {
+	c := startService(t, nil)
+	err := c.orb.Invoke(c.ref, "frobnicate", nil, nil)
+	if !orb.IsSystemException(err, orb.ExBadOperation) {
+		t.Fatalf("err = %v", err)
+	}
+}

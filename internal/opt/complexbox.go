@@ -1,0 +1,218 @@
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ComplexBoxOptions tune the Complex Box optimizer.
+type ComplexBoxOptions struct {
+	// PopulationFactor sets the complex size k = factor·n (Box recommends
+	// 2; minimum population is n+1). Default 2.
+	PopulationFactor int
+	// Alpha is the over-reflection coefficient (Box recommends 1.3).
+	Alpha float64
+	// MaxIterations bounds the main loop; it is the worker's stopping
+	// criterion the paper varies in Table 1. Default 1000.
+	MaxIterations int
+	// Tolerance stops early when the complex's objective spread falls
+	// below it. Zero disables early stopping (deterministic work, used by
+	// the benchmarks).
+	Tolerance float64
+	// Seed makes the run reproducible.
+	Seed int64
+	// Start optionally seeds the complex with a known point.
+	Start []float64
+	// MaxRetractions bounds the move-toward-centroid retries for a
+	// reflected point that stays worst. Default 10.
+	MaxRetractions int
+	// Feasible, when set, is Box's implicit constraint test: candidate
+	// points violating it are pulled toward the centroid until feasible
+	// (initial points are resampled). The feasible region must be convex
+	// for the retraction to be guaranteed to terminate; as a safeguard an
+	// infeasible point is rejected after MaxRetractions pulls.
+	Feasible func(x []float64) bool
+}
+
+func (o ComplexBoxOptions) withDefaults() ComplexBoxOptions {
+	if o.PopulationFactor <= 0 {
+		o.PopulationFactor = 2
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 1.3
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 1000
+	}
+	if o.MaxRetractions <= 0 {
+		o.MaxRetractions = 10
+	}
+	return o
+}
+
+// Result reports the outcome of an optimization run.
+type Result struct {
+	// X is the best point found.
+	X []float64
+	// F is the objective value at X.
+	F float64
+	// Iterations is the number of main-loop iterations executed.
+	Iterations int
+	// Evaluations is the number of objective evaluations performed.
+	Evaluations int
+	// Converged reports whether the tolerance criterion stopped the run.
+	Converged bool
+}
+
+// MinimizeComplexBox runs Box's complex method: maintain a "complex" of k
+// points inside the bounds; repeatedly reflect the worst point through the
+// centroid of the others by factor alpha, retracting it halfway toward the
+// centroid while it remains worst.
+func MinimizeComplexBox(obj Objective, bounds Bounds, opts ComplexBoxOptions) (Result, error) {
+	if err := bounds.Validate(); err != nil {
+		return Result{}, err
+	}
+	opts = opts.withDefaults()
+	n := bounds.Dim()
+	k := opts.PopulationFactor * n
+	if k < n+1 {
+		k = n + 1
+	}
+	if k < 2 {
+		k = 2
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var res Result
+	eval := func(x []float64) float64 {
+		res.Evaluations++
+		return obj(x)
+	}
+
+	feasible := opts.Feasible
+	if feasible == nil {
+		feasible = func([]float64) bool { return true }
+	}
+
+	// Initial complex: random points in the box, optionally seeded with a
+	// start point. Infeasible random points are resampled (Box pulls them
+	// toward the centroid of the feasible ones; resampling is equivalent
+	// for initialization and simpler to reason about).
+	points := make([][]float64, k)
+	values := make([]float64, k)
+	const maxResamples = 1000
+	for j := 0; j < k; j++ {
+		p := make([]float64, n)
+		if j == 0 && len(opts.Start) == n {
+			copy(p, opts.Start)
+			bounds.Clip(p)
+			if !feasible(p) {
+				return Result{}, fmt.Errorf("opt: start point violates the implicit constraints")
+			}
+		} else {
+			found := false
+			for try := 0; try < maxResamples; try++ {
+				for i := 0; i < n; i++ {
+					p[i] = bounds.Lo[i] + rng.Float64()*(bounds.Hi[i]-bounds.Lo[i])
+				}
+				if feasible(p) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return Result{}, fmt.Errorf("opt: could not sample a feasible point in %d tries", maxResamples)
+			}
+		}
+		points[j] = p
+		values[j] = eval(p)
+	}
+
+	worstAndBest := func() (worst, best int) {
+		for j := 1; j < k; j++ {
+			if values[j] > values[worst] {
+				worst = j
+			}
+			if values[j] < values[best] {
+				best = j
+			}
+		}
+		return
+	}
+
+	centroidExcluding := func(skip int) []float64 {
+		c := make([]float64, n)
+		for j := 0; j < k; j++ {
+			if j == skip {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				c[i] += points[j][i]
+			}
+		}
+		for i := 0; i < n; i++ {
+			c[i] /= float64(k - 1)
+		}
+		return c
+	}
+
+	for it := 0; it < opts.MaxIterations; it++ {
+		res.Iterations = it + 1
+		worst, best := worstAndBest()
+		if opts.Tolerance > 0 && values[worst]-values[best] < opts.Tolerance {
+			res.Converged = true
+			break
+		}
+		c := centroidExcluding(worst)
+		// Over-reflection of the worst point through the centroid.
+		cand := make([]float64, n)
+		for i := 0; i < n; i++ {
+			cand[i] = c[i] + opts.Alpha*(c[i]-points[worst][i])
+		}
+		bounds.Clip(cand)
+		// Pull an implicitly infeasible candidate halfway toward the
+		// centroid (Box's constraint handling). If it never becomes
+		// feasible, keep the old worst point for this iteration.
+		okPoint := true
+		for r := 0; !feasible(cand); r++ {
+			if r >= opts.MaxRetractions {
+				okPoint = false
+				break
+			}
+			for i := 0; i < n; i++ {
+				cand[i] = (cand[i] + c[i]) / 2
+			}
+		}
+		if !okPoint {
+			continue
+		}
+		f := eval(cand)
+		// Retract toward the centroid while the candidate stays worst.
+		for r := 0; f > values[worst] && r < opts.MaxRetractions; r++ {
+			for i := 0; i < n; i++ {
+				cand[i] = (cand[i] + c[i]) / 2
+			}
+			if feasible(cand) {
+				f = eval(cand)
+			}
+		}
+		if !feasible(cand) {
+			// Retraction left a non-convex region's boundary between the
+			// candidate and the centroid; keep the old point.
+			continue
+		}
+		points[worst] = cand
+		values[worst] = f
+	}
+
+	_, best := worstAndBest()
+	res.X = append([]float64(nil), points[best]...)
+	res.F = values[best]
+	return res, nil
+}
+
+// String renders a result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("f=%.6g after %d iterations / %d evaluations (converged=%v)",
+		r.F, r.Iterations, r.Evaluations, r.Converged)
+}

@@ -1,0 +1,188 @@
+package opt
+
+import (
+	"fmt"
+)
+
+// Decomposition splits an n-dimensional Rosenbrock problem into w worker
+// blocks linked by w-1 manager-owned boundary variables, the paper's
+// "decomposed formulation": the global variable vector is laid out as
+//
+//	[block₀ | m₀ | block₁ | m₁ | … | m_{w-2} | block_{w-1}]
+//
+// Workers minimize their block's interior variables with the adjacent
+// boundary values held fixed; the manager minimizes over the boundary
+// variables, each evaluation of its (w-1)-dimensional problem requiring
+// one parallel round of worker solves. For n=30, w=3 this yields worker
+// dimensions 10,9,9 and a 2-dimensional manager problem — exactly the
+// paper's configuration.
+type Decomposition struct {
+	n       int
+	workers int
+	// blockIdx[j] lists the global indices of worker j's variables.
+	blockIdx [][]int
+	// boundaryIdx lists the global indices of the manager's variables.
+	boundaryIdx []int
+}
+
+// NewDecomposition builds the decomposition of an n-dimensional problem
+// over w workers.
+func NewDecomposition(n, workers int) (*Decomposition, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("opt: need at least 1 worker, got %d", workers)
+	}
+	interior := n - (workers - 1)
+	if interior < workers {
+		return nil, fmt.Errorf("opt: dimension %d too small for %d workers", n, workers)
+	}
+	d := &Decomposition{n: n, workers: workers}
+	base := interior / workers
+	extra := interior % workers
+	idx := 0
+	for j := 0; j < workers; j++ {
+		size := base
+		if j < extra {
+			size++
+		}
+		block := make([]int, 0, size)
+		for i := 0; i < size; i++ {
+			block = append(block, idx)
+			idx++
+		}
+		d.blockIdx = append(d.blockIdx, block)
+		if j < workers-1 {
+			d.boundaryIdx = append(d.boundaryIdx, idx)
+			idx++
+		}
+	}
+	if idx != n {
+		return nil, fmt.Errorf("opt: internal layout error: %d != %d", idx, n)
+	}
+	return d, nil
+}
+
+// Dim returns the global dimension n.
+func (d *Decomposition) Dim() int { return d.n }
+
+// Workers returns the worker count w.
+func (d *Decomposition) Workers() int { return d.workers }
+
+// ManagerDim returns the manager problem's dimension (w-1).
+func (d *Decomposition) ManagerDim() int { return len(d.boundaryIdx) }
+
+// WorkerDims returns each worker subproblem's dimension.
+func (d *Decomposition) WorkerDims() []int {
+	out := make([]int, d.workers)
+	for j, b := range d.blockIdx {
+		out[j] = len(b)
+	}
+	return out
+}
+
+// Assemble builds the full variable vector from the manager's boundary
+// values and each worker's block values.
+func (d *Decomposition) Assemble(boundary []float64, blocks [][]float64) ([]float64, error) {
+	if len(boundary) != len(d.boundaryIdx) {
+		return nil, fmt.Errorf("opt: boundary dim %d != %d", len(boundary), len(d.boundaryIdx))
+	}
+	if len(blocks) != d.workers {
+		return nil, fmt.Errorf("opt: %d blocks != %d workers", len(blocks), d.workers)
+	}
+	x := make([]float64, d.n)
+	for j, block := range d.blockIdx {
+		if len(blocks[j]) != len(block) {
+			return nil, fmt.Errorf("opt: block %d dim %d != %d", j, len(blocks[j]), len(block))
+		}
+		for i, gi := range block {
+			x[gi] = blocks[j][i]
+		}
+	}
+	for i, gi := range d.boundaryIdx {
+		x[gi] = boundary[i]
+	}
+	return x, nil
+}
+
+// SubproblemObjective returns worker j's objective over its block
+// variables, with the given boundary values fixed. Each global Rosenbrock
+// term (x_i, x_{i+1}) is charged to exactly one worker — the one owning a
+// block variable of the pair, with ties (both in blocks) impossible and
+// manager-manager pairs impossible for w ≥ 1 — so the worker objectives
+// sum to the full Rosenbrock value.
+func (d *Decomposition) SubproblemObjective(j int, boundary []float64) (Objective, error) {
+	if j < 0 || j >= d.workers {
+		return nil, fmt.Errorf("opt: worker %d out of range", j)
+	}
+	if len(boundary) != len(d.boundaryIdx) {
+		return nil, fmt.Errorf("opt: boundary dim %d != %d", len(boundary), len(d.boundaryIdx))
+	}
+	block := d.blockIdx[j]
+	// Boundary values adjacent to this block, when they exist. Every
+	// global term is charged to exactly one worker: interior terms to
+	// their own block, the (m_{j-1}, first) term to worker j, and the
+	// (last, m_j) term also to worker j; adjacent boundary variables
+	// never form a term because every block has at least one variable.
+	var leftVal, rightVal float64
+	hasLeft, hasRight := false, false
+	if j > 0 {
+		leftVal = boundary[j-1]
+		hasLeft = true
+	}
+	if j < d.workers-1 {
+		rightVal = boundary[j]
+		hasRight = true
+	}
+	blockLen := len(block)
+	return func(v []float64) float64 {
+		var sum float64
+		// Terms between consecutive block variables.
+		for i := 0; i+1 < blockLen; i++ {
+			sum += RosenbrockTerm(v[i], v[i+1])
+		}
+		// Term linking the left boundary variable to the block's first
+		// variable (assigned to this worker: the pair's second element is
+		// ours).
+		if hasLeft {
+			sum += RosenbrockTerm(leftVal, v[0])
+		}
+		// Term linking the block's last variable to the right boundary
+		// variable (assigned to this worker: the pair's first element is
+		// ours).
+		if hasRight {
+			sum += RosenbrockTerm(v[blockLen-1], rightVal)
+		}
+		return sum
+	}, nil
+}
+
+// SubproblemBounds returns the box constraints of worker j's block given
+// global bounds.
+func (d *Decomposition) SubproblemBounds(j int, global Bounds) (Bounds, error) {
+	if j < 0 || j >= d.workers {
+		return Bounds{}, fmt.Errorf("opt: worker %d out of range", j)
+	}
+	if global.Dim() != d.n {
+		return Bounds{}, fmt.Errorf("opt: global bounds dim %d != %d", global.Dim(), d.n)
+	}
+	block := d.blockIdx[j]
+	b := Bounds{Lo: make([]float64, len(block)), Hi: make([]float64, len(block))}
+	for i, gi := range block {
+		b.Lo[i] = global.Lo[gi]
+		b.Hi[i] = global.Hi[gi]
+	}
+	return b, nil
+}
+
+// ManagerBounds returns the box constraints of the manager's boundary
+// variables.
+func (d *Decomposition) ManagerBounds(global Bounds) (Bounds, error) {
+	if global.Dim() != d.n {
+		return Bounds{}, fmt.Errorf("opt: global bounds dim %d != %d", global.Dim(), d.n)
+	}
+	b := Bounds{Lo: make([]float64, len(d.boundaryIdx)), Hi: make([]float64, len(d.boundaryIdx))}
+	for i, gi := range d.boundaryIdx {
+		b.Lo[i] = global.Lo[gi]
+		b.Hi[i] = global.Hi[gi]
+	}
+	return b, nil
+}

@@ -1,0 +1,98 @@
+// Package opt provides the paper's numerical workload: the Rosenbrock
+// benchmark function (Schittkowski 1980 test set), a decomposed
+// formulation splitting it into worker subproblems linked by manager-owned
+// boundary variables, and the Complex Box constrained optimizer (Box 1965,
+// as used in Boden/Gehne/Grauer 1991) that the paper's workers run.
+package opt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Objective is a real-valued function to minimize.
+type Objective func(x []float64) float64
+
+// Bounds are box constraints lo[i] <= x[i] <= hi[i].
+type Bounds struct {
+	Lo, Hi []float64
+}
+
+// UniformBounds builds n-dimensional bounds [lo,hi]^n.
+func UniformBounds(n int, lo, hi float64) Bounds {
+	b := Bounds{Lo: make([]float64, n), Hi: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		b.Lo[i] = lo
+		b.Hi[i] = hi
+	}
+	return b
+}
+
+// Dim returns the dimensionality.
+func (b Bounds) Dim() int { return len(b.Lo) }
+
+// Validate checks structural consistency.
+func (b Bounds) Validate() error {
+	if len(b.Lo) == 0 {
+		return errors.New("opt: empty bounds")
+	}
+	if len(b.Lo) != len(b.Hi) {
+		return fmt.Errorf("opt: bounds length mismatch %d != %d", len(b.Lo), len(b.Hi))
+	}
+	for i := range b.Lo {
+		if b.Lo[i] >= b.Hi[i] {
+			return fmt.Errorf("opt: bounds[%d] empty: [%g,%g]", i, b.Lo[i], b.Hi[i])
+		}
+	}
+	return nil
+}
+
+// Clip projects x into the bounds in place.
+func (b Bounds) Clip(x []float64) {
+	for i := range x {
+		if x[i] < b.Lo[i] {
+			x[i] = b.Lo[i]
+		}
+		if x[i] > b.Hi[i] {
+			x[i] = b.Hi[i]
+		}
+	}
+}
+
+// Contains reports whether x lies within the bounds.
+func (b Bounds) Contains(x []float64) bool {
+	for i := range x {
+		if x[i] < b.Lo[i] || x[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RosenbrockTerm is one summand of the generalized Rosenbrock function:
+// 100*(b - a²)² + (1 - a)².
+func RosenbrockTerm(a, b float64) float64 {
+	d := b - a*a
+	e := 1 - a
+	return 100*d*d + e*e
+}
+
+// Rosenbrock is the generalized n-dimensional Rosenbrock function
+// f(x) = Σ_{i=0}^{n-2} 100(x_{i+1} - x_i²)² + (1 - x_i)², the paper's
+// benchmark. Its global minimum is 0 at x = (1, …, 1).
+func Rosenbrock(x []float64) float64 {
+	var sum float64
+	for i := 0; i+1 < len(x); i++ {
+		sum += RosenbrockTerm(x[i], x[i+1])
+	}
+	return sum
+}
+
+// Sphere is Σ x_i², a trivial convex test objective.
+func Sphere(x []float64) float64 {
+	var sum float64
+	for _, v := range x {
+		sum += v * v
+	}
+	return sum
+}

@@ -1,0 +1,448 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRosenbrockMinimum(t *testing.T) {
+	for _, n := range []int{2, 5, 30, 100} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 1
+		}
+		if f := Rosenbrock(x); f != 0 {
+			t.Errorf("Rosenbrock(ones(%d)) = %v", n, f)
+		}
+	}
+}
+
+func TestRosenbrockKnownValues(t *testing.T) {
+	// f(0,0) = 100*0 + 1 = 1
+	if f := Rosenbrock([]float64{0, 0}); f != 1 {
+		t.Errorf("f(0,0) = %v", f)
+	}
+	// f(-1,1) = 100*(1-1)^2 + (1-(-1))^2 = 4
+	if f := Rosenbrock([]float64{-1, 1}); f != 4 {
+		t.Errorf("f(-1,1) = %v", f)
+	}
+	// One-dimensional input has no terms.
+	if f := Rosenbrock([]float64{3}); f != 0 {
+		t.Errorf("f([3]) = %v", f)
+	}
+}
+
+func TestRosenbrockNonNegative(t *testing.T) {
+	f := func(x []float64) bool {
+		for i := range x {
+			// Clamp to a sane range to avoid inf.
+			if math.IsNaN(x[i]) || math.Abs(x[i]) > 1e6 {
+				x[i] = 1
+			}
+		}
+		return Rosenbrock(x) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsValidate(t *testing.T) {
+	if err := (Bounds{}).Validate(); err == nil {
+		t.Error("empty bounds validated")
+	}
+	if err := (Bounds{Lo: []float64{0}, Hi: []float64{0, 1}}).Validate(); err == nil {
+		t.Error("mismatched bounds validated")
+	}
+	if err := (Bounds{Lo: []float64{1}, Hi: []float64{0}}).Validate(); err == nil {
+		t.Error("inverted bounds validated")
+	}
+	if err := UniformBounds(3, -5, 10).Validate(); err != nil {
+		t.Errorf("valid bounds rejected: %v", err)
+	}
+}
+
+func TestBoundsClipContains(t *testing.T) {
+	b := UniformBounds(2, -1, 1)
+	x := []float64{-3, 0.5}
+	b.Clip(x)
+	if x[0] != -1 || x[1] != 0.5 {
+		t.Fatalf("clip = %v", x)
+	}
+	if !b.Contains(x) || b.Contains([]float64{2, 0}) {
+		t.Fatal("contains")
+	}
+}
+
+func TestComplexBoxSolvesSphere(t *testing.T) {
+	res, err := MinimizeComplexBox(Sphere, UniformBounds(4, -5, 5), ComplexBoxOptions{
+		MaxIterations: 3000, Seed: 1, Tolerance: 1e-12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F > 1e-6 {
+		t.Fatalf("sphere not solved: %v", res)
+	}
+}
+
+func TestComplexBoxSolvesRosenbrock2D(t *testing.T) {
+	res, err := MinimizeComplexBox(Rosenbrock, UniformBounds(2, -2.048, 2.048), ComplexBoxOptions{
+		MaxIterations: 5000, Seed: 7, Tolerance: 1e-14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F > 1e-5 {
+		t.Fatalf("rosenbrock 2d not solved: %v", res)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-1) > 0.05 {
+			t.Fatalf("x[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestComplexBoxDeterministicWithSeed(t *testing.T) {
+	run := func() Result {
+		r, err := MinimizeComplexBox(Rosenbrock, UniformBounds(3, -2, 2), ComplexBoxOptions{
+			MaxIterations: 200, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.F != b.F || a.Evaluations != b.Evaluations {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatalf("x differs at %d", i)
+		}
+	}
+}
+
+func TestComplexBoxRespectsBounds(t *testing.T) {
+	b := UniformBounds(3, 2, 3) // minimum of sphere outside the box
+	res, err := MinimizeComplexBox(Sphere, b, ComplexBoxOptions{MaxIterations: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Contains(res.X) {
+		t.Fatalf("result outside bounds: %v", res.X)
+	}
+	// Constrained optimum is at (2,2,2) with f=12.
+	if math.Abs(res.F-12) > 0.5 {
+		t.Fatalf("constrained optimum f = %v", res.F)
+	}
+}
+
+func TestComplexBoxIterationBudgetRespected(t *testing.T) {
+	res, err := MinimizeComplexBox(Rosenbrock, UniformBounds(5, -2, 2), ComplexBoxOptions{
+		MaxIterations: 37, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 37 || res.Converged {
+		t.Fatalf("iterations = %d converged=%v", res.Iterations, res.Converged)
+	}
+}
+
+func TestComplexBoxStartPointUsed(t *testing.T) {
+	start := []float64{1, 1}
+	res, err := MinimizeComplexBox(Rosenbrock, UniformBounds(2, -2, 2), ComplexBoxOptions{
+		MaxIterations: 50, Seed: 1, Start: start,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeded with the global optimum, the best value can only be 0.
+	if res.F != 0 {
+		t.Fatalf("f = %v", res.F)
+	}
+}
+
+func TestComplexBoxInvalidBounds(t *testing.T) {
+	if _, err := MinimizeComplexBox(Sphere, Bounds{}, ComplexBoxOptions{}); err == nil {
+		t.Fatal("invalid bounds accepted")
+	}
+}
+
+func TestComplexBoxEvaluationsCounted(t *testing.T) {
+	count := 0
+	obj := func(x []float64) float64 { count++; return Sphere(x) }
+	res, err := MinimizeComplexBox(obj, UniformBounds(2, -1, 1), ComplexBoxOptions{MaxIterations: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != count {
+		t.Fatalf("reported %d evaluations, actual %d", res.Evaluations, count)
+	}
+}
+
+func TestComplexBoxImplicitConstraint(t *testing.T) {
+	// Minimize sphere centered at origin subject to staying outside is
+	// non-convex; use the convex constraint x+y >= 1 instead: the
+	// constrained optimum of x²+y² is (0.5, 0.5) with f = 0.5.
+	feasible := func(x []float64) bool { return x[0]+x[1] >= 1 }
+	res, err := MinimizeComplexBox(Sphere, UniformBounds(2, -2, 2), ComplexBoxOptions{
+		MaxIterations: 3000, Seed: 11, Tolerance: 1e-12, Feasible: feasible,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feasible(res.X) {
+		t.Fatalf("result infeasible: %v", res.X)
+	}
+	if math.Abs(res.F-0.5) > 0.02 {
+		t.Fatalf("constrained optimum f = %v, want ~0.5", res.F)
+	}
+}
+
+func TestComplexBoxInfeasibleStartRejected(t *testing.T) {
+	_, err := MinimizeComplexBox(Sphere, UniformBounds(2, -2, 2), ComplexBoxOptions{
+		MaxIterations: 10, Seed: 1,
+		Start:    []float64{-1, -1},
+		Feasible: func(x []float64) bool { return x[0]+x[1] >= 1 },
+	})
+	if err == nil {
+		t.Fatal("infeasible start accepted")
+	}
+}
+
+func TestComplexBoxUnsatisfiableConstraint(t *testing.T) {
+	_, err := MinimizeComplexBox(Sphere, UniformBounds(2, -1, 1), ComplexBoxOptions{
+		MaxIterations: 10, Seed: 1,
+		Feasible: func([]float64) bool { return false },
+	})
+	if err == nil {
+		t.Fatal("unsatisfiable constraint accepted")
+	}
+}
+
+func TestComplexBoxConstraintNeverViolatedDuringSearch(t *testing.T) {
+	feasible := func(x []float64) bool { return x[0] >= 0 }
+	violations := 0
+	obj := func(x []float64) float64 {
+		if !feasible(x) {
+			violations++
+		}
+		return Rosenbrock(x)
+	}
+	if _, err := MinimizeComplexBox(obj, UniformBounds(2, -2, 2), ComplexBoxOptions{
+		MaxIterations: 500, Seed: 5, Feasible: feasible,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if violations != 0 {
+		t.Fatalf("objective evaluated at %d infeasible points", violations)
+	}
+}
+
+func TestDecompositionPaperConfigurations(t *testing.T) {
+	// 30-dim / 3 workers: dims 10,9,9 with a 2-dim manager problem.
+	d, err := NewDecomposition(30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := d.WorkerDims()
+	if dims[0] != 10 || dims[1] != 9 || dims[2] != 9 {
+		t.Fatalf("30/3 dims = %v", dims)
+	}
+	if d.ManagerDim() != 2 {
+		t.Fatalf("30/3 manager dim = %d", d.ManagerDim())
+	}
+	// 100-dim / 7 workers: manager dim 6, interiors sum to 94.
+	d7, err := NewDecomposition(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d7.ManagerDim() != 6 {
+		t.Fatalf("100/7 manager dim = %d", d7.ManagerDim())
+	}
+	sum := 0
+	for _, w := range d7.WorkerDims() {
+		sum += w
+	}
+	if sum != 94 {
+		t.Fatalf("100/7 interior sum = %d", sum)
+	}
+}
+
+func TestDecompositionErrors(t *testing.T) {
+	if _, err := NewDecomposition(3, 0); err == nil {
+		t.Error("0 workers accepted")
+	}
+	if _, err := NewDecomposition(3, 4); err == nil {
+		t.Error("too many workers accepted")
+	}
+}
+
+func TestDecompositionObjectiveSumsToGlobal(t *testing.T) {
+	for _, cfg := range []struct{ n, w int }{{30, 3}, {100, 7}, {10, 1}, {7, 3}} {
+		d, err := NewDecomposition(cfg.n, cfg.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		x := make([]float64, cfg.n)
+		for i := range x {
+			x[i] = rng.Float64()*4 - 2
+		}
+		// Extract boundary and blocks from x, evaluate each worker
+		// objective, and compare the sum with the global Rosenbrock.
+		boundary := make([]float64, d.ManagerDim())
+		for i, gi := range d.boundaryIdx {
+			boundary[i] = x[gi]
+		}
+		var sum float64
+		blocks := make([][]float64, cfg.w)
+		for j := 0; j < cfg.w; j++ {
+			block := make([]float64, len(d.blockIdx[j]))
+			for i, gi := range d.blockIdx[j] {
+				block[i] = x[gi]
+			}
+			blocks[j] = block
+			obj, err := d.SubproblemObjective(j, boundary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += obj(block)
+		}
+		want := Rosenbrock(x)
+		if math.Abs(sum-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("n=%d w=%d: sum %v != global %v", cfg.n, cfg.w, sum, want)
+		}
+		// Assemble must reproduce x.
+		back, err := d.Assemble(boundary, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if back[i] != x[i] {
+				t.Fatalf("assemble mismatch at %d", i)
+			}
+		}
+	}
+}
+
+// Property: decomposition objectives sum to the global objective for
+// random configurations and points.
+func TestQuickDecompositionConsistency(t *testing.T) {
+	f := func(nRaw, wRaw uint8, seed int64) bool {
+		n := 4 + int(nRaw%60)
+		w := 1 + int(wRaw%5)
+		if n-(w-1) < w {
+			return true // invalid configuration, skipped
+		}
+		d, err := NewDecomposition(n, w)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()*4 - 2
+		}
+		boundary := make([]float64, d.ManagerDim())
+		for i, gi := range d.boundaryIdx {
+			boundary[i] = x[gi]
+		}
+		var sum float64
+		for j := 0; j < w; j++ {
+			block := make([]float64, len(d.blockIdx[j]))
+			for i, gi := range d.blockIdx[j] {
+				block[i] = x[gi]
+			}
+			obj, err := d.SubproblemObjective(j, boundary)
+			if err != nil {
+				return false
+			}
+			sum += obj(block)
+		}
+		want := Rosenbrock(x)
+		return math.Abs(sum-want) <= 1e-9*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompositionArgumentValidation(t *testing.T) {
+	d, err := NewDecomposition(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SubproblemObjective(-1, []float64{0, 0}); err == nil {
+		t.Error("negative worker accepted")
+	}
+	if _, err := d.SubproblemObjective(0, []float64{0}); err == nil {
+		t.Error("short boundary accepted")
+	}
+	if _, err := d.Assemble([]float64{0}, nil); err == nil {
+		t.Error("bad assemble accepted")
+	}
+	if _, err := d.SubproblemBounds(5, UniformBounds(10, -1, 1)); err == nil {
+		t.Error("bad worker bounds accepted")
+	}
+	if _, err := d.SubproblemBounds(0, UniformBounds(3, -1, 1)); err == nil {
+		t.Error("bad global bounds accepted")
+	}
+	if _, err := d.ManagerBounds(UniformBounds(3, -1, 1)); err == nil {
+		t.Error("bad manager bounds accepted")
+	}
+}
+
+func TestBilevelDecomposedSolveImprovesObjective(t *testing.T) {
+	// A small end-to-end bilevel solve (sequential, in-process): the
+	// manager optimizes boundary variables; each evaluation solves the
+	// worker subproblems. This validates the machinery the distributed
+	// layer (internal/rosen) runs over the ORB.
+	const n, w = 12, 3
+	d, err := NewDecomposition(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := UniformBounds(n, -2.048, 2.048)
+	mb, err := d.ManagerBounds(global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	managerObj := func(boundary []float64) float64 {
+		var total float64
+		for j := 0; j < w; j++ {
+			obj, err := d.SubproblemObjective(j, boundary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, err := d.SubproblemBounds(j, global)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := MinimizeComplexBox(obj, sb, ComplexBoxOptions{
+				MaxIterations: 300, Seed: int64(j + 1),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.F
+		}
+		return total
+	}
+	res, err := MinimizeComplexBox(managerObj, mb, ComplexBoxOptions{
+		MaxIterations: 25, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A random point in the box scores ~hundreds; the bilevel solve must
+	// get at least below 5.
+	if res.F > 5 {
+		t.Fatalf("bilevel solve too poor: %v", res)
+	}
+}

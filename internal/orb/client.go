@@ -1,0 +1,399 @@
+package orb
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/giop"
+)
+
+// clientConn is a multiplexed client-side connection: many in-flight
+// requests share one TCP stream, matched to replies by request id.
+type clientConn struct {
+	orb  *ORB
+	addr string
+	conn net.Conn
+
+	writeMu sync.Mutex
+	bw      *bufio.Writer
+
+	mu      sync.Mutex
+	pending map[uint32]chan *giop.Message
+	err     error // set once the connection is dead
+}
+
+// getConn returns the pooled connection for addr, dialing if necessary.
+func (o *ORB) getConn(addr string) (*clientConn, error) {
+	o.mu.Lock()
+	if o.shutdown {
+		o.mu.Unlock()
+		return nil, CommFailure("orb is shut down")
+	}
+	if c, ok := o.conns[addr]; ok {
+		o.mu.Unlock()
+		return c, nil
+	}
+	o.mu.Unlock()
+
+	nc, err := net.DialTimeout("tcp", addr, o.opts.DialTimeout)
+	if err != nil {
+		return nil, CommFailure(fmt.Sprintf("dial %s: %v", addr, err))
+	}
+	o.counters.connectionsDialed.Add(1)
+	c := &clientConn{
+		orb:     o,
+		addr:    addr,
+		conn:    nc,
+		bw:      bufio.NewWriter(nc),
+		pending: make(map[uint32]chan *giop.Message),
+	}
+
+	o.mu.Lock()
+	if o.shutdown {
+		o.mu.Unlock()
+		nc.Close()
+		return nil, CommFailure("orb is shut down")
+	}
+	if existing, ok := o.conns[addr]; ok {
+		// Lost a dial race; use the existing connection.
+		o.mu.Unlock()
+		nc.Close()
+		return existing, nil
+	}
+	o.conns[addr] = c
+	o.mu.Unlock()
+
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop dispatches replies to waiting callers until the stream dies.
+func (c *clientConn) readLoop() {
+	br := bufio.NewReader(c.conn)
+	for {
+		m, err := giop.Read(br)
+		if err != nil {
+			c.close(CommFailure(fmt.Sprintf("read from %s: %v", c.addr, err)))
+			return
+		}
+		switch m.Type {
+		case giop.MsgReply, giop.MsgLocateReply:
+			c.mu.Lock()
+			ch := c.pending[m.RequestID]
+			delete(c.pending, m.RequestID)
+			c.mu.Unlock()
+			if ch != nil {
+				c.orb.counters.repliesReceived.Add(1)
+				ch <- m
+			}
+		case giop.MsgCloseConnection:
+			c.close(CommFailure(fmt.Sprintf("%s closed connection", c.addr)))
+			return
+		case giop.MsgError:
+			c.close(CommFailure(fmt.Sprintf("%s reported protocol error", c.addr)))
+			return
+		default:
+			// Clients ignore other message kinds.
+		}
+	}
+}
+
+// close marks the connection dead, fails all pending calls with cause and
+// removes it from the ORB's pool.
+func (c *clientConn) close(cause error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = cause
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+
+	c.conn.Close()
+	c.orb.dropConn(c)
+	for id, ch := range pending {
+		_ = id
+		// Non-blocking: each waiter has a 1-buffered channel.
+		select {
+		case ch <- nil:
+		default:
+		}
+	}
+}
+
+// register adds a reply channel for a request id. It fails if the
+// connection is already dead.
+func (c *clientConn) register(id uint32) (chan *giop.Message, error) {
+	ch := make(chan *giop.Message, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, c.err
+	}
+	c.pending[id] = ch
+	return ch, nil
+}
+
+// unregister abandons a pending request (timeout path).
+func (c *clientConn) unregister(id uint32) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// deadErr returns the recorded death cause, if any.
+func (c *clientConn) deadErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// send writes one message under the write lock.
+func (c *clientConn) send(m *giop.Message) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := c.deadErr(); err != nil {
+		return err
+	}
+	if err := giop.Write(c.bw, m); err != nil {
+		c.close(CommFailure(fmt.Sprintf("write to %s: %v", c.addr, err)))
+		return c.deadErr()
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.close(CommFailure(fmt.Sprintf("flush to %s: %v", c.addr, err)))
+		return c.deadErr()
+	}
+	if m.Type == giop.MsgRequest {
+		c.orb.counters.requestsSent.Add(1)
+	}
+	return nil
+}
+
+// roundTrip sends a request and waits for its reply, applying the call
+// timeout if configured.
+func (c *clientConn) roundTrip(m *giop.Message, timeout time.Duration) (*giop.Message, error) {
+	ch, err := c.register(m.RequestID)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.send(m); err != nil {
+		c.unregister(m.RequestID)
+		return nil, err
+	}
+	var timer *time.Timer
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	select {
+	case reply := <-ch:
+		if reply == nil {
+			err := c.deadErr()
+			if err == nil {
+				err = CommFailure("connection closed")
+			}
+			return nil, err
+		}
+		return reply, nil
+	case <-timeoutCh:
+		c.unregister(m.RequestID)
+		// Best-effort cancel; the server may ignore it.
+		_ = c.send(&giop.Message{Type: giop.MsgCancelRequest, RequestID: m.RequestID})
+		return nil, &SystemException{Kind: ExTimeout, Detail: fmt.Sprintf("%s.%s after %v", m.ObjectKey, m.Operation, timeout)}
+	}
+}
+
+// Invoke performs a synchronous remote call on ref: writeArgs fills the
+// request body, readReply (which may be nil for void results) consumes the
+// reply body. Transport failures surface as COMM_FAILURE; servant
+// exceptions surface as *UserException or *SystemException.
+func (o *ORB) Invoke(ref ObjectRef, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
+	if ref.IsNil() {
+		return &SystemException{Kind: ExObjectNotExist, Detail: "nil object reference"}
+	}
+	reply, err := o.invokeRaw(ref, op, writeArgs)
+	if err != nil {
+		return err
+	}
+	return decodeReply(reply, readReply)
+}
+
+// invokeRaw performs the wire round trip and returns the raw reply.
+func (o *ORB) invokeRaw(ref ObjectRef, op string, writeArgs func(*cdr.Encoder)) (*giop.Message, error) {
+	m := o.buildRequest(ref, op, writeArgs)
+	o.interceptSendRequest(m)
+	reply, err := o.transferRequest(ref, m)
+	if err != nil {
+		return nil, err
+	}
+	o.interceptReceiveReply(reply)
+	return reply, nil
+}
+
+// buildRequest assembles an un-intercepted request message.
+func (o *ORB) buildRequest(ref ObjectRef, op string, writeArgs func(*cdr.Encoder)) *giop.Message {
+	m := &giop.Message{
+		Type:             giop.MsgRequest,
+		RequestID:        o.nextRequestID(),
+		ResponseExpected: true,
+		ObjectKey:        ref.Key,
+		Operation:        op,
+	}
+	if writeArgs != nil {
+		e := cdr.NewEncoder(128)
+		writeArgs(e)
+		m.Body = e.Bytes()
+	}
+	return m
+}
+
+// transferRequest sends an already-intercepted request and returns the
+// raw, un-intercepted reply. Interception is split from transfer so that
+// DII requests can run both interception points synchronously in the
+// caller's goroutine — send interceptors at Send time, receive
+// interceptors at GetResponse time — keeping interceptor state (e.g.
+// virtual-time stamps and merges) causally tied to when the caller issues
+// and consumes the call, independent of goroutine scheduling.
+func (o *ORB) transferRequest(ref ObjectRef, m *giop.Message) (*giop.Message, error) {
+	c, err := o.getConn(ref.Addr)
+	if err != nil {
+		return nil, err
+	}
+	return c.roundTrip(m, o.opts.CallTimeout)
+}
+
+// Notify performs a oneway invocation (IDL "oneway" semantics): the
+// request is written with ResponseExpected=false and the call returns as
+// soon as it is on the wire. Delivery is best-effort; servant errors are
+// not reported.
+func (o *ORB) Notify(ref ObjectRef, op string, writeArgs func(*cdr.Encoder)) error {
+	if ref.IsNil() {
+		return &SystemException{Kind: ExObjectNotExist, Detail: "nil object reference"}
+	}
+	m := o.buildRequest(ref, op, writeArgs)
+	m.ResponseExpected = false
+	o.interceptSendRequest(m)
+	c, err := o.getConn(ref.Addr)
+	if err != nil {
+		return err
+	}
+	return c.send(m)
+}
+
+// decodeReply maps a reply message to the caller's result or error.
+func decodeReply(reply *giop.Message, readReply func(*cdr.Decoder) error) error {
+	switch reply.ReplyStatus {
+	case giop.ReplyNoException:
+		if readReply == nil {
+			return nil
+		}
+		d := cdr.NewDecoder(reply.Body)
+		if err := readReply(d); err != nil {
+			return err
+		}
+		return d.Err()
+	case giop.ReplyUserException:
+		ue := new(UserException)
+		d := cdr.NewDecoder(reply.Body)
+		if err := ue.UnmarshalCDR(d); err != nil {
+			return &SystemException{Kind: ExMarshal, Detail: "undecodable user exception"}
+		}
+		return ue
+	case giop.ReplySystemException:
+		se := new(SystemException)
+		d := cdr.NewDecoder(reply.Body)
+		if err := se.UnmarshalCDR(d); err != nil {
+			return &SystemException{Kind: ExMarshal, Detail: "undecodable system exception"}
+		}
+		return se
+	case giop.ReplyLocationForward:
+		var fwd ObjectRef
+		d := cdr.NewDecoder(reply.Body)
+		if err := fwd.UnmarshalCDR(d); err != nil {
+			return &SystemException{Kind: ExMarshal, Detail: "undecodable forward reference"}
+		}
+		return &ForwardError{Target: fwd}
+	default:
+		return &SystemException{Kind: ExInternal, Detail: fmt.Sprintf("bad reply status %v", reply.ReplyStatus)}
+	}
+}
+
+// ForwardError reports a LOCATION_FORWARD reply; callers reissue the
+// request against Target.
+type ForwardError struct {
+	Target ObjectRef
+}
+
+func (e *ForwardError) Error() string {
+	return fmt.Sprintf("orb: location forward to %v", e.Target)
+}
+
+// InvokeFollowForwards is Invoke plus transparent LOCATION_FORWARD
+// following (bounded to avoid forwarding loops).
+func (o *ORB) InvokeFollowForwards(ref ObjectRef, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
+	const maxHops = 8
+	for hop := 0; hop < maxHops; hop++ {
+		err := o.Invoke(ref, op, writeArgs, readReply)
+		fe, ok := err.(*ForwardError)
+		if !ok {
+			return err
+		}
+		ref = fe.Target
+	}
+	return &SystemException{Kind: ExTransient, Detail: "too many location forwards"}
+}
+
+// Locate asks the adapter at ref.Addr whether it hosts ref.Key (GIOP
+// LocateRequest analogue).
+func (o *ORB) Locate(ref ObjectRef) (bool, error) {
+	c, err := o.getConn(ref.Addr)
+	if err != nil {
+		return false, err
+	}
+	m := &giop.Message{
+		Type:      giop.MsgLocateRequest,
+		RequestID: o.nextRequestID(),
+		ObjectKey: ref.Key,
+	}
+	reply, err := c.roundTrip(m, o.opts.CallTimeout)
+	if err != nil {
+		return false, err
+	}
+	return reply.LocateStatus == giop.LocateObjectHere, nil
+}
+
+// OpIsA is the reserved type-check operation every adapter answers on
+// behalf of its servants (CORBA Object::_is_a analogue).
+const OpIsA = "_is_a"
+
+// IsA asks the servant at ref whether it implements typeID. Unlike the
+// TypeID recorded inside the reference (which may be stale after a
+// rebind), this asks the live object.
+func (o *ORB) IsA(ref ObjectRef, typeID string) (bool, error) {
+	var ok bool
+	err := o.Invoke(ref, OpIsA,
+		func(e *cdr.Encoder) { e.PutString(typeID) },
+		func(d *cdr.Decoder) error { ok = d.GetBool(); return d.Err() })
+	return ok, err
+}
+
+// Ping performs a connectivity probe against ref ("_non_existent"
+// analogue): it returns nil when the servant is reachable and dispatchable.
+func (o *ORB) Ping(ref ObjectRef) error {
+	ok, err := o.Locate(ref)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ObjectNotExist(ref.Key)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package orb
+
+import (
+	"sync"
+
+	"repro/internal/cdr"
+	"repro/internal/giop"
+)
+
+// Request is a DII-style deferred request object. Mirroring the CORBA
+// Dynamic Invocation Interface that the paper uses for asynchronous calls,
+// a client builds a Request, Sends it without blocking, continues working,
+// and later polls or waits for the response.
+//
+// A Request is single-shot: Send may be called once. It is safe to poll
+// from one goroutine while the transfer completes in another.
+type Request struct {
+	orb *ORB
+	ref ObjectRef
+	op  string
+
+	args *cdr.Encoder
+
+	mu          sync.Mutex
+	sent        bool
+	intercepted bool
+	done        chan struct{}
+	reply       *giop.Message
+	err         error
+}
+
+// CreateRequest builds a deferred request for op on ref (the DII
+// create_request analogue).
+func (o *ORB) CreateRequest(ref ObjectRef, op string) *Request {
+	return &Request{
+		orb:  o,
+		ref:  ref,
+		op:   op,
+		args: cdr.NewEncoder(128),
+		done: make(chan struct{}),
+	}
+}
+
+// Ref returns the target object reference.
+func (r *Request) Ref() ObjectRef { return r.ref }
+
+// Operation returns the operation name.
+func (r *Request) Operation() string { return r.op }
+
+// Args exposes the argument encoder. Write all arguments before Send.
+func (r *Request) Args() *cdr.Encoder { return r.args }
+
+// Send initiates the invocation without waiting for the reply (the DII
+// send_deferred analogue). Calling Send twice is a no-op.
+//
+// Send-side interceptors run synchronously before Send returns, so the
+// request is stamped (e.g. with the caller's virtual time) as of the
+// moment of sending, not whenever the transfer goroutine gets scheduled.
+func (r *Request) Send() {
+	r.mu.Lock()
+	if r.sent {
+		r.mu.Unlock()
+		return
+	}
+	r.sent = true
+	r.mu.Unlock()
+
+	m := r.orb.buildRequest(r.ref, r.op, func(e *cdr.Encoder) {
+		e.PutRaw(r.args.Bytes())
+	})
+	r.orb.interceptSendRequest(m)
+
+	go func() {
+		reply, err := r.orb.transferRequest(r.ref, m)
+		r.mu.Lock()
+		r.reply, r.err = reply, err
+		r.mu.Unlock()
+		close(r.done)
+	}()
+}
+
+// PollResponse reports whether the response has arrived (the DII
+// poll_response analogue). It never blocks.
+func (r *Request) PollResponse() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// GetResponse blocks until the response arrives and decodes it with
+// readReply (nil for void results); the DII get_response analogue.
+// Transport failures surface as COMM_FAILURE, exactly as for synchronous
+// calls, so request proxies can apply the same recovery.
+func (r *Request) GetResponse(readReply func(*cdr.Decoder) error) error {
+	r.mu.Lock()
+	sent := r.sent
+	r.mu.Unlock()
+	if !sent {
+		return &SystemException{Kind: ExBadOperation, Detail: "GetResponse before Send"}
+	}
+	<-r.done
+	if r.err != nil {
+		return r.err
+	}
+	r.mu.Lock()
+	intercepted := r.intercepted
+	r.intercepted = true
+	r.mu.Unlock()
+	if !intercepted {
+		// Receive interceptors run here, in the consumer's goroutine, at
+		// most once per request (GetResponse may be called repeatedly).
+		r.orb.interceptReceiveReply(r.reply)
+	}
+	return decodeReply(r.reply, readReply)
+}

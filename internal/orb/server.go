@@ -1,0 +1,331 @@
+package orb
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/giop"
+)
+
+// Servant is the server-side implementation contract (the skeleton
+// dispatch analogue). Invoke decodes op's arguments from in and writes
+// results to out. Returning a *UserException sends a USER_EXCEPTION reply;
+// any other non-nil error sends a SYSTEM_EXCEPTION reply.
+type Servant interface {
+	// TypeID returns the repository id of the servant's interface.
+	TypeID() string
+	// Invoke dispatches one operation.
+	Invoke(ctx *ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error
+}
+
+// ServerContext carries per-request server-side information to servants
+// and gives them access to the request's service contexts.
+type ServerContext struct {
+	// ORB is the hosting broker.
+	ORB *ORB
+	// Adapter is the dispatching object adapter.
+	Adapter *Adapter
+	// Peer is the remote address of the calling connection.
+	Peer string
+	// Request is the raw request message (service contexts readable).
+	Request *giop.Message
+	// replyContexts accumulates service contexts for the reply.
+	replyContexts []giop.ServiceContext
+}
+
+// AddReplyContext attaches a service context to the outgoing reply.
+func (c *ServerContext) AddReplyContext(id uint32, data []byte) {
+	c.replyContexts = append(c.replyContexts, giop.ServiceContext{ID: id, Data: data})
+}
+
+// Adapter is an object adapter (POA analogue): a TCP listener plus a table
+// of active servants keyed by object key.
+type Adapter struct {
+	orb *ORB
+	ln  net.Listener
+
+	mu       sync.RWMutex
+	servants map[string]Servant
+	closed   bool
+
+	connMu sync.Mutex
+	conns  map[*serverConn]struct{}
+
+	wg  sync.WaitGroup
+	sem chan struct{}
+}
+
+// serverConn is one inbound connection with its serialized writer.
+type serverConn struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+	bw      *bufio.Writer
+}
+
+// write sends one message under the connection's write lock.
+func (c *serverConn) write(m *giop.Message) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := giop.Write(c.bw, m); err == nil {
+		c.bw.Flush()
+	}
+}
+
+// shutdown sends a CloseConnection notice (best effort, bounded by a
+// write deadline) and closes the socket.
+func (c *serverConn) shutdown() {
+	c.conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+	c.write(&giop.Message{Type: giop.MsgCloseConnection})
+	c.conn.Close()
+}
+
+// NewAdapter creates an object adapter listening on addr (use
+// "127.0.0.1:0" for an ephemeral port).
+func (o *ORB) NewAdapter(addr string) (*Adapter, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("orb: adapter listen %s: %w", addr, err)
+	}
+	a := &Adapter{
+		orb:      o,
+		ln:       ln,
+		servants: make(map[string]Servant),
+		conns:    make(map[*serverConn]struct{}),
+		sem:      make(chan struct{}, o.opts.MaxServerWorkers),
+	}
+	o.mu.Lock()
+	o.adapters = append(o.adapters, a)
+	o.mu.Unlock()
+	a.wg.Add(1)
+	go a.acceptLoop()
+	return a, nil
+}
+
+// Addr returns the adapter's bound listen address ("host:port").
+func (a *Adapter) Addr() string { return a.ln.Addr().String() }
+
+// Activate registers servant under key and returns its object reference
+// (POA activate_object_with_id analogue). Activating an existing key
+// replaces the previous servant.
+func (a *Adapter) Activate(key string, s Servant) ObjectRef {
+	a.mu.Lock()
+	a.servants[key] = s
+	a.mu.Unlock()
+	return ObjectRef{TypeID: s.TypeID(), Addr: a.Addr(), Key: key}
+}
+
+// Deactivate removes the servant under key. Subsequent requests for it
+// raise OBJECT_NOT_EXIST.
+func (a *Adapter) Deactivate(key string) {
+	a.mu.Lock()
+	delete(a.servants, key)
+	a.mu.Unlock()
+}
+
+// Resolve returns the servant registered under key, if any.
+func (a *Adapter) Resolve(key string) (Servant, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	s, ok := a.servants[key]
+	return s, ok
+}
+
+// ServantCount returns the number of active servants.
+func (a *Adapter) ServantCount() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.servants)
+}
+
+// Close stops the listener, notifies connected clients with a GIOP
+// CloseConnection message, closes all server-side connections and waits
+// for in-flight dispatches. Clients observe COMM_FAILURE on their next
+// call.
+func (a *Adapter) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	a.mu.Unlock()
+	a.ln.Close()
+	a.connMu.Lock()
+	conns := make([]*serverConn, 0, len(a.conns))
+	for c := range a.conns {
+		conns = append(conns, c)
+	}
+	a.connMu.Unlock()
+	for _, c := range conns {
+		c.shutdown()
+	}
+	a.orb.removeAdapter(a)
+	a.wg.Wait()
+}
+
+// trackConn registers a live server connection; it returns false when the
+// adapter is already closed (the connection is closed immediately).
+func (a *Adapter) trackConn(c *serverConn) bool {
+	a.connMu.Lock()
+	defer a.connMu.Unlock()
+	if a.isClosed() {
+		c.conn.Close()
+		return false
+	}
+	a.conns[c] = struct{}{}
+	return true
+}
+
+// untrackConn removes a finished connection.
+func (a *Adapter) untrackConn(c *serverConn) {
+	a.connMu.Lock()
+	delete(a.conns, c)
+	a.connMu.Unlock()
+}
+
+func (a *Adapter) isClosed() bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.closed
+}
+
+func (a *Adapter) acceptLoop() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		a.orb.counters.connectionsAccepted.Add(1)
+		a.wg.Add(1)
+		go a.serveConn(conn)
+	}
+}
+
+// serveConn reads requests off one connection and dispatches each in its
+// own goroutine, bounded by the adapter's worker semaphore. Replies are
+// serialized through a write mutex.
+func (a *Adapter) serveConn(conn net.Conn) {
+	defer a.wg.Done()
+	sc := &serverConn{conn: conn, bw: bufio.NewWriter(conn)}
+	if !a.trackConn(sc) {
+		return
+	}
+	defer a.untrackConn(sc)
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	var connWG sync.WaitGroup
+	defer connWG.Wait()
+
+	write := sc.write
+
+	for {
+		m, err := giop.Read(br)
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case giop.MsgRequest:
+			a.sem <- struct{}{}
+			connWG.Add(1)
+			go func(req *giop.Message) {
+				defer connWG.Done()
+				defer func() { <-a.sem }()
+				reply := a.dispatch(conn.RemoteAddr().String(), req)
+				if req.ResponseExpected {
+					write(reply)
+				}
+			}(m)
+		case giop.MsgLocateRequest:
+			status := giop.LocateUnknownObject
+			if _, ok := a.Resolve(m.ObjectKey); ok {
+				status = giop.LocateObjectHere
+			}
+			write(&giop.Message{Type: giop.MsgLocateReply, RequestID: m.RequestID, LocateStatus: status})
+		case giop.MsgCancelRequest:
+			// Dispatch is not interruptible; cancellation is advisory.
+		case giop.MsgCloseConnection:
+			return
+		default:
+			write(&giop.Message{Type: giop.MsgError})
+			return
+		}
+	}
+}
+
+// dispatch runs one request through interceptors and the target servant,
+// translating panics and errors into exception replies.
+func (a *Adapter) dispatch(peer string, req *giop.Message) *giop.Message {
+	a.orb.counters.requestsServed.Add(1)
+	a.orb.interceptReceiveRequest(req)
+
+	reply := &giop.Message{Type: giop.MsgReply, RequestID: req.RequestID}
+	ctx := &ServerContext{ORB: a.orb, Adapter: a, Peer: peer, Request: req}
+
+	sv, ok := a.Resolve(req.ObjectKey)
+	if !ok || a.isClosed() {
+		setReplyError(reply, ObjectNotExist(req.ObjectKey))
+	} else if req.Operation == OpIsA {
+		// Reserved operation handled by the adapter for every servant
+		// (CORBA Object::_is_a analogue): type compatibility check.
+		in := cdr.NewDecoder(req.Body)
+		want := in.GetString()
+		if err := in.Err(); err != nil {
+			setReplyError(reply, &SystemException{Kind: ExMarshal, Detail: err.Error()})
+		} else {
+			out := cdr.NewEncoder(8)
+			out.PutBool(want == sv.TypeID())
+			reply.ReplyStatus = giop.ReplyNoException
+			reply.Body = out.Bytes()
+		}
+	} else {
+		out := cdr.NewEncoder(128)
+		err := safeInvoke(sv, ctx, req.Operation, cdr.NewDecoder(req.Body), out)
+		if err != nil {
+			setReplyError(reply, err)
+		} else {
+			reply.ReplyStatus = giop.ReplyNoException
+			reply.Body = out.Bytes()
+		}
+	}
+	reply.Contexts = append(reply.Contexts, ctx.replyContexts...)
+	a.orb.interceptSendReply(reply)
+	return reply
+}
+
+// safeInvoke shields the dispatcher from servant panics, converting them
+// to INTERNAL system exceptions (a crashed servant must not take down the
+// adapter, only the one call).
+func safeInvoke(sv Servant, ctx *ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &SystemException{Kind: ExInternal, Detail: fmt.Sprintf("servant panic in %s: %v", op, r)}
+		}
+	}()
+	return sv.Invoke(ctx, op, in, out)
+}
+
+// setReplyError encodes err into reply as a user or system exception.
+func setReplyError(reply *giop.Message, err error) {
+	e := cdr.NewEncoder(64)
+	switch x := err.(type) {
+	case *UserException:
+		reply.ReplyStatus = giop.ReplyUserException
+		x.MarshalCDR(e)
+	case *SystemException:
+		reply.ReplyStatus = giop.ReplySystemException
+		x.MarshalCDR(e)
+	case *ForwardError:
+		reply.ReplyStatus = giop.ReplyLocationForward
+		x.Target.MarshalCDR(e)
+	default:
+		reply.ReplyStatus = giop.ReplySystemException
+		se := &SystemException{Kind: ExUnknown, Detail: err.Error()}
+		se.MarshalCDR(e)
+	}
+	reply.Body = e.Bytes()
+}

@@ -1,0 +1,38 @@
+package orb
+
+import "sync/atomic"
+
+// Stats are cumulative ORB-level counters (monitoring hook for
+// production deployments; every counter is updated atomically).
+type Stats struct {
+	// RequestsSent counts client requests written (including oneways).
+	RequestsSent uint64
+	// RepliesReceived counts replies matched to pending requests.
+	RepliesReceived uint64
+	// RequestsServed counts server-side dispatches across all adapters.
+	RequestsServed uint64
+	// ConnectionsAccepted counts inbound connections across all adapters.
+	ConnectionsAccepted uint64
+	// ConnectionsDialed counts outbound connections established.
+	ConnectionsDialed uint64
+}
+
+// orbCounters is the internal atomic representation.
+type orbCounters struct {
+	requestsSent        atomic.Uint64
+	repliesReceived     atomic.Uint64
+	requestsServed      atomic.Uint64
+	connectionsAccepted atomic.Uint64
+	connectionsDialed   atomic.Uint64
+}
+
+// Stats returns a snapshot of the ORB's counters.
+func (o *ORB) Stats() Stats {
+	return Stats{
+		RequestsSent:        o.counters.requestsSent.Load(),
+		RepliesReceived:     o.counters.repliesReceived.Load(),
+		RequestsServed:      o.counters.requestsServed.Load(),
+		ConnectionsAccepted: o.counters.connectionsAccepted.Load(),
+		ConnectionsDialed:   o.counters.connectionsDialed.Load(),
+	}
+}

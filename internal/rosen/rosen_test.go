@@ -1,0 +1,479 @@
+package rosen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cdr"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ft"
+	"repro/internal/naming"
+	"repro/internal/orb"
+)
+
+// deployment is a full simulated NOW running worker services on every
+// host (except the service host, mirroring the paper's setup where the
+// manager and services need capacity too).
+type deployment struct {
+	env     *core.Environment
+	nodes   []*cluster.Node
+	workers []*Worker
+	mgrNode *cluster.Node
+}
+
+// deploy boots an environment with `hosts` workstations, a worker servant
+// on each host except host 0 (which runs naming + Winner + the manager),
+// and returns the fixture.
+func deploy(t *testing.T, hosts int, useWinner bool) *deployment {
+	t.Helper()
+	env, err := core.Start(core.EnvironmentOptions{Hosts: hosts, UseWinner: useWinner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.Close)
+	d := &deployment{env: env}
+
+	name := naming.NewName(ServiceName)
+	for _, h := range env.Cluster.Hosts()[1:] {
+		node, err := env.NewNode(h.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := NewWorker(h)
+		ref := node.Adapter.Activate("worker", ft.Wrap(w))
+		if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+			t.Fatal(err)
+		}
+		d.nodes = append(d.nodes, node)
+		d.workers = append(d.workers, w)
+	}
+
+	mgrNode, err := env.NewNode(env.Cluster.Hosts()[0].Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.mgrNode = mgrNode
+	env.SampleAll()
+	return d
+}
+
+func (d *deployment) manager(cfg Config) *Manager {
+	return NewManager(d.mgrNode.ORB, d.env.NamingClientFor(d.mgrNode), cfg).
+		OnHost(d.mgrNode.Host)
+}
+
+func smallCfg() Config {
+	return Config{
+		N: 12, Workers: 3,
+		WorkerIterations:  60,
+		ManagerIterations: 6,
+		Seed:              1,
+		EvalCost:          1e-4,
+	}
+}
+
+func TestDistributedSolveProducesReasonableOptimum(t *testing.T) {
+	d := deploy(t, 5, true)
+	res, err := d.manager(smallCfg()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F < 0 {
+		t.Fatalf("negative objective %v", res.F)
+	}
+	if res.Rounds == 0 || res.WorkerCalls == 0 || res.Evaluations == 0 {
+		t.Fatalf("counters: %+v", res)
+	}
+	if len(res.X) != 12 {
+		t.Fatalf("solution dim = %d", len(res.X))
+	}
+	// The assembled solution's true Rosenbrock value must match the
+	// reported combined optimum.
+	// (Worker values sum exactly to the global objective.)
+	if got := rosenbrockAt(res.X); math.Abs(got-res.F) > 1e-6*(1+math.Abs(res.F)) {
+		t.Fatalf("assembled value %v != reported %v", got, res.F)
+	}
+	if res.Runtime <= 0 {
+		t.Fatalf("runtime = %v", res.Runtime)
+	}
+	// Three workers computing in parallel must achieve real speedup over
+	// the sequential work they performed.
+	if sp := res.Speedup(); sp <= 1.2 || sp > 3.5 {
+		t.Fatalf("speedup = %v, want in (1.2, 3.5] for 3 workers", sp)
+	}
+}
+
+func rosenbrockAt(x []float64) float64 {
+	var sum float64
+	for i := 0; i+1 < len(x); i++ {
+		a, b := x[i], x[i+1]
+		d := b - a*a
+		e := 1 - a
+		sum += 100*d*d + e*e
+	}
+	return sum
+}
+
+func TestDistributedSolveDeterministicAcrossNamingModes(t *testing.T) {
+	// The numerical trajectory must be identical under plain and Winner
+	// naming — only placement (and therefore virtual runtime) differs.
+	resPlain := func() *Result {
+		d := deploy(t, 5, false)
+		r, err := d.manager(smallCfg()).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}()
+	resWinner := func() *Result {
+		d := deploy(t, 5, true)
+		r, err := d.manager(smallCfg()).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}()
+	if resPlain.F != resWinner.F || resPlain.Evaluations != resWinner.Evaluations {
+		t.Fatalf("numerics diverged: plain %+v winner %+v", resPlain, resWinner)
+	}
+}
+
+func TestWinnerPlacementAvoidsLoadedHosts(t *testing.T) {
+	// 5 hosts, host 1 and 2 loaded (hosts are node00..node04; node00 is
+	// the service/manager host). Workers live on node01..node04. With 3
+	// workers and 2 loaded worker hosts, Winner must place all workers
+	// on unloaded hosts... only 2 unloaded worker hosts exist, so at
+	// least one worker lands on a loaded host; with 2 workers all fit.
+	d := deploy(t, 5, true)
+	d.env.Cluster.Host("node01").SetBackground(1)
+	d.env.Cluster.Host("node02").SetBackground(1)
+	d.env.SampleAll()
+
+	cfg := smallCfg()
+	cfg.N = 9
+	cfg.Workers = 2
+	m := d.manager(cfg)
+	if err := m.Place(); err != nil {
+		t.Fatal(err)
+	}
+	offers, err := d.env.Naming.ListOffers(naming.NewName(ServiceName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrToHost := map[string]string{}
+	for _, o := range offers {
+		addrToHost[o.Ref.Addr] = o.Host
+	}
+	for _, ref := range m.WorkerRefs() {
+		host := addrToHost[ref.Addr]
+		if host == "node01" || host == "node02" {
+			t.Fatalf("worker placed on loaded host %s", host)
+		}
+	}
+}
+
+func TestPlainPlacementIgnoresLoad(t *testing.T) {
+	d := deploy(t, 5, false)
+	d.env.Cluster.Host("node01").SetBackground(1)
+	d.env.SampleAll()
+
+	cfg := smallCfg()
+	cfg.N = 9
+	cfg.Workers = 2
+	m := d.manager(cfg)
+	if err := m.Place(); err != nil {
+		t.Fatal(err)
+	}
+	offers, _ := d.env.Naming.ListOffers(naming.NewName(ServiceName))
+	addrToHost := map[string]string{}
+	for _, o := range offers {
+		addrToHost[o.Ref.Addr] = o.Host
+	}
+	// Round-robin from the head: first two offers are node01, node02 —
+	// the loaded node01 is used despite its load.
+	if host := addrToHost[m.WorkerRefs()[0].Addr]; host != "node01" {
+		t.Fatalf("plain placement head = %s, want node01", host)
+	}
+}
+
+func TestLoadedHostsSlowTheRun(t *testing.T) {
+	run := func(loaded int) float64 {
+		d := deploy(t, 4, false) // 3 worker hosts for 3 workers
+		if loaded > 0 {
+			// Load worker hosts (node01...).
+			for i := 0; i < loaded; i++ {
+				d.env.Cluster.Hosts()[1+i].SetBackground(1)
+			}
+		}
+		d.env.SampleAll()
+		res, err := d.manager(smallCfg()).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Runtime
+	}
+	fast := run(0)
+	slow := run(3)
+	if !(slow > fast*1.5) {
+		t.Fatalf("background load had no effect: %v vs %v", fast, slow)
+	}
+}
+
+func TestFTWorkersSurviveCrashMidRun(t *testing.T) {
+	d := deploy(t, 5, true)
+	store := ft.NewMemStore()
+	cfg := smallCfg()
+	cfg.ManagerIterations = 4
+	m := d.manager(cfg).WithFT(FTOptions{
+		Store:    store,
+		Policy:   ft.Policy{CheckpointEvery: 1, MaxRecoveries: 4},
+		Unbinder: d.env.NamingClientFor(d.mgrNode),
+	})
+	if err := m.Place(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the node hosting the first placed worker.
+	victim := m.WorkerRefs()[0].Addr
+	killed := false
+	for _, n := range d.nodes {
+		if n.Adapter.Addr() == victim {
+			n.Fail()
+			killed = true
+		}
+	}
+	if !killed {
+		t.Fatalf("no node matches %s", victim)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F < 0 || res.WorkerCalls == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestFTRunMatchesPlainNumerics(t *testing.T) {
+	// With no failures, the FT run computes the same result as the plain
+	// run (proxies are transparent); only runtime differs.
+	plain := func() *Result {
+		d := deploy(t, 5, true)
+		r, err := d.manager(smallCfg()).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}()
+	ftRes := func() *Result {
+		d := deploy(t, 5, true)
+		m := d.manager(smallCfg()).WithFT(FTOptions{
+			Store:  ft.NewMemStore(),
+			Policy: ft.Policy{CheckpointEvery: 1},
+		})
+		r, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}()
+	if plain.F != ftRes.F {
+		t.Fatalf("FT changed numerics: %v vs %v", plain.F, ftRes.F)
+	}
+}
+
+func TestFTCrashInjectedMidRun(t *testing.T) {
+	// The crash happens *between* manager rounds via the AfterRound hook:
+	// a deterministic mid-run fault. The FT proxies must recover and the
+	// run must complete.
+	d := deploy(t, 6, true)
+	store := ft.NewMemStore()
+	cfg := smallCfg()
+	cfg.ManagerIterations = 5
+	killed := false
+	cfg.AfterRound = func(round int) {
+		if round == 2 && !killed {
+			killed = true
+			d.nodes[0].Fail()
+			d.nodes[1].Fail()
+		}
+	}
+	m := d.manager(cfg).WithFT(FTOptions{
+		Store:    store,
+		Policy:   ft.Policy{CheckpointEvery: 1, MaxRecoveries: 5},
+		Unbinder: d.env.NamingClientFor(d.mgrNode),
+	})
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !killed {
+		t.Fatal("fault never injected")
+	}
+	if res.Rounds < 3 || res.WorkerCalls == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestActiveReplicationRun(t *testing.T) {
+	d := deploy(t, 7, true)
+	cfg := smallCfg()
+	cfg.Replication = 2
+	m := d.manager(cfg)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F < 0 || res.WorkerCalls == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestActiveReplicationSurvivesCrashWithoutCheckpoints(t *testing.T) {
+	d := deploy(t, 7, true)
+	cfg := smallCfg()
+	cfg.Replication = 2
+	m := d.manager(cfg)
+	if err := m.Place(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the node hosting the first worker's primary replica.
+	victim := m.WorkerRefs()[0].Addr
+	for _, n := range d.nodes {
+		if n.Adapter.Addr() == victim {
+			n.Fail()
+		}
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkerCalls == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestActiveReplicationSlowerThanSingle(t *testing.T) {
+	// With 3 workers on only 3 worker hosts, replication factor 2 forces
+	// colocated replicas that time-share their hosts: the run must be
+	// substantially slower than the unreplicated one.
+	run := func(replication int) float64 {
+		d := deploy(t, 4, true)
+		cfg := smallCfg()
+		cfg.Replication = replication
+		res, err := d.manager(cfg).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Runtime
+	}
+	single := run(0)
+	replicated := run(2)
+	if !(replicated > single*1.4) {
+		t.Fatalf("replication cost invisible: %v vs %v", replicated, single)
+	}
+}
+
+func TestWorkerSolveDirect(t *testing.T) {
+	// Exercise the servant without the manager.
+	o := orb.New(orb.Options{})
+	t.Cleanup(o.Shutdown)
+	ad, err := o.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(nil) // real-time mode
+	ref := ad.Activate("w", ft.Wrap(w))
+
+	req := SolveRequest{N: 10, Workers: 2, Index: 0, Boundary: []float64{0.5},
+		MaxIterations: 100, Seed: 3, Lo: -2, Hi: 2}
+	var reply SolveReply
+	err = o.Invoke(ref, OpSolve,
+		func(e *cdr.Encoder) { req.MarshalCDR(e) },
+		func(dd *cdr.Decoder) error { return reply.UnmarshalCDR(dd) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Block) != 5 || reply.Evaluations == 0 {
+		t.Fatalf("reply: %+v", reply)
+	}
+	if w.Solves() != 1 {
+		t.Fatalf("solves = %d", w.Solves())
+	}
+}
+
+func TestWorkerRejectsBadRequests(t *testing.T) {
+	o := orb.New(orb.Options{})
+	t.Cleanup(o.Shutdown)
+	ad, err := o.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ad.Activate("w", ft.Wrap(NewWorker(nil)))
+
+	cases := []SolveRequest{
+		{N: 2, Workers: 5, Index: 0, MaxIterations: 10, Lo: -1, Hi: 1},                             // impossible decomposition
+		{N: 10, Workers: 2, Index: 7, Boundary: []float64{0}, MaxIterations: 10, Lo: -1, Hi: 1},    // index out of range
+		{N: 10, Workers: 2, Index: 0, Boundary: []float64{0}, MaxIterations: 10, Lo: 1, Hi: -1},    // empty bounds
+		{N: 10, Workers: 2, Index: 0, Boundary: []float64{0, 0}, MaxIterations: 10, Lo: -1, Hi: 1}, // wrong boundary dim
+	}
+	for i, req := range cases {
+		err := o.Invoke(ref, OpSolve,
+			func(e *cdr.Encoder) { req.MarshalCDR(e) }, nil)
+		if !orb.IsUserException(err, ExBadSolve) {
+			t.Fatalf("case %d: err = %v", i, err)
+		}
+	}
+	if err := o.Invoke(ref, "unknown_op", nil, nil); !orb.IsSystemException(err, orb.ExBadOperation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWorkerCheckpointRestoreRoundTrip(t *testing.T) {
+	w := NewWorker(nil)
+	w.warm = []float64{1, 2, 3}
+	w.warmF = 0.25
+	w.solves = 7
+	data, err := w.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewWorker(nil)
+	if err := w2.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	if w2.warmF != 0.25 || w2.solves != 7 || len(w2.warm) != 3 || w2.warm[2] != 3 {
+		t.Fatalf("restored: %+v", w2)
+	}
+	if err := w2.Restore([]byte{1}); err == nil {
+		t.Fatal("garbage restore accepted")
+	}
+}
+
+func TestWorkerWarmStartImproves(t *testing.T) {
+	o := orb.New(orb.Options{})
+	t.Cleanup(o.Shutdown)
+	ad, err := o.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(nil)
+	ref := ad.Activate("w", ft.Wrap(w))
+
+	solve := func(seed int64) float64 {
+		req := SolveRequest{N: 10, Workers: 2, Index: 0, Boundary: []float64{1},
+			MaxIterations: 150, Seed: seed, Lo: -2, Hi: 2}
+		var reply SolveReply
+		if err := o.Invoke(ref, OpSolve,
+			func(e *cdr.Encoder) { req.MarshalCDR(e) },
+			func(dd *cdr.Decoder) error { return reply.UnmarshalCDR(dd) }); err != nil {
+			t.Fatal(err)
+		}
+		return reply.Value
+	}
+	first := solve(1)
+	second := solve(2) // warm-started from the first solution
+	if second > first+1e-9 {
+		t.Fatalf("warm start regressed: %v -> %v", first, second)
+	}
+}

@@ -1,0 +1,95 @@
+// Package rosen is the paper's evaluation application: parallel
+// minimisation of a decomposed Rosenbrock function with a manager process
+// and N worker services communicating over the ORB. Workers are located
+// through the naming service (plain or Winner-enhanced — the Figure 3
+// comparison) and can be called through fault-tolerant proxies (the
+// Table 1 comparison).
+package rosen
+
+import (
+	"repro/internal/cdr"
+)
+
+// WorkerTypeID is the repository id of the worker interface.
+const WorkerTypeID = "IDL:repro/Rosen/Worker:1.0"
+
+// ServiceName is the naming-service group name workers register under.
+const ServiceName = "RosenbrockWorker"
+
+// OpSolve is the worker's single business operation.
+const OpSolve = "solve"
+
+// SolveRequest is the manager→worker subproblem description.
+type SolveRequest struct {
+	// N and Workers identify the global decomposition.
+	N, Workers int32
+	// Index is this worker's block index.
+	Index int32
+	// Boundary is the manager's current boundary-variable vector.
+	Boundary []float64
+	// MaxIterations is the worker's Complex Box iteration budget — the
+	// paper's stopping criterion, varied in Table 1.
+	MaxIterations int32
+	// Seed makes the worker's run reproducible.
+	Seed int64
+	// Lo and Hi are the uniform global box constraints.
+	Lo, Hi float64
+	// EvalCost is the virtual CPU seconds charged per objective
+	// evaluation (0 in real-time mode).
+	EvalCost float64
+}
+
+// MarshalCDR encodes the request.
+func (r *SolveRequest) MarshalCDR(e *cdr.Encoder) {
+	e.PutInt32(r.N)
+	e.PutInt32(r.Workers)
+	e.PutInt32(r.Index)
+	e.PutFloat64Seq(r.Boundary)
+	e.PutInt32(r.MaxIterations)
+	e.PutInt64(r.Seed)
+	e.PutFloat64(r.Lo)
+	e.PutFloat64(r.Hi)
+	e.PutFloat64(r.EvalCost)
+}
+
+// UnmarshalCDR decodes the request.
+func (r *SolveRequest) UnmarshalCDR(d *cdr.Decoder) error {
+	r.N = d.GetInt32()
+	r.Workers = d.GetInt32()
+	r.Index = d.GetInt32()
+	r.Boundary = d.GetFloat64Seq()
+	r.MaxIterations = d.GetInt32()
+	r.Seed = d.GetInt64()
+	r.Lo = d.GetFloat64()
+	r.Hi = d.GetFloat64()
+	r.EvalCost = d.GetFloat64()
+	return d.Err()
+}
+
+// SolveReply is the worker→manager result.
+type SolveReply struct {
+	// Block is the optimized block-variable vector.
+	Block []float64
+	// Value is the subproblem objective at Block.
+	Value float64
+	// Evaluations counts objective evaluations performed.
+	Evaluations int64
+}
+
+// MarshalCDR encodes the reply.
+func (r *SolveReply) MarshalCDR(e *cdr.Encoder) {
+	e.PutFloat64Seq(r.Block)
+	e.PutFloat64(r.Value)
+	e.PutInt64(r.Evaluations)
+}
+
+// UnmarshalCDR decodes the reply.
+func (r *SolveReply) UnmarshalCDR(d *cdr.Decoder) error {
+	r.Block = d.GetFloat64Seq()
+	r.Value = d.GetFloat64()
+	r.Evaluations = d.GetInt64()
+	return d.Err()
+}
+
+// ExBadSolve is raised for malformed solve requests.
+const ExBadSolve = "IDL:repro/Rosen/BadSolve:1.0"

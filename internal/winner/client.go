@@ -1,0 +1,89 @@
+package winner
+
+import (
+	"repro/internal/cdr"
+	"repro/internal/orb"
+)
+
+// Client is the typed client stub for the Winner system manager.
+type Client struct {
+	orb *orb.ORB
+	ref orb.ObjectRef
+}
+
+// NewClient builds a stub for the system manager at ref.
+func NewClient(o *orb.ORB, ref orb.ObjectRef) *Client {
+	return &Client{orb: o, ref: ref}
+}
+
+// Ref returns the service's object reference.
+func (c *Client) Ref() orb.ObjectRef { return c.ref }
+
+// Report ships a load sample to the system manager.
+func (c *Client) Report(s LoadSample) error {
+	return c.orb.Invoke(c.ref, opReport, func(e *cdr.Encoder) { s.MarshalCDR(e) }, nil)
+}
+
+// BestHost asks for the currently best host, skipping any in exclude.
+func (c *Client) BestHost(exclude []string) (string, error) {
+	var host string
+	err := c.orb.Invoke(c.ref, opBestHost,
+		func(e *cdr.Encoder) { e.PutStringSeq(exclude) },
+		func(d *cdr.Decoder) error { host = d.GetString(); return d.Err() })
+	return host, err
+}
+
+// BestOf asks for the best host among candidates.
+func (c *Client) BestOf(candidates []string) (string, error) {
+	var host string
+	err := c.orb.Invoke(c.ref, opBestOf,
+		func(e *cdr.Encoder) { e.PutStringSeq(candidates) },
+		func(d *cdr.Decoder) error { host = d.GetString(); return d.Err() })
+	return host, err
+}
+
+// Ranking fetches all hosts, best first.
+func (c *Client) Ranking() ([]HostInfo, error) {
+	var out []HostInfo
+	err := c.orb.Invoke(c.ref, opRanking, nil, func(d *cdr.Decoder) error {
+		n := d.GetUint32()
+		if n > 1<<20 {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: "ranking too long"}
+		}
+		out = make([]HostInfo, 0, n)
+		for i := uint32(0); i < n; i++ {
+			var h HostInfo
+			if err := h.UnmarshalCDR(d); err != nil {
+				return err
+			}
+			out = append(out, h)
+		}
+		return d.Err()
+	})
+	return out, err
+}
+
+// HostInfo fetches the manager's view of one host.
+func (c *Client) HostInfo(host string) (HostInfo, error) {
+	var out HostInfo
+	err := c.orb.Invoke(c.ref, opHostInfo,
+		func(e *cdr.Encoder) { e.PutString(host) },
+		func(d *cdr.Decoder) error { return out.UnmarshalCDR(d) })
+	return out, err
+}
+
+// HostEffectiveSpeed returns the host's adjusted effective speed, or
+// false when the manager does not know the host (remote counterpart of
+// Manager.HostEffectiveSpeed).
+func (c *Client) HostEffectiveSpeed(host string) (float64, bool) {
+	info, err := c.HostInfo(host)
+	if err != nil {
+		return 0, false
+	}
+	return info.AdjustedEffectiveSpeed(), true
+}
+
+// Forget removes a host from the manager.
+func (c *Client) Forget(host string) error {
+	return c.orb.Invoke(c.ref, opForget, func(e *cdr.Encoder) { e.PutString(host) }, nil)
+}

@@ -1,0 +1,127 @@
+// Package winner reproduces the role of the Winner resource management
+// system (Arndt, Freisleben, Kielmann, Thilo 1998) that the paper's naming
+// service consults: one node manager per workstation periodically measures
+// the node's performance and load, a central system manager aggregates the
+// reports and answers "which machine currently has the best performance".
+//
+// Measurements come from a pluggable LoadSource so the same node manager
+// runs against the simulated NOW (internal/cluster) or any other provider.
+package winner
+
+import (
+	"fmt"
+
+	"repro/internal/cdr"
+)
+
+// LoadSample is one point-in-time measurement of a host, the data a node
+// manager ships to the system manager.
+type LoadSample struct {
+	// Host is the logical workstation name.
+	Host string
+	// Speed is the host's static relative CPU performance (1.0 = the
+	// reference machine; a 2.0 host runs CPU-bound work twice as fast).
+	Speed float64
+	// RunQueue is the current number of runnable processes competing for
+	// the CPUs (background load plus active jobs), the classic Unix load
+	// figure Winner's node managers collect.
+	RunQueue float64
+	// CPUs is the processor count of the workstation (Winner schedules
+	// over networks of mixed uniprocessor/multiprocessor workstations;
+	// 0 is treated as 1).
+	CPUs int32
+	// Seq orders samples from one host; the system manager ignores
+	// samples older than what it already has.
+	Seq uint64
+}
+
+// NCPUs returns the processor count, defaulting to 1.
+func (s LoadSample) NCPUs() float64 {
+	if s.CPUs <= 0 {
+		return 1
+	}
+	return float64(s.CPUs)
+}
+
+// EffectiveSpeed is the load index Winner ranks hosts by: the per-CPU
+// speed share a newly placed process would receive, assuming the run
+// queue plus the new process spread fairly over the workstation's CPUs. A
+// multiprocessor delivers full per-CPU speed until every CPU has a
+// runnable process.
+func (s LoadSample) EffectiveSpeed() float64 {
+	demand := s.RunQueue + 1
+	cpus := s.NCPUs()
+	if demand <= cpus {
+		return s.Speed
+	}
+	return s.Speed * cpus / demand
+}
+
+func (s LoadSample) String() string {
+	return fmt.Sprintf("%s speed=%.2f runq=%.2f eff=%.3f", s.Host, s.Speed, s.RunQueue, s.EffectiveSpeed())
+}
+
+// MarshalCDR encodes the sample.
+func (s LoadSample) MarshalCDR(e *cdr.Encoder) {
+	e.PutString(s.Host)
+	e.PutFloat64(s.Speed)
+	e.PutFloat64(s.RunQueue)
+	e.PutInt32(s.CPUs)
+	e.PutUint64(s.Seq)
+}
+
+// UnmarshalCDR decodes the sample.
+func (s *LoadSample) UnmarshalCDR(d *cdr.Decoder) error {
+	s.Host = d.GetString()
+	s.Speed = d.GetFloat64()
+	s.RunQueue = d.GetFloat64()
+	s.CPUs = d.GetInt32()
+	s.Seq = d.GetUint64()
+	return d.Err()
+}
+
+// LoadSource provides measurements for one host (what a node manager reads
+// from the operating system on a real workstation).
+type LoadSource interface {
+	Sample() LoadSample
+}
+
+// LoadSourceFunc adapts a function to LoadSource.
+type LoadSourceFunc func() LoadSample
+
+// Sample implements LoadSource.
+func (f LoadSourceFunc) Sample() LoadSample { return f() }
+
+// HostInfo is the system manager's view of one host.
+type HostInfo struct {
+	// Sample is the newest report from the host.
+	Sample LoadSample
+	// Pending counts placements advised since that report: processes the
+	// system manager has steered to the host that the next measurement
+	// has not yet observed. They are charged to the run queue when
+	// ranking, so a burst of placement queries spreads over hosts instead
+	// of dog-piling the momentary best one.
+	Pending int
+}
+
+// AdjustedEffectiveSpeed ranks the host including pending placements.
+func (h HostInfo) AdjustedEffectiveSpeed() float64 {
+	adjusted := h.Sample
+	adjusted.RunQueue += float64(h.Pending)
+	return adjusted.EffectiveSpeed()
+}
+
+// MarshalCDR encodes the host info.
+func (h HostInfo) MarshalCDR(e *cdr.Encoder) {
+	h.Sample.MarshalCDR(e)
+	e.PutInt32(int32(h.Pending))
+}
+
+// UnmarshalCDR decodes the host info.
+func (h *HostInfo) UnmarshalCDR(d *cdr.Decoder) error {
+	if err := h.Sample.UnmarshalCDR(d); err != nil {
+		return err
+	}
+	h.Pending = int(d.GetInt32())
+	return d.Err()
+}

@@ -1,0 +1,196 @@
+package winner
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrNoHosts is returned by BestHost/BestOf when no usable host is known.
+var ErrNoHosts = errors.New("winner: no hosts registered")
+
+// hostEntry is the manager's record for one host.
+type hostEntry struct {
+	info HostInfo
+	// seen is when the newest sample arrived (staleness policy).
+	seen time.Time
+}
+
+// Manager is the Winner system manager core: it aggregates node-manager
+// reports and ranks hosts by adjusted effective speed. It is exposed
+// remotely by Servant but is equally usable in-process (the simulated NOW
+// feeds it directly). All methods are safe for concurrent use.
+type Manager struct {
+	mu    sync.RWMutex
+	hosts map[string]*hostEntry
+
+	// maxAge and now implement the staleness policy (see staleness.go).
+	maxAge time.Duration
+	now    func() time.Time
+
+	// alpha is the EWMA smoothing factor for run-queue values; 0 or 1
+	// disables smoothing (raw samples).
+	alpha float64
+}
+
+// NewManager creates an empty system manager.
+func NewManager() *Manager {
+	return &Manager{hosts: make(map[string]*hostEntry), now: time.Now}
+}
+
+// Report ingests a node manager sample. A fresh sample clears the host's
+// pending-placement charge (the measurement now reflects reality). Stale
+// samples (Seq not newer than the stored one) are dropped.
+func (m *Manager) Report(s LoadSample) {
+	if s.Host == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hosts[s.Host]
+	if !ok {
+		m.hosts[s.Host] = &hostEntry{info: HostInfo{Sample: s}, seen: m.now()}
+		return
+	}
+	if s.Seq != 0 && s.Seq <= h.info.Sample.Seq {
+		return
+	}
+	if m.alpha > 0 && m.alpha < 1 {
+		// Exponentially weighted moving average: a single load spike (a
+		// cron job, a measurement glitch) should not immediately reroute
+		// placements; sustained load should.
+		s.RunQueue = m.alpha*s.RunQueue + (1-m.alpha)*h.info.Sample.RunQueue
+	}
+	h.info.Sample = s
+	h.info.Pending = 0
+	h.seen = m.now()
+}
+
+// SetSmoothing configures EWMA smoothing of reported run-queue lengths.
+// alpha is the weight of the newest sample: 1 (or 0) keeps raw samples,
+// smaller values smooth harder. Winner's node managers sample frequently,
+// so smoothing trades reaction speed for placement stability.
+func (m *Manager) SetSmoothing(alpha float64) {
+	m.mu.Lock()
+	m.alpha = alpha
+	m.mu.Unlock()
+}
+
+// Forget removes a host from the ranking (node manager shut down, host
+// declared dead by failure detection).
+func (m *Manager) Forget(host string) {
+	m.mu.Lock()
+	delete(m.hosts, host)
+	m.mu.Unlock()
+}
+
+// Host returns the manager's view of one host.
+func (m *Manager) Host(host string) (HostInfo, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	h, ok := m.hosts[host]
+	if !ok {
+		return HostInfo{}, false
+	}
+	return h.info, true
+}
+
+// Ranking returns all fresh hosts ordered best-first by adjusted
+// effective speed, ties broken by host name for determinism. Stale hosts
+// are appended at the end, worst-last.
+func (m *Manager) Ranking() []HostInfo {
+	m.mu.RLock()
+	var fresh, stale []HostInfo
+	for _, h := range m.hosts {
+		if m.fresh(h) {
+			fresh = append(fresh, h.info)
+		} else {
+			stale = append(stale, h.info)
+		}
+	}
+	m.mu.RUnlock()
+	byEff := func(s []HostInfo) {
+		sort.Slice(s, func(i, j int) bool {
+			ei, ej := s[i].AdjustedEffectiveSpeed(), s[j].AdjustedEffectiveSpeed()
+			if ei != ej {
+				return ei > ej
+			}
+			return s[i].Sample.Host < s[j].Sample.Host
+		})
+	}
+	byEff(fresh)
+	byEff(stale)
+	return append(fresh, stale...)
+}
+
+// BestHost returns the host a new process should be placed on and charges
+// one pending placement to it, so an immediately following query sees the
+// expected extra load (Winner's process placement feedback). Hosts in
+// exclude are skipped, as are hosts with stale samples.
+func (m *Manager) BestHost(exclude map[string]bool) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var best *hostEntry
+	var bestEff float64
+	for _, h := range m.hosts {
+		if exclude[h.info.Sample.Host] || !m.fresh(h) {
+			continue
+		}
+		eff := h.info.AdjustedEffectiveSpeed()
+		if best == nil || eff > bestEff || (eff == bestEff && h.info.Sample.Host < best.info.Sample.Host) {
+			best, bestEff = h, eff
+		}
+	}
+	if best == nil {
+		return "", ErrNoHosts
+	}
+	best.info.Pending++
+	return best.info.Sample.Host, nil
+}
+
+// BestOf ranks only the given candidate hosts (the hosts that actually
+// offer the requested service) and charges the winner, like BestHost.
+// Unknown and stale hosts are ignored; if none remain, ErrNoHosts is
+// returned.
+func (m *Manager) BestOf(candidates []string) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var best *hostEntry
+	var bestEff float64
+	for _, c := range candidates {
+		h, ok := m.hosts[c]
+		if !ok || !m.fresh(h) {
+			continue
+		}
+		eff := h.info.AdjustedEffectiveSpeed()
+		if best == nil || eff > bestEff || (eff == bestEff && h.info.Sample.Host < best.info.Sample.Host) {
+			best, bestEff = h, eff
+		}
+	}
+	if best == nil {
+		return "", ErrNoHosts
+	}
+	best.info.Pending++
+	return best.info.Sample.Host, nil
+}
+
+// HostEffectiveSpeed returns the host's adjusted effective speed, or
+// false for unknown or stale hosts. It is the load figure migration
+// decisions compare.
+func (m *Manager) HostEffectiveSpeed(host string) (float64, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	h, ok := m.hosts[host]
+	if !ok || !m.fresh(h) {
+		return 0, false
+	}
+	return h.info.AdjustedEffectiveSpeed(), true
+}
+
+// HostCount returns the number of hosts currently known (fresh or not).
+func (m *Manager) HostCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.hosts)
+}

@@ -1,0 +1,118 @@
+package winner
+
+import (
+	"sync"
+	"time"
+)
+
+// Reporter is the destination a node manager pushes samples to: the remote
+// Client and the in-process Manager both satisfy it.
+type Reporter interface {
+	Report(s LoadSample) error
+}
+
+// ManagerReporter adapts the in-process Manager to the Reporter interface.
+type ManagerReporter struct{ M *Manager }
+
+// Report implements Reporter.
+func (r ManagerReporter) Report(s LoadSample) error {
+	r.M.Report(s)
+	return nil
+}
+
+// NodeManager is the per-workstation Winner daemon: it samples its host's
+// LoadSource on a fixed period and pushes each sample to the system
+// manager. Push failures are counted and retried on the next tick; the
+// node manager never gives up on its own.
+type NodeManager struct {
+	src      LoadSource
+	dst      Reporter
+	interval time.Duration
+
+	mu       sync.Mutex
+	seq      uint64
+	failures int
+	started  bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewNodeManager creates a node manager sampling src every interval and
+// reporting to dst. Call Start to begin; Stop to halt.
+func NewNodeManager(src LoadSource, dst Reporter, interval time.Duration) *NodeManager {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &NodeManager{
+		src:      src,
+		dst:      dst,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// ReportOnce samples and pushes a single measurement immediately. It is
+// used at startup (so the system manager learns about the host before the
+// first tick) and by tests and simulations driving time manually.
+func (n *NodeManager) ReportOnce() error {
+	s := n.src.Sample()
+	n.mu.Lock()
+	n.seq++
+	s.Seq = n.seq
+	n.mu.Unlock()
+	if err := n.dst.Report(s); err != nil {
+		n.mu.Lock()
+		n.failures++
+		n.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Failures returns the number of failed pushes so far.
+func (n *NodeManager) Failures() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.failures
+}
+
+// Start launches the periodic sampling loop (after one immediate report).
+// Start is idempotent.
+func (n *NodeManager) Start() {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.mu.Unlock()
+	_ = n.ReportOnce()
+	go func() {
+		defer close(n.done)
+		t := time.NewTicker(n.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				_ = n.ReportOnce()
+			case <-n.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the sampling loop and waits for it to exit. Stopping a node
+// manager that was never started is a no-op.
+func (n *NodeManager) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.mu.Lock()
+	started := n.started
+	n.mu.Unlock()
+	if started {
+		<-n.done
+	}
+}

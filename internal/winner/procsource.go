@@ -1,0 +1,69 @@
+package winner
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// ProcLoadSource measures the real machine through /proc/loadavg — what
+// Winner's node managers do on actual Unix workstations. It is used by
+// the winnerd daemon; simulations use cluster.Host instead.
+type ProcLoadSource struct {
+	// Host is the name reported in samples (defaults to the hostname).
+	Host string
+	// Speed is the host's static relative speed (defaults to 1).
+	Speed float64
+	// Path is the loadavg file (defaults to /proc/loadavg; tests
+	// substitute a fixture).
+	Path string
+}
+
+// Sample implements LoadSource. On read or parse errors it reports an
+// infinite-load sample, so a broken measurement demotes the host instead
+// of making it look idle.
+func (p *ProcLoadSource) Sample() LoadSample {
+	host := p.Host
+	if host == "" {
+		host, _ = os.Hostname()
+	}
+	speed := p.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	path := p.Path
+	if path == "" {
+		path = "/proc/loadavg"
+	}
+	s := LoadSample{Host: host, Speed: speed, CPUs: int32(runtime.NumCPU())}
+	load, err := readLoadAvg(path)
+	if err != nil {
+		s.RunQueue = 1e9
+		return s
+	}
+	s.RunQueue = load
+	return s
+}
+
+// readLoadAvg parses the 1-minute load average from a loadavg-format
+// file ("0.52 0.58 0.59 1/467 12345").
+func readLoadAvg(path string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("winner: read %s: %w", path, err)
+	}
+	fields := strings.Fields(string(raw))
+	if len(fields) == 0 {
+		return 0, fmt.Errorf("winner: empty loadavg file %s", path)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, fmt.Errorf("winner: parse loadavg %q: %w", fields[0], err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("winner: negative loadavg %v", v)
+	}
+	return v, nil
+}

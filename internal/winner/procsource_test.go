@@ -1,0 +1,59 @@
+package winner
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFixture(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "loadavg")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProcLoadSourceParsesLoad(t *testing.T) {
+	src := &ProcLoadSource{Host: "me", Speed: 2, Path: writeFixture(t, "0.75 0.58 0.59 1/467 12345\n")}
+	s := src.Sample()
+	if s.Host != "me" || s.Speed != 2 || s.RunQueue != 0.75 {
+		t.Fatalf("sample = %+v", s)
+	}
+}
+
+func TestProcLoadSourceDefaults(t *testing.T) {
+	src := &ProcLoadSource{Path: writeFixture(t, "0.10 0 0 1/1 1")}
+	s := src.Sample()
+	if s.Host == "" || s.Speed != 1 {
+		t.Fatalf("sample = %+v", s)
+	}
+}
+
+func TestProcLoadSourceMissingFileDemotesHost(t *testing.T) {
+	src := &ProcLoadSource{Host: "h", Path: "/definitely/not/here"}
+	s := src.Sample()
+	if s.RunQueue < 1e8 {
+		t.Fatalf("broken measurement not demoted: %+v", s)
+	}
+}
+
+func TestReadLoadAvgErrors(t *testing.T) {
+	for _, content := range []string{"", "junk x y", "-1 0 0"} {
+		if _, err := readLoadAvg(writeFixture(t, content)); err == nil {
+			t.Errorf("content %q parsed", content)
+		}
+	}
+}
+
+func TestProcLoadSourceOnRealSystem(t *testing.T) {
+	if _, err := os.Stat("/proc/loadavg"); err != nil {
+		t.Skip("no /proc/loadavg on this platform")
+	}
+	src := &ProcLoadSource{Host: "real"}
+	s := src.Sample()
+	if s.RunQueue < 0 || s.RunQueue > 1e8 {
+		t.Fatalf("implausible real load: %+v", s)
+	}
+}

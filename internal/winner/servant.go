@@ -1,0 +1,114 @@
+package winner
+
+import (
+	"repro/internal/cdr"
+	"repro/internal/orb"
+)
+
+// TypeID is the repository id of the system manager interface.
+const TypeID = "IDL:repro/Winner/SystemManager:1.0"
+
+// DefaultKey is the conventional object key of the system manager.
+const DefaultKey = "WinnerSystemManager"
+
+// ExNoHosts is the user exception raised when no host can be selected.
+const ExNoHosts = "IDL:repro/Winner/NoHosts:1.0"
+
+// Operation names of the system manager wire contract.
+const (
+	opReport   = "report"
+	opBestHost = "best_host"
+	opBestOf   = "best_of"
+	opRanking  = "ranking"
+	opHostInfo = "host_info"
+	opForget   = "forget"
+)
+
+// Servant exposes a Manager as an ORB service.
+type Servant struct {
+	mgr *Manager
+}
+
+// NewServant wraps mgr.
+func NewServant(mgr *Manager) *Servant { return &Servant{mgr: mgr} }
+
+// Manager returns the wrapped system manager.
+func (s *Servant) Manager() *Manager { return s.mgr }
+
+// TypeID implements orb.Servant.
+func (s *Servant) TypeID() string { return TypeID }
+
+// Invoke implements orb.Servant.
+func (s *Servant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+	switch op {
+	case opReport:
+		var sample LoadSample
+		if err := sample.UnmarshalCDR(in); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		s.mgr.Report(sample)
+		return nil
+
+	case opBestHost:
+		exclude := in.GetStringSeq()
+		if err := in.Err(); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		var ex map[string]bool
+		if len(exclude) > 0 {
+			ex = make(map[string]bool, len(exclude))
+			for _, h := range exclude {
+				ex[h] = true
+			}
+		}
+		host, err := s.mgr.BestHost(ex)
+		if err != nil {
+			return &orb.UserException{RepoID: ExNoHosts, Detail: err.Error()}
+		}
+		out.PutString(host)
+		return nil
+
+	case opBestOf:
+		candidates := in.GetStringSeq()
+		if err := in.Err(); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		host, err := s.mgr.BestOf(candidates)
+		if err != nil {
+			return &orb.UserException{RepoID: ExNoHosts, Detail: err.Error()}
+		}
+		out.PutString(host)
+		return nil
+
+	case opRanking:
+		ranking := s.mgr.Ranking()
+		out.PutUint32(uint32(len(ranking)))
+		for _, h := range ranking {
+			h.MarshalCDR(out)
+		}
+		return nil
+
+	case opHostInfo:
+		host := in.GetString()
+		if err := in.Err(); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		info, ok := s.mgr.Host(host)
+		if !ok {
+			return &orb.UserException{RepoID: ExNoHosts, Detail: host}
+		}
+		info.MarshalCDR(out)
+		return nil
+
+	case opForget:
+		host := in.GetString()
+		if err := in.Err(); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		s.mgr.Forget(host)
+		return nil
+
+	default:
+		return orb.BadOperation(op)
+	}
+}

@@ -1,0 +1,55 @@
+package winner
+
+import (
+	"sort"
+	"time"
+)
+
+// Staleness handling: a host whose node manager stops reporting (crashed
+// machine, partitioned network) must not keep winning placements on the
+// strength of an old "idle" sample. When a maximum sample age is
+// configured, hosts with older samples are excluded from BestHost/BestOf
+// and ranked last.
+
+// SetMaxSampleAge enables staleness exclusion: samples older than d are
+// ignored for placement. now is the clock source (nil = time.Now; tests
+// inject a fake). d <= 0 disables the check (the default).
+func (m *Manager) SetMaxSampleAge(d time.Duration, now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	m.mu.Lock()
+	m.maxAge = d
+	m.now = now
+	// Re-stamp existing samples so enabling the check does not instantly
+	// expire hosts that reported under the previous clock.
+	t := now()
+	for _, h := range m.hosts {
+		h.seen = t
+	}
+	m.mu.Unlock()
+}
+
+// fresh reports whether h's sample is usable under the staleness policy.
+// Callers hold m.mu (read or write).
+func (m *Manager) fresh(h *hostEntry) bool {
+	if m.maxAge <= 0 {
+		return true
+	}
+	return m.now().Sub(h.seen) <= m.maxAge
+}
+
+// StaleHosts returns the names of hosts currently excluded by the
+// staleness policy, sorted.
+func (m *Manager) StaleHosts() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []string
+	for name, h := range m.hosts {
+		if !m.fresh(h) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

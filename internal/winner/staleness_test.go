@@ -1,0 +1,158 @@
+package winner
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestStaleHostExcludedFromBestHost(t *testing.T) {
+	clk := newFakeClock()
+	m := NewManager()
+	m.SetMaxSampleAge(10*time.Second, clk.Now)
+
+	m.Report(sample("idle-but-silent", 1, 0, 1))
+	clk.Advance(30 * time.Second)
+	m.Report(sample("busy-but-alive", 1, 3, 1))
+
+	host, err := m.BestHost(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host != "busy-but-alive" {
+		t.Fatalf("BestHost = %q: stale idle host still winning", host)
+	}
+	if stale := m.StaleHosts(); len(stale) != 1 || stale[0] != "idle-but-silent" {
+		t.Fatalf("StaleHosts = %v", stale)
+	}
+}
+
+func TestStaleHostExcludedFromBestOf(t *testing.T) {
+	clk := newFakeClock()
+	m := NewManager()
+	m.SetMaxSampleAge(5*time.Second, clk.Now)
+	m.Report(sample("a", 1, 0, 1))
+	clk.Advance(time.Minute)
+	if _, err := m.BestOf([]string{"a"}); err != ErrNoHosts {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFreshReportRevivesStaleHost(t *testing.T) {
+	clk := newFakeClock()
+	m := NewManager()
+	m.SetMaxSampleAge(5*time.Second, clk.Now)
+	m.Report(sample("a", 1, 0, 1))
+	clk.Advance(time.Minute)
+	if len(m.StaleHosts()) != 1 {
+		t.Fatal("host not stale")
+	}
+	m.Report(sample("a", 1, 0, 2))
+	if len(m.StaleHosts()) != 0 {
+		t.Fatal("fresh report did not revive host")
+	}
+	if _, err := m.BestHost(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleHostsRankedLast(t *testing.T) {
+	clk := newFakeClock()
+	m := NewManager()
+	m.SetMaxSampleAge(5*time.Second, clk.Now)
+	m.Report(sample("old-idle", 1, 0, 1))
+	clk.Advance(time.Minute)
+	m.Report(sample("new-busy", 1, 4, 1))
+	r := m.Ranking()
+	if len(r) != 2 || r[0].Sample.Host != "new-busy" || r[1].Sample.Host != "old-idle" {
+		t.Fatalf("ranking = %+v", r)
+	}
+}
+
+func TestStalenessDisabledByDefault(t *testing.T) {
+	m := NewManager()
+	m.Report(sample("a", 1, 0, 1))
+	// No max age configured: never stale.
+	if len(m.StaleHosts()) != 0 {
+		t.Fatal("staleness active without configuration")
+	}
+}
+
+func TestSmoothingDampensSpike(t *testing.T) {
+	m := NewManager()
+	m.SetSmoothing(0.25)
+	m.Report(sample("h", 1, 0, 1))
+	// One spike of 8 runnable processes.
+	m.Report(sample("h", 1, 8, 2))
+	info, _ := m.Host("h")
+	if got := info.Sample.RunQueue; got != 2 { // 0.25*8 + 0.75*0
+		t.Fatalf("smoothed runq = %v, want 2", got)
+	}
+	// Sustained load converges toward the true value.
+	for seq := uint64(3); seq < 30; seq++ {
+		m.Report(sample("h", 1, 8, seq))
+	}
+	info, _ = m.Host("h")
+	if got := info.Sample.RunQueue; got < 7.5 {
+		t.Fatalf("smoothed runq did not converge: %v", got)
+	}
+}
+
+func TestSmoothingDisabledByDefault(t *testing.T) {
+	m := NewManager()
+	m.Report(sample("h", 1, 0, 1))
+	m.Report(sample("h", 1, 8, 2))
+	info, _ := m.Host("h")
+	if info.Sample.RunQueue != 8 {
+		t.Fatalf("raw runq = %v", info.Sample.RunQueue)
+	}
+}
+
+func TestSmoothingAlphaOneIsRaw(t *testing.T) {
+	m := NewManager()
+	m.SetSmoothing(1)
+	m.Report(sample("h", 1, 3, 1))
+	m.Report(sample("h", 1, 5, 2))
+	info, _ := m.Host("h")
+	if info.Sample.RunQueue != 5 {
+		t.Fatalf("runq = %v", info.Sample.RunQueue)
+	}
+}
+
+func TestSetMaxSampleAgeRestampsExisting(t *testing.T) {
+	clk := newFakeClock()
+	m := NewManager()
+	// Report under the real clock, then install a fake clock far in the
+	// past — hosts must not instantly expire.
+	m.Report(sample("a", 1, 0, 1))
+	m.SetMaxSampleAge(10*time.Second, clk.Now)
+	if len(m.StaleHosts()) != 0 {
+		t.Fatal("enabling staleness expired existing host")
+	}
+	clk.Advance(time.Hour)
+	if len(m.StaleHosts()) != 1 {
+		t.Fatal("host never expired")
+	}
+}

@@ -1,0 +1,449 @@
+package winner
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/orb"
+)
+
+func sample(host string, speed, runq float64, seq uint64) LoadSample {
+	return LoadSample{Host: host, Speed: speed, RunQueue: runq, Seq: seq}
+}
+
+func TestEffectiveSpeed(t *testing.T) {
+	cases := []struct {
+		s    LoadSample
+		want float64
+	}{
+		{sample("a", 1, 0, 0), 1},
+		{sample("a", 1, 1, 0), 0.5},
+		{sample("a", 2, 1, 0), 1},
+		{sample("a", 1, 3, 0), 0.25},
+	}
+	for _, c := range cases {
+		if got := c.s.EffectiveSpeed(); got != c.want {
+			t.Errorf("EffectiveSpeed(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestEffectiveSpeedMultiprocessor(t *testing.T) {
+	// A 4-CPU workstation absorbs three competitors at full speed.
+	s := LoadSample{Host: "smp", Speed: 1, RunQueue: 3, CPUs: 4}
+	if got := s.EffectiveSpeed(); got != 1 {
+		t.Fatalf("eff = %v", got)
+	}
+	// Demand 6 on 4 CPUs → 4/6 of per-CPU speed.
+	s.RunQueue = 5
+	if got := s.EffectiveSpeed(); got != 4.0/6.0 {
+		t.Fatalf("eff = %v", got)
+	}
+}
+
+func TestManagerPrefersLoadedSMPOverLoadedUni(t *testing.T) {
+	m := NewManager()
+	m.Report(LoadSample{Host: "uni", Speed: 1, RunQueue: 1, CPUs: 1, Seq: 1})
+	m.Report(LoadSample{Host: "smp", Speed: 1, RunQueue: 1, CPUs: 4, Seq: 1})
+	host, err := m.BestHost(nil)
+	if err != nil || host != "smp" {
+		t.Fatalf("BestHost = %q, %v", host, err)
+	}
+}
+
+func TestManagerBestHostPicksLeastLoaded(t *testing.T) {
+	m := NewManager()
+	m.Report(sample("busy", 1, 2, 1))
+	m.Report(sample("idle", 1, 0, 1))
+	m.Report(sample("half", 1, 1, 1))
+	host, err := m.BestHost(nil)
+	if err != nil || host != "idle" {
+		t.Fatalf("BestHost = %q, %v", host, err)
+	}
+}
+
+func TestManagerBestHostHonoursSpeed(t *testing.T) {
+	m := NewManager()
+	m.Report(sample("slow-idle", 1, 0, 1))
+	m.Report(sample("fast-loaded", 4, 1, 1)) // eff 2 > 1
+	host, err := m.BestHost(nil)
+	if err != nil || host != "fast-loaded" {
+		t.Fatalf("BestHost = %q, %v", host, err)
+	}
+}
+
+func TestManagerPendingPlacementFeedback(t *testing.T) {
+	m := NewManager()
+	for i := 0; i < 4; i++ {
+		m.Report(sample(fmt.Sprintf("h%d", i), 1, 0, 1))
+	}
+	seen := map[string]int{}
+	for i := 0; i < 4; i++ {
+		h, err := m.BestHost(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[h]++
+	}
+	// Four placements over four idle hosts must land on four distinct
+	// hosts thanks to pending-placement charging.
+	if len(seen) != 4 {
+		t.Fatalf("placements dog-piled: %v", seen)
+	}
+}
+
+func TestManagerFreshReportClearsPending(t *testing.T) {
+	m := NewManager()
+	m.Report(sample("h", 1, 0, 1))
+	if _, err := m.BestHost(nil); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := m.Host("h")
+	if info.Pending != 1 {
+		t.Fatalf("pending = %d", info.Pending)
+	}
+	m.Report(sample("h", 1, 0.5, 2))
+	info, _ = m.Host("h")
+	if info.Pending != 0 {
+		t.Fatalf("pending after report = %d", info.Pending)
+	}
+}
+
+func TestManagerStaleSeqDropped(t *testing.T) {
+	m := NewManager()
+	m.Report(sample("h", 1, 5, 10))
+	m.Report(sample("h", 1, 0, 3)) // stale
+	info, _ := m.Host("h")
+	if info.Sample.RunQueue != 5 {
+		t.Fatalf("stale sample applied: %+v", info.Sample)
+	}
+}
+
+func TestManagerExclude(t *testing.T) {
+	m := NewManager()
+	m.Report(sample("a", 1, 0, 1))
+	m.Report(sample("b", 1, 1, 1))
+	host, err := m.BestHost(map[string]bool{"a": true})
+	if err != nil || host != "b" {
+		t.Fatalf("BestHost = %q, %v", host, err)
+	}
+	_, err = m.BestHost(map[string]bool{"a": true, "b": true})
+	if err != ErrNoHosts {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestManagerBestOf(t *testing.T) {
+	m := NewManager()
+	m.Report(sample("a", 1, 3, 1))
+	m.Report(sample("b", 1, 1, 1))
+	m.Report(sample("c", 1, 0, 1))
+	host, err := m.BestOf([]string{"a", "b"})
+	if err != nil || host != "b" {
+		t.Fatalf("BestOf = %q, %v", host, err)
+	}
+	if _, err := m.BestOf([]string{"unknown"}); err != ErrNoHosts {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := m.BestOf(nil); err != ErrNoHosts {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestManagerEmptyBestHost(t *testing.T) {
+	if _, err := NewManager().BestHost(nil); err != ErrNoHosts {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestManagerRankingOrder(t *testing.T) {
+	m := NewManager()
+	m.Report(sample("c", 1, 0, 1))
+	m.Report(sample("a", 1, 2, 1))
+	m.Report(sample("b", 1, 1, 1))
+	r := m.Ranking()
+	want := []string{"c", "b", "a"}
+	for i, h := range r {
+		if h.Sample.Host != want[i] {
+			t.Fatalf("ranking = %v", r)
+		}
+	}
+}
+
+func TestManagerRankingTieBreakDeterministic(t *testing.T) {
+	m := NewManager()
+	m.Report(sample("b", 1, 1, 1))
+	m.Report(sample("a", 1, 1, 1))
+	r := m.Ranking()
+	if r[0].Sample.Host != "a" || r[1].Sample.Host != "b" {
+		t.Fatalf("tie break: %v", r)
+	}
+}
+
+func TestManagerForget(t *testing.T) {
+	m := NewManager()
+	m.Report(sample("h", 1, 0, 1))
+	m.Forget("h")
+	if m.HostCount() != 0 {
+		t.Fatal("host not forgotten")
+	}
+}
+
+func TestManagerIgnoresEmptyHost(t *testing.T) {
+	m := NewManager()
+	m.Report(sample("", 1, 0, 1))
+	if m.HostCount() != 0 {
+		t.Fatal("empty host accepted")
+	}
+}
+
+func TestManagerConcurrent(t *testing.T) {
+	m := NewManager()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.Report(sample(fmt.Sprintf("h%d", g), 1, float64(i%4), uint64(i+1)))
+				_, _ = m.BestHost(nil)
+				m.Ranking()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.HostCount() != 8 {
+		t.Fatalf("hosts = %d", m.HostCount())
+	}
+}
+
+func TestLoadSampleCDRRoundTrip(t *testing.T) {
+	in := sample("node07", 1.5, 2.25, 42)
+	e := cdr.NewEncoder(0)
+	in.MarshalCDR(e)
+	var out LoadSample
+	d := cdr.NewDecoder(e.Bytes())
+	if err := out.UnmarshalCDR(d); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+// Property: the best host always has the maximal adjusted effective speed
+// at selection time.
+func TestQuickBestHostIsArgmax(t *testing.T) {
+	f := func(runqs []uint8) bool {
+		if len(runqs) == 0 {
+			return true
+		}
+		if len(runqs) > 16 {
+			runqs = runqs[:16]
+		}
+		m := NewManager()
+		best := -1.0
+		for i, q := range runqs {
+			s := sample(fmt.Sprintf("h%02d", i), 1, float64(q%8), 1)
+			m.Report(s)
+			if e := s.EffectiveSpeed(); e > best {
+				best = e
+			}
+		}
+		host, err := m.BestHost(nil)
+		if err != nil {
+			return false
+		}
+		info, ok := m.Host(host)
+		if !ok {
+			return false
+		}
+		// Pending was charged after selection; undo it for comparison.
+		info.Pending--
+		return info.AdjustedEffectiveSpeed() == best
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func startSystemManager(t *testing.T) (*Client, *Manager) {
+	t.Helper()
+	o := orb.New(orb.Options{Name: "winner-test"})
+	t.Cleanup(o.Shutdown)
+	a, err := o.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager()
+	ref := a.Activate(DefaultKey, NewServant(mgr))
+	return NewClient(o, ref), mgr
+}
+
+func TestRemoteReportAndBestHost(t *testing.T) {
+	c, _ := startSystemManager(t)
+	if err := c.Report(sample("busy", 1, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Report(sample("idle", 1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	host, err := c.BestHost(nil)
+	if err != nil || host != "idle" {
+		t.Fatalf("BestHost = %q, %v", host, err)
+	}
+	host, err = c.BestHost([]string{"idle"})
+	if err != nil || host != "busy" {
+		t.Fatalf("BestHost(excl) = %q, %v", host, err)
+	}
+}
+
+func TestRemoteBestOf(t *testing.T) {
+	c, _ := startSystemManager(t)
+	for i, q := range []float64{2, 0, 1} {
+		if err := c.Report(sample(fmt.Sprintf("h%d", i), 1, q, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	host, err := c.BestOf([]string{"h0", "h2"})
+	if err != nil || host != "h2" {
+		t.Fatalf("BestOf = %q, %v", host, err)
+	}
+}
+
+func TestRemoteRankingAndHostInfo(t *testing.T) {
+	c, _ := startSystemManager(t)
+	if err := c.Report(sample("a", 2, 1, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Report(sample("b", 1, 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Ranking()
+	if err != nil || len(r) != 2 {
+		t.Fatalf("ranking = %+v, %v", r, err)
+	}
+	if r[0].Sample.Host != "b" && r[0].Sample.Host != "a" {
+		t.Fatalf("ranking head = %+v", r[0])
+	}
+	info, err := c.HostInfo("a")
+	if err != nil || info.Sample.Seq != 7 {
+		t.Fatalf("HostInfo = %+v, %v", info, err)
+	}
+	if _, err := c.HostInfo("missing"); !orb.IsUserException(err, ExNoHosts) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemoteNoHostsException(t *testing.T) {
+	c, _ := startSystemManager(t)
+	if _, err := c.BestHost(nil); !orb.IsUserException(err, ExNoHosts) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemoteForget(t *testing.T) {
+	c, mgr := startSystemManager(t)
+	if err := c.Report(sample("h", 1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Forget("h"); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.HostCount() != 0 {
+		t.Fatal("forget did not propagate")
+	}
+}
+
+func TestNodeManagerReportOnce(t *testing.T) {
+	m := NewManager()
+	var tick float64
+	src := LoadSourceFunc(func() LoadSample {
+		tick++
+		return LoadSample{Host: "n", Speed: 1, RunQueue: tick}
+	})
+	nm := NewNodeManager(src, ManagerReporter{M: m}, time.Hour)
+	if err := nm.ReportOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nm.ReportOnce(); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := m.Host("n")
+	if !ok || info.Sample.RunQueue != 2 || info.Sample.Seq != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestNodeManagerPeriodicLoop(t *testing.T) {
+	m := NewManager()
+	src := LoadSourceFunc(func() LoadSample { return LoadSample{Host: "n", Speed: 1} })
+	nm := NewNodeManager(src, ManagerReporter{M: m}, 5*time.Millisecond)
+	nm.Start()
+	defer nm.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if info, ok := m.Host("n"); ok && info.Sample.Seq >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node manager never ticked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+type failingReporter struct{ fails int }
+
+func (f *failingReporter) Report(LoadSample) error {
+	f.fails++
+	return fmt.Errorf("down")
+}
+
+func TestNodeManagerCountsFailures(t *testing.T) {
+	src := LoadSourceFunc(func() LoadSample { return LoadSample{Host: "n", Speed: 1} })
+	nm := NewNodeManager(src, &failingReporter{}, time.Hour)
+	if err := nm.ReportOnce(); err == nil {
+		t.Fatal("expected error")
+	}
+	if nm.Failures() != 1 {
+		t.Fatalf("failures = %d", nm.Failures())
+	}
+}
+
+func TestNodeManagerStopIdempotent(t *testing.T) {
+	src := LoadSourceFunc(func() LoadSample { return LoadSample{Host: "n", Speed: 1} })
+	nm := NewNodeManager(src, ManagerReporter{M: NewManager()}, time.Millisecond)
+	nm.Start()
+	nm.Start() // idempotent
+	nm.Stop()
+	nm.Stop()
+}
+
+func TestNodeManagerStopWithoutStart(t *testing.T) {
+	src := LoadSourceFunc(func() LoadSample { return LoadSample{Host: "n", Speed: 1} })
+	nm := NewNodeManager(src, ManagerReporter{M: NewManager()}, time.Millisecond)
+	nm.Stop() // must not hang
+}
+
+func TestNodeManagerOverORB(t *testing.T) {
+	c, mgr := startSystemManager(t)
+	src := LoadSourceFunc(func() LoadSample { return LoadSample{Host: "remote-node", Speed: 2, RunQueue: 1} })
+	nm := NewNodeManager(src, reporterClient{c}, time.Hour)
+	if err := nm.ReportOnce(); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := mgr.Host("remote-node")
+	if !ok || info.Sample.Speed != 2 {
+		t.Fatalf("info = %+v ok=%v", info, ok)
+	}
+}
+
+// reporterClient adapts Client to Reporter (Client.Report already matches).
+type reporterClient struct{ c *Client }
+
+func (r reporterClient) Report(s LoadSample) error { return r.c.Report(s) }
