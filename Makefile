@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race generate bench
+
+## check: everything CI runs — formatting, vet, build, race-enabled tests.
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+generate:
+	$(GO) generate ./...
+
+bench:
+	$(GO) test -bench 'Figure3|Table1|Ablation' -benchtime=1x

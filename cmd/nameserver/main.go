@@ -54,7 +54,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("nameserver: bad -winner reference: %v", err)
 		}
-		servant = core.NewLoadNamingServant(reg, winner.NewClient(o, ref))
+		servant = core.NewLoadNamingServant(reg, core.ClientRanker{C: winner.NewClient(o, ref)})
 		log.Printf("nameserver: load distribution enabled via %v", ref)
 	} else {
 		servant = core.NewPlainNamingServant(reg)

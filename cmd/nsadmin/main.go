@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/naming"
 	"repro/internal/orb"
@@ -22,6 +24,7 @@ import (
 
 func main() {
 	nsRefStr := flag.String("ns", "", "SIOR of the naming service (required)")
+	timeout := flag.Duration("timeout", 5*time.Second, "overall deadline for the command")
 	flag.Parse()
 	if *nsRefStr == "" || flag.NArg() == 0 {
 		flag.Usage()
@@ -34,6 +37,8 @@ func main() {
 	o := orb.New(orb.Options{Name: "nsadmin"})
 	defer o.Shutdown()
 	ns := naming.NewClient(o, nsRef)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
 	cmd := flag.Arg(0)
 	arg := func(i int) string {
@@ -56,7 +61,7 @@ func main() {
 		if flag.NArg() > 1 {
 			name = parse(flag.Arg(1))
 		}
-		bindings, err := ns.List(name)
+		bindings, err := ns.List(ctx, name)
 		if err != nil {
 			log.Fatalf("nsadmin: %v", err)
 		}
@@ -65,12 +70,12 @@ func main() {
 		}
 
 	case "tree":
-		if err := tree(ns, nil, ""); err != nil {
+		if err := tree(ctx, ns, nil, ""); err != nil {
 			log.Fatalf("nsadmin: %v", err)
 		}
 
 	case "resolve":
-		ref, err := ns.Resolve(parse(arg(1)))
+		ref, err := ns.Resolve(ctx, parse(arg(1)))
 		if err != nil {
 			log.Fatalf("nsadmin: %v", err)
 		}
@@ -78,7 +83,7 @@ func main() {
 		fmt.Println(ref)
 
 	case "offers":
-		offers, err := ns.ListOffers(parse(arg(1)))
+		offers, err := ns.ListOffers(ctx, parse(arg(1)))
 		if err != nil {
 			log.Fatalf("nsadmin: %v", err)
 		}
@@ -91,26 +96,26 @@ func main() {
 		if err != nil {
 			log.Fatalf("nsadmin: bad target reference: %v", err)
 		}
-		if err := ns.Bind(parse(arg(1)), target); err != nil {
+		if err := ns.Bind(ctx, parse(arg(1)), target); err != nil {
 			log.Fatalf("nsadmin: %v", err)
 		}
 
 	case "unbind":
-		if err := ns.Unbind(parse(arg(1))); err != nil {
+		if err := ns.Unbind(ctx, parse(arg(1))); err != nil {
 			log.Fatalf("nsadmin: %v", err)
 		}
 
 	case "mkdir":
-		if err := ns.BindNewContext(parse(arg(1))); err != nil {
+		if err := ns.BindNewContext(ctx, parse(arg(1))); err != nil {
 			log.Fatalf("nsadmin: %v", err)
 		}
 
 	case "ping":
-		ref, err := ns.Resolve(parse(arg(1)))
+		ref, err := ns.Resolve(ctx, parse(arg(1)))
 		if err != nil {
 			log.Fatalf("nsadmin: resolve: %v", err)
 		}
-		if err := o.Ping(ref); err != nil {
+		if err := o.Ping(ctx, ref); err != nil {
 			fmt.Printf("DEAD  %v: %v\n", ref, err)
 			os.Exit(1)
 		}
@@ -137,16 +142,16 @@ func typeLabel(t naming.BindingType) string {
 }
 
 // tree prints the naming tree recursively.
-func tree(ns *naming.Client, ctx naming.Name, indent string) error {
-	bindings, err := ns.List(ctx)
+func tree(ctx context.Context, ns *naming.Client, at naming.Name, indent string) error {
+	bindings, err := ns.List(ctx, at)
 	if err != nil {
 		return err
 	}
 	for _, b := range bindings {
 		fmt.Printf("%s%-10s %s\n", indent, typeLabel(b.Type), b.Name)
 		if b.Type == naming.BindContext {
-			sub := append(append(naming.Name{}, ctx...), b.Name...)
-			if err := tree(ns, sub, indent+"  "); err != nil {
+			sub := append(append(naming.Name{}, at...), b.Name...)
+			if err := tree(ctx, ns, sub, indent+"  "); err != nil {
 				return err
 			}
 		}

@@ -7,10 +7,13 @@
 // Figure 3 runs on the simulated 10-workstation NOW in virtual time
 // (deterministic); Table 1 measures real wall-clock overhead of
 // checkpointing proxies over loopback TCP. Use -quick for a small, fast
-// variant of both sweeps.
+// variant of both sweeps, and -json for machine-readable output (the
+// experiment name, its parameters, and the virtual/real runtimes) instead
+// of the rendered tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -19,12 +22,40 @@ import (
 	"repro/internal/experiments"
 )
 
+// jsonReport is the -json output document: one entry per experiment run,
+// each carrying its full parameter set and its raw result rows so the
+// numbers can be re-plotted without scraping the rendered tables.
+type jsonReport struct {
+	Experiment string        `json:"experiment"`
+	Quick      bool          `json:"quick"`
+	Seed       int64         `json:"seed"`
+	Figure3    *fig3Result   `json:"figure3,omitempty"`
+	Table1     *table1Result `json:"table1,omitempty"`
+}
+
+type fig3Result struct {
+	// RuntimeUnit documents the time base: Figure 3 runs in the NOW
+	// simulator, so Plain/Winner are virtual seconds.
+	RuntimeUnit string                      `json:"runtime_unit"`
+	Config      experiments.Figure3Config   `json:"config"`
+	Series      []experiments.Figure3Series `json:"series"`
+}
+
+type table1Result struct {
+	// RuntimeUnit documents the time base: Table 1 measures wall-clock
+	// time over loopback TCP, so Plain/Proxy are real seconds.
+	RuntimeUnit string                   `json:"runtime_unit"`
+	Config      experiments.Table1Config `json:"config"`
+	Rows        []experiments.Table1Row  `json:"rows"`
+}
+
 func main() {
 	experiment := flag.String("experiment", "both", "fig3 | table1 | both")
 	quick := flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
 	workerIters := flag.Int("worker-iters", 0, "override worker Complex Box iterations (fig3)")
 	managerIters := flag.Int("manager-iters", 0, "override manager Complex Box iterations")
 	seed := flag.Int64("seed", 1, "random seed")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
 	flag.Parse()
 
 	runFig3 := *experiment == "fig3" || *experiment == "both"
@@ -32,6 +63,8 @@ func main() {
 	if !runFig3 && !runTable1 {
 		log.Fatalf("rosenbench: unknown experiment %q", *experiment)
 	}
+
+	report := jsonReport{Experiment: *experiment, Quick: *quick, Seed: *seed}
 
 	if runFig3 {
 		cfg := experiments.DefaultFigure3Config()
@@ -53,14 +86,18 @@ func main() {
 		if err != nil {
 			log.Fatalf("rosenbench: figure 3: %v", err)
 		}
-		experiments.RenderFigure3(os.Stdout, series)
-		fmt.Println()
-		experiments.RenderFigure3Chart(os.Stdout, series)
-		fmt.Println()
+		if *jsonOut {
+			report.Figure3 = &fig3Result{RuntimeUnit: "virtual_seconds", Config: cfg, Series: series}
+		} else {
+			experiments.RenderFigure3(os.Stdout, series)
+			fmt.Println()
+			experiments.RenderFigure3Chart(os.Stdout, series)
+			fmt.Println()
+		}
 	}
 
 	if runTable1 {
-		if runFig3 {
+		if runFig3 && !*jsonOut {
 			experiments.RenderSeparator(os.Stdout)
 			fmt.Println()
 		}
@@ -77,6 +114,18 @@ func main() {
 		if err != nil {
 			log.Fatalf("rosenbench: table 1: %v", err)
 		}
-		experiments.RenderTable1(os.Stdout, rows)
+		if *jsonOut {
+			report.Table1 = &table1Result{RuntimeUnit: "real_seconds", Config: cfg, Rows: rows}
+		} else {
+			experiments.RenderTable1(os.Stdout, rows)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			log.Fatalf("rosenbench: encode json: %v", err)
+		}
 	}
 }

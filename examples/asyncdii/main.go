@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -78,7 +79,7 @@ func main() {
 			log.Fatal(err)
 		}
 		ref := ad.Activate("primes", ft.Wrap(primeCounter{}))
-		if err := ns.BindOffer(name, ref, fmt.Sprintf("host%d", i)); err != nil {
+		if err := ns.BindOffer(context.Background(), name, ref, fmt.Sprintf("host%d", i)); err != nil {
 			log.Fatal(err)
 		}
 		servers = append(servers, srv)
@@ -91,7 +92,7 @@ func main() {
 	}()
 
 	// Plain DII: dispatch three requests concurrently, then collect.
-	direct, err := ns.Resolve(name)
+	direct, err := ns.Resolve(context.Background(), name)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func main() {
 	limits := []int64{10_000, 50_000, 100_000}
 	var reqs []*orb.Request
 	for _, limit := range limits {
-		req := client.CreateRequest(direct, "count")
+		req := client.CreateRequest(context.Background(), direct, "count")
 		req.Args().PutInt64(limit)
 		req.Send()
 		reqs = append(reqs, req)
@@ -118,14 +119,14 @@ func main() {
 	// FT request proxies: dispatch, kill the first server, then collect —
 	// the proxies replay the lost requests against the standby.
 	fmt.Println("\nfault-tolerant request proxies (server killed mid-flight):")
-	proxy, err := ft.NewProxy(client, name, ns, ft.NewStoreClient(client, storeRef),
+	proxy, err := ft.NewProxy(context.Background(), client, name, ns, ft.NewStoreClient(client, storeRef),
 		ft.Policy{CheckpointEvery: 0, MaxRecoveries: 3}, ft.WithUnbinder(ns))
 	if err != nil {
 		log.Fatal(err)
 	}
 	var freqs []*ft.RequestProxy
 	for _, limit := range limits {
-		req := proxy.NewRequest("count")
+		req := proxy.NewRequest(context.Background(), "count")
 		req.Args().PutInt64(limit)
 		req.Send()
 		freqs = append(freqs, req)

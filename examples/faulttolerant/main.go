@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -81,7 +82,7 @@ func main() {
 	// Two workstations each host an account server, registered as offers
 	// of one name.
 	name := naming.NewName("bank", "account-42")
-	if err := env.Naming.BindNewContext(naming.NewName("bank")); err != nil {
+	if err := env.Naming.BindNewContext(context.Background(), naming.NewName("bank")); err != nil {
 		log.Fatal(err)
 	}
 	var nodes []*cluster.Node
@@ -91,7 +92,7 @@ func main() {
 			log.Fatal(err)
 		}
 		ref := node.Adapter.Activate("account", ft.Wrap(&account{}))
-		if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+		if err := env.Naming.BindOffer(context.Background(), name, ref, h.Name()); err != nil {
 			log.Fatal(err)
 		}
 		nodes = append(nodes, node)
@@ -101,7 +102,7 @@ func main() {
 	// Client side: the only change versus a plain client is constructing
 	// the proxy instead of using the stub directly.
 	client := env.ServiceNode.ORB
-	proxy, err := ft.NewProxy(client, name, env.Naming,
+	proxy, err := ft.NewProxy(context.Background(), client, name, env.Naming,
 		ft.NewStoreClient(client, storeRef),
 		ft.Policy{CheckpointEvery: 1},
 		ft.WithUnbinder(env.Naming))
@@ -111,7 +112,7 @@ func main() {
 
 	deposit := func(amount int64) int64 {
 		var balance int64
-		err := proxy.Invoke("deposit",
+		err := proxy.Invoke(context.Background(), "deposit",
 			func(e *cdr.Encoder) { e.PutInt64(amount) },
 			func(d *cdr.Decoder) error { balance = d.GetInt64(); return d.Err() })
 		if err != nil {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,7 +57,7 @@ func run(useWinner bool, hosts, loaded, dim, workers int) (float64, []string) {
 			log.Fatal(err)
 		}
 		ref := node.Adapter.Activate("worker", ft.Wrap(rosen.NewWorker(h)))
-		if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+		if err := env.Naming.BindOffer(context.Background(), name, ref, h.Name()); err != nil {
 			log.Fatal(err)
 		}
 		addrToHost[ref.Addr] = h.Name()
@@ -80,7 +81,7 @@ func run(useWinner bool, hosts, loaded, dim, workers int) (float64, []string) {
 		EvalCost:          0.02,
 	}).OnHost(mgrNode.Host)
 
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -69,7 +70,7 @@ func main() {
 	defer env.Close()
 
 	storeRef := env.ServiceNode.Adapter.Activate(ft.StoreDefaultKey, ft.NewStoreServant(ft.NewMemStore()))
-	if err := env.Naming.BindNewContext(naming.NewName("mdo")); err != nil {
+	if err := env.Naming.BindNewContext(context.Background(), naming.NewName("mdo")); err != nil {
 		log.Fatal(err)
 	}
 	aeroName := naming.NewName("mdo", "aero")
@@ -84,10 +85,10 @@ func main() {
 		}
 		aeroRef := node.Adapter.Activate("aero", ft.Wrap(&disciplineServant{name: "aero", model: dragModel}))
 		structRef := node.Adapter.Activate("struct", ft.Wrap(&disciplineServant{name: "struct", model: weightModel}))
-		if err := env.Naming.BindOffer(aeroName, aeroRef, h.Name()); err != nil {
+		if err := env.Naming.BindOffer(context.Background(), aeroName, aeroRef, h.Name()); err != nil {
 			log.Fatal(err)
 		}
-		if err := env.Naming.BindOffer(structName, structRef, h.Name()); err != nil {
+		if err := env.Naming.BindOffer(context.Background(), structName, structRef, h.Name()); err != nil {
 			log.Fatal(err)
 		}
 		nodes = append(nodes, node)
@@ -96,12 +97,12 @@ func main() {
 
 	client := env.ServiceNode.ORB
 	store := ft.NewStoreClient(client, storeRef)
-	aero, err := ft.NewProxy(client, aeroName, env.Naming, store,
+	aero, err := ft.NewProxy(context.Background(), client, aeroName, env.Naming, store,
 		ft.Policy{CheckpointEvery: 0}, ft.WithUnbinder(env.Naming))
 	if err != nil {
 		log.Fatal(err)
 	}
-	structural, err := ft.NewProxy(client, structName, env.Naming, store,
+	structural, err := ft.NewProxy(context.Background(), client, structName, env.Naming, store,
 		ft.Policy{CheckpointEvery: 0}, ft.WithUnbinder(env.Naming))
 	if err != nil {
 		log.Fatal(err)
@@ -109,7 +110,7 @@ func main() {
 
 	evaluate := func(p *ft.Proxy, span, area float64) float64 {
 		var v float64
-		if err := p.Invoke("evaluate",
+		if err := p.Invoke(context.Background(), "evaluate",
 			func(e *cdr.Encoder) { e.PutFloat64(span); e.PutFloat64(area) },
 			func(d *cdr.Decoder) error { v = d.GetFloat64(); return d.Err() }); err != nil {
 			log.Fatal(err)

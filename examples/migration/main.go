@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -81,7 +82,7 @@ func main() {
 			log.Fatal(err)
 		}
 		ref := node.Adapter.Activate("sim", ft.Wrap(&simulation{}))
-		if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+		if err := env.Naming.BindOffer(context.Background(), name, ref, h.Name()); err != nil {
 			log.Fatal(err)
 		}
 		hostNames = append(hostNames, h.Name())
@@ -89,8 +90,9 @@ func main() {
 	}
 	env.SampleAll()
 
+	ctx := context.Background()
 	client := env.ServiceNode.ORB
-	proxy, err := ft.NewProxy(client, name, env.Naming,
+	proxy, err := ft.NewProxy(ctx, client, name, env.Naming,
 		ft.NewStoreClient(client, storeRef),
 		ft.Policy{CheckpointEvery: 1}, ft.WithUnbinder(env.Naming))
 	if err != nil {
@@ -102,7 +104,7 @@ func main() {
 
 	step := func() int64 {
 		var n int64
-		if err := proxy.Invoke("step", nil, func(d *cdr.Decoder) error {
+		if err := proxy.Invoke(ctx, "step", nil, func(d *cdr.Decoder) error {
 			n = d.GetInt64()
 			return d.Err()
 		}); err != nil {
@@ -112,7 +114,7 @@ func main() {
 	}
 
 	hostOf := func() string {
-		offers, err := env.Naming.ListOffers(name)
+		offers, err := env.Naming.ListOffers(ctx, name)
 		if err != nil {
 			return "?"
 		}
@@ -133,7 +135,7 @@ func main() {
 	env.Cluster.Host(hostNames[0]).SetBackground(3)
 	env.SampleAll()
 
-	moved, err := migrator.Step()
+	moved, err := migrator.Step(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -144,7 +146,7 @@ func main() {
 
 	fmt.Println("\n*** the old workstation crashes; the detector prunes its offer ***")
 	nodes[0].Fail()
-	detector.Step()
-	offers, _ := env.Naming.ListOffers(name)
+	detector.Step(ctx)
+	offers, _ := env.Naming.ListOffers(ctx, name)
 	fmt.Printf("offers remaining: %d, proxy stats: %+v\n", len(offers), proxy.Stats())
 }

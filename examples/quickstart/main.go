@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,15 +58,16 @@ func main() {
 	}
 	ns := naming.NewClient(client, parsed)
 
+	ctx := context.Background()
 	name := naming.NewName("examples", "greeter")
-	if err := ns.BindNewContext(naming.NewName("examples")); err != nil {
+	if err := ns.BindNewContext(ctx, naming.NewName("examples")); err != nil {
 		log.Fatal(err)
 	}
-	if err := ns.Bind(name, greeterRef); err != nil {
+	if err := ns.Bind(ctx, name, greeterRef); err != nil {
 		log.Fatal(err)
 	}
 
-	resolved, err := ns.Resolve(name)
+	resolved, err := ns.Resolve(ctx, name)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func main() {
 
 	// 4. Invoke the remote operation.
 	var reply string
-	err = client.Invoke(resolved, "greet",
+	err = client.Invoke(ctx, resolved, "greet",
 		func(e *cdr.Encoder) { e.PutString("world") },
 		func(d *cdr.Decoder) error { reply = d.GetString(); return d.Err() })
 	if err != nil {

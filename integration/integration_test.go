@@ -7,6 +7,7 @@ package integration
 
 import (
 	"bufio"
+	"context"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -104,13 +105,13 @@ func TestDaemonsEndToEnd(t *testing.T) {
 	store := ft.NewStoreClient(client, storeRef)
 
 	// Feed load data for two synthetic hosts across the process border.
-	if err := wc.Report(winner.LoadSample{Host: "alpha", Speed: 1, RunQueue: 3, Seq: 1}); err != nil {
+	if err := wc.Report(context.Background(), winner.LoadSample{Host: "alpha", Speed: 1, RunQueue: 3, Seq: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := wc.Report(winner.LoadSample{Host: "beta", Speed: 1, RunQueue: 0, Seq: 1}); err != nil {
+	if err := wc.Report(context.Background(), winner.LoadSample{Host: "beta", Speed: 1, RunQueue: 0, Seq: 1}); err != nil {
 		t.Fatal(err)
 	}
-	best, err := wc.BestHost(nil)
+	best, err := wc.BestHost(context.Background(), nil)
 	if err != nil || best != "beta" {
 		t.Fatalf("BestHost = %q, %v", best, err)
 	}
@@ -118,18 +119,18 @@ func TestDaemonsEndToEnd(t *testing.T) {
 	// Group binding resolved through the load-distribution nameserver:
 	// the offer on the (still) less loaded host must win.
 	name := naming.NewName("it", "svc")
-	if err := ns.BindNewContext(naming.NewName("it")); err != nil {
+	if err := ns.BindNewContext(context.Background(), naming.NewName("it")); err != nil {
 		t.Fatal(err)
 	}
 	refAlpha := orb.ObjectRef{TypeID: "T", Addr: "10.0.0.1:1", Key: "a"}
 	refBeta := orb.ObjectRef{TypeID: "T", Addr: "10.0.0.2:1", Key: "b"}
-	if err := ns.BindOffer(name, refAlpha, "alpha"); err != nil {
+	if err := ns.BindOffer(context.Background(), name, refAlpha, "alpha"); err != nil {
 		t.Fatal(err)
 	}
-	if err := ns.BindOffer(name, refBeta, "beta"); err != nil {
+	if err := ns.BindOffer(context.Background(), name, refBeta, "beta"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ns.Resolve(name)
+	got, err := ns.Resolve(context.Background(), name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestNameserverPersistenceAcrossRestart(t *testing.T) {
 	}
 	ns := naming.NewClient(client, nsRef)
 	target := orb.ObjectRef{TypeID: "T", Addr: "10.1.1.1:1", Key: "persisted"}
-	if err := ns.Bind(naming.NewName("durable"), target); err != nil {
+	if err := ns.Bind(context.Background(), naming.NewName("durable"), target); err != nil {
 		t.Fatal(err)
 	}
 	if err := cmd.Process.Signal(os.Interrupt); err != nil {
@@ -241,7 +242,7 @@ func TestNameserverPersistenceAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	ns2 := naming.NewClient(client, nsRef2)
-	got, err := ns2.Resolve(naming.NewName("durable"))
+	got, err := ns2.Resolve(context.Background(), naming.NewName("durable"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestNodeManagerDaemonReportsRealLoad(t *testing.T) {
 
 	deadline := time.Now().Add(15 * time.Second)
 	for {
-		if info, err := wc.HostInfo("this-box"); err == nil && info.Sample.Seq >= 2 {
+		if info, err := wc.HostInfo(context.Background(), "this-box"); err == nil && info.Sample.Seq >= 2 {
 			return
 		}
 		if time.Now().After(deadline) {

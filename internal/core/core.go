@@ -13,23 +13,47 @@
 package core
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/naming"
 	"repro/internal/orb"
 	"repro/internal/winner"
 )
 
-// HostRanker answers "which of these hosts is currently best?". Both the
-// in-process winner.Manager and the remote winner.Client satisfy it, so
-// the naming service can colocate with the system manager or consult it
-// over the ORB.
+// HostRanker answers "which of these hosts is currently best?". The
+// in-process winner.Manager satisfies it directly; wrap the remote
+// winner.Client in a ClientRanker so the naming service can colocate with
+// the system manager or consult it over the ORB.
 type HostRanker interface {
 	BestOf(candidates []string) (string, error)
 }
 
 var (
 	_ HostRanker = (*winner.Manager)(nil)
-	_ HostRanker = (*winner.Client)(nil)
+	_ HostRanker = ClientRanker{}
 )
+
+// ClientRanker adapts the remote winner.Client to HostRanker, bounding
+// each ranking query so a slow system manager degrades resolve latency by
+// at most Timeout instead of stalling it (the selector falls back to
+// round-robin on error).
+type ClientRanker struct {
+	C *winner.Client
+	// Timeout bounds one ranking query. Zero means 1s.
+	Timeout time.Duration
+}
+
+// BestOf implements HostRanker.
+func (r ClientRanker) BestOf(candidates []string) (string, error) {
+	timeout := r.Timeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return r.C.BestOf(ctx, candidates)
+}
 
 // WinnerSelector is the load-distribution policy: among a name's offers it
 // picks the one on the host Winner ranks best. Offers on hosts unknown to
@@ -97,7 +121,7 @@ func NewPlainNamingServant(reg *naming.Registry) *naming.Servant {
 // way to obtain a (fresh) reference for a service name. naming.Client
 // implements it; tests may substitute local resolvers.
 type Resolver interface {
-	Resolve(name naming.Name) (orb.ObjectRef, error)
+	Resolve(ctx context.Context, name naming.Name) (orb.ObjectRef, error)
 }
 
 var _ Resolver = (*naming.Client)(nil)

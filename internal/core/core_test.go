@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -128,7 +129,7 @@ func TestEnvironmentWinnerResolvesLeastLoaded(t *testing.T) {
 	name := naming.NewName("workers")
 	for i, h := range env.Cluster.Hosts() {
 		ref := orb.ObjectRef{TypeID: "T", Addr: fmt.Sprintf("127.0.0.1:%d", 2000+i), Key: "w"}
-		if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+		if err := env.Naming.BindOffer(context.Background(), name, ref, h.Name()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -136,7 +137,7 @@ func TestEnvironmentWinnerResolvesLeastLoaded(t *testing.T) {
 	env.Cluster.ApplyBackgroundLoad(2, 1)
 	env.SampleAll()
 
-	got, err := env.Naming.Resolve(name)
+	got, err := env.Naming.Resolve(context.Background(), name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestEnvironmentPlainIgnoresLoad(t *testing.T) {
 	name := naming.NewName("workers")
 	for i, h := range env.Cluster.Hosts() {
 		ref := orb.ObjectRef{TypeID: "T", Addr: fmt.Sprintf("127.0.0.1:%d", 2000+i), Key: "w"}
-		if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+		if err := env.Naming.BindOffer(context.Background(), name, ref, h.Name()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -160,7 +161,7 @@ func TestEnvironmentPlainIgnoresLoad(t *testing.T) {
 
 	// Plain naming round-robins from the head: first resolve returns the
 	// first-registered (loaded) host.
-	got, err := env.Naming.Resolve(name)
+	got, err := env.Naming.Resolve(context.Background(), name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestEnvironmentSamplingReflectsJobs(t *testing.T) {
 	h := env.Cluster.Hosts()[1]
 	h.BeginJob()
 	env.SampleAll()
-	info, err := env.Winner.HostInfo(h.Name())
+	info, err := env.Winner.HostInfo(context.Background(), h.Name())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,10 +192,10 @@ func TestEnvironmentNewNode(t *testing.T) {
 		t.Fatal(err)
 	}
 	nc := env.NamingClientFor(n)
-	if err := nc.Bind(naming.NewName("x"), orb.ObjectRef{TypeID: "T", Addr: "a:1", Key: "k"}); err != nil {
+	if err := nc.Bind(context.Background(), naming.NewName("x"), orb.ObjectRef{TypeID: "T", Addr: "a:1", Key: "k"}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := env.Naming.Resolve(naming.NewName("x"))
+	got, err := env.Naming.Resolve(context.Background(), naming.NewName("x"))
 	if err != nil || got.Key != "k" {
 		t.Fatalf("resolve = %v, %v", got, err)
 	}
@@ -215,7 +216,7 @@ func TestEnvironmentLatencyPropagatesToNodes(t *testing.T) {
 	}
 	// A resolve from the node crosses two latency-charged messages.
 	nc := env.NamingClientFor(n)
-	if err := nc.Bind(naming.NewName("x"), orb.ObjectRef{TypeID: "T", Addr: "a:1", Key: "k"}); err != nil {
+	if err := nc.Bind(context.Background(), naming.NewName("x"), orb.ObjectRef{TypeID: "T", Addr: "a:1", Key: "k"}); err != nil {
 		t.Fatal(err)
 	}
 	if got := n.Host.Clock().Now(); got < 1.0-1e-9 {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -27,7 +28,7 @@ func RunTable1Ablation(cfg Table1Config, checkpointEvery int) ([]Table1Row, erro
 		plainRes, err := rosen.NewManager(w.manager, w.naming, rosen.Config{
 			N: cfg.N, Workers: cfg.Workers, WorkerIterations: iters,
 			ManagerIterations: cfg.ManagerIterations, Seed: cfg.Seed,
-		}).Run()
+		}).Run(context.Background())
 		w.close()
 		if err != nil {
 			return nil, err
@@ -43,7 +44,7 @@ func RunTable1Ablation(cfg Table1Config, checkpointEvery int) ([]Table1Row, erro
 		}).WithFT(rosen.FTOptions{
 			Store:  w2.store,
 			Policy: ft.Policy{CheckpointEvery: checkpointEvery},
-		}).Run()
+		}).Run(context.Background())
 		w2.close()
 		if err != nil {
 			return nil, err
@@ -97,7 +98,7 @@ func RunSelectionAblation(policy string) (float64, error) {
 			return 0, err
 		}
 		ref := node.Adapter.Activate("worker", ft.Wrap(rosen.NewWorker(h)))
-		if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+		if err := env.Naming.BindOffer(context.Background(), name, ref, h.Name()); err != nil {
 			return 0, err
 		}
 	}
@@ -116,7 +117,7 @@ func RunSelectionAblation(policy string) (float64, error) {
 		ManagerIterations: 5,
 		Seed:              1,
 		EvalCost:          0.02,
-	}).OnHost(mgrNode.Host).Run()
+	}).OnHost(mgrNode.Host).Run(context.Background())
 	if err != nil {
 		return 0, err
 	}
@@ -152,7 +153,7 @@ func RunMixedClusterAblation() (plain, winner float64, err error) {
 				return 0, err
 			}
 			ref := node.Adapter.Activate("worker", ft.Wrap(rosen.NewWorker(h)))
-			if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+			if err := env.Naming.BindOffer(context.Background(), name, ref, h.Name()); err != nil {
 				return 0, err
 			}
 			h.SetBackground(1)
@@ -169,7 +170,7 @@ func RunMixedClusterAblation() (plain, winner float64, err error) {
 			ManagerIterations: 5,
 			Seed:              1,
 			EvalCost:          0.02,
-		}).OnHost(mgrNode.Host).Run()
+		}).OnHost(mgrNode.Host).Run(context.Background())
 		if err != nil {
 			return 0, err
 		}
@@ -210,7 +211,7 @@ func RunReplicationAblation(replicas int) (float64, error) {
 			return 0, err
 		}
 		ref := node.Adapter.Activate("worker", ft.Wrap(rosen.NewWorker(h)))
-		if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+		if err := env.Naming.BindOffer(context.Background(), name, ref, h.Name()); err != nil {
 			return 0, err
 		}
 	}
@@ -237,7 +238,7 @@ func RunReplicationAblation(replicas int) (float64, error) {
 			Policy: ft.Policy{CheckpointEvery: 1},
 		})
 	}
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		return 0, err
 	}
@@ -264,7 +265,7 @@ func RunLatencyAblation(latencySeconds float64) (float64, error) {
 			return 0, err
 		}
 		ref := node.Adapter.Activate("worker", ft.Wrap(rosen.NewWorker(h)))
-		if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+		if err := env.Naming.BindOffer(context.Background(), name, ref, h.Name()); err != nil {
 			return 0, err
 		}
 	}
@@ -280,7 +281,7 @@ func RunLatencyAblation(latencySeconds float64) (float64, error) {
 		ManagerIterations: 5,
 		Seed:              1,
 		EvalCost:          0.02,
-	}).OnHost(mgrNode.Host).Run()
+	}).OnHost(mgrNode.Host).Run(context.Background())
 	if err != nil {
 		return 0, err
 	}
@@ -305,7 +306,7 @@ func RunDecompositionAblation(n, workers int) (float64, error) {
 			return 0, err
 		}
 		ref := node.Adapter.Activate("worker", ft.Wrap(rosen.NewWorker(h)))
-		if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+		if err := env.Naming.BindOffer(context.Background(), name, ref, h.Name()); err != nil {
 			return 0, err
 		}
 	}
@@ -321,7 +322,7 @@ func RunDecompositionAblation(n, workers int) (float64, error) {
 		ManagerIterations: 5,
 		Seed:              1,
 		EvalCost:          0.02,
-	}).OnHost(mgrNode.Host).Run()
+	}).OnHost(mgrNode.Host).Run(context.Background())
 	if err != nil {
 		return 0, err
 	}

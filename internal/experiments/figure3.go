@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -166,7 +167,7 @@ func runFigure3Cell(cfg Figure3Config, c Figure3Case, loaded int, useWinner bool
 			return 0, err
 		}
 		ref := node.Adapter.Activate("worker", ft.Wrap(rosen.NewWorker(h)))
-		if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+		if err := env.Naming.BindOffer(context.Background(), name, ref, h.Name()); err != nil {
 			return 0, err
 		}
 	}
@@ -192,7 +193,7 @@ func runFigure3Cell(cfg Figure3Config, c Figure3Case, loaded int, useWinner bool
 		EvalCost:          cfg.EvalCost,
 	}).OnHost(mgrNode.Host)
 
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ft"
@@ -97,7 +98,7 @@ func newTable1World(workers int) (*table1World, error) {
 			return nil, err
 		}
 		ref := wad.Activate("worker", ft.Wrap(rosen.NewWorker(nil)))
-		if err := w.naming.BindOffer(name, ref, fmt.Sprintf("host%d", j)); err != nil {
+		if err := w.naming.BindOffer(context.Background(), name, ref, fmt.Sprintf("host%d", j)); err != nil {
 			w.close()
 			return nil, err
 		}
@@ -179,7 +180,7 @@ func runTable1Cell(cfg Table1Config, iters int, useProxy bool) (float64, uint64,
 			Unbinder: w.naming,
 		})
 	}
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		return 0, 0, err
 	}

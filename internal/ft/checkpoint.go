@@ -10,6 +10,8 @@
 package ft
 
 import (
+	"context"
+
 	"repro/internal/cdr"
 	"repro/internal/orb"
 )
@@ -82,9 +84,9 @@ func (w *Wrapper) Invoke(ctx *orb.ServerContext, op string, in *cdr.Decoder, out
 }
 
 // FetchCheckpoint pulls the current state blob from the servant at ref.
-func FetchCheckpoint(o *orb.ORB, ref orb.ObjectRef) ([]byte, error) {
+func FetchCheckpoint(ctx context.Context, o *orb.ORB, ref orb.ObjectRef) ([]byte, error) {
 	var data []byte
-	err := o.Invoke(ref, OpCheckpoint, nil, func(d *cdr.Decoder) error {
+	err := o.Invoke(ctx, ref, OpCheckpoint, nil, func(d *cdr.Decoder) error {
 		data = d.GetBytes()
 		return d.Err()
 	})
@@ -92,6 +94,6 @@ func FetchCheckpoint(o *orb.ORB, ref orb.ObjectRef) ([]byte, error) {
 }
 
 // PushRestore installs a state blob into the servant at ref.
-func PushRestore(o *orb.ORB, ref orb.ObjectRef, data []byte) error {
-	return o.Invoke(ref, OpRestore, func(e *cdr.Encoder) { e.PutBytes(data) }, nil)
+func PushRestore(ctx context.Context, o *orb.ORB, ref orb.ObjectRef, data []byte) error {
+	return o.Invoke(ctx, ref, OpRestore, func(e *cdr.Encoder) { e.PutBytes(data) }, nil)
 }

@@ -1,6 +1,7 @@
 package ft
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -11,7 +12,7 @@ import (
 // Pinger probes an object reference for liveness; orb.ORB satisfies it
 // (GIOP LocateRequest underneath).
 type Pinger interface {
-	Ping(ref orb.ObjectRef) error
+	Ping(ctx context.Context, ref orb.ObjectRef) error
 }
 
 // DetectorOptions tune a Detector.
@@ -94,20 +95,20 @@ func offerKey(name naming.Name, ref orb.ObjectRef) string {
 // counter reaches the threshold. It returns the number of offers unbound
 // in this step. Tests and simulations call Step directly; production use
 // runs Start.
-func (d *Detector) Step() int {
+func (d *Detector) Step(ctx context.Context) int {
 	d.mu.Lock()
 	names := append([]naming.Name(nil), d.names...)
 	d.mu.Unlock()
 
 	unbound := 0
 	for _, name := range names {
-		offers, err := d.nsList.ListOffers(name)
+		offers, err := d.nsList.ListOffers(ctx, name)
 		if err != nil {
 			continue
 		}
 		for _, o := range offers {
 			key := offerKey(name, o.Ref)
-			if err := d.pinger.Ping(o.Ref); err == nil {
+			if err := d.pinger.Ping(ctx, o.Ref); err == nil {
 				d.mu.Lock()
 				delete(d.suspicion, key)
 				d.mu.Unlock()
@@ -121,7 +122,7 @@ func (d *Detector) Step() int {
 			}
 			d.mu.Unlock()
 			if guilty {
-				if err := d.nsBind.UnbindOffer(name, o.Ref); err == nil {
+				if err := d.nsBind.UnbindOffer(ctx, name, o.Ref); err == nil {
 					d.mu.Lock()
 					d.removed++
 					d.mu.Unlock()
@@ -149,7 +150,11 @@ func (d *Detector) Start() {
 		for {
 			select {
 			case <-t.C:
-				d.Step()
+				// One probe sweep must not outlive its period, or sweeps
+				// pile up behind a hung host.
+				ctx, cancel := context.WithTimeout(context.Background(), d.opts.Period)
+				d.Step(ctx)
+				cancel()
 			case <-d.stop:
 				return
 			}

@@ -1,6 +1,7 @@
 package ft
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -69,9 +70,9 @@ func (f *Factory) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *
 
 // CreateViaFactory asks the factory at factoryRef to create a new servant
 // and returns its reference.
-func CreateViaFactory(o *orb.ORB, factoryRef orb.ObjectRef) (orb.ObjectRef, error) {
+func CreateViaFactory(ctx context.Context, o *orb.ORB, factoryRef orb.ObjectRef) (orb.ObjectRef, error) {
 	var ref orb.ObjectRef
-	err := o.Invoke(factoryRef, opCreate, nil, func(d *cdr.Decoder) error {
+	err := o.Invoke(ctx, factoryRef, opCreate, nil, func(d *cdr.Decoder) error {
 		return ref.UnmarshalCDR(d)
 	})
 	return ref, err

@@ -1,6 +1,7 @@
 package ft
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -10,7 +11,7 @@ import (
 // OfferLister reads the offers of a group binding (naming.Client
 // satisfies it).
 type OfferLister interface {
-	ListOffers(name naming.Name) ([]naming.Offer, error)
+	ListOffers(ctx context.Context, name naming.Name) ([]naming.Offer, error)
 }
 
 // MigratorOptions tune a Migrator.
@@ -39,7 +40,8 @@ type Migrator struct {
 }
 
 // RankedLoads provides per-host effective speeds for migration decisions.
-// winner.Manager and winner.Client both satisfy it via HostInfo.
+// The in-process winner.Manager satisfies it; callers consulting a remote
+// system manager wrap winner.Client with their own context/timeout policy.
 type RankedLoads interface {
 	HostEffectiveSpeed(host string) (float64, bool)
 }
@@ -64,9 +66,9 @@ func (m *Migrator) Migrations() int {
 // MinImprovement times faster than the current one, the service state is
 // migrated there. It returns the new host name ("" if no migration
 // happened).
-func (m *Migrator) Step() (string, error) {
+func (m *Migrator) Step(ctx context.Context) (string, error) {
 	cur := m.proxy.Ref()
-	offers, err := m.offers.ListOffers(m.proxy.name)
+	offers, err := m.offers.ListOffers(ctx, m.proxy.name)
 	if err != nil {
 		return "", fmt.Errorf("ft: migrator: list offers: %w", err)
 	}
@@ -103,7 +105,7 @@ func (m *Migrator) Step() (string, error) {
 	if best.Host == "" || bestEff < curEff*m.opts.MinImprovement {
 		return "", nil
 	}
-	if err := m.proxy.Migrate(best.Ref); err != nil {
+	if err := m.proxy.Migrate(ctx, best.Ref); err != nil {
 		return "", fmt.Errorf("ft: migrator: %w", err)
 	}
 	m.mu.Lock()

@@ -1,6 +1,7 @@
 package ft
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -27,7 +28,7 @@ func TestMigratorMovesToMuchBetterHost(t *testing.T) {
 	}
 	// Proxy sits on hostA. hostB is 4x faster → migrate.
 	mig := NewMigrator(p, w.naming, loadTable{"hostA": 0.25, "hostB": 1.0}, MigratorOptions{MinImprovement: 2})
-	host, err := mig.Step()
+	host, err := mig.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestMigratorStaysOnSlightImprovement(t *testing.T) {
 		t.Fatal(err)
 	}
 	mig := NewMigrator(p, w.naming, loadTable{"hostA": 1.0, "hostB": 1.2}, MigratorOptions{MinImprovement: 1.5})
-	host, err := mig.Step()
+	host, err := mig.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestMigratorUnknownLoadsNoMove(t *testing.T) {
 	w := newFTWorld(t)
 	p := w.newProxy(Policy{CheckpointEvery: 1})
 	mig := NewMigrator(p, w.naming, loadTable{}, MigratorOptions{})
-	host, err := mig.Step()
+	host, err := mig.Step(context.Background())
 	if err != nil || host != "" {
 		t.Fatalf("step = %q, %v", host, err)
 	}
@@ -85,7 +86,7 @@ func TestMigratorWithWinnerManager(t *testing.T) {
 	mgr.Report(winner.LoadSample{Host: "hostA", Speed: 1, RunQueue: 3, Seq: 1}) // eff 0.25
 	mgr.Report(winner.LoadSample{Host: "hostB", Speed: 1, RunQueue: 0, Seq: 1}) // eff 1.0
 	mig := NewMigrator(p, w.naming, mgr, MigratorOptions{MinImprovement: 2})
-	host, err := mig.Step()
+	host, err := mig.Step(context.Background())
 	if err != nil || host != "hostB" {
 		t.Fatalf("step = %q, %v", host, err)
 	}
@@ -97,19 +98,19 @@ func TestDetectorUnbindsDeadOffer(t *testing.T) {
 	det.Watch(w.name)
 
 	// All alive: nothing happens.
-	if n := det.Step(); n != 0 {
+	if n := det.Step(context.Background()); n != 0 {
 		t.Fatalf("step removed %d offers", n)
 	}
 	// Kill server A. First step only raises suspicion, second unbinds.
 	w.adA.Close()
 	w.srvA.Shutdown()
-	if n := det.Step(); n != 0 {
+	if n := det.Step(context.Background()); n != 0 {
 		t.Fatalf("unbound after one suspicion: %d", n)
 	}
-	if n := det.Step(); n != 1 {
+	if n := det.Step(context.Background()); n != 1 {
 		t.Fatalf("second step unbound %d", n)
 	}
-	offers, err := w.naming.ListOffers(w.name)
+	offers, err := w.naming.ListOffers(context.Background(), w.name)
 	if err != nil || len(offers) != 1 || offers[0].Host != "hostB" {
 		t.Fatalf("offers = %+v, %v", offers, err)
 	}
@@ -122,12 +123,12 @@ func TestDetectorRecoveredServerClearsSuspicion(t *testing.T) {
 	w := newFTWorld(t)
 	det := NewDetector(&flakyPinger{orb: w.client, failures: 1}, w.naming, DetectorOptions{Suspicions: 2})
 	det.Watch(w.name)
-	det.Step() // every offer fails once (suspicion 1)
-	det.Step() // pinger healthy again: suspicion cleared
+	det.Step(context.Background()) // every offer fails once (suspicion 1)
+	det.Step(context.Background()) // pinger healthy again: suspicion cleared
 	if n := det.Removed(); n != 0 {
 		t.Fatalf("removed = %d after transient failure", n)
 	}
-	det.Step()
+	det.Step(context.Background())
 	if n := det.Removed(); n != 0 {
 		t.Fatalf("removed = %d", n)
 	}
@@ -142,12 +143,12 @@ type flakyPinger struct {
 	failures int
 }
 
-func (f *flakyPinger) Ping(ref orb.ObjectRef) error {
+func (f *flakyPinger) Ping(ctx context.Context, ref orb.ObjectRef) error {
 	if f.count < f.failures*2 { // 2 offers per round in ftWorld
 		f.count++
 		return errPingFailed
 	}
-	return f.orb.Ping(ref)
+	return f.orb.Ping(ctx, ref)
 }
 
 func TestDetectorStartStop(t *testing.T) {

@@ -1,6 +1,7 @@
 package ft
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -14,14 +15,14 @@ import (
 // naming service indirection the proxy uses for recovery. naming.Client
 // satisfies it.
 type Resolver interface {
-	Resolve(name naming.Name) (orb.ObjectRef, error)
+	Resolve(ctx context.Context, name naming.Name) (orb.ObjectRef, error)
 }
 
 // Unbinder removes a dead offer from a group binding so the naming
 // service stops handing out references to a crashed server. Optional;
 // naming.Client satisfies it.
 type Unbinder interface {
-	UnbindOffer(name naming.Name, ref orb.ObjectRef) error
+	UnbindOffer(ctx context.Context, name naming.Name, ref orb.ObjectRef) error
 }
 
 // Policy tunes proxy behaviour.
@@ -30,11 +31,17 @@ type Policy struct {
 	// call. 1 (the paper's default) checkpoints after each call; 0
 	// disables checkpointing (stateless services).
 	CheckpointEvery int
-	// MaxRecoveries bounds recovery attempts per call (default 3).
+	// MaxRecoveries bounds recovery attempts per call (default 3). It maps
+	// onto the call engine's retry budget.
 	MaxRecoveries int
+	// Backoff spaces successive recovery rounds. Zero means immediate
+	// replay (the paper's behaviour).
+	Backoff orb.Backoff
 	// RecoverOn classifies errors as triggering recovery. The default
 	// recovers on COMM_FAILURE (the paper's trigger) and OBJECT_NOT_EXIST
-	// (server restarted without state).
+	// (server restarted without state) — replay is safe for ft proxies
+	// regardless of idempotency because the restored checkpoint rewinds
+	// the server to the pre-call state.
 	RecoverOn func(error) bool
 	// StrictCheckpoint makes a failed post-call checkpoint fail the call.
 	// Off by default: the business result is already known; the failure
@@ -47,9 +54,7 @@ func (p Policy) withDefaults() Policy {
 		p.MaxRecoveries = 3
 	}
 	if p.RecoverOn == nil {
-		p.RecoverOn = func(err error) bool {
-			return orb.IsCommFailure(err) || orb.IsSystemException(err, orb.ExObjectNotExist)
-		}
+		p.RecoverOn = orb.DefaultRetryOn
 	}
 	return p
 }
@@ -64,24 +69,18 @@ type Stats struct {
 }
 
 // RecoveryError reports that a call failed and every recovery attempt was
-// exhausted.
-type RecoveryError struct {
-	Op       string
-	Attempts int
-	Last     error
-}
-
-func (e *RecoveryError) Error() string {
-	return fmt.Sprintf("ft: %s failed after %d recovery attempts: %v", e.Op, e.Attempts, e.Last)
-}
-
-func (e *RecoveryError) Unwrap() error { return e.Last }
+// exhausted. It is the call engine's retry error under its historical ft
+// name, so errors.As works across both layers.
+type RecoveryError = orb.RetryError
 
 // Proxy is the paper's client-side proxy class, generalized: it stands in
 // for the IDL stub, forwards every operation, checkpoints the server state
 // after successful calls, and on failure re-resolves the service name,
 // restores the last checkpoint into the fresh server object and replays
-// the call. Proxies are safe for concurrent use; recovery is serialized.
+// the call. The forward/recover/replay loop itself is the ORB's resilient
+// call engine; the proxy contributes the recovery step (unbind dead offer,
+// re-resolve, restore checkpoint). Proxies are safe for concurrent use;
+// recovery is serialized.
 type Proxy struct {
 	orb      *orb.ORB
 	name     naming.Name
@@ -115,8 +114,9 @@ func WithInitialRef(ref orb.ObjectRef) ProxyOption {
 }
 
 // NewProxy builds a proxy for the service registered under name. Unless
-// WithInitialRef is given, the name is resolved immediately.
-func NewProxy(o *orb.ORB, name naming.Name, resolver Resolver, store Store, policy Policy, opts ...ProxyOption) (*Proxy, error) {
+// WithInitialRef is given, the name is resolved immediately (bounded by
+// ctx).
+func NewProxy(ctx context.Context, o *orb.ORB, name naming.Name, resolver Resolver, store Store, policy Policy, opts ...ProxyOption) (*Proxy, error) {
 	p := &Proxy{
 		orb:      o,
 		name:     name,
@@ -128,7 +128,7 @@ func NewProxy(o *orb.ORB, name naming.Name, resolver Resolver, store Store, poli
 		opt(p)
 	}
 	if p.ref.IsNil() {
-		ref, err := resolver.Resolve(name)
+		ref, err := resolver.Resolve(ctx, name)
 		if err != nil {
 			return nil, fmt.Errorf("ft: initial resolve of %s: %w", name, err)
 		}
@@ -161,38 +161,43 @@ func (p *Proxy) Stats() Stats {
 	return p.stats
 }
 
-// Invoke performs op through the proxy: forward, checkpoint on success,
-// recover and replay on failure. It has the same signature as orb.Invoke,
-// so switching a client from the plain stub to the proxy is the one-line
-// change the paper advertises.
-func (p *Proxy) Invoke(op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
-	ref := p.Ref()
-	var lastErr error
-	for attempt := 0; ; attempt++ {
-		err := p.orb.Invoke(ref, op, writeArgs, readReply)
-		if err == nil {
-			return p.afterSuccess(ref, op)
-		}
-		if !p.policy.RecoverOn(err) {
-			return err
-		}
-		lastErr = err
-		if attempt >= p.policy.MaxRecoveries {
-			return &RecoveryError{Op: op, Attempts: attempt, Last: lastErr}
-		}
-		fresh, rerr := p.recoverFrom(ref)
-		if rerr != nil {
-			return &RecoveryError{Op: op, Attempts: attempt + 1, Last: rerr}
-		}
-		ref = fresh
-		p.mu.Lock()
-		p.stats.Replays++
-		p.mu.Unlock()
+// caller builds the per-call engine configuration: the proxy's recovery
+// sequence as the engine's Recover hook, its policy as the retry budget.
+func (p *Proxy) caller() *orb.Caller {
+	c := &orb.Caller{
+		ORB: p.orb,
+		Recover: func(ctx context.Context, dead orb.ObjectRef, cause error) (orb.ObjectRef, error) {
+			return p.recoverFrom(ctx, dead)
+		},
+		RetryOn: p.policy.RecoverOn,
+		OnRetry: func(round int, cause error) {
+			p.mu.Lock()
+			p.stats.Replays++
+			p.mu.Unlock()
+		},
+		Opts: orb.CallOptions{
+			RetryBudget: p.policy.MaxRecoveries,
+			Backoff:     p.policy.Backoff,
+		},
 	}
+	c.SetRef(p.Ref())
+	return c
+}
+
+// Invoke performs op through the proxy: forward, checkpoint on success,
+// recover and replay on failure. It has the same shape as orb.Invoke, so
+// switching a client from the plain stub to the proxy is the one-line
+// change the paper advertises.
+func (p *Proxy) Invoke(ctx context.Context, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
+	c := p.caller()
+	if err := c.Invoke(ctx, op, writeArgs, readReply); err != nil {
+		return err
+	}
+	return p.afterSuccess(ctx, c.Ref(), op)
 }
 
 // afterSuccess counts the call and checkpoints per policy.
-func (p *Proxy) afterSuccess(ref orb.ObjectRef, op string) error {
+func (p *Proxy) afterSuccess(ctx context.Context, ref orb.ObjectRef, op string) error {
 	p.mu.Lock()
 	p.stats.Calls++
 	doCkpt := false
@@ -207,7 +212,7 @@ func (p *Proxy) afterSuccess(ref orb.ObjectRef, op string) error {
 	if !doCkpt {
 		return nil
 	}
-	if err := p.checkpoint(ref); err != nil {
+	if err := p.checkpoint(ctx, ref); err != nil {
 		p.mu.Lock()
 		p.stats.CheckpointFailures++
 		p.mu.Unlock()
@@ -220,11 +225,11 @@ func (p *Proxy) afterSuccess(ref orb.ObjectRef, op string) error {
 }
 
 // checkpoint pulls the server state and stores it under the next epoch.
-func (p *Proxy) checkpoint(ref orb.ObjectRef) error {
+func (p *Proxy) checkpoint(ctx context.Context, ref orb.ObjectRef) error {
 	if p.store == nil {
 		return errors.New("ft: no checkpoint store configured")
 	}
-	data, err := FetchCheckpoint(p.orb, ref)
+	data, err := FetchCheckpoint(ctx, p.orb, ref)
 	if err != nil {
 		return err
 	}
@@ -245,7 +250,7 @@ func (p *Proxy) checkpoint(ref orb.ObjectRef) error {
 // dead reference: drop the dead offer from the naming service, resolve a
 // fresh reference (the load-aware naming service places the replacement),
 // and restore the last checkpoint into it.
-func (p *Proxy) recoverFrom(dead orb.ObjectRef) (orb.ObjectRef, error) {
+func (p *Proxy) recoverFrom(ctx context.Context, dead orb.ObjectRef) (orb.ObjectRef, error) {
 	p.recoverMu.Lock()
 	defer p.recoverMu.Unlock()
 
@@ -257,13 +262,13 @@ func (p *Proxy) recoverFrom(dead orb.ObjectRef) (orb.ObjectRef, error) {
 
 	if p.unbinder != nil {
 		// Best effort: the offer may already be gone.
-		_ = p.unbinder.UnbindOffer(p.name, dead)
+		_ = p.unbinder.UnbindOffer(ctx, p.name, dead)
 	}
-	fresh, err := p.resolver.Resolve(p.name)
+	fresh, err := p.resolver.Resolve(ctx, p.name)
 	if err != nil {
 		return orb.ObjectRef{}, fmt.Errorf("re-resolve %s: %w", p.name, err)
 	}
-	if err := p.restoreInto(fresh); err != nil {
+	if err := p.restoreInto(ctx, fresh); err != nil {
 		return orb.ObjectRef{}, err
 	}
 	p.mu.Lock()
@@ -275,7 +280,7 @@ func (p *Proxy) recoverFrom(dead orb.ObjectRef) (orb.ObjectRef, error) {
 
 // restoreInto pushes the newest stored checkpoint into ref. A missing
 // checkpoint is fine (stateless service, or no call completed yet).
-func (p *Proxy) restoreInto(ref orb.ObjectRef) error {
+func (p *Proxy) restoreInto(ctx context.Context, ref orb.ObjectRef) error {
 	if p.store == nil {
 		return nil
 	}
@@ -286,7 +291,7 @@ func (p *Proxy) restoreInto(ref orb.ObjectRef) error {
 	if err != nil {
 		return fmt.Errorf("fetch checkpoint for %s: %w", p.name, err)
 	}
-	if err := PushRestore(p.orb, ref, data); err != nil {
+	if err := PushRestore(ctx, p.orb, ref, data); err != nil {
 		return fmt.Errorf("restore %s into %v: %w", p.name, ref, err)
 	}
 	p.mu.Lock()
@@ -300,8 +305,8 @@ func (p *Proxy) restoreInto(ref orb.ObjectRef) error {
 // Notify forwards a oneway operation to the current reference. Oneway
 // calls carry no reply, so failure detection — and therefore recovery —
 // does not apply; the call is best-effort by construction.
-func (p *Proxy) Notify(op string, writeArgs func(*cdr.Encoder)) error {
-	return p.orb.Notify(p.Ref(), op, writeArgs)
+func (p *Proxy) Notify(ctx context.Context, op string, writeArgs func(*cdr.Encoder)) error {
+	return p.orb.Notify(ctx, p.Ref(), op, writeArgs)
 }
 
 // Migrate moves the service state to target: checkpoint the current
@@ -309,12 +314,12 @@ func (p *Proxy) Notify(op string, writeArgs func(*cdr.Encoder)) error {
 // paper's observation that a checkpoint/restore-capable service "can in
 // principle be migrated from one host to another ... also due to a
 // changing load situation".
-func (p *Proxy) Migrate(target orb.ObjectRef) error {
+func (p *Proxy) Migrate(ctx context.Context, target orb.ObjectRef) error {
 	cur := p.Ref()
-	if err := p.checkpoint(cur); err != nil {
+	if err := p.checkpoint(ctx, cur); err != nil {
 		return fmt.Errorf("ft: migrate checkpoint: %w", err)
 	}
-	if err := p.restoreInto(target); err != nil {
+	if err := p.restoreInto(ctx, target); err != nil {
 		return fmt.Errorf("ft: migrate restore: %w", err)
 	}
 	p.mu.Lock()

@@ -1,6 +1,7 @@
 package ft
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -117,10 +118,10 @@ func newFTWorld(t *testing.T) *ftWorld {
 	w.ctrB = &counterServant{}
 	refB := w.adB.Activate("ctr", Wrap(w.ctrB))
 
-	if err := w.naming.BindOffer(w.name, refA, "hostA"); err != nil {
+	if err := w.naming.BindOffer(context.Background(), w.name, refA, "hostA"); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.naming.BindOffer(w.name, refB, "hostB"); err != nil {
+	if err := w.naming.BindOffer(context.Background(), w.name, refB, "hostB"); err != nil {
 		t.Fatal(err)
 	}
 	return w
@@ -129,7 +130,7 @@ func newFTWorld(t *testing.T) *ftWorld {
 func (w *ftWorld) newProxy(policy Policy, opts ...ProxyOption) *Proxy {
 	w.t.Helper()
 	opts = append(opts, WithUnbinder(w.naming))
-	p, err := NewProxy(w.client, w.name, w.naming, w.store, policy, opts...)
+	p, err := NewProxy(context.Background(), w.client, w.name, w.naming, w.store, policy, opts...)
 	if err != nil {
 		w.t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func (w *ftWorld) newProxy(policy Policy, opts ...ProxyOption) *Proxy {
 
 func inc(p *Proxy, by int64) (int64, error) {
 	var v int64
-	err := p.Invoke("inc",
+	err := p.Invoke(context.Background(), "inc",
 		func(e *cdr.Encoder) { e.PutInt64(by) },
 		func(d *cdr.Decoder) error { v = d.GetInt64(); return d.Err() })
 	return v, err
@@ -204,7 +205,7 @@ func TestProxyRecoversAcrossServerCrash(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 	// The dead offer was unbound: only hostB remains.
-	offers, err := w.naming.ListOffers(w.name)
+	offers, err := w.naming.ListOffers(context.Background(), w.name)
 	if err != nil || len(offers) != 1 || offers[0].Host != "hostB" {
 		t.Fatalf("offers = %+v, %v", offers, err)
 	}
@@ -267,7 +268,7 @@ func TestProxyNoCheckpointingWhenDisabled(t *testing.T) {
 func TestProxyUserExceptionNotRecovered(t *testing.T) {
 	w := newFTWorld(t)
 	p := w.newProxy(Policy{CheckpointEvery: 1})
-	err := p.Invoke("fail_user", nil, nil)
+	err := p.Invoke(context.Background(), "fail_user", nil, nil)
 	if !orb.IsUserException(err, "IDL:repro/Boom:1.0") {
 		t.Fatalf("err = %v", err)
 	}
@@ -318,7 +319,7 @@ func TestProxyStrictCheckpointPropagatesFailure(t *testing.T) {
 	w := newFTWorld(t)
 	// A store that always rejects puts.
 	bad := &rejectingStore{}
-	p, err := NewProxy(w.client, w.name, w.naming, bad, Policy{CheckpointEvery: 1, StrictCheckpoint: true})
+	p, err := NewProxy(context.Background(), w.client, w.name, w.naming, bad, Policy{CheckpointEvery: 1, StrictCheckpoint: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestProxyStrictCheckpointPropagatesFailure(t *testing.T) {
 		t.Fatal("strict checkpoint failure not propagated")
 	}
 	// Non-strict: same failure is absorbed, call succeeds.
-	p2, err := NewProxy(w.client, w.name, w.naming, bad, Policy{CheckpointEvery: 1})
+	p2, err := NewProxy(context.Background(), w.client, w.name, w.naming, bad, Policy{CheckpointEvery: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +355,7 @@ func TestProxyMigrate(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Migrate the service from A to B due to "a changing load situation".
-	offers, err := w.naming.ListOffers(w.name)
+	offers, err := w.naming.ListOffers(context.Background(), w.name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +365,7 @@ func TestProxyMigrate(t *testing.T) {
 			target = o.Ref
 		}
 	}
-	if err := p.Migrate(target); err != nil {
+	if err := p.Migrate(context.Background(), target); err != nil {
 		t.Fatal(err)
 	}
 	if w.ctrB.value != 30 {
@@ -418,7 +419,7 @@ func TestRequestProxyAsyncRecovery(t *testing.T) {
 	}
 	w.adA.Close()
 	w.srvA.Shutdown()
-	req := p.NewRequest("inc")
+	req := p.NewRequest(context.Background(), "inc")
 	req.Args().PutInt64(1)
 	req.Send()
 	var v int64
@@ -433,7 +434,7 @@ func TestRequestProxyAsyncRecovery(t *testing.T) {
 func TestRequestProxyNormalFlow(t *testing.T) {
 	w := newFTWorld(t)
 	p := w.newProxy(Policy{CheckpointEvery: 1})
-	req := p.NewRequest("inc")
+	req := p.NewRequest(context.Background(), "inc")
 	req.Args().PutInt64(2)
 	if req.PollResponse() {
 		t.Fatal("poll before send")
@@ -454,12 +455,12 @@ func TestRequestProxyNormalFlow(t *testing.T) {
 
 func TestProxyWithInitialRef(t *testing.T) {
 	w := newFTWorld(t)
-	offers, err := w.naming.ListOffers(w.name)
+	offers, err := w.naming.ListOffers(context.Background(), w.name)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Pin the proxy to the second offer; no initial resolve happens.
-	p, err := NewProxy(w.client, w.name, w.naming, w.store,
+	p, err := NewProxy(context.Background(), w.client, w.name, w.naming, w.store,
 		Policy{CheckpointEvery: 1}, WithInitialRef(offers[1].Ref))
 	if err != nil {
 		t.Fatal(err)
@@ -480,7 +481,7 @@ func TestProxyNotifyOneway(t *testing.T) {
 	p := w.newProxy(Policy{})
 	// The counter servant ignores unknown ops for oneways (no reply), so
 	// just verify the call is written without error.
-	if err := p.Notify("inc", func(e *cdr.Encoder) { e.PutInt64(5) }); err != nil {
+	if err := p.Notify(context.Background(), "inc", func(e *cdr.Encoder) { e.PutInt64(5) }); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -501,7 +502,7 @@ func TestProxyNotifyOneway(t *testing.T) {
 func TestRequestProxyOperation(t *testing.T) {
 	w := newFTWorld(t)
 	p := w.newProxy(Policy{})
-	if op := p.NewRequest("inc").Operation(); op != "inc" {
+	if op := p.NewRequest(context.Background(), "inc").Operation(); op != "inc" {
 		t.Fatalf("operation = %q", op)
 	}
 	if w.store.Ref().IsNil() {
@@ -512,7 +513,7 @@ func TestRequestProxyOperation(t *testing.T) {
 func TestRequestProxyGetBeforeSend(t *testing.T) {
 	w := newFTWorld(t)
 	p := w.newProxy(Policy{})
-	req := p.NewRequest("inc")
+	req := p.NewRequest(context.Background(), "inc")
 	if err := req.GetResponse(nil); !orb.IsSystemException(err, orb.ExBadOperation) {
 		t.Fatalf("err = %v", err)
 	}
@@ -520,18 +521,18 @@ func TestRequestProxyGetBeforeSend(t *testing.T) {
 
 func TestWrapperCheckpointRestoreOps(t *testing.T) {
 	w := newFTWorld(t)
-	offers, err := w.naming.ListOffers(w.name)
+	offers, err := w.naming.ListOffers(context.Background(), w.name)
 	if err != nil {
 		t.Fatal(err)
 	}
 	refA := offers[0].Ref
 	w.ctrA.value = 5
-	data, err := FetchCheckpoint(w.client, refA)
+	data, err := FetchCheckpoint(context.Background(), w.client, refA)
 	if err != nil {
 		t.Fatal(err)
 	}
 	w.ctrA.value = 0
-	if err := PushRestore(w.client, refA, data); err != nil {
+	if err := PushRestore(context.Background(), w.client, refA, data); err != nil {
 		t.Fatal(err)
 	}
 	if w.ctrA.value != 5 {
@@ -541,8 +542,8 @@ func TestWrapperCheckpointRestoreOps(t *testing.T) {
 
 func TestWrapperRestoreGarbageFails(t *testing.T) {
 	w := newFTWorld(t)
-	offers, _ := w.naming.ListOffers(w.name)
-	err := PushRestore(w.client, offers[0].Ref, []byte{1, 2, 3})
+	offers, _ := w.naming.ListOffers(context.Background(), w.name)
+	err := PushRestore(context.Background(), w.client, offers[0].Ref, []byte{1, 2, 3})
 	if !orb.IsUserException(err, ExCheckpointFailed) {
 		t.Fatalf("err = %v", err)
 	}
@@ -553,7 +554,7 @@ func TestFactoryCreatesServants(t *testing.T) {
 	factory := NewFactory(w.adB, "ctr", func() orb.Servant { return Wrap(&counterServant{}) })
 	factoryRef := w.adB.Activate("ctr-factory", factory)
 
-	ref, err := CreateViaFactory(w.client, factoryRef)
+	ref, err := CreateViaFactory(context.Background(), w.client, factoryRef)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -561,11 +562,11 @@ func TestFactoryCreatesServants(t *testing.T) {
 		t.Fatal("nil ref from factory")
 	}
 	// The created servant is live and checkpointable.
-	if err := PushRestore(w.client, ref, mustCheckpoint(t, &counterServant{value: 9})); err != nil {
+	if err := PushRestore(context.Background(), w.client, ref, mustCheckpoint(t, &counterServant{value: 9})); err != nil {
 		t.Fatal(err)
 	}
 	var v int64
-	if err := w.client.Invoke(ref, "get", nil, func(d *cdr.Decoder) error { v = d.GetInt64(); return d.Err() }); err != nil {
+	if err := w.client.Invoke(context.Background(), ref, "get", nil, func(d *cdr.Decoder) error { v = d.GetInt64(); return d.Err() }); err != nil {
 		t.Fatal(err)
 	}
 	if v != 9 {
@@ -574,7 +575,7 @@ func TestFactoryCreatesServants(t *testing.T) {
 	if len(factory.Created()) != 1 {
 		t.Fatalf("created = %d", len(factory.Created()))
 	}
-	if err := w.client.Invoke(factoryRef, "bogus", nil, nil); !orb.IsSystemException(err, orb.ExBadOperation) {
+	if err := w.client.Invoke(context.Background(), factoryRef, "bogus", nil, nil); !orb.IsSystemException(err, orb.ExBadOperation) {
 		t.Fatalf("err = %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package ft
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -44,8 +45,8 @@ type ReplicaStats struct {
 }
 
 // NewReplicaGroup builds a group over all current offers of name.
-func NewReplicaGroup(o *orb.ORB, name naming.Name, lister OfferLister) (*ReplicaGroup, error) {
-	offers, err := lister.ListOffers(name)
+func NewReplicaGroup(ctx context.Context, o *orb.ORB, name naming.Name, lister OfferLister) (*ReplicaGroup, error) {
+	offers, err := lister.ListOffers(ctx, name)
 	if err != nil {
 		return nil, fmt.Errorf("ft: replica group %s: %w", name, err)
 	}
@@ -99,8 +100,8 @@ type replicaOutcome struct {
 // Invoke multicasts op to every replica and decodes the first successful
 // reply. Replicas that fail are dropped from the group; the call fails
 // only when every replica failed.
-func (g *ReplicaGroup) Invoke(op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
-	req := g.NewRequest(op)
+func (g *ReplicaGroup) Invoke(ctx context.Context, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
+	req := g.NewRequest(ctx, op)
 	if writeArgs != nil {
 		writeArgs(req.Args())
 	}
@@ -111,6 +112,7 @@ func (g *ReplicaGroup) Invoke(op string, writeArgs func(*cdr.Encoder), readReply
 // ReplicaRequest is the DII-style deferred form of a multicast call.
 type ReplicaRequest struct {
 	group *ReplicaGroup
+	ctx   context.Context
 	op    string
 	args  *cdr.Encoder
 	reqs  []*orb.Request
@@ -118,9 +120,13 @@ type ReplicaRequest struct {
 	sent  bool
 }
 
-// NewRequest creates a deferred multicast request.
-func (g *ReplicaGroup) NewRequest(op string) *ReplicaRequest {
-	return &ReplicaRequest{group: g, op: op, args: cdr.NewEncoder(128)}
+// NewRequest creates a deferred multicast request. ctx bounds every
+// replica's invocation (capture-at-construction, like orb.CreateRequest).
+func (g *ReplicaGroup) NewRequest(ctx context.Context, op string) *ReplicaRequest {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &ReplicaRequest{group: g, ctx: ctx, op: op, args: cdr.NewEncoder(128)}
 }
 
 // Args exposes the argument encoder. Write all arguments before Send.
@@ -134,7 +140,7 @@ func (r *ReplicaRequest) Send() {
 	r.sent = true
 	r.refs = r.group.Refs()
 	for _, ref := range r.refs {
-		req := r.group.orb.CreateRequest(ref, r.op)
+		req := r.group.orb.CreateRequest(r.ctx, ref, r.op)
 		req.Args().PutRaw(r.args.Bytes())
 		req.Send()
 		r.reqs = append(r.reqs, req)

@@ -1,6 +1,7 @@
 package ft
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 
 func groupInc(g *ReplicaGroup, by int64) (int64, error) {
 	var v int64
-	err := g.Invoke("inc",
+	err := g.Invoke(context.Background(), "inc",
 		func(e *cdr.Encoder) { e.PutInt64(by) },
 		func(d *cdr.Decoder) error { v = d.GetInt64(); return d.Err() })
 	return v, err
@@ -19,7 +20,7 @@ func groupInc(g *ReplicaGroup, by int64) (int64, error) {
 
 func TestReplicaGroupKeepsReplicasInLockstep(t *testing.T) {
 	w := newFTWorld(t)
-	g, err := NewReplicaGroup(w.client, w.name, w.naming)
+	g, err := NewReplicaGroup(context.Background(), w.client, w.name, w.naming)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestReplicaGroupKeepsReplicasInLockstep(t *testing.T) {
 
 func TestReplicaGroupSurvivesReplicaCrashWithoutRestore(t *testing.T) {
 	w := newFTWorld(t)
-	g, err := NewReplicaGroup(w.client, w.name, w.naming)
+	g, err := NewReplicaGroup(context.Background(), w.client, w.name, w.naming)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestReplicaGroupSurvivesReplicaCrashWithoutRestore(t *testing.T) {
 
 func TestReplicaGroupAllReplicasDead(t *testing.T) {
 	w := newFTWorld(t)
-	g, err := NewReplicaGroup(w.client, w.name, w.naming)
+	g, err := NewReplicaGroup(context.Background(), w.client, w.name, w.naming)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +96,11 @@ func TestReplicaGroupAllReplicasDead(t *testing.T) {
 
 func TestReplicaGroupUserExceptionSurfaces(t *testing.T) {
 	w := newFTWorld(t)
-	g, err := NewReplicaGroup(w.client, w.name, w.naming)
+	g, err := NewReplicaGroup(context.Background(), w.client, w.name, w.naming)
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = g.Invoke("fail_user", nil, nil)
+	err = g.Invoke(context.Background(), "fail_user", nil, nil)
 	if !orb.IsUserException(err, "IDL:repro/Boom:1.0") {
 		t.Fatalf("err = %v", err)
 	}
@@ -111,11 +112,11 @@ func TestReplicaGroupUserExceptionSurfaces(t *testing.T) {
 
 func TestReplicaGroupDeferredRequest(t *testing.T) {
 	w := newFTWorld(t)
-	g, err := NewReplicaGroup(w.client, w.name, w.naming)
+	g, err := NewReplicaGroup(context.Background(), w.client, w.name, w.naming)
 	if err != nil {
 		t.Fatal(err)
 	}
-	req := g.NewRequest("inc")
+	req := g.NewRequest(context.Background(), "inc")
 	req.Args().PutInt64(7)
 	if err := req.GetResponse(nil); !orb.IsSystemException(err, orb.ExBadOperation) {
 		t.Fatalf("GetResponse before Send: %v", err)
@@ -133,7 +134,7 @@ func TestReplicaGroupDeferredRequest(t *testing.T) {
 
 func TestReplicaGroupFromRefs(t *testing.T) {
 	w := newFTWorld(t)
-	offers, err := w.naming.ListOffers(w.name)
+	offers, err := w.naming.ListOffers(context.Background(), w.name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestReplicaGroupFromRefs(t *testing.T) {
 
 func TestReplicaGroupNoOffers(t *testing.T) {
 	w := newFTWorld(t)
-	if _, err := NewReplicaGroup(w.client, naming.NewName("ghost"), w.naming); err == nil {
+	if _, err := NewReplicaGroup(context.Background(), w.client, naming.NewName("ghost"), w.naming); err == nil {
 		t.Fatal("missing name accepted")
 	}
 }

@@ -1,6 +1,8 @@
 package ft
 
 import (
+	"context"
+
 	"repro/internal/cdr"
 	"repro/internal/orb"
 )
@@ -11,14 +13,21 @@ import (
 // can be replayed transparently against a recovered server object.
 type RequestProxy struct {
 	proxy *Proxy
+	ctx   context.Context
 	op    string
 	args  *cdr.Encoder
 	req   *orb.Request
 }
 
-// NewRequest creates a deferred request for op through the proxy.
-func (p *Proxy) NewRequest(op string) *RequestProxy {
-	return &RequestProxy{proxy: p, op: op, args: cdr.NewEncoder(128)}
+// NewRequest creates a deferred request for op through the proxy. ctx
+// bounds the whole deferred call — sending, the wait in GetResponse and
+// any recovery replays — following the same capture-at-construction
+// convention as orb.CreateRequest.
+func (p *Proxy) NewRequest(ctx context.Context, op string) *RequestProxy {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &RequestProxy{proxy: p, ctx: ctx, op: op, args: cdr.NewEncoder(128)}
 }
 
 // Operation returns the operation name.
@@ -29,7 +38,7 @@ func (r *RequestProxy) Args() *cdr.Encoder { return r.args }
 
 // send issues a fresh underlying DII request against ref.
 func (r *RequestProxy) send(ref orb.ObjectRef) {
-	req := r.proxy.orb.CreateRequest(ref, r.op)
+	req := r.proxy.orb.CreateRequest(r.ctx, ref, r.op)
 	req.Args().PutRaw(r.args.Bytes())
 	req.Send()
 	r.req = req
@@ -50,34 +59,26 @@ func (r *RequestProxy) PollResponse() bool {
 }
 
 // GetResponse waits for the response, driving checkpoint-on-success and
-// recover-and-replay-on-failure exactly like Proxy.Invoke. The replayed
-// request is re-sent asynchronously against the recovered server.
+// recover-and-replay-on-failure exactly like Proxy.Invoke — both run the
+// same call engine; here each replay re-sends the retained argument
+// stream asynchronously against the recovered server.
 func (r *RequestProxy) GetResponse(readReply func(*cdr.Decoder) error) error {
 	if r.req == nil {
 		return &orb.SystemException{Kind: orb.ExBadOperation, Detail: "GetResponse before Send"}
 	}
 	p := r.proxy
-	var lastErr error
-	for attempt := 0; ; attempt++ {
-		ref := r.req.Ref()
-		err := r.req.GetResponse(readReply)
-		if err == nil {
-			return p.afterSuccess(ref, r.op)
+	c := p.caller()
+	c.SetRef(r.req.Ref())
+	first := true
+	err := c.Do(r.ctx, r.op, func(_ context.Context, ref orb.ObjectRef) error {
+		if !first {
+			r.send(ref)
 		}
-		if !p.policy.RecoverOn(err) {
-			return err
-		}
-		lastErr = err
-		if attempt >= p.policy.MaxRecoveries {
-			return &RecoveryError{Op: r.op, Attempts: attempt, Last: lastErr}
-		}
-		fresh, rerr := p.recoverFrom(ref)
-		if rerr != nil {
-			return &RecoveryError{Op: r.op, Attempts: attempt + 1, Last: rerr}
-		}
-		p.mu.Lock()
-		p.stats.Replays++
-		p.mu.Unlock()
-		r.send(fresh)
+		first = false
+		return r.req.GetResponse(readReply)
+	})
+	if err != nil {
+		return err
 	}
+	return p.afterSuccess(r.ctx, c.Ref(), r.op)
 }

@@ -1,6 +1,7 @@
 package ft
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/cdr"
@@ -99,7 +100,9 @@ func (s *StoreServant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, 
 
 // StoreClient is the typed stub for the checkpoint storage service. It
 // implements Store itself, so proxies work identically against a remote
-// store service or a local Store.
+// store service or a local Store. Because the Store interface is
+// deliberately context-free (local stores have no cancellation surface),
+// the stub bounds each remote call only by the ORB's default CallTimeout.
 type StoreClient struct {
 	orb *orb.ORB
 	ref orb.ObjectRef
@@ -117,7 +120,7 @@ var _ Store = (*StoreClient)(nil)
 
 // Put implements Store.
 func (c *StoreClient) Put(key string, epoch uint64, data []byte) error {
-	err := c.orb.Invoke(c.ref, opPut, func(e *cdr.Encoder) {
+	err := c.orb.Invoke(context.Background(), c.ref, opPut, func(e *cdr.Encoder) {
 		e.PutString(key)
 		e.PutUint64(epoch)
 		e.PutBytes(data)
@@ -132,7 +135,7 @@ func (c *StoreClient) Put(key string, epoch uint64, data []byte) error {
 func (c *StoreClient) Get(key string) (uint64, []byte, error) {
 	var epoch uint64
 	var data []byte
-	err := c.orb.Invoke(c.ref, opGet,
+	err := c.orb.Invoke(context.Background(), c.ref, opGet,
 		func(e *cdr.Encoder) { e.PutString(key) },
 		func(d *cdr.Decoder) error {
 			epoch = d.GetUint64()
@@ -147,13 +150,13 @@ func (c *StoreClient) Get(key string) (uint64, []byte, error) {
 
 // Delete implements Store.
 func (c *StoreClient) Delete(key string) error {
-	return c.orb.Invoke(c.ref, opDelete, func(e *cdr.Encoder) { e.PutString(key) }, nil)
+	return c.orb.Invoke(context.Background(), c.ref, opDelete, func(e *cdr.Encoder) { e.PutString(key) }, nil)
 }
 
 // Keys implements Store.
 func (c *StoreClient) Keys() ([]string, error) {
 	var keys []string
-	err := c.orb.Invoke(c.ref, opKeys, nil, func(d *cdr.Decoder) error {
+	err := c.orb.Invoke(context.Background(), c.ref, opKeys, nil, func(d *cdr.Decoder) error {
 		keys = d.GetStringSeq()
 		return d.Err()
 	})

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/cdr"
 )
@@ -126,7 +127,41 @@ const (
 	SCVirtualTime uint32 = 0x56544d45 // "VTME"
 	// SCHostName carries the simulated host name of the sender.
 	SCHostName uint32 = 0x484f5354 // "HOST"
+	// SCDeadline carries the caller's remaining per-call deadline as a
+	// uint64 nanosecond count, measured at send time. It is encoded as a
+	// *remaining duration* rather than an absolute wall-clock instant so
+	// the receiver needs no clock synchronization with the sender: the
+	// server rebases the remainder onto its own clock on arrival. Servers
+	// shed requests whose deadline has already expired before dispatching
+	// them, and propagate the (shrinking) remainder into nested calls via
+	// the request context.
+	SCDeadline uint32 = 0x444c4e45 // "DLNE"
 )
+
+// EncodeDeadline renders a remaining-duration deadline for SCDeadline.
+// Non-positive durations encode as an already-expired deadline (zero).
+func EncodeDeadline(remaining time.Duration) []byte {
+	if remaining < 0 {
+		remaining = 0
+	}
+	e := cdr.NewEncoder(8)
+	e.PutUint64(uint64(remaining))
+	return e.Bytes()
+}
+
+// DecodeDeadline parses an SCDeadline payload. ok is false when data is
+// absent or malformed (callers then treat the request as unbounded).
+func DecodeDeadline(data []byte) (remaining time.Duration, ok bool) {
+	if len(data) == 0 {
+		return 0, false
+	}
+	d := cdr.NewDecoder(data)
+	ns := d.GetUint64()
+	if d.Err() != nil || ns > uint64(1<<62) {
+		return 0, false
+	}
+	return time.Duration(ns), true
+}
 
 // Message is a fully parsed protocol message. Exactly the fields relevant
 // to its Type are populated.

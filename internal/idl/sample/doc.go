@@ -1,0 +1,8 @@
+// Package sample holds the generated bindings for the example Bank IDL
+// module. bank_gen.go is produced from bank.idl by cmd/idlgen; run
+// `go generate ./internal/idl/sample` after editing bank.idl or the
+// generator. TestGeneratedCodeUpToDate fails when the checked-in file
+// drifts from the generator's output.
+package sample
+
+//go:generate go run repro/cmd/idlgen -in bank.idl -out bank_gen.go -package sample

@@ -1,0 +1,34 @@
+package sample
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/idl"
+)
+
+// TestGeneratedCodeUpToDate regenerates the bindings from bank.idl in
+// memory and fails if the checked-in bank_gen.go differs — i.e. someone
+// edited the IDL or the generator without running `go generate`.
+func TestGeneratedCodeUpToDate(t *testing.T) {
+	src, err := os.ReadFile("bank.idl")
+	if err != nil {
+		t.Fatalf("read bank.idl: %v", err)
+	}
+	mod, err := idl.Parse(string(src))
+	if err != nil {
+		t.Fatalf("parse bank.idl: %v", err)
+	}
+	want, err := idl.Generate(mod, idl.GenOptions{Package: "sample", Source: "internal/idl/sample/bank.idl"})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	got, err := os.ReadFile("bank_gen.go")
+	if err != nil {
+		t.Fatalf("read bank_gen.go: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("bank_gen.go is stale: run `go generate ./internal/idl/sample` (checked-in %d bytes, generator now produces %d bytes)", len(got), len(want))
+	}
+}

@@ -4,6 +4,7 @@
 package sample
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -24,7 +25,7 @@ type accountImpl struct {
 	history []float64
 }
 
-func (a *accountImpl) Deposit(amount int64) (int64, error) {
+func (a *accountImpl) Deposit(_ context.Context, amount int64) (int64, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.balance += amount
@@ -32,7 +33,7 @@ func (a *accountImpl) Deposit(amount int64) (int64, error) {
 	return a.balance, nil
 }
 
-func (a *accountImpl) Withdraw(amount int64) (int64, error) {
+func (a *accountImpl) Withdraw(_ context.Context, amount int64) (int64, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if amount > a.balance {
@@ -43,27 +44,27 @@ func (a *accountImpl) Withdraw(amount int64) (int64, error) {
 	return a.balance, nil
 }
 
-func (a *accountImpl) Balance() (int64, error) {
+func (a *accountImpl) Balance(context.Context) (int64, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.balance, nil
 }
 
-func (a *accountImpl) Annotate(note string) error {
+func (a *accountImpl) Annotate(_ context.Context, note string) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.notes = append(a.notes, note)
 	return nil
 }
 
-func (a *accountImpl) Audit(event string) error {
+func (a *accountImpl) Audit(_ context.Context, event string) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.audits = append(a.audits, event)
 	return nil
 }
 
-func (a *accountImpl) History(limit int32) ([]float64, error) {
+func (a *accountImpl) History(_ context.Context, limit int32) ([]float64, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if int(limit) < len(a.history) {
@@ -109,19 +110,19 @@ func startAccount(t *testing.T) (*orb.ORB, *AccountStub, *accountImpl) {
 
 func TestGeneratedStubRoundTrip(t *testing.T) {
 	_, stub, _ := startAccount(t)
-	if b, err := stub.Deposit(100); err != nil || b != 100 {
+	if b, err := stub.Deposit(context.Background(), 100); err != nil || b != 100 {
 		t.Fatalf("deposit = %d, %v", b, err)
 	}
-	if b, err := stub.Withdraw(30); err != nil || b != 70 {
+	if b, err := stub.Withdraw(context.Background(), 30); err != nil || b != 70 {
 		t.Fatalf("withdraw = %d, %v", b, err)
 	}
-	if b, err := stub.Balance(); err != nil || b != 70 {
+	if b, err := stub.Balance(context.Background()); err != nil || b != 70 {
 		t.Fatalf("balance = %d, %v", b, err)
 	}
-	if err := stub.Annotate("rent"); err != nil {
+	if err := stub.Annotate(context.Background(), "rent"); err != nil {
 		t.Fatal(err)
 	}
-	h, err := stub.History(1)
+	h, err := stub.History(context.Background(), 1)
 	if err != nil || len(h) != 1 || h[0] != 70 {
 		t.Fatalf("history = %v, %v", h, err)
 	}
@@ -129,7 +130,7 @@ func TestGeneratedStubRoundTrip(t *testing.T) {
 
 func TestGeneratedTypedException(t *testing.T) {
 	_, stub, _ := startAccount(t)
-	_, err := stub.Withdraw(500)
+	_, err := stub.Withdraw(context.Background(), 500)
 	var ife *InsufficientFunds
 	if !errors.As(err, &ife) {
 		t.Fatalf("err = %T %v, want *InsufficientFunds", err, err)
@@ -141,7 +142,7 @@ func TestGeneratedTypedException(t *testing.T) {
 
 func TestGeneratedOneway(t *testing.T) {
 	_, stub, impl := startAccount(t)
-	if err := stub.Audit("login"); err != nil {
+	if err := stub.Audit(context.Background(), "login"); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -184,7 +185,7 @@ func TestGeneratedProxyRecovers(t *testing.T) {
 	adA, _ := srvA.NewAdapter("127.0.0.1:0")
 	implA := &accountImpl{}
 	refA := adA.Activate("a", &ft.Wrapper{Inner: NewAccountServant(implA), State: implA})
-	if err := ns.BindOffer(name, refA, "hostA"); err != nil {
+	if err := ns.BindOffer(context.Background(), name, refA, "hostA"); err != nil {
 		t.Fatal(err)
 	}
 	srvB := orb.New(orb.Options{Name: "srvB"})
@@ -192,20 +193,20 @@ func TestGeneratedProxyRecovers(t *testing.T) {
 	adB, _ := srvB.NewAdapter("127.0.0.1:0")
 	implB := &accountImpl{}
 	refB := adB.Activate("b", &ft.Wrapper{Inner: NewAccountServant(implB), State: implB})
-	if err := ns.BindOffer(name, refB, "hostB"); err != nil {
+	if err := ns.BindOffer(context.Background(), name, refB, "hostB"); err != nil {
 		t.Fatal(err)
 	}
 
-	proxy, err := NewAccountProxy(client, name, ns, store,
+	proxy, err := NewAccountProxy(context.Background(), client, name, ns, store,
 		ft.Policy{CheckpointEvery: 1}, ft.WithUnbinder(ns))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b, err := proxy.Deposit(200); err != nil || b != 200 {
+	if b, err := proxy.Deposit(context.Background(), 200); err != nil || b != 200 {
 		t.Fatalf("deposit = %d, %v", b, err)
 	}
 	// Typed exceptions pass through the proxy too.
-	if _, err := proxy.Withdraw(1000); err == nil {
+	if _, err := proxy.Withdraw(context.Background(), 1000); err == nil {
 		t.Fatal("expected InsufficientFunds")
 	} else {
 		var ife *InsufficientFunds
@@ -215,7 +216,7 @@ func TestGeneratedProxyRecovers(t *testing.T) {
 	}
 	// Crash server A; the generated proxy recovers and replays.
 	srvA.Shutdown()
-	b, err := proxy.Withdraw(50)
+	b, err := proxy.Withdraw(context.Background(), 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestGeneratedProxyRecovers(t *testing.T) {
 		t.Fatalf("proxy ref = %v", proxy.Ref())
 	}
 	// Migration through the generated proxy.
-	if err := proxy.Migrate(refB); err != nil {
+	if err := proxy.Migrate(context.Background(), refB); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -242,7 +243,7 @@ func TestGeneratedProxyRecovers(t *testing.T) {
 // raises, unsigned and short-sequence marshalling).
 type tellerImpl struct{}
 
-func (tellerImpl) Transfer(from, to string, amount int64) error {
+func (tellerImpl) Transfer(_ context.Context, from, to string, amount int64) error {
 	switch {
 	case from == "ghost":
 		return &UnknownAccount{Id: from}
@@ -253,16 +254,16 @@ func (tellerImpl) Transfer(from, to string, amount int64) error {
 	}
 }
 
-func (tellerImpl) Accounts() ([]string, error) { return []string{"a", "b"}, nil }
+func (tellerImpl) Accounts(context.Context) ([]string, error) { return []string{"a", "b"}, nil }
 
-func (tellerImpl) Count(activeOnly bool) (uint32, error) {
+func (tellerImpl) Count(_ context.Context, activeOnly bool) (uint32, error) {
 	if activeOnly {
 		return 1, nil
 	}
 	return 2, nil
 }
 
-func (tellerImpl) Codes(raw []byte) ([]int16, error) {
+func (tellerImpl) Codes(_ context.Context, raw []byte) ([]int16, error) {
 	out := make([]int16, len(raw))
 	for i, b := range raw {
 		out[i] = int16(b) * 2
@@ -284,26 +285,26 @@ func TestGeneratedTellerInterface(t *testing.T) {
 	t.Cleanup(client.Shutdown)
 	stub := NewTellerStub(client, ref)
 
-	if err := stub.Transfer("a", "b", 10); err != nil {
+	if err := stub.Transfer(context.Background(), "a", "b", 10); err != nil {
 		t.Fatal(err)
 	}
 	var ua *UnknownAccount
-	if err := stub.Transfer("ghost", "b", 10); !errors.As(err, &ua) || ua.Id != "ghost" {
+	if err := stub.Transfer(context.Background(), "ghost", "b", 10); !errors.As(err, &ua) || ua.Id != "ghost" {
 		t.Fatalf("err = %v", err)
 	}
 	var ife *InsufficientFunds
-	if err := stub.Transfer("a", "b", 150); !errors.As(err, &ife) || ife.Missing != 50 {
+	if err := stub.Transfer(context.Background(), "a", "b", 150); !errors.As(err, &ife) || ife.Missing != 50 {
 		t.Fatalf("err = %v", err)
 	}
-	accts, err := stub.Accounts()
+	accts, err := stub.Accounts(context.Background())
 	if err != nil || len(accts) != 2 || accts[0] != "a" {
 		t.Fatalf("accounts = %v, %v", accts, err)
 	}
-	n, err := stub.Count(true)
+	n, err := stub.Count(context.Background(), true)
 	if err != nil || n != 1 {
 		t.Fatalf("count = %d, %v", n, err)
 	}
-	codes, err := stub.Codes([]byte{1, 2, 3})
+	codes, err := stub.Codes(context.Background(), []byte{1, 2, 3})
 	if err != nil || len(codes) != 3 || codes[2] != 6 {
 		t.Fatalf("codes = %v, %v", codes, err)
 	}
@@ -311,7 +312,7 @@ func TestGeneratedTellerInterface(t *testing.T) {
 
 func TestGeneratedServantRejectsUnknownOp(t *testing.T) {
 	client, stub, _ := startAccount(t)
-	err := client.Invoke(stub.Ref(), "no_such_op", nil, nil)
+	err := client.Invoke(context.Background(), stub.Ref(), "no_such_op", nil, nil)
 	if !orb.IsSystemException(err, orb.ExBadOperation) {
 		t.Fatalf("err = %v", err)
 	}

@@ -1,6 +1,8 @@
 package naming
 
 import (
+	"context"
+
 	"repro/internal/cdr"
 	"repro/internal/orb"
 )
@@ -26,42 +28,47 @@ func (c *Client) Ref() orb.ObjectRef { return c.ref }
 // follow issues op against the naming service, hopping to remote naming
 // servers whenever the reply says resolution continues elsewhere.
 // writeArgs renders the operation arguments for the (possibly shortened)
-// target name of the current hop.
-func (c *Client) follow(name Name, op string, writeArgs func(e *cdr.Encoder, target Name), readReply func(*cdr.Decoder) error) error {
-	ref := c.ref
+// target name of the current hop. Federation continuations ride the
+// call engine's redirect path: each hop swaps both the target reference
+// and the remaining name without consuming any retry budget.
+func (c *Client) follow(ctx context.Context, name Name, op string, writeArgs func(e *cdr.Encoder, target Name), readReply func(*cdr.Decoder) error) error {
 	target := name
-	for hop := 0; hop <= maxFederationHops; hop++ {
-		err := c.orb.Invoke(ref, op,
-			func(e *cdr.Encoder) { writeArgs(e, target) },
-			readReply)
-		if fref, rest, ok := decodeFederated(err); ok {
-			ref, target = fref, rest
-			continue
-		}
-		return err
+	caller := &orb.Caller{
+		ORB:     c.orb,
+		MaxHops: maxFederationHops,
+		Redirect: func(err error) (orb.ObjectRef, bool) {
+			fref, rest, ok := decodeFederated(err)
+			if ok {
+				target = rest
+			}
+			return fref, ok
+		},
 	}
-	return &orb.UserException{RepoID: ExFederated, Detail: "too many federation hops"}
+	caller.SetRef(c.ref)
+	return caller.Invoke(ctx, op,
+		func(e *cdr.Encoder) { writeArgs(e, target) },
+		readReply)
 }
 
 // Bind binds ref under name.
-func (c *Client) Bind(name Name, ref orb.ObjectRef) error {
-	return c.follow(name, opBind, func(e *cdr.Encoder, target Name) {
+func (c *Client) Bind(ctx context.Context, name Name, ref orb.ObjectRef) error {
+	return c.follow(ctx, name, opBind, func(e *cdr.Encoder, target Name) {
 		target.MarshalCDR(e)
 		ref.MarshalCDR(e)
 	}, nil)
 }
 
 // Rebind binds ref under name, replacing an existing object binding.
-func (c *Client) Rebind(name Name, ref orb.ObjectRef) error {
-	return c.follow(name, opRebind, func(e *cdr.Encoder, target Name) {
+func (c *Client) Rebind(ctx context.Context, name Name, ref orb.ObjectRef) error {
+	return c.follow(ctx, name, opRebind, func(e *cdr.Encoder, target Name) {
 		target.MarshalCDR(e)
 		ref.MarshalCDR(e)
 	}, nil)
 }
 
 // Unbind removes the binding at name.
-func (c *Client) Unbind(name Name) error {
-	return c.follow(name, opUnbind, func(e *cdr.Encoder, target Name) {
+func (c *Client) Unbind(ctx context.Context, name Name) error {
+	return c.follow(ctx, name, opUnbind, func(e *cdr.Encoder, target Name) {
 		target.MarshalCDR(e)
 	}, nil)
 }
@@ -69,34 +76,34 @@ func (c *Client) Unbind(name Name) error {
 // Resolve returns the reference bound at name. For group bindings the
 // service's selector (plain or Winner-driven) picks the offer — this is
 // the call whose behaviour the paper changes transparently.
-func (c *Client) Resolve(name Name) (orb.ObjectRef, error) {
+func (c *Client) Resolve(ctx context.Context, name Name) (orb.ObjectRef, error) {
 	var ref orb.ObjectRef
-	err := c.follow(name, opResolve,
+	err := c.follow(ctx, name, opResolve,
 		func(e *cdr.Encoder, target Name) { target.MarshalCDR(e) },
 		func(d *cdr.Decoder) error { return ref.UnmarshalCDR(d) })
 	return ref, err
 }
 
 // BindNewContext creates a sub-context at name.
-func (c *Client) BindNewContext(name Name) error {
-	return c.follow(name, opBindNewContext, func(e *cdr.Encoder, target Name) {
+func (c *Client) BindNewContext(ctx context.Context, name Name) error {
+	return c.follow(ctx, name, opBindNewContext, func(e *cdr.Encoder, target Name) {
 		target.MarshalCDR(e)
 	}, nil)
 }
 
 // BindRemoteContext mounts the naming context served at ref under name
 // (federation): operations traversing name continue at that server.
-func (c *Client) BindRemoteContext(name Name, ref orb.ObjectRef) error {
-	return c.follow(name, opBindRemote, func(e *cdr.Encoder, target Name) {
+func (c *Client) BindRemoteContext(ctx context.Context, name Name, ref orb.ObjectRef) error {
+	return c.follow(ctx, name, opBindRemote, func(e *cdr.Encoder, target Name) {
 		target.MarshalCDR(e)
 		ref.MarshalCDR(e)
 	}, nil)
 }
 
 // List returns the bindings in the context at name (nil for the root).
-func (c *Client) List(name Name) ([]Binding, error) {
+func (c *Client) List(ctx context.Context, name Name) ([]Binding, error) {
 	var out []Binding
-	err := c.follow(name, opList,
+	err := c.follow(ctx, name, opList,
 		func(e *cdr.Encoder, target Name) { target.MarshalCDR(e) },
 		func(d *cdr.Decoder) error {
 			n := d.GetUint32()
@@ -119,8 +126,8 @@ func (c *Client) List(name Name) ([]Binding, error) {
 // BindOffer adds (ref, host) to the group binding at name, creating the
 // group if absent. Servers on each host of a NOW register their offers
 // this way.
-func (c *Client) BindOffer(name Name, ref orb.ObjectRef, host string) error {
-	return c.follow(name, opBindOffer, func(e *cdr.Encoder, target Name) {
+func (c *Client) BindOffer(ctx context.Context, name Name, ref orb.ObjectRef, host string) error {
+	return c.follow(ctx, name, opBindOffer, func(e *cdr.Encoder, target Name) {
 		target.MarshalCDR(e)
 		ref.MarshalCDR(e)
 		e.PutString(host)
@@ -128,17 +135,17 @@ func (c *Client) BindOffer(name Name, ref orb.ObjectRef, host string) error {
 }
 
 // UnbindOffer removes the offer with reference ref from the group at name.
-func (c *Client) UnbindOffer(name Name, ref orb.ObjectRef) error {
-	return c.follow(name, opUnbindOffer, func(e *cdr.Encoder, target Name) {
+func (c *Client) UnbindOffer(ctx context.Context, name Name, ref orb.ObjectRef) error {
+	return c.follow(ctx, name, opUnbindOffer, func(e *cdr.Encoder, target Name) {
 		target.MarshalCDR(e)
 		ref.MarshalCDR(e)
 	}, nil)
 }
 
 // ListOffers returns the group bound at name.
-func (c *Client) ListOffers(name Name) ([]Offer, error) {
+func (c *Client) ListOffers(ctx context.Context, name Name) ([]Offer, error) {
 	var out []Offer
-	err := c.follow(name, opListOffers,
+	err := c.follow(ctx, name, opListOffers,
 		func(e *cdr.Encoder, target Name) { target.MarshalCDR(e) },
 		func(d *cdr.Decoder) error {
 			n := d.GetUint32()

@@ -1,6 +1,7 @@
 package naming
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -31,20 +32,20 @@ func twoServers(t *testing.T) (a, b *Client, bRoot orb.ObjectRef) {
 
 func TestFederatedBindAndResolve(t *testing.T) {
 	a, b, bRoot := twoServers(t)
-	if err := a.BindRemoteContext(NewName("campus-b"), bRoot); err != nil {
+	if err := a.BindRemoteContext(context.Background(), NewName("campus-b"), bRoot); err != nil {
 		t.Fatal(err)
 	}
 	// Bind through the mount: the entry must land in server B.
 	target := ref(7)
-	if err := a.Bind(NewName("campus-b", "printer"), target); err != nil {
+	if err := a.Bind(context.Background(), NewName("campus-b", "printer"), target); err != nil {
 		t.Fatal(err)
 	}
-	got, err := b.Resolve(NewName("printer"))
+	got, err := b.Resolve(context.Background(), NewName("printer"))
 	if err != nil || got != target {
 		t.Fatalf("B resolve = %v, %v", got, err)
 	}
 	// Resolve through the mount from A's side.
-	got, err = a.Resolve(NewName("campus-b", "printer"))
+	got, err = a.Resolve(context.Background(), NewName("campus-b", "printer"))
 	if err != nil || got != target {
 		t.Fatalf("A resolve = %v, %v", got, err)
 	}
@@ -52,10 +53,10 @@ func TestFederatedBindAndResolve(t *testing.T) {
 
 func TestFederatedResolveMountItself(t *testing.T) {
 	a, _, bRoot := twoServers(t)
-	if err := a.BindRemoteContext(NewName("campus-b"), bRoot); err != nil {
+	if err := a.BindRemoteContext(context.Background(), NewName("campus-b"), bRoot); err != nil {
 		t.Fatal(err)
 	}
-	got, err := a.Resolve(NewName("campus-b"))
+	got, err := a.Resolve(context.Background(), NewName("campus-b"))
 	if err != nil || got != bRoot {
 		t.Fatalf("resolve mount = %v, %v", got, err)
 	}
@@ -63,21 +64,21 @@ func TestFederatedResolveMountItself(t *testing.T) {
 
 func TestFederatedList(t *testing.T) {
 	a, b, bRoot := twoServers(t)
-	if err := a.BindRemoteContext(NewName("campus-b"), bRoot); err != nil {
+	if err := a.BindRemoteContext(context.Background(), NewName("campus-b"), bRoot); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Bind(NewName("svc1"), ref(1)); err != nil {
+	if err := b.Bind(context.Background(), NewName("svc1"), ref(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Bind(NewName("svc2"), ref(2)); err != nil {
+	if err := b.Bind(context.Background(), NewName("svc2"), ref(2)); err != nil {
 		t.Fatal(err)
 	}
-	bindings, err := a.List(NewName("campus-b"))
+	bindings, err := a.List(context.Background(), NewName("campus-b"))
 	if err != nil || len(bindings) != 2 {
 		t.Fatalf("list = %+v, %v", bindings, err)
 	}
 	// The mount shows up in A's root listing as a remote binding.
-	rootBindings, err := a.List(nil)
+	rootBindings, err := a.List(context.Background(), nil)
 	if err != nil || len(rootBindings) != 1 || rootBindings[0].Type != BindRemote {
 		t.Fatalf("root list = %+v, %v", rootBindings, err)
 	}
@@ -85,22 +86,22 @@ func TestFederatedList(t *testing.T) {
 
 func TestFederatedDeepPath(t *testing.T) {
 	a, b, bRoot := twoServers(t)
-	if err := a.BindRemoteContext(NewName("campus-b"), bRoot); err != nil {
+	if err := a.BindRemoteContext(context.Background(), NewName("campus-b"), bRoot); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.BindNewContext(NewName("local")); err != nil {
+	if err := a.BindNewContext(context.Background(), NewName("local")); err != nil {
 		t.Fatal(err)
 	}
 	// Deep name crossing the mount mid-path, after a local context hop is
 	// impossible (mount at root of B); create B-side structure instead.
-	if err := b.BindNewContext(NewName("lab")); err != nil {
+	if err := b.BindNewContext(context.Background(), NewName("lab")); err != nil {
 		t.Fatal(err)
 	}
 	target := ref(9)
-	if err := a.Bind(NewName("campus-b", "lab", "scope"), target); err != nil {
+	if err := a.Bind(context.Background(), NewName("campus-b", "lab", "scope"), target); err != nil {
 		t.Fatal(err)
 	}
-	got, err := a.Resolve(NewName("campus-b", "lab", "scope"))
+	got, err := a.Resolve(context.Background(), NewName("campus-b", "lab", "scope"))
 	if err != nil || got != target {
 		t.Fatalf("deep resolve = %v, %v", got, err)
 	}
@@ -108,23 +109,23 @@ func TestFederatedDeepPath(t *testing.T) {
 
 func TestFederatedOffers(t *testing.T) {
 	a, _, bRoot := twoServers(t)
-	if err := a.BindRemoteContext(NewName("campus-b"), bRoot); err != nil {
+	if err := a.BindRemoteContext(context.Background(), NewName("campus-b"), bRoot); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.BindOffer(NewName("campus-b", "workers"), ref(1), "h1"); err != nil {
+	if err := a.BindOffer(context.Background(), NewName("campus-b", "workers"), ref(1), "h1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.BindOffer(NewName("campus-b", "workers"), ref(2), "h2"); err != nil {
+	if err := a.BindOffer(context.Background(), NewName("campus-b", "workers"), ref(2), "h2"); err != nil {
 		t.Fatal(err)
 	}
-	offers, err := a.ListOffers(NewName("campus-b", "workers"))
+	offers, err := a.ListOffers(context.Background(), NewName("campus-b", "workers"))
 	if err != nil || len(offers) != 2 {
 		t.Fatalf("offers = %+v, %v", offers, err)
 	}
-	if err := a.UnbindOffer(NewName("campus-b", "workers"), ref(1)); err != nil {
+	if err := a.UnbindOffer(context.Background(), NewName("campus-b", "workers"), ref(1)); err != nil {
 		t.Fatal(err)
 	}
-	offers, err = a.ListOffers(NewName("campus-b", "workers"))
+	offers, err = a.ListOffers(context.Background(), NewName("campus-b", "workers"))
 	if err != nil || len(offers) != 1 || offers[0].Host != "h2" {
 		t.Fatalf("offers = %+v, %v", offers, err)
 	}
@@ -145,17 +146,17 @@ func TestFederatedThreeServerChain(t *testing.T) {
 		roots = append(roots, root)
 	}
 	// 0 mounts 1 under "next", 1 mounts 2 under "next".
-	if err := clients[0].BindRemoteContext(NewName("next"), roots[1]); err != nil {
+	if err := clients[0].BindRemoteContext(context.Background(), NewName("next"), roots[1]); err != nil {
 		t.Fatal(err)
 	}
-	if err := clients[1].BindRemoteContext(NewName("next"), roots[2]); err != nil {
+	if err := clients[1].BindRemoteContext(context.Background(), NewName("next"), roots[2]); err != nil {
 		t.Fatal(err)
 	}
 	target := ref(5)
-	if err := clients[2].Bind(NewName("end"), target); err != nil {
+	if err := clients[2].Bind(context.Background(), NewName("end"), target); err != nil {
 		t.Fatal(err)
 	}
-	got, err := clients[0].Resolve(NewName("next", "next", "end"))
+	got, err := clients[0].Resolve(context.Background(), NewName("next", "next", "end"))
 	if err != nil || got != target {
 		t.Fatalf("chained resolve = %v, %v", got, err)
 	}
@@ -165,7 +166,7 @@ func TestFederationHopBound(t *testing.T) {
 	a, _, _ := twoServers(t)
 	// A mounts itself: resolution of a long self/self/... name must stop
 	// at the hop bound instead of looping.
-	if err := a.BindRemoteContext(NewName("self"), a.Ref()); err != nil {
+	if err := a.BindRemoteContext(context.Background(), NewName("self"), a.Ref()); err != nil {
 		t.Fatal(err)
 	}
 	name := Name{}
@@ -173,7 +174,7 @@ func TestFederationHopBound(t *testing.T) {
 		name = append(name, Component{ID: "self"})
 	}
 	name = append(name, Component{ID: "x"})
-	_, err := a.Resolve(name)
+	_, err := a.Resolve(context.Background(), name)
 	if err == nil {
 		t.Fatal("unbounded federation resolve succeeded")
 	}
@@ -184,7 +185,7 @@ func TestFederationHopBound(t *testing.T) {
 
 func TestFederatedSnapshotPersistsMount(t *testing.T) {
 	a, _, bRoot := twoServers(t)
-	if err := a.BindRemoteContext(NewName("campus-b"), bRoot); err != nil {
+	if err := a.BindRemoteContext(context.Background(), NewName("campus-b"), bRoot); err != nil {
 		t.Fatal(err)
 	}
 	// Snapshot A's registry by reaching through the servant is not

@@ -1,6 +1,7 @@
 package naming
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -26,10 +27,10 @@ func TestRemoteBindResolve(t *testing.T) {
 	c := startService(t, nil)
 	n := NewName("calc")
 	target := orb.ObjectRef{TypeID: "T", Addr: "1.2.3.4:5", Key: "calc"}
-	if err := c.Bind(n, target); err != nil {
+	if err := c.Bind(context.Background(), n, target); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Resolve(n)
+	got, err := c.Resolve(context.Background(), n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestRemoteBindResolve(t *testing.T) {
 
 func TestRemoteResolveNotFound(t *testing.T) {
 	c := startService(t, nil)
-	_, err := c.Resolve(NewName("ghost"))
+	_, err := c.Resolve(context.Background(), NewName("ghost"))
 	if !orb.IsUserException(err, ExNotFound) {
 		t.Fatalf("err = %v", err)
 	}
@@ -49,38 +50,38 @@ func TestRemoteResolveNotFound(t *testing.T) {
 func TestRemoteRebindUnbind(t *testing.T) {
 	c := startService(t, nil)
 	n := NewName("x")
-	if err := c.Rebind(n, ref(1)); err != nil {
+	if err := c.Rebind(context.Background(), n, ref(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Rebind(n, ref(2)); err != nil {
+	if err := c.Rebind(context.Background(), n, ref(2)); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Resolve(n)
+	got, err := c.Resolve(context.Background(), n)
 	if err != nil || got != ref(2) {
 		t.Fatalf("resolve = %v, %v", got, err)
 	}
-	if err := c.Unbind(n); err != nil {
+	if err := c.Unbind(context.Background(), n); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Resolve(n); !orb.IsUserException(err, ExNotFound) {
+	if _, err := c.Resolve(context.Background(), n); !orb.IsUserException(err, ExNotFound) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestRemoteHierarchy(t *testing.T) {
 	c := startService(t, nil)
-	if err := c.BindNewContext(NewName("apps")); err != nil {
+	if err := c.BindNewContext(context.Background(), NewName("apps")); err != nil {
 		t.Fatal(err)
 	}
 	n := NewName("apps", "solver")
-	if err := c.Bind(n, ref(5)); err != nil {
+	if err := c.Bind(context.Background(), n, ref(5)); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Resolve(n)
+	got, err := c.Resolve(context.Background(), n)
 	if err != nil || got != ref(5) {
 		t.Fatalf("resolve = %v, %v", got, err)
 	}
-	bindings, err := c.List(NewName("apps"))
+	bindings, err := c.List(context.Background(), NewName("apps"))
 	if err != nil || len(bindings) != 1 {
 		t.Fatalf("list = %+v, %v", bindings, err)
 	}
@@ -89,11 +90,11 @@ func TestRemoteHierarchy(t *testing.T) {
 func TestRemoteList(t *testing.T) {
 	c := startService(t, nil)
 	for i := 0; i < 5; i++ {
-		if err := c.Bind(NewName(fmt.Sprintf("svc%d", i)), ref(i)); err != nil {
+		if err := c.Bind(context.Background(), NewName(fmt.Sprintf("svc%d", i)), ref(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	bindings, err := c.List(nil)
+	bindings, err := c.List(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,17 +107,17 @@ func TestRemoteOffersRoundRobinResolve(t *testing.T) {
 	c := startService(t, RoundRobinSelector())
 	n := NewName("workers")
 	for i := 0; i < 3; i++ {
-		if err := c.BindOffer(n, ref(i), fmt.Sprintf("node%d", i)); err != nil {
+		if err := c.BindOffer(context.Background(), n, ref(i), fmt.Sprintf("node%d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	offers, err := c.ListOffers(n)
+	offers, err := c.ListOffers(context.Background(), n)
 	if err != nil || len(offers) != 3 {
 		t.Fatalf("offers = %+v, %v", offers, err)
 	}
 	// Resolve cycles through the group.
 	for i := 0; i < 6; i++ {
-		got, err := c.Resolve(n)
+		got, err := c.Resolve(context.Background(), n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -129,16 +130,16 @@ func TestRemoteOffersRoundRobinResolve(t *testing.T) {
 func TestRemoteUnbindOffer(t *testing.T) {
 	c := startService(t, nil)
 	n := NewName("w")
-	if err := c.BindOffer(n, ref(0), "h0"); err != nil {
+	if err := c.BindOffer(context.Background(), n, ref(0), "h0"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.BindOffer(n, ref(1), "h1"); err != nil {
+	if err := c.BindOffer(context.Background(), n, ref(1), "h1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.UnbindOffer(n, ref(0)); err != nil {
+	if err := c.UnbindOffer(context.Background(), n, ref(0)); err != nil {
 		t.Fatal(err)
 	}
-	offers, err := c.ListOffers(n)
+	offers, err := c.ListOffers(context.Background(), n)
 	if err != nil || len(offers) != 1 || offers[0].Host != "h1" {
 		t.Fatalf("offers = %+v, %v", offers, err)
 	}
@@ -152,10 +153,10 @@ func TestRemoteSingleOfferBypassesSelector(t *testing.T) {
 	})
 	c := startService(t, sel)
 	n := NewName("solo")
-	if err := c.BindOffer(n, ref(1), "h"); err != nil {
+	if err := c.BindOffer(context.Background(), n, ref(1), "h"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Resolve(n); err != nil {
+	if _, err := c.Resolve(context.Background(), n); err != nil {
 		t.Fatal(err)
 	}
 	if called {
@@ -170,11 +171,11 @@ func TestRemoteSelectorErrorSurfacesAsUserException(t *testing.T) {
 	c := startService(t, sel)
 	n := NewName("w")
 	for i := 0; i < 2; i++ {
-		if err := c.BindOffer(n, ref(i), "h"); err != nil {
+		if err := c.BindOffer(context.Background(), n, ref(i), "h"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	_, err := c.Resolve(n)
+	_, err := c.Resolve(context.Background(), n)
 	if !orb.IsUserException(err, ExNoOffer) {
 		t.Fatalf("err = %v", err)
 	}
@@ -182,7 +183,7 @@ func TestRemoteSelectorErrorSurfacesAsUserException(t *testing.T) {
 
 func TestRemoteBadOperation(t *testing.T) {
 	c := startService(t, nil)
-	err := c.orb.Invoke(c.ref, "frobnicate", nil, nil)
+	err := c.orb.Invoke(context.Background(), c.ref, "frobnicate", nil, nil)
 	if !orb.IsSystemException(err, orb.ExBadOperation) {
 		t.Fatalf("err = %v", err)
 	}

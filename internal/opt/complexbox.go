@@ -32,6 +32,11 @@ type ComplexBoxOptions struct {
 	// for the retraction to be guaranteed to terminate; as a safeguard an
 	// infeasible point is rejected after MaxRetractions pulls.
 	Feasible func(x []float64) bool
+	// Stop, when set, is polled before each main-loop iteration; returning
+	// true ends the run early with the best point found so far. Servants
+	// hook their request context's Done here so a cancelled caller stops
+	// burning CPU.
+	Stop func() bool
 }
 
 func (o ComplexBoxOptions) withDefaults() ComplexBoxOptions {
@@ -157,6 +162,9 @@ func MinimizeComplexBox(obj Objective, bounds Bounds, opts ComplexBoxOptions) (R
 	}
 
 	for it := 0; it < opts.MaxIterations; it++ {
+		if opts.Stop != nil && opts.Stop() {
+			break
+		}
 		res.Iterations = it + 1
 		worst, best := worstAndBest()
 		if opts.Tolerance > 0 && values[worst]-values[best] < opts.Tolerance {

@@ -2,6 +2,7 @@ package orb
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -140,7 +141,7 @@ func (c *clientConn) register(id uint32) (chan *giop.Message, error) {
 	return ch, nil
 }
 
-// unregister abandons a pending request (timeout path).
+// unregister abandons a pending request (cancellation/timeout path).
 func (c *clientConn) unregister(id uint32) {
 	c.mu.Lock()
 	delete(c.pending, id)
@@ -175,9 +176,28 @@ func (c *clientConn) send(m *giop.Message) error {
 	return nil
 }
 
-// roundTrip sends a request and waits for its reply, applying the call
-// timeout if configured.
-func (c *clientConn) roundTrip(m *giop.Message, timeout time.Duration) (*giop.Message, error) {
+// abandonError maps a context's termination cause to the system exception
+// surfaced to the caller.
+func abandonError(ctx context.Context, m *giop.Message) error {
+	kind := ExCancelled
+	if ctx.Err() == context.DeadlineExceeded {
+		kind = ExTimeout
+	}
+	return &SystemException{Kind: kind, Detail: fmt.Sprintf("%s.%s: %v", m.ObjectKey, m.Operation, ctx.Err())}
+}
+
+// roundTrip sends a request and waits for its reply, honoring ctx: when the
+// context is cancelled or its deadline passes before the reply arrives, the
+// pending entry is abandoned and a MsgCancelRequest is sent so the server
+// can abort the dispatch. Requests with a context deadline carry the
+// remaining time in the SCDeadline service context.
+func (c *clientConn) roundTrip(ctx context.Context, m *giop.Message) (*giop.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, abandonError(ctx, m)
+	}
+	if dl, ok := ctx.Deadline(); ok && m.Type == giop.MsgRequest {
+		m.SetContext(giop.SCDeadline, giop.EncodeDeadline(time.Until(dl)))
+	}
 	ch, err := c.register(m.RequestID)
 	if err != nil {
 		return nil, err
@@ -185,13 +205,6 @@ func (c *clientConn) roundTrip(m *giop.Message, timeout time.Duration) (*giop.Me
 	if err := c.send(m); err != nil {
 		c.unregister(m.RequestID)
 		return nil, err
-	}
-	var timer *time.Timer
-	var timeoutCh <-chan time.Time
-	if timeout > 0 {
-		timer = time.NewTimer(timeout)
-		defer timer.Stop()
-		timeoutCh = timer.C
 	}
 	select {
 	case reply := <-ch:
@@ -203,23 +216,48 @@ func (c *clientConn) roundTrip(m *giop.Message, timeout time.Duration) (*giop.Me
 			return nil, err
 		}
 		return reply, nil
-	case <-timeoutCh:
+	case <-ctx.Done():
 		c.unregister(m.RequestID)
-		// Best-effort cancel; the server may ignore it.
+		// Tell the server to abort the dispatch; best-effort (the reply,
+		// if any, is discarded by the read loop since we unregistered).
 		_ = c.send(&giop.Message{Type: giop.MsgCancelRequest, RequestID: m.RequestID})
-		return nil, &SystemException{Kind: ExTimeout, Detail: fmt.Sprintf("%s.%s after %v", m.ObjectKey, m.Operation, timeout)}
+		c.orb.counters.cancelsSent.Add(1)
+		return nil, abandonError(ctx, m)
 	}
+}
+
+// callContext derives the per-call context: the tighter of ctx's own
+// deadline, opts.Deadline and the ORB's default CallTimeout.
+func (o *ORB) callContext(ctx context.Context, opts CallOptions) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	timeout := opts.Deadline
+	if timeout <= 0 {
+		timeout = o.opts.CallTimeout
+	}
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return ctx, func() {}
 }
 
 // Invoke performs a synchronous remote call on ref: writeArgs fills the
 // request body, readReply (which may be nil for void results) consumes the
-// reply body. Transport failures surface as COMM_FAILURE; servant
-// exceptions surface as *UserException or *SystemException.
-func (o *ORB) Invoke(ref ObjectRef, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
+// reply body. The call is bounded by ctx and the ORB's default CallTimeout;
+// cancelling ctx abandons the reply and sends a wire-level cancel.
+// Transport failures surface as COMM_FAILURE; servant exceptions surface as
+// *UserException or *SystemException.
+func (o *ORB) Invoke(ctx context.Context, ref ObjectRef, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
+	return o.InvokeOptions(ctx, ref, op, writeArgs, readReply, CallOptions{})
+}
+
+// InvokeOptions is Invoke with explicit per-call options.
+func (o *ORB) InvokeOptions(ctx context.Context, ref ObjectRef, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error, opts CallOptions) error {
 	if ref.IsNil() {
 		return &SystemException{Kind: ExObjectNotExist, Detail: "nil object reference"}
 	}
-	reply, err := o.invokeRaw(ref, op, writeArgs)
+	reply, err := o.invokeRaw(ctx, ref, op, writeArgs, opts)
 	if err != nil {
 		return err
 	}
@@ -227,10 +265,10 @@ func (o *ORB) Invoke(ref ObjectRef, op string, writeArgs func(*cdr.Encoder), rea
 }
 
 // invokeRaw performs the wire round trip and returns the raw reply.
-func (o *ORB) invokeRaw(ref ObjectRef, op string, writeArgs func(*cdr.Encoder)) (*giop.Message, error) {
+func (o *ORB) invokeRaw(ctx context.Context, ref ObjectRef, op string, writeArgs func(*cdr.Encoder), opts CallOptions) (*giop.Message, error) {
 	m := o.buildRequest(ref, op, writeArgs)
 	o.interceptSendRequest(m)
-	reply, err := o.transferRequest(ref, m)
+	reply, err := o.transferRequest(ctx, ref, m, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -262,25 +300,37 @@ func (o *ORB) buildRequest(ref ObjectRef, op string, writeArgs func(*cdr.Encoder
 // interceptors at GetResponse time — keeping interceptor state (e.g.
 // virtual-time stamps and merges) causally tied to when the caller issues
 // and consumes the call, independent of goroutine scheduling.
-func (o *ORB) transferRequest(ref ObjectRef, m *giop.Message) (*giop.Message, error) {
+func (o *ORB) transferRequest(ctx context.Context, ref ObjectRef, m *giop.Message, opts CallOptions) (*giop.Message, error) {
 	c, err := o.getConn(ref.Addr)
 	if err != nil {
 		return nil, err
 	}
-	return c.roundTrip(m, o.opts.CallTimeout)
+	cctx, cancel := o.callContext(ctx, opts)
+	defer cancel()
+	return c.roundTrip(cctx, m)
 }
 
 // Notify performs a oneway invocation (IDL "oneway" semantics): the
 // request is written with ResponseExpected=false and the call returns as
 // soon as it is on the wire. Delivery is best-effort; servant errors are
-// not reported.
-func (o *ORB) Notify(ref ObjectRef, op string, writeArgs func(*cdr.Encoder)) error {
+// not reported. A ctx deadline is still propagated so the server can shed
+// the request if it arrives expired.
+func (o *ORB) Notify(ctx context.Context, ref ObjectRef, op string, writeArgs func(*cdr.Encoder)) error {
 	if ref.IsNil() {
 		return &SystemException{Kind: ExObjectNotExist, Detail: "nil object reference"}
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	m := o.buildRequest(ref, op, writeArgs)
 	m.ResponseExpected = false
 	o.interceptSendRequest(m)
+	if err := ctx.Err(); err != nil {
+		return abandonError(ctx, m)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		m.SetContext(giop.SCDeadline, giop.EncodeDeadline(time.Until(dl)))
+	}
 	c, err := o.getConn(ref.Addr)
 	if err != nil {
 		return err
@@ -337,23 +387,17 @@ func (e *ForwardError) Error() string {
 }
 
 // InvokeFollowForwards is Invoke plus transparent LOCATION_FORWARD
-// following (bounded to avoid forwarding loops).
-func (o *ORB) InvokeFollowForwards(ref ObjectRef, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
-	const maxHops = 8
-	for hop := 0; hop < maxHops; hop++ {
-		err := o.Invoke(ref, op, writeArgs, readReply)
-		fe, ok := err.(*ForwardError)
-		if !ok {
-			return err
-		}
-		ref = fe.Target
-	}
-	return &SystemException{Kind: ExTransient, Detail: "too many location forwards"}
+// following (bounded to avoid forwarding loops). It is a thin shim over
+// the resilient-call engine with no retry budget.
+func (o *ORB) InvokeFollowForwards(ctx context.Context, ref ObjectRef, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
+	c := &Caller{ORB: o}
+	c.SetRef(ref)
+	return c.Invoke(ctx, op, writeArgs, readReply)
 }
 
 // Locate asks the adapter at ref.Addr whether it hosts ref.Key (GIOP
 // LocateRequest analogue).
-func (o *ORB) Locate(ref ObjectRef) (bool, error) {
+func (o *ORB) Locate(ctx context.Context, ref ObjectRef) (bool, error) {
 	c, err := o.getConn(ref.Addr)
 	if err != nil {
 		return false, err
@@ -363,7 +407,9 @@ func (o *ORB) Locate(ref ObjectRef) (bool, error) {
 		RequestID: o.nextRequestID(),
 		ObjectKey: ref.Key,
 	}
-	reply, err := c.roundTrip(m, o.opts.CallTimeout)
+	cctx, cancel := o.callContext(ctx, CallOptions{})
+	defer cancel()
+	reply, err := c.roundTrip(cctx, m)
 	if err != nil {
 		return false, err
 	}
@@ -377,9 +423,9 @@ const OpIsA = "_is_a"
 // IsA asks the servant at ref whether it implements typeID. Unlike the
 // TypeID recorded inside the reference (which may be stale after a
 // rebind), this asks the live object.
-func (o *ORB) IsA(ref ObjectRef, typeID string) (bool, error) {
+func (o *ORB) IsA(ctx context.Context, ref ObjectRef, typeID string) (bool, error) {
 	var ok bool
-	err := o.Invoke(ref, OpIsA,
+	err := o.Invoke(ctx, ref, OpIsA,
 		func(e *cdr.Encoder) { e.PutString(typeID) },
 		func(d *cdr.Decoder) error { ok = d.GetBool(); return d.Err() })
 	return ok, err
@@ -387,8 +433,8 @@ func (o *ORB) IsA(ref ObjectRef, typeID string) (bool, error) {
 
 // Ping performs a connectivity probe against ref ("_non_existent"
 // analogue): it returns nil when the servant is reachable and dispatchable.
-func (o *ORB) Ping(ref ObjectRef) error {
-	ok, err := o.Locate(ref)
+func (o *ORB) Ping(ctx context.Context, ref ObjectRef) error {
+	ok, err := o.Locate(ctx, ref)
 	if err != nil {
 		return err
 	}

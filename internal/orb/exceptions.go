@@ -23,6 +23,11 @@ const (
 	ExNoImplement
 	ExInternal
 	ExTimeout
+	// ExCancelled reports that the caller's context was cancelled while
+	// the invocation was in flight (CORBA has no direct analogue; gRPC's
+	// CANCELLED). The client abandons the reply and sends a
+	// MsgCancelRequest so the server can abort the dispatch.
+	ExCancelled
 )
 
 func (k ExceptionKind) String() string {
@@ -43,6 +48,8 @@ func (k ExceptionKind) String() string {
 		return "INTERNAL"
 	case ExTimeout:
 		return "TIMEOUT"
+	case ExCancelled:
+		return "CANCELLED"
 	default:
 		return "UNKNOWN"
 	}

@@ -33,8 +33,9 @@ type Interceptor interface {
 type Options struct {
 	// Name identifies this ORB (process) in service contexts and logs.
 	Name string
-	// CallTimeout bounds a synchronous invocation end to end. Zero means
-	// no timeout.
+	// CallTimeout is the default per-call deadline, applied whenever a
+	// call's CallOptions.Deadline is zero and its context carries no
+	// tighter deadline of its own. Zero means no default timeout.
 	CallTimeout time.Duration
 	// DialTimeout bounds connection establishment. Zero means 10s.
 	DialTimeout time.Duration

@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -67,7 +68,7 @@ func newTestPair(t *testing.T, opts Options) (*ORB, *Adapter, ObjectRef, *calcSe
 
 func callAdd(o *ORB, ref ObjectRef, a, b int64) (int64, error) {
 	var sum int64
-	err := o.Invoke(ref, "add",
+	err := o.Invoke(context.Background(), ref, "add",
 		func(e *cdr.Encoder) { e.PutInt64(a); e.PutInt64(b) },
 		func(d *cdr.Decoder) error { sum = d.GetInt64(); return d.Err() })
 	return sum, err
@@ -86,14 +87,14 @@ func TestSynchronousInvoke(t *testing.T) {
 
 func TestVoidReply(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{})
-	if err := o.Invoke(ref, "sleep", func(e *cdr.Encoder) { e.PutInt64(0) }, nil); err != nil {
+	if err := o.Invoke(context.Background(), ref, "sleep", func(e *cdr.Encoder) { e.PutInt64(0) }, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestUserException(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{})
-	err := o.Invoke(ref, "div",
+	err := o.Invoke(context.Background(), ref, "div",
 		func(e *cdr.Encoder) { e.PutFloat64(1); e.PutFloat64(0) },
 		func(d *cdr.Decoder) error { d.GetFloat64(); return d.Err() })
 	var ue *UserException
@@ -110,7 +111,7 @@ func TestUserException(t *testing.T) {
 
 func TestBadOperation(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{})
-	err := o.Invoke(ref, "no_such_op", nil, nil)
+	err := o.Invoke(context.Background(), ref, "no_such_op", nil, nil)
 	if !IsSystemException(err, ExBadOperation) {
 		t.Fatalf("err = %v, want BAD_OPERATION", err)
 	}
@@ -119,7 +120,7 @@ func TestBadOperation(t *testing.T) {
 func TestObjectNotExist(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{})
 	ref.Key = "ghost"
-	err := o.Invoke(ref, "add", func(e *cdr.Encoder) { e.PutInt64(1); e.PutInt64(1) }, nil)
+	err := o.Invoke(context.Background(), ref, "add", func(e *cdr.Encoder) { e.PutInt64(1); e.PutInt64(1) }, nil)
 	if !IsSystemException(err, ExObjectNotExist) {
 		t.Fatalf("err = %v, want OBJECT_NOT_EXIST", err)
 	}
@@ -140,7 +141,7 @@ func TestDeactivateRaisesObjectNotExist(t *testing.T) {
 func TestNilReferenceRejected(t *testing.T) {
 	o := New(Options{})
 	defer o.Shutdown()
-	err := o.Invoke(ObjectRef{}, "op", nil, nil)
+	err := o.Invoke(context.Background(), ObjectRef{}, "op", nil, nil)
 	if !IsSystemException(err, ExObjectNotExist) {
 		t.Fatalf("err = %v", err)
 	}
@@ -148,7 +149,7 @@ func TestNilReferenceRejected(t *testing.T) {
 
 func TestServantPanicBecomesInternal(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{})
-	err := o.Invoke(ref, "boom", nil, nil)
+	err := o.Invoke(context.Background(), ref, "boom", nil, nil)
 	if !IsSystemException(err, ExInternal) {
 		t.Fatalf("err = %v, want INTERNAL", err)
 	}
@@ -174,7 +175,7 @@ func TestCommFailureOnUnreachableAddress(t *testing.T) {
 	o := New(Options{DialTimeout: 200 * time.Millisecond})
 	defer o.Shutdown()
 	ref := ObjectRef{TypeID: "x", Addr: "127.0.0.1:1", Key: "k"}
-	err := o.Invoke(ref, "op", nil, nil)
+	err := o.Invoke(context.Background(), ref, "op", nil, nil)
 	if !IsCommFailure(err) {
 		t.Fatalf("err = %v, want COMM_FAILURE", err)
 	}
@@ -232,7 +233,7 @@ func TestConcurrentInvocationsMultiplex(t *testing.T) {
 
 func TestCallTimeout(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{CallTimeout: 50 * time.Millisecond})
-	err := o.Invoke(ref, "sleep", func(e *cdr.Encoder) { e.PutInt64(2000) }, nil)
+	err := o.Invoke(context.Background(), ref, "sleep", func(e *cdr.Encoder) { e.PutInt64(2000) }, nil)
 	if !IsSystemException(err, ExTimeout) {
 		t.Fatalf("err = %v, want TIMEOUT", err)
 	}
@@ -240,7 +241,7 @@ func TestCallTimeout(t *testing.T) {
 
 func TestDeferredRequest(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{})
-	req := o.CreateRequest(ref, "add")
+	req := o.CreateRequest(context.Background(), ref, "add")
 	req.Args().PutInt64(40)
 	req.Args().PutInt64(2)
 	req.Send()
@@ -255,7 +256,7 @@ func TestDeferredRequest(t *testing.T) {
 
 func TestDeferredRequestPoll(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{})
-	req := o.CreateRequest(ref, "sleep")
+	req := o.CreateRequest(context.Background(), ref, "sleep")
 	req.Args().PutInt64(100)
 	if req.PollResponse() {
 		t.Fatal("poll true before send")
@@ -275,7 +276,7 @@ func TestDeferredRequestPoll(t *testing.T) {
 
 func TestDeferredRequestGetBeforeSend(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{})
-	req := o.CreateRequest(ref, "add")
+	req := o.CreateRequest(context.Background(), ref, "add")
 	if err := req.GetResponse(nil); !IsSystemException(err, ExBadOperation) {
 		t.Fatalf("err = %v", err)
 	}
@@ -286,7 +287,7 @@ func TestDeferredRequestsOverlap(t *testing.T) {
 	const n = 16
 	reqs := make([]*Request, n)
 	for i := range reqs {
-		reqs[i] = o.CreateRequest(ref, "add")
+		reqs[i] = o.CreateRequest(context.Background(), ref, "add")
 		reqs[i].Args().PutInt64(int64(i))
 		reqs[i].Args().PutInt64(1)
 		reqs[i].Send()
@@ -304,24 +305,24 @@ func TestDeferredRequestsOverlap(t *testing.T) {
 
 func TestIsA(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{})
-	ok, err := o.IsA(ref, "IDL:repro/Calc:1.0")
+	ok, err := o.IsA(context.Background(), ref, "IDL:repro/Calc:1.0")
 	if err != nil || !ok {
 		t.Fatalf("IsA = %v, %v", ok, err)
 	}
-	ok, err = o.IsA(ref, "IDL:repro/Other:1.0")
+	ok, err = o.IsA(context.Background(), ref, "IDL:repro/Other:1.0")
 	if err != nil || ok {
 		t.Fatalf("IsA other = %v, %v", ok, err)
 	}
 	ghost := ref
 	ghost.Key = "ghost"
-	if _, err := o.IsA(ghost, "x"); !IsSystemException(err, ExObjectNotExist) {
+	if _, err := o.IsA(context.Background(), ghost, "x"); !IsSystemException(err, ExObjectNotExist) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestOnewayNotify(t *testing.T) {
 	o, _, ref, sv := newTestPair(t, Options{})
-	if err := o.Notify(ref, "add", func(e *cdr.Encoder) { e.PutInt64(1); e.PutInt64(2) }); err != nil {
+	if err := o.Notify(context.Background(), ref, "add", func(e *cdr.Encoder) { e.PutInt64(1); e.PutInt64(2) }); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -335,11 +336,11 @@ func TestOnewayNotify(t *testing.T) {
 	// still returns nil once written.
 	ghost := ref
 	ghost.Key = "ghost"
-	if err := o.Notify(ghost, "add", nil); err != nil {
+	if err := o.Notify(context.Background(), ghost, "add", nil); err != nil {
 		t.Fatalf("oneway to ghost errored locally: %v", err)
 	}
 	// The nil reference is still rejected client-side.
-	if err := o.Notify(ObjectRef{}, "x", nil); !IsSystemException(err, ExObjectNotExist) {
+	if err := o.Notify(context.Background(), ObjectRef{}, "x", nil); !IsSystemException(err, ExObjectNotExist) {
 		t.Fatalf("err = %v", err)
 	}
 	// Subsequent synchronous calls on the same connection still work.
@@ -350,20 +351,20 @@ func TestOnewayNotify(t *testing.T) {
 
 func TestLocateAndPing(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{})
-	ok, err := o.Locate(ref)
+	ok, err := o.Locate(context.Background(), ref)
 	if err != nil || !ok {
 		t.Fatalf("Locate = %v, %v", ok, err)
 	}
 	ghost := ref
 	ghost.Key = "ghost"
-	ok, err = o.Locate(ghost)
+	ok, err = o.Locate(context.Background(), ghost)
 	if err != nil || ok {
 		t.Fatalf("Locate ghost = %v, %v", ok, err)
 	}
-	if err := o.Ping(ref); err != nil {
+	if err := o.Ping(context.Background(), ref); err != nil {
 		t.Fatalf("Ping = %v", err)
 	}
-	if err := o.Ping(ghost); !IsSystemException(err, ExObjectNotExist) {
+	if err := o.Ping(context.Background(), ghost); !IsSystemException(err, ExObjectNotExist) {
 		t.Fatalf("Ping ghost = %v", err)
 	}
 }
@@ -380,7 +381,7 @@ func TestLocationForwardFollowed(t *testing.T) {
 	o, a, ref, _ := newTestPair(t, Options{})
 	fwdRef := a.Activate("fwd", &forwardServant{target: ref})
 	sum := int64(0)
-	err := o.InvokeFollowForwards(fwdRef, "add",
+	err := o.InvokeFollowForwards(context.Background(), fwdRef, "add",
 		func(e *cdr.Encoder) { e.PutInt64(5); e.PutInt64(6) },
 		func(d *cdr.Decoder) error { sum = d.GetInt64(); return d.Err() })
 	if err != nil {
@@ -390,7 +391,7 @@ func TestLocationForwardFollowed(t *testing.T) {
 		t.Fatalf("sum = %d", sum)
 	}
 	// Plain Invoke must surface the ForwardError.
-	err = o.Invoke(fwdRef, "add", func(e *cdr.Encoder) { e.PutInt64(1); e.PutInt64(1) }, nil)
+	err = o.Invoke(context.Background(), fwdRef, "add", func(e *cdr.Encoder) { e.PutInt64(1); e.PutInt64(1) }, nil)
 	var fe *ForwardError
 	if !errors.As(err, &fe) {
 		t.Fatalf("err = %v, want ForwardError", err)
@@ -406,7 +407,7 @@ func TestForwardLoopBounded(t *testing.T) {
 	}
 	self := ObjectRef{TypeID: "loop", Addr: a.Addr(), Key: "loop"}
 	a.Activate("loop", &forwardServant{target: self})
-	err = o.InvokeFollowForwards(self, "op", nil, nil)
+	err = o.InvokeFollowForwards(context.Background(), self, "op", nil, nil)
 	if !IsSystemException(err, ExTransient) {
 		t.Fatalf("err = %v, want TRANSIENT", err)
 	}

@@ -1,0 +1,286 @@
+package orb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cdr"
+)
+
+// CallOptions bound and shape a single invocation. They replace the old
+// single global Options.CallTimeout knob: every call can carry its own
+// deadline, retry budget and backoff, with the ORB-level CallTimeout kept
+// only as the default when Deadline is zero.
+type CallOptions struct {
+	// Deadline bounds the call end to end, measured from the moment the
+	// call is issued. Zero falls back to the ORB's Options.CallTimeout;
+	// the tighter of this and any deadline already carried by the caller's
+	// context wins. The remaining time is propagated to the server in the
+	// SCDeadline service context so expired requests are shed there.
+	Deadline time.Duration
+	// RetryBudget is the number of recover-and-replay rounds the resilient
+	// call engine may spend after the first attempt fails. Zero means no
+	// retries.
+	RetryBudget int
+	// Backoff spaces successive replay rounds.
+	Backoff Backoff
+	// Idempotent marks the operation safe to replay even when the failure
+	// leaves the first attempt's outcome unknown (connection died after
+	// the request was written, COMM_FAILURE). When false — and no
+	// explicit RetryOn classifier overrides it — the engine only replays
+	// failures that provably happened before the servant ran
+	// (OBJECT_NOT_EXIST: the dispatch was rejected). The ft proxies set
+	// their own classifier because checkpoint/restore makes replay safe.
+	Idempotent bool
+}
+
+// Backoff is a bounded exponential backoff schedule.
+type Backoff struct {
+	// Base is the delay before the first replay. Zero disables sleeping.
+	Base time.Duration
+	// Max caps the grown delay (0 = uncapped).
+	Max time.Duration
+	// Multiplier grows the delay between rounds (default 2 when Base > 0).
+	Multiplier float64
+}
+
+// delay returns the sleep before replay round n (1-based).
+func (b Backoff) delay(n int) time.Duration {
+	if b.Base <= 0 || n <= 0 {
+		return 0
+	}
+	mult := b.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	d := float64(b.Base)
+	for i := 1; i < n; i++ {
+		d *= mult
+		if b.Max > 0 && d >= float64(b.Max) {
+			return b.Max
+		}
+	}
+	if b.Max > 0 && d > float64(b.Max) {
+		return b.Max
+	}
+	return time.Duration(d)
+}
+
+// sleepCtx waits for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RetryError reports that a resilient call failed and its retry budget was
+// exhausted (or a recovery step itself failed).
+type RetryError struct {
+	// Op is the operation name.
+	Op string
+	// Attempts is the number of recovery rounds spent.
+	Attempts int
+	// Last is the final underlying failure.
+	Last error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("orb: %s failed after %d recovery attempts: %v", e.Op, e.Attempts, e.Last)
+}
+
+func (e *RetryError) Unwrap() error { return e.Last }
+
+// DefaultRetryOn is the engine's default failure classifier: COMM_FAILURE
+// (the paper's recovery trigger) and OBJECT_NOT_EXIST (server restarted
+// without state) are retryable; everything else — user exceptions, bad
+// operations, marshal errors — is returned to the caller unchanged.
+func DefaultRetryOn(err error) bool {
+	return IsCommFailure(err) || IsSystemException(err, ExObjectNotExist)
+}
+
+// Caller is the unified resilient-call engine: one implementation of the
+// resolve → invoke → on-failure → re-resolve → backoff → replay loop that
+// every layer above the ORB used to hand-roll separately (ft.Proxy,
+// ft.RequestProxy, naming federation hop-following, rosen.Manager). It
+// also follows budget-free redirects (LOCATION_FORWARD and, via the
+// Redirect hook, naming-federation continuations) bounded by MaxHops.
+//
+// A Caller is safe for concurrent use; the current target reference is the
+// only mutable state.
+type Caller struct {
+	// ORB performs the transport invocations.
+	ORB *ORB
+	// Resolve obtains a (fresh) target reference; used when the Caller is
+	// unbound and, by default, to recover after retryable failures.
+	Resolve func(ctx context.Context) (ObjectRef, error)
+	// Recover maps a dead reference to a replacement before a replay.
+	// When nil, Resolve is used; when that is nil too, the dead reference
+	// is retried as-is (pure retry).
+	Recover func(ctx context.Context, dead ObjectRef, cause error) (ObjectRef, error)
+	// Redirect classifies err as a budget-free redirect and returns the
+	// new target. When nil, only *ForwardError (LOCATION_FORWARD) counts.
+	Redirect func(err error) (ObjectRef, bool)
+	// RetryOn classifies retryable failures (default DefaultRetryOn).
+	RetryOn func(error) bool
+	// OnRetry is invoked before each replay round (1-based), after the
+	// recovery for that round succeeded. Layers hang their replay
+	// counters here.
+	OnRetry func(round int, cause error)
+	// Opts carry the per-call deadline, retry budget and backoff.
+	Opts CallOptions
+	// MaxHops bounds redirect chains (default 8).
+	MaxHops int
+
+	mu    sync.Mutex
+	ref   ObjectRef
+	bound bool
+}
+
+// Ref returns the current target reference (zero when unbound).
+func (c *Caller) Ref() ObjectRef {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ref
+}
+
+// SetRef binds the caller to ref without resolving.
+func (c *Caller) SetRef(ref ObjectRef) {
+	c.mu.Lock()
+	c.ref = ref
+	c.bound = !ref.IsNil()
+	c.mu.Unlock()
+}
+
+// Bind returns the current reference, resolving first if unbound.
+func (c *Caller) Bind(ctx context.Context) (ObjectRef, error) {
+	c.mu.Lock()
+	if c.bound {
+		ref := c.ref
+		c.mu.Unlock()
+		return ref, nil
+	}
+	c.mu.Unlock()
+	if c.Resolve == nil {
+		return ObjectRef{}, &SystemException{Kind: ExObjectNotExist, Detail: "caller has no reference and no resolver"}
+	}
+	ref, err := c.Resolve(ctx)
+	if err != nil {
+		return ObjectRef{}, err
+	}
+	c.SetRef(ref)
+	return ref, nil
+}
+
+// redirect applies the redirect classifier (ForwardError by default).
+func (c *Caller) redirect(err error) (ObjectRef, bool) {
+	if c.Redirect != nil {
+		return c.Redirect(err)
+	}
+	var fe *ForwardError
+	if errors.As(err, &fe) {
+		return fe.Target, true
+	}
+	return ObjectRef{}, false
+}
+
+// recoverRef obtains the replacement reference for a replay round.
+func (c *Caller) recoverRef(ctx context.Context, dead ObjectRef, cause error) (ObjectRef, error) {
+	if c.Recover != nil {
+		return c.Recover(ctx, dead, cause)
+	}
+	if c.Resolve != nil {
+		return c.Resolve(ctx)
+	}
+	return dead, nil
+}
+
+// Do runs one resilient call: attempt is invoked against the current
+// reference; redirects are followed without consuming budget; retryable
+// failures trigger recover-backoff-replay until the budget is spent. op is
+// only used in error reports.
+func (c *Caller) Do(ctx context.Context, op string, attempt func(ctx context.Context, ref ObjectRef) error) error {
+	ref, err := c.Bind(ctx)
+	if err != nil {
+		return err
+	}
+	retryOn := c.RetryOn
+	if retryOn == nil {
+		if c.Opts.Idempotent {
+			retryOn = DefaultRetryOn
+		} else {
+			// Unknown-outcome failures (COMM_FAILURE) are not replayed
+			// for non-idempotent operations; see CallOptions.Idempotent.
+			retryOn = func(err error) bool { return IsSystemException(err, ExObjectNotExist) }
+		}
+	}
+	maxHops := c.MaxHops
+	if maxHops <= 0 {
+		maxHops = 8
+	}
+	hops := 0
+	var last error
+	for round := 0; ; {
+		err := attempt(ctx, ref)
+		if err == nil {
+			return nil
+		}
+		if fwd, ok := c.redirect(err); ok {
+			hops++
+			if hops > maxHops {
+				return &SystemException{Kind: ExTransient, Detail: fmt.Sprintf("%s: too many redirect hops", op)}
+			}
+			ref = fwd
+			continue
+		}
+		if ctx.Err() != nil || !retryOn(err) {
+			return err
+		}
+		last = err
+		if round >= c.Opts.RetryBudget {
+			return &RetryError{Op: op, Attempts: round, Last: last}
+		}
+		round++
+		if serr := sleepCtx(ctx, c.Opts.Backoff.delay(round)); serr != nil {
+			return &RetryError{Op: op, Attempts: round, Last: last}
+		}
+		fresh, rerr := c.recoverRef(ctx, ref, err)
+		if rerr != nil {
+			return &RetryError{Op: op, Attempts: round, Last: rerr}
+		}
+		ref = fresh
+		c.SetRef(fresh)
+		if c.OnRetry != nil {
+			c.OnRetry(round, err)
+		}
+	}
+}
+
+// Invoke is the engine's synchronous convenience: a resilient
+// ORB.InvokeOptions of op with the caller's options.
+func (c *Caller) Invoke(ctx context.Context, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
+	return c.Do(ctx, op, func(ctx context.Context, ref ObjectRef) error {
+		return c.ORB.InvokeOptions(ctx, ref, op, writeArgs, readReply, c.Opts)
+	})
+}
+
+// Notify forwards a oneway operation to the current reference. Oneways
+// carry no reply, so failure detection — and therefore recovery — does not
+// apply; the call is best-effort by construction.
+func (c *Caller) Notify(ctx context.Context, op string, writeArgs func(*cdr.Encoder)) error {
+	ref, err := c.Bind(ctx)
+	if err != nil {
+		return err
+	}
+	return c.ORB.Notify(ctx, ref, op, writeArgs)
+}

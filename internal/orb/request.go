@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/cdr"
@@ -16,6 +17,7 @@ import (
 // from one goroutine while the transfer completes in another.
 type Request struct {
 	orb *ORB
+	ctx context.Context
 	ref ObjectRef
 	op  string
 
@@ -30,10 +32,18 @@ type Request struct {
 }
 
 // CreateRequest builds a deferred request for op on ref (the DII
-// create_request analogue).
-func (o *ORB) CreateRequest(ref ObjectRef, op string) *Request {
+// create_request analogue). ctx bounds the whole deferred call — Send's
+// transfer and the wait in GetResponse — exactly as it would a synchronous
+// Invoke: cancellation abandons the reply and sends a wire-level cancel
+// (the http.NewRequestWithContext convention: ctx is captured at
+// construction so Send/GetResponse keep their signatures).
+func (o *ORB) CreateRequest(ctx context.Context, ref ObjectRef, op string) *Request {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &Request{
 		orb:  o,
+		ctx:  ctx,
 		ref:  ref,
 		op:   op,
 		args: cdr.NewEncoder(128),
@@ -71,7 +81,7 @@ func (r *Request) Send() {
 	r.orb.interceptSendRequest(m)
 
 	go func() {
-		reply, err := r.orb.transferRequest(r.ref, m)
+		reply, err := r.orb.transferRequest(r.ctx, r.ref, m, CallOptions{})
 		r.mu.Lock()
 		r.reply, r.err = reply, err
 		r.mu.Unlock()

@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"sync"
@@ -35,7 +36,7 @@ func TestStatsCounters(t *testing.T) {
 
 func TestStatsCountOneway(t *testing.T) {
 	o, _, ref, sv := newTestPair(t, Options{})
-	if err := o.Notify(ref, "add", nil); err != nil {
+	if err := o.Notify(context.Background(), ref, "add", nil); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -140,7 +141,7 @@ func TestServerWorkerCapRespected(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_ = client.Invoke(ref, "work", nil, nil)
+			_ = client.Invoke(context.Background(), ref, "work", nil, nil)
 		}()
 	}
 	wg.Wait()
@@ -195,7 +196,7 @@ func TestClientRejectsOversizedReply(t *testing.T) {
 	o := New(Options{CallTimeout: 5 * time.Second})
 	defer o.Shutdown()
 	ref := ObjectRef{TypeID: "T", Addr: ln.Addr().String(), Key: "k"}
-	err = o.Invoke(ref, "op", nil, nil)
+	err = o.Invoke(context.Background(), ref, "op", nil, nil)
 	if !IsCommFailure(err) && !IsSystemException(err, ExTimeout) {
 		t.Fatalf("err = %v", err)
 	}

@@ -2,6 +2,7 @@ package orb
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -33,8 +34,22 @@ type ServerContext struct {
 	Peer string
 	// Request is the raw request message (service contexts readable).
 	Request *giop.Message
+	// ctx is the request's cancellation context (see Context).
+	ctx context.Context
 	// replyContexts accumulates service contexts for the reply.
 	replyContexts []giop.ServiceContext
+}
+
+// Context returns the request's context. It is cancelled when the client
+// sends a MsgCancelRequest for this call, when the calling connection
+// dies, when the adapter shuts down, or when the deadline propagated in
+// the SCDeadline service context expires. Long-running servants should
+// check ctx.Done() in their iteration loops and abort early.
+func (c *ServerContext) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 // AddReplyContext attaches a service context to the outgoing reply.
@@ -59,11 +74,44 @@ type Adapter struct {
 	sem chan struct{}
 }
 
-// serverConn is one inbound connection with its serialized writer.
+// serverConn is one inbound connection with its serialized writer and the
+// cancellation state of its in-flight requests.
 type serverConn struct {
 	conn    net.Conn
 	writeMu sync.Mutex
 	bw      *bufio.Writer
+
+	// mu guards inflight: request id -> cancel func for every request
+	// currently queued or dispatching on this connection. MsgCancelRequest
+	// and connection death cancel through it.
+	mu       sync.Mutex
+	inflight map[uint32]context.CancelFunc
+}
+
+// addInflight registers the cancel func for a request id.
+func (c *serverConn) addInflight(id uint32, cancel context.CancelFunc) {
+	c.mu.Lock()
+	c.inflight[id] = cancel
+	c.mu.Unlock()
+}
+
+// removeInflight drops a finished request.
+func (c *serverConn) removeInflight(id uint32) {
+	c.mu.Lock()
+	delete(c.inflight, id)
+	c.mu.Unlock()
+}
+
+// cancelInflight cancels the request with the given id, reporting whether
+// it was in flight.
+func (c *serverConn) cancelInflight(id uint32) bool {
+	c.mu.Lock()
+	cancel, ok := c.inflight[id]
+	c.mu.Unlock()
+	if ok {
+		cancel()
+	}
+	return ok
 }
 
 // write sends one message under the connection's write lock.
@@ -206,18 +254,51 @@ func (a *Adapter) acceptLoop() {
 	}
 }
 
+// requestContext derives the per-request context from the connection
+// context: if the request carries an SCDeadline service context, the
+// remaining duration is rebased onto the server's clock (the wire format
+// carries remaining time, not an absolute instant, so it tolerates clock
+// skew between peers).
+func requestContext(parent context.Context, m *giop.Message) (context.Context, context.CancelFunc) {
+	if remaining, ok := giop.DecodeDeadline(m.Context(giop.SCDeadline)); ok {
+		return context.WithTimeout(parent, remaining)
+	}
+	return context.WithCancel(parent)
+}
+
+// shedReply builds the TIMEOUT reply for a request rejected by
+// deadline-aware admission.
+func shedReply(req *giop.Message) *giop.Message {
+	reply := &giop.Message{Type: giop.MsgReply, RequestID: req.RequestID}
+	setReplyError(reply, &SystemException{
+		Kind:   ExTimeout,
+		Detail: fmt.Sprintf("%s.%s: deadline expired before dispatch", req.ObjectKey, req.Operation),
+	})
+	return reply
+}
+
 // serveConn reads requests off one connection and dispatches each in its
 // own goroutine, bounded by the adapter's worker semaphore. Replies are
-// serialized through a write mutex.
+// serialized through a write mutex. Every request gets a context derived
+// from the connection's: MsgCancelRequest cancels one request, connection
+// death cancels them all, and requests whose propagated deadline has
+// already expired are shed without reaching a servant.
 func (a *Adapter) serveConn(conn net.Conn) {
 	defer a.wg.Done()
-	sc := &serverConn{conn: conn, bw: bufio.NewWriter(conn)}
+	sc := &serverConn{conn: conn, bw: bufio.NewWriter(conn), inflight: make(map[uint32]context.CancelFunc)}
 	if !a.trackConn(sc) {
 		return
 	}
 	defer a.untrackConn(sc)
 	defer conn.Close()
+
+	// connCtx parents every request context on this connection; cancelling
+	// it (connection death, adapter close) aborts all in-flight dispatches.
+	connCtx, connCancel := context.WithCancel(context.Background())
+	defer connCancel()
+
 	br := bufio.NewReader(conn)
+	peer := conn.RemoteAddr().String()
 	var connWG sync.WaitGroup
 	defer connWG.Wait()
 
@@ -230,16 +311,55 @@ func (a *Adapter) serveConn(conn net.Conn) {
 		}
 		switch m.Type {
 		case giop.MsgRequest:
-			a.sem <- struct{}{}
+			rctx, rcancel := requestContext(connCtx, m)
+			if rctx.Err() != nil {
+				// Deadline-aware admission: the propagated deadline expired
+				// before dispatch, so the servant is never invoked.
+				a.orb.counters.requestsShed.Add(1)
+				if m.ResponseExpected {
+					write(shedReply(m))
+				}
+				rcancel()
+				continue
+			}
+			sc.addInflight(m.RequestID, rcancel)
 			connWG.Add(1)
-			go func(req *giop.Message) {
+			go func(req *giop.Message, rctx context.Context, rcancel context.CancelFunc) {
 				defer connWG.Done()
+				defer sc.removeInflight(req.RequestID)
+				defer rcancel()
+				// Acquire a worker slot, but stay cancellable while queued
+				// so a cancel or expiry does not waste a dispatch.
+				select {
+				case a.sem <- struct{}{}:
+				case <-rctx.Done():
+					if rctx.Err() == context.DeadlineExceeded {
+						a.orb.counters.requestsShed.Add(1)
+					}
+					if req.ResponseExpected {
+						write(shedReply(req))
+					}
+					return
+				}
 				defer func() { <-a.sem }()
-				reply := a.dispatch(conn.RemoteAddr().String(), req)
+				if rctx.Err() != nil {
+					// Expired or cancelled between queueing and acquiring
+					// the slot; shed before touching the servant.
+					if rctx.Err() == context.DeadlineExceeded {
+						a.orb.counters.requestsShed.Add(1)
+					}
+					if req.ResponseExpected {
+						write(shedReply(req))
+					}
+					return
+				}
+				a.orb.counters.inFlight.Add(1)
+				reply := a.dispatch(rctx, peer, req)
+				a.orb.counters.inFlight.Add(-1)
 				if req.ResponseExpected {
 					write(reply)
 				}
-			}(m)
+			}(m, rctx, rcancel)
 		case giop.MsgLocateRequest:
 			status := giop.LocateUnknownObject
 			if _, ok := a.Resolve(m.ObjectKey); ok {
@@ -247,7 +367,9 @@ func (a *Adapter) serveConn(conn net.Conn) {
 			}
 			write(&giop.Message{Type: giop.MsgLocateReply, RequestID: m.RequestID, LocateStatus: status})
 		case giop.MsgCancelRequest:
-			// Dispatch is not interruptible; cancellation is advisory.
+			if sc.cancelInflight(m.RequestID) {
+				a.orb.counters.cancelsReceived.Add(1)
+			}
 		case giop.MsgCloseConnection:
 			return
 		default:
@@ -259,12 +381,12 @@ func (a *Adapter) serveConn(conn net.Conn) {
 
 // dispatch runs one request through interceptors and the target servant,
 // translating panics and errors into exception replies.
-func (a *Adapter) dispatch(peer string, req *giop.Message) *giop.Message {
+func (a *Adapter) dispatch(rctx context.Context, peer string, req *giop.Message) *giop.Message {
 	a.orb.counters.requestsServed.Add(1)
 	a.orb.interceptReceiveRequest(req)
 
 	reply := &giop.Message{Type: giop.MsgReply, RequestID: req.RequestID}
-	ctx := &ServerContext{ORB: a.orb, Adapter: a, Peer: peer, Request: req}
+	ctx := &ServerContext{ORB: a.orb, Adapter: a, Peer: peer, Request: req, ctx: rctx}
 
 	sv, ok := a.Resolve(req.ObjectKey)
 	if !ok || a.isClosed() {

@@ -15,6 +15,19 @@ type Stats struct {
 	ConnectionsAccepted uint64
 	// ConnectionsDialed counts outbound connections established.
 	ConnectionsDialed uint64
+	// CancelsSent counts MsgCancelRequest messages written after a call
+	// was abandoned (context cancelled or deadline expired).
+	CancelsSent uint64
+	// CancelsReceived counts MsgCancelRequest messages the server side
+	// acted on (the in-flight dispatch's context was cancelled).
+	CancelsReceived uint64
+	// RequestsShed counts requests rejected by deadline-aware admission:
+	// their propagated deadline had already expired before dispatch, so
+	// the servant was never invoked.
+	RequestsShed uint64
+	// InFlight is the number of server-side dispatches currently running
+	// across all adapters (a gauge, not a counter).
+	InFlight int64
 }
 
 // orbCounters is the internal atomic representation.
@@ -24,6 +37,10 @@ type orbCounters struct {
 	requestsServed      atomic.Uint64
 	connectionsAccepted atomic.Uint64
 	connectionsDialed   atomic.Uint64
+	cancelsSent         atomic.Uint64
+	cancelsReceived     atomic.Uint64
+	requestsShed        atomic.Uint64
+	inFlight            atomic.Int64
 }
 
 // Stats returns a snapshot of the ORB's counters.
@@ -34,5 +51,9 @@ func (o *ORB) Stats() Stats {
 		RequestsServed:      o.counters.requestsServed.Load(),
 		ConnectionsAccepted: o.counters.connectionsAccepted.Load(),
 		ConnectionsDialed:   o.counters.connectionsDialed.Load(),
+		CancelsSent:         o.counters.cancelsSent.Load(),
+		CancelsReceived:     o.counters.cancelsReceived.Load(),
+		RequestsShed:        o.counters.requestsShed.Load(),
+		InFlight:            o.counters.inFlight.Load(),
 	}
 }

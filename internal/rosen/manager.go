@@ -1,6 +1,7 @@
 package rosen
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -24,7 +25,7 @@ type requester interface {
 
 // workerHandle issues solve requests against one worker.
 type workerHandle interface {
-	newRequest() requester
+	newRequest(ctx context.Context) requester
 }
 
 type plainHandle struct {
@@ -32,15 +33,19 @@ type plainHandle struct {
 	ref orb.ObjectRef
 }
 
-func (h plainHandle) newRequest() requester { return h.orb.CreateRequest(h.ref, OpSolve) }
+func (h plainHandle) newRequest(ctx context.Context) requester {
+	return h.orb.CreateRequest(ctx, h.ref, OpSolve)
+}
 
 type proxyHandle struct{ p *ft.Proxy }
 
-func (h proxyHandle) newRequest() requester { return h.p.NewRequest(OpSolve) }
+func (h proxyHandle) newRequest(ctx context.Context) requester { return h.p.NewRequest(ctx, OpSolve) }
 
 type replicaHandle struct{ g *ft.ReplicaGroup }
 
-func (h replicaHandle) newRequest() requester { return h.g.NewRequest(OpSolve) }
+func (h replicaHandle) newRequest(ctx context.Context) requester {
+	return h.g.NewRequest(ctx, OpSolve)
+}
 
 // Config parameterizes a distributed decomposed-Rosenbrock run.
 type Config struct {
@@ -172,7 +177,7 @@ func (m *Manager) WorkerRefs() []orb.ObjectRef { return m.refs }
 // service. With the Winner-enhanced service each resolve lands on the
 // currently best host; with the plain service placement ignores load —
 // this is the entire difference between the paper's two Figure 3 curves.
-func (m *Manager) Place() error {
+func (m *Manager) Place(ctx context.Context) error {
 	if m.handles != nil {
 		return nil
 	}
@@ -183,7 +188,7 @@ func (m *Manager) Place() error {
 			// naming service spreads them over hosts) and multicast.
 			refs := make([]orb.ObjectRef, 0, m.cfg.Replication)
 			for r := 0; r < m.cfg.Replication; r++ {
-				ref, err := m.resolver.Resolve(name)
+				ref, err := m.resolver.Resolve(ctx, name)
 				if err != nil {
 					return fmt.Errorf("rosen: place worker %d replica %d: %w", j, r, err)
 				}
@@ -202,7 +207,7 @@ func (m *Manager) Place() error {
 			// Each worker needs its own checkpoint identity; the group
 			// offers live under ServiceName, so resolve through it but
 			// checkpoint under the per-worker name.
-			p, err := ft.NewProxy(m.orb, name, m.resolver, keyedStore{m.ftOpts.Store, proxyName.String()},
+			p, err := ft.NewProxy(ctx, m.orb, name, m.resolver, keyedStore{m.ftOpts.Store, proxyName.String()},
 				m.ftOpts.Policy, proxyOptions(m.ftOpts)...)
 			if err != nil {
 				return fmt.Errorf("rosen: place worker %d: %w", j, err)
@@ -211,7 +216,7 @@ func (m *Manager) Place() error {
 			m.refs = append(m.refs, p.Ref())
 			continue
 		}
-		ref, err := m.resolver.Resolve(name)
+		ref, err := m.resolver.Resolve(ctx, name)
 		if err != nil {
 			return fmt.Errorf("rosen: place worker %d: %w", j, err)
 		}
@@ -244,8 +249,14 @@ func (s keyedStore) Delete(string) error                { return s.inner.Delete(
 func (s keyedStore) Keys() ([]string, error)            { return s.inner.Keys() }
 
 // Run executes the full bilevel optimization and reports the result.
-func (m *Manager) Run() (*Result, error) {
-	if err := m.Place(); err != nil {
+// Cancelling ctx stops the manager loop between evaluations and aborts
+// the in-flight worker solves (the workers observe the propagated
+// cancellation and stop iterating).
+func (m *Manager) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := m.Place(ctx); err != nil {
 		return nil, err
 	}
 	d, err := opt.NewDecomposition(m.cfg.N, m.cfg.Workers)
@@ -291,7 +302,7 @@ func (m *Manager) Run() (*Result, error) {
 				Hi:            m.cfg.Hi,
 				EvalCost:      m.cfg.EvalCost,
 			}
-			req := m.handles[j].newRequest()
+			req := m.handles[j].newRequest(ctx)
 			sr.MarshalCDR(req.Args())
 			req.Send()
 			reqs[j] = req
@@ -327,11 +338,15 @@ func (m *Manager) Run() (*Result, error) {
 	if _, err := opt.MinimizeComplexBox(managerObj, mb, opt.ComplexBoxOptions{
 		MaxIterations: m.cfg.ManagerIterations,
 		Seed:          m.cfg.Seed,
+		Stop:          func() bool { return ctx.Err() != nil || solveErr != nil },
 	}); err != nil {
 		return nil, err
 	}
 	if solveErr != nil {
 		return nil, solveErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	res.Rounds = round

@@ -1,6 +1,7 @@
 package rosen
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -42,7 +43,7 @@ func deploy(t *testing.T, hosts int, useWinner bool) *deployment {
 		}
 		w := NewWorker(h)
 		ref := node.Adapter.Activate("worker", ft.Wrap(w))
-		if err := env.Naming.BindOffer(name, ref, h.Name()); err != nil {
+		if err := env.Naming.BindOffer(context.Background(), name, ref, h.Name()); err != nil {
 			t.Fatal(err)
 		}
 		d.nodes = append(d.nodes, node)
@@ -75,7 +76,7 @@ func smallCfg() Config {
 
 func TestDistributedSolveProducesReasonableOptimum(t *testing.T) {
 	d := deploy(t, 5, true)
-	res, err := d.manager(smallCfg()).Run()
+	res, err := d.manager(smallCfg()).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestDistributedSolveDeterministicAcrossNamingModes(t *testing.T) {
 	// naming — only placement (and therefore virtual runtime) differs.
 	resPlain := func() *Result {
 		d := deploy(t, 5, false)
-		r, err := d.manager(smallCfg()).Run()
+		r, err := d.manager(smallCfg()).Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func TestDistributedSolveDeterministicAcrossNamingModes(t *testing.T) {
 	}()
 	resWinner := func() *Result {
 		d := deploy(t, 5, true)
-		r, err := d.manager(smallCfg()).Run()
+		r, err := d.manager(smallCfg()).Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -154,10 +155,10 @@ func TestWinnerPlacementAvoidsLoadedHosts(t *testing.T) {
 	cfg.N = 9
 	cfg.Workers = 2
 	m := d.manager(cfg)
-	if err := m.Place(); err != nil {
+	if err := m.Place(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	offers, err := d.env.Naming.ListOffers(naming.NewName(ServiceName))
+	offers, err := d.env.Naming.ListOffers(context.Background(), naming.NewName(ServiceName))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,10 +183,10 @@ func TestPlainPlacementIgnoresLoad(t *testing.T) {
 	cfg.N = 9
 	cfg.Workers = 2
 	m := d.manager(cfg)
-	if err := m.Place(); err != nil {
+	if err := m.Place(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	offers, _ := d.env.Naming.ListOffers(naming.NewName(ServiceName))
+	offers, _ := d.env.Naming.ListOffers(context.Background(), naming.NewName(ServiceName))
 	addrToHost := map[string]string{}
 	for _, o := range offers {
 		addrToHost[o.Ref.Addr] = o.Host
@@ -207,7 +208,7 @@ func TestLoadedHostsSlowTheRun(t *testing.T) {
 			}
 		}
 		d.env.SampleAll()
-		res, err := d.manager(smallCfg()).Run()
+		res, err := d.manager(smallCfg()).Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,7 +231,7 @@ func TestFTWorkersSurviveCrashMidRun(t *testing.T) {
 		Policy:   ft.Policy{CheckpointEvery: 1, MaxRecoveries: 4},
 		Unbinder: d.env.NamingClientFor(d.mgrNode),
 	})
-	if err := m.Place(); err != nil {
+	if err := m.Place(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Kill the node hosting the first placed worker.
@@ -245,7 +246,7 @@ func TestFTWorkersSurviveCrashMidRun(t *testing.T) {
 	if !killed {
 		t.Fatalf("no node matches %s", victim)
 	}
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestFTRunMatchesPlainNumerics(t *testing.T) {
 	// run (proxies are transparent); only runtime differs.
 	plain := func() *Result {
 		d := deploy(t, 5, true)
-		r, err := d.manager(smallCfg()).Run()
+		r, err := d.manager(smallCfg()).Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -271,7 +272,7 @@ func TestFTRunMatchesPlainNumerics(t *testing.T) {
 			Store:  ft.NewMemStore(),
 			Policy: ft.Policy{CheckpointEvery: 1},
 		})
-		r, err := m.Run()
+		r, err := m.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -303,7 +304,7 @@ func TestFTCrashInjectedMidRun(t *testing.T) {
 		Policy:   ft.Policy{CheckpointEvery: 1, MaxRecoveries: 5},
 		Unbinder: d.env.NamingClientFor(d.mgrNode),
 	})
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +321,7 @@ func TestActiveReplicationRun(t *testing.T) {
 	cfg := smallCfg()
 	cfg.Replication = 2
 	m := d.manager(cfg)
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +335,7 @@ func TestActiveReplicationSurvivesCrashWithoutCheckpoints(t *testing.T) {
 	cfg := smallCfg()
 	cfg.Replication = 2
 	m := d.manager(cfg)
-	if err := m.Place(); err != nil {
+	if err := m.Place(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Kill the node hosting the first worker's primary replica.
@@ -344,7 +345,7 @@ func TestActiveReplicationSurvivesCrashWithoutCheckpoints(t *testing.T) {
 			n.Fail()
 		}
 	}
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +362,7 @@ func TestActiveReplicationSlowerThanSingle(t *testing.T) {
 		d := deploy(t, 4, true)
 		cfg := smallCfg()
 		cfg.Replication = replication
-		res, err := d.manager(cfg).Run()
+		res, err := d.manager(cfg).Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -388,7 +389,7 @@ func TestWorkerSolveDirect(t *testing.T) {
 	req := SolveRequest{N: 10, Workers: 2, Index: 0, Boundary: []float64{0.5},
 		MaxIterations: 100, Seed: 3, Lo: -2, Hi: 2}
 	var reply SolveReply
-	err = o.Invoke(ref, OpSolve,
+	err = o.Invoke(context.Background(), ref, OpSolve,
 		func(e *cdr.Encoder) { req.MarshalCDR(e) },
 		func(dd *cdr.Decoder) error { return reply.UnmarshalCDR(dd) })
 	if err != nil {
@@ -418,13 +419,13 @@ func TestWorkerRejectsBadRequests(t *testing.T) {
 		{N: 10, Workers: 2, Index: 0, Boundary: []float64{0, 0}, MaxIterations: 10, Lo: -1, Hi: 1}, // wrong boundary dim
 	}
 	for i, req := range cases {
-		err := o.Invoke(ref, OpSolve,
+		err := o.Invoke(context.Background(), ref, OpSolve,
 			func(e *cdr.Encoder) { req.MarshalCDR(e) }, nil)
 		if !orb.IsUserException(err, ExBadSolve) {
 			t.Fatalf("case %d: err = %v", i, err)
 		}
 	}
-	if err := o.Invoke(ref, "unknown_op", nil, nil); !orb.IsSystemException(err, orb.ExBadOperation) {
+	if err := o.Invoke(context.Background(), ref, "unknown_op", nil, nil); !orb.IsSystemException(err, orb.ExBadOperation) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -464,7 +465,7 @@ func TestWorkerWarmStartImproves(t *testing.T) {
 		req := SolveRequest{N: 10, Workers: 2, Index: 0, Boundary: []float64{1},
 			MaxIterations: 150, Seed: seed, Lo: -2, Hi: 2}
 		var reply SolveReply
-		if err := o.Invoke(ref, OpSolve,
+		if err := o.Invoke(context.Background(), ref, OpSolve,
 			func(e *cdr.Encoder) { req.MarshalCDR(e) },
 			func(dd *cdr.Decoder) error { return reply.UnmarshalCDR(dd) }); err != nil {
 			t.Fatal(err)

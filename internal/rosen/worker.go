@@ -1,6 +1,7 @@
 package rosen
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/cdr"
@@ -40,7 +41,7 @@ func (w *Worker) Solves() int64 {
 }
 
 // Invoke implements orb.Servant.
-func (w *Worker) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+func (w *Worker) Invoke(sctx *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
 	if op != OpSolve {
 		return orb.BadOperation(op)
 	}
@@ -48,7 +49,7 @@ func (w *Worker) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *c
 	if err := req.UnmarshalCDR(in); err != nil {
 		return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
 	}
-	reply, err := w.solve(&req)
+	reply, err := w.solve(sctx.Context(), &req)
 	if err != nil {
 		return err
 	}
@@ -57,7 +58,9 @@ func (w *Worker) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *c
 }
 
 // solve runs one Complex Box optimization of the worker's subproblem.
-func (w *Worker) solve(req *SolveRequest) (*SolveReply, error) {
+// The iteration loop polls ctx so a cancelled or expired caller stops the
+// optimization instead of burning the host for a reply nobody wants.
+func (w *Worker) solve(ctx context.Context, req *SolveRequest) (*SolveReply, error) {
 	d, err := opt.NewDecomposition(int(req.N), int(req.Workers))
 	if err != nil {
 		return nil, &orb.UserException{RepoID: ExBadSolve, Detail: err.Error()}
@@ -103,12 +106,22 @@ func (w *Worker) solve(req *SolveRequest) (*SolveReply, error) {
 		MaxIterations: int(req.MaxIterations),
 		Seed:          req.Seed,
 		Start:         start,
+		Stop:          func() bool { return ctx.Err() != nil },
 	})
 	if err != nil {
 		return nil, &orb.SystemException{Kind: orb.ExInternal, Detail: err.Error()}
 	}
 	if w.host != nil && w.host.Failed() {
 		return nil, orb.CommFailure("host failed during solve")
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// The caller is gone; report the abort instead of a bogus result
+		// (the reply is discarded client-side anyway).
+		kind := orb.ExCancelled
+		if cerr == context.DeadlineExceeded {
+			kind = orb.ExTimeout
+		}
+		return nil, &orb.SystemException{Kind: kind, Detail: "solve aborted: " + cerr.Error()}
 	}
 
 	w.mu.Lock()

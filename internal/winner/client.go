@@ -1,51 +1,58 @@
 package winner
 
 import (
+	"context"
+
 	"repro/internal/cdr"
 	"repro/internal/orb"
 )
 
-// Client is the typed client stub for the Winner system manager.
+// Client is the typed client stub for the Winner system manager. All
+// remote operations route through the ORB's resilient-call engine; the
+// stub itself carries no retry policy (load reporting tolerates loss and
+// retries on the next tick instead).
 type Client struct {
-	orb *orb.ORB
-	ref orb.ObjectRef
+	orb    *orb.ORB
+	caller *orb.Caller
 }
 
 // NewClient builds a stub for the system manager at ref.
 func NewClient(o *orb.ORB, ref orb.ObjectRef) *Client {
-	return &Client{orb: o, ref: ref}
+	c := &Client{orb: o, caller: &orb.Caller{ORB: o}}
+	c.caller.SetRef(ref)
+	return c
 }
 
 // Ref returns the service's object reference.
-func (c *Client) Ref() orb.ObjectRef { return c.ref }
+func (c *Client) Ref() orb.ObjectRef { return c.caller.Ref() }
 
 // Report ships a load sample to the system manager.
-func (c *Client) Report(s LoadSample) error {
-	return c.orb.Invoke(c.ref, opReport, func(e *cdr.Encoder) { s.MarshalCDR(e) }, nil)
+func (c *Client) Report(ctx context.Context, s LoadSample) error {
+	return c.caller.Invoke(ctx, opReport, func(e *cdr.Encoder) { s.MarshalCDR(e) }, nil)
 }
 
 // BestHost asks for the currently best host, skipping any in exclude.
-func (c *Client) BestHost(exclude []string) (string, error) {
+func (c *Client) BestHost(ctx context.Context, exclude []string) (string, error) {
 	var host string
-	err := c.orb.Invoke(c.ref, opBestHost,
+	err := c.caller.Invoke(ctx, opBestHost,
 		func(e *cdr.Encoder) { e.PutStringSeq(exclude) },
 		func(d *cdr.Decoder) error { host = d.GetString(); return d.Err() })
 	return host, err
 }
 
 // BestOf asks for the best host among candidates.
-func (c *Client) BestOf(candidates []string) (string, error) {
+func (c *Client) BestOf(ctx context.Context, candidates []string) (string, error) {
 	var host string
-	err := c.orb.Invoke(c.ref, opBestOf,
+	err := c.caller.Invoke(ctx, opBestOf,
 		func(e *cdr.Encoder) { e.PutStringSeq(candidates) },
 		func(d *cdr.Decoder) error { host = d.GetString(); return d.Err() })
 	return host, err
 }
 
 // Ranking fetches all hosts, best first.
-func (c *Client) Ranking() ([]HostInfo, error) {
+func (c *Client) Ranking(ctx context.Context) ([]HostInfo, error) {
 	var out []HostInfo
-	err := c.orb.Invoke(c.ref, opRanking, nil, func(d *cdr.Decoder) error {
+	err := c.caller.Invoke(ctx, opRanking, nil, func(d *cdr.Decoder) error {
 		n := d.GetUint32()
 		if n > 1<<20 {
 			return &orb.SystemException{Kind: orb.ExMarshal, Detail: "ranking too long"}
@@ -64,9 +71,9 @@ func (c *Client) Ranking() ([]HostInfo, error) {
 }
 
 // HostInfo fetches the manager's view of one host.
-func (c *Client) HostInfo(host string) (HostInfo, error) {
+func (c *Client) HostInfo(ctx context.Context, host string) (HostInfo, error) {
 	var out HostInfo
-	err := c.orb.Invoke(c.ref, opHostInfo,
+	err := c.caller.Invoke(ctx, opHostInfo,
 		func(e *cdr.Encoder) { e.PutString(host) },
 		func(d *cdr.Decoder) error { return out.UnmarshalCDR(d) })
 	return out, err
@@ -75,8 +82,8 @@ func (c *Client) HostInfo(host string) (HostInfo, error) {
 // HostEffectiveSpeed returns the host's adjusted effective speed, or
 // false when the manager does not know the host (remote counterpart of
 // Manager.HostEffectiveSpeed).
-func (c *Client) HostEffectiveSpeed(host string) (float64, bool) {
-	info, err := c.HostInfo(host)
+func (c *Client) HostEffectiveSpeed(ctx context.Context, host string) (float64, bool) {
+	info, err := c.HostInfo(ctx, host)
 	if err != nil {
 		return 0, false
 	}
@@ -84,6 +91,6 @@ func (c *Client) HostEffectiveSpeed(host string) (float64, bool) {
 }
 
 // Forget removes a host from the manager.
-func (c *Client) Forget(host string) error {
-	return c.orb.Invoke(c.ref, opForget, func(e *cdr.Encoder) { e.PutString(host) }, nil)
+func (c *Client) Forget(ctx context.Context, host string) error {
+	return c.caller.Invoke(ctx, opForget, func(e *cdr.Encoder) { e.PutString(host) }, nil)
 }

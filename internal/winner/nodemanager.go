@@ -1,6 +1,7 @@
 package winner
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -8,14 +9,14 @@ import (
 // Reporter is the destination a node manager pushes samples to: the remote
 // Client and the in-process Manager both satisfy it.
 type Reporter interface {
-	Report(s LoadSample) error
+	Report(ctx context.Context, s LoadSample) error
 }
 
 // ManagerReporter adapts the in-process Manager to the Reporter interface.
 type ManagerReporter struct{ M *Manager }
 
 // Report implements Reporter.
-func (r ManagerReporter) Report(s LoadSample) error {
+func (r ManagerReporter) Report(_ context.Context, s LoadSample) error {
 	r.M.Report(s)
 	return nil
 }
@@ -63,7 +64,11 @@ func (n *NodeManager) ReportOnce() error {
 	n.seq++
 	s.Seq = n.seq
 	n.mu.Unlock()
-	if err := n.dst.Report(s); err != nil {
+	// The push is bounded by the sampling interval: a report that cannot
+	// make it before the next tick is stale anyway.
+	ctx, cancel := context.WithTimeout(context.Background(), n.interval)
+	defer cancel()
+	if err := n.dst.Report(ctx, s); err != nil {
 		n.mu.Lock()
 		n.failures++
 		n.mu.Unlock()

@@ -1,6 +1,7 @@
 package winner
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -286,17 +287,17 @@ func startSystemManager(t *testing.T) (*Client, *Manager) {
 
 func TestRemoteReportAndBestHost(t *testing.T) {
 	c, _ := startSystemManager(t)
-	if err := c.Report(sample("busy", 1, 4, 1)); err != nil {
+	if err := c.Report(context.Background(), sample("busy", 1, 4, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Report(sample("idle", 1, 0, 1)); err != nil {
+	if err := c.Report(context.Background(), sample("idle", 1, 0, 1)); err != nil {
 		t.Fatal(err)
 	}
-	host, err := c.BestHost(nil)
+	host, err := c.BestHost(context.Background(), nil)
 	if err != nil || host != "idle" {
 		t.Fatalf("BestHost = %q, %v", host, err)
 	}
-	host, err = c.BestHost([]string{"idle"})
+	host, err = c.BestHost(context.Background(), []string{"idle"})
 	if err != nil || host != "busy" {
 		t.Fatalf("BestHost(excl) = %q, %v", host, err)
 	}
@@ -305,11 +306,11 @@ func TestRemoteReportAndBestHost(t *testing.T) {
 func TestRemoteBestOf(t *testing.T) {
 	c, _ := startSystemManager(t)
 	for i, q := range []float64{2, 0, 1} {
-		if err := c.Report(sample(fmt.Sprintf("h%d", i), 1, q, 1)); err != nil {
+		if err := c.Report(context.Background(), sample(fmt.Sprintf("h%d", i), 1, q, 1)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	host, err := c.BestOf([]string{"h0", "h2"})
+	host, err := c.BestOf(context.Background(), []string{"h0", "h2"})
 	if err != nil || host != "h2" {
 		t.Fatalf("BestOf = %q, %v", host, err)
 	}
@@ -317,41 +318,41 @@ func TestRemoteBestOf(t *testing.T) {
 
 func TestRemoteRankingAndHostInfo(t *testing.T) {
 	c, _ := startSystemManager(t)
-	if err := c.Report(sample("a", 2, 1, 7)); err != nil {
+	if err := c.Report(context.Background(), sample("a", 2, 1, 7)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Report(sample("b", 1, 0, 3)); err != nil {
+	if err := c.Report(context.Background(), sample("b", 1, 0, 3)); err != nil {
 		t.Fatal(err)
 	}
-	r, err := c.Ranking()
+	r, err := c.Ranking(context.Background())
 	if err != nil || len(r) != 2 {
 		t.Fatalf("ranking = %+v, %v", r, err)
 	}
 	if r[0].Sample.Host != "b" && r[0].Sample.Host != "a" {
 		t.Fatalf("ranking head = %+v", r[0])
 	}
-	info, err := c.HostInfo("a")
+	info, err := c.HostInfo(context.Background(), "a")
 	if err != nil || info.Sample.Seq != 7 {
 		t.Fatalf("HostInfo = %+v, %v", info, err)
 	}
-	if _, err := c.HostInfo("missing"); !orb.IsUserException(err, ExNoHosts) {
+	if _, err := c.HostInfo(context.Background(), "missing"); !orb.IsUserException(err, ExNoHosts) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestRemoteNoHostsException(t *testing.T) {
 	c, _ := startSystemManager(t)
-	if _, err := c.BestHost(nil); !orb.IsUserException(err, ExNoHosts) {
+	if _, err := c.BestHost(context.Background(), nil); !orb.IsUserException(err, ExNoHosts) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestRemoteForget(t *testing.T) {
 	c, mgr := startSystemManager(t)
-	if err := c.Report(sample("h", 1, 0, 1)); err != nil {
+	if err := c.Report(context.Background(), sample("h", 1, 0, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Forget("h"); err != nil {
+	if err := c.Forget(context.Background(), "h"); err != nil {
 		t.Fatal(err)
 	}
 	if mgr.HostCount() != 0 {
@@ -399,7 +400,7 @@ func TestNodeManagerPeriodicLoop(t *testing.T) {
 
 type failingReporter struct{ fails int }
 
-func (f *failingReporter) Report(LoadSample) error {
+func (f *failingReporter) Report(context.Context, LoadSample) error {
 	f.fails++
 	return fmt.Errorf("down")
 }
@@ -433,7 +434,7 @@ func TestNodeManagerStopWithoutStart(t *testing.T) {
 func TestNodeManagerOverORB(t *testing.T) {
 	c, mgr := startSystemManager(t)
 	src := LoadSourceFunc(func() LoadSample { return LoadSample{Host: "remote-node", Speed: 2, RunQueue: 1} })
-	nm := NewNodeManager(src, reporterClient{c}, time.Hour)
+	nm := NewNodeManager(src, c, time.Hour)
 	if err := nm.ReportOnce(); err != nil {
 		t.Fatal(err)
 	}
@@ -442,8 +443,3 @@ func TestNodeManagerOverORB(t *testing.T) {
 		t.Fatalf("info = %+v ok=%v", info, ok)
 	}
 }
-
-// reporterClient adapts Client to Reporter (Client.Report already matches).
-type reporterClient struct{ c *Client }
-
-func (r reporterClient) Report(s LoadSample) error { return r.c.Report(s) }
