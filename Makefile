@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race generate bench
+.PHONY: check fmt vet build test race chaos generate bench
 
 ## check: everything CI runs — formatting, vet, build, race-enabled tests.
 check: fmt vet build race
@@ -22,6 +22,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## chaos: the fault-injection soak — Rosenbrock under worker kills, a
+## naming partition, checkpoint-path delays and a checkpointd replica
+## crash, race-enabled, fixed seed.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaosSoak' -v ./integration/
 
 generate:
 	$(GO) generate ./...

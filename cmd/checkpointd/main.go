@@ -5,6 +5,18 @@
 // live in memory like the paper's prototype.
 //
 //	checkpointd -addr 127.0.0.1:9003 -dir /var/lib/checkpoints
+//
+// With -peers it serves a quorum front-end instead: reads and writes fan
+// out to the local store plus each peer replica (write-all/ack-majority,
+// read-newest-epoch, background read-repair), so a client talking to this
+// daemon survives any single replica failure. Peers are given as SIORs,
+// or as @file references to SIOR files written by -ref-file:
+//
+//	checkpointd -addr :9003 -dir /data/a -ref-file /tmp/a.ref \
+//	    -peers @/tmp/b.ref,@/tmp/c.ref
+//
+// Peers must be plain replicas (no -peers of their own), otherwise
+// quorum calls would recurse through front-ends.
 package main
 
 import (
@@ -13,33 +25,79 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro/internal/ft"
 	"repro/internal/orb"
 )
 
+// parsePeers turns the -peers value into object references. Each item is
+// a SIOR, or @path naming a file whose first line is one.
+func parsePeers(spec string) ([]orb.ObjectRef, error) {
+	var refs []orb.ObjectRef
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		if strings.HasPrefix(item, "@") {
+			raw, err := os.ReadFile(item[1:])
+			if err != nil {
+				return nil, fmt.Errorf("peer ref file: %w", err)
+			}
+			item = strings.TrimSpace(strings.SplitN(string(raw), "\n", 2)[0])
+		}
+		ref, err := orb.RefFromString(item)
+		if err != nil {
+			return nil, fmt.Errorf("peer ref %q: %w", item, err)
+		}
+		refs = append(refs, ref)
+	}
+	return refs, nil
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9003", "listen address")
 	dir := flag.String("dir", "", "persist checkpoints to this directory (empty: in-memory)")
 	refFile := flag.String("ref-file", "", "write the service SIOR to this file")
+	peers := flag.String("peers", "", "comma-separated peer replica SIORs (or @file) to form a quorum front-end")
 	flag.Parse()
 
-	var store ft.Store
+	var local ft.Store
 	if *dir != "" {
 		ds, err := ft.NewDiskStore(*dir)
 		if err != nil {
 			log.Fatalf("checkpointd: %v", err)
 		}
-		store = ds
+		local = ds
 		log.Printf("checkpointd: disk store in %s", *dir)
 	} else {
-		store = ft.NewMemStore()
+		local = ft.NewMemStore()
 		log.Print("checkpointd: in-memory store")
 	}
 
 	o := orb.New(orb.Options{Name: "checkpointd"})
 	defer o.Shutdown()
+
+	store := local
+	if *peers != "" {
+		peerRefs, err := parsePeers(*peers)
+		if err != nil {
+			log.Fatalf("checkpointd: %v", err)
+		}
+		replicas := []ft.Store{local}
+		for _, ref := range peerRefs {
+			replicas = append(replicas, ft.NewStoreClient(o, ref))
+		}
+		rs, err := ft.NewReplicatedStore(replicas)
+		if err != nil {
+			log.Fatalf("checkpointd: %v", err)
+		}
+		store = rs
+		log.Printf("checkpointd: quorum front-end over %d replicas (majority %d)", rs.Replicas(), rs.Quorum())
+	}
+
 	ad, err := o.NewAdapter(*addr)
 	if err != nil {
 		log.Fatalf("checkpointd: %v", err)

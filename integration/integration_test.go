@@ -46,6 +46,15 @@ func TestMain(m *testing.M) {
 // stdout (the SIOR).
 func startDaemon(t *testing.T, name string, args ...string) string {
 	t.Helper()
+	_, sior := startDaemonCmd(t, name, args...)
+	return sior
+}
+
+// startDaemonCmd launches a built daemon and returns its process handle
+// (for tests that crash it mid-run) along with the first line of its
+// stdout (the SIOR).
+func startDaemonCmd(t *testing.T, name string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
 	cmd := exec.Command(filepath.Join(binDir, name), args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -72,10 +81,10 @@ func startDaemon(t *testing.T, name string, args ...string) string {
 		if !ok || !strings.HasPrefix(line, "SIOR:") {
 			t.Fatalf("%s printed %q, want a SIOR", name, line)
 		}
-		return line
+		return cmd, line
 	case <-time.After(30 * time.Second):
 		t.Fatalf("%s never printed its reference", name)
-		return ""
+		return nil, ""
 	}
 }
 
@@ -139,10 +148,10 @@ func TestDaemonsEndToEnd(t *testing.T) {
 	}
 
 	// Checkpoints persist across a checkpointd restart (disk store).
-	if err := store.Put("it/svc", 1, []byte("state-v1")); err != nil {
+	if err := store.Put(context.Background(), "it/svc", 1, []byte("state-v1")); err != nil {
 		t.Fatal(err)
 	}
-	epoch, data, err := store.Get("it/svc")
+	epoch, data, err := store.Get(context.Background(), "it/svc")
 	if err != nil || epoch != 1 || string(data) != "state-v1" {
 		t.Fatalf("get = %d %q %v", epoch, data, err)
 	}
@@ -153,7 +162,7 @@ func TestDaemonsEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	store2 := ft.NewStoreClient(client, storeRef2)
-	epoch, data, err = store2.Get("it/svc")
+	epoch, data, err = store2.Get(context.Background(), "it/svc")
 	if err != nil || epoch != 1 || string(data) != "state-v1" {
 		t.Fatalf("restarted store get = %d %q %v", epoch, data, err)
 	}

@@ -1,0 +1,321 @@
+// Package faultnet is a deterministic fault-injection transport: it wraps
+// the ORB's Dialer/Listener seam (orb.Options.Dialer / orb.Options.Listen)
+// with per-route chaos rules — connection refusal, mid-call resets,
+// fixed/jittered delay, byte-level corruption and one-way partitions —
+// driven by a seeded PRNG so failure sequences replay identically for a
+// given seed and traffic pattern. Rules are togglable at runtime (the
+// timed Script in script.go schedules them) and every injected fault is
+// counted, so tests can assert that the chaos actually fired.
+//
+// The package deliberately depends only on net/context: all fault
+// injection lives behind the transport seam, zero chaos code in the
+// production packages.
+package faultnet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Rule is the fault policy for one route. Zero-valued fields inject
+// nothing; probabilities are in [0,1].
+type Rule struct {
+	// Route selects the traffic the rule applies to: the remote address
+	// for dialed connections, the local listen address for accepted ones.
+	// "*" matches every route.
+	Route string
+	// RefuseDial is the probability that a dial to the route fails
+	// immediately (connection-refused analogue).
+	RefuseDial float64
+	// ResetProb is the probability, checked at every write, that the
+	// connection is torn down mid-call (RST analogue): the peer sees a
+	// broken stream, the writer an error.
+	ResetProb float64
+	// ResetAfterBytes tears the connection down once this many bytes have
+	// passed through it in either direction (0 = disabled). Unlike
+	// ResetProb it is exact, for reproducing "died mid-reply" scenarios.
+	ResetAfterBytes int64
+	// Delay + Jitter sleep before every write: Delay fixed, plus a
+	// uniformly random fraction of Jitter.
+	Delay  time.Duration
+	Jitter time.Duration
+	// CorruptProb is the probability, checked at every write, that one
+	// random byte of the payload is bit-flipped before hitting the wire.
+	CorruptProb float64
+	// DropWrites silently discards all writes (one-way partition: the
+	// writer believes the bytes left, the peer never sees them). Reads
+	// still flow, so the asymmetry of a real partition is preserved.
+	DropWrites bool
+}
+
+// active reports whether the rule injects anything at all.
+func (r Rule) active() bool {
+	return r.RefuseDial > 0 || r.ResetProb > 0 || r.ResetAfterBytes > 0 ||
+		r.Delay > 0 || r.Jitter > 0 || r.CorruptProb > 0 || r.DropWrites
+}
+
+// Counters are cumulative injection counts, one line per fault kind.
+type Counters struct {
+	// Dials counts connections that passed through the chaos dialer.
+	Dials uint64
+	// DialsRefused counts dials failed by RefuseDial.
+	DialsRefused uint64
+	// Resets counts connections torn down by ResetProb/ResetAfterBytes.
+	Resets uint64
+	// Delays counts writes slept on by Delay/Jitter.
+	Delays uint64
+	// Corruptions counts writes with a flipped byte.
+	Corruptions uint64
+	// Drops counts writes discarded by DropWrites.
+	Drops uint64
+}
+
+// Chaos is the fault-injecting transport. One instance is shared between
+// the dial and listen seams of any number of ORBs; rules and the PRNG are
+// guarded by one mutex, so decision order — and therefore the injected
+// fault sequence — is deterministic for deterministic traffic.
+type Chaos struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    map[string]Rule
+	disabled bool
+	counters Counters
+}
+
+// New creates a chaos transport seeded with seed and no rules (all
+// traffic passes untouched until SetRule installs faults).
+func New(seed int64) *Chaos {
+	return &Chaos{rng: rand.New(rand.NewSource(seed)), rules: make(map[string]Rule)}
+}
+
+// SetRule installs (or replaces) the rule for its route. Live connections
+// of the route observe the change on their next read/write.
+func (c *Chaos) SetRule(r Rule) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rules[r.Route] = r
+}
+
+// ClearRule removes the rule for route.
+func (c *Chaos) ClearRule(route string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.rules, route)
+}
+
+// Clear removes every rule.
+func (c *Chaos) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rules = make(map[string]Rule)
+}
+
+// SetEnabled toggles the whole layer at runtime; while disabled all
+// traffic passes untouched (rules are kept).
+func (c *Chaos) SetEnabled(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.disabled = !on
+}
+
+// Counters returns a snapshot of the injection counts.
+func (c *Chaos) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters
+}
+
+// rule returns the effective rule for route: an exact match wins over the
+// "*" wildcard; a zero Rule (injecting nothing) otherwise.
+func (c *Chaos) rule(route string) (Rule, bool) {
+	if c.disabled {
+		return Rule{}, false
+	}
+	if r, ok := c.rules[route]; ok {
+		return r, r.active()
+	}
+	if r, ok := c.rules["*"]; ok {
+		return r, r.active()
+	}
+	return Rule{}, false
+}
+
+// chance draws one deterministic PRNG decision under the mutex.
+func (c *Chaos) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return c.rng.Float64() < p
+}
+
+// DialContext implements the orb.Dialer seam: it applies the target
+// route's RefuseDial rule, then wraps the established connection.
+func (c *Chaos) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	c.mu.Lock()
+	r, ok := c.rule(addr)
+	refuse := ok && c.chance(r.RefuseDial)
+	if refuse {
+		c.counters.DialsRefused++
+	} else {
+		c.counters.Dials++
+	}
+	c.mu.Unlock()
+	if refuse {
+		return nil, fmt.Errorf("faultnet: dial %s: connection refused (injected)", addr)
+	}
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{Conn: nc, chaos: c, route: addr}, nil
+}
+
+// Listen implements the orb.Options.Listen seam: accepted connections are
+// wrapped with the rules of the listener's local address.
+func (c *Chaos) Listen(network, addr string) (net.Listener, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &listener{Listener: ln, chaos: c}, nil
+}
+
+type listener struct {
+	net.Listener
+	chaos *Chaos
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &conn{Conn: nc, chaos: l.chaos, route: l.Addr().String()}, nil
+}
+
+// conn applies the route's rule to every read and write.
+type conn struct {
+	net.Conn
+	chaos *Chaos
+	route string
+
+	mu    sync.Mutex
+	bytes int64 // total bytes passed, for ResetAfterBytes
+	dead  bool
+}
+
+// errReset is the error surfaced after an injected reset.
+type errReset struct{ route string }
+
+func (e errReset) Error() string {
+	return fmt.Sprintf("faultnet: connection to %s reset (injected)", e.route)
+}
+
+// reset tears the underlying connection down and marks this wrapper dead.
+func (c *conn) reset() error {
+	c.mu.Lock()
+	already := c.dead
+	c.dead = true
+	c.mu.Unlock()
+	if !already {
+		c.chaos.mu.Lock()
+		c.chaos.counters.Resets++
+		c.chaos.mu.Unlock()
+		c.Conn.Close()
+	}
+	return errReset{route: c.route}
+}
+
+func (c *conn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// account adds n passed bytes and reports whether the ResetAfterBytes
+// threshold was crossed by this addition.
+func (c *conn) account(n int, threshold int64) bool {
+	if threshold <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before := c.bytes
+	c.bytes += int64(n)
+	return before < threshold && c.bytes >= threshold
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if c.isDead() {
+		return 0, errReset{route: c.route}
+	}
+	n, err := c.Conn.Read(p)
+	c.chaos.mu.Lock()
+	r, ok := c.chaos.rule(c.route)
+	c.chaos.mu.Unlock()
+	if ok && n > 0 && c.account(n, r.ResetAfterBytes) {
+		return n, c.reset()
+	}
+	return n, err
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if c.isDead() {
+		return 0, errReset{route: c.route}
+	}
+	c.chaos.mu.Lock()
+	r, ok := c.chaos.rule(c.route)
+	if !ok {
+		c.chaos.mu.Unlock()
+		return c.Conn.Write(p)
+	}
+	var sleep time.Duration
+	if r.Delay > 0 || r.Jitter > 0 {
+		sleep = r.Delay
+		if r.Jitter > 0 {
+			sleep += time.Duration(c.chaos.rng.Int63n(int64(r.Jitter)))
+		}
+		c.chaos.counters.Delays++
+	}
+	drop := r.DropWrites
+	if drop {
+		c.chaos.counters.Drops++
+	}
+	reset := !drop && c.chaos.chance(r.ResetProb)
+	corruptAt := -1
+	if !drop && !reset && len(p) > 0 && c.chaos.chance(r.CorruptProb) {
+		corruptAt = c.chaos.rng.Intn(len(p))
+		c.chaos.counters.Corruptions++
+	}
+	c.chaos.mu.Unlock()
+
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if drop {
+		// One-way partition: pretend success, deliver nothing.
+		return len(p), nil
+	}
+	if reset {
+		return 0, c.reset()
+	}
+	if corruptAt >= 0 {
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		cp[corruptAt] ^= 0x20
+		p = cp
+	}
+	n, err := c.Conn.Write(p)
+	if n > 0 && c.account(n, r.ResetAfterBytes) {
+		return n, c.reset()
+	}
+	return n, err
+}

@@ -1,0 +1,368 @@
+package faultnet
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoListener accepts connections and echoes everything back.
+func echoListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { defer c.Close(); _, _ = io.Copy(c, c) }()
+		}
+	}()
+	return ln
+}
+
+func dial(t *testing.T, c *Chaos, addr string) net.Conn {
+	t.Helper()
+	nc, err := c.DialContext(context.Background(), "tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return nc
+}
+
+func TestRefuseDial(t *testing.T) {
+	ln := echoListener(t)
+	c := New(1)
+	c.SetRule(Rule{Route: ln.Addr().String(), RefuseDial: 1})
+	if _, err := c.DialContext(context.Background(), "tcp", ln.Addr().String()); err == nil {
+		t.Fatal("dial succeeded despite RefuseDial=1")
+	}
+	if got := c.Counters().DialsRefused; got != 1 {
+		t.Fatalf("DialsRefused = %d, want 1", got)
+	}
+
+	// Other routes are untouched.
+	ln2 := echoListener(t)
+	if _, err := c.DialContext(context.Background(), "tcp", ln2.Addr().String()); err != nil {
+		t.Fatalf("unmatched route refused: %v", err)
+	}
+}
+
+func TestDropWritesIsOneWay(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	received := make(chan int, 1)
+	var srv net.Conn
+	var srvMu sync.Mutex
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		srvMu.Lock()
+		srv = c
+		srvMu.Unlock()
+		buf := make([]byte, 64)
+		c.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+		n, _ := c.Read(buf)
+		received <- n
+	}()
+
+	c := New(2)
+	c.SetRule(Rule{Route: ln.Addr().String(), DropWrites: true})
+	nc := dial(t, c, ln.Addr().String())
+	if n, err := nc.Write([]byte("lost")); err != nil || n != 4 {
+		t.Fatalf("partitioned write = %d, %v; want pretend-success", n, err)
+	}
+	if n := <-received; n != 0 {
+		t.Fatalf("server received %d bytes through a partition", n)
+	}
+	if got := c.Counters().Drops; got == 0 {
+		t.Fatal("Drops counter not incremented")
+	}
+
+	// The reverse direction still flows (one-way, not full partition).
+	srvMu.Lock()
+	s := srv
+	srvMu.Unlock()
+	if _, err := s.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	nc.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := io.ReadFull(nc, buf); err != nil || string(buf) != "back" {
+		t.Fatalf("read back = %q, %v", buf, err)
+	}
+}
+
+func TestCorruptionFlipsOneByte(t *testing.T) {
+	ln := echoListener(t)
+	c := New(3)
+	route := ln.Addr().String()
+	c.SetRule(Rule{Route: route, CorruptProb: 1})
+	nc := dial(t, c, route)
+
+	sent := []byte("checkpoint-payload")
+	if _, err := nc.Write(sent); err != nil {
+		t.Fatal(err)
+	}
+	// The echo comes back through the same chaos conn, so the reply write
+	// is the server's (unwrapped) and the only corruption is ours going out.
+	got := make([]byte, len(sent))
+	nc.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := io.ReadFull(nc, got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range sent {
+		if sent[i] != got[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("echoed payload differs in %d bytes, want exactly 1 (sent %q, got %q)", diff, sent, got)
+	}
+	if c.Counters().Corruptions == 0 {
+		t.Fatal("Corruptions counter not incremented")
+	}
+}
+
+func TestDelayBeforeWrite(t *testing.T) {
+	ln := echoListener(t)
+	c := New(4)
+	route := ln.Addr().String()
+	c.SetRule(Rule{Route: route, Delay: 50 * time.Millisecond})
+	nc := dial(t, c, route)
+
+	start := time.Now()
+	if _, err := nc.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 50*time.Millisecond {
+		t.Fatalf("write took %v, want >= 50ms", el)
+	}
+	if c.Counters().Delays == 0 {
+		t.Fatal("Delays counter not incremented")
+	}
+}
+
+func TestResetProbTearsConnection(t *testing.T) {
+	ln := echoListener(t)
+	c := New(5)
+	route := ln.Addr().String()
+	nc := dial(t, c, route)
+	// Install the rule after dialing: live connections observe rule
+	// changes on their next write (runtime toggling).
+	c.SetRule(Rule{Route: route, ResetProb: 1})
+	if _, err := nc.Write([]byte("boom")); err == nil {
+		t.Fatal("write succeeded despite ResetProb=1")
+	}
+	if _, err := nc.Write([]byte("again")); err == nil {
+		t.Fatal("write on a reset connection succeeded")
+	}
+	if got := c.Counters().Resets; got != 1 {
+		t.Fatalf("Resets = %d, want 1", got)
+	}
+}
+
+func TestResetAfterBytes(t *testing.T) {
+	ln := echoListener(t)
+	c := New(6)
+	route := ln.Addr().String()
+	c.SetRule(Rule{Route: route, ResetAfterBytes: 10})
+	nc := dial(t, c, route)
+
+	if _, err := nc.Write([]byte("12345")); err != nil {
+		t.Fatalf("first write (under threshold): %v", err)
+	}
+	if _, err := nc.Write([]byte("67890A")); err == nil {
+		t.Fatal("write crossing the byte threshold did not reset")
+	}
+	if got := c.Counters().Resets; got != 1 {
+		t.Fatalf("Resets = %d, want 1", got)
+	}
+}
+
+func TestWildcardRouteAndToggle(t *testing.T) {
+	ln := echoListener(t)
+	c := New(7)
+	c.SetRule(Rule{Route: "*", RefuseDial: 1})
+	if _, err := c.DialContext(context.Background(), "tcp", ln.Addr().String()); err == nil {
+		t.Fatal("wildcard refusal did not fire")
+	}
+	c.SetEnabled(false)
+	if _, err := c.DialContext(context.Background(), "tcp", ln.Addr().String()); err != nil {
+		t.Fatalf("disabled chaos still injected: %v", err)
+	}
+	c.SetEnabled(true)
+	if _, err := c.DialContext(context.Background(), "tcp", ln.Addr().String()); err == nil {
+		t.Fatal("re-enabled chaos did not fire")
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	ln := echoListener(t)
+	route := ln.Addr().String()
+	pattern := func(seed int64) []bool {
+		c := New(seed)
+		c.SetRule(Rule{Route: route, RefuseDial: 0.5})
+		out := make([]bool, 32)
+		for i := range out {
+			nc, err := c.DialContext(context.Background(), "tcp", route)
+			out[i] = err != nil
+			if nc != nil {
+				nc.Close()
+			}
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at dial %d: %v vs %v", i, a, b)
+		}
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 32-dial patterns")
+	}
+}
+
+func TestListenerSideRules(t *testing.T) {
+	c := New(8)
+	ln, err := c.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	route := ln.Addr().String()
+	c.SetRule(Rule{Route: route, DropWrites: true})
+
+	got := make(chan error, 1)
+	go func() {
+		sc, err := ln.Accept()
+		if err != nil {
+			got <- err
+			return
+		}
+		defer sc.Close()
+		// The server-side write is dropped by the listener-route rule.
+		if _, err := sc.Write([]byte("reply")); err != nil {
+			got <- err
+			return
+		}
+		got <- nil
+	}()
+
+	nc, err := net.Dial("tcp", route)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 8)
+	if n, _ := nc.Read(buf); n != 0 {
+		t.Fatalf("client received %q through a server-side partition", buf[:n])
+	}
+	if c.Counters().Drops == 0 {
+		t.Fatal("Drops counter not incremented")
+	}
+}
+
+func TestScriptFiresInOrder(t *testing.T) {
+	var mu sync.Mutex
+	var fired []string
+	step := func(at time.Duration, name string) Step {
+		return Step{At: at, Note: name, Do: func() {
+			mu.Lock()
+			fired = append(fired, name)
+			mu.Unlock()
+		}}
+	}
+	// Built out of order; NewScript sorts by offset.
+	s := NewScript(
+		step(30*time.Millisecond, "third"),
+		step(0, "first"),
+		step(10*time.Millisecond, "second"),
+	)
+	select {
+	case <-s.Run(context.Background()):
+	case <-time.After(5 * time.Second):
+		t.Fatal("script never finished")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"first", "second", "third"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestScriptCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	ran := false
+	s := NewScript(Step{At: time.Hour, Do: func() {
+		mu.Lock()
+		ran = true
+		mu.Unlock()
+	}})
+	done := s.Run(ctx)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled script never returned")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran {
+		t.Fatal("cancelled script still ran its step")
+	}
+}
+
+func TestUnruledTrafficPassesVerbatim(t *testing.T) {
+	ln := echoListener(t)
+	c := New(9)
+	nc := dial(t, c, ln.Addr().String())
+	msg := []byte("plain traffic")
+	if _, err := nc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	nc.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := io.ReadFull(nc, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msg, got) {
+		t.Fatalf("echo = %q, want %q", got, msg)
+	}
+}

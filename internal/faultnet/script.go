@@ -1,0 +1,65 @@
+package faultnet
+
+import (
+	"context"
+	"sort"
+	"time"
+)
+
+// Step is one timed action of a fault script.
+type Step struct {
+	// At is the step's offset from script start.
+	At time.Duration
+	// Note labels the step in logs/observers.
+	Note string
+	// Do applies the step (install a rule, clear one, kill a process —
+	// the script does not constrain what an action touches).
+	Do func()
+}
+
+// Script is a time-scheduled fault sequence: steps fire in At order,
+// measured from Run. Scripts make chaos runs repeatable — the same script
+// against the same workload produces the same fault timeline.
+type Script struct {
+	steps []Step
+	// Observe, when set, is called as each step fires (test logging).
+	Observe func(Step)
+}
+
+// NewScript builds a script from steps (sorted by At; ties keep the
+// given order).
+func NewScript(steps ...Step) *Script {
+	s := &Script{steps: append([]Step(nil), steps...)}
+	sort.SliceStable(s.steps, func(i, j int) bool { return s.steps[i].At < s.steps[j].At })
+	return s
+}
+
+// Run executes the script from now, firing each step at its offset, and
+// returns a channel closed when the script finishes. Cancelling ctx stops
+// the script between steps.
+func (s *Script) Run(ctx context.Context) <-chan struct{} {
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(done)
+		for _, st := range s.steps {
+			wait := time.Until(start.Add(st.At))
+			if wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return
+				}
+			} else if ctx.Err() != nil {
+				return
+			}
+			if s.Observe != nil {
+				s.Observe(st)
+			}
+			st.Do()
+		}
+	}()
+	return done
+}

@@ -137,7 +137,7 @@ func NewProxy(ctx context.Context, o *orb.ORB, name naming.Name, resolver Resolv
 	if p.store != nil {
 		// Adopt any pre-existing checkpoint epoch so our next Put is
 		// newer (a previous proxy incarnation may have written some).
-		if epoch, _, err := p.store.Get(p.key()); err == nil {
+		if epoch, _, err := p.store.Get(ctx, p.key()); err == nil {
 			p.epoch = epoch
 		}
 	}
@@ -237,7 +237,7 @@ func (p *Proxy) checkpoint(ctx context.Context, ref orb.ObjectRef) error {
 	p.epoch++
 	epoch := p.epoch
 	p.mu.Unlock()
-	if err := p.store.Put(p.key(), epoch, data); err != nil {
+	if err := p.store.Put(ctx, p.key(), epoch, data); err != nil {
 		return err
 	}
 	p.mu.Lock()
@@ -284,7 +284,7 @@ func (p *Proxy) restoreInto(ctx context.Context, ref orb.ObjectRef) error {
 	if p.store == nil {
 		return nil
 	}
-	epoch, data, err := p.store.Get(p.key())
+	epoch, data, err := p.store.Get(ctx, p.key())
 	if errors.Is(err, ErrNoCheckpoint) {
 		return nil
 	}

@@ -1,0 +1,342 @@
+package ft
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/orb"
+)
+
+// DefaultRepairTimeout bounds one background read-repair write.
+const DefaultRepairTimeout = 5 * time.Second
+
+// ReplicatedStore is a quorum client over N checkpoint store replicas,
+// removing the single point of failure the paper's storage service has
+// ("no real persistency ... has been implemented, yet" — and one daemon,
+// at that). It implements Store, so proxies and managers use it exactly
+// like a single store.
+//
+// Semantics:
+//
+//   - Put is write-all / ack-majority: the write fans out to every
+//     replica concurrently and succeeds once a majority acks. A majority
+//     of ErrStaleEpoch verdicts makes the Put stale (some replica holds a
+//     newer epoch — the caller's view has been superseded).
+//   - Get is read-newest-epoch: every replica is asked, a majority must
+//     answer (ErrNoCheckpoint counts as an answer of epoch 0), and the
+//     newest epoch among the answers wins. Because every acked Put
+//     reached a majority, any read majority intersects it — the newest
+//     acked checkpoint is never missed.
+//   - After a Get, replicas that answered with an older epoch (or none,
+//     or an error) are repaired in the background with the newest data,
+//     so a replica that was down catches up as soon as it is read past.
+//
+// With N=3 the store serves reads and writes with any single replica
+// down, crashed, or partitioned.
+type ReplicatedStore struct {
+	replicas []Store
+	// repairTimeout bounds each background repair write.
+	repairTimeout time.Duration
+
+	mu      sync.Mutex
+	repairs sync.WaitGroup
+	stats   ReplicatedStats
+}
+
+// ReplicatedStats counts quorum-level events.
+type ReplicatedStats struct {
+	// Puts / Gets count quorum operations that succeeded.
+	Puts uint64
+	Gets uint64
+	// QuorumFailures counts operations that could not reach a majority.
+	QuorumFailures uint64
+	// Repairs counts background read-repair writes issued.
+	Repairs uint64
+}
+
+// ReplicatedOption customizes a ReplicatedStore.
+type ReplicatedOption func(*ReplicatedStore)
+
+// WithRepairTimeout overrides the background read-repair deadline.
+func WithRepairTimeout(d time.Duration) ReplicatedOption {
+	return func(r *ReplicatedStore) { r.repairTimeout = d }
+}
+
+// NewReplicatedStore builds a quorum client over replicas (local stores,
+// StoreClients, or any mix). At least one replica is required; an even
+// count works but tolerates no more failures than the next odd count
+// down.
+func NewReplicatedStore(replicas []Store, opts ...ReplicatedOption) (*ReplicatedStore, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("ft: replicated store needs at least one replica")
+	}
+	r := &ReplicatedStore{
+		replicas:      append([]Store(nil), replicas...),
+		repairTimeout: DefaultRepairTimeout,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r, nil
+}
+
+// NewReplicatedStoreClient is the common wiring: a quorum client over
+// remote checkpointd replicas at refs, all invoked through o.
+func NewReplicatedStoreClient(o *orb.ORB, refs []orb.ObjectRef, opts ...ReplicatedOption) (*ReplicatedStore, error) {
+	stores := make([]Store, len(refs))
+	for i, ref := range refs {
+		stores[i] = NewStoreClient(o, ref)
+	}
+	return NewReplicatedStore(stores, opts...)
+}
+
+var _ Store = (*ReplicatedStore)(nil)
+
+// Replicas returns the number of replicas.
+func (r *ReplicatedStore) Replicas() int { return len(r.replicas) }
+
+// Quorum returns the majority size.
+func (r *ReplicatedStore) Quorum() int { return len(r.replicas)/2 + 1 }
+
+// Stats returns a snapshot of the quorum counters.
+func (r *ReplicatedStore) Stats() ReplicatedStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// WaitRepairs blocks until all in-flight background repairs finish —
+// for tests and orderly shutdown.
+func (r *ReplicatedStore) WaitRepairs() { r.repairs.Wait() }
+
+func (r *ReplicatedStore) countQuorumFailure() {
+	r.mu.Lock()
+	r.stats.QuorumFailures++
+	r.mu.Unlock()
+}
+
+// Put implements Store: write-all, ack-majority.
+func (r *ReplicatedStore) Put(ctx context.Context, key string, epoch uint64, data []byte) error {
+	errs := make([]error, len(r.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range r.replicas {
+		wg.Add(1)
+		go func(i int, rep Store) {
+			defer wg.Done()
+			errs[i] = rep.Put(ctx, key, epoch, data)
+		}(i, rep)
+	}
+	wg.Wait()
+
+	acks, stales := 0, 0
+	var firstErr error
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			acks++
+		case errors.Is(err, ErrStaleEpoch):
+			stales++
+		default:
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	q := r.Quorum()
+	if acks >= q {
+		r.mu.Lock()
+		r.stats.Puts++
+		r.mu.Unlock()
+		return nil
+	}
+	r.countQuorumFailure()
+	if stales >= q {
+		return fmt.Errorf("%w: key %q epoch %d rejected by %d/%d replicas", ErrStaleEpoch, key, epoch, stales, len(r.replicas))
+	}
+	if firstErr == nil {
+		// Mixed acks and stales, neither a majority: report the stale
+		// verdict, the only failure observed.
+		return fmt.Errorf("%w: key %q epoch %d (split verdict: %d acks, %d stale)", ErrStaleEpoch, key, epoch, acks, stales)
+	}
+	return fmt.Errorf("ft: replicated put %q: %d/%d acks (need %d): %w", key, acks, len(r.replicas), q, firstErr)
+}
+
+// getResult is one replica's answer to a Get.
+type getResult struct {
+	epoch uint64
+	data  []byte
+	err   error
+	// answered is true for a definitive reply: a checkpoint, or a typed
+	// "I have none" (epoch 0). Transport errors and corruption are not
+	// answers.
+	answered bool
+}
+
+// Get implements Store: read-newest-epoch over a majority of answers,
+// with background read-repair of lagging replicas.
+func (r *ReplicatedStore) Get(ctx context.Context, key string) (uint64, []byte, error) {
+	results := make([]getResult, len(r.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range r.replicas {
+		wg.Add(1)
+		go func(i int, rep Store) {
+			defer wg.Done()
+			epoch, data, err := rep.Get(ctx, key)
+			res := getResult{epoch: epoch, data: data, err: err}
+			switch {
+			case err == nil:
+				res.answered = true
+			case errors.Is(err, ErrNoCheckpoint):
+				res.answered = true // definitive: nothing stored (epoch 0)
+				res.epoch = 0
+				res.data = nil
+			}
+			results[i] = res
+		}(i, rep)
+	}
+	wg.Wait()
+
+	answers := 0
+	best := -1
+	var firstErr error
+	for i, res := range results {
+		if !res.answered {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		answers++
+		if res.err == nil && (best < 0 || res.epoch > results[best].epoch) {
+			best = i
+		}
+	}
+	q := r.Quorum()
+	if answers < q {
+		r.countQuorumFailure()
+		if firstErr == nil {
+			firstErr = errors.New("no replica reachable")
+		}
+		return 0, nil, fmt.Errorf("ft: replicated get %q: %d/%d answers (need %d): %w", key, answers, len(r.replicas), q, firstErr)
+	}
+	if best < 0 {
+		// A majority definitively has nothing.
+		r.mu.Lock()
+		r.stats.Gets++
+		r.mu.Unlock()
+		return 0, nil, fmt.Errorf("%w: key %q (per %d/%d replicas)", ErrNoCheckpoint, key, answers, len(r.replicas))
+	}
+
+	newest := results[best]
+	r.mu.Lock()
+	r.stats.Gets++
+	r.mu.Unlock()
+	r.repair(key, newest.epoch, newest.data, results)
+	return newest.epoch, newest.data, nil
+}
+
+// repair launches background Puts of the newest checkpoint into every
+// replica that does not have it, so a replica that missed writes (down,
+// partitioned, fresh disk) converges on the next read that touches the
+// key. Repairs are best-effort: a stale rejection means the replica
+// already advanced past us, any other failure will be retried by a later
+// read.
+func (r *ReplicatedStore) repair(key string, epoch uint64, data []byte, results []getResult) {
+	if epoch == 0 {
+		return
+	}
+	for i, res := range results {
+		if res.answered && res.err == nil && res.epoch >= epoch {
+			continue
+		}
+		rep := r.replicas[i]
+		r.mu.Lock()
+		r.stats.Repairs++
+		r.mu.Unlock()
+		r.repairs.Add(1)
+		go func(rep Store) {
+			defer r.repairs.Done()
+			rctx, cancel := context.WithTimeout(context.Background(), r.repairTimeout)
+			defer cancel()
+			_ = rep.Put(rctx, key, epoch, data)
+		}(rep)
+	}
+}
+
+// Delete implements Store: fan out, succeed on a majority of acks.
+func (r *ReplicatedStore) Delete(ctx context.Context, key string) error {
+	errs := make([]error, len(r.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range r.replicas {
+		wg.Add(1)
+		go func(i int, rep Store) {
+			defer wg.Done()
+			errs[i] = rep.Delete(ctx, key)
+		}(i, rep)
+	}
+	wg.Wait()
+	acks := 0
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			acks++
+		} else if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if q := r.Quorum(); acks < q {
+		r.countQuorumFailure()
+		return fmt.Errorf("ft: replicated delete %q: %d/%d acks (need %d): %w", key, acks, len(r.replicas), q, firstErr)
+	}
+	return nil
+}
+
+// Keys implements Store: the union of keys over a majority of answers
+// (a key acked by any Put reached a majority, so the union over any
+// majority is complete).
+func (r *ReplicatedStore) Keys(ctx context.Context) ([]string, error) {
+	type keysResult struct {
+		keys []string
+		err  error
+	}
+	results := make([]keysResult, len(r.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range r.replicas {
+		wg.Add(1)
+		go func(i int, rep Store) {
+			defer wg.Done()
+			keys, err := rep.Keys(ctx)
+			results[i] = keysResult{keys: keys, err: err}
+		}(i, rep)
+	}
+	wg.Wait()
+	answers := 0
+	seen := make(map[string]bool)
+	var firstErr error
+	for _, res := range results {
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		answers++
+		for _, k := range res.keys {
+			seen[k] = true
+		}
+	}
+	if q := r.Quorum(); answers < q {
+		r.countQuorumFailure()
+		return nil, fmt.Errorf("ft: replicated keys: %d/%d answers (need %d): %w", answers, len(r.replicas), q, firstErr)
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,218 @@
+package ft
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// downStore fails every operation while down — a crashed/partitioned
+// replica.
+type downStore struct {
+	inner Store
+	down  atomic.Bool
+}
+
+var errReplicaDown = errors.New("replica down")
+
+func (d *downStore) Put(ctx context.Context, key string, epoch uint64, data []byte) error {
+	if d.down.Load() {
+		return errReplicaDown
+	}
+	return d.inner.Put(ctx, key, epoch, data)
+}
+
+func (d *downStore) Get(ctx context.Context, key string) (uint64, []byte, error) {
+	if d.down.Load() {
+		return 0, nil, errReplicaDown
+	}
+	return d.inner.Get(ctx, key)
+}
+
+func (d *downStore) Delete(ctx context.Context, key string) error {
+	if d.down.Load() {
+		return errReplicaDown
+	}
+	return d.inner.Delete(ctx, key)
+}
+
+func (d *downStore) Keys(ctx context.Context) ([]string, error) {
+	if d.down.Load() {
+		return nil, errReplicaDown
+	}
+	return d.inner.Keys(ctx)
+}
+
+// newReplicaSet builds a 3-replica quorum store over downStore-wrapped
+// MemStores.
+func newReplicaSet(t *testing.T) (*ReplicatedStore, []*downStore) {
+	t.Helper()
+	wrapped := make([]*downStore, 3)
+	stores := make([]Store, 3)
+	for i := range wrapped {
+		wrapped[i] = &downStore{inner: NewMemStore()}
+		stores[i] = wrapped[i]
+	}
+	r, err := NewReplicatedStore(stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, wrapped
+}
+
+func TestReplicatedStoreRoundTrip(t *testing.T) {
+	r, _ := newReplicaSet(t)
+	ctx := context.Background()
+	if err := r.Put(ctx, "svc", 1, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	epoch, data, err := r.Get(ctx, "svc")
+	if err != nil || epoch != 1 || string(data) != "v1" {
+		t.Fatalf("got %d %q %v", epoch, data, err)
+	}
+	if _, _, err := r.Get(ctx, "ghost"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing key err = %v", err)
+	}
+	if err := r.Put(ctx, "svc", 1, []byte("again")); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale put err = %v", err)
+	}
+}
+
+// TestReplicatedStoreSurvivesSingleReplicaDown is the headline guarantee:
+// with 1 of 3 replicas down, both reads and writes still serve.
+func TestReplicatedStoreSurvivesSingleReplicaDown(t *testing.T) {
+	r, reps := newReplicaSet(t)
+	ctx := context.Background()
+	if err := r.Put(ctx, "svc", 1, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	for i := range reps {
+		reps[i].down.Store(true)
+		if err := r.Put(ctx, "svc", uint64(i+2), []byte("newer")); err != nil {
+			t.Fatalf("put with replica %d down: %v", i, err)
+		}
+		epoch, data, err := r.Get(ctx, "svc")
+		if err != nil || epoch != uint64(i+2) || string(data) != "newer" {
+			t.Fatalf("get with replica %d down: %d %q %v", i, epoch, data, err)
+		}
+		if _, err := r.Keys(ctx); err != nil {
+			t.Fatalf("keys with replica %d down: %v", i, err)
+		}
+		reps[i].down.Store(false)
+		r.WaitRepairs()
+	}
+}
+
+func TestReplicatedStoreLosesQuorum(t *testing.T) {
+	r, reps := newReplicaSet(t)
+	ctx := context.Background()
+	reps[0].down.Store(true)
+	reps[1].down.Store(true)
+	if err := r.Put(ctx, "svc", 1, []byte("v")); err == nil {
+		t.Fatal("put succeeded without a quorum")
+	} else if errors.Is(err, ErrStaleEpoch) || errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("quorum loss mapped to a typed verdict: %v", err)
+	}
+	if _, _, err := r.Get(ctx, "svc"); err == nil {
+		t.Fatal("get succeeded without a quorum")
+	} else if errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("quorum loss reported as missing checkpoint: %v", err)
+	}
+	if r.Stats().QuorumFailures < 2 {
+		t.Fatalf("stats = %+v, want quorum failures counted", r.Stats())
+	}
+}
+
+// TestReplicatedStoreReadRepair: a replica that was down during writes is
+// brought back to the newest epoch by the next read that touches the key.
+func TestReplicatedStoreReadRepair(t *testing.T) {
+	r, reps := newReplicaSet(t)
+	ctx := context.Background()
+
+	// Replica 2 misses two epochs.
+	reps[2].down.Store(true)
+	if err := r.Put(ctx, "svc", 1, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put(ctx, "svc", 2, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	reps[2].down.Store(false)
+	if _, _, err := reps[2].inner.Get(ctx, "svc"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("lagging replica unexpectedly has state: %v", err)
+	}
+
+	// A quorum read repairs it in the background.
+	epoch, data, err := r.Get(ctx, "svc")
+	if err != nil || epoch != 2 || string(data) != "v2" {
+		t.Fatalf("got %d %q %v", epoch, data, err)
+	}
+	r.WaitRepairs()
+	epoch, data, err = reps[2].inner.Get(ctx, "svc")
+	if err != nil || epoch != 2 || string(data) != "v2" {
+		t.Fatalf("repaired replica holds %d %q %v, want epoch 2", epoch, data, err)
+	}
+	if r.Stats().Repairs == 0 {
+		t.Fatalf("stats = %+v, want repairs counted", r.Stats())
+	}
+}
+
+// TestReplicatedStoreNewestEpochWins: replicas diverged (one missed the
+// last write); the read must return the newest epoch, never the stale
+// majority-older value.
+func TestReplicatedStoreNewestEpochWins(t *testing.T) {
+	r, reps := newReplicaSet(t)
+	ctx := context.Background()
+	if err := r.Put(ctx, "svc", 1, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 2 lands on replicas 0 and 1 only.
+	reps[2].down.Store(true)
+	if err := r.Put(ctx, "svc", 2, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	reps[2].down.Store(false)
+	epoch, data, err := r.Get(ctx, "svc")
+	if err != nil || epoch != 2 || string(data) != "new" {
+		t.Fatalf("got %d %q %v, want the newest epoch", epoch, data, err)
+	}
+	r.WaitRepairs()
+}
+
+func TestReplicatedStoreDeleteAndKeys(t *testing.T) {
+	r, _ := newReplicaSet(t)
+	ctx := context.Background()
+	for _, k := range []string{"b", "a"} {
+		if err := r.Put(ctx, k, 1, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := r.Keys(ctx)
+	if err != nil || len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("keys = %v, %v", keys, err)
+	}
+	if err := r.Delete(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Get(ctx, "a"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("deleted key err = %v", err)
+	}
+}
+
+func TestReplicatedStoreNeedsReplicas(t *testing.T) {
+	if _, err := NewReplicatedStore(nil); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+	r, err := NewReplicatedStore([]Store{NewMemStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Quorum() != 1 || r.Replicas() != 1 {
+		t.Fatalf("quorum/replicas = %d/%d", r.Quorum(), r.Replicas())
+	}
+	r3, _ := NewReplicatedStore([]Store{NewMemStore(), NewMemStore(), NewMemStore()})
+	if r3.Quorum() != 2 {
+		t.Fatalf("3-replica quorum = %d, want 2", r3.Quorum())
+	}
+}

@@ -1,6 +1,7 @@
 package ft
 
 import (
+	"context"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -18,19 +19,30 @@ var ErrNoCheckpoint = errors.New("ft: no checkpoint stored")
 // ErrStaleEpoch is returned by Put when a newer checkpoint already exists.
 var ErrStaleEpoch = errors.New("ft: stale checkpoint epoch")
 
+// ErrCorruptCheckpoint is returned by Get when a stored checkpoint exists
+// but cannot be decoded (torn write, media fault, truncation). It is
+// distinct from ErrNoCheckpoint so recovery can tell "nothing was ever
+// stored" from "something was stored and is now damaged" — the latter
+// must never surface as a zero-epoch success.
+var ErrCorruptCheckpoint = errors.New("ft: corrupt checkpoint")
+
 // Store persists the latest checkpoint per key. Epochs order checkpoints
 // of one key; a Put with an epoch not newer than the stored one fails with
 // ErrStaleEpoch, so late writes from a superseded proxy cannot roll state
-// back. Implementations must be safe for concurrent use.
+// back. Every operation is bounded by ctx: remote implementations
+// (StoreClient, ReplicatedStore) honour its deadline/cancellation, so a
+// dead or partitioned store daemon cannot stall a recovery path past its
+// deadline; local implementations only check it on entry.
+// Implementations must be safe for concurrent use.
 type Store interface {
 	// Put stores data as the checkpoint for key at epoch.
-	Put(key string, epoch uint64, data []byte) error
+	Put(ctx context.Context, key string, epoch uint64, data []byte) error
 	// Get returns the newest checkpoint for key.
-	Get(key string) (epoch uint64, data []byte, err error)
+	Get(ctx context.Context, key string) (epoch uint64, data []byte, err error)
 	// Delete removes key's checkpoint (idempotent).
-	Delete(key string) error
+	Delete(ctx context.Context, key string) error
 	// Keys lists all keys with checkpoints, sorted.
-	Keys() ([]string, error)
+	Keys(ctx context.Context) ([]string, error)
 }
 
 // MemStore is the in-memory store — the paper's prototype ("no real
@@ -52,7 +64,10 @@ func NewMemStore() *MemStore {
 }
 
 // Put implements Store.
-func (s *MemStore) Put(key string, epoch uint64, data []byte) error {
+func (s *MemStore) Put(ctx context.Context, key string, epoch uint64, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if cur, ok := s.data[key]; ok && epoch <= cur.epoch {
@@ -65,7 +80,10 @@ func (s *MemStore) Put(key string, epoch uint64, data []byte) error {
 }
 
 // Get implements Store.
-func (s *MemStore) Get(key string) (uint64, []byte, error) {
+func (s *MemStore) Get(ctx context.Context, key string) (uint64, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	e, ok := s.data[key]
@@ -78,7 +96,10 @@ func (s *MemStore) Get(key string) (uint64, []byte, error) {
 }
 
 // Delete implements Store.
-func (s *MemStore) Delete(key string) error {
+func (s *MemStore) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	delete(s.data, key)
 	s.mu.Unlock()
@@ -86,7 +107,10 @@ func (s *MemStore) Delete(key string) error {
 }
 
 // Keys implements Store.
-func (s *MemStore) Keys() ([]string, error) {
+func (s *MemStore) Keys(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	out := make([]string, 0, len(s.data))
 	for k := range s.data {
@@ -99,8 +123,9 @@ func (s *MemStore) Keys() ([]string, error) {
 
 // DiskStore persists checkpoints as one file per key under a directory —
 // the real persistence the paper defers to future work. Writes are
-// write-to-temp + rename, so a crash mid-write never corrupts the previous
-// checkpoint.
+// write-to-temp + fsync + rename + directory fsync, so neither a crash
+// mid-write nor a host power loss right after the acknowledgement can
+// lose or corrupt an acked checkpoint.
 type DiskStore struct {
 	dir string
 	mu  sync.Mutex
@@ -132,13 +157,57 @@ func decodeCheckpointFile(raw []byte) (uint64, []byte, error) {
 	epoch := d.GetUint64()
 	data := d.GetBytes()
 	if err := d.Err(); err != nil {
-		return 0, nil, fmt.Errorf("ft: corrupt checkpoint file: %w", err)
+		return 0, nil, fmt.Errorf("%w: %v", ErrCorruptCheckpoint, err)
 	}
 	return epoch, data, nil
 }
 
+// writeDurable writes content to path via a temp file, fsyncing both the
+// file and its directory, so the rename — and therefore the checkpoint —
+// survives a host crash.
+func writeDurable(path string, content []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(content); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Durability of the rename itself requires the directory entry to be
+	// on stable storage.
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
 // Put implements Store.
-func (s *DiskStore) Put(key string, epoch uint64, data []byte) error {
+func (s *DiskStore) Put(ctx context.Context, key string, epoch uint64, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := s.path(key)
@@ -148,18 +217,17 @@ func (s *DiskStore) Put(key string, epoch uint64, data []byte) error {
 			return fmt.Errorf("%w: key %q epoch %d <= stored %d", ErrStaleEpoch, key, epoch, cur)
 		}
 	}
-	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, encodeCheckpointFile(epoch, data), 0o644); err != nil {
-		return fmt.Errorf("ft: write checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, p); err != nil {
+	if err := writeDurable(p, encodeCheckpointFile(epoch, data)); err != nil {
 		return fmt.Errorf("ft: commit checkpoint: %w", err)
 	}
 	return nil
 }
 
 // Get implements Store.
-func (s *DiskStore) Get(key string) (uint64, []byte, error) {
+func (s *DiskStore) Get(ctx context.Context, key string) (uint64, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	raw, err := os.ReadFile(s.path(key))
@@ -169,11 +237,18 @@ func (s *DiskStore) Get(key string) (uint64, []byte, error) {
 		}
 		return 0, nil, fmt.Errorf("ft: read checkpoint: %w", err)
 	}
-	return decodeCheckpointFile(raw)
+	epoch, data, err := decodeCheckpointFile(raw)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w (key %q)", err, key)
+	}
+	return epoch, data, nil
 }
 
 // Delete implements Store.
-func (s *DiskStore) Delete(key string) error {
+func (s *DiskStore) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	err := os.Remove(s.path(key))
@@ -184,7 +259,10 @@ func (s *DiskStore) Delete(key string) error {
 }
 
 // Keys implements Store.
-func (s *DiskStore) Keys() ([]string, error) {
+func (s *DiskStore) Keys(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	entries, err := os.ReadDir(s.dir)

@@ -1,6 +1,7 @@
 package ft
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -24,10 +25,10 @@ func storeImpls(t *testing.T) map[string]Store {
 func TestStorePutGet(t *testing.T) {
 	for name, s := range storeImpls(t) {
 		t.Run(name, func(t *testing.T) {
-			if err := s.Put("svc", 1, []byte("state-1")); err != nil {
+			if err := s.Put(context.Background(), "svc", 1, []byte("state-1")); err != nil {
 				t.Fatal(err)
 			}
-			epoch, data, err := s.Get("svc")
+			epoch, data, err := s.Get(context.Background(), "svc")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -41,13 +42,13 @@ func TestStorePutGet(t *testing.T) {
 func TestStoreNewerEpochReplaces(t *testing.T) {
 	for name, s := range storeImpls(t) {
 		t.Run(name, func(t *testing.T) {
-			if err := s.Put("svc", 1, []byte("old")); err != nil {
+			if err := s.Put(context.Background(), "svc", 1, []byte("old")); err != nil {
 				t.Fatal(err)
 			}
-			if err := s.Put("svc", 2, []byte("new")); err != nil {
+			if err := s.Put(context.Background(), "svc", 2, []byte("new")); err != nil {
 				t.Fatal(err)
 			}
-			epoch, data, _ := s.Get("svc")
+			epoch, data, _ := s.Get(context.Background(), "svc")
 			if epoch != 2 || string(data) != "new" {
 				t.Fatalf("got %d %q", epoch, data)
 			}
@@ -58,18 +59,18 @@ func TestStoreNewerEpochReplaces(t *testing.T) {
 func TestStoreStaleEpochRejected(t *testing.T) {
 	for name, s := range storeImpls(t) {
 		t.Run(name, func(t *testing.T) {
-			if err := s.Put("svc", 5, []byte("v5")); err != nil {
+			if err := s.Put(context.Background(), "svc", 5, []byte("v5")); err != nil {
 				t.Fatal(err)
 			}
-			err := s.Put("svc", 5, []byte("v5-again"))
+			err := s.Put(context.Background(), "svc", 5, []byte("v5-again"))
 			if !errors.Is(err, ErrStaleEpoch) {
 				t.Fatalf("err = %v", err)
 			}
-			err = s.Put("svc", 4, []byte("v4"))
+			err = s.Put(context.Background(), "svc", 4, []byte("v4"))
 			if !errors.Is(err, ErrStaleEpoch) {
 				t.Fatalf("err = %v", err)
 			}
-			_, data, _ := s.Get("svc")
+			_, data, _ := s.Get(context.Background(), "svc")
 			if string(data) != "v5" {
 				t.Fatalf("state rolled back to %q", data)
 			}
@@ -80,7 +81,7 @@ func TestStoreStaleEpochRejected(t *testing.T) {
 func TestStoreGetMissing(t *testing.T) {
 	for name, s := range storeImpls(t) {
 		t.Run(name, func(t *testing.T) {
-			if _, _, err := s.Get("ghost"); !errors.Is(err, ErrNoCheckpoint) {
+			if _, _, err := s.Get(context.Background(), "ghost"); !errors.Is(err, ErrNoCheckpoint) {
 				t.Fatalf("err = %v", err)
 			}
 		})
@@ -90,16 +91,16 @@ func TestStoreGetMissing(t *testing.T) {
 func TestStoreDelete(t *testing.T) {
 	for name, s := range storeImpls(t) {
 		t.Run(name, func(t *testing.T) {
-			if err := s.Put("svc", 1, []byte("x")); err != nil {
+			if err := s.Put(context.Background(), "svc", 1, []byte("x")); err != nil {
 				t.Fatal(err)
 			}
-			if err := s.Delete("svc"); err != nil {
+			if err := s.Delete(context.Background(), "svc"); err != nil {
 				t.Fatal(err)
 			}
-			if _, _, err := s.Get("svc"); !errors.Is(err, ErrNoCheckpoint) {
+			if _, _, err := s.Get(context.Background(), "svc"); !errors.Is(err, ErrNoCheckpoint) {
 				t.Fatalf("err = %v", err)
 			}
-			if err := s.Delete("svc"); err != nil {
+			if err := s.Delete(context.Background(), "svc"); err != nil {
 				t.Fatalf("delete not idempotent: %v", err)
 			}
 		})
@@ -110,11 +111,11 @@ func TestStoreKeys(t *testing.T) {
 	for name, s := range storeImpls(t) {
 		t.Run(name, func(t *testing.T) {
 			for _, k := range []string{"b", "a", "c/with.weird\\chars"} {
-				if err := s.Put(k, 1, []byte(k)); err != nil {
+				if err := s.Put(context.Background(), k, 1, []byte(k)); err != nil {
 					t.Fatal(err)
 				}
 			}
-			keys, err := s.Keys()
+			keys, err := s.Keys(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -134,7 +135,7 @@ func TestStoreKeys(t *testing.T) {
 func TestStoreEmptyKeys(t *testing.T) {
 	for name, s := range storeImpls(t) {
 		t.Run(name, func(t *testing.T) {
-			keys, err := s.Keys()
+			keys, err := s.Keys(context.Background())
 			if err != nil || len(keys) != 0 {
 				t.Fatalf("keys = %v, %v", keys, err)
 			}
@@ -145,16 +146,16 @@ func TestStoreEmptyKeys(t *testing.T) {
 func TestMemStoreReturnsCopies(t *testing.T) {
 	s := NewMemStore()
 	orig := []byte("abc")
-	if err := s.Put("k", 1, orig); err != nil {
+	if err := s.Put(context.Background(), "k", 1, orig); err != nil {
 		t.Fatal(err)
 	}
 	orig[0] = 'X' // caller mutates its buffer afterwards
-	_, data, _ := s.Get("k")
+	_, data, _ := s.Get(context.Background(), "k")
 	if string(data) != "abc" {
 		t.Fatalf("store aliased caller buffer: %q", data)
 	}
 	data[0] = 'Y' // reader mutates the returned buffer
-	_, data2, _ := s.Get("k")
+	_, data2, _ := s.Get(context.Background(), "k")
 	if string(data2) != "abc" {
 		t.Fatalf("store aliased reader buffer: %q", data2)
 	}
@@ -166,14 +167,14 @@ func TestDiskStoreSurvivesReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s1.Put("svc", 7, []byte("persisted")); err != nil {
+	if err := s1.Put(context.Background(), "svc", 7, []byte("persisted")); err != nil {
 		t.Fatal(err)
 	}
 	s2, err := NewDiskStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	epoch, data, err := s2.Get("svc")
+	epoch, data, err := s2.Get(context.Background(), "svc")
 	if err != nil || epoch != 7 || string(data) != "persisted" {
 		t.Fatalf("got %d %q %v", epoch, data, err)
 	}
@@ -185,7 +186,7 @@ func TestDiskStoreCorruptFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("svc", 1, []byte("ok")); err != nil {
+	if err := s.Put(context.Background(), "svc", 1, []byte("ok")); err != nil {
 		t.Fatal(err)
 	}
 	// Truncate the file to corrupt it.
@@ -195,8 +196,111 @@ func TestDiskStoreCorruptFile(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := s.Get("svc"); err == nil {
+	_, _, err = s.Get(context.Background(), "svc")
+	if err == nil {
 		t.Fatal("corrupt checkpoint read succeeded")
+	}
+	// Corruption must be distinguishable — typed, not ErrNoCheckpoint and
+	// never a zero-epoch success.
+	if !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("err = %v, want ErrCorruptCheckpoint", err)
+	}
+	if errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("corrupt checkpoint reported as missing: %v", err)
+	}
+}
+
+// TestDiskStorePutIsAtomicAndTidy: Put commits via temp file + rename, so
+// a directory snapshot after any number of Puts holds exactly the
+// committed checkpoint files — no .tmp residue that a crash-recovery scan
+// could mistake for state.
+func TestDiskStorePutIsAtomicAndTidy(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := s.Put(context.Background(), "svc", uint64(i), []byte("state")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want exactly one committed checkpoint", names)
+	}
+	if filepath.Ext(entries[0].Name()) != ".ckpt" {
+		t.Fatalf("committed file %q is not a .ckpt", entries[0].Name())
+	}
+}
+
+// TestDiskStoreSurvivesTornTempWrite: a crash mid-write leaves a partial
+// temp file; the previously acked checkpoint must still be served intact
+// by a reopened store.
+func TestDiskStoreSurvivesTornTempWrite(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(context.Background(), "svc", 3, []byte("acked")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a writer that died before its rename: garbage temp file
+	// next to the committed checkpoint.
+	entries, _ := os.ReadDir(dir)
+	torn := filepath.Join(dir, entries[0].Name()+".tmp")
+	if err := os.WriteFile(torn, []byte{0xde, 0xad}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, data, err := s2.Get(context.Background(), "svc")
+	if err != nil || epoch != 3 || string(data) != "acked" {
+		t.Fatalf("got %d %q %v, want the acked checkpoint", epoch, data, err)
+	}
+	keys, err := s2.Keys(context.Background())
+	if err != nil || len(keys) != 1 || keys[0] != "svc" {
+		t.Fatalf("keys = %v, %v; torn temp file leaked into the key space", keys, err)
+	}
+	// The next Put replaces the torn temp and commits cleanly.
+	if err := s2.Put(context.Background(), "svc", 4, []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatalf("temp file still present after commit: %v", err)
+	}
+}
+
+// TestStoreHonoursCancelledContext: every operation refuses an already
+// cancelled ctx instead of doing work.
+func TestStoreHonoursCancelledContext(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if err := s.Put(ctx, "k", 1, []byte("x")); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Put err = %v", err)
+			}
+			if _, _, err := s.Get(ctx, "k"); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Get err = %v", err)
+			}
+			if err := s.Delete(ctx, "k"); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Delete err = %v", err)
+			}
+			if _, err := s.Keys(ctx); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Keys err = %v", err)
+			}
+		})
 	}
 }
 
@@ -212,10 +316,10 @@ func TestDiskStoreIgnoresForeignFiles(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "zz-not-hex.ckpt"), []byte("hi"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("real", 1, []byte("x")); err != nil {
+	if err := s.Put(context.Background(), "real", 1, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	keys, err := s.Keys()
+	keys, err := s.Keys(context.Background())
 	if err != nil || len(keys) != 1 || keys[0] != "real" {
 		t.Fatalf("keys = %v, %v", keys, err)
 	}
@@ -241,15 +345,15 @@ func TestQuickStoreLastWriteWins(t *testing.T) {
 				}
 				s := mk(t)
 				for i, b := range blobs {
-					if err := s.Put("k", uint64(i+1), b); err != nil {
+					if err := s.Put(context.Background(), "k", uint64(i+1), b); err != nil {
 						return false
 					}
 				}
 				if len(blobs) == 0 {
-					_, _, err := s.Get("k")
+					_, _, err := s.Get(context.Background(), "k")
 					return errors.Is(err, ErrNoCheckpoint)
 				}
-				epoch, data, err := s.Get("k")
+				epoch, data, err := s.Get(context.Background(), "k")
 				if err != nil || epoch != uint64(len(blobs)) {
 					return false
 				}

@@ -3,6 +3,7 @@ package ft
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"repro/internal/cdr"
 	"repro/internal/orb"
@@ -16,8 +17,9 @@ const StoreDefaultKey = "CheckpointStore"
 
 // User-exception repository ids of the store service.
 const (
-	ExNoCheckpoint = "IDL:repro/FT/NoCheckpoint:1.0"
-	ExStaleEpoch   = "IDL:repro/FT/StaleEpoch:1.0"
+	ExNoCheckpoint      = "IDL:repro/FT/NoCheckpoint:1.0"
+	ExStaleEpoch        = "IDL:repro/FT/StaleEpoch:1.0"
+	ExCorruptCheckpoint = "IDL:repro/FT/CorruptCheckpoint:1.0"
 )
 
 // Operation names of the store wire contract.
@@ -41,8 +43,11 @@ func NewStoreServant(store Store) *StoreServant { return &StoreServant{store: st
 // TypeID implements orb.Servant.
 func (s *StoreServant) TypeID() string { return StoreTypeID }
 
-// Invoke implements orb.Servant.
-func (s *StoreServant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+// Invoke implements orb.Servant. Store calls run under the request's
+// server context, so a client deadline (SCDeadline) or cancel bounds the
+// backing store's work too.
+func (s *StoreServant) Invoke(sctx *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+	ctx := sctx.Context()
 	switch op {
 	case opPut:
 		key := in.GetString()
@@ -51,7 +56,7 @@ func (s *StoreServant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, 
 		if err := in.Err(); err != nil {
 			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
 		}
-		if err := s.store.Put(key, epoch, data); err != nil {
+		if err := s.store.Put(ctx, key, epoch, data); err != nil {
 			if errors.Is(err, ErrStaleEpoch) {
 				return &orb.UserException{RepoID: ExStaleEpoch, Detail: err.Error()}
 			}
@@ -64,10 +69,13 @@ func (s *StoreServant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, 
 		if err := in.Err(); err != nil {
 			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
 		}
-		epoch, data, err := s.store.Get(key)
+		epoch, data, err := s.store.Get(ctx, key)
 		if err != nil {
 			if errors.Is(err, ErrNoCheckpoint) {
 				return &orb.UserException{RepoID: ExNoCheckpoint, Detail: err.Error()}
+			}
+			if errors.Is(err, ErrCorruptCheckpoint) {
+				return &orb.UserException{RepoID: ExCorruptCheckpoint, Detail: err.Error()}
 			}
 			return &orb.SystemException{Kind: orb.ExInternal, Detail: err.Error()}
 		}
@@ -80,13 +88,13 @@ func (s *StoreServant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, 
 		if err := in.Err(); err != nil {
 			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
 		}
-		if err := s.store.Delete(key); err != nil {
+		if err := s.store.Delete(ctx, key); err != nil {
 			return &orb.SystemException{Kind: orb.ExInternal, Detail: err.Error()}
 		}
 		return nil
 
 	case opKeys:
-		keys, err := s.store.Keys()
+		keys, err := s.store.Keys(ctx)
 		if err != nil {
 			return &orb.SystemException{Kind: orb.ExInternal, Detail: err.Error()}
 		}
@@ -100,9 +108,9 @@ func (s *StoreServant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, 
 
 // StoreClient is the typed stub for the checkpoint storage service. It
 // implements Store itself, so proxies work identically against a remote
-// store service or a local Store. Because the Store interface is
-// deliberately context-free (local stores have no cancellation surface),
-// the stub bounds each remote call only by the ORB's default CallTimeout.
+// store service or a local Store. Each call is bounded by the caller's
+// ctx (propagated on the wire as an SCDeadline service context) on top of
+// the ORB's default CallTimeout.
 type StoreClient struct {
 	orb *orb.ORB
 	ref orb.ObjectRef
@@ -118,47 +126,66 @@ func (c *StoreClient) Ref() orb.ObjectRef { return c.ref }
 
 var _ Store = (*StoreClient)(nil)
 
-// Put implements Store.
-func (c *StoreClient) Put(key string, epoch uint64, data []byte) error {
-	err := c.orb.Invoke(context.Background(), c.ref, opPut, func(e *cdr.Encoder) {
-		e.PutString(key)
-		e.PutUint64(epoch)
-		e.PutBytes(data)
-	}, nil)
-	if orb.IsUserException(err, ExStaleEpoch) {
-		return ErrStaleEpoch
+// mapStoreErr converts the service's wire exceptions back to the typed
+// sentinels, so errors.Is works identically against a remote store and a
+// local one.
+func mapStoreErr(err error) error {
+	var ue *orb.UserException
+	if !errors.As(err, &ue) {
+		return err
+	}
+	switch ue.RepoID {
+	case ExStaleEpoch:
+		return fmt.Errorf("%w: %s", ErrStaleEpoch, ue.Detail)
+	case ExNoCheckpoint:
+		return fmt.Errorf("%w: %s", ErrNoCheckpoint, ue.Detail)
+	case ExCorruptCheckpoint:
+		return fmt.Errorf("%w: %s", ErrCorruptCheckpoint, ue.Detail)
 	}
 	return err
 }
 
+// Put implements Store.
+func (c *StoreClient) Put(ctx context.Context, key string, epoch uint64, data []byte) error {
+	err := c.orb.Invoke(ctx, c.ref, opPut, func(e *cdr.Encoder) {
+		e.PutString(key)
+		e.PutUint64(epoch)
+		e.PutBytes(data)
+	}, nil)
+	return mapStoreErr(err)
+}
+
 // Get implements Store.
-func (c *StoreClient) Get(key string) (uint64, []byte, error) {
+func (c *StoreClient) Get(ctx context.Context, key string) (uint64, []byte, error) {
 	var epoch uint64
 	var data []byte
-	err := c.orb.Invoke(context.Background(), c.ref, opGet,
+	err := c.orb.Invoke(ctx, c.ref, opGet,
 		func(e *cdr.Encoder) { e.PutString(key) },
 		func(d *cdr.Decoder) error {
 			epoch = d.GetUint64()
 			data = d.GetBytes()
 			return d.Err()
 		})
-	if orb.IsUserException(err, ExNoCheckpoint) {
-		return 0, nil, ErrNoCheckpoint
+	if err != nil {
+		return 0, nil, mapStoreErr(err)
 	}
-	return epoch, data, err
+	return epoch, data, nil
 }
 
 // Delete implements Store.
-func (c *StoreClient) Delete(key string) error {
-	return c.orb.Invoke(context.Background(), c.ref, opDelete, func(e *cdr.Encoder) { e.PutString(key) }, nil)
+func (c *StoreClient) Delete(ctx context.Context, key string) error {
+	return mapStoreErr(c.orb.Invoke(ctx, c.ref, opDelete, func(e *cdr.Encoder) { e.PutString(key) }, nil))
 }
 
 // Keys implements Store.
-func (c *StoreClient) Keys() ([]string, error) {
+func (c *StoreClient) Keys(ctx context.Context) ([]string, error) {
 	var keys []string
-	err := c.orb.Invoke(context.Background(), c.ref, opKeys, nil, func(d *cdr.Decoder) error {
+	err := c.orb.Invoke(ctx, c.ref, opKeys, nil, func(d *cdr.Decoder) error {
 		keys = d.GetStringSeq()
 		return d.Err()
 	})
-	return keys, err
+	if err != nil {
+		return nil, mapStoreErr(err)
+	}
+	return keys, nil
 }

@@ -1,0 +1,170 @@
+package ft
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/orb"
+)
+
+// newRemoteStore serves backing via a StoreServant on its own ORB and
+// returns a StoreClient stub talking to it over TCP.
+func newRemoteStore(t *testing.T, backing Store) *StoreClient {
+	t.Helper()
+	server := orb.New(orb.Options{Name: "store-server"})
+	t.Cleanup(server.Shutdown)
+	ad, err := server.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ad.Activate(StoreDefaultKey, NewStoreServant(backing))
+
+	client := orb.New(orb.Options{Name: "store-client"})
+	t.Cleanup(client.Shutdown)
+	return NewStoreClient(client, ref)
+}
+
+// TestStoreClientWireRoundTrip: the typed sentinels must survive the
+// GIOP round trip — errors.Is must work identically against a remote
+// store and a local one.
+func TestStoreClientWireRoundTrip(t *testing.T) {
+	sc := newRemoteStore(t, NewMemStore())
+	ctx := context.Background()
+
+	if err := sc.Put(ctx, "svc", 2, []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	epoch, data, err := sc.Get(ctx, "svc")
+	if err != nil || epoch != 2 || string(data) != "state" {
+		t.Fatalf("got %d %q %v", epoch, data, err)
+	}
+
+	// Stale epoch comes back typed.
+	if err := sc.Put(ctx, "svc", 2, []byte("again")); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale put err = %v, want ErrStaleEpoch", err)
+	}
+	if err := sc.Put(ctx, "svc", 1, []byte("older")); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("rollback put err = %v, want ErrStaleEpoch", err)
+	}
+
+	// Missing checkpoint comes back typed.
+	if _, _, err := sc.Get(ctx, "ghost"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing get err = %v, want ErrNoCheckpoint", err)
+	}
+
+	if err := sc.Delete(ctx, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sc.Get(ctx, "svc"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("deleted get err = %v, want ErrNoCheckpoint", err)
+	}
+	keys, err := sc.Keys(ctx)
+	if err != nil || len(keys) != 0 {
+		t.Fatalf("keys = %v, %v", keys, err)
+	}
+}
+
+// TestStoreClientCorruptCheckpointOnWire: a corrupt on-disk checkpoint
+// must surface to the remote client as a distinguishable typed error —
+// not ErrNoCheckpoint, and never a zero-epoch success.
+func TestStoreClientCorruptCheckpointOnWire(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := newRemoteStore(t, disk)
+	ctx := context.Background()
+
+	if err := sc.Put(ctx, "svc", 1, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stored file behind the daemon's back.
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("dir = %v, %v", entries, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, entries[0].Name()), []byte{0xff}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = sc.Get(ctx, "svc")
+	if err == nil {
+		t.Fatal("corrupt checkpoint read succeeded over the wire")
+	}
+	if !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("err = %v, want ErrCorruptCheckpoint", err)
+	}
+	if errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("corruption reported as missing checkpoint: %v", err)
+	}
+}
+
+// TestStoreClientHonoursContext: the stub is ctx-first — an expired
+// deadline fails the call promptly instead of stalling a recovery path
+// on a dead store daemon.
+func TestStoreClientHonoursContext(t *testing.T) {
+	sc := newRemoteStore(t, NewMemStore())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := sc.Put(ctx, "svc", 1, []byte("x"))
+	if err == nil {
+		t.Fatal("put with cancelled ctx succeeded")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancelled put took %v", el)
+	}
+}
+
+// TestReplicatedStoreOverWire: the quorum client composed of three real
+// remote replicas (separate ORBs, separate TCP endpoints) keeps serving
+// reads and writes when one daemon crashes mid-run.
+func TestReplicatedStoreOverWire(t *testing.T) {
+	backings := []*MemStore{NewMemStore(), NewMemStore(), NewMemStore()}
+	var orbs []*orb.ORB
+	stores := make([]Store, len(backings))
+	client := orb.New(orb.Options{Name: "quorum-client"})
+	t.Cleanup(client.Shutdown)
+	for i, b := range backings {
+		server := orb.New(orb.Options{Name: "replica"})
+		orbs = append(orbs, server)
+		t.Cleanup(server.Shutdown)
+		ad, err := server.NewAdapter("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := ad.Activate(StoreDefaultKey, NewStoreServant(b))
+		stores[i] = NewStoreClient(client, ref)
+	}
+	rs, err := NewReplicatedStore(stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if err := rs.Put(ctx, "svc", 1, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash replica 0's whole ORB.
+	orbs[0].Shutdown()
+	if err := rs.Put(ctx, "svc", 2, []byte("v2")); err != nil {
+		t.Fatalf("put with a dead replica: %v", err)
+	}
+	epoch, data, err := rs.Get(ctx, "svc")
+	if err != nil || epoch != 2 || string(data) != "v2" {
+		t.Fatalf("get with a dead replica: %d %q %v", epoch, data, err)
+	}
+	rs.WaitRepairs()
+	// The surviving backings both hold the newest epoch.
+	for i := 1; i < len(backings); i++ {
+		epoch, _, err := backings[i].Get(ctx, "svc")
+		if err != nil || epoch != 2 {
+			t.Fatalf("backing %d holds epoch %d, %v", i, epoch, err)
+		}
+	}
+}

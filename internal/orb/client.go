@@ -40,7 +40,9 @@ func (o *ORB) getConn(addr string) (*clientConn, error) {
 	}
 	o.mu.Unlock()
 
-	nc, err := net.DialTimeout("tcp", addr, o.opts.DialTimeout)
+	dctx, dcancel := context.WithTimeout(context.Background(), o.opts.DialTimeout)
+	nc, err := o.opts.Dialer.DialContext(dctx, "tcp", addr)
+	dcancel()
 	if err != nil {
 		return nil, CommFailure(fmt.Sprintf("dial %s: %v", addr, err))
 	}

@@ -8,12 +8,27 @@
 package orb
 
 import (
+	"context"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/giop"
 )
+
+// Dialer opens client-side transport connections — the ORB's outbound
+// seam. *net.Dialer satisfies it; fault-injection transports
+// (internal/faultnet) wrap it to impose failures without touching any
+// ORB code.
+type Dialer interface {
+	DialContext(ctx context.Context, network, addr string) (net.Conn, error)
+}
+
+// ListenFunc creates server-side listeners — the ORB's inbound seam.
+// net.Listen satisfies it; fault-injection transports wrap it to impose
+// failures on accepted connections.
+type ListenFunc func(network, addr string) (net.Listener, error)
 
 // Interceptor observes and may mutate protocol messages at the four
 // classical interception points (CORBA portable interceptor analogue).
@@ -44,6 +59,11 @@ type Options struct {
 	// MaxServerWorkers caps concurrently dispatched requests per adapter
 	// connection. Zero means 64.
 	MaxServerWorkers int
+	// Dialer opens outbound connections. Nil means a plain net.Dialer.
+	// This is the transport seam fault-injection layers plug into.
+	Dialer Dialer
+	// Listen creates adapter listeners. Nil means net.Listen.
+	Listen ListenFunc
 }
 
 // ORB is the object request broker runtime: it owns the client connection
@@ -67,6 +87,12 @@ func New(opts Options) *ORB {
 	}
 	if opts.MaxServerWorkers == 0 {
 		opts.MaxServerWorkers = 64
+	}
+	if opts.Dialer == nil {
+		opts.Dialer = &net.Dialer{}
+	}
+	if opts.Listen == nil {
+		opts.Listen = net.Listen
 	}
 	return &ORB{opts: opts, conns: make(map[string]*clientConn)}
 }

@@ -254,9 +254,21 @@ func (c *Caller) Do(ctx context.Context, op string, attempt func(ctx context.Con
 		if serr := sleepCtx(ctx, c.Opts.Backoff.delay(round)); serr != nil {
 			return &RetryError{Op: op, Attempts: round, Last: last}
 		}
+		// Recovery itself may fail transiently — the naming service can be
+		// partitioned or mid-restart exactly when we need a fresh reference.
+		// A failed recovery consumes budget rounds like a failed call, so a
+		// recovery path that heals within the budget still saves the call.
 		fresh, rerr := c.recoverRef(ctx, ref, err)
-		if rerr != nil {
-			return &RetryError{Op: op, Attempts: round, Last: rerr}
+		for rerr != nil {
+			last = rerr
+			if ctx.Err() != nil || round >= c.Opts.RetryBudget {
+				return &RetryError{Op: op, Attempts: round, Last: rerr}
+			}
+			round++
+			if serr := sleepCtx(ctx, c.Opts.Backoff.delay(round)); serr != nil {
+				return &RetryError{Op: op, Attempts: round, Last: last}
+			}
+			fresh, rerr = c.recoverRef(ctx, ref, err)
 		}
 		ref = fresh
 		c.SetRef(fresh)

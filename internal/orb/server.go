@@ -134,7 +134,7 @@ func (c *serverConn) shutdown() {
 // NewAdapter creates an object adapter listening on addr (use
 // "127.0.0.1:0" for an ephemeral port).
 func (o *ORB) NewAdapter(addr string) (*Adapter, error) {
-	ln, err := net.Listen("tcp", addr)
+	ln, err := o.opts.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("orb: adapter listen %s: %w", addr, err)
 	}

@@ -1,0 +1,110 @@
+package orb
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cdr"
+)
+
+// echoServant replies with its string argument.
+type echoServant struct{}
+
+func (echoServant) TypeID() string { return "IDL:repro/Echo:1.0" }
+
+func (echoServant) Invoke(_ *ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+	if op != "echo" {
+		return BadOperation(op)
+	}
+	s := in.GetString()
+	if err := in.Err(); err != nil {
+		return &SystemException{Kind: ExMarshal, Detail: err.Error()}
+	}
+	out.PutString(s)
+	return nil
+}
+
+// countingDialer wraps net.Dialer and counts DialContext calls.
+type countingDialer struct {
+	net.Dialer
+	calls atomic.Int64
+}
+
+func (d *countingDialer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	d.calls.Add(1)
+	return d.Dialer.DialContext(ctx, network, addr)
+}
+
+// refusingDialer fails every dial.
+type refusingDialer struct{}
+
+func (refusingDialer) DialContext(context.Context, string, string) (net.Conn, error) {
+	return nil, errors.New("injected refusal")
+}
+
+func TestCustomDialerIsUsed(t *testing.T) {
+	server := New(Options{Name: "seam-server"})
+	defer server.Shutdown()
+	ad, err := server.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ad.Activate("echo", echoServant{})
+
+	d := &countingDialer{}
+	client := New(Options{Name: "seam-client", Dialer: d})
+	defer client.Shutdown()
+
+	var got string
+	err = client.Invoke(context.Background(), ref, "echo",
+		func(e *cdr.Encoder) { e.PutString("hi") },
+		func(dec *cdr.Decoder) error { got = dec.GetString(); return dec.Err() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "hi" {
+		t.Fatalf("echo = %q", got)
+	}
+	if d.calls.Load() != 1 {
+		t.Fatalf("dialer calls = %d, want 1", d.calls.Load())
+	}
+}
+
+func TestRefusingDialerSurfacesCommFailure(t *testing.T) {
+	client := New(Options{Name: "refused-client", Dialer: refusingDialer{}})
+	defer client.Shutdown()
+	ref := ObjectRef{TypeID: "T", Addr: "127.0.0.1:1", Key: "x"}
+	err := client.Invoke(context.Background(), ref, "op", nil, nil)
+	if !IsCommFailure(err) {
+		t.Fatalf("err = %v, want COMM_FAILURE", err)
+	}
+}
+
+func TestCustomListenIsUsed(t *testing.T) {
+	var listens atomic.Int64
+	server := New(Options{
+		Name: "listen-server",
+		Listen: func(network, addr string) (net.Listener, error) {
+			listens.Add(1)
+			return net.Listen(network, addr)
+		},
+	})
+	defer server.Shutdown()
+	ad, err := server.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if listens.Load() != 1 {
+		t.Fatalf("listen calls = %d, want 1", listens.Load())
+	}
+	ref := ad.Activate("echo", echoServant{})
+
+	client := New(Options{Name: "listen-client"})
+	defer client.Shutdown()
+	if err := client.Ping(context.Background(), ref); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -173,6 +173,26 @@ func (m *Manager) WithFT(opts FTOptions) *Manager {
 // after Run or Place).
 func (m *Manager) WorkerRefs() []orb.ObjectRef { return m.refs }
 
+// ProxyStats sums the fault-tolerance counters over all worker proxies.
+// Zero unless the manager runs WithFT; valid after Place. Chaos tests use
+// it to assert that recovery fired and that replayed work stays bounded.
+func (m *Manager) ProxyStats() ft.Stats {
+	var total ft.Stats
+	for _, h := range m.handles {
+		ph, ok := h.(proxyHandle)
+		if !ok {
+			continue
+		}
+		s := ph.p.Stats()
+		total.Calls += s.Calls
+		total.Checkpoints += s.Checkpoints
+		total.CheckpointFailures += s.CheckpointFailures
+		total.Recoveries += s.Recoveries
+		total.Replays += s.Replays
+	}
+	return total
+}
+
 // Place resolves one worker reference per subproblem through the naming
 // service. With the Winner-enhanced service each resolve lands on the
 // currently best host; with the plain service placement ignores load —
@@ -241,12 +261,14 @@ type keyedStore struct {
 	key   string
 }
 
-func (s keyedStore) Put(_ string, epoch uint64, data []byte) error {
-	return s.inner.Put(s.key, epoch, data)
+func (s keyedStore) Put(ctx context.Context, _ string, epoch uint64, data []byte) error {
+	return s.inner.Put(ctx, s.key, epoch, data)
 }
-func (s keyedStore) Get(string) (uint64, []byte, error) { return s.inner.Get(s.key) }
-func (s keyedStore) Delete(string) error                { return s.inner.Delete(s.key) }
-func (s keyedStore) Keys() ([]string, error)            { return s.inner.Keys() }
+func (s keyedStore) Get(ctx context.Context, _ string) (uint64, []byte, error) {
+	return s.inner.Get(ctx, s.key)
+}
+func (s keyedStore) Delete(ctx context.Context, _ string) error { return s.inner.Delete(ctx, s.key) }
+func (s keyedStore) Keys(ctx context.Context) ([]string, error) { return s.inner.Keys(ctx) }
 
 // Run executes the full bilevel optimization and reports the result.
 // Cancelling ctx stops the manager loop between evaluations and aborts
