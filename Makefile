@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race chaos generate bench
+.PHONY: check fmt vet build test race chaos generate bench bench-json
 
 ## check: everything CI runs — formatting, vet, build, race-enabled tests.
 check: fmt vet build race
@@ -34,3 +34,8 @@ generate:
 
 bench:
 	$(GO) test -bench 'Figure3|Table1|Ablation' -benchtime=1x
+
+## bench-json: the quick evaluation sweep as machine-readable JSON
+## (BENCH_PR3.json), the artifact CI uploads per run for trend tracking.
+bench-json:
+	$(GO) run ./cmd/rosenbench -experiment both -quick -json > BENCH_PR3.json

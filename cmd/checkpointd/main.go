@@ -23,12 +23,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"repro/internal/ft"
+	"repro/internal/obs"
 	"repro/internal/orb"
 )
 
@@ -62,7 +64,9 @@ func main() {
 	dir := flag.String("dir", "", "persist checkpoints to this directory (empty: in-memory)")
 	refFile := flag.String("ref-file", "", "write the service SIOR to this file")
 	peers := flag.String("peers", "", "comma-separated peer replica SIORs (or @file) to form a quorum front-end")
+	obsAddr := flag.String("obs", "", "serve /metrics and /debug/traces on this address (empty: disabled)")
 	flag.Parse()
+	slog.SetDefault(obs.NewLogger(os.Stderr, "checkpointd", slog.LevelInfo))
 
 	var local ft.Store
 	if *dir != "" {
@@ -105,6 +109,15 @@ func main() {
 	ref := ad.Activate(ft.StoreDefaultKey, ft.NewStoreServant(store))
 	sior := ref.ToString()
 	fmt.Println(sior)
+	if *obsAddr != "" {
+		_, ln, err := o.Observe("checkpointd", *obsAddr)
+		if err != nil {
+			log.Fatalf("checkpointd: obs endpoint: %v", err)
+		}
+		defer ln.Close()
+		fmt.Println("OBS:" + ln.Addr().String())
+		log.Printf("checkpointd: observability on http://%s/metrics", ln.Addr())
+	}
 	if *refFile != "" {
 		if err := os.WriteFile(*refFile, []byte(sior+"\n"), 0o644); err != nil {
 			log.Fatalf("checkpointd: write ref file: %v", err)

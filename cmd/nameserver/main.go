@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/naming"
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/winner"
 )
@@ -32,7 +34,9 @@ func main() {
 	refFile := flag.String("ref-file", "", "write the service SIOR to this file")
 	store := flag.String("store", "", "persist bindings to this snapshot file")
 	savePeriod := flag.Duration("save-period", 10*time.Second, "snapshot save interval (with -store)")
+	obsAddr := flag.String("obs", "", "serve /metrics and /debug/traces on this address (empty: disabled)")
 	flag.Parse()
+	slog.SetDefault(obs.NewLogger(os.Stderr, "nameserver", slog.LevelInfo))
 
 	o := orb.New(orb.Options{Name: "nameserver"})
 	defer o.Shutdown()
@@ -63,6 +67,15 @@ func main() {
 	ref := ad.Activate(naming.DefaultKey, servant)
 	sior := ref.ToString()
 	fmt.Println(sior)
+	if *obsAddr != "" {
+		_, ln, err := o.Observe("nameserver", *obsAddr)
+		if err != nil {
+			log.Fatalf("nameserver: obs endpoint: %v", err)
+		}
+		defer ln.Close()
+		fmt.Println("OBS:" + ln.Addr().String())
+		log.Printf("nameserver: observability on http://%s/metrics", ln.Addr())
+	}
 	if *refFile != "" {
 		if err := os.WriteFile(*refFile, []byte(sior+"\n"), 0o644); err != nil {
 			log.Fatalf("nameserver: write ref file: %v", err)

@@ -16,10 +16,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // jsonReport is the -json output document: one entry per experiment run,
@@ -56,6 +58,8 @@ func main() {
 	managerIters := flag.Int("manager-iters", 0, "override manager Complex Box iterations")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
+	trace := flag.Bool("trace", false, "collect RPC traces during table1 and print a latency/trace report")
+	traceTop := flag.Int("trace-top", 5, "number of slowest traces to print with -trace")
 	flag.Parse()
 
 	runFig3 := *experiment == "fig3" || *experiment == "both"
@@ -65,6 +69,16 @@ func main() {
 	}
 
 	report := jsonReport{Experiment: *experiment, Quick: *quick, Seed: *seed}
+
+	var ob *obs.Observer
+	if *trace {
+		// The observer rides every ORB of the table1 deployment; making
+		// its tracer the process default also roots the manager's
+		// per-round spans (rosen.round) in the same ring, so each
+		// optimization round reads as one trace.
+		ob = obs.NewObserver("rosenbench")
+		obs.SetDefault(ob.Tracer)
+	}
 
 	if runFig3 {
 		cfg := experiments.DefaultFigure3Config()
@@ -103,6 +117,7 @@ func main() {
 		}
 		cfg := experiments.DefaultTable1Config()
 		cfg.Seed = *seed
+		cfg.Observer = ob
 		if *quick {
 			cfg.N, cfg.Workers = 30, 3
 			cfg.Iterations = []int{100, 1000, 5000}
@@ -127,5 +142,16 @@ func main() {
 		if err := enc.Encode(report); err != nil {
 			log.Fatalf("rosenbench: encode json: %v", err)
 		}
+	}
+
+	if ob != nil {
+		// With -json the report goes to stderr so stdout stays parseable.
+		out := io.Writer(os.Stdout)
+		if *jsonOut {
+			out = os.Stderr
+		} else {
+			experiments.RenderSeparator(out)
+		}
+		experiments.RenderTraceReport(out, ob, *traceTop)
 	}
 }

@@ -13,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/winner"
 )
@@ -30,11 +32,13 @@ func main() {
 	speed := flag.Float64("speed", 1, "relative CPU speed of this host (node role)")
 	period := flag.Duration("period", 2*time.Second, "sampling period (node role)")
 	refFile := flag.String("ref-file", "", "write the system manager SIOR to this file")
+	obsAddr := flag.String("obs", "", "serve /metrics and /debug/traces on this address (system role; empty: disabled)")
 	flag.Parse()
+	slog.SetDefault(obs.NewLogger(os.Stderr, "winnerd", slog.LevelInfo))
 
 	switch *role {
 	case "system":
-		runSystem(*addr, *refFile)
+		runSystem(*addr, *refFile, *obsAddr)
 	case "node":
 		runNode(*managerRef, *host, *speed, *period)
 	default:
@@ -42,7 +46,7 @@ func main() {
 	}
 }
 
-func runSystem(addr, refFile string) {
+func runSystem(addr, refFile, obsAddr string) {
 	o := orb.New(orb.Options{Name: "winnerd"})
 	defer o.Shutdown()
 	ad, err := o.NewAdapter(addr)
@@ -53,6 +57,15 @@ func runSystem(addr, refFile string) {
 	ref := ad.Activate(winner.DefaultKey, winner.NewServant(mgr))
 	sior := ref.ToString()
 	fmt.Println(sior)
+	if obsAddr != "" {
+		_, ln, err := o.Observe("winnerd", obsAddr)
+		if err != nil {
+			log.Fatalf("winnerd: obs endpoint: %v", err)
+		}
+		defer ln.Close()
+		fmt.Println("OBS:" + ln.Addr().String())
+		log.Printf("winnerd: observability on http://%s/metrics", ln.Addr())
+	}
 	if refFile != "" {
 		if err := os.WriteFile(refFile, []byte(sior+"\n"), 0o644); err != nil {
 			log.Fatalf("winnerd: write ref file: %v", err)

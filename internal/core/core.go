@@ -80,6 +80,14 @@ func NewWinnerSelector(ranker HostRanker, fallback naming.Selector) *WinnerSelec
 
 // Select implements naming.Selector.
 func (s *WinnerSelector) Select(name naming.Name, offers []naming.Offer) (naming.Offer, error) {
+	o, _, err := s.SelectExplain(name, offers)
+	return o, err
+}
+
+// SelectExplain implements naming.ExplainingSelector: the decision
+// reason records whether Winner ranked the host or a fallback applied,
+// so resolve traces show why a host won.
+func (s *WinnerSelector) SelectExplain(name naming.Name, offers []naming.Offer) (naming.Offer, naming.Decision, error) {
 	hosts := make([]string, 0, len(offers))
 	seen := make(map[string]bool, len(offers))
 	for _, o := range offers {
@@ -89,20 +97,26 @@ func (s *WinnerSelector) Select(name naming.Name, offers []naming.Offer) (naming
 		}
 	}
 	if len(hosts) == 0 {
-		return s.fallback.Select(name, offers)
+		return s.fallbackExplain(name, offers, "fallback-no-hosts")
 	}
 	best, err := s.ranker.BestOf(hosts)
 	if err != nil {
 		// No ranking available: degrade to plain behaviour rather than
 		// failing the resolve.
-		return s.fallback.Select(name, offers)
+		return s.fallbackExplain(name, offers, "fallback-ranker-error")
 	}
 	for _, o := range offers {
 		if o.Host == best {
-			return o, nil
+			return o, naming.Decision{Reason: "winner-best"}, nil
 		}
 	}
-	return s.fallback.Select(name, offers)
+	return s.fallbackExplain(name, offers, "fallback-host-unknown")
+}
+
+// fallbackExplain runs the fallback selector and tags the decision.
+func (s *WinnerSelector) fallbackExplain(name naming.Name, offers []naming.Offer, reason string) (naming.Offer, naming.Decision, error) {
+	o, err := s.fallback.Select(name, offers)
+	return o, naming.Decision{Reason: reason}, err
 }
 
 // NewLoadNamingServant assembles the paper's enhanced naming service: a

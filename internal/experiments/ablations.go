@@ -21,7 +21,7 @@ func RunTable1Ablation(cfg Table1Config, checkpointEvery int) ([]Table1Row, erro
 	}
 	var rows []Table1Row
 	for _, iters := range cfg.Iterations {
-		w, err := newTable1World(cfg.Workers)
+		w, err := newTable1World(cfg.Workers, cfg.Observer)
 		if err != nil {
 			return nil, err
 		}
@@ -34,7 +34,7 @@ func RunTable1Ablation(cfg Table1Config, checkpointEvery int) ([]Table1Row, erro
 			return nil, err
 		}
 
-		w2, err := newTable1World(cfg.Workers)
+		w2, err := newTable1World(cfg.Workers, cfg.Observer)
 		if err != nil {
 			return nil, err
 		}

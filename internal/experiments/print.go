@@ -3,7 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // RenderFigure3 prints the Figure 3 reproduction as text series: one block
@@ -40,4 +44,68 @@ func RenderTable1(w io.Writer, rows []Table1Row) {
 // RenderSeparator prints a visual divider.
 func RenderSeparator(w io.Writer) {
 	fmt.Fprintln(w, strings.Repeat("-", 78))
+}
+
+// RenderTraceReport prints the per-method RPC latency table and the top
+// slowest traces collected by ob during a run (rosenbench -trace). Spans
+// are indented by parentage; spans whose parent fell out of the ring are
+// shown at top level.
+func RenderTraceReport(w io.Writer, ob *obs.Observer, top int) {
+	fmt.Fprintln(w, "RPC latency by method (client side)")
+	snaps := ob.ClientLatency().Snapshot()
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Labels[0] < snaps[j].Labels[0] })
+	fmt.Fprintf(w, "  %-18s %10s %12s %12s %12s %12s\n", "method", "calls", "mean", "p50", "p95", "p99")
+	for _, s := range snaps {
+		fmt.Fprintf(w, "  %-18s %10d %12s %12s %12s %12s\n", s.Labels[0], s.Count,
+			fmtSeconds(s.Mean()), fmtSeconds(s.Quantile(0.5)),
+			fmtSeconds(s.Quantile(0.95)), fmtSeconds(s.Quantile(0.99)))
+	}
+
+	traces := ob.Ring.Traces()
+	if len(traces) > top {
+		traces = traces[:top]
+	}
+	fmt.Fprintf(w, "\n%d slowest traces (of %d buffered)\n", len(traces), ob.Ring.Len())
+	for _, tr := range traces {
+		fmt.Fprintf(w, "\ntrace %s  %s  %d spans\n", tr.TraceID, fmtSeconds(tr.Duration.Seconds()), len(tr.Spans))
+		inRing := make(map[obs.SpanID]bool, len(tr.Spans))
+		children := make(map[obs.SpanID][]*obs.Span)
+		for _, s := range tr.Spans {
+			inRing[s.Context().SpanID] = true
+		}
+		var roots []*obs.Span
+		for _, s := range tr.Spans {
+			if p := s.Parent(); !p.IsZero() && inRing[p] {
+				children[p] = append(children[p], s)
+			} else {
+				roots = append(roots, s)
+			}
+		}
+		var dump func(s *obs.Span, depth int)
+		dump = func(s *obs.Span, depth int) {
+			line := fmt.Sprintf("%s%s", strings.Repeat("  ", depth+1), s.Name())
+			if side, ok := s.Attr("side"); ok {
+				line += " [" + side + "]"
+			}
+			fmt.Fprintf(w, "%-44s %12s", line, fmtSeconds(s.Duration().Seconds()))
+			if e := s.Err(); e != "" {
+				fmt.Fprintf(w, "  err=%s", e)
+			}
+			for _, ev := range s.Events() {
+				fmt.Fprintf(w, "  !%s", ev.Name)
+			}
+			fmt.Fprintln(w)
+			for _, c := range children[s.Context().SpanID] {
+				dump(c, depth+1)
+			}
+		}
+		for _, r := range roots {
+			dump(r, 0)
+		}
+	}
+}
+
+// fmtSeconds renders a duration in seconds with an adaptive unit.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ft"
 	"repro/internal/naming"
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/rosen"
 )
@@ -28,6 +29,10 @@ type Table1Config struct {
 	// Repeats runs each cell several times and keeps the minimum runtime
 	// (the standard way to suppress wall-clock noise in microbenchmarks).
 	Repeats int
+	// Observer, when set, is attached to every ORB of the measured
+	// deployment: RPC spans and latency histograms from all processes
+	// land in its ring/registry (rosenbench -trace).
+	Observer *obs.Observer `json:"-"`
 }
 
 // DefaultTable1Config reproduces the paper's sweep, extended downward so
@@ -73,9 +78,13 @@ type table1World struct {
 	store    *ft.StoreClient
 }
 
-func newTable1World(workers int) (*table1World, error) {
+func newTable1World(workers int, ob *obs.Observer) (*table1World, error) {
+	var cis []orb.CallInterceptor
+	if ob != nil {
+		cis = []orb.CallInterceptor{ob}
+	}
 	w := &table1World{}
-	w.services = orb.New(orb.Options{Name: "services"})
+	w.services = orb.New(orb.Options{Name: "services", CallInterceptors: cis})
 	ad, err := w.services.NewAdapter("127.0.0.1:0")
 	if err != nil {
 		w.close()
@@ -85,13 +94,13 @@ func newTable1World(workers int) (*table1World, error) {
 	nsRef := ad.Activate(naming.DefaultKey, naming.NewServant(reg, naming.RoundRobinSelector()))
 	storeRef := ad.Activate(ft.StoreDefaultKey, ft.NewStoreServant(ft.NewMemStore()))
 
-	w.manager = orb.New(orb.Options{Name: "manager"})
+	w.manager = orb.New(orb.Options{Name: "manager", CallInterceptors: cis})
 	w.naming = naming.NewClient(w.manager, nsRef)
 	w.store = ft.NewStoreClient(w.manager, storeRef)
 
 	name := naming.NewName(rosen.ServiceName)
 	for j := 0; j < workers; j++ {
-		wo := orb.New(orb.Options{Name: fmt.Sprintf("worker%d", j)})
+		wo := orb.New(orb.Options{Name: fmt.Sprintf("worker%d", j), CallInterceptors: cis})
 		wad, err := wo.NewAdapter("127.0.0.1:0")
 		if err != nil {
 			w.close()
@@ -160,7 +169,7 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 }
 
 func runTable1Cell(cfg Table1Config, iters int, useProxy bool) (float64, uint64, error) {
-	w, err := newTable1World(cfg.Workers)
+	w, err := newTable1World(cfg.Workers, cfg.Observer)
 	if err != nil {
 		return 0, 0, err
 	}

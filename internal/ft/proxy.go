@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cdr"
 	"repro/internal/naming"
+	"repro/internal/obs"
 	"repro/internal/orb"
 )
 
@@ -189,11 +190,15 @@ func (p *Proxy) caller() *orb.Caller {
 // switching a client from the plain stub to the proxy is the one-line
 // change the paper advertises.
 func (p *Proxy) Invoke(ctx context.Context, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
+	sctx, span := obs.StartSpan(ctx, "ft.invoke",
+		obs.String("op", op), obs.String("name", p.name.String()))
 	c := p.caller()
-	if err := c.Invoke(ctx, op, writeArgs, readReply); err != nil {
-		return err
+	err := c.Invoke(sctx, op, writeArgs, readReply)
+	if err == nil {
+		err = p.afterSuccess(sctx, c.Ref(), op)
 	}
-	return p.afterSuccess(ctx, c.Ref(), op)
+	span.EndErr(err)
+	return err
 }
 
 // afterSuccess counts the call and checkpoints per policy.
@@ -225,7 +230,10 @@ func (p *Proxy) afterSuccess(ctx context.Context, ref orb.ObjectRef, op string) 
 }
 
 // checkpoint pulls the server state and stores it under the next epoch.
-func (p *Proxy) checkpoint(ctx context.Context, ref orb.ObjectRef) error {
+func (p *Proxy) checkpoint(ctx context.Context, ref orb.ObjectRef) (err error) {
+	ctx, span := obs.StartSpan(ctx, "ft.checkpoint",
+		obs.String("name", p.name.String()), obs.String("target", ref.Addr))
+	defer func() { span.EndErr(err) }()
 	if p.store == nil {
 		return errors.New("ft: no checkpoint store configured")
 	}
@@ -237,6 +245,7 @@ func (p *Proxy) checkpoint(ctx context.Context, ref orb.ObjectRef) error {
 	p.epoch++
 	epoch := p.epoch
 	p.mu.Unlock()
+	span.SetAttr("epoch", fmt.Sprintf("%d", epoch))
 	if err := p.store.Put(ctx, p.key(), epoch, data); err != nil {
 		return err
 	}
@@ -260,21 +269,43 @@ func (p *Proxy) recoverFrom(ctx context.Context, dead orb.ObjectRef) (orb.Object
 		return cur, nil
 	}
 
+	ctx, span := obs.StartSpan(ctx, "ft.recover",
+		obs.String("name", p.name.String()), obs.String("dead", dead.Addr))
 	if p.unbinder != nil {
 		// Best effort: the offer may already be gone.
 		_ = p.unbinder.UnbindOffer(ctx, p.name, dead)
+		span.AddEvent("unbound_dead_offer", obs.String("addr", dead.Addr))
 	}
-	fresh, err := p.resolver.Resolve(ctx, p.name)
+	fresh, err := p.resolveFresh(ctx)
 	if err != nil {
-		return orb.ObjectRef{}, fmt.Errorf("re-resolve %s: %w", p.name, err)
+		span.EndErr(err)
+		return orb.ObjectRef{}, err
 	}
+	span.SetAttr("fresh", fresh.Addr)
 	if err := p.restoreInto(ctx, fresh); err != nil {
+		span.EndErr(err)
 		return orb.ObjectRef{}, err
 	}
 	p.mu.Lock()
 	p.ref = fresh
 	p.stats.Recoveries++
 	p.mu.Unlock()
+	span.End()
+	return fresh, nil
+}
+
+// resolveFresh re-resolves the service name under its own span, so the
+// trace shows which replacement host the naming service picked.
+func (p *Proxy) resolveFresh(ctx context.Context) (orb.ObjectRef, error) {
+	ctx, span := obs.StartSpan(ctx, "ft.resolve", obs.String("name", p.name.String()))
+	fresh, err := p.resolver.Resolve(ctx, p.name)
+	if err != nil {
+		err = fmt.Errorf("re-resolve %s: %w", p.name, err)
+		span.EndErr(err)
+		return orb.ObjectRef{}, err
+	}
+	span.SetAttr("addr", fresh.Addr)
+	span.End()
 	return fresh, nil
 }
 
@@ -284,21 +315,31 @@ func (p *Proxy) restoreInto(ctx context.Context, ref orb.ObjectRef) error {
 	if p.store == nil {
 		return nil
 	}
+	ctx, span := obs.StartSpan(ctx, "ft.restore",
+		obs.String("name", p.name.String()), obs.String("target", ref.Addr))
 	epoch, data, err := p.store.Get(ctx, p.key())
 	if errors.Is(err, ErrNoCheckpoint) {
+		span.SetAttr("no_checkpoint", "true")
+		span.End()
 		return nil
 	}
 	if err != nil {
-		return fmt.Errorf("fetch checkpoint for %s: %w", p.name, err)
+		err = fmt.Errorf("fetch checkpoint for %s: %w", p.name, err)
+		span.EndErr(err)
+		return err
 	}
+	span.SetAttr("epoch", fmt.Sprintf("%d", epoch))
 	if err := PushRestore(ctx, p.orb, ref, data); err != nil {
-		return fmt.Errorf("restore %s into %v: %w", p.name, ref, err)
+		err = fmt.Errorf("restore %s into %v: %w", p.name, ref, err)
+		span.EndErr(err)
+		return err
 	}
 	p.mu.Lock()
 	if epoch > p.epoch {
 		p.epoch = epoch
 	}
 	p.mu.Unlock()
+	span.End()
 	return nil
 }
 

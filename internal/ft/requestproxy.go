@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/cdr"
+	"repro/internal/obs"
 	"repro/internal/orb"
 )
 
@@ -17,6 +18,7 @@ type RequestProxy struct {
 	op    string
 	args  *cdr.Encoder
 	req   *orb.Request
+	span  *obs.Span // "ft.invoke", opened at NewRequest, closed at GetResponse
 }
 
 // NewRequest creates a deferred request for op through the proxy. ctx
@@ -27,7 +29,11 @@ func (p *Proxy) NewRequest(ctx context.Context, op string) *RequestProxy {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &RequestProxy{proxy: p, ctx: ctx, op: op, args: cdr.NewEncoder(128)}
+	// The deferred call's whole lifetime — send, wait, recovery replays —
+	// runs under one ft.invoke span, mirroring the synchronous path.
+	sctx, span := obs.StartSpan(ctx, "ft.invoke",
+		obs.String("op", op), obs.String("name", p.name.String()))
+	return &RequestProxy{proxy: p, ctx: sctx, op: op, args: cdr.NewEncoder(128), span: span}
 }
 
 // Operation returns the operation name.
@@ -77,8 +83,9 @@ func (r *RequestProxy) GetResponse(readReply func(*cdr.Decoder) error) error {
 		first = false
 		return r.req.GetResponse(readReply)
 	})
-	if err != nil {
-		return err
+	if err == nil {
+		err = p.afterSuccess(r.ctx, c.Ref(), r.op)
 	}
-	return p.afterSuccess(r.ctx, c.Ref(), r.op)
+	r.span.EndErr(err)
+	return err
 }

@@ -136,6 +136,12 @@ const (
 	// them, and propagate the (shrinking) remainder into nested calls via
 	// the request context.
 	SCDeadline uint32 = 0x444c4e45 // "DLNE"
+	// SCTrace carries a distributed-tracing context: 16-byte trace id,
+	// 8-byte parent span id and one flag byte (bit 0 = sampled). See
+	// internal/obs for the codec. Peers that predate tracing relay the
+	// context untouched — unknown service-context IDs are preserved
+	// verbatim through encode/decode.
+	SCTrace uint32 = 0x54524143 // "TRAC"
 )
 
 // EncodeDeadline renders a remaining-duration deadline for SCDeadline.
@@ -219,24 +225,30 @@ func putContexts(e *cdr.Encoder, ctxs []ServiceContext) {
 	}
 }
 
-func getContexts(d *cdr.Decoder) []ServiceContext {
+// getContexts decodes a service-context list. IDs are opaque here:
+// unknown contexts are preserved verbatim so they survive a round trip
+// through a peer that does not understand them (forward compatibility
+// for SCTrace and future contexts). A count beyond the sanity bound is a
+// hard decode error — silently dropping the list would leave the decoder
+// misaligned and corrupt every field after it.
+func getContexts(d *cdr.Decoder) ([]ServiceContext, error) {
 	n := d.GetUint32()
 	if n > 1024 { // sanity bound; contexts are small and few
-		return nil
+		return nil, fmt.Errorf("giop: service context count %d exceeds limit", n)
 	}
 	if n == 0 {
-		return nil
+		return nil, d.Err()
 	}
 	out := make([]ServiceContext, 0, n)
 	for i := uint32(0); i < n; i++ {
 		id := d.GetUint32()
 		data := d.GetBytes()
-		if d.Err() != nil {
-			return nil
+		if err := d.Err(); err != nil {
+			return nil, err
 		}
 		out = append(out, ServiceContext{ID: id, Data: data})
 	}
-	return out
+	return out, nil
 }
 
 // encodeBody renders the type-specific portion of m (everything after the
@@ -297,7 +309,10 @@ func (m *Message) decodeBody(data []byte) error {
 	}
 	switch m.Type {
 	case MsgRequest:
-		m.Contexts = getContexts(d)
+		var err error
+		if m.Contexts, err = getContexts(d); err != nil {
+			return err
+		}
 		m.RequestID = d.GetUint32()
 		m.ResponseExpected = d.GetBool()
 		m.ObjectKey = d.GetString()
@@ -307,7 +322,10 @@ func (m *Message) decodeBody(data []byte) error {
 		}
 		consumeBody()
 	case MsgReply:
-		m.Contexts = getContexts(d)
+		var err error
+		if m.Contexts, err = getContexts(d); err != nil {
+			return err
+		}
 		m.RequestID = d.GetUint32()
 		m.ReplyStatus = ReplyStatus(d.GetUint32())
 		if err := d.Err(); err != nil {

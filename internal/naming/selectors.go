@@ -28,6 +28,12 @@ func (r *roundRobin) Select(name Name, offers []Offer) (Offer, error) {
 	return offers[i], nil
 }
 
+// SelectExplain implements ExplainingSelector.
+func (r *roundRobin) SelectExplain(name Name, offers []Offer) (Offer, Decision, error) {
+	o, err := r.Select(name, offers)
+	return o, Decision{Reason: "round-robin"}, err
+}
+
 // RandomSelector picks a uniformly random offer using the given source
 // (nil falls back to a fixed-seed source for reproducibility).
 func RandomSelector(rng *rand.Rand) Selector {

@@ -2,6 +2,7 @@ package naming
 
 import (
 	"repro/internal/cdr"
+	"repro/internal/obs"
 	"repro/internal/orb"
 )
 
@@ -27,6 +28,22 @@ type SelectorFunc func(name Name, offers []Offer) (Offer, error)
 
 // Select implements Selector.
 func (f SelectorFunc) Select(name Name, offers []Offer) (Offer, error) { return f(name, offers) }
+
+// Decision explains why a selector chose an offer, for tracing.
+type Decision struct {
+	// Reason is a short stable token ("winner-best", "round-robin",
+	// "fallback-no-hosts", ...) recorded on the resolve span.
+	Reason string
+}
+
+// ExplainingSelector is an optional Selector extension: selectors that
+// can say why a host won implement it, and the naming servant attaches
+// the reason to the live trace span on every group resolve.
+type ExplainingSelector interface {
+	Selector
+	// SelectExplain is Select plus the reasoning behind the choice.
+	SelectExplain(name Name, offers []Offer) (Offer, Decision, error)
+}
 
 // FirstSelector always returns the first (oldest) offer: the most naive
 // baseline — every client lands on the registration-order head.
@@ -72,7 +89,7 @@ const (
 )
 
 // Invoke implements orb.Servant.
-func (s *Servant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+func (s *Servant) Invoke(sctx *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
 	switch op {
 	case opBind, opRebind:
 		name, err := DecodeName(in)
@@ -100,7 +117,7 @@ func (s *Servant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *
 		if err != nil {
 			return errInvalidName(err.Error())
 		}
-		ref, err := s.resolve(name)
+		ref, err := s.resolve(sctx, name)
 		if err != nil {
 			return wireErr(err)
 		}
@@ -196,18 +213,32 @@ func (s *Servant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *
 }
 
 // resolve implements the load-distribution-aware resolve: object bindings
-// return directly; group bindings go through the Selector.
-func (s *Servant) resolve(name Name) (orb.ObjectRef, error) {
+// return directly; group bindings go through the Selector. The winning
+// host and the selector's reasoning land on the dispatch's trace span.
+func (s *Servant) resolve(sctx *orb.ServerContext, name Name) (orb.ObjectRef, error) {
 	offers, err := s.reg.Offers(name)
 	if err != nil {
 		return orb.ObjectRef{}, err
 	}
+	span := obs.SpanFromContext(sctx.Context())
 	if len(offers) == 1 {
+		span.AddEvent("naming.selected",
+			obs.String("name", name.String()), obs.String("host", offers[0].Host),
+			obs.String("addr", offers[0].Ref.Addr), obs.String("reason", "single-offer"))
 		return offers[0].Ref, nil
 	}
-	chosen, err := s.sel.Select(name, offers)
+	var chosen Offer
+	decision := Decision{Reason: "selector"}
+	if ex, ok := s.sel.(ExplainingSelector); ok {
+		chosen, decision, err = ex.SelectExplain(name, offers)
+	} else {
+		chosen, err = s.sel.Select(name, offers)
+	}
 	if err != nil {
 		return orb.ObjectRef{}, err
 	}
+	span.AddEvent("naming.selected",
+		obs.String("name", name.String()), obs.String("host", chosen.Host),
+		obs.String("addr", chosen.Ref.Addr), obs.String("reason", decision.Reason))
 	return chosen.Ref, nil
 }

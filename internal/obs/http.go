@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// traceJSON is the /debug/traces wire shape for one trace.
+type traceJSON struct {
+	TraceID    string     `json:"trace_id"`
+	Start      time.Time  `json:"start"`
+	DurationMS float64    `json:"duration_ms"`
+	Spans      []spanJSON `json:"spans"`
+}
+
+type spanJSON struct {
+	SpanID     string  `json:"span_id"`
+	Parent     string  `json:"parent,omitempty"`
+	Name       string  `json:"name"`
+	Service    string  `json:"service"`
+	DurationMS float64 `json:"duration_ms"`
+	Err        string  `json:"err,omitempty"`
+	Attrs      []Attr  `json:"attrs,omitempty"`
+	Events     []Event `json:"events,omitempty"`
+}
+
+func spanToJSON(s *Span) spanJSON {
+	j := spanJSON{
+		SpanID:     s.Context().SpanID.String(),
+		Name:       s.Name(),
+		Service:    s.Service(),
+		DurationMS: float64(s.Duration()) / float64(time.Millisecond),
+		Err:        s.Err(),
+		Attrs:      s.Attrs(),
+		Events:     s.Events(),
+	}
+	if !s.Parent().IsZero() {
+		j.Parent = s.Parent().String()
+	}
+	return j
+}
+
+// Handler serves the observability endpoints over reg and ring:
+//
+//	/metrics       — Prometheus text exposition format
+//	/debug/traces  — recent traces as JSON, slowest first (?n= limits)
+func Handler(reg *Registry, ring *Ring) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		n := 50
+		if v := r.URL.Query().Get("n"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+				n = parsed
+			}
+		}
+		traces := ring.Traces()
+		if len(traces) > n {
+			traces = traces[:n]
+		}
+		out := make([]traceJSON, 0, len(traces))
+		for _, tr := range traces {
+			tj := traceJSON{
+				TraceID:    tr.TraceID.String(),
+				Start:      tr.Start,
+				DurationMS: float64(tr.Duration) / float64(time.Millisecond),
+			}
+			for _, s := range tr.Spans {
+				tj.Spans = append(tj.Spans, spanToJSON(s))
+			}
+			out = append(out, tj)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	return mux
+}
+
+// Handler returns the observer's HTTP endpoints.
+func (ob *Observer) Handler() http.Handler { return Handler(ob.Registry, ob.Ring) }
+
+// Serve binds addr (":0" picks a free port) and serves handler in the
+// background; the returned listener reports the bound address. Callers
+// close the listener to stop.
+func Serve(addr string, handler http.Handler) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: handler}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// traceHandler decorates an slog.Handler with the trace and span ids of
+// the span carried by the record's context, correlating log lines with
+// /debug/traces output.
+type traceHandler struct {
+	inner slog.Handler
+}
+
+// NewTraceHandler wraps inner so every record logged with a span-bearing
+// context gains trace_id and span_id attributes.
+func NewTraceHandler(inner slog.Handler) slog.Handler {
+	return &traceHandler{inner: inner}
+}
+
+func (h *traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *traceHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if span := SpanFromContext(ctx); span != nil {
+		sc := span.Context()
+		rec.AddAttrs(
+			slog.String("trace_id", sc.TraceID.String()),
+			slog.String("span_id", sc.SpanID.String()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &traceHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *traceHandler) WithGroup(name string) slog.Handler {
+	return &traceHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger builds a trace-aware text logger for one component: records
+// carry component=name, and any record logged via the *Context methods
+// gains trace_id/span_id from the context's span.
+func NewLogger(w io.Writer, component string, level slog.Level) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(NewTraceHandler(h)).With("component", component)
+}

@@ -1,0 +1,391 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Families register once (by name) and record with
+// atomics; WritePrometheus reads a consistent-enough snapshot without
+// stopping writers.
+type Registry struct {
+	mu       sync.Mutex
+	families []family
+	byName   map[string]bool
+}
+
+type family interface {
+	name() string
+	write(w io.Writer)
+}
+
+// NewRegistry creates an empty metric registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool)}
+}
+
+func (r *Registry) register(f family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[f.name()] {
+		panic("obs: duplicate metric family " + f.name())
+	}
+	r.byName[f.name()] = true
+	r.families = append(r.families, f)
+}
+
+// WritePrometheus renders every registered family to w in Prometheus
+// text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := append([]family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// labelString renders {k1="v1",k2="v2"}; empty for no labels.
+func labelString(keys, values []string, extra ...string) string {
+	if len(keys) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, k, escapeLabel(values[i]))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if b.Len() > 1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, extra[i], escapeLabel(extra[i+1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// seriesKey joins label values with an unprintable separator so distinct
+// label tuples can't collide.
+func seriesKey(values []string) string { return strings.Join(values, "\xff") }
+
+// Counter is one monotonically increasing series.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct {
+	fname  string
+	help   string
+	labels []string
+
+	mu     sync.Mutex
+	series map[string]*counterSeries
+}
+
+type counterSeries struct {
+	values []string
+	c      Counter
+}
+
+// NewCounterVec registers a counter family with the given label names.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	cv := &CounterVec{fname: name, help: help, labels: labels, series: make(map[string]*counterSeries)}
+	r.register(cv)
+	return cv
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. The number of values must match the declared labels.
+func (cv *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(cv.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d labels, got %d", cv.fname, len(cv.labels), len(values)))
+	}
+	key := seriesKey(values)
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	s, ok := cv.series[key]
+	if !ok {
+		s = &counterSeries{values: append([]string(nil), values...)}
+		cv.series[key] = s
+	}
+	return &s.c
+}
+
+func (cv *CounterVec) name() string { return cv.fname }
+
+func (cv *CounterVec) write(w io.Writer) {
+	cv.mu.Lock()
+	keys := make([]string, 0, len(cv.series))
+	for k := range cv.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	series := make([]*counterSeries, len(keys))
+	for i, k := range keys {
+		series[i] = cv.series[k]
+	}
+	cv.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", cv.fname, cv.help, cv.fname)
+	for _, s := range series {
+		fmt.Fprintf(w, "%s%s %d\n", cv.fname, labelString(cv.labels, s.values), s.c.Value())
+	}
+}
+
+// HistogramVec is a family of latency histograms with shared buckets,
+// distinguished by label values. Observations are in seconds.
+type HistogramVec struct {
+	fname   string
+	help    string
+	labels  []string
+	buckets []float64 // upper bounds, ascending, +Inf implicit
+
+	mu     sync.Mutex
+	series map[string]*histogramSeries
+}
+
+type histogramSeries struct {
+	values  []string
+	counts  []atomic.Uint64 // one per bucket + one for +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 sum via math.Float64bits CAS
+}
+
+// ExponentialBuckets returns n upper bounds starting at start, each
+// factor times the previous — the standard layout for RPC latency.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// DefaultLatencyBuckets spans 100µs to ~3.3s in powers of two — wide
+// enough for in-process calls and checkpoint restores alike.
+var DefaultLatencyBuckets = ExponentialBuckets(100e-6, 2, 16)
+
+// NewHistogramVec registers a histogram family with the given bucket
+// upper bounds (ascending; +Inf is implicit) and label names.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DefaultLatencyBuckets
+	}
+	hv := &HistogramVec{
+		fname:   name,
+		help:    help,
+		labels:  labels,
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]*histogramSeries),
+	}
+	r.register(hv)
+	return hv
+}
+
+// Histogram is one labeled series of a HistogramVec.
+type Histogram struct {
+	hv *HistogramVec
+	s  *histogramSeries
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (hv *HistogramVec) With(values ...string) Histogram {
+	if len(values) != len(hv.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d labels, got %d", hv.fname, len(hv.labels), len(values)))
+	}
+	key := seriesKey(values)
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	s, ok := hv.series[key]
+	if !ok {
+		s = &histogramSeries{
+			values: append([]string(nil), values...),
+			counts: make([]atomic.Uint64, len(hv.buckets)+1),
+		}
+		hv.series[key] = s
+	}
+	return Histogram{hv: hv, s: s}
+}
+
+// Observe records one value (in seconds for latency families).
+func (h Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.hv.buckets, v)
+	h.s.counts[i].Add(1)
+	h.s.count.Add(1)
+	for {
+		old := h.s.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.s.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (hv *HistogramVec) name() string { return hv.fname }
+
+func (hv *HistogramVec) write(w io.Writer) {
+	hv.mu.Lock()
+	keys := make([]string, 0, len(hv.series))
+	for k := range hv.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	series := make([]*histogramSeries, len(keys))
+	for i, k := range keys {
+		series[i] = hv.series[k]
+	}
+	hv.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", hv.fname, hv.help, hv.fname)
+	for _, s := range series {
+		var cum uint64
+		for i, ub := range hv.buckets {
+			cum += s.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n",
+				hv.fname, labelString(hv.labels, s.values, "le", formatFloat(ub)), cum)
+		}
+		cum += s.counts[len(hv.buckets)].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", hv.fname, labelString(hv.labels, s.values, "le", "+Inf"), cum)
+		fmt.Fprintf(w, "%s_sum%s %g\n", hv.fname, labelString(hv.labels, s.values), math.Float64frombits(s.sumBits.Load()))
+		fmt.Fprintf(w, "%s_count%s %d\n", hv.fname, labelString(hv.labels, s.values), s.count.Load())
+	}
+}
+
+func formatFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", f), "0"), ".")
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram series,
+// used by rosenbench's latency table.
+type HistogramSnapshot struct {
+	Labels  []string
+	Buckets []float64 // upper bounds
+	Counts  []uint64  // per-bucket (non-cumulative), last entry is +Inf
+	Count   uint64
+	Sum     float64
+}
+
+// Snapshot copies every series of the family.
+func (hv *HistogramVec) Snapshot() []HistogramSnapshot {
+	hv.mu.Lock()
+	keys := make([]string, 0, len(hv.series))
+	for k := range hv.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]HistogramSnapshot, 0, len(keys))
+	for _, k := range keys {
+		s := hv.series[k]
+		snap := HistogramSnapshot{
+			Labels:  append([]string(nil), s.values...),
+			Buckets: append([]float64(nil), hv.buckets...),
+			Counts:  make([]uint64, len(s.counts)),
+			Count:   s.count.Load(),
+			Sum:     math.Float64frombits(s.sumBits.Load()),
+		}
+		for i := range s.counts {
+			snap.Counts[i] = s.counts[i].Load()
+		}
+		out = append(out, snap)
+	}
+	hv.mu.Unlock()
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts,
+// returning the upper bound of the bucket holding that rank. With no
+// observations it returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(s.Buckets) {
+				return s.Buckets[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Mean returns the average observed value, 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// CounterFunc exports a value read from fn at scrape time — used to
+// surface existing atomic counters (orb.Stats) without double counting.
+type CounterFunc struct {
+	fname string
+	help  string
+	fn    func() uint64
+}
+
+// NewCounterFunc registers a scrape-time counter backed by fn.
+func (r *Registry) NewCounterFunc(name, help string, fn func() uint64) {
+	r.register(&CounterFunc{fname: name, help: help, fn: fn})
+}
+
+func (cf *CounterFunc) name() string { return cf.fname }
+
+func (cf *CounterFunc) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", cf.fname, cf.help, cf.fname, cf.fname, cf.fn())
+}
+
+// GaugeFunc exports a float gauge read from fn at scrape time.
+type GaugeFunc struct {
+	fname string
+	help  string
+	fn    func() float64
+}
+
+// NewGaugeFunc registers a scrape-time gauge backed by fn.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(&GaugeFunc{fname: name, help: help, fn: fn})
+}
+
+func (gf *GaugeFunc) name() string { return gf.fname }
+
+func (gf *GaugeFunc) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", gf.fname, gf.help, gf.fname, gf.fname, gf.fn())
+}

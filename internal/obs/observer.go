@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/giop"
+)
+
+// Observer bundles a tracer, metric registry and span ring for one
+// process, and implements the ORB's call-interceptor hooks: it starts a
+// client span and injects the SCTrace service context on request send,
+// continues the remote trace on dispatch, and feeds per-method latency
+// histograms and error counters on completion.
+//
+// Observer implements orb.CallInterceptor structurally — obs cannot
+// import orb (orb imports obs for Stats export), so the interface match
+// is by shape, checked by a compile-time assertion in the orb package's
+// tests.
+type Observer struct {
+	Service  string
+	Tracer   *Tracer
+	Registry *Registry
+	Ring     *Ring
+
+	clientLatency *HistogramVec
+	serverLatency *HistogramVec
+	rpcErrors     *CounterVec
+}
+
+// NewObserver creates a ready-to-attach Observer for service, with the
+// standard RPC metric families registered.
+func NewObserver(service string) *Observer {
+	reg := NewRegistry()
+	ring := NewRing(2048)
+	ob := &Observer{
+		Service:  service,
+		Tracer:   NewTracer(service, WithRing(ring)),
+		Registry: reg,
+		Ring:     ring,
+	}
+	ob.clientLatency = reg.NewHistogramVec("rpc_client_latency_seconds",
+		"Outbound request latency by method.", DefaultLatencyBuckets, "method")
+	ob.serverLatency = reg.NewHistogramVec("rpc_server_latency_seconds",
+		"Dispatch latency by method.", DefaultLatencyBuckets, "method")
+	ob.rpcErrors = reg.NewCounterVec("rpc_errors_total",
+		"RPC failures by side, method and exception kind.", "side", "method", "kind")
+	return ob
+}
+
+// ClientLatency returns the outbound latency histogram family.
+func (ob *Observer) ClientLatency() *HistogramVec { return ob.clientLatency }
+
+// ServerLatency returns the dispatch latency histogram family.
+func (ob *Observer) ServerLatency() *HistogramVec { return ob.serverLatency }
+
+// Keys under which the observer stashes its own spans in the context, so
+// the completion hooks never mistake an application span (e.g. ft.invoke)
+// for one they own.
+type clientSpanKey struct{}
+type serverSpanKey struct{}
+
+// systemKinder is the structural shape of orb system exceptions
+// (*orb.SystemException has SystemKind); matching by shape instead of
+// type keeps obs free of an orb import.
+type systemKinder interface{ SystemKind() string }
+
+// errKind maps an invocation error to a counter label.
+func errKind(err error) string {
+	var sk systemKinder
+	if errors.As(err, &sk) {
+		return sk.SystemKind()
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "DEADLINE"
+	}
+	if errors.Is(err, context.Canceled) {
+		return "CANCELED"
+	}
+	return "ERROR"
+}
+
+// RequestSent starts the client span for an outbound request and injects
+// its context into the SCTrace service context. Called by the ORB after
+// message-level interceptors, before the bytes hit the wire.
+func (ob *Observer) RequestSent(ctx context.Context, m *giop.Message) context.Context {
+	tracer := ob.Tracer
+	if parent := SpanFromContext(ctx); parent != nil && parent.tracer != nil {
+		tracer = parent.tracer
+	}
+	ctx, span := tracer.Start(ctx, m.Operation,
+		WithAttrs(String("side", "client"), String("key", m.ObjectKey)))
+	m.SetContext(giop.SCTrace, EncodeTraceContext(span.Context()))
+	return context.WithValue(ctx, clientSpanKey{}, span)
+}
+
+// ReplyReceived completes the client span and records latency and error
+// counters. reply is nil for oneway sends and transport failures.
+func (ob *Observer) ReplyReceived(ctx context.Context, req, reply *giop.Message, err error) {
+	span, _ := ctx.Value(clientSpanKey{}).(*Span)
+	if span != nil {
+		ob.clientLatency.With(req.Operation).Observe(time.Since(span.StartTime()).Seconds())
+	}
+	switch {
+	case err != nil:
+		kind := errKind(err)
+		ob.rpcErrors.With("client", req.Operation, kind).Inc()
+		span.SetAttr("error_kind", kind)
+		span.EndErr(err)
+	case reply != nil && reply.ReplyStatus == giop.ReplySystemException:
+		ob.rpcErrors.With("client", req.Operation, "SYSTEM_EXCEPTION").Inc()
+		span.SetAttr("error_kind", "SYSTEM_EXCEPTION")
+		span.End()
+	case reply != nil && reply.ReplyStatus == giop.ReplyUserException:
+		ob.rpcErrors.With("client", req.Operation, "USER_EXCEPTION").Inc()
+		span.SetAttr("error_kind", "USER_EXCEPTION")
+		span.End()
+	default:
+		span.End()
+	}
+}
+
+// DispatchStart continues the caller's trace (from the SCTrace service
+// context, when present) in a server span covering the dispatch. The
+// span rides the returned context into the servant via ServerContext.
+func (ob *Observer) DispatchStart(ctx context.Context, req *giop.Message) context.Context {
+	opts := []SpanOption{WithAttrs(String("side", "server"), String("key", req.ObjectKey))}
+	if sc, ok := DecodeTraceContext(req.Context(giop.SCTrace)); ok {
+		opts = append(opts, WithRemoteParent(sc))
+	}
+	ctx, span := ob.Tracer.Start(ctx, req.Operation, opts...)
+	return context.WithValue(ctx, serverSpanKey{}, span)
+}
+
+// DispatchEnd completes the server span and records dispatch latency and
+// exception counters. reply is nil for oneway dispatches.
+func (ob *Observer) DispatchEnd(ctx context.Context, req, reply *giop.Message) {
+	span, _ := ctx.Value(serverSpanKey{}).(*Span)
+	if span != nil {
+		ob.serverLatency.With(req.Operation).Observe(time.Since(span.StartTime()).Seconds())
+	}
+	if reply != nil && reply.ReplyStatus != giop.ReplyNoException && reply.ReplyStatus != giop.ReplyLocationForward {
+		kind := reply.ReplyStatus.String()
+		ob.rpcErrors.With("server", req.Operation, kind).Inc()
+		span.SetAttr("error_kind", kind)
+	}
+	span.End()
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Ring is a fixed-capacity buffer of completed spans. When full, new
+// spans overwrite the oldest — the /debug/traces endpoint and
+// `rosenbench -trace` read recent history from it.
+type Ring struct {
+	mu    sync.Mutex
+	spans []*Span
+	next  int
+	full  bool
+}
+
+// NewRing creates a ring holding up to capacity completed spans.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{spans: make([]*Span, capacity)}
+}
+
+func (r *Ring) add(s *Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans[r.next] = s
+	r.next++
+	if r.next == len(r.spans) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Spans returns the buffered spans, oldest first.
+func (r *Ring) Spans() []*Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]*Span(nil), r.spans[:r.next]...)
+	}
+	out := make([]*Span, 0, len(r.spans))
+	out = append(out, r.spans[r.next:]...)
+	out = append(out, r.spans[:r.next]...)
+	return out
+}
+
+// Len returns the number of buffered spans.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.spans)
+	}
+	return r.next
+}
+
+// Trace is the ring's view of one trace: every buffered span sharing a
+// trace id, plus the envelope timing derived from them.
+type Trace struct {
+	TraceID  TraceID
+	Spans    []*Span // in start order
+	Start    time.Time
+	Duration time.Duration // earliest start to latest end
+}
+
+// Traces groups the buffered spans by trace id, slowest trace first.
+func (r *Ring) Traces() []Trace {
+	byID := make(map[TraceID][]*Span)
+	for _, s := range r.Spans() {
+		byID[s.Context().TraceID] = append(byID[s.Context().TraceID], s)
+	}
+	out := make([]Trace, 0, len(byID))
+	for id, spans := range byID {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].StartTime().Before(spans[j].StartTime()) })
+		tr := Trace{TraceID: id, Spans: spans, Start: spans[0].StartTime()}
+		var latest time.Time
+		for _, s := range spans {
+			if end := s.StartTime().Add(s.Duration()); end.After(latest) {
+				latest = end
+			}
+		}
+		tr.Duration = latest.Sub(tr.Start)
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	return out
+}

@@ -1,0 +1,38 @@
+package obs
+
+// Wire codec for the SCTrace GIOP service context. The payload is a
+// fixed 25 bytes: 16-byte trace id, 8-byte span id, 1 flag byte (bit 0 =
+// sampled). Peers that predate SCTrace carry the context through
+// untouched — service contexts with unknown IDs are preserved verbatim
+// by the giop layer — so tracing degrades gracefully across mixed
+// deployments.
+
+const traceContextLen = 16 + 8 + 1
+
+// EncodeTraceContext serializes sc for the SCTrace service context.
+func EncodeTraceContext(sc SpanContext) []byte {
+	buf := make([]byte, traceContextLen)
+	copy(buf[0:16], sc.TraceID[:])
+	copy(buf[16:24], sc.SpanID[:])
+	if sc.Sampled {
+		buf[24] = 1
+	}
+	return buf
+}
+
+// DecodeTraceContext parses an SCTrace payload. It reports false for
+// malformed or all-zero payloads so callers can fall back to starting a
+// fresh trace.
+func DecodeTraceContext(data []byte) (SpanContext, bool) {
+	if len(data) != traceContextLen {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	copy(sc.TraceID[:], data[0:16])
+	copy(sc.SpanID[:], data[16:24])
+	sc.Sampled = data[24]&1 != 0
+	if sc.TraceID.IsZero() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}

@@ -270,11 +270,14 @@ func (o *ORB) InvokeOptions(ctx context.Context, ref ObjectRef, op string, write
 func (o *ORB) invokeRaw(ctx context.Context, ref ObjectRef, op string, writeArgs func(*cdr.Encoder), opts CallOptions) (*giop.Message, error) {
 	m := o.buildRequest(ref, op, writeArgs)
 	o.interceptSendRequest(m)
+	ctx = o.callRequestSent(ctx, m)
 	reply, err := o.transferRequest(ctx, ref, m, opts)
 	if err != nil {
+		o.callReplyReceived(ctx, m, nil, err)
 		return nil, err
 	}
 	o.interceptReceiveReply(reply)
+	o.callReplyReceived(ctx, m, reply, nil)
 	return reply, nil
 }
 
@@ -327,6 +330,16 @@ func (o *ORB) Notify(ctx context.Context, ref ObjectRef, op string, writeArgs fu
 	m := o.buildRequest(ref, op, writeArgs)
 	m.ResponseExpected = false
 	o.interceptSendRequest(m)
+	ctx = o.callRequestSent(ctx, m)
+	err := o.notifyTransfer(ctx, ref, m)
+	// Oneways have no reply; completion for the call interceptors is the
+	// moment the request is on the wire (or failed to get there).
+	o.callReplyReceived(ctx, m, nil, err)
+	return err
+}
+
+// notifyTransfer puts an already-intercepted oneway request on the wire.
+func (o *ORB) notifyTransfer(ctx context.Context, ref ObjectRef, m *giop.Message) error {
 	if err := ctx.Err(); err != nil {
 		return abandonError(ctx, m)
 	}

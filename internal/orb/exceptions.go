@@ -64,6 +64,11 @@ type SystemException struct {
 	Detail string
 }
 
+// SystemKind returns the exception kind's CORBA name ("COMM_FAILURE",
+// "TIMEOUT", ...). The observability layer classifies failures through
+// this method structurally, without importing orb.
+func (e *SystemException) SystemKind() string { return e.Kind.String() }
+
 func (e *SystemException) Error() string {
 	if e.Detail == "" {
 		return fmt.Sprintf("orb: system exception %v (minor %d)", e.Kind, e.Minor)

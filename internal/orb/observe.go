@@ -1,0 +1,24 @@
+package orb
+
+import (
+	"net"
+
+	"repro/internal/obs"
+)
+
+// Observe is the one-call observability hookup for a daemon process: it
+// attaches a fresh obs.Observer to this ORB's call-interceptor chain
+// (tracing + per-method RPC metrics), exports the ORB's own counters
+// into the observer's registry, and serves /metrics and /debug/traces
+// on addr in the background. The returned listener reports the bound
+// address (useful with ":0") and stops the endpoint when closed.
+func (o *ORB) Observe(service, addr string) (*obs.Observer, net.Listener, error) {
+	ob := obs.NewObserver(service)
+	o.AddCallInterceptor(ob)
+	o.ExportStats(ob.Registry)
+	ln, err := obs.Serve(addr, ob.Handler())
+	if err != nil {
+		return nil, nil, err
+	}
+	return ob, ln, nil
+}

@@ -44,6 +44,29 @@ type Interceptor interface {
 	SendReply(m *giop.Message)
 }
 
+// CallInterceptor observes invocations with their contexts at the four
+// interception points, after the message-level Interceptors have run. It
+// exists for cross-cutting concerns that need request correlation —
+// distributed tracing (obs.Observer) injects and extracts the SCTrace
+// service context here. The context returned by RequestSent flows to the
+// matching ReplyReceived; the context returned by DispatchStart is the
+// one the servant sees via ServerContext.Context, and flows to
+// DispatchEnd. Implementations must be safe for concurrent use.
+type CallInterceptor interface {
+	// RequestSent runs on the client after a request is assembled and
+	// message-intercepted, before it is written to the wire.
+	RequestSent(ctx context.Context, m *giop.Message) context.Context
+	// ReplyReceived runs on the client when the invocation completes:
+	// reply is nil for oneways and transport failures, err is the
+	// transport-level failure if any.
+	ReplyReceived(ctx context.Context, req, reply *giop.Message, err error)
+	// DispatchStart runs on the server before the servant is invoked.
+	DispatchStart(ctx context.Context, req *giop.Message) context.Context
+	// DispatchEnd runs on the server after the reply is assembled and
+	// message-intercepted (reply is nil for oneway dispatches).
+	DispatchEnd(ctx context.Context, req, reply *giop.Message)
+}
+
 // Options configure an ORB.
 type Options struct {
 	// Name identifies this ORB (process) in service contexts and logs.
@@ -56,6 +79,9 @@ type Options struct {
 	DialTimeout time.Duration
 	// Interceptors are applied in order on send and in reverse on receive.
 	Interceptors []Interceptor
+	// CallInterceptors run after Interceptors at each hook, in order on
+	// the outbound points and in reverse on the inbound ones.
+	CallInterceptors []CallInterceptor
 	// MaxServerWorkers caps concurrently dispatched requests per adapter
 	// connection. Zero means 64.
 	MaxServerWorkers int
@@ -108,6 +134,38 @@ func (o *ORB) nextRequestID() uint32 { return o.reqID.Add(1) }
 // during setup.
 func (o *ORB) AddInterceptor(i Interceptor) {
 	o.opts.Interceptors = append(o.opts.Interceptors, i)
+}
+
+// AddCallInterceptor registers a context-aware interceptor after
+// construction. Like AddInterceptor, register during setup only.
+func (o *ORB) AddCallInterceptor(ci CallInterceptor) {
+	o.opts.CallInterceptors = append(o.opts.CallInterceptors, ci)
+}
+
+func (o *ORB) callRequestSent(ctx context.Context, m *giop.Message) context.Context {
+	for _, ci := range o.opts.CallInterceptors {
+		ctx = ci.RequestSent(ctx, m)
+	}
+	return ctx
+}
+
+func (o *ORB) callReplyReceived(ctx context.Context, req, reply *giop.Message, err error) {
+	for k := len(o.opts.CallInterceptors) - 1; k >= 0; k-- {
+		o.opts.CallInterceptors[k].ReplyReceived(ctx, req, reply, err)
+	}
+}
+
+func (o *ORB) callDispatchStart(ctx context.Context, req *giop.Message) context.Context {
+	for k := len(o.opts.CallInterceptors) - 1; k >= 0; k-- {
+		ctx = o.opts.CallInterceptors[k].DispatchStart(ctx, req)
+	}
+	return ctx
+}
+
+func (o *ORB) callDispatchEnd(ctx context.Context, req, reply *giop.Message) {
+	for _, ci := range o.opts.CallInterceptors {
+		ci.DispatchEnd(ctx, req, reply)
+	}
 }
 
 func (o *ORB) interceptSendRequest(m *giop.Message) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/cdr"
+	"repro/internal/obs"
 )
 
 // CallOptions bound and shape a single invocation. They replace the old
@@ -229,9 +230,10 @@ func (c *Caller) Do(ctx context.Context, op string, attempt func(ctx context.Con
 		maxHops = 8
 	}
 	hops := 0
+	span := obs.SpanFromContext(ctx)
 	var last error
 	for round := 0; ; {
-		err := attempt(ctx, ref)
+		err := c.runAttempt(ctx, op, round, ref, attempt)
 		if err == nil {
 			return nil
 		}
@@ -240,17 +242,28 @@ func (c *Caller) Do(ctx context.Context, op string, attempt func(ctx context.Con
 			if hops > maxHops {
 				return &SystemException{Kind: ExTransient, Detail: fmt.Sprintf("%s: too many redirect hops", op)}
 			}
+			span.AddEvent("redirect", obs.String("op", op), obs.String("addr", fwd.Addr))
 			ref = fwd
 			continue
 		}
 		if ctx.Err() != nil || !retryOn(err) {
 			return err
 		}
+		// The failure is retryable: annotate the live span so a failover
+		// reads as one linked trace — COMM_FAILURE is the paper's crash
+		// signal and gets its own event name.
+		if IsCommFailure(err) {
+			span.AddEvent("comm_failure",
+				obs.String("op", op), obs.String("addr", ref.Addr), obs.String("err", err.Error()))
+		} else {
+			span.AddEvent("call_failed", obs.String("op", op), obs.String("err", err.Error()))
+		}
 		last = err
 		if round >= c.Opts.RetryBudget {
 			return &RetryError{Op: op, Attempts: round, Last: last}
 		}
 		round++
+		c.countRetry()
 		if serr := sleepCtx(ctx, c.Opts.Backoff.delay(round)); serr != nil {
 			return &RetryError{Op: op, Attempts: round, Last: last}
 		}
@@ -260,21 +273,58 @@ func (c *Caller) Do(ctx context.Context, op string, attempt func(ctx context.Con
 		// recovery path that heals within the budget still saves the call.
 		fresh, rerr := c.recoverRef(ctx, ref, err)
 		for rerr != nil {
+			c.countRecovery(false)
+			span.AddEvent("recovery_failed", obs.String("op", op), obs.String("err", rerr.Error()))
 			last = rerr
 			if ctx.Err() != nil || round >= c.Opts.RetryBudget {
 				return &RetryError{Op: op, Attempts: round, Last: rerr}
 			}
 			round++
+			c.countRetry()
 			if serr := sleepCtx(ctx, c.Opts.Backoff.delay(round)); serr != nil {
 				return &RetryError{Op: op, Attempts: round, Last: last}
 			}
 			fresh, rerr = c.recoverRef(ctx, ref, err)
 		}
+		c.countRecovery(true)
+		span.AddEvent("recovered", obs.String("op", op), obs.String("addr", fresh.Addr))
 		ref = fresh
 		c.SetRef(fresh)
 		if c.OnRetry != nil {
 			c.OnRetry(round, err)
 		}
+	}
+}
+
+// runAttempt invokes attempt; replay rounds (round > 0) under a traced
+// caller get their own "replay" child span so recovered re-invocations
+// show as distinct nodes of the same trace.
+func (c *Caller) runAttempt(ctx context.Context, op string, round int, ref ObjectRef, attempt func(ctx context.Context, ref ObjectRef) error) error {
+	if round == 0 || obs.SpanFromContext(ctx) == nil {
+		return attempt(ctx, ref)
+	}
+	sctx, span := obs.StartSpan(ctx, "replay", obs.String("op", op), obs.Int("round", int64(round)))
+	err := attempt(sctx, ref)
+	span.EndErr(err)
+	return err
+}
+
+// countRetry bumps the ORB's replay-round counter.
+func (c *Caller) countRetry() {
+	if c.ORB != nil {
+		c.ORB.counters.retriesAttempted.Add(1)
+	}
+}
+
+// countRecovery bumps the ORB's recovery outcome counters.
+func (c *Caller) countRecovery(ok bool) {
+	if c.ORB == nil {
+		return
+	}
+	if ok {
+		c.ORB.counters.recoveriesSucceeded.Add(1)
+	} else {
+		c.ORB.counters.recoveriesFailed.Add(1)
 	}
 }
 

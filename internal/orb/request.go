@@ -27,6 +27,8 @@ type Request struct {
 	sent        bool
 	intercepted bool
 	done        chan struct{}
+	msg         *giop.Message   // the request as sent (for ReplyReceived)
+	sentCtx     context.Context // ctx after the RequestSent hooks ran
 	reply       *giop.Message
 	err         error
 }
@@ -79,9 +81,13 @@ func (r *Request) Send() {
 		e.PutRaw(r.args.Bytes())
 	})
 	r.orb.interceptSendRequest(m)
+	sctx := r.orb.callRequestSent(r.ctx, m)
+	r.mu.Lock()
+	r.msg, r.sentCtx = m, sctx
+	r.mu.Unlock()
 
 	go func() {
-		reply, err := r.orb.transferRequest(r.ctx, r.ref, m, CallOptions{})
+		reply, err := r.orb.transferRequest(sctx, r.ref, m, CallOptions{})
 		r.mu.Lock()
 		r.reply, r.err = reply, err
 		r.mu.Unlock()
@@ -112,17 +118,21 @@ func (r *Request) GetResponse(readReply func(*cdr.Decoder) error) error {
 		return &SystemException{Kind: ExBadOperation, Detail: "GetResponse before Send"}
 	}
 	<-r.done
-	if r.err != nil {
-		return r.err
-	}
 	r.mu.Lock()
 	intercepted := r.intercepted
 	r.intercepted = true
 	r.mu.Unlock()
+	if r.err != nil {
+		if !intercepted {
+			r.orb.callReplyReceived(r.sentCtx, r.msg, nil, r.err)
+		}
+		return r.err
+	}
 	if !intercepted {
 		// Receive interceptors run here, in the consumer's goroutine, at
 		// most once per request (GetResponse may be called repeatedly).
 		r.orb.interceptReceiveReply(r.reply)
+		r.orb.callReplyReceived(r.sentCtx, r.msg, r.reply, nil)
 	}
 	return decodeReply(r.reply, readReply)
 }

@@ -384,6 +384,7 @@ func (a *Adapter) serveConn(conn net.Conn) {
 func (a *Adapter) dispatch(rctx context.Context, peer string, req *giop.Message) *giop.Message {
 	a.orb.counters.requestsServed.Add(1)
 	a.orb.interceptReceiveRequest(req)
+	rctx = a.orb.callDispatchStart(rctx, req)
 
 	reply := &giop.Message{Type: giop.MsgReply, RequestID: req.RequestID}
 	ctx := &ServerContext{ORB: a.orb, Adapter: a, Peer: peer, Request: req, ctx: rctx}
@@ -416,6 +417,7 @@ func (a *Adapter) dispatch(rctx context.Context, peer string, req *giop.Message)
 	}
 	reply.Contexts = append(reply.Contexts, ctx.replyContexts...)
 	a.orb.interceptSendReply(reply)
+	a.orb.callDispatchEnd(rctx, req, reply)
 	return reply
 }
 

@@ -1,6 +1,10 @@
 package orb
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
 
 // Stats are cumulative ORB-level counters (monitoring hook for
 // production deployments; every counter is updated atomically).
@@ -25,6 +29,14 @@ type Stats struct {
 	// their propagated deadline had already expired before dispatch, so
 	// the servant was never invoked.
 	RequestsShed uint64
+	// RetriesAttempted counts replay rounds entered by the resilient-call
+	// engine (Caller), including rounds consumed by failed recoveries.
+	RetriesAttempted uint64
+	// RecoveriesSucceeded counts recover steps (re-resolve / failover)
+	// that produced a replacement reference.
+	RecoveriesSucceeded uint64
+	// RecoveriesFailed counts recover steps that themselves failed.
+	RecoveriesFailed uint64
 	// InFlight is the number of server-side dispatches currently running
 	// across all adapters (a gauge, not a counter).
 	InFlight int64
@@ -40,6 +52,9 @@ type orbCounters struct {
 	cancelsSent         atomic.Uint64
 	cancelsReceived     atomic.Uint64
 	requestsShed        atomic.Uint64
+	retriesAttempted    atomic.Uint64
+	recoveriesSucceeded atomic.Uint64
+	recoveriesFailed    atomic.Uint64
 	inFlight            atomic.Int64
 }
 
@@ -54,6 +69,37 @@ func (o *ORB) Stats() Stats {
 		CancelsSent:         o.counters.cancelsSent.Load(),
 		CancelsReceived:     o.counters.cancelsReceived.Load(),
 		RequestsShed:        o.counters.requestsShed.Load(),
+		RetriesAttempted:    o.counters.retriesAttempted.Load(),
+		RecoveriesSucceeded: o.counters.recoveriesSucceeded.Load(),
+		RecoveriesFailed:    o.counters.recoveriesFailed.Load(),
 		InFlight:            o.counters.inFlight.Load(),
 	}
+}
+
+// ExportStats registers every Stats counter with reg as a scrape-time
+// metric (orb_*_total counters plus the orb_inflight_requests gauge), so
+// a daemon's -obs endpoint surfaces ORB health without sampling loops.
+func (o *ORB) ExportStats(reg *obs.Registry) {
+	counters := []struct {
+		name, help string
+		v          *atomic.Uint64
+	}{
+		{"orb_requests_sent_total", "Client requests written (including oneways).", &o.counters.requestsSent},
+		{"orb_replies_received_total", "Replies matched to pending requests.", &o.counters.repliesReceived},
+		{"orb_requests_served_total", "Server-side dispatches across all adapters.", &o.counters.requestsServed},
+		{"orb_connections_accepted_total", "Inbound connections accepted.", &o.counters.connectionsAccepted},
+		{"orb_connections_dialed_total", "Outbound connections established.", &o.counters.connectionsDialed},
+		{"orb_cancels_sent_total", "Wire-level cancels written for abandoned calls.", &o.counters.cancelsSent},
+		{"orb_cancels_received_total", "Wire-level cancels acted on by the server side.", &o.counters.cancelsReceived},
+		{"orb_requests_shed_total", "Requests rejected by deadline-aware admission.", &o.counters.requestsShed},
+		{"orb_retries_attempted_total", "Replay rounds entered by the resilient-call engine.", &o.counters.retriesAttempted},
+		{"orb_recoveries_succeeded_total", "Recover steps that produced a replacement reference.", &o.counters.recoveriesSucceeded},
+		{"orb_recoveries_failed_total", "Recover steps that themselves failed.", &o.counters.recoveriesFailed},
+	}
+	for _, c := range counters {
+		v := c.v
+		reg.NewCounterFunc(c.name, c.help, v.Load)
+	}
+	reg.NewGaugeFunc("orb_inflight_requests", "Server-side dispatches currently running.",
+		func() float64 { return float64(o.counters.inFlight.Load()) })
 }

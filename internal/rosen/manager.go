@@ -9,6 +9,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/ft"
 	"repro/internal/naming"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/orb"
 )
@@ -311,6 +312,10 @@ func (m *Manager) Run(ctx context.Context) (*Result, error) {
 			return 0
 		}
 		round++
+		// Each manager round — one parallel fan-out to all workers — is a
+		// span, so rosenbench -trace shows rounds with their worker calls.
+		rctx, rspan := obs.StartSpan(ctx, "rosen.round",
+			obs.Int("round", int64(round)), obs.Int("workers", int64(m.cfg.Workers)))
 		reqs := make([]requester, m.cfg.Workers)
 		for j := 0; j < m.cfg.Workers; j++ {
 			sr := SolveRequest{
@@ -324,7 +329,7 @@ func (m *Manager) Run(ctx context.Context) (*Result, error) {
 				Hi:            m.cfg.Hi,
 				EvalCost:      m.cfg.EvalCost,
 			}
-			req := m.handles[j].newRequest(ctx)
+			req := m.handles[j].newRequest(rctx)
 			sr.MarshalCDR(req.Args())
 			req.Send()
 			reqs[j] = req
@@ -351,6 +356,7 @@ func (m *Manager) Run(ctx context.Context) (*Result, error) {
 			bestBoundary = append([]float64(nil), boundary...)
 			bestBlocks = blocks
 		}
+		rspan.EndErr(solveErr)
 		if m.cfg.AfterRound != nil {
 			m.cfg.AfterRound(round)
 		}

@@ -2,6 +2,7 @@ package winner
 
 import (
 	"repro/internal/cdr"
+	"repro/internal/obs"
 	"repro/internal/orb"
 )
 
@@ -39,7 +40,7 @@ func (s *Servant) Manager() *Manager { return s.mgr }
 func (s *Servant) TypeID() string { return TypeID }
 
 // Invoke implements orb.Servant.
-func (s *Servant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+func (s *Servant) Invoke(sctx *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
 	switch op {
 	case opReport:
 		var sample LoadSample
@@ -65,6 +66,8 @@ func (s *Servant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *
 		if err != nil {
 			return &orb.UserException{RepoID: ExNoHosts, Detail: err.Error()}
 		}
+		obs.SpanFromContext(sctx.Context()).AddEvent("winner.best",
+			obs.String("host", host), obs.String("op", op))
 		out.PutString(host)
 		return nil
 
@@ -77,6 +80,8 @@ func (s *Servant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *
 		if err != nil {
 			return &orb.UserException{RepoID: ExNoHosts, Detail: err.Error()}
 		}
+		obs.SpanFromContext(sctx.Context()).AddEvent("winner.best",
+			obs.String("host", host), obs.String("op", op))
 		out.PutString(host)
 		return nil
 
