@@ -23,11 +23,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-## chaos: the fault-injection soak — Rosenbrock under worker kills, a
+## chaos: the fault-injection soaks — Rosenbrock under worker kills, a
 ## naming partition, checkpoint-path delays and a checkpointd replica
-## crash, race-enabled, fixed seed.
+## crash, plus the control-plane scenario (3 naming replicas, primary
+## nameserver and winnerd killed mid-run, lease expiry), race-enabled,
+## fixed seeds.
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaosSoak' -v ./integration/
+	$(GO) test -race -count=1 -run 'TestChaosSoak|TestControlPlaneChaos' -v ./integration/
 
 generate:
 	$(GO) generate ./...

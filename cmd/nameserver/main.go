@@ -7,6 +7,18 @@
 //	nameserver -addr 127.0.0.1:9001
 //	nameserver -addr 127.0.0.1:9001 -winner "$(cat winner.ref)"
 //
+// Replication: start N replicas, each pointing -peers at the others
+// (SIORs or @ref-file specs, resolved lazily so start order is free):
+//
+//	nameserver -addr 127.0.0.1:9001 -ref-file ns1.ref -peers @ns2.ref,@ns3.ref
+//	nameserver -addr 127.0.0.1:9002 -ref-file ns2.ref -peers @ns1.ref,@ns3.ref
+//	nameserver -addr 127.0.0.1:9003 -ref-file ns3.ref -peers @ns1.ref,@ns2.ref
+//
+// Each replica pushes its registry snapshot (with a monotonic epoch) to
+// its peers every -sync-period; receivers adopt strictly newer state.
+// Leased offers (BindOffer with a TTL) are expired by a sweeper running
+// every -sweep-period.
+//
 // The service's stringified object reference (SIOR) is printed on stdout
 // and optionally written to -ref-file for other processes to pick up.
 package main
@@ -34,6 +46,9 @@ func main() {
 	refFile := flag.String("ref-file", "", "write the service SIOR to this file")
 	store := flag.String("store", "", "persist bindings to this snapshot file")
 	savePeriod := flag.Duration("save-period", 10*time.Second, "snapshot save interval (with -store)")
+	peers := flag.String("peers", "", "comma-separated peer nameserver SIORs or @ref-file specs (enables replication)")
+	syncPeriod := flag.Duration("sync-period", time.Second, "replication push interval (with -peers)")
+	sweepPeriod := flag.Duration("sweep-period", 500*time.Millisecond, "leased-offer expiry sweep interval")
 	obsAddr := flag.String("obs", "", "serve /metrics and /debug/traces on this address (empty: disabled)")
 	flag.Parse()
 	slog.SetDefault(obs.NewLogger(os.Stderr, "nameserver", slog.LevelInfo))
@@ -53,26 +68,57 @@ func main() {
 		log.Printf("nameserver: persisting bindings to %s", *store)
 	}
 	var servant *naming.Servant
+	var selector *core.WinnerSelector
 	if *winnerRef != "" {
 		ref, err := orb.RefFromString(*winnerRef)
 		if err != nil {
 			log.Fatalf("nameserver: bad -winner reference: %v", err)
 		}
-		servant = core.NewLoadNamingServant(reg, core.ClientRanker{C: winner.NewClient(o, ref)})
+		selector = core.NewWinnerSelector(core.ClientRanker{C: winner.NewClient(o, ref)}, nil)
+		servant = naming.NewServant(reg, selector)
 		log.Printf("nameserver: load distribution enabled via %v", ref)
 	} else {
 		servant = core.NewPlainNamingServant(reg)
+	}
+
+	sweeper := naming.NewSweeper(reg, naming.SweeperOptions{Period: *sweepPeriod})
+	sweeper.Start()
+	defer sweeper.Stop()
+
+	var repl *naming.Replicator
+	if *peers != "" {
+		specs := naming.ParsePeerSpecs(*peers)
+		repl = naming.NewReplicator(o, reg, specs, naming.ReplicatorOptions{Period: *syncPeriod})
+		repl.Start()
+		defer repl.Stop()
+		log.Printf("nameserver: replicating to %d peers every %v", len(specs), *syncPeriod)
 	}
 
 	ref := ad.Activate(naming.DefaultKey, servant)
 	sior := ref.ToString()
 	fmt.Println(sior)
 	if *obsAddr != "" {
-		_, ln, err := o.Observe("nameserver", *obsAddr)
+		ob, ln, err := o.Observe("nameserver", *obsAddr)
 		if err != nil {
 			log.Fatalf("nameserver: obs endpoint: %v", err)
 		}
 		defer ln.Close()
+		ob.Registry.NewCounterFunc("naming_offers_evicted_total",
+			"Leased offers expired and unbound by the sweeper.", sweeper.Evicted)
+		ob.Registry.NewGaugeFunc("naming_epoch",
+			"Monotonic registry mutation epoch.", func() float64 { return float64(reg.Epoch()) })
+		ob.Registry.NewCounterFunc("naming_snapshots_adopted_total",
+			"Peer snapshots adopted by this replica.", reg.SnapshotsAdopted)
+		if selector != nil {
+			ob.Registry.NewCounterFunc("winner_fallback_total",
+				"Resolves that degraded to the fallback selector.", selector.Fallbacks)
+		}
+		if repl != nil {
+			ob.Registry.NewCounterFunc("naming_replication_pushes_total",
+				"Successful snapshot pushes to peers.", repl.Pushes)
+			ob.Registry.NewCounterFunc("naming_replication_push_errors_total",
+				"Failed snapshot pushes to peers.", repl.PushErrors)
+		}
 		fmt.Println("OBS:" + ln.Addr().String())
 		log.Printf("nameserver: observability on http://%s/metrics", ln.Addr())
 	}

@@ -4,6 +4,8 @@
 //	nsadmin -ns "$SIOR" tree               # recursive dump of the tree
 //	nsadmin -ns "$SIOR" resolve a/b        # resolve a name
 //	nsadmin -ns "$SIOR" offers a/b         # list a group's offers
+//	nsadmin -ns "$SIOR" leases a/b         # list offers with lease state
+//	nsadmin -ns "$SIOR" leases -stale a/b  # only leases at risk / expired
 //	nsadmin -ns "$SIOR" bind a/b "$SIOR2"  # bind a stringified reference
 //	nsadmin -ns "$SIOR" unbind a/b         # remove a binding
 //	nsadmin -ns "$SIOR" mkdir a/b          # create a sub-context
@@ -91,6 +93,26 @@ func main() {
 			fmt.Printf("%-12s %v\n", of.Host, of.Ref)
 		}
 
+	case "leases":
+		fs := flag.NewFlagSet("leases", flag.ExitOnError)
+		stale := fs.Bool("stale", false, "show only expired leases and leases past 2/3 of their TTL")
+		if err := fs.Parse(flag.Args()[1:]); err != nil {
+			log.Fatalf("nsadmin: %v", err)
+		}
+		if fs.NArg() < 1 {
+			log.Fatal("nsadmin: leases needs a group name")
+		}
+		leases, err := ns.ListLeases(ctx, parse(fs.Arg(0)))
+		if err != nil {
+			log.Fatalf("nsadmin: %v", err)
+		}
+		for _, l := range leases {
+			if *stale && !staleLease(l) {
+				continue
+			}
+			fmt.Printf("%-12s %-10s %v\n", l.Offer.Host, leaseLabel(l), l.Offer.Ref)
+		}
+
 	case "bind":
 		target, err := orb.RefFromString(arg(2))
 		if err != nil {
@@ -124,6 +146,28 @@ func main() {
 	default:
 		log.Fatalf("nsadmin: unknown command %q", cmd)
 	}
+}
+
+// staleLease reports whether a lease deserves operator attention: it has
+// already expired (awaiting the sweeper) or less than a third of its TTL
+// remains — i.e. at least two renewal ticks were missed. Leaseless offers
+// never expire and are never stale.
+func staleLease(l naming.OfferLease) bool {
+	if l.Offer.LeaseTTL <= 0 {
+		return false
+	}
+	return l.Remaining <= l.Offer.LeaseTTL/3
+}
+
+// leaseLabel renders the lease state column.
+func leaseLabel(l naming.OfferLease) string {
+	if l.Offer.LeaseTTL <= 0 {
+		return "-"
+	}
+	if l.Remaining <= 0 {
+		return "EXPIRED"
+	}
+	return l.Remaining.Round(time.Millisecond).String()
 }
 
 func typeLabel(t naming.BindingType) string {

@@ -32,13 +32,14 @@ func main() {
 	speed := flag.Float64("speed", 1, "relative CPU speed of this host (node role)")
 	period := flag.Duration("period", 2*time.Second, "sampling period (node role)")
 	refFile := flag.String("ref-file", "", "write the system manager SIOR to this file")
+	maxAge := flag.Duration("max-sample-age", 0, "treat load samples older than this as stale (system role; 0: never)")
 	obsAddr := flag.String("obs", "", "serve /metrics and /debug/traces on this address (system role; empty: disabled)")
 	flag.Parse()
 	slog.SetDefault(obs.NewLogger(os.Stderr, "winnerd", slog.LevelInfo))
 
 	switch *role {
 	case "system":
-		runSystem(*addr, *refFile, *obsAddr)
+		runSystem(*addr, *refFile, *obsAddr, *maxAge)
 	case "node":
 		runNode(*managerRef, *host, *speed, *period)
 	default:
@@ -46,7 +47,7 @@ func main() {
 	}
 }
 
-func runSystem(addr, refFile, obsAddr string) {
+func runSystem(addr, refFile, obsAddr string, maxAge time.Duration) {
 	o := orb.New(orb.Options{Name: "winnerd"})
 	defer o.Shutdown()
 	ad, err := o.NewAdapter(addr)
@@ -54,15 +55,25 @@ func runSystem(addr, refFile, obsAddr string) {
 		log.Fatalf("winnerd: %v", err)
 	}
 	mgr := winner.NewManager()
+	if maxAge > 0 {
+		mgr.SetMaxSampleAge(maxAge, time.Now)
+		log.Printf("winnerd: samples stale after %v", maxAge)
+	}
 	ref := ad.Activate(winner.DefaultKey, winner.NewServant(mgr))
 	sior := ref.ToString()
 	fmt.Println(sior)
 	if obsAddr != "" {
-		_, ln, err := o.Observe("winnerd", obsAddr)
+		ob, ln, err := o.Observe("winnerd", obsAddr)
 		if err != nil {
 			log.Fatalf("winnerd: obs endpoint: %v", err)
 		}
 		defer ln.Close()
+		ob.Registry.NewGaugeFunc("winner_hosts",
+			"Hosts currently known to the system manager.",
+			func() float64 { return float64(mgr.HostCount()) })
+		ob.Registry.NewGaugeFunc("winner_stale_hosts",
+			"Known hosts whose newest load sample exceeds -max-sample-age.",
+			func() float64 { return float64(len(mgr.StaleHosts())) })
 		fmt.Println("OBS:" + ln.Addr().String())
 		log.Printf("winnerd: observability on http://%s/metrics", ln.Addr())
 	}

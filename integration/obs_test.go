@@ -34,7 +34,15 @@ import (
 // observability address (second stdout line, "OBS:host:port").
 func startObsDaemon(t *testing.T, name string, args ...string) (sior, obsAddr string) {
 	t.Helper()
-	cmd := exec.Command(filepath.Join(binDir, name), append(args, "-obs", "127.0.0.1:0")...)
+	_, sior, obsAddr = startObsDaemonCmd(t, name, args...)
+	return sior, obsAddr
+}
+
+// startObsDaemonCmd is startObsDaemon plus the process handle, for tests
+// that crash the daemon mid-run.
+func startObsDaemonCmd(t *testing.T, name string, args ...string) (cmd *exec.Cmd, sior, obsAddr string) {
+	t.Helper()
+	cmd = exec.Command(filepath.Join(binDir, name), append(args, "-obs", "127.0.0.1:0")...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -75,7 +83,7 @@ func startObsDaemon(t *testing.T, name string, args ...string) (sior, obsAddr st
 	if !strings.HasPrefix(obsLine, "OBS:") {
 		t.Fatalf("%s printed %q, want an OBS line", name, obsLine)
 	}
-	return sior, strings.TrimPrefix(obsLine, "OBS:")
+	return cmd, sior, strings.TrimPrefix(obsLine, "OBS:")
 }
 
 // httpGet fetches a path from a daemon's observability endpoint.

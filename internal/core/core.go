@@ -14,6 +14,8 @@ package core
 
 import (
 	"context"
+	"errors"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/naming"
@@ -61,12 +63,24 @@ func (r ClientRanker) BestOf(candidates []string) (string, error) {
 // the enhanced service is never worse than the plain one means resolve
 // must keep working when load data is missing or the system manager is
 // unreachable.
+//
+// The selector degrades gracefully when the manager itself dies: a
+// circuit breaker guards the ranker, so after a transport-class ranking
+// failure (COMM_FAILURE, timeout) resolves fall back to round-robin
+// immediately instead of paying a connect timeout each, probing the
+// manager again only after the breaker's cooldown. Every fallback is
+// counted (exported as winner_fallback_total) and tagged with its reason
+// on the resolve trace.
 type WinnerSelector struct {
 	ranker HostRanker
 	// Fallback handles offers when Winner cannot rank (no data, system
 	// manager down). Defaults to registration-order round-robin, i.e.
 	// plain-naming behaviour.
 	fallback naming.Selector
+	// breaker guards the ranker against an unreachable system manager.
+	breaker *orb.Breaker
+	// fallbacks counts resolves that degraded to the fallback selector.
+	fallbacks atomic.Uint64
 }
 
 // NewWinnerSelector builds a selector backed by ranker. fallback may be
@@ -75,13 +89,38 @@ func NewWinnerSelector(ranker HostRanker, fallback naming.Selector) *WinnerSelec
 	if fallback == nil {
 		fallback = naming.RoundRobinSelector()
 	}
-	return &WinnerSelector{ranker: ranker, fallback: fallback}
+	return &WinnerSelector{
+		ranker:   ranker,
+		fallback: fallback,
+		breaker:  orb.NewBreaker(orb.BreakerOptions{Threshold: 1, Cooldown: 2 * time.Second}),
+	}
 }
+
+// ConfigureBreaker replaces the breaker guarding the ranker (tests and
+// daemons with non-default cooldowns). Call before serving resolves.
+func (s *WinnerSelector) ConfigureBreaker(opts orb.BreakerOptions) {
+	s.breaker = orb.NewBreaker(opts)
+}
+
+// Fallbacks returns how many resolves degraded to the fallback selector —
+// the nameserver exports it as winner_fallback_total.
+func (s *WinnerSelector) Fallbacks() uint64 { return s.fallbacks.Load() }
 
 // Select implements naming.Selector.
 func (s *WinnerSelector) Select(name naming.Name, offers []naming.Offer) (naming.Offer, error) {
 	o, _, err := s.SelectExplain(name, offers)
 	return o, err
+}
+
+// rankerUnreachable classifies a ranking error as transport-class: the
+// manager process (not its answer) failed. Only these trip the breaker —
+// an authoritative NoHosts/AllStale answer proves the manager is alive.
+func rankerUnreachable(err error) bool {
+	return orb.IsCommFailure(err) ||
+		orb.IsSystemException(err, orb.ExTimeout) ||
+		orb.IsSystemException(err, orb.ExTransient) ||
+		orb.IsSystemException(err, orb.ExObjectNotExist) ||
+		errors.Is(err, context.DeadlineExceeded)
 }
 
 // SelectExplain implements naming.ExplainingSelector: the decision
@@ -97,24 +136,39 @@ func (s *WinnerSelector) SelectExplain(name naming.Name, offers []naming.Offer) 
 		}
 	}
 	if len(hosts) == 0 {
-		return s.fallbackExplain(name, offers, "fallback-no-hosts")
+		return s.fallbackExplain(name, offers, naming.ReasonFallbackNoHosts)
+	}
+	if !s.breaker.Allow() {
+		// The manager is known-dead and the cooldown hasn't elapsed:
+		// degrade without paying another connect timeout.
+		return s.fallbackExplain(name, offers, naming.ReasonFallbackWinnerDown)
 	}
 	best, err := s.ranker.BestOf(hosts)
 	if err != nil {
 		// No ranking available: degrade to plain behaviour rather than
 		// failing the resolve.
-		return s.fallbackExplain(name, offers, "fallback-ranker-error")
+		if rankerUnreachable(err) {
+			s.breaker.Failure()
+			return s.fallbackExplain(name, offers, naming.ReasonFallbackWinnerDown)
+		}
+		s.breaker.Success()
+		if winner.IsAllStale(err) {
+			return s.fallbackExplain(name, offers, naming.ReasonFallbackStale)
+		}
+		return s.fallbackExplain(name, offers, naming.ReasonFallbackRankerError)
 	}
+	s.breaker.Success()
 	for _, o := range offers {
 		if o.Host == best {
-			return o, naming.Decision{Reason: "winner-best"}, nil
+			return o, naming.Decision{Reason: naming.ReasonWinnerBest}, nil
 		}
 	}
-	return s.fallbackExplain(name, offers, "fallback-host-unknown")
+	return s.fallbackExplain(name, offers, naming.ReasonFallbackHostUnknown)
 }
 
 // fallbackExplain runs the fallback selector and tags the decision.
 func (s *WinnerSelector) fallbackExplain(name naming.Name, offers []naming.Offer, reason string) (naming.Offer, naming.Decision, error) {
+	s.fallbacks.Add(1)
 	o, err := s.fallback.Select(name, offers)
 	return o, naming.Decision{Reason: reason}, err
 }

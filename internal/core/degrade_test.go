@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/naming"
+	"repro/internal/orb"
+	"repro/internal/winner"
+)
+
+// countingRanker scripts ranking outcomes and counts invocations.
+type countingRanker struct {
+	calls int
+	next  func() (string, error)
+}
+
+func (r *countingRanker) BestOf([]string) (string, error) {
+	r.calls++
+	return r.next()
+}
+
+func degradeOffers() []naming.Offer {
+	return []naming.Offer{
+		{Ref: orb.ObjectRef{Addr: "a:1", Key: "a"}, Host: "a"},
+		{Ref: orb.ObjectRef{Addr: "b:1", Key: "b"}, Host: "b"},
+	}
+}
+
+func TestWinnerSelectorBreakerOnUnreachableManager(t *testing.T) {
+	clk := time.Unix(100, 0)
+	ranker := &countingRanker{next: func() (string, error) {
+		return "", &orb.SystemException{Kind: orb.ExCommFailure, Detail: "manager down"}
+	}}
+	s := NewWinnerSelector(ranker, nil)
+	s.ConfigureBreaker(orb.BreakerOptions{Threshold: 1, Cooldown: time.Second, Clock: func() time.Time { return clk }})
+	name := naming.NewName("svc")
+
+	// First resolve pays the transport error and trips the breaker.
+	_, dec, err := s.SelectExplain(name, degradeOffers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Reason != naming.ReasonFallbackWinnerDown {
+		t.Fatalf("reason = %q, want %q", dec.Reason, naming.ReasonFallbackWinnerDown)
+	}
+	if ranker.calls != 1 {
+		t.Fatalf("ranker calls = %d, want 1", ranker.calls)
+	}
+
+	// While the breaker is open, resolves degrade WITHOUT consulting the
+	// ranker — no connect timeout per resolve.
+	for i := 0; i < 3; i++ {
+		_, dec, err = s.SelectExplain(name, degradeOffers())
+		if err != nil || dec.Reason != naming.ReasonFallbackWinnerDown {
+			t.Fatalf("open-breaker resolve %d: reason=%q err=%v", i, dec.Reason, err)
+		}
+	}
+	if ranker.calls != 1 {
+		t.Fatalf("ranker consulted through an open breaker: calls = %d", ranker.calls)
+	}
+	if s.Fallbacks() != 4 {
+		t.Fatalf("Fallbacks = %d, want 4", s.Fallbacks())
+	}
+
+	// Manager comes back; after the cooldown the half-open probe restores
+	// winner-best selection.
+	ranker.next = func() (string, error) { return "b", nil }
+	clk = clk.Add(time.Second)
+	got, dec, err := s.SelectExplain(name, degradeOffers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Reason != naming.ReasonWinnerBest || got.Host != "b" {
+		t.Fatalf("after recovery: host=%q reason=%q", got.Host, dec.Reason)
+	}
+}
+
+func TestWinnerSelectorAllStaleFallsBackWithoutTripping(t *testing.T) {
+	ranker := &countingRanker{next: func() (string, error) { return "", winner.ErrAllStale }}
+	s := NewWinnerSelector(ranker, nil)
+	name := naming.NewName("svc")
+
+	for i := 0; i < 2; i++ {
+		_, dec, err := s.SelectExplain(name, degradeOffers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Reason != naming.ReasonFallbackStale {
+			t.Fatalf("reason = %q, want %q", dec.Reason, naming.ReasonFallbackStale)
+		}
+	}
+	// Authoritative answers keep the breaker closed: the ranker was
+	// consulted both times.
+	if ranker.calls != 2 {
+		t.Fatalf("ranker calls = %d, want 2 (breaker must stay closed)", ranker.calls)
+	}
+	if s.Fallbacks() != 2 {
+		t.Fatalf("Fallbacks = %d, want 2", s.Fallbacks())
+	}
+}
+
+func TestWinnerSelectorAllStaleOverTheWire(t *testing.T) {
+	// The all-stale condition must survive the ORB hop: manager → user
+	// exception → client → IsAllStale.
+	o := orb.New(orb.Options{Name: "stale-test"})
+	t.Cleanup(o.Shutdown)
+	a, err := o.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := winner.NewManager()
+	now := time.Unix(500, 0)
+	mgr.SetMaxSampleAge(time.Second, func() time.Time { return now })
+	mgr.Report(winner.LoadSample{Host: "a", Speed: 1, Seq: 1})
+	now = now.Add(time.Minute)
+	ref := a.Activate(winner.DefaultKey, winner.NewServant(mgr))
+
+	c := winner.NewClient(o, ref)
+	_, err = c.BestOf(t.Context(), []string{"a"})
+	if !winner.IsAllStale(err) {
+		t.Fatalf("remote all-stale err = %v, want IsAllStale", err)
+	}
+
+	s := NewWinnerSelector(ClientRanker{C: c}, nil)
+	_, dec, err := s.SelectExplain(naming.NewName("svc"), []naming.Offer{
+		{Ref: orb.ObjectRef{Addr: "a:1", Key: "x"}, Host: "a"},
+		{Ref: orb.ObjectRef{Addr: "a:2", Key: "y"}, Host: "a"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Reason != naming.ReasonFallbackStale {
+		t.Fatalf("reason = %q, want %q", dec.Reason, naming.ReasonFallbackStale)
+	}
+}

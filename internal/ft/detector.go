@@ -2,10 +2,13 @@ package ft
 
 import (
 	"context"
+	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/naming"
+	"repro/internal/obs"
 	"repro/internal/orb"
 )
 
@@ -22,6 +25,12 @@ type DetectorOptions struct {
 	Suspicions int
 	// Period is the probe interval for the background loop (default 1s).
 	Period time.Duration
+	// Logger, when set, records each eviction with the offer key and the
+	// suspicion count that condemned it. Nil disables logging.
+	Logger *slog.Logger
+	// OnEvict, when set, is called after each successful unbind (metrics
+	// hooks, tests).
+	OnEvict func(name naming.Name, offer naming.Offer, suspicions int)
 }
 
 // Detector is a proactive failure detector for group bindings: it probes
@@ -41,6 +50,7 @@ type Detector struct {
 	names     []naming.Name
 	suspicion map[string]int // offer key -> consecutive failures
 	removed   int
+	evicted   atomic.Uint64
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -86,6 +96,19 @@ func (d *Detector) Removed() int {
 	return d.removed
 }
 
+// Evicted returns the same count as Removed through a lock-free counter,
+// safe to read from a metrics scrape while a probe sweep holds the mutex.
+func (d *Detector) Evicted() uint64 { return d.evicted.Load() }
+
+// ExportMetrics registers the detector's eviction counter on reg. Like
+// the nameserver's lease sweeper, evictions surface as
+// naming_offers_evicted_total — both mechanisms remove dead offers from
+// the group, they just notice death differently (probe vs lease expiry).
+func (d *Detector) ExportMetrics(reg *obs.Registry) {
+	reg.NewCounterFunc("naming_offers_evicted_total",
+		"Dead offers unbound by the failure detector.", d.Evicted)
+}
+
 // offerKey identifies an offer within a name for suspicion counting.
 func offerKey(name naming.Name, ref orb.ObjectRef) string {
 	return name.String() + "|" + ref.Addr + "|" + ref.Key
@@ -116,7 +139,8 @@ func (d *Detector) Step(ctx context.Context) int {
 			}
 			d.mu.Lock()
 			d.suspicion[key]++
-			guilty := d.suspicion[key] >= d.opts.Suspicions
+			suspicions := d.suspicion[key]
+			guilty := suspicions >= d.opts.Suspicions
 			if guilty {
 				delete(d.suspicion, key)
 			}
@@ -126,7 +150,17 @@ func (d *Detector) Step(ctx context.Context) int {
 					d.mu.Lock()
 					d.removed++
 					d.mu.Unlock()
+					d.evicted.Add(1)
 					unbound++
+					if d.opts.Logger != nil {
+						d.opts.Logger.Warn("ft: dead offer evicted",
+							"offer", key,
+							"host", o.Host,
+							"suspicions", suspicions)
+					}
+					if d.opts.OnEvict != nil {
+						d.opts.OnEvict(name, o, suspicions)
+					}
 				}
 			}
 		}

@@ -1,0 +1,102 @@
+package ft
+
+import (
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/naming"
+	"repro/internal/obs"
+	"repro/internal/orb"
+)
+
+// deadPinger fails every probe — the whole group looks dead.
+type deadPinger struct{}
+
+func (deadPinger) Ping(context.Context, orb.ObjectRef) error { return errPingFailed }
+
+// syncBuf is a goroutine-safe byte buffer for slog output.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestDetectorEvictionObservability(t *testing.T) {
+	w := newFTWorld(t)
+	var buf syncBuf
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+
+	type eviction struct {
+		name       naming.Name
+		host       string
+		suspicions int
+	}
+	var evictions []eviction
+	det := NewDetector(deadPinger{}, w.naming, DetectorOptions{
+		Suspicions: 2,
+		Logger:     logger,
+		OnEvict: func(name naming.Name, o naming.Offer, suspicions int) {
+			evictions = append(evictions, eviction{name, o.Host, suspicions})
+		},
+	})
+	det.Watch(w.name)
+
+	reg := obs.NewRegistry()
+	det.ExportMetrics(reg)
+
+	det.Step(context.Background()) // suspicion 1 on both offers
+	if det.Evicted() != 0 {
+		t.Fatalf("evicted after one suspicion: %d", det.Evicted())
+	}
+	if n := det.Step(context.Background()); n != 2 {
+		t.Fatalf("second step unbound %d offers, want 2", n)
+	}
+
+	if det.Evicted() != 2 || det.Removed() != 2 {
+		t.Fatalf("evicted=%d removed=%d", det.Evicted(), det.Removed())
+	}
+	if len(evictions) != 2 {
+		t.Fatalf("OnEvict fired %d times", len(evictions))
+	}
+	for _, e := range evictions {
+		if e.suspicions != 2 {
+			t.Fatalf("eviction at suspicion count %d, want 2", e.suspicions)
+		}
+		if e.name.String() != w.name.String() {
+			t.Fatalf("evicted name %q", e.name)
+		}
+	}
+
+	// The slog line carries the full offer key and the suspicion count.
+	out := buf.String()
+	if !strings.Contains(out, "ft: dead offer evicted") {
+		t.Fatalf("no eviction log line in:\n%s", out)
+	}
+	if !strings.Contains(out, "suspicions=2") {
+		t.Fatalf("suspicion count missing from log:\n%s", out)
+	}
+	if !strings.Contains(out, w.name.String()+"|") {
+		t.Fatalf("offer key missing from log:\n%s", out)
+	}
+
+	// The counter is scrapable under the shared eviction metric name.
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "naming_offers_evicted_total 2") {
+		t.Fatalf("metric not exported:\n%s", sb.String())
+	}
+}

@@ -2,6 +2,7 @@ package naming
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/cdr"
 	"repro/internal/orb"
@@ -125,13 +126,75 @@ func (c *Client) List(ctx context.Context, name Name) ([]Binding, error) {
 
 // BindOffer adds (ref, host) to the group binding at name, creating the
 // group if absent. Servers on each host of a NOW register their offers
-// this way.
+// this way. The offer has no lease — it stays bound until unbound.
 func (c *Client) BindOffer(ctx context.Context, name Name, ref orb.ObjectRef, host string) error {
+	return c.BindOfferLease(ctx, name, ref, host, 0)
+}
+
+// BindOfferLease is BindOffer with a lease: when ttl is positive the
+// server must call RenewLease before it runs out or the registry's
+// sweeper unbinds the offer (see StartLeaseRenewer for the helper that
+// does this automatically).
+func (c *Client) BindOfferLease(ctx context.Context, name Name, ref orb.ObjectRef, host string, ttl time.Duration) error {
 	return c.follow(ctx, name, opBindOffer, func(e *cdr.Encoder, target Name) {
 		target.MarshalCDR(e)
 		ref.MarshalCDR(e)
 		e.PutString(host)
+		e.PutInt64(int64(ttl))
 	}, nil)
+}
+
+// RenewLease extends the lease of the offer with reference ref in the
+// group at name. Renewing an evicted (or never-bound) offer fails with
+// the NotFound user exception; the server should re-register with
+// BindOfferLease.
+func (c *Client) RenewLease(ctx context.Context, name Name, ref orb.ObjectRef, ttl time.Duration) error {
+	return c.follow(ctx, name, opRenewLease, func(e *cdr.Encoder, target Name) {
+		target.MarshalCDR(e)
+		ref.MarshalCDR(e)
+		e.PutInt64(int64(ttl))
+	}, nil)
+}
+
+// ListLeases returns the offers at name together with their lease TTL and
+// remaining time (operator view; `nsadmin leases`).
+func (c *Client) ListLeases(ctx context.Context, name Name) ([]OfferLease, error) {
+	var out []OfferLease
+	err := c.follow(ctx, name, opListLeases,
+		func(e *cdr.Encoder, target Name) { target.MarshalCDR(e) },
+		func(d *cdr.Decoder) error {
+			n := d.GetUint32()
+			if n > 1<<20 {
+				return &orb.SystemException{Kind: orb.ExMarshal, Detail: "lease list too long"}
+			}
+			out = make([]OfferLease, 0, n)
+			for i := uint32(0); i < n; i++ {
+				var l OfferLease
+				if err := l.Offer.Ref.UnmarshalCDR(d); err != nil {
+					return err
+				}
+				l.Offer.Host = d.GetString()
+				l.Offer.LeaseTTL = time.Duration(d.GetInt64())
+				l.Remaining = time.Duration(d.GetInt64())
+				out = append(out, l)
+			}
+			return d.Err()
+		})
+	return out, err
+}
+
+// SyncState pushes a registry snapshot to the naming server (replication).
+// It reports whether the server adopted the snapshot and the server's
+// resulting epoch.
+func (c *Client) SyncState(ctx context.Context, snapshot []byte) (adopted bool, epoch uint64, err error) {
+	err = c.follow(ctx, nil, opSyncState,
+		func(e *cdr.Encoder, _ Name) { e.PutBytes(snapshot) },
+		func(d *cdr.Decoder) error {
+			adopted = d.GetBool()
+			epoch = d.GetUint64()
+			return d.Err()
+		})
+	return adopted, epoch, err
 }
 
 // UnbindOffer removes the offer with reference ref from the group at name.

@@ -1,0 +1,350 @@
+package naming
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/orb"
+)
+
+// HAClient is the replica-aware naming stub: it wraps one naming.Client
+// per nameserver replica behind per-endpoint circuit breakers and fails
+// over on transport-class errors (COMM_FAILURE, timeouts, TRANSIENT,
+// OBJECT_NOT_EXIST). The first healthy endpoint becomes sticky — all
+// clients configured with the same endpoint ordering converge on the
+// same primary, which keeps writes serialised on one replica while the
+// others trail by a replication period.
+//
+// Resolve results feed a bounded cache; when every replica is down,
+// Resolve serves the last-known reference from that cache in an explicit
+// degraded mode (logged, counted) instead of erroring — the paper's
+// recovery loop can then still reach a live server even while the whole
+// control plane restarts.
+//
+// HAClient satisfies the same call surface the ft layer needs from
+// naming.Client (Resolver, Unbinder, OfferLister, LeaseBinder).
+type HAClient struct {
+	endpoints []*haEndpoint
+	opts      HAOptions
+
+	primary atomic.Int64
+
+	cacheMu  sync.Mutex
+	cache    map[string]orb.ObjectRef
+	cacheFF  []string // FIFO eviction order
+	degraded atomic.Bool
+
+	failovers      atomic.Uint64
+	degradedServes atomic.Uint64
+	resolveErrors  atomic.Uint64
+}
+
+// haEndpoint is one replica with its breaker.
+type haEndpoint struct {
+	client  *Client
+	breaker *orb.Breaker
+	addr    string
+}
+
+// HAOptions tune an HAClient.
+type HAOptions struct {
+	// PerTryTimeout bounds one attempt against one endpoint, so a hung
+	// replica costs bounded time before failover (default 2s).
+	PerTryTimeout time.Duration
+	// Breaker configures the per-endpoint circuit breakers.
+	Breaker orb.BreakerOptions
+	// CacheSize bounds the resolve cache (default 256 names).
+	CacheSize int
+	// Logger receives failover/degraded diagnostics (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+// HAStats is a snapshot of the client's failover counters.
+type HAStats struct {
+	// Failovers counts endpoint attempts abandoned for the next replica.
+	Failovers uint64
+	// DegradedServes counts resolves served from the cache because no
+	// replica answered.
+	DegradedServes uint64
+	// ResolveErrors counts resolves that failed outright: no replica
+	// answered and the cache had nothing (transport-class exhaustion
+	// only; authoritative answers like NotFound are not errors).
+	ResolveErrors uint64
+}
+
+// NewHAClient builds an HA naming stub over the given replica refs (at
+// least one). Order matters: earlier refs are preferred as primary.
+func NewHAClient(o *orb.ORB, refs []orb.ObjectRef, opts HAOptions) (*HAClient, error) {
+	if len(refs) == 0 {
+		return nil, errors.New("naming: HAClient needs at least one endpoint")
+	}
+	if opts.PerTryTimeout <= 0 {
+		opts.PerTryTimeout = 2 * time.Second
+	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 256
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	h := &HAClient{opts: opts, cache: make(map[string]orb.ObjectRef)}
+	for _, ref := range refs {
+		h.endpoints = append(h.endpoints, &haEndpoint{
+			client:  NewClient(o, ref),
+			breaker: orb.NewBreaker(opts.Breaker),
+			addr:    ref.Addr,
+		})
+	}
+	return h, nil
+}
+
+// Stats returns the current failover counters.
+func (h *HAClient) Stats() HAStats {
+	return HAStats{
+		Failovers:      h.failovers.Load(),
+		DegradedServes: h.degradedServes.Load(),
+		ResolveErrors:  h.resolveErrors.Load(),
+	}
+}
+
+// Degraded reports whether the last resolve was served from the cache
+// with every replica unreachable.
+func (h *HAClient) Degraded() bool { return h.degraded.Load() }
+
+// Primary returns the address of the currently preferred endpoint.
+func (h *HAClient) Primary() string {
+	return h.endpoints[int(h.primary.Load())%len(h.endpoints)].addr
+}
+
+// ExportMetrics registers the failover counters with an obs registry
+// under the names the acceptance dashboards scrape.
+func (h *HAClient) ExportMetrics(reg *obs.Registry) {
+	reg.NewCounterFunc("naming_failovers_total",
+		"Nameserver endpoint attempts abandoned for the next replica.",
+		func() uint64 { return h.failovers.Load() })
+	reg.NewCounterFunc("naming_degraded_serves_total",
+		"Resolves served from the client-side cache with all replicas down.",
+		func() uint64 { return h.degradedServes.Load() })
+	reg.NewCounterFunc("naming_resolve_errors_total",
+		"Resolves that failed with no replica reachable and no cached reference.",
+		func() uint64 { return h.resolveErrors.Load() })
+	reg.NewGaugeFunc("naming_degraded",
+		"1 while the naming client is serving cached references in degraded mode.",
+		func() float64 {
+			if h.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
+}
+
+// failoverErr classifies err as transport-class: worth trying the next
+// replica. Authoritative answers (user exceptions such as NotFound,
+// marshal errors, cancellations) must NOT fail over — a healthy replica
+// said no, and asking another would at best duplicate the answer.
+func failoverErr(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true // per-try timeout: the endpoint is unresponsive
+	}
+	return orb.IsCommFailure(err) ||
+		orb.IsSystemException(err, orb.ExTimeout) ||
+		orb.IsSystemException(err, orb.ExTransient) ||
+		orb.IsSystemException(err, orb.ExObjectNotExist)
+}
+
+// errAllReplicasDown is returned when no endpoint produced an answer. It
+// is a COMM_FAILURE so upper layers (ft proxies, Caller retry
+// classifiers) treat it exactly like a single dead nameserver.
+func errAllReplicasDown(last error) error {
+	detail := "naming: no replica reachable"
+	if last != nil {
+		detail = fmt.Sprintf("%s (last: %v)", detail, last)
+	}
+	return &orb.SystemException{Kind: orb.ExCommFailure, Detail: detail}
+}
+
+// do runs f against replicas starting at the sticky primary, failing
+// over on transport errors, honouring breakers, and re-pinning the
+// primary to whichever endpoint answered.
+func (h *HAClient) do(ctx context.Context, op string, f func(ctx context.Context, c *Client) error) error {
+	n := len(h.endpoints)
+	start := int(h.primary.Load()) % n
+	var last error
+	tried := 0
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			if last != nil {
+				return errAllReplicasDown(last)
+			}
+			return ctx.Err()
+		}
+		idx := (start + i) % n
+		ep := h.endpoints[idx]
+		if !ep.breaker.Allow() {
+			continue
+		}
+		tried++
+		cctx, cancel := context.WithTimeout(ctx, h.opts.PerTryTimeout)
+		err := f(cctx, ep.client)
+		cancel()
+		if err == nil || !failoverErr(err) {
+			// Success, or an authoritative answer from a live replica.
+			ep.breaker.Success()
+			h.primary.Store(int64(idx))
+			if h.degraded.CompareAndSwap(true, false) {
+				h.opts.Logger.Info("naming: control plane reachable again, leaving degraded mode", "endpoint", ep.addr)
+			}
+			return err
+		}
+		ep.breaker.Failure()
+		h.failovers.Add(1)
+		h.opts.Logger.Warn("naming: endpoint failed, trying next replica",
+			"op", op, "endpoint", ep.addr, "err", err)
+		last = err
+	}
+	if tried == 0 && last == nil {
+		// Every breaker is open and no cooldown has elapsed: same outcome
+		// as all replicas refusing, without paying connect timeouts.
+		return errAllReplicasDown(errors.New("all endpoint breakers open"))
+	}
+	return errAllReplicasDown(last)
+}
+
+// Resolve resolves name through the first healthy replica; with all
+// replicas down it falls back to the last-known reference in degraded
+// mode. Successful resolves refresh the cache.
+func (h *HAClient) Resolve(ctx context.Context, name Name) (orb.ObjectRef, error) {
+	var ref orb.ObjectRef
+	err := h.do(ctx, opResolve, func(ctx context.Context, c *Client) error {
+		var e error
+		ref, e = c.Resolve(ctx, name)
+		return e
+	})
+	if err == nil {
+		h.cachePut(name, ref)
+		return ref, nil
+	}
+	if failoverErr(err) {
+		if cached, ok := h.cacheGet(name); ok {
+			h.degradedServes.Add(1)
+			if h.degraded.CompareAndSwap(false, true) {
+				h.opts.Logger.Warn("naming: all replicas down, serving cached references (degraded mode)")
+			}
+			return cached, nil
+		}
+		h.resolveErrors.Add(1)
+	}
+	return orb.ObjectRef{}, err
+}
+
+func (h *HAClient) cachePut(name Name, ref orb.ObjectRef) {
+	k := name.String()
+	h.cacheMu.Lock()
+	defer h.cacheMu.Unlock()
+	if _, ok := h.cache[k]; !ok {
+		h.cacheFF = append(h.cacheFF, k)
+		for len(h.cacheFF) > h.opts.CacheSize {
+			delete(h.cache, h.cacheFF[0])
+			h.cacheFF = h.cacheFF[1:]
+		}
+	}
+	h.cache[k] = ref
+}
+
+func (h *HAClient) cacheGet(name Name) (orb.ObjectRef, bool) {
+	h.cacheMu.Lock()
+	defer h.cacheMu.Unlock()
+	ref, ok := h.cache[name.String()]
+	return ref, ok
+}
+
+// The remaining operations are thin failover wrappers around the
+// corresponding naming.Client calls.
+
+// Bind binds ref under name.
+func (h *HAClient) Bind(ctx context.Context, name Name, ref orb.ObjectRef) error {
+	return h.do(ctx, opBind, func(ctx context.Context, c *Client) error { return c.Bind(ctx, name, ref) })
+}
+
+// Rebind binds ref under name, replacing an existing object binding.
+func (h *HAClient) Rebind(ctx context.Context, name Name, ref orb.ObjectRef) error {
+	return h.do(ctx, opRebind, func(ctx context.Context, c *Client) error { return c.Rebind(ctx, name, ref) })
+}
+
+// Unbind removes the binding at name.
+func (h *HAClient) Unbind(ctx context.Context, name Name) error {
+	return h.do(ctx, opUnbind, func(ctx context.Context, c *Client) error { return c.Unbind(ctx, name) })
+}
+
+// BindNewContext creates a sub-context at name.
+func (h *HAClient) BindNewContext(ctx context.Context, name Name) error {
+	return h.do(ctx, opBindNewContext, func(ctx context.Context, c *Client) error { return c.BindNewContext(ctx, name) })
+}
+
+// List returns the bindings in the context at name.
+func (h *HAClient) List(ctx context.Context, name Name) ([]Binding, error) {
+	var out []Binding
+	err := h.do(ctx, opList, func(ctx context.Context, c *Client) error {
+		var e error
+		out, e = c.List(ctx, name)
+		return e
+	})
+	return out, err
+}
+
+// BindOffer adds a leaseless (ref, host) offer to the group at name.
+func (h *HAClient) BindOffer(ctx context.Context, name Name, ref orb.ObjectRef, host string) error {
+	return h.BindOfferLease(ctx, name, ref, host, 0)
+}
+
+// BindOfferLease adds an offer with a lease TTL (see Client.BindOfferLease).
+func (h *HAClient) BindOfferLease(ctx context.Context, name Name, ref orb.ObjectRef, host string, ttl time.Duration) error {
+	return h.do(ctx, opBindOffer, func(ctx context.Context, c *Client) error {
+		return c.BindOfferLease(ctx, name, ref, host, ttl)
+	})
+}
+
+// RenewLease extends the lease on the offer with reference ref at name.
+func (h *HAClient) RenewLease(ctx context.Context, name Name, ref orb.ObjectRef, ttl time.Duration) error {
+	return h.do(ctx, opRenewLease, func(ctx context.Context, c *Client) error {
+		return c.RenewLease(ctx, name, ref, ttl)
+	})
+}
+
+// UnbindOffer removes the offer with reference ref from the group at name.
+func (h *HAClient) UnbindOffer(ctx context.Context, name Name, ref orb.ObjectRef) error {
+	return h.do(ctx, opUnbindOffer, func(ctx context.Context, c *Client) error {
+		return c.UnbindOffer(ctx, name, ref)
+	})
+}
+
+// ListOffers returns the group bound at name.
+func (h *HAClient) ListOffers(ctx context.Context, name Name) ([]Offer, error) {
+	var out []Offer
+	err := h.do(ctx, opListOffers, func(ctx context.Context, c *Client) error {
+		var e error
+		out, e = c.ListOffers(ctx, name)
+		return e
+	})
+	return out, err
+}
+
+// ListLeases returns the offers at name with their remaining lease time.
+func (h *HAClient) ListLeases(ctx context.Context, name Name) ([]OfferLease, error) {
+	var out []OfferLease
+	err := h.do(ctx, opListLeases, func(ctx context.Context, c *Client) error {
+		var e error
+		out, e = c.ListLeases(ctx, name)
+		return e
+	})
+	return out, err
+}
+
+var _ LeaseBinder = (*HAClient)(nil)

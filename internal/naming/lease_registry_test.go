@@ -1,0 +1,329 @@
+package naming
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/orb"
+)
+
+// leaseClock is a manually advanced registry clock.
+type leaseClock struct{ t time.Time }
+
+func (c *leaseClock) now() time.Time          { return c.t }
+func (c *leaseClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newLeaseClock() *leaseClock { return &leaseClock{t: time.Unix(5000, 0)} }
+
+func testRef(addr, key string) orb.ObjectRef {
+	return orb.ObjectRef{Addr: addr, Key: key, TypeID: "IDL:test:1.0"}
+}
+
+func TestRegistryLeaseExpiry(t *testing.T) {
+	clk := newLeaseClock()
+	r := NewRegistry()
+	r.SetClock(clk.now)
+	name := NewName("svc")
+	leased := testRef("h1:1", "a")
+	forever := testRef("h2:1", "b")
+	if err := r.BindOffer(name, Offer{Ref: leased, Host: "h1", LeaseTTL: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindOffer(name, Offer{Ref: forever, Host: "h2"}); err != nil {
+		t.Fatal(err)
+	}
+
+	live, err := r.LiveOffers(name)
+	if err != nil || len(live) != 2 {
+		t.Fatalf("LiveOffers = %v, %v; want both offers", live, err)
+	}
+
+	clk.advance(1500 * time.Millisecond)
+	live, err = r.LiveOffers(name)
+	if err != nil || len(live) != 1 || live[0].Ref != forever {
+		t.Fatalf("after expiry LiveOffers = %v, %v; want only the leaseless offer", live, err)
+	}
+	// Offers (the admin view) still shows the expired offer until swept.
+	all, err := r.Offers(name)
+	if err != nil || len(all) != 2 {
+		t.Fatalf("Offers = %v, %v; want both (expired not yet swept)", all, err)
+	}
+
+	evicted := r.ExpireOffers()
+	if len(evicted) != 1 || evicted[0].Offer.Ref != leased || evicted[0].Name.String() != name.String() {
+		t.Fatalf("ExpireOffers = %+v, want the leased offer under %v", evicted, name)
+	}
+	if all, _ := r.Offers(name); len(all) != 1 {
+		t.Fatalf("after sweep Offers = %v, want 1", all)
+	}
+	// Idempotent: nothing left to evict.
+	if again := r.ExpireOffers(); len(again) != 0 {
+		t.Fatalf("second ExpireOffers = %+v, want none", again)
+	}
+}
+
+func TestRegistryRenewLease(t *testing.T) {
+	clk := newLeaseClock()
+	r := NewRegistry()
+	r.SetClock(clk.now)
+	name := NewName("svc")
+	ref := testRef("h1:1", "a")
+	if err := r.BindOffer(name, Offer{Ref: ref, Host: "h1", LeaseTTL: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(900 * time.Millisecond)
+	if err := r.RenewLease(name, ref, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(900 * time.Millisecond)
+	if live, err := r.LiveOffers(name); err != nil || len(live) != 1 {
+		t.Fatalf("renewed offer not live: %v, %v", live, err)
+	}
+	// Renewing an unknown ref (or an evicted offer) is NotFound.
+	if err := r.RenewLease(name, testRef("h9:1", "zz"), time.Second); !orb.IsUserException(err, ExNotFound) {
+		t.Fatalf("renew of unknown ref = %v, want NotFound", err)
+	}
+	// A group whose offers all expired resolves as NotFound.
+	clk.advance(2 * time.Second)
+	if _, err := r.LiveOffers(name); !orb.IsUserException(err, ExNotFound) {
+		t.Fatalf("all-expired LiveOffers err = %v, want NotFound", err)
+	}
+}
+
+func TestRegistryLeasesView(t *testing.T) {
+	clk := newLeaseClock()
+	r := NewRegistry()
+	r.SetClock(clk.now)
+	name := NewName("svc")
+	if err := r.BindOffer(name, Offer{Ref: testRef("h1:1", "a"), Host: "h1", LeaseTTL: 10 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindOffer(name, Offer{Ref: testRef("h2:1", "b"), Host: "h2"}); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(4 * time.Second)
+	leases, err := r.Leases(name)
+	if err != nil || len(leases) != 2 {
+		t.Fatalf("Leases = %v, %v", leases, err)
+	}
+	byHost := map[string]OfferLease{}
+	for _, l := range leases {
+		byHost[l.Offer.Host] = l
+	}
+	if got := byHost["h1"].Remaining; got != 6*time.Second {
+		t.Fatalf("h1 remaining = %v, want 6s", got)
+	}
+	if got := byHost["h2"].Remaining; got != 0 {
+		t.Fatalf("leaseless h2 remaining = %v, want 0", got)
+	}
+}
+
+func TestRegistryEpochAdvancesOnMutation(t *testing.T) {
+	r := NewRegistry()
+	name := NewName("svc")
+	e0 := r.Epoch()
+	if err := r.BindOffer(name, Offer{Ref: testRef("h1:1", "a"), Host: "h1"}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() <= e0 {
+		t.Fatal("BindOffer did not advance the epoch")
+	}
+	e1 := r.Epoch()
+	// Read-only operations must not advance it.
+	if _, err := r.Offers(name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.LiveOffers(name); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.ExpireOffers() // nothing to evict: no bump
+	if r.Epoch() != e1 {
+		t.Fatalf("epoch moved to %d on read-only operations, want %d", r.Epoch(), e1)
+	}
+}
+
+func TestSnapshotV2RoundTripWithLeases(t *testing.T) {
+	clk := newLeaseClock()
+	r := NewRegistry()
+	r.SetClock(clk.now)
+	name := NewName("svc")
+	if err := r.BindOffer(name, Offer{Ref: testRef("h1:1", "a"), Host: "h1", LeaseTTL: 3 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindOffer(name, Offer{Ref: testRef("h2:1", "b"), Host: "h2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bind(NewName("solo"), testRef("h3:1", "c")); err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+
+	r2 := NewRegistry()
+	r2.SetClock(clk.now)
+	if err := r2.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Epoch() != r.Epoch() {
+		t.Fatalf("restored epoch = %d, want %d", r2.Epoch(), r.Epoch())
+	}
+	offers, err := r2.Offers(name)
+	if err != nil || len(offers) != 2 {
+		t.Fatalf("restored Offers = %v, %v", offers, err)
+	}
+	for _, o := range offers {
+		if o.Host == "h1" {
+			if o.LeaseTTL != 3*time.Second || o.Expires.IsZero() {
+				t.Fatalf("lease metadata lost in round trip: %+v", o)
+			}
+		} else if o.LeaseTTL != 0 || !o.Expires.IsZero() {
+			t.Fatalf("leaseless offer gained a lease: %+v", o)
+		}
+	}
+	// The lease keeps expiring on the restored registry.
+	clk.advance(4 * time.Second)
+	if evicted := r2.ExpireOffers(); len(evicted) != 1 {
+		t.Fatalf("restored lease did not expire: %+v", evicted)
+	}
+}
+
+// encodeV1Snapshot builds a version-1 snapshot by hand: one group with
+// two offers plus one object binding, in the exact v1 wire layout.
+func encodeV1Snapshot(t *testing.T) []byte {
+	t.Helper()
+	return cdr.Encapsulate(func(e *cdr.Encoder) {
+		e.PutUint32(1) // version: no epoch header follows
+		e.PutUint32(2) // root entries
+		e.PutString("svc")
+		e.PutString("")
+		e.PutUint32(uint32(BindGroup))
+		e.PutUint32(2)
+		testRef("h1:1", "a").MarshalCDR(e)
+		e.PutString("h1")
+		testRef("h2:1", "b").MarshalCDR(e)
+		e.PutString("h2")
+		e.PutString("solo")
+		e.PutString("")
+		e.PutUint32(uint32(BindObject))
+		testRef("h3:1", "c").MarshalCDR(e)
+	})
+}
+
+func TestSnapshotV1StillReadable(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RestoreSnapshot(encodeV1Snapshot(t)); err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if r.Epoch() != 0 {
+		t.Fatalf("v1 restore epoch = %d, want 0", r.Epoch())
+	}
+	offers, err := r.Offers(NewName("svc"))
+	if err != nil || len(offers) != 2 {
+		t.Fatalf("v1 offers = %v, %v", offers, err)
+	}
+	for _, o := range offers {
+		if o.LeaseTTL != 0 || !o.Expires.IsZero() {
+			t.Fatalf("v1 offer gained lease metadata: %+v", o)
+		}
+	}
+	if _, err := r.ResolveObject(NewName("solo")); err != nil {
+		t.Fatalf("v1 object binding lost: %v", err)
+	}
+	// v1 offers never expire.
+	if evicted := r.ExpireOffers(); len(evicted) != 0 {
+		t.Fatalf("v1 offers evicted: %+v", evicted)
+	}
+}
+
+func TestSnapshotCorruptionTypedError(t *testing.T) {
+	r := NewRegistry()
+	if err := r.BindOffer(NewName("svc"), Offer{Ref: testRef("h1:1", "a"), Host: "h1", LeaseTTL: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	good := r.Snapshot()
+
+	// Every truncation must fail cleanly with the typed error, never panic.
+	for cut := 0; cut < len(good); cut++ {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("restore of %d-byte prefix panicked: %v", cut, p)
+				}
+			}()
+			err := NewRegistry().RestoreSnapshot(good[:cut])
+			if err == nil {
+				t.Fatalf("restore of %d-byte prefix succeeded", cut)
+			}
+			if !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("restore of %d-byte prefix: err = %v, want ErrCorruptSnapshot", cut, err)
+			}
+		}()
+	}
+
+	// Flipped count field: an absurd entry count is corruption, not OOM.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xff
+	if err := NewRegistry().RestoreSnapshot(bad); err != nil && !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("bit-flipped snapshot: err = %v, want ErrCorruptSnapshot or success", err)
+	}
+
+	// An unsupported future version is a distinct, non-corruption error.
+	future := cdr.Encapsulate(func(e *cdr.Encoder) { e.PutUint32(99) })
+	if err := NewRegistry().RestoreSnapshot(future); err == nil || errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("future version err = %v, want unsupported-version error", err)
+	}
+}
+
+func TestAdoptSnapshotLastWriterWins(t *testing.T) {
+	a := NewRegistry()
+	name := NewName("svc")
+	if err := a.BindOffer(name, Offer{Ref: testRef("h1:1", "a"), Host: "h1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.BindOffer(name, Offer{Ref: testRef("h2:1", "b"), Host: "h2"}); err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewRegistry()
+	adopted, err := b.AdoptSnapshot(a.Snapshot())
+	if err != nil || !adopted {
+		t.Fatalf("fresh replica did not adopt: %v, %v", adopted, err)
+	}
+	if b.Epoch() != a.Epoch() {
+		t.Fatalf("adopted epoch = %d, want %d", b.Epoch(), a.Epoch())
+	}
+	if offers, err := b.Offers(name); err != nil || len(offers) != 2 {
+		t.Fatalf("adopted offers = %v, %v", offers, err)
+	}
+	if b.SnapshotsAdopted() != 1 {
+		t.Fatalf("SnapshotsAdopted = %d, want 1", b.SnapshotsAdopted())
+	}
+
+	// Same epoch again: no-op.
+	adopted, err = b.AdoptSnapshot(a.Snapshot())
+	if err != nil || adopted {
+		t.Fatalf("equal-epoch snapshot adopted = %v, want false", adopted)
+	}
+
+	// b moves ahead locally; a's now-older snapshot must not clobber it.
+	stale := a.Snapshot()
+	if err := b.UnbindOffer(name, testRef("h1:1", "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BindOffer(name, Offer{Ref: testRef("h3:1", "c"), Host: "h3"}); err != nil {
+		t.Fatal(err)
+	}
+	adopted, err = b.AdoptSnapshot(stale)
+	if err != nil || adopted {
+		t.Fatalf("stale snapshot adopted = %v, want false", adopted)
+	}
+	offers, _ := b.Offers(name)
+	hosts := map[string]bool{}
+	for _, o := range offers {
+		hosts[o.Host] = true
+	}
+	if hosts["h1"] || !hosts["h3"] {
+		t.Fatalf("stale adopt clobbered local state: %v", offers)
+	}
+}

@@ -1,8 +1,10 @@
 package naming
 
 import (
+	"errors"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cdr"
 )
@@ -11,16 +13,31 @@ import (
 // encapsulation, so a standalone nameserver can survive restarts without
 // losing bindings (production naming services persist their trees; the
 // format is versioned for forward evolution).
+//
+// Version history:
+//
+//	v1 — tree of bindings; group offers carry (ref, host).
+//	v2 — adds the registry epoch to the header and lease metadata
+//	     (TTL + absolute expiry) to every offer. v1 snapshots are still
+//	     readable: their offers load lease-free and the epoch starts at 0.
+const persistVersion = 2
 
-// persistVersion tags the on-disk format.
-const persistVersion = 1
+// ErrCorruptSnapshot tags every structural decode failure of a snapshot
+// (truncation, impossible counts, unknown binding types). Callers test
+// with errors.Is; a corrupt store file must never panic the nameserver.
+var ErrCorruptSnapshot = errors.New("naming: corrupt snapshot")
 
-// Snapshot serializes the registry.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptSnapshot, fmt.Sprintf(format, args...))
+}
+
+// Snapshot serializes the registry (current format version).
 func (r *Registry) Snapshot() []byte {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return cdr.Encapsulate(func(e *cdr.Encoder) {
 		e.PutUint32(persistVersion)
+		e.PutUint64(r.epoch)
 		snapshotContext(e, r.root)
 	})
 }
@@ -44,40 +61,87 @@ func snapshotContext(e *cdr.Encoder, node *contextNode) {
 			for _, o := range ent.group {
 				o.Ref.MarshalCDR(e)
 				e.PutString(o.Host)
+				e.PutInt64(int64(o.LeaseTTL))
+				if o.Expires.IsZero() {
+					e.PutInt64(0)
+				} else {
+					e.PutInt64(o.Expires.UnixNano())
+				}
 			}
 		}
 	}
 }
 
-// RestoreSnapshot replaces the registry contents with a snapshot.
-func (r *Registry) RestoreSnapshot(data []byte) error {
+// decodeSnapshot parses a snapshot of any supported version.
+func decodeSnapshot(data []byte) (root *contextNode, epoch uint64, err error) {
 	d, err := cdr.OpenEncapsulation(data)
 	if err != nil {
-		return fmt.Errorf("naming: snapshot: %w", err)
+		return nil, 0, corruptf("%v", err)
 	}
-	if v := d.GetUint32(); v != persistVersion {
-		return fmt.Errorf("naming: snapshot version %d unsupported", v)
+	v := d.GetUint32()
+	if err := d.Err(); err != nil {
+		return nil, 0, corruptf("%v", err)
 	}
-	root, err := restoreContext(d, 0)
+	switch v {
+	case 1:
+		// v1 has no epoch header and no lease metadata.
+	case 2:
+		epoch = d.GetUint64()
+	default:
+		return nil, 0, fmt.Errorf("naming: snapshot version %d unsupported", v)
+	}
+	root, err = restoreContext(d, 0, v)
+	if err != nil {
+		return nil, 0, err
+	}
+	return root, epoch, nil
+}
+
+// RestoreSnapshot replaces the registry contents with a snapshot,
+// including its epoch (v1 snapshots restore at epoch 0).
+func (r *Registry) RestoreSnapshot(data []byte) error {
+	root, epoch, err := decodeSnapshot(data)
 	if err != nil {
 		return err
 	}
 	r.mu.Lock()
 	r.root = root
+	r.epoch = epoch
 	r.mu.Unlock()
 	return nil
+}
+
+// AdoptSnapshot merges a peer's snapshot using last-writer-wins: the
+// whole tree is replaced only when the snapshot's epoch is strictly newer
+// than the local one. It returns whether the snapshot was adopted. This
+// is the receiving half of nameserver replication — commutative and
+// idempotent, so replicas converge regardless of push ordering.
+func (r *Registry) AdoptSnapshot(data []byte) (bool, error) {
+	root, epoch, err := decodeSnapshot(data)
+	if err != nil {
+		return false, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if epoch <= r.epoch {
+		return false, nil
+	}
+	r.root = root
+	r.epoch = epoch
+	r.adopts++
+	return true, nil
 }
 
 // maxPersistDepth bounds context nesting in snapshots (corruption guard).
 const maxPersistDepth = 64
 
-func restoreContext(d *cdr.Decoder, depth int) (*contextNode, error) {
+func restoreContext(d *cdr.Decoder, depth int, version uint32) (*contextNode, error) {
 	if depth > maxPersistDepth {
-		return nil, fmt.Errorf("naming: snapshot nests deeper than %d contexts", maxPersistDepth)
+		return nil, corruptf("nests deeper than %d contexts", maxPersistDepth)
 	}
 	n := d.GetUint32()
 	if n > 1<<20 {
-		return nil, fmt.Errorf("naming: snapshot context with %d entries", n)
+		return nil, corruptf("context with %d entries", n)
 	}
 	node := newContextNode()
 	for i := uint32(0); i < n; i++ {
@@ -85,20 +149,20 @@ func restoreContext(d *cdr.Decoder, depth int) (*contextNode, error) {
 		kind := d.GetString()
 		typ := BindingType(d.GetUint32())
 		if err := d.Err(); err != nil {
-			return nil, fmt.Errorf("naming: snapshot: %w", err)
+			return nil, corruptf("%v", err)
 		}
 		ent := &entry{typ: typ}
 		switch typ {
 		case BindObject:
 			if err := ent.ref.UnmarshalCDR(d); err != nil {
-				return nil, fmt.Errorf("naming: snapshot: %w", err)
+				return nil, corruptf("%v", err)
 			}
 		case BindRemote:
 			if err := ent.remote.UnmarshalCDR(d); err != nil {
-				return nil, fmt.Errorf("naming: snapshot: %w", err)
+				return nil, corruptf("%v", err)
 			}
 		case BindContext:
-			sub, err := restoreContext(d, depth+1)
+			sub, err := restoreContext(d, depth+1, version)
 			if err != nil {
 				return nil, err
 			}
@@ -106,23 +170,32 @@ func restoreContext(d *cdr.Decoder, depth int) (*contextNode, error) {
 		case BindGroup:
 			cnt := d.GetUint32()
 			if cnt > 1<<20 {
-				return nil, fmt.Errorf("naming: snapshot group with %d offers", cnt)
+				return nil, corruptf("group with %d offers", cnt)
 			}
 			for j := uint32(0); j < cnt; j++ {
 				var o Offer
 				if err := o.Ref.UnmarshalCDR(d); err != nil {
-					return nil, fmt.Errorf("naming: snapshot: %w", err)
+					return nil, corruptf("%v", err)
 				}
 				o.Host = d.GetString()
+				if version >= 2 {
+					o.LeaseTTL = time.Duration(d.GetInt64())
+					if nanos := d.GetInt64(); nanos != 0 {
+						o.Expires = time.Unix(0, nanos)
+					}
+				}
 				ent.group = append(ent.group, o)
 			}
 			if err := d.Err(); err != nil {
-				return nil, fmt.Errorf("naming: snapshot: %w", err)
+				return nil, corruptf("%v", err)
 			}
 		default:
-			return nil, fmt.Errorf("naming: snapshot has unknown binding type %d", typ)
+			return nil, corruptf("unknown binding type %d", typ)
 		}
 		node.entries[key(Component{ID: id, Kind: kind})] = ent
+	}
+	if err := d.Err(); err != nil {
+		return nil, corruptf("%v", err)
 	}
 	return node, nil
 }

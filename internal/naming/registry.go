@@ -3,6 +3,7 @@ package naming
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/orb"
 )
@@ -20,9 +21,23 @@ const (
 
 // Offer is one member of a group binding: an object reference plus the
 // logical host it runs on (the information the Winner selector needs).
+// Offers may carry a lease: a TTL the registering server must keep
+// renewing, and the absolute instant the current lease runs out. A zero
+// LeaseTTL means the offer never expires (the pre-lease behaviour).
 type Offer struct {
 	Ref  orb.ObjectRef
 	Host string
+	// LeaseTTL is the renewal interval granted at bind/renew time (0: no
+	// lease).
+	LeaseTTL time.Duration
+	// Expires is when the lease runs out (zero: no lease). Maintained by
+	// the registry; ignored on input to BindOffer.
+	Expires time.Time
+}
+
+// expired reports whether the offer's lease has run out at t.
+func (o Offer) expired(t time.Time) bool {
+	return !o.Expires.IsZero() && t.After(o.Expires)
 }
 
 // Binding summarises one entry of a context listing.
@@ -81,10 +96,41 @@ func key(c Component) string { return c.ID + "\x00" + c.Kind }
 type Registry struct {
 	mu   sync.RWMutex
 	root *contextNode
+	// epoch counts mutations monotonically. Replicas ship snapshots
+	// stamped with their epoch and adopt only strictly newer state
+	// (last-writer-wins gossip), so a restarted or lagging replica never
+	// clobbers fresher bindings.
+	epoch uint64
+	// adopts counts snapshots adopted from peers (replication metric).
+	adopts uint64
+	// now is the lease clock (time.Now outside tests).
+	now func() time.Time
 }
 
 // NewRegistry creates an empty naming tree.
-func NewRegistry() *Registry { return &Registry{root: newContextNode()} }
+func NewRegistry() *Registry { return &Registry{root: newContextNode(), now: time.Now} }
+
+// SetClock overrides the lease clock (tests).
+func (r *Registry) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	r.now = now
+	r.mu.Unlock()
+}
+
+// Epoch returns the registry's mutation counter.
+func (r *Registry) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
+
+// SnapshotsAdopted returns how many peer snapshots this registry has
+// adopted (see AdoptSnapshot).
+func (r *Registry) SnapshotsAdopted() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.adopts
+}
 
 // walk descends to the context holding the last component of n, creating
 // nothing. Returns the node and the final component.
@@ -123,6 +169,7 @@ func (r *Registry) Bind(n Name, ref orb.ObjectRef) error {
 		return errAlreadyBound(n)
 	}
 	node.entries[key(last)] = &entry{typ: BindObject, ref: ref}
+	r.epoch++
 	return nil
 }
 
@@ -148,6 +195,7 @@ func (r *Registry) Rebind(n Name, ref orb.ObjectRef) error {
 		}
 	}
 	node.entries[key(last)] = &entry{typ: BindObject, ref: ref}
+	r.epoch++
 	return nil
 }
 
@@ -166,6 +214,7 @@ func (r *Registry) BindNewContext(n Name) error {
 		return errAlreadyBound(n)
 	}
 	node.entries[key(last)] = &entry{typ: BindContext, ctx: newContextNode()}
+	r.epoch++
 	return nil
 }
 
@@ -184,6 +233,7 @@ func (r *Registry) Unbind(n Name) error {
 		return errNotFound(n)
 	}
 	delete(node.entries, key(last))
+	r.epoch++
 	return nil
 }
 
@@ -215,13 +265,21 @@ func (r *Registry) ResolveObject(n Name) (orb.ObjectRef, error) {
 }
 
 // BindOffer adds an offer to the group binding at n, creating the group if
-// n is unbound. Adding to an object/context binding fails.
+// n is unbound. Adding to an object/context binding fails. When
+// offer.LeaseTTL is positive the offer is leased: the registry stamps its
+// expiry and the server must RenewLease before it runs out or the sweeper
+// unbinds it.
 func (r *Registry) BindOffer(n Name, offer Offer) error {
 	if err := n.Validate(); err != nil {
 		return errInvalidName(err.Error())
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if offer.LeaseTTL > 0 {
+		offer.Expires = r.now().Add(offer.LeaseTTL)
+	} else {
+		offer.LeaseTTL, offer.Expires = 0, time.Time{}
+	}
 	node, last, err := r.walk(n)
 	if err != nil {
 		return err
@@ -229,6 +287,7 @@ func (r *Registry) BindOffer(n Name, offer Offer) error {
 	e, ok := node.entries[key(last)]
 	if !ok {
 		node.entries[key(last)] = &entry{typ: BindGroup, group: []Offer{offer}}
+		r.epoch++
 		return nil
 	}
 	if e.typ != BindGroup {
@@ -240,7 +299,89 @@ func (r *Registry) BindOffer(n Name, offer Offer) error {
 		}
 	}
 	e.group = append(e.group, offer)
+	r.epoch++
 	return nil
+}
+
+// RenewLease extends the lease of the offer with reference ref in the
+// group at n. A non-positive ttl clears the lease (the offer becomes
+// permanent). Renewing an offer that is not bound — including one the
+// sweeper already evicted — fails with NotFound, which tells the server
+// to re-register via BindOffer.
+func (r *Registry) RenewLease(n Name, ref orb.ObjectRef, ttl time.Duration) error {
+	if err := n.Validate(); err != nil {
+		return errInvalidName(err.Error())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	node, last, err := r.walk(n)
+	if err != nil {
+		return err
+	}
+	e, ok := node.entries[key(last)]
+	if !ok || e.typ != BindGroup {
+		return errNotFound(n)
+	}
+	for i := range e.group {
+		if e.group[i].Ref == ref {
+			if ttl > 0 {
+				e.group[i].LeaseTTL = ttl
+				e.group[i].Expires = r.now().Add(ttl)
+			} else {
+				e.group[i].LeaseTTL = 0
+				e.group[i].Expires = time.Time{}
+			}
+			r.epoch++
+			return nil
+		}
+	}
+	return errNotFound(n)
+}
+
+// ExpiredOffer reports one offer the sweeper evicted.
+type ExpiredOffer struct {
+	Name  Name
+	Offer Offer
+}
+
+// ExpireOffers removes every offer whose lease has run out, removing
+// groups that become empty, and returns what was evicted. It is the
+// sweeper's step function.
+func (r *Registry) ExpireOffers() []ExpiredOffer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	var evicted []ExpiredOffer
+	expireNode(r.root, nil, now, &evicted)
+	if len(evicted) > 0 {
+		r.epoch++
+	}
+	return evicted
+}
+
+// expireNode walks the tree collecting and removing expired offers.
+func expireNode(node *contextNode, prefix Name, now time.Time, out *[]ExpiredOffer) {
+	for k, e := range node.entries {
+		id, kind, _ := splitKey(k)
+		name := append(append(Name{}, prefix...), Component{ID: id, Kind: kind})
+		switch e.typ {
+		case BindContext:
+			expireNode(e.ctx, name, now, out)
+		case BindGroup:
+			kept := e.group[:0]
+			for _, o := range e.group {
+				if o.expired(now) {
+					*out = append(*out, ExpiredOffer{Name: name, Offer: o})
+				} else {
+					kept = append(kept, o)
+				}
+			}
+			e.group = kept
+			if len(e.group) == 0 {
+				delete(node.entries, k)
+			}
+		}
+	}
 }
 
 // UnbindOffer removes the offer with the given reference from the group at
@@ -265,6 +406,7 @@ func (r *Registry) UnbindOffer(n Name, ref orb.ObjectRef) error {
 			if len(e.group) == 0 {
 				delete(node.entries, key(last))
 			}
+			r.epoch++
 			return nil
 		}
 	}
@@ -300,6 +442,60 @@ func (r *Registry) Offers(n Name) ([]Offer, error) {
 	default:
 		return nil, errNotContext(n)
 	}
+}
+
+// OfferLease pairs an offer with how much of its lease is left: the
+// operator view behind `nsadmin leases`.
+type OfferLease struct {
+	Offer Offer
+	// Remaining is the time until the lease runs out (zero for leaseless
+	// offers; negative when expired but not yet swept).
+	Remaining time.Duration
+}
+
+// Leases returns the offers at n with their remaining lease time.
+func (r *Registry) Leases(n Name) ([]OfferLease, error) {
+	offers, err := r.Offers(n)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	now := r.now()
+	r.mu.RUnlock()
+	out := make([]OfferLease, 0, len(offers))
+	for _, o := range offers {
+		l := OfferLease{Offer: o}
+		if !o.Expires.IsZero() {
+			l.Remaining = o.Expires.Sub(now)
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// LiveOffers is Offers minus offers whose lease has already run out:
+// what resolve hands to the selector. Expired-but-unswept offers are
+// invisible to clients even before the sweeper removes them, so a lease
+// that lapses between sweeps cannot leak a dead reference. A group whose
+// offers are all expired resolves as NotFound.
+func (r *Registry) LiveOffers(n Name) ([]Offer, error) {
+	offers, err := r.Offers(n)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	now := r.now()
+	r.mu.RUnlock()
+	live := offers[:0]
+	for _, o := range offers {
+		if !o.expired(now) {
+			live = append(live, o)
+		}
+	}
+	if len(live) == 0 {
+		return nil, errNotFound(n)
+	}
+	return live, nil
 }
 
 // List returns the bindings of the context at n (nil n lists the root),

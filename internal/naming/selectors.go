@@ -5,6 +5,20 @@ import (
 	"sync"
 )
 
+// Decision reason tokens recorded on resolve spans. Selectors across the
+// repo share this vocabulary so traces and tests read uniformly; the
+// fallback-* tokens mark resolves that degraded rather than failed.
+const (
+	ReasonWinnerBest          = "winner-best"
+	ReasonRoundRobin          = "round-robin"
+	ReasonSingleOffer         = "single-offer"
+	ReasonFallbackNoHosts     = "fallback-no-hosts"
+	ReasonFallbackRankerError = "fallback-ranker-error"
+	ReasonFallbackWinnerDown  = "fallback-winner-down"
+	ReasonFallbackStale       = "fallback-stale"
+	ReasonFallbackHostUnknown = "fallback-host-unknown"
+)
+
 // RoundRobinSelector cycles through a group's offers in registration
 // order, independently per name. This models the paper's unmodified
 // ("CORBA") naming service baseline: successive resolves spread over the
@@ -31,7 +45,7 @@ func (r *roundRobin) Select(name Name, offers []Offer) (Offer, error) {
 // SelectExplain implements ExplainingSelector.
 func (r *roundRobin) SelectExplain(name Name, offers []Offer) (Offer, Decision, error) {
 	o, err := r.Select(name, offers)
-	return o, Decision{Reason: "round-robin"}, err
+	return o, Decision{Reason: ReasonRoundRobin}, err
 }
 
 // RandomSelector picks a uniformly random offer using the given source

@@ -1,6 +1,8 @@
 package naming
 
 import (
+	"time"
+
 	"repro/internal/cdr"
 	"repro/internal/obs"
 	"repro/internal/orb"
@@ -86,6 +88,9 @@ const (
 	opUnbindOffer    = "unbind_offer"
 	opListOffers     = "list_offers"
 	opBindRemote     = "bind_remote_context"
+	opRenewLease     = "renew_lease"
+	opListLeases     = "list_leases"
+	opSyncState      = "sync_state"
 )
 
 // Invoke implements orb.Servant.
@@ -164,10 +169,57 @@ func (s *Servant) Invoke(sctx *orb.ServerContext, op string, in *cdr.Decoder, ou
 			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
 		}
 		host := in.GetString()
+		ttl := time.Duration(in.GetInt64())
 		if err := in.Err(); err != nil {
 			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
 		}
-		return wireErr(s.reg.BindOffer(name, Offer{Ref: ref, Host: host}))
+		return wireErr(s.reg.BindOffer(name, Offer{Ref: ref, Host: host, LeaseTTL: ttl}))
+
+	case opRenewLease:
+		name, err := DecodeName(in)
+		if err != nil {
+			return errInvalidName(err.Error())
+		}
+		var ref orb.ObjectRef
+		if err := ref.UnmarshalCDR(in); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		ttl := time.Duration(in.GetInt64())
+		if err := in.Err(); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		return wireErr(s.reg.RenewLease(name, ref, ttl))
+
+	case opListLeases:
+		name, err := DecodeName(in)
+		if err != nil {
+			return errInvalidName(err.Error())
+		}
+		leases, err := s.reg.Leases(name)
+		if err != nil {
+			return wireErr(err)
+		}
+		out.PutUint32(uint32(len(leases)))
+		for _, l := range leases {
+			l.Offer.Ref.MarshalCDR(out)
+			out.PutString(l.Offer.Host)
+			out.PutInt64(int64(l.Offer.LeaseTTL))
+			out.PutInt64(int64(l.Remaining))
+		}
+		return nil
+
+	case opSyncState:
+		snap := in.GetBytes()
+		if err := in.Err(); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		adopted, err := s.reg.AdoptSnapshot(snap)
+		if err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		out.PutBool(adopted)
+		out.PutUint64(s.reg.Epoch())
+		return nil
 
 	case opBindRemote:
 		name, err := DecodeName(in)
@@ -213,10 +265,11 @@ func (s *Servant) Invoke(sctx *orb.ServerContext, op string, in *cdr.Decoder, ou
 }
 
 // resolve implements the load-distribution-aware resolve: object bindings
-// return directly; group bindings go through the Selector. The winning
-// host and the selector's reasoning land on the dispatch's trace span.
+// return directly; group bindings go through the Selector, seeing only
+// offers whose lease (if any) is still live. The winning host and the
+// selector's reasoning land on the dispatch's trace span.
 func (s *Servant) resolve(sctx *orb.ServerContext, name Name) (orb.ObjectRef, error) {
-	offers, err := s.reg.Offers(name)
+	offers, err := s.reg.LiveOffers(name)
 	if err != nil {
 		return orb.ObjectRef{}, err
 	}
@@ -224,7 +277,7 @@ func (s *Servant) resolve(sctx *orb.ServerContext, name Name) (orb.ObjectRef, er
 	if len(offers) == 1 {
 		span.AddEvent("naming.selected",
 			obs.String("name", name.String()), obs.String("host", offers[0].Host),
-			obs.String("addr", offers[0].Ref.Addr), obs.String("reason", "single-offer"))
+			obs.String("addr", offers[0].Ref.Addr), obs.String("reason", ReasonSingleOffer))
 		return offers[0].Ref, nil
 	}
 	var chosen Offer

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -38,7 +39,7 @@ type CallOptions struct {
 	Idempotent bool
 }
 
-// Backoff is a bounded exponential backoff schedule.
+// Backoff is a bounded exponential backoff schedule with optional jitter.
 type Backoff struct {
 	// Base is the delay before the first replay. Zero disables sleeping.
 	Base time.Duration
@@ -46,7 +47,25 @@ type Backoff struct {
 	Max time.Duration
 	// Multiplier grows the delay between rounds (default 2 when Base > 0).
 	Multiplier float64
+	// Jitter randomises each delay downward: the sleep is drawn uniformly
+	// from [(1-Jitter)·d, d] where d is the deterministic exponential
+	// delay. 0 keeps the schedule deterministic; 1 is full jitter. Values
+	// outside [0, 1] are clamped. Without jitter, workers that died
+	// together replay in lockstep against the replacement server.
+	Jitter float64
+	// Rand supplies the jitter randomness; nil uses a process-global
+	// time-seeded source. Tests pass a seeded source for reproducibility.
+	// Access is serialised internally, so a shared *rand.Rand is safe.
+	Rand *rand.Rand
 }
+
+// backoffRand guards all Backoff jitter draws: Backoff values are copied
+// freely across goroutines while sharing the same underlying source.
+var backoffRandMu sync.Mutex
+
+// backoffRand is the process-global jitter source for Backoff values with
+// no explicit Rand.
+var backoffRand = rand.New(rand.NewSource(time.Now().UnixNano()))
 
 // delay returns the sleep before replay round n (1-based).
 func (b Backoff) delay(n int) time.Duration {
@@ -61,11 +80,25 @@ func (b Backoff) delay(n int) time.Duration {
 	for i := 1; i < n; i++ {
 		d *= mult
 		if b.Max > 0 && d >= float64(b.Max) {
-			return b.Max
+			d = float64(b.Max)
+			break
 		}
 	}
 	if b.Max > 0 && d > float64(b.Max) {
-		return b.Max
+		d = float64(b.Max)
+	}
+	if j := b.Jitter; j > 0 {
+		if j > 1 {
+			j = 1
+		}
+		src := b.Rand
+		if src == nil {
+			src = backoffRand
+		}
+		backoffRandMu.Lock()
+		f := src.Float64()
+		backoffRandMu.Unlock()
+		d *= 1 - j*f
 	}
 	return time.Duration(d)
 }

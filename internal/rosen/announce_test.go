@@ -1,0 +1,73 @@
+package rosen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/naming"
+	"repro/internal/orb"
+)
+
+func TestAnnounceWorkerLeaseLifecycle(t *testing.T) {
+	o := orb.New(orb.Options{Name: "announce-test"})
+	t.Cleanup(o.Shutdown)
+	ad, err := o.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := naming.NewRegistry()
+	nsRef := ad.Activate(naming.DefaultKey, naming.NewServant(reg, naming.RoundRobinSelector()))
+	ns := naming.NewClient(o, nsRef)
+	sweeper := naming.NewSweeper(reg, naming.SweeperOptions{Period: 20 * time.Millisecond})
+	sweeper.Start()
+	t.Cleanup(sweeper.Stop)
+
+	workerRef := ad.Activate("worker", NewWorker(nil))
+	ctx := context.Background()
+	ann, err := AnnounceWorker(ctx, ns, workerRef, "hostA", 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.Renewer() == nil {
+		t.Fatal("leased announcement has no renewer")
+	}
+
+	// The renewer outlives several TTLs.
+	time.Sleep(600 * time.Millisecond)
+	offers, err := ns.ListOffers(ctx, ann.Name())
+	if err != nil || len(offers) != 1 {
+		t.Fatalf("offers = %+v, %v (lease lapsed despite renewer)", offers, err)
+	}
+
+	// Stop withdraws the worker promptly.
+	ann.Stop(ctx)
+	if offers, err := ns.ListOffers(ctx, ann.Name()); err == nil && len(offers) != 0 {
+		t.Fatalf("offers after Stop = %+v", offers)
+	}
+}
+
+func TestAnnounceWorkerWithoutLease(t *testing.T) {
+	o := orb.New(orb.Options{Name: "announce-plain"})
+	t.Cleanup(o.Shutdown)
+	ad, err := o.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := naming.NewRegistry()
+	nsRef := ad.Activate(naming.DefaultKey, naming.NewServant(reg, naming.RoundRobinSelector()))
+	ns := naming.NewClient(o, nsRef)
+
+	workerRef := ad.Activate("worker", NewWorker(nil))
+	ann, err := AnnounceWorker(context.Background(), ns, workerRef, "hostA", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.Renewer() != nil {
+		t.Fatal("leaseless announcement started a renewer")
+	}
+	leases, err := ns.ListLeases(context.Background(), ann.Name())
+	if err != nil || len(leases) != 1 || leases[0].Offer.LeaseTTL != 0 {
+		t.Fatalf("leases = %+v, %v", leases, err)
+	}
+}

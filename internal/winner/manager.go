@@ -2,6 +2,7 @@ package winner
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -9,6 +10,13 @@ import (
 
 // ErrNoHosts is returned by BestHost/BestOf when no usable host is known.
 var ErrNoHosts = errors.New("winner: no hosts registered")
+
+// ErrAllStale is returned when candidate hosts ARE known but every one of
+// them exceeds the staleness bound — the node managers (or the network to
+// them) went quiet, not the hosts themselves. It wraps ErrNoHosts so
+// generic no-ranking handling keeps working, while selectors that care
+// (winner-down degradation) can tell the cases apart.
+var ErrAllStale = fmt.Errorf("%w (all samples stale)", ErrNoHosts)
 
 // hostEntry is the manager's record for one host.
 type hostEntry struct {
@@ -133,8 +141,13 @@ func (m *Manager) BestHost(exclude map[string]bool) (string, error) {
 	defer m.mu.Unlock()
 	var best *hostEntry
 	var bestEff float64
+	sawStale := false
 	for _, h := range m.hosts {
-		if exclude[h.info.Sample.Host] || !m.fresh(h) {
+		if exclude[h.info.Sample.Host] {
+			continue
+		}
+		if !m.fresh(h) {
+			sawStale = true
 			continue
 		}
 		eff := h.info.AdjustedEffectiveSpeed()
@@ -143,6 +156,9 @@ func (m *Manager) BestHost(exclude map[string]bool) (string, error) {
 		}
 	}
 	if best == nil {
+		if sawStale {
+			return "", ErrAllStale
+		}
 		return "", ErrNoHosts
 	}
 	best.info.Pending++
@@ -152,15 +168,21 @@ func (m *Manager) BestHost(exclude map[string]bool) (string, error) {
 // BestOf ranks only the given candidate hosts (the hosts that actually
 // offer the requested service) and charges the winner, like BestHost.
 // Unknown and stale hosts are ignored; if none remain, ErrNoHosts is
-// returned.
+// returned — or ErrAllStale when known hosts existed but every sample
+// exceeded the staleness bound.
 func (m *Manager) BestOf(candidates []string) (string, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var best *hostEntry
 	var bestEff float64
+	sawStale := false
 	for _, c := range candidates {
 		h, ok := m.hosts[c]
-		if !ok || !m.fresh(h) {
+		if !ok {
+			continue
+		}
+		if !m.fresh(h) {
+			sawStale = true
 			continue
 		}
 		eff := h.info.AdjustedEffectiveSpeed()
@@ -169,6 +191,9 @@ func (m *Manager) BestOf(candidates []string) (string, error) {
 		}
 	}
 	if best == nil {
+		if sawStale {
+			return "", ErrAllStale
+		}
 		return "", ErrNoHosts
 	}
 	best.info.Pending++

@@ -1,6 +1,8 @@
 package winner
 
 import (
+	"errors"
+
 	"repro/internal/cdr"
 	"repro/internal/obs"
 	"repro/internal/orb"
@@ -14,6 +16,26 @@ const DefaultKey = "WinnerSystemManager"
 
 // ExNoHosts is the user exception raised when no host can be selected.
 const ExNoHosts = "IDL:repro/Winner/NoHosts:1.0"
+
+// ExAllStale is the user exception raised when candidates are known but
+// every load sample exceeds the staleness bound (ErrAllStale remotely).
+const ExAllStale = "IDL:repro/Winner/AllStale:1.0"
+
+// noHostsErr maps a ranking failure to its wire exception, preserving
+// the no-hosts / all-stale distinction across the ORB.
+func noHostsErr(err error) error {
+	repoID := ExNoHosts
+	if errors.Is(err, ErrAllStale) {
+		repoID = ExAllStale
+	}
+	return &orb.UserException{RepoID: repoID, Detail: err.Error()}
+}
+
+// IsAllStale reports whether err — from an in-process Manager or through
+// the client stub — is the all-samples-stale condition.
+func IsAllStale(err error) bool {
+	return errors.Is(err, ErrAllStale) || orb.IsUserException(err, ExAllStale)
+}
 
 // Operation names of the system manager wire contract.
 const (
@@ -64,7 +86,7 @@ func (s *Servant) Invoke(sctx *orb.ServerContext, op string, in *cdr.Decoder, ou
 		}
 		host, err := s.mgr.BestHost(ex)
 		if err != nil {
-			return &orb.UserException{RepoID: ExNoHosts, Detail: err.Error()}
+			return noHostsErr(err)
 		}
 		obs.SpanFromContext(sctx.Context()).AddEvent("winner.best",
 			obs.String("host", host), obs.String("op", op))
@@ -78,7 +100,7 @@ func (s *Servant) Invoke(sctx *orb.ServerContext, op string, in *cdr.Decoder, ou
 		}
 		host, err := s.mgr.BestOf(candidates)
 		if err != nil {
-			return &orb.UserException{RepoID: ExNoHosts, Detail: err.Error()}
+			return noHostsErr(err)
 		}
 		obs.SpanFromContext(sctx.Context()).AddEvent("winner.best",
 			obs.String("host", host), obs.String("op", op))

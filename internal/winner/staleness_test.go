@@ -1,6 +1,7 @@
 package winner
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -55,8 +56,13 @@ func TestStaleHostExcludedFromBestOf(t *testing.T) {
 	m.SetMaxSampleAge(5*time.Second, clk.Now)
 	m.Report(sample("a", 1, 0, 1))
 	clk.Advance(time.Minute)
-	if _, err := m.BestOf([]string{"a"}); err != ErrNoHosts {
-		t.Fatalf("err = %v", err)
+	// Known-but-stale is the specific ErrAllStale condition, which still
+	// reads as ErrNoHosts to generic handlers.
+	if _, err := m.BestOf([]string{"a"}); err != ErrAllStale {
+		t.Fatalf("err = %v, want ErrAllStale", err)
+	}
+	if !errors.Is(ErrAllStale, ErrNoHosts) {
+		t.Fatal("ErrAllStale does not wrap ErrNoHosts")
 	}
 }
 
