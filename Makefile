@@ -37,7 +37,13 @@ generate:
 bench:
 	$(GO) test -bench 'Figure3|Table1|Ablation' -benchtime=1x
 
-## bench-json: the quick evaluation sweep as machine-readable JSON
-## (BENCH_PR3.json), the artifact CI uploads per run for trend tracking.
+## bench-json: machine-readable benchmark artifacts CI uploads per run —
+## the quick evaluation sweep (BENCH_PR3.json) plus the data-path
+## microbenchmarks with -benchmem (BENCH_PR5.json), gated by benchgate
+## against the checked-in baseline: >10% allocs/op growth on any tracked
+## benchmark fails the target.
 bench-json:
 	$(GO) run ./cmd/rosenbench -experiment both -quick -json > BENCH_PR3.json
+	( $(GO) test -run '^$$' -bench 'BenchmarkCallPath|BenchmarkProxyCall' -benchmem -benchtime=5000x ./internal/orb/ ./internal/ft/ && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkAblationCheckpointEvery' -benchmem -benchtime=1x . ) \
+		| $(GO) run ./cmd/benchgate -out BENCH_PR5.json -baseline BENCH_BASELINE_PR5.json -max-allocs-regress 10

@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/ft"
 )
 
 // fig3Bench runs one Figure 3 case across the paper's load sweep and
@@ -89,6 +90,13 @@ func BenchmarkAblationCheckpointEvery(b *testing.B) {
 		Seed:              1,
 		Repeats:           1,
 	}
+	report := func(b *testing.B, rows []experiments.Table1Row) {
+		b.Helper()
+		b.ReportMetric(rows[0].Proxy, "proxy_s")
+		b.ReportMetric(rows[0].OverheadPct(), "overhead_%")
+		b.ReportMetric(float64(rows[0].CheckpointBytes), "ckpt_B")
+		b.ReportMetric(float64(rows[0].DeltaCheckpoints), "deltas")
+	}
 	for _, every := range []int{1, 5, 25} {
 		b.Run(fmt.Sprintf("every=%d", every), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -96,8 +104,29 @@ func BenchmarkAblationCheckpointEvery(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				b.ReportMetric(rows[0].Proxy, "proxy_s")
-				b.ReportMetric(rows[0].OverheadPct(), "overhead_%")
+				report(b, rows)
+			}
+		})
+	}
+	// The data-path encodings at the paper's every=1 cadence: delta
+	// encoding and compression cut checkpoint bytes-on-wire, async
+	// pipelining cuts the latency the store write adds to each call.
+	policies := []struct {
+		name   string
+		policy ft.Policy
+	}{
+		{"every=1/delta", ft.Policy{CheckpointEvery: 1, DeltaCheckpoint: true}},
+		{"every=1/delta+flate", ft.Policy{CheckpointEvery: 1, DeltaCheckpoint: true, CompressCheckpoint: true}},
+		{"every=1/async+delta", ft.Policy{CheckpointEvery: 1, AsyncCheckpoint: true, DeltaCheckpoint: true}},
+	}
+	for _, pc := range policies {
+		b.Run(pc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.RunTable1AblationPolicy(base, pc.policy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, rows)
 			}
 		})
 	}

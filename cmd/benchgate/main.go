@@ -1,0 +1,159 @@
+// Command benchgate converts `go test -bench -benchmem` output into a
+// machine-readable JSON artifact and gates allocation regressions against
+// a checked-in baseline: CI fails when any tracked benchmark's allocs/op
+// grows past the allowed percentage over its baseline value.
+//
+// Usage:
+//
+//	go test -run '^$' -bench X -benchmem ./... | benchgate -out BENCH_PR5.json -baseline BENCH_BASELINE_PR5.json
+//
+// With no -baseline the tool only records. The baseline file has the same
+// schema as -out, so promoting a run to baseline is a file copy.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BytesOp  float64 `json:"bytes_per_op"`
+	AllocsOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric values keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the JSON artifact.
+type Report struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// parse consumes `go test -bench` output. Lines look like:
+//
+//	BenchmarkCallPath/sync-8   5000   18068 ns/op   3592 B/op   36 allocs/op
+//
+// with an optional -N cpu suffix stripped from the name and custom metrics
+// as extra "value unit" pairs.
+func parse(r *bufio.Scanner) ([]Result, error) {
+	var out []Result
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: name, Iters: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, r.Err()
+}
+
+func load(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func main() {
+	out := flag.String("out", "", "write parsed results as JSON to this file")
+	baseline := flag.String("baseline", "", "baseline JSON to gate allocs/op against")
+	maxRegress := flag.Float64("max-allocs-regress", 10, "allowed allocs/op growth over baseline, percent")
+	flag.Parse()
+
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: read:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	rep := &Report{Benchmarks: results}
+	if *out != "" {
+		raw, _ := json.MarshalIndent(rep, "", "  ")
+		raw = append(raw, '\n')
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: write:", err)
+			os.Exit(1)
+		}
+	}
+	if *baseline == "" {
+		return
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: baseline:", err)
+		os.Exit(1)
+	}
+	baseBy := make(map[string]Result, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	failed := false
+	for _, cur := range results {
+		b, ok := baseBy[cur.Name]
+		if !ok || b.AllocsOp == 0 {
+			continue
+		}
+		growth := 100 * (cur.AllocsOp - b.AllocsOp) / b.AllocsOp
+		status := "ok"
+		if growth > *maxRegress {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-40s allocs/op %8.1f -> %8.1f (%+6.1f%%) %s\n",
+			cur.Name, b.AllocsOp, cur.AllocsOp, growth, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: allocs/op regressed more than %.1f%% vs %s\n", *maxRegress, *baseline)
+		os.Exit(1)
+	}
+}

@@ -20,6 +20,7 @@ func main() {
 	in := flag.String("in", "", "input .idl file (required)")
 	out := flag.String("out", "", "output .go file (default: stdout)")
 	pkg := flag.String("package", "", "Go package name (default: lower-cased module name)")
+	source := flag.String("source", "", "source path recorded in the generated header (default: -in)")
 	flag.Parse()
 
 	if *in == "" {
@@ -34,7 +35,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("idlgen: %v", err)
 	}
-	code, err := idl.Generate(mod, idl.GenOptions{Package: *pkg, Source: *in})
+	if *source == "" {
+		*source = *in
+	}
+	code, err := idl.Generate(mod, idl.GenOptions{Package: *pkg, Source: *source})
 	if err != nil {
 		log.Fatalf("idlgen: %v", err)
 	}

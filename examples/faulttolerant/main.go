@@ -112,7 +112,7 @@ func main() {
 
 	deposit := func(amount int64) int64 {
 		var balance int64
-		err := proxy.Invoke(context.Background(), "deposit",
+		err := proxy.Call(context.Background(), "deposit",
 			func(e *cdr.Encoder) { e.PutInt64(amount) },
 			func(d *cdr.Decoder) error { balance = d.GetInt64(); return d.Err() })
 		if err != nil {

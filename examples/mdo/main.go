@@ -110,7 +110,7 @@ func main() {
 
 	evaluate := func(p *ft.Proxy, span, area float64) float64 {
 		var v float64
-		if err := p.Invoke(context.Background(), "evaluate",
+		if err := p.Call(context.Background(), "evaluate",
 			func(e *cdr.Encoder) { e.PutFloat64(span); e.PutFloat64(area) },
 			func(d *cdr.Decoder) error { v = d.GetFloat64(); return d.Err() }); err != nil {
 			log.Fatal(err)

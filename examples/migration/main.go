@@ -104,7 +104,7 @@ func main() {
 
 	step := func() int64 {
 		var n int64
-		if err := proxy.Invoke(ctx, "step", nil, func(d *cdr.Decoder) error {
+		if err := proxy.Call(ctx, "step", nil, func(d *cdr.Decoder) error {
 			n = d.GetInt64()
 			return d.Err()
 		}); err != nil {

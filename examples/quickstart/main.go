@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/cdr"
 	"repro/internal/naming"
@@ -73,11 +74,13 @@ func main() {
 	}
 	fmt.Printf("resolved %q -> %v\n", name, resolved)
 
-	// 4. Invoke the remote operation.
+	// 4. Invoke the remote operation through the unified call API; the
+	// variadic options bound this call to one second end to end.
 	var reply string
-	err = client.Invoke(ctx, resolved, "greet",
+	err = client.Call(ctx, resolved, "greet",
 		func(e *cdr.Encoder) { e.PutString("world") },
-		func(d *cdr.Decoder) error { reply = d.GetString(); return d.Err() })
+		func(d *cdr.Decoder) error { reply = d.GetString(); return d.Err() },
+		orb.WithDeadline(time.Second))
 	if err != nil {
 		log.Fatal(err)
 	}

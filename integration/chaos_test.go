@@ -63,33 +63,33 @@ func newEpochGuard(inner ft.Store) *epochGuard {
 	return &epochGuard{inner: inner, acked: make(map[string]uint64)}
 }
 
-func (g *epochGuard) Put(ctx context.Context, key string, epoch uint64, data []byte) error {
-	if err := g.inner.Put(ctx, key, epoch, data); err != nil {
+func (g *epochGuard) Put(ctx context.Context, key string, cp ft.Checkpoint) error {
+	if err := g.inner.Put(ctx, key, cp); err != nil {
 		return err
 	}
 	g.mu.Lock()
-	if epoch <= g.acked[key] {
+	if cp.Epoch <= g.acked[key] {
 		g.violations = append(g.violations,
-			fmt.Sprintf("put %q epoch %d acked after epoch %d", key, epoch, g.acked[key]))
+			fmt.Sprintf("put %q epoch %d acked after epoch %d", key, cp.Epoch, g.acked[key]))
 	} else {
-		g.acked[key] = epoch
+		g.acked[key] = cp.Epoch
 	}
 	g.mu.Unlock()
 	return nil
 }
 
-func (g *epochGuard) Get(ctx context.Context, key string) (uint64, []byte, error) {
-	epoch, data, err := g.inner.Get(ctx, key)
+func (g *epochGuard) Get(ctx context.Context, key string) (ft.Checkpoint, error) {
+	cp, err := g.inner.Get(ctx, key)
 	if err != nil {
-		return epoch, data, err
+		return cp, err
 	}
 	g.mu.Lock()
-	if epoch < g.acked[key] {
+	if cp.Epoch < g.acked[key] {
 		g.violations = append(g.violations,
-			fmt.Sprintf("get %q served epoch %d after epoch %d was acked", key, epoch, g.acked[key]))
+			fmt.Sprintf("get %q served epoch %d after epoch %d was acked", key, cp.Epoch, g.acked[key]))
 	}
 	g.mu.Unlock()
-	return epoch, data, nil
+	return cp, nil
 }
 
 func (g *epochGuard) Delete(ctx context.Context, key string) error {
@@ -390,6 +390,13 @@ func (w *soakWorld) run(ctx context.Context, faulty bool) (*rosen.Result, ft.Sta
 			StrictCheckpoint: true,
 			MaxRecoveries:    10,
 			Backoff:          orb.Backoff{Base: 20 * time.Millisecond, Max: 150 * time.Millisecond},
+			// Exercise the full data-path: pipelined store writes with
+			// delta encoding. Solve results must stay bitwise-identical —
+			// the state fetch is synchronous and recovery drains the
+			// pipeline before restoring.
+			AsyncCheckpoint: true,
+			DeltaCheckpoint: true,
+			SyncEvery:       4,
 		},
 		Unbinder: w.resolver,
 	})
@@ -487,15 +494,15 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatalf("checkpoint keys = %v, want one per worker", keys)
 	}
 	for _, key := range keys {
-		epoch, _, err := world.adminStore.Get(ctx, key)
+		cp, err := world.adminStore.Get(ctx, key)
 		if err != nil {
 			t.Fatalf("final read of %q with a replica down: %v", key, err)
 		}
-		if want := world.guard.ackedEpoch(key); epoch != want {
-			t.Fatalf("store serves %q at epoch %d, acked max %d", key, epoch, want)
+		if want := world.guard.ackedEpoch(key); cp.Epoch != want {
+			t.Fatalf("store serves %q at epoch %d, acked max %d", key, cp.Epoch, want)
 		}
-		if epoch != uint64(res.Rounds) {
-			t.Fatalf("%q final epoch %d, want one checkpoint per round (%d)", key, epoch, res.Rounds)
+		if cp.Epoch != uint64(res.Rounds) {
+			t.Fatalf("%q final epoch %d, want one checkpoint per round (%d)", key, cp.Epoch, res.Rounds)
 		}
 	}
 	world.adminStore.WaitRepairs()

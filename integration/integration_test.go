@@ -148,12 +148,12 @@ func TestDaemonsEndToEnd(t *testing.T) {
 	}
 
 	// Checkpoints persist across a checkpointd restart (disk store).
-	if err := store.Put(context.Background(), "it/svc", 1, []byte("state-v1")); err != nil {
+	if err := store.Put(context.Background(), "it/svc", ft.Full(1, []byte("state-v1"))); err != nil {
 		t.Fatal(err)
 	}
-	epoch, data, err := store.Get(context.Background(), "it/svc")
-	if err != nil || epoch != 1 || string(data) != "state-v1" {
-		t.Fatalf("get = %d %q %v", epoch, data, err)
+	cp, err := store.Get(context.Background(), "it/svc")
+	if err != nil || cp.Epoch != 1 || string(cp.Data) != "state-v1" {
+		t.Fatalf("get = %d %q %v", cp.Epoch, cp.Data, err)
 	}
 
 	storeSIOR2 := startDaemon(t, "checkpointd", "-addr", "127.0.0.1:0", "-dir", ckptDir)
@@ -162,9 +162,9 @@ func TestDaemonsEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	store2 := ft.NewStoreClient(client, storeRef2)
-	epoch, data, err = store2.Get(context.Background(), "it/svc")
-	if err != nil || epoch != 1 || string(data) != "state-v1" {
-		t.Fatalf("restarted store get = %d %q %v", epoch, data, err)
+	cp, err = store2.Get(context.Background(), "it/svc")
+	if err != nil || cp.Epoch != 1 || string(cp.Data) != "state-v1" {
+		t.Fatalf("restarted store get = %d %q %v", cp.Epoch, cp.Data, err)
 	}
 }
 

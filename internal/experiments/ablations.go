@@ -16,6 +16,14 @@ import (
 // larger values amortize the overhead over several calls at the price of
 // a longer recovery replay window.
 func RunTable1Ablation(cfg Table1Config, checkpointEvery int) ([]Table1Row, error) {
+	return RunTable1AblationPolicy(cfg, ft.Policy{CheckpointEvery: checkpointEvery})
+}
+
+// RunTable1AblationPolicy is the Table 1 cell with a fully configurable
+// checkpoint policy, for ablating the data-path knobs: delta encoding,
+// compression, and async pipelining. The returned rows carry the
+// checkpoint byte volume so encodings can be compared directly.
+func RunTable1AblationPolicy(cfg Table1Config, policy ft.Policy) ([]Table1Row, error) {
 	if cfg.Repeats <= 0 {
 		cfg.Repeats = 1
 	}
@@ -38,23 +46,27 @@ func RunTable1Ablation(cfg Table1Config, checkpointEvery int) ([]Table1Row, erro
 		if err != nil {
 			return nil, err
 		}
-		proxyRes, err := rosen.NewManager(w2.manager, w2.naming, rosen.Config{
+		mgr := rosen.NewManager(w2.manager, w2.naming, rosen.Config{
 			N: cfg.N, Workers: cfg.Workers, WorkerIterations: iters,
 			ManagerIterations: cfg.ManagerIterations, Seed: cfg.Seed,
 		}).WithFT(rosen.FTOptions{
 			Store:  w2.store,
-			Policy: ft.Policy{CheckpointEvery: checkpointEvery},
-		}).Run(context.Background())
+			Policy: policy,
+		})
+		proxyRes, err := mgr.Run(context.Background())
+		stats := mgr.ProxyStats()
 		w2.close()
 		if err != nil {
 			return nil, err
 		}
 
 		rows = append(rows, Table1Row{
-			Iterations:  iters,
-			Plain:       plainRes.Runtime,
-			Proxy:       proxyRes.Runtime,
-			Checkpoints: uint64(proxyRes.WorkerCalls) / uint64(max(1, checkpointEvery)),
+			Iterations:       iters,
+			Plain:            plainRes.Runtime,
+			Proxy:            proxyRes.Runtime,
+			Checkpoints:      stats.Checkpoints,
+			CheckpointBytes:  stats.CheckpointBytes,
+			DeltaCheckpoints: stats.DeltaCheckpoints,
 		})
 	}
 	return rows, nil

@@ -57,6 +57,12 @@ type Table1Row struct {
 	Plain, Proxy float64
 	// Checkpoints counts checkpoints stored during the proxy run.
 	Checkpoints uint64
+	// CheckpointBytes is the payload volume actually written to the
+	// checkpoint store during the proxy run (after delta encoding and
+	// compression, where enabled).
+	CheckpointBytes uint64
+	// DeltaCheckpoints counts checkpoints that shipped as deltas.
+	DeltaCheckpoints uint64
 }
 
 // OverheadPct is the paper's overhead column: (proxy-plain)/plain·100.

@@ -1,0 +1,285 @@
+package ft
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/naming"
+	"repro/internal/orb"
+)
+
+// recordingStore wraps a Store and keeps every Put it saw, optionally
+// failing selected Puts to exercise the proxy's fallback paths.
+type recordingStore struct {
+	inner Store
+
+	mu   sync.Mutex
+	puts []Checkpoint
+	// failPut, when non-nil, is consulted before each Put; a non-nil
+	// return fails the Put without reaching the inner store.
+	failPut func(cp Checkpoint) error
+}
+
+func (s *recordingStore) Put(ctx context.Context, key string, cp Checkpoint) error {
+	s.mu.Lock()
+	s.puts = append(s.puts, cp)
+	fail := s.failPut
+	s.mu.Unlock()
+	if fail != nil {
+		if err := fail(cp); err != nil {
+			return err
+		}
+	}
+	return s.inner.Put(ctx, key, cp)
+}
+
+func (s *recordingStore) Get(ctx context.Context, key string) (Checkpoint, error) {
+	return s.inner.Get(ctx, key)
+}
+
+func (s *recordingStore) Delete(ctx context.Context, key string) error {
+	return s.inner.Delete(ctx, key)
+}
+
+func (s *recordingStore) Keys(ctx context.Context) ([]string, error) {
+	return s.inner.Keys(ctx)
+}
+
+func (s *recordingStore) history() []Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Checkpoint(nil), s.puts...)
+}
+
+// TestAsyncCheckpointPipelineDrainsOnClose checks that every pipelined
+// checkpoint lands in the store once Close returns, in epoch order, and
+// that the async counter reflects the queued writes.
+func TestAsyncCheckpointPipelineDrainsOnClose(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 1, AsyncCheckpoint: true, QueueDepth: 2})
+	const calls = 8
+	for i := 0; i < calls; i++ {
+		if _, err := inc(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	epoch, data, err := getFull(context.Background(), w.store, w.name.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != calls {
+		t.Fatalf("store epoch after Close = %d, want %d", epoch, calls)
+	}
+	if v := decodeCounterState(t, data); v != calls {
+		t.Fatalf("checkpointed value = %d, want %d", v, calls)
+	}
+	st := p.Stats()
+	if st.AsyncCheckpoints != calls || st.Checkpoints != calls {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestAsyncCheckpointDrainsBeforeRecovery crashes the server with
+// checkpoints still in flight: recovery must drain the pipeline before
+// reading the store, so the restored state reflects every completed call.
+func TestAsyncCheckpointDrainsBeforeRecovery(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 1, AsyncCheckpoint: true, QueueDepth: 8})
+	defer p.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := inc(p, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.adA.Close()
+	w.srvA.Shutdown()
+	v, err := inc(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 60 {
+		t.Fatalf("value after recovery = %d, want 60", v)
+	}
+	if st := p.Stats(); st.Recoveries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSyncEveryBoundsUnackedWindow checks that with SyncEvery=N every Nth
+// checkpoint is stored synchronously: by the time the call returns, the
+// store holds that epoch without any drain or Close.
+func TestSyncEveryBoundsUnackedWindow(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 1, AsyncCheckpoint: true, QueueDepth: 8, SyncEvery: 2})
+	defer p.Close()
+	for i := 1; i <= 4; i++ {
+		if _, err := inc(p, 1); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			epoch, _, err := getFull(context.Background(), w.store, w.name.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if epoch != uint64(i) {
+				t.Fatalf("after call %d store epoch = %d, want %d (forced sync)", i, epoch, i)
+			}
+		}
+	}
+}
+
+// TestDeltaBadBaseFallsBackToFull rejects a delta Put with ErrBadBase and
+// checks the proxy re-sends the same epoch as a full snapshot, so one
+// stale replica never wedges checkpointing.
+func TestDeltaBadBaseFallsBackToFull(t *testing.T) {
+	// A counter's 8-byte state never yields a smaller delta, so this test
+	// uses the 64-float vector servant (bench fixture): one element moves
+	// per call, making deltas genuinely smaller than full snapshots.
+	srv := orb.New(orb.Options{Name: "delta-srv"})
+	t.Cleanup(srv.Shutdown)
+	ad, err := srv.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ad.Activate("state", Wrap(newBenchState(64)))
+	cli := orb.New(orb.Options{Name: "delta-cli"})
+	t.Cleanup(cli.Shutdown)
+
+	rec := &recordingStore{inner: NewMemStore()}
+	rejectOnce := true
+	rec.failPut = func(cp Checkpoint) error {
+		if cp.IsDelta() && rejectOnce {
+			rejectOnce = false
+			return ErrBadBase
+		}
+		return nil
+	}
+	p, err := NewProxy(context.Background(), cli, naming.NewName("delta"),
+		&benchResolver{ref: ref}, rec, Policy{CheckpointEvery: 1, DeltaCheckpoint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 3; i++ {
+		if err := p.Call(context.Background(), "bump",
+			encodeInt64Arg(i), discardInt64Reply); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Checkpoints != 3 || st.CheckpointFailures != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.DeltaCheckpoints == 0 {
+		t.Fatalf("no delta checkpoints produced: %+v", st)
+	}
+	// History: the rejected delta is immediately followed by a full
+	// snapshot at the same epoch.
+	var sawFallback bool
+	hist := rec.history()
+	for i := 0; i+1 < len(hist); i++ {
+		if hist[i].IsDelta() && !hist[i+1].IsDelta() && hist[i].Epoch == hist[i+1].Epoch {
+			sawFallback = true
+		}
+	}
+	if !sawFallback {
+		t.Fatalf("no delta→full fallback in put history: %+v", hist)
+	}
+	cp, err := rec.Get(context.Background(), "delta")
+	if err != nil || cp.Epoch != 3 {
+		t.Fatalf("final store state = %+v, %v", cp, err)
+	}
+}
+
+// TestCheckpointModePerCallOverride exercises WithCheckpointMode: Sync
+// forces a checkpoint with cadence disabled, Skip suppresses one with
+// cadence enabled.
+func TestCheckpointModePerCallOverride(t *testing.T) {
+	w := newFTWorld(t)
+
+	// No cadence: only the forced-sync call checkpoints.
+	p := w.newProxy(Policy{CheckpointEvery: 0})
+	if _, err := inc(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Checkpoints != 0 {
+		t.Fatalf("stats with cadence off = %+v", st)
+	}
+	err := p.Call(context.Background(), "inc",
+		encodeInt64Arg(1), discardInt64Reply, orb.WithCheckpointMode(orb.CheckpointSync))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Checkpoints != 1 {
+		t.Fatalf("stats after forced sync = %+v", st)
+	}
+
+	// Cadence 1: a Skip call must not checkpoint or advance the counter.
+	before := p.Stats().Checkpoints
+	err = p.Call(context.Background(), "inc",
+		encodeInt64Arg(1), discardInt64Reply, orb.WithCheckpointMode(orb.CheckpointSkip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Checkpoints != before {
+		t.Fatalf("skip call checkpointed: %+v", st)
+	}
+}
+
+// TestDeltaRestoreEquivalence runs the same call sequence through a
+// delta+compress proxy and a full-snapshot proxy, with checkpoint Puts
+// failing intermittently (transport corruption analogue), and a server
+// crash mid-sequence. Both runs must recover to identical servant state:
+// delta encoding is an encoding, never a semantic fork.
+func TestDeltaRestoreEquivalence(t *testing.T) {
+	run := func(policy Policy) (final int64, stored []byte) {
+		w := newFTWorld(t)
+		rec := &recordingStore{inner: NewMemStore()}
+		n := 0
+		commFail := errors.New("injected: checkpoint transport corrupted")
+		rec.failPut = func(cp Checkpoint) error {
+			n++
+			if n%3 == 0 { // every 3rd Put dies on the wire
+				return commFail
+			}
+			return nil
+		}
+		p, err := NewProxy(context.Background(), w.client, w.name, w.naming, rec, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		for i := 0; i < 6; i++ {
+			if _, err := inc(p, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.adA.Close()
+		w.srvA.Shutdown()
+		var v int64
+		for i := 0; i < 4; i++ {
+			if v, err = inc(p, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cp, err := rec.Get(context.Background(), w.name.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, cp.Data
+	}
+
+	fullV, fullState := run(Policy{CheckpointEvery: 1, StrictCheckpoint: false})
+	deltaV, deltaState := run(Policy{CheckpointEvery: 1, DeltaCheckpoint: true, CompressCheckpoint: true})
+	if fullV != deltaV {
+		t.Fatalf("final value diverged: full=%d delta=%d", fullV, deltaV)
+	}
+	if !bytes.Equal(fullState, deltaState) {
+		t.Fatalf("stored state diverged: full=%x delta=%x", fullState, deltaState)
+	}
+}

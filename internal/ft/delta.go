@@ -1,0 +1,118 @@
+package ft
+
+import (
+	"errors"
+
+	"repro/internal/cdr"
+)
+
+// Delta encoding for incremental checkpoints: a delta is the list of byte
+// ranges of the new state that differ from the base state, plus the new
+// total length. Iterative numerical services (the rosen workers) mutate a
+// fixed-size state vector of which only some coordinates move per round,
+// so shipping the changed ranges instead of the whole blob cuts
+// checkpoint bytes-on-wire roughly by the fraction of state untouched.
+//
+// Wire format (CDR):
+//
+//	u64 baseLen   — len(base) the delta was computed against (sanity)
+//	u64 newLen    — length of the materialized result
+//	u32 count     — number of patch segments
+//	count × { u64 offset, bytes chunk }
+//
+// Materialization starts from base truncated/extended to newLen (new
+// bytes zero-filled) and overlays each segment.
+
+// deltaMergeGap is the run-merging threshold: differing ranges separated
+// by fewer than this many equal bytes are emitted as one segment, trading
+// a few redundant payload bytes for fewer segment headers.
+const deltaMergeGap = 16
+
+// ComputeDelta encodes next as a delta against base. The result is only
+// useful with ApplyDelta(base, …); callers should fall back to a full
+// snapshot when the delta is not actually smaller.
+func ComputeDelta(base, next []byte) []byte {
+	type seg struct{ start, end int }
+	var segs []seg
+	n := len(next)
+	common := len(base)
+	if n < common {
+		common = n
+	}
+	i := 0
+	for i < common {
+		if base[i] == next[i] {
+			i++
+			continue
+		}
+		start := i
+		last := i
+		for i < common {
+			if base[i] != next[i] {
+				last = i
+				i++
+				continue
+			}
+			// Equal byte: look ahead — close the segment only when a run of
+			// at least deltaMergeGap equal bytes follows.
+			j := i
+			for j < common && base[j] == next[j] && j-i < deltaMergeGap {
+				j++
+			}
+			if j-i >= deltaMergeGap || j == common {
+				break
+			}
+			i = j
+			last = j - 1
+		}
+		segs = append(segs, seg{start: start, end: last + 1})
+	}
+	if n > len(base) {
+		// Appended tail beyond the base length.
+		segs = append(segs, seg{start: len(base), end: n})
+	}
+
+	size := 8 + 8 + 4
+	for _, s := range segs {
+		size += 12 + (s.end - s.start)
+	}
+	e := cdr.NewEncoder(size)
+	e.PutUint64(uint64(len(base)))
+	e.PutUint64(uint64(n))
+	e.PutUint32(uint32(len(segs)))
+	for _, s := range segs {
+		e.PutUint64(uint64(s.start))
+		e.PutBytes(next[s.start:s.end])
+	}
+	return e.Bytes()
+}
+
+// ApplyDelta materializes a delta produced by ComputeDelta(base, next),
+// returning next. It fails when the delta was computed against a
+// different base length or is structurally damaged.
+func ApplyDelta(base, delta []byte) ([]byte, error) {
+	d := cdr.NewDecoder(delta)
+	baseLen := d.GetUint64()
+	newLen := d.GetUint64()
+	count := d.GetUint32()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if baseLen != uint64(len(base)) {
+		return nil, errors.New("ft: delta computed against a different base length")
+	}
+	out := make([]byte, newLen)
+	copy(out, base)
+	for k := uint32(0); k < count; k++ {
+		off := d.GetUint64()
+		chunk := d.GetBytes()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if off+uint64(len(chunk)) > newLen {
+			return nil, errors.New("ft: delta segment out of range")
+		}
+		copy(out[off:], chunk)
+	}
+	return out, nil
+}

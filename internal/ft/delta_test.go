@@ -1,0 +1,172 @@
+package ft
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cdr"
+)
+
+func TestComputeApplyDeltaRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randBytes := func(n int) []byte {
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+	base512 := randBytes(512)
+	mutate := func(b []byte, idxs ...int) []byte {
+		out := append([]byte(nil), b...)
+		for _, i := range idxs {
+			out[i] ^= 0xff
+		}
+		return out
+	}
+
+	cases := []struct {
+		name       string
+		base, next []byte
+	}{
+		{"identical", base512, append([]byte(nil), base512...)},
+		{"single-byte", base512, mutate(base512, 100)},
+		{"scattered", base512, mutate(base512, 0, 17, 18, 130, 131, 132, 511)},
+		{"adjacent-runs", base512, mutate(base512, 10, 11, 12, 20, 21, 22)},
+		{"grow", base512, append(append([]byte(nil), base512...), randBytes(64)...)},
+		{"shrink", base512, append([]byte(nil), base512[:300]...)},
+		{"empty-base", nil, randBytes(32)},
+		{"empty-next", base512, []byte{}},
+		{"all-different", base512, randBytes(512)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			delta := ComputeDelta(tc.base, tc.next)
+			got, err := ApplyDelta(tc.base, delta)
+			if err != nil {
+				t.Fatalf("ApplyDelta: %v", err)
+			}
+			if !bytes.Equal(got, tc.next) {
+				t.Fatalf("roundtrip mismatch: got %d bytes, want %d", len(got), len(tc.next))
+			}
+		})
+	}
+}
+
+func TestDeltaSmallerForLocalizedChange(t *testing.T) {
+	base := make([]byte, 4096)
+	next := append([]byte(nil), base...)
+	next[1000] = 1
+	next[1001] = 2
+	delta := ComputeDelta(base, next)
+	if len(delta) >= len(next) {
+		t.Fatalf("delta (%d bytes) not smaller than full state (%d bytes)", len(delta), len(next))
+	}
+}
+
+func TestApplyDeltaBaseLengthMismatch(t *testing.T) {
+	base := []byte("0123456789")
+	next := []byte("0123456x89")
+	delta := ComputeDelta(base, next)
+	if _, err := ApplyDelta(base[:5], delta); err == nil {
+		t.Fatal("ApplyDelta accepted a delta computed against a different base length")
+	}
+}
+
+func TestApplyDeltaRejectsDamage(t *testing.T) {
+	base := bytes.Repeat([]byte{7}, 100)
+	next := append([]byte(nil), base...)
+	next[50] = 0
+	delta := ComputeDelta(base, next)
+	// Truncation and bit-flips must fail cleanly, never panic or return
+	// silently wrong state of a different shape than an error.
+	for cut := 1; cut < len(delta); cut += 7 {
+		if out, err := ApplyDelta(base, delta[:cut]); err == nil && !bytes.Equal(out, next) {
+			t.Fatalf("truncated delta (len %d) produced wrong state without error", cut)
+		}
+	}
+}
+
+func TestCheckpointWireRoundtrip(t *testing.T) {
+	in := Checkpoint{Epoch: 9, Base: 8, Codec: CodecFlate, Data: []byte("payload")}
+	e := cdr.NewEncoder(64)
+	in.MarshalCDR(e)
+	var out Checkpoint
+	d := cdr.NewDecoder(e.Bytes())
+	if err := out.UnmarshalCDR(d); err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != in.Epoch || out.Base != in.Base || out.Codec != in.Codec || !bytes.Equal(out.Data, in.Data) {
+		t.Fatalf("roundtrip = %+v, want %+v", out, in)
+	}
+}
+
+func TestCheckpointCompressedRoundtrip(t *testing.T) {
+	compressible := bytes.Repeat([]byte("abcdefgh"), 512)
+	cp := Full(3, compressible).Compressed()
+	if cp.Codec != CodecFlate {
+		t.Fatalf("compressible payload stayed codec %d", cp.Codec)
+	}
+	if len(cp.Data) >= len(compressible) {
+		t.Fatalf("compression grew the payload: %d >= %d", len(cp.Data), len(compressible))
+	}
+	got, err := cp.Payload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, compressible) {
+		t.Fatal("decompressed payload differs from original")
+	}
+
+	// Incompressible (random) payloads must stay raw.
+	rng := rand.New(rand.NewSource(1))
+	random := make([]byte, 1024)
+	rng.Read(random)
+	if cp := Full(4, random).Compressed(); cp.Codec != CodecRaw {
+		t.Fatalf("incompressible payload was recoded to %d", cp.Codec)
+	}
+}
+
+func TestMemStoreMaterializesDelta(t *testing.T) {
+	ctx := context.Background()
+	s := NewMemStore()
+	base := []byte("state-version-one---------------")
+	next := []byte("state-version-TWO---------------")
+
+	if err := s.Put(ctx, "k", Full(1, base)); err != nil {
+		t.Fatal(err)
+	}
+	delta := Checkpoint{Epoch: 2, Base: 1, Data: ComputeDelta(base, next)}
+	if err := s.Put(ctx, "k", delta); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := s.Get(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Epoch != 2 || cp.IsDelta() {
+		t.Fatalf("Get = %+v, want materialized full at epoch 2", cp)
+	}
+	if !bytes.Equal(cp.Data, next) {
+		t.Fatalf("materialized state = %q, want %q", cp.Data, next)
+	}
+}
+
+func TestMemStoreRejectsBadBaseDelta(t *testing.T) {
+	ctx := context.Background()
+	s := NewMemStore()
+	if err := s.Put(ctx, "k", Full(1, []byte("one"))); err != nil {
+		t.Fatal(err)
+	}
+	// Delta claims base epoch 5; the store holds epoch 1.
+	bad := Checkpoint{Epoch: 6, Base: 5, Data: ComputeDelta([]byte("xxx"), []byte("yyy"))}
+	if err := s.Put(ctx, "k", bad); !errors.Is(err, ErrBadBase) {
+		t.Fatalf("Put(bad base) = %v, want ErrBadBase", err)
+	}
+	// The stored state is untouched.
+	cp, err := s.Get(ctx, "k")
+	if err != nil || cp.Epoch != 1 || string(cp.Data) != "one" {
+		t.Fatalf("state after rejected delta = %+v, %v", cp, err)
+	}
+}

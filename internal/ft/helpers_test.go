@@ -1,0 +1,43 @@
+package ft
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cdr"
+)
+
+// putFull and getFull keep the (epoch, data) shape of the pre-Checkpoint
+// Store API for tests that exercise plain full-snapshot semantics; the
+// delta/codec paths are tested against the Checkpoint type directly.
+
+func putFull(ctx context.Context, s Store, key string, epoch uint64, data []byte) error {
+	return s.Put(ctx, key, Full(epoch, data))
+}
+
+func getFull(ctx context.Context, s Store, key string) (uint64, []byte, error) {
+	cp, err := s.Get(ctx, key)
+	return cp.Epoch, cp.Data, err
+}
+
+// decodeCounterState decodes a counterServant checkpoint payload.
+func decodeCounterState(t *testing.T, data []byte) int64 {
+	t.Helper()
+	d := cdr.NewDecoder(data)
+	v := d.GetInt64()
+	if err := d.Err(); err != nil {
+		t.Fatalf("decoding counter state: %v", err)
+	}
+	return v
+}
+
+// encodeInt64Arg / discardInt64Reply are the marshal halves of a counter
+// "inc" call for tests that go through Proxy.Call directly.
+func encodeInt64Arg(v int64) func(*cdr.Encoder) {
+	return func(e *cdr.Encoder) { e.PutInt64(v) }
+}
+
+func discardInt64Reply(d *cdr.Decoder) error {
+	_ = d.GetInt64()
+	return d.Err()
+}

@@ -5,12 +5,17 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/cdr"
 	"repro/internal/naming"
 	"repro/internal/obs"
 	"repro/internal/orb"
 )
+
+// asyncPutTimeout bounds one pipelined store write: the producing call
+// has already returned, so the worker supplies its own deadline.
+const asyncPutTimeout = 10 * time.Second
 
 // Resolver obtains a (fresh) object reference for a service name — the
 // naming service indirection the proxy uses for recovery. naming.Client
@@ -46,8 +51,31 @@ type Policy struct {
 	RecoverOn func(error) bool
 	// StrictCheckpoint makes a failed post-call checkpoint fail the call.
 	// Off by default: the business result is already known; the failure
-	// is still counted in Stats.
+	// is still counted in Stats. Only synchronous checkpoints can fail the
+	// call; pipelined ones surface failures through Stats alone.
 	StrictCheckpoint bool
+	// AsyncCheckpoint pipelines checkpoint store writes off the critical
+	// path: the state fetch stays synchronous (the servant's state at the
+	// moment of the call is what gets checkpointed), but the store Put is
+	// queued to a background worker, so fsync/quorum/network latency no
+	// longer extends every call. The pipeline drains before any recovery
+	// restore or migration, preserving exact recovery semantics.
+	AsyncCheckpoint bool
+	// QueueDepth bounds the async pipeline (default 4). A full queue
+	// applies backpressure: the call blocks until the worker frees a slot.
+	QueueDepth int
+	// SyncEvery forces every Nth checkpoint to be stored synchronously
+	// even in async mode (the pipeline is drained first), bounding the
+	// window of unacknowledged state. 0 never forces.
+	SyncEvery int
+	// DeltaCheckpoint encodes each checkpoint as a delta against the
+	// previously produced state when that is smaller, cutting checkpoint
+	// bytes on the wire. Store backends materialize deltas at Put time; a
+	// base mismatch (ErrBadBase) makes the proxy re-send a full snapshot.
+	DeltaCheckpoint bool
+	// CompressCheckpoint flate-compresses checkpoint payloads when that
+	// shrinks them.
+	CompressCheckpoint bool
 }
 
 func (p Policy) withDefaults() Policy {
@@ -56,6 +84,9 @@ func (p Policy) withDefaults() Policy {
 	}
 	if p.RecoverOn == nil {
 		p.RecoverOn = orb.DefaultRetryOn
+	}
+	if p.QueueDepth <= 0 {
+		p.QueueDepth = 4
 	}
 	return p
 }
@@ -67,6 +98,9 @@ type Stats struct {
 	CheckpointFailures uint64 // checkpoint attempts that failed
 	Recoveries         uint64 // successful recoveries (re-resolve+restore)
 	Replays            uint64 // calls re-issued after recovery
+	CheckpointBytes    uint64 // payload bytes actually written to the store
+	DeltaCheckpoints   uint64 // checkpoints encoded as deltas
+	AsyncCheckpoints   uint64 // checkpoints queued to the async pipeline
 }
 
 // RecoveryError reports that a call failed and every recovery attempt was
@@ -98,6 +132,28 @@ type Proxy struct {
 
 	// recoverMu serializes whole recovery sequences.
 	recoverMu sync.Mutex
+
+	// ckptMu serializes checkpoint production — epoch allocation, delta
+	// encoding against lastFull, and pipeline enqueue — so queued epochs
+	// are strictly FIFO. Lock order: ckptMu before mu, never the reverse.
+	ckptMu     sync.Mutex
+	lastFull   []byte // full state of the newest produced checkpoint
+	lastEpoch  uint64 // epoch of lastFull
+	asyncSince int    // async checkpoints since the last forced sync
+	ckptCh     chan ckptJob
+	ckptDone   chan struct{}
+	ckptClosed bool
+}
+
+// ckptJob is one pipelined store write: the encoded checkpoint plus the
+// materialized full state, retained so a delta rejected with ErrBadBase
+// can be re-sent as a full snapshot without refetching.
+type ckptJob struct {
+	cp   Checkpoint
+	full []byte
+	// flush, when non-nil, marks a drain barrier instead of a write: the
+	// worker closes it once every job queued before it has been stored.
+	flush chan struct{}
 }
 
 // ProxyOption customizes a Proxy.
@@ -136,10 +192,12 @@ func NewProxy(ctx context.Context, o *orb.ORB, name naming.Name, resolver Resolv
 		p.ref = ref
 	}
 	if p.store != nil {
-		// Adopt any pre-existing checkpoint epoch so our next Put is
-		// newer (a previous proxy incarnation may have written some).
-		if epoch, _, err := p.store.Get(ctx, p.key()); err == nil {
-			p.epoch = epoch
+		// Adopt any pre-existing checkpoint so our next Put is newer (a
+		// previous proxy incarnation may have written some) and the first
+		// delta has a base the store actually holds.
+		if cp, err := p.store.Get(ctx, p.key()); err == nil {
+			p.epoch = cp.Epoch
+			p.lastFull, p.lastEpoch = cp.Data, cp.Epoch
 		}
 	}
 	return p, nil
@@ -185,42 +243,64 @@ func (p *Proxy) caller() *orb.Caller {
 	return c
 }
 
-// Invoke performs op through the proxy: forward, checkpoint on success,
-// recover and replay on failure. It has the same shape as orb.Invoke, so
-// switching a client from the plain stub to the proxy is the one-line
-// change the paper advertises.
-func (p *Proxy) Invoke(ctx context.Context, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
+// Call performs op through the proxy: forward, checkpoint on success,
+// recover and replay on failure. Per-call options overlay the proxy's
+// policy — WithDeadline, WithIdempotent and friends pass straight to the
+// call engine, WithCheckpointMode overrides how (and whether) this call's
+// post-call checkpoint is taken.
+func (p *Proxy) Call(ctx context.Context, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error, opts ...orb.CallOption) error {
 	sctx, span := obs.StartSpan(ctx, "ft.invoke",
 		obs.String("op", op), obs.String("name", p.name.String()))
 	c := p.caller()
+	c.Opts.Apply(opts...)
 	err := c.Invoke(sctx, op, writeArgs, readReply)
 	if err == nil {
-		err = p.afterSuccess(sctx, c.Ref(), op)
+		err = p.afterSuccess(sctx, c.Ref(), op, c.Opts.Checkpoint)
 	}
 	span.EndErr(err)
 	return err
 }
 
-// afterSuccess counts the call and checkpoints per policy.
-func (p *Proxy) afterSuccess(ctx context.Context, ref orb.ObjectRef, op string) error {
+// Invoke is Call without per-call options. It has the same shape as
+// orb.Invoke, so switching a client from the plain stub to the proxy is
+// the one-line change the paper advertises.
+func (p *Proxy) Invoke(ctx context.Context, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
+	return p.Call(ctx, op, writeArgs, readReply)
+}
+
+// afterSuccess counts the call and checkpoints per policy, as overridden
+// by the call's CheckpointMode.
+func (p *Proxy) afterSuccess(ctx context.Context, ref orb.ObjectRef, op string, mode orb.CheckpointMode) error {
 	p.mu.Lock()
 	p.stats.Calls++
 	doCkpt := false
-	if p.policy.CheckpointEvery > 0 {
-		p.sinceCkpt++
-		if p.sinceCkpt >= p.policy.CheckpointEvery {
-			doCkpt = true
-			p.sinceCkpt = 0
+	switch mode {
+	case orb.CheckpointSkip:
+		// Explicitly suppressed; the cadence counter does not advance.
+	case orb.CheckpointSync, orb.CheckpointAsync:
+		doCkpt = true
+		p.sinceCkpt = 0
+	default:
+		if p.policy.CheckpointEvery > 0 {
+			p.sinceCkpt++
+			if p.sinceCkpt >= p.policy.CheckpointEvery {
+				doCkpt = true
+				p.sinceCkpt = 0
+			}
 		}
 	}
 	p.mu.Unlock()
 	if !doCkpt {
 		return nil
 	}
-	if err := p.checkpoint(ctx, ref); err != nil {
-		p.mu.Lock()
-		p.stats.CheckpointFailures++
-		p.mu.Unlock()
+	async := p.policy.AsyncCheckpoint
+	switch mode {
+	case orb.CheckpointSync:
+		async = false
+	case orb.CheckpointAsync:
+		async = true
+	}
+	if err := p.checkpoint(ctx, ref, async); err != nil {
 		if p.policy.StrictCheckpoint {
 			return fmt.Errorf("ft: post-call checkpoint of %s after %s: %w", p.name, op, err)
 		}
@@ -230,7 +310,11 @@ func (p *Proxy) afterSuccess(ctx context.Context, ref orb.ObjectRef, op string) 
 }
 
 // checkpoint pulls the server state and stores it under the next epoch.
-func (p *Proxy) checkpoint(ctx context.Context, ref orb.ObjectRef) (err error) {
+// The state fetch is always synchronous — what gets checkpointed is the
+// servant's state at this point in the call sequence — but with async
+// true the store write itself is queued to the pipeline worker, so store
+// latency stays off the call's critical path.
+func (p *Proxy) checkpoint(ctx context.Context, ref orb.ObjectRef, async bool) (err error) {
 	ctx, span := obs.StartSpan(ctx, "ft.checkpoint",
 		obs.String("name", p.name.String()), obs.String("target", ref.Addr))
 	defer func() { span.EndErr(err) }()
@@ -239,19 +323,139 @@ func (p *Proxy) checkpoint(ctx context.Context, ref orb.ObjectRef) (err error) {
 	}
 	data, err := FetchCheckpoint(ctx, p.orb, ref)
 	if err != nil {
+		p.mu.Lock()
+		p.stats.CheckpointFailures++
+		p.mu.Unlock()
 		return err
 	}
+
+	p.ckptMu.Lock()
 	p.mu.Lock()
 	p.epoch++
 	epoch := p.epoch
 	p.mu.Unlock()
+	cp := Full(epoch, data)
+	if p.policy.DeltaCheckpoint && p.lastFull != nil && p.lastEpoch == epoch-1 {
+		if d := ComputeDelta(p.lastFull, data); len(d) < len(data) {
+			cp = Checkpoint{Epoch: epoch, Base: epoch - 1, Data: d}
+			p.mu.Lock()
+			p.stats.DeltaCheckpoints++
+			p.mu.Unlock()
+		}
+	}
+	if p.policy.CompressCheckpoint {
+		cp = cp.Compressed()
+	}
+	p.lastFull, p.lastEpoch = data, epoch
+	if async && !p.ckptClosed {
+		p.asyncSince++
+		if p.policy.SyncEvery > 0 && p.asyncSince >= p.policy.SyncEvery {
+			async, p.asyncSince = false, 0
+		}
+	}
 	span.SetAttr("epoch", fmt.Sprintf("%d", epoch))
-	if err := p.store.Put(ctx, p.key(), epoch, data); err != nil {
-		return err
+	if async && !p.ckptClosed {
+		ch := p.pipeline()
+		p.mu.Lock()
+		p.stats.AsyncCheckpoints++
+		p.mu.Unlock()
+		span.SetAttr("async", "true")
+		// Enqueue under ckptMu so pipelined epochs stay FIFO; a full queue
+		// applies backpressure here (the worker never takes ckptMu).
+		ch <- ckptJob{cp: cp, full: data}
+		p.ckptMu.Unlock()
+		return nil
+	}
+	p.ckptMu.Unlock()
+	// Synchronous store: drain pipelined epochs first so the store sees
+	// epochs in order and this one lands newest.
+	p.drainCheckpoints()
+	return p.storePut(ctx, cp, data)
+}
+
+// storePut writes cp to the store, re-sending a full snapshot when a
+// delta's base is not what the store holds (replica lag, lost epoch —
+// full snapshots always apply), and keeps the checkpoint counters.
+func (p *Proxy) storePut(ctx context.Context, cp Checkpoint, full []byte) error {
+	err := p.store.Put(ctx, p.key(), cp)
+	wrote := len(cp.Data)
+	if err != nil && cp.IsDelta() && errors.Is(err, ErrBadBase) {
+		fullCp := Full(cp.Epoch, full)
+		if p.policy.CompressCheckpoint {
+			fullCp = fullCp.Compressed()
+		}
+		err = p.store.Put(ctx, p.key(), fullCp)
+		wrote += len(fullCp.Data)
 	}
 	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err != nil {
+		p.stats.CheckpointFailures++
+		return err
+	}
 	p.stats.Checkpoints++
-	p.mu.Unlock()
+	p.stats.CheckpointBytes += uint64(wrote)
+	return nil
+}
+
+// pipeline returns the async queue, starting the worker on first use.
+// Callers must hold ckptMu.
+func (p *Proxy) pipeline() chan ckptJob {
+	if p.ckptCh == nil {
+		p.ckptCh = make(chan ckptJob, p.policy.QueueDepth)
+		p.ckptDone = make(chan struct{})
+		go p.ckptWorker(p.ckptCh)
+	}
+	return p.ckptCh
+}
+
+// ckptWorker is the single pipeline goroutine: it preserves enqueue
+// (= epoch) order and supplies its own per-write deadline, since the
+// producing call has long returned.
+func (p *Proxy) ckptWorker(ch chan ckptJob) {
+	defer close(p.ckptDone)
+	for job := range ch {
+		if job.flush != nil {
+			close(job.flush)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), asyncPutTimeout)
+		_ = p.storePut(ctx, job.cp, job.full)
+		cancel()
+	}
+}
+
+// drainCheckpoints blocks until every checkpoint queued so far has been
+// written (or failed). Recovery, migration and forced-sync checkpoints
+// call it before touching the store, so restores always see the newest
+// produced epoch.
+func (p *Proxy) drainCheckpoints() {
+	p.ckptMu.Lock()
+	if p.ckptCh == nil || p.ckptClosed {
+		p.ckptMu.Unlock()
+		return
+	}
+	flushed := make(chan struct{})
+	p.ckptCh <- ckptJob{flush: flushed}
+	p.ckptMu.Unlock()
+	<-flushed
+}
+
+// Close drains and stops the async checkpoint pipeline. It is safe to
+// call on a proxy that never pipelined, and calls made after Close
+// checkpoint synchronously.
+func (p *Proxy) Close() error {
+	p.ckptMu.Lock()
+	if p.ckptCh == nil || p.ckptClosed {
+		p.ckptClosed = true
+		p.ckptMu.Unlock()
+		return nil
+	}
+	p.ckptClosed = true
+	close(p.ckptCh)
+	done := p.ckptDone
+	p.ckptMu.Unlock()
+	<-done
 	return nil
 }
 
@@ -268,6 +472,10 @@ func (p *Proxy) recoverFrom(ctx context.Context, dead orb.ObjectRef) (orb.Object
 	if cur := p.Ref(); cur != dead {
 		return cur, nil
 	}
+
+	// Land every pipelined checkpoint before reading the store: the
+	// restore below must see the newest epoch this proxy produced.
+	p.drainCheckpoints()
 
 	ctx, span := obs.StartSpan(ctx, "ft.recover",
 		obs.String("name", p.name.String()), obs.String("dead", dead.Addr))
@@ -317,7 +525,7 @@ func (p *Proxy) restoreInto(ctx context.Context, ref orb.ObjectRef) error {
 	}
 	ctx, span := obs.StartSpan(ctx, "ft.restore",
 		obs.String("name", p.name.String()), obs.String("target", ref.Addr))
-	epoch, data, err := p.store.Get(ctx, p.key())
+	cp, err := p.store.Get(ctx, p.key())
 	if errors.Is(err, ErrNoCheckpoint) {
 		span.SetAttr("no_checkpoint", "true")
 		span.End()
@@ -328,15 +536,22 @@ func (p *Proxy) restoreInto(ctx context.Context, ref orb.ObjectRef) error {
 		span.EndErr(err)
 		return err
 	}
-	span.SetAttr("epoch", fmt.Sprintf("%d", epoch))
-	if err := PushRestore(ctx, p.orb, ref, data); err != nil {
+	span.SetAttr("epoch", fmt.Sprintf("%d", cp.Epoch))
+	if err := PushRestore(ctx, p.orb, ref, cp.Data); err != nil {
 		err = fmt.Errorf("restore %s into %v: %w", p.name, ref, err)
 		span.EndErr(err)
 		return err
 	}
+	// The server's state is now exactly the store's newest snapshot; base
+	// the next delta on it. (If the producer-side epoch ran ahead of the
+	// store — failed puts — the base check in checkpoint() falls back to a
+	// full snapshot on its own.)
+	p.ckptMu.Lock()
+	p.lastFull, p.lastEpoch = cp.Data, cp.Epoch
+	p.ckptMu.Unlock()
 	p.mu.Lock()
-	if epoch > p.epoch {
-		p.epoch = epoch
+	if cp.Epoch > p.epoch {
+		p.epoch = cp.Epoch
 	}
 	p.mu.Unlock()
 	span.End()
@@ -357,7 +572,10 @@ func (p *Proxy) Notify(ctx context.Context, op string, writeArgs func(*cdr.Encod
 // changing load situation".
 func (p *Proxy) Migrate(ctx context.Context, target orb.ObjectRef) error {
 	cur := p.Ref()
-	if err := p.checkpoint(ctx, cur); err != nil {
+	// Migration is a synchronous checkpoint by construction: the restore
+	// into target must see this exact state (the sync path drains any
+	// pipelined epochs first).
+	if err := p.checkpoint(ctx, cur, false); err != nil {
 		return fmt.Errorf("ft: migrate checkpoint: %w", err)
 	}
 	if err := p.restoreInto(ctx, target); err != nil {

@@ -169,7 +169,7 @@ func TestProxyCheckpointsLandInStore(t *testing.T) {
 	if _, err := inc(p, 41); err != nil {
 		t.Fatal(err)
 	}
-	epoch, data, err := w.store.Get(context.Background(), w.name.String())
+	epoch, data, err := getFull(context.Background(), w.store, w.name.String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func TestProxyNoCheckpointingWhenDisabled(t *testing.T) {
 	if st := p.Stats(); st.Checkpoints != 0 {
 		t.Fatalf("checkpoints = %d", st.Checkpoints)
 	}
-	if _, _, err := w.store.Get(context.Background(), w.name.String()); !errors.Is(err, ErrNoCheckpoint) {
+	if _, _, err := getFull(context.Background(), w.store, w.name.String()); !errors.Is(err, ErrNoCheckpoint) {
 		t.Fatalf("store err = %v", err)
 	}
 }
@@ -302,14 +302,14 @@ func TestProxyRecoveryExhausted(t *testing.T) {
 func TestProxyEpochAdoption(t *testing.T) {
 	w := newFTWorld(t)
 	// Simulate a previous proxy incarnation having stored epoch 9.
-	if err := w.store.Put(context.Background(), w.name.String(), 9, []byte{0, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+	if err := putFull(context.Background(), w.store, w.name.String(), 9, []byte{0, 0, 0, 0, 0, 0, 0, 0}); err != nil {
 		t.Fatal(err)
 	}
 	p := w.newProxy(Policy{CheckpointEvery: 1})
 	if _, err := inc(p, 1); err != nil {
 		t.Fatal(err)
 	}
-	epoch, _, err := w.store.Get(context.Background(), w.name.String())
+	epoch, _, err := getFull(context.Background(), w.store, w.name.String())
 	if err != nil || epoch != 10 {
 		t.Fatalf("epoch = %d, %v", epoch, err)
 	}
@@ -341,11 +341,11 @@ func TestProxyStrictCheckpointPropagatesFailure(t *testing.T) {
 
 type rejectingStore struct{}
 
-func (rejectingStore) Put(context.Context, string, uint64, []byte) error {
+func (rejectingStore) Put(context.Context, string, Checkpoint) error {
 	return errors.New("store full")
 }
-func (rejectingStore) Get(context.Context, string) (uint64, []byte, error) {
-	return 0, nil, ErrNoCheckpoint
+func (rejectingStore) Get(context.Context, string) (Checkpoint, error) {
+	return Checkpoint{}, ErrNoCheckpoint
 }
 func (rejectingStore) Delete(context.Context, string) error   { return nil }
 func (rejectingStore) Keys(context.Context) ([]string, error) { return nil, nil }
@@ -593,14 +593,14 @@ func mustCheckpoint(t *testing.T, c Checkpointable) []byte {
 
 func TestStoreServiceRemote(t *testing.T) {
 	w := newFTWorld(t)
-	if err := w.store.Put(context.Background(), "k", 1, []byte("v")); err != nil {
+	if err := putFull(context.Background(), w.store, "k", 1, []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	epoch, data, err := w.store.Get(context.Background(), "k")
+	epoch, data, err := getFull(context.Background(), w.store, "k")
 	if err != nil || epoch != 1 || string(data) != "v" {
 		t.Fatalf("get = %d %q %v", epoch, data, err)
 	}
-	if err := w.store.Put(context.Background(), "k", 1, []byte("v2")); !errors.Is(err, ErrStaleEpoch) {
+	if err := putFull(context.Background(), w.store, "k", 1, []byte("v2")); !errors.Is(err, ErrStaleEpoch) {
 		t.Fatalf("err = %v", err)
 	}
 	keys, err := w.store.Keys(context.Background())
@@ -610,7 +610,7 @@ func TestStoreServiceRemote(t *testing.T) {
 	if err := w.store.Delete(context.Background(), "k"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := w.store.Get(context.Background(), "k"); !errors.Is(err, ErrNoCheckpoint) {
+	if _, _, err := getFull(context.Background(), w.store, "k"); !errors.Is(err, ErrNoCheckpoint) {
 		t.Fatalf("err = %v", err)
 	}
 }

@@ -119,20 +119,25 @@ func (r *ReplicatedStore) countQuorumFailure() {
 	r.mu.Unlock()
 }
 
-// Put implements Store: write-all, ack-majority.
-func (r *ReplicatedStore) Put(ctx context.Context, key string, epoch uint64, data []byte) error {
+// Put implements Store: write-all, ack-majority. Delta checkpoints fan
+// out verbatim — each replica materializes against its own stored state.
+// A replica that missed the previous epoch rejects the delta with
+// ErrBadBase; as long as a majority applied it the Put still succeeds and
+// the laggard converges via read-repair. A majority of bad-base verdicts
+// surfaces ErrBadBase so the producer re-sends a full snapshot.
+func (r *ReplicatedStore) Put(ctx context.Context, key string, cp Checkpoint) error {
 	errs := make([]error, len(r.replicas))
 	var wg sync.WaitGroup
 	for i, rep := range r.replicas {
 		wg.Add(1)
 		go func(i int, rep Store) {
 			defer wg.Done()
-			errs[i] = rep.Put(ctx, key, epoch, data)
+			errs[i] = rep.Put(ctx, key, cp)
 		}(i, rep)
 	}
 	wg.Wait()
 
-	acks, stales := 0, 0
+	acks, stales, badBases := 0, 0, 0
 	var firstErr error
 	for _, err := range errs {
 		switch {
@@ -140,6 +145,8 @@ func (r *ReplicatedStore) Put(ctx context.Context, key string, epoch uint64, dat
 			acks++
 		case errors.Is(err, ErrStaleEpoch):
 			stales++
+		case errors.Is(err, ErrBadBase):
+			badBases++
 		default:
 			if firstErr == nil {
 				firstErr = err
@@ -155,21 +162,25 @@ func (r *ReplicatedStore) Put(ctx context.Context, key string, epoch uint64, dat
 	}
 	r.countQuorumFailure()
 	if stales >= q {
-		return fmt.Errorf("%w: key %q epoch %d rejected by %d/%d replicas", ErrStaleEpoch, key, epoch, stales, len(r.replicas))
+		return fmt.Errorf("%w: key %q epoch %d rejected by %d/%d replicas", ErrStaleEpoch, key, cp.Epoch, stales, len(r.replicas))
+	}
+	if badBases > 0 {
+		// Any bad-base verdict without an ack majority: make the producer
+		// retry with a full snapshot, which every replica can apply.
+		return fmt.Errorf("%w: key %q epoch %d rejected by %d/%d replicas", ErrBadBase, key, cp.Epoch, badBases, len(r.replicas))
 	}
 	if firstErr == nil {
 		// Mixed acks and stales, neither a majority: report the stale
 		// verdict, the only failure observed.
-		return fmt.Errorf("%w: key %q epoch %d (split verdict: %d acks, %d stale)", ErrStaleEpoch, key, epoch, acks, stales)
+		return fmt.Errorf("%w: key %q epoch %d (split verdict: %d acks, %d stale)", ErrStaleEpoch, key, cp.Epoch, acks, stales)
 	}
 	return fmt.Errorf("ft: replicated put %q: %d/%d acks (need %d): %w", key, acks, len(r.replicas), q, firstErr)
 }
 
 // getResult is one replica's answer to a Get.
 type getResult struct {
-	epoch uint64
-	data  []byte
-	err   error
+	cp  Checkpoint
+	err error
 	// answered is true for a definitive reply: a checkpoint, or a typed
 	// "I have none" (epoch 0). Transport errors and corruption are not
 	// answers.
@@ -178,22 +189,21 @@ type getResult struct {
 
 // Get implements Store: read-newest-epoch over a majority of answers,
 // with background read-repair of lagging replicas.
-func (r *ReplicatedStore) Get(ctx context.Context, key string) (uint64, []byte, error) {
+func (r *ReplicatedStore) Get(ctx context.Context, key string) (Checkpoint, error) {
 	results := make([]getResult, len(r.replicas))
 	var wg sync.WaitGroup
 	for i, rep := range r.replicas {
 		wg.Add(1)
 		go func(i int, rep Store) {
 			defer wg.Done()
-			epoch, data, err := rep.Get(ctx, key)
-			res := getResult{epoch: epoch, data: data, err: err}
+			cp, err := rep.Get(ctx, key)
+			res := getResult{cp: cp, err: err}
 			switch {
 			case err == nil:
 				res.answered = true
 			case errors.Is(err, ErrNoCheckpoint):
 				res.answered = true // definitive: nothing stored (epoch 0)
-				res.epoch = 0
-				res.data = nil
+				res.cp = Checkpoint{}
 			}
 			results[i] = res
 		}(i, rep)
@@ -211,7 +221,7 @@ func (r *ReplicatedStore) Get(ctx context.Context, key string) (uint64, []byte, 
 			continue
 		}
 		answers++
-		if res.err == nil && (best < 0 || res.epoch > results[best].epoch) {
+		if res.err == nil && (best < 0 || res.cp.Epoch > results[best].cp.Epoch) {
 			best = i
 		}
 	}
@@ -221,36 +231,38 @@ func (r *ReplicatedStore) Get(ctx context.Context, key string) (uint64, []byte, 
 		if firstErr == nil {
 			firstErr = errors.New("no replica reachable")
 		}
-		return 0, nil, fmt.Errorf("ft: replicated get %q: %d/%d answers (need %d): %w", key, answers, len(r.replicas), q, firstErr)
+		return Checkpoint{}, fmt.Errorf("ft: replicated get %q: %d/%d answers (need %d): %w", key, answers, len(r.replicas), q, firstErr)
 	}
 	if best < 0 {
 		// A majority definitively has nothing.
 		r.mu.Lock()
 		r.stats.Gets++
 		r.mu.Unlock()
-		return 0, nil, fmt.Errorf("%w: key %q (per %d/%d replicas)", ErrNoCheckpoint, key, answers, len(r.replicas))
+		return Checkpoint{}, fmt.Errorf("%w: key %q (per %d/%d replicas)", ErrNoCheckpoint, key, answers, len(r.replicas))
 	}
 
 	newest := results[best]
 	r.mu.Lock()
 	r.stats.Gets++
 	r.mu.Unlock()
-	r.repair(key, newest.epoch, newest.data, results)
-	return newest.epoch, newest.data, nil
+	r.repair(key, newest.cp, results)
+	return newest.cp, nil
 }
 
 // repair launches background Puts of the newest checkpoint into every
 // replica that does not have it, so a replica that missed writes (down,
 // partitioned, fresh disk) converges on the next read that touches the
-// key. Repairs are best-effort: a stale rejection means the replica
+// key. Repairs always ship the materialized full snapshot (Get returns
+// full state), so a replica that missed delta epochs can still apply
+// them. Repairs are best-effort: a stale rejection means the replica
 // already advanced past us, any other failure will be retried by a later
 // read.
-func (r *ReplicatedStore) repair(key string, epoch uint64, data []byte, results []getResult) {
-	if epoch == 0 {
+func (r *ReplicatedStore) repair(key string, newest Checkpoint, results []getResult) {
+	if newest.Epoch == 0 {
 		return
 	}
 	for i, res := range results {
-		if res.answered && res.err == nil && res.epoch >= epoch {
+		if res.answered && res.err == nil && res.cp.Epoch >= newest.Epoch {
 			continue
 		}
 		rep := r.replicas[i]
@@ -262,7 +274,7 @@ func (r *ReplicatedStore) repair(key string, epoch uint64, data []byte, results 
 			defer r.repairs.Done()
 			rctx, cancel := context.WithTimeout(context.Background(), r.repairTimeout)
 			defer cancel()
-			_ = rep.Put(rctx, key, epoch, data)
+			_ = rep.Put(rctx, key, newest)
 		}(rep)
 	}
 }

@@ -16,16 +16,16 @@ type downStore struct {
 
 var errReplicaDown = errors.New("replica down")
 
-func (d *downStore) Put(ctx context.Context, key string, epoch uint64, data []byte) error {
+func (d *downStore) Put(ctx context.Context, key string, cp Checkpoint) error {
 	if d.down.Load() {
 		return errReplicaDown
 	}
-	return d.inner.Put(ctx, key, epoch, data)
+	return d.inner.Put(ctx, key, cp)
 }
 
-func (d *downStore) Get(ctx context.Context, key string) (uint64, []byte, error) {
+func (d *downStore) Get(ctx context.Context, key string) (Checkpoint, error) {
 	if d.down.Load() {
-		return 0, nil, errReplicaDown
+		return Checkpoint{}, errReplicaDown
 	}
 	return d.inner.Get(ctx, key)
 }
@@ -64,17 +64,17 @@ func newReplicaSet(t *testing.T) (*ReplicatedStore, []*downStore) {
 func TestReplicatedStoreRoundTrip(t *testing.T) {
 	r, _ := newReplicaSet(t)
 	ctx := context.Background()
-	if err := r.Put(ctx, "svc", 1, []byte("v1")); err != nil {
+	if err := putFull(ctx, r, "svc", 1, []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	epoch, data, err := r.Get(ctx, "svc")
+	epoch, data, err := getFull(ctx, r, "svc")
 	if err != nil || epoch != 1 || string(data) != "v1" {
 		t.Fatalf("got %d %q %v", epoch, data, err)
 	}
-	if _, _, err := r.Get(ctx, "ghost"); !errors.Is(err, ErrNoCheckpoint) {
+	if _, _, err := getFull(ctx, r, "ghost"); !errors.Is(err, ErrNoCheckpoint) {
 		t.Fatalf("missing key err = %v", err)
 	}
-	if err := r.Put(ctx, "svc", 1, []byte("again")); !errors.Is(err, ErrStaleEpoch) {
+	if err := putFull(ctx, r, "svc", 1, []byte("again")); !errors.Is(err, ErrStaleEpoch) {
 		t.Fatalf("stale put err = %v", err)
 	}
 }
@@ -84,15 +84,15 @@ func TestReplicatedStoreRoundTrip(t *testing.T) {
 func TestReplicatedStoreSurvivesSingleReplicaDown(t *testing.T) {
 	r, reps := newReplicaSet(t)
 	ctx := context.Background()
-	if err := r.Put(ctx, "svc", 1, []byte("v1")); err != nil {
+	if err := putFull(ctx, r, "svc", 1, []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
 	for i := range reps {
 		reps[i].down.Store(true)
-		if err := r.Put(ctx, "svc", uint64(i+2), []byte("newer")); err != nil {
+		if err := putFull(ctx, r, "svc", uint64(i+2), []byte("newer")); err != nil {
 			t.Fatalf("put with replica %d down: %v", i, err)
 		}
-		epoch, data, err := r.Get(ctx, "svc")
+		epoch, data, err := getFull(ctx, r, "svc")
 		if err != nil || epoch != uint64(i+2) || string(data) != "newer" {
 			t.Fatalf("get with replica %d down: %d %q %v", i, epoch, data, err)
 		}
@@ -109,12 +109,12 @@ func TestReplicatedStoreLosesQuorum(t *testing.T) {
 	ctx := context.Background()
 	reps[0].down.Store(true)
 	reps[1].down.Store(true)
-	if err := r.Put(ctx, "svc", 1, []byte("v")); err == nil {
+	if err := putFull(ctx, r, "svc", 1, []byte("v")); err == nil {
 		t.Fatal("put succeeded without a quorum")
 	} else if errors.Is(err, ErrStaleEpoch) || errors.Is(err, ErrNoCheckpoint) {
 		t.Fatalf("quorum loss mapped to a typed verdict: %v", err)
 	}
-	if _, _, err := r.Get(ctx, "svc"); err == nil {
+	if _, _, err := getFull(ctx, r, "svc"); err == nil {
 		t.Fatal("get succeeded without a quorum")
 	} else if errors.Is(err, ErrNoCheckpoint) {
 		t.Fatalf("quorum loss reported as missing checkpoint: %v", err)
@@ -132,24 +132,24 @@ func TestReplicatedStoreReadRepair(t *testing.T) {
 
 	// Replica 2 misses two epochs.
 	reps[2].down.Store(true)
-	if err := r.Put(ctx, "svc", 1, []byte("v1")); err != nil {
+	if err := putFull(ctx, r, "svc", 1, []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Put(ctx, "svc", 2, []byte("v2")); err != nil {
+	if err := putFull(ctx, r, "svc", 2, []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
 	reps[2].down.Store(false)
-	if _, _, err := reps[2].inner.Get(ctx, "svc"); !errors.Is(err, ErrNoCheckpoint) {
+	if _, _, err := getFull(ctx, reps[2].inner, "svc"); !errors.Is(err, ErrNoCheckpoint) {
 		t.Fatalf("lagging replica unexpectedly has state: %v", err)
 	}
 
 	// A quorum read repairs it in the background.
-	epoch, data, err := r.Get(ctx, "svc")
+	epoch, data, err := getFull(ctx, r, "svc")
 	if err != nil || epoch != 2 || string(data) != "v2" {
 		t.Fatalf("got %d %q %v", epoch, data, err)
 	}
 	r.WaitRepairs()
-	epoch, data, err = reps[2].inner.Get(ctx, "svc")
+	epoch, data, err = getFull(ctx, reps[2].inner, "svc")
 	if err != nil || epoch != 2 || string(data) != "v2" {
 		t.Fatalf("repaired replica holds %d %q %v, want epoch 2", epoch, data, err)
 	}
@@ -164,16 +164,16 @@ func TestReplicatedStoreReadRepair(t *testing.T) {
 func TestReplicatedStoreNewestEpochWins(t *testing.T) {
 	r, reps := newReplicaSet(t)
 	ctx := context.Background()
-	if err := r.Put(ctx, "svc", 1, []byte("old")); err != nil {
+	if err := putFull(ctx, r, "svc", 1, []byte("old")); err != nil {
 		t.Fatal(err)
 	}
 	// Epoch 2 lands on replicas 0 and 1 only.
 	reps[2].down.Store(true)
-	if err := r.Put(ctx, "svc", 2, []byte("new")); err != nil {
+	if err := putFull(ctx, r, "svc", 2, []byte("new")); err != nil {
 		t.Fatal(err)
 	}
 	reps[2].down.Store(false)
-	epoch, data, err := r.Get(ctx, "svc")
+	epoch, data, err := getFull(ctx, r, "svc")
 	if err != nil || epoch != 2 || string(data) != "new" {
 		t.Fatalf("got %d %q %v, want the newest epoch", epoch, data, err)
 	}
@@ -184,7 +184,7 @@ func TestReplicatedStoreDeleteAndKeys(t *testing.T) {
 	r, _ := newReplicaSet(t)
 	ctx := context.Background()
 	for _, k := range []string{"b", "a"} {
-		if err := r.Put(ctx, k, 1, []byte(k)); err != nil {
+		if err := putFull(ctx, r, k, 1, []byte(k)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -195,7 +195,7 @@ func TestReplicatedStoreDeleteAndKeys(t *testing.T) {
 	if err := r.Delete(ctx, "a"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := r.Get(ctx, "a"); !errors.Is(err, ErrNoCheckpoint) {
+	if _, _, err := getFull(ctx, r, "a"); !errors.Is(err, ErrNoCheckpoint) {
 		t.Fatalf("deleted key err = %v", err)
 	}
 }

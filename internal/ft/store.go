@@ -27,18 +27,23 @@ var ErrStaleEpoch = errors.New("ft: stale checkpoint epoch")
 var ErrCorruptCheckpoint = errors.New("ft: corrupt checkpoint")
 
 // Store persists the latest checkpoint per key. Epochs order checkpoints
-// of one key; a Put with an epoch not newer than the stored one fails with
-// ErrStaleEpoch, so late writes from a superseded proxy cannot roll state
-// back. Every operation is bounded by ctx: remote implementations
+// of one key; a Put whose epoch is not newer than the stored one fails
+// with ErrStaleEpoch, so late writes from a superseded proxy cannot roll
+// state back. Puts may carry delta-encoded payloads (Checkpoint.Base):
+// backends materialize them against the stored full state at Put time —
+// rejecting mismatched bases with ErrBadBase — and Get always returns a
+// materialized full snapshot, so restore paths never replay deltas.
+// Every operation is bounded by ctx: remote implementations
 // (StoreClient, ReplicatedStore) honour its deadline/cancellation, so a
 // dead or partitioned store daemon cannot stall a recovery path past its
 // deadline; local implementations only check it on entry.
 // Implementations must be safe for concurrent use.
 type Store interface {
-	// Put stores data as the checkpoint for key at epoch.
-	Put(ctx context.Context, key string, epoch uint64, data []byte) error
-	// Get returns the newest checkpoint for key.
-	Get(ctx context.Context, key string) (epoch uint64, data []byte, err error)
+	// Put stores cp as the checkpoint for key.
+	Put(ctx context.Context, key string, cp Checkpoint) error
+	// Get returns the newest checkpoint for key, materialized to a full
+	// snapshot (Base 0, CodecRaw).
+	Get(ctx context.Context, key string) (Checkpoint, error)
 	// Delete removes key's checkpoint (idempotent).
 	Delete(ctx context.Context, key string) error
 	// Keys lists all keys with checkpoints, sorted.
@@ -55,7 +60,7 @@ type MemStore struct {
 
 type memEntry struct {
 	epoch uint64
-	data  []byte
+	data  []byte // always materialized full state
 }
 
 // NewMemStore creates an empty in-memory store.
@@ -64,35 +69,40 @@ func NewMemStore() *MemStore {
 }
 
 // Put implements Store.
-func (s *MemStore) Put(ctx context.Context, key string, epoch uint64, data []byte) error {
+func (s *MemStore) Put(ctx context.Context, key string, cp Checkpoint) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if cur, ok := s.data[key]; ok && epoch <= cur.epoch {
-		return fmt.Errorf("%w: key %q epoch %d <= stored %d", ErrStaleEpoch, key, epoch, cur.epoch)
+	cur, ok := s.data[key]
+	if ok && cp.Epoch <= cur.epoch {
+		return fmt.Errorf("%w: key %q epoch %d <= stored %d", ErrStaleEpoch, key, cp.Epoch, cur.epoch)
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	s.data[key] = memEntry{epoch: epoch, data: cp}
+	full, err := materialize(cp, cur.epoch, cur.data, ok)
+	if err != nil {
+		return fmt.Errorf("%w (key %q)", err, key)
+	}
+	stored := make([]byte, len(full))
+	copy(stored, full)
+	s.data[key] = memEntry{epoch: cp.Epoch, data: stored}
 	return nil
 }
 
 // Get implements Store.
-func (s *MemStore) Get(ctx context.Context, key string) (uint64, []byte, error) {
+func (s *MemStore) Get(ctx context.Context, key string) (Checkpoint, error) {
 	if err := ctx.Err(); err != nil {
-		return 0, nil, err
+		return Checkpoint{}, err
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	e, ok := s.data[key]
 	if !ok {
-		return 0, nil, fmt.Errorf("%w: key %q", ErrNoCheckpoint, key)
+		return Checkpoint{}, fmt.Errorf("%w: key %q", ErrNoCheckpoint, key)
 	}
 	cp := make([]byte, len(e.data))
 	copy(cp, e.data)
-	return e.epoch, cp, nil
+	return Full(e.epoch, cp), nil
 }
 
 // Delete implements Store.
@@ -125,7 +135,9 @@ func (s *MemStore) Keys(ctx context.Context) ([]string, error) {
 // the real persistence the paper defers to future work. Writes are
 // write-to-temp + fsync + rename + directory fsync, so neither a crash
 // mid-write nor a host power loss right after the acknowledgement can
-// lose or corrupt an acked checkpoint.
+// lose or corrupt an acked checkpoint. Delta Puts are materialized before
+// the durable write: each file always holds a full snapshot, so restore
+// after a crash never depends on a chain of delta files.
 type DiskStore struct {
 	dir string
 	mu  sync.Mutex
@@ -204,44 +216,53 @@ func writeDurable(path string, content []byte) error {
 }
 
 // Put implements Store.
-func (s *DiskStore) Put(ctx context.Context, key string, epoch uint64, data []byte) error {
+func (s *DiskStore) Put(ctx context.Context, key string, cp Checkpoint) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := s.path(key)
+	var curEpoch uint64
+	var curData []byte
+	haveCur := false
 	if raw, err := os.ReadFile(p); err == nil {
-		cur, _, derr := decodeCheckpointFile(raw)
-		if derr == nil && epoch <= cur {
-			return fmt.Errorf("%w: key %q epoch %d <= stored %d", ErrStaleEpoch, key, epoch, cur)
+		if e, d, derr := decodeCheckpointFile(raw); derr == nil {
+			curEpoch, curData, haveCur = e, d, true
 		}
 	}
-	if err := writeDurable(p, encodeCheckpointFile(epoch, data)); err != nil {
+	if haveCur && cp.Epoch <= curEpoch {
+		return fmt.Errorf("%w: key %q epoch %d <= stored %d", ErrStaleEpoch, key, cp.Epoch, curEpoch)
+	}
+	full, err := materialize(cp, curEpoch, curData, haveCur)
+	if err != nil {
+		return fmt.Errorf("%w (key %q)", err, key)
+	}
+	if err := writeDurable(p, encodeCheckpointFile(cp.Epoch, full)); err != nil {
 		return fmt.Errorf("ft: commit checkpoint: %w", err)
 	}
 	return nil
 }
 
 // Get implements Store.
-func (s *DiskStore) Get(ctx context.Context, key string) (uint64, []byte, error) {
+func (s *DiskStore) Get(ctx context.Context, key string) (Checkpoint, error) {
 	if err := ctx.Err(); err != nil {
-		return 0, nil, err
+		return Checkpoint{}, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	raw, err := os.ReadFile(s.path(key))
 	if err != nil {
 		if os.IsNotExist(err) {
-			return 0, nil, fmt.Errorf("%w: key %q", ErrNoCheckpoint, key)
+			return Checkpoint{}, fmt.Errorf("%w: key %q", ErrNoCheckpoint, key)
 		}
-		return 0, nil, fmt.Errorf("ft: read checkpoint: %w", err)
+		return Checkpoint{}, fmt.Errorf("ft: read checkpoint: %w", err)
 	}
 	epoch, data, err := decodeCheckpointFile(raw)
 	if err != nil {
-		return 0, nil, fmt.Errorf("%w (key %q)", err, key)
+		return Checkpoint{}, fmt.Errorf("%w (key %q)", err, key)
 	}
-	return epoch, data, nil
+	return Full(epoch, data), nil
 }
 
 // Delete implements Store.

@@ -25,10 +25,10 @@ func storeImpls(t *testing.T) map[string]Store {
 func TestStorePutGet(t *testing.T) {
 	for name, s := range storeImpls(t) {
 		t.Run(name, func(t *testing.T) {
-			if err := s.Put(context.Background(), "svc", 1, []byte("state-1")); err != nil {
+			if err := putFull(context.Background(), s, "svc", 1, []byte("state-1")); err != nil {
 				t.Fatal(err)
 			}
-			epoch, data, err := s.Get(context.Background(), "svc")
+			epoch, data, err := getFull(context.Background(), s, "svc")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -42,13 +42,13 @@ func TestStorePutGet(t *testing.T) {
 func TestStoreNewerEpochReplaces(t *testing.T) {
 	for name, s := range storeImpls(t) {
 		t.Run(name, func(t *testing.T) {
-			if err := s.Put(context.Background(), "svc", 1, []byte("old")); err != nil {
+			if err := putFull(context.Background(), s, "svc", 1, []byte("old")); err != nil {
 				t.Fatal(err)
 			}
-			if err := s.Put(context.Background(), "svc", 2, []byte("new")); err != nil {
+			if err := putFull(context.Background(), s, "svc", 2, []byte("new")); err != nil {
 				t.Fatal(err)
 			}
-			epoch, data, _ := s.Get(context.Background(), "svc")
+			epoch, data, _ := getFull(context.Background(), s, "svc")
 			if epoch != 2 || string(data) != "new" {
 				t.Fatalf("got %d %q", epoch, data)
 			}
@@ -59,18 +59,18 @@ func TestStoreNewerEpochReplaces(t *testing.T) {
 func TestStoreStaleEpochRejected(t *testing.T) {
 	for name, s := range storeImpls(t) {
 		t.Run(name, func(t *testing.T) {
-			if err := s.Put(context.Background(), "svc", 5, []byte("v5")); err != nil {
+			if err := putFull(context.Background(), s, "svc", 5, []byte("v5")); err != nil {
 				t.Fatal(err)
 			}
-			err := s.Put(context.Background(), "svc", 5, []byte("v5-again"))
+			err := putFull(context.Background(), s, "svc", 5, []byte("v5-again"))
 			if !errors.Is(err, ErrStaleEpoch) {
 				t.Fatalf("err = %v", err)
 			}
-			err = s.Put(context.Background(), "svc", 4, []byte("v4"))
+			err = putFull(context.Background(), s, "svc", 4, []byte("v4"))
 			if !errors.Is(err, ErrStaleEpoch) {
 				t.Fatalf("err = %v", err)
 			}
-			_, data, _ := s.Get(context.Background(), "svc")
+			_, data, _ := getFull(context.Background(), s, "svc")
 			if string(data) != "v5" {
 				t.Fatalf("state rolled back to %q", data)
 			}
@@ -81,7 +81,7 @@ func TestStoreStaleEpochRejected(t *testing.T) {
 func TestStoreGetMissing(t *testing.T) {
 	for name, s := range storeImpls(t) {
 		t.Run(name, func(t *testing.T) {
-			if _, _, err := s.Get(context.Background(), "ghost"); !errors.Is(err, ErrNoCheckpoint) {
+			if _, _, err := getFull(context.Background(), s, "ghost"); !errors.Is(err, ErrNoCheckpoint) {
 				t.Fatalf("err = %v", err)
 			}
 		})
@@ -91,13 +91,13 @@ func TestStoreGetMissing(t *testing.T) {
 func TestStoreDelete(t *testing.T) {
 	for name, s := range storeImpls(t) {
 		t.Run(name, func(t *testing.T) {
-			if err := s.Put(context.Background(), "svc", 1, []byte("x")); err != nil {
+			if err := putFull(context.Background(), s, "svc", 1, []byte("x")); err != nil {
 				t.Fatal(err)
 			}
 			if err := s.Delete(context.Background(), "svc"); err != nil {
 				t.Fatal(err)
 			}
-			if _, _, err := s.Get(context.Background(), "svc"); !errors.Is(err, ErrNoCheckpoint) {
+			if _, _, err := getFull(context.Background(), s, "svc"); !errors.Is(err, ErrNoCheckpoint) {
 				t.Fatalf("err = %v", err)
 			}
 			if err := s.Delete(context.Background(), "svc"); err != nil {
@@ -111,7 +111,7 @@ func TestStoreKeys(t *testing.T) {
 	for name, s := range storeImpls(t) {
 		t.Run(name, func(t *testing.T) {
 			for _, k := range []string{"b", "a", "c/with.weird\\chars"} {
-				if err := s.Put(context.Background(), k, 1, []byte(k)); err != nil {
+				if err := putFull(context.Background(), s, k, 1, []byte(k)); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -146,16 +146,16 @@ func TestStoreEmptyKeys(t *testing.T) {
 func TestMemStoreReturnsCopies(t *testing.T) {
 	s := NewMemStore()
 	orig := []byte("abc")
-	if err := s.Put(context.Background(), "k", 1, orig); err != nil {
+	if err := putFull(context.Background(), s, "k", 1, orig); err != nil {
 		t.Fatal(err)
 	}
 	orig[0] = 'X' // caller mutates its buffer afterwards
-	_, data, _ := s.Get(context.Background(), "k")
+	_, data, _ := getFull(context.Background(), s, "k")
 	if string(data) != "abc" {
 		t.Fatalf("store aliased caller buffer: %q", data)
 	}
 	data[0] = 'Y' // reader mutates the returned buffer
-	_, data2, _ := s.Get(context.Background(), "k")
+	_, data2, _ := getFull(context.Background(), s, "k")
 	if string(data2) != "abc" {
 		t.Fatalf("store aliased reader buffer: %q", data2)
 	}
@@ -167,14 +167,14 @@ func TestDiskStoreSurvivesReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s1.Put(context.Background(), "svc", 7, []byte("persisted")); err != nil {
+	if err := putFull(context.Background(), s1, "svc", 7, []byte("persisted")); err != nil {
 		t.Fatal(err)
 	}
 	s2, err := NewDiskStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	epoch, data, err := s2.Get(context.Background(), "svc")
+	epoch, data, err := getFull(context.Background(), s2, "svc")
 	if err != nil || epoch != 7 || string(data) != "persisted" {
 		t.Fatalf("got %d %q %v", epoch, data, err)
 	}
@@ -186,7 +186,7 @@ func TestDiskStoreCorruptFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(context.Background(), "svc", 1, []byte("ok")); err != nil {
+	if err := putFull(context.Background(), s, "svc", 1, []byte("ok")); err != nil {
 		t.Fatal(err)
 	}
 	// Truncate the file to corrupt it.
@@ -196,7 +196,7 @@ func TestDiskStoreCorruptFile(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	_, _, err = s.Get(context.Background(), "svc")
+	_, _, err = getFull(context.Background(), s, "svc")
 	if err == nil {
 		t.Fatal("corrupt checkpoint read succeeded")
 	}
@@ -221,7 +221,7 @@ func TestDiskStorePutIsAtomicAndTidy(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i <= 5; i++ {
-		if err := s.Put(context.Background(), "svc", uint64(i), []byte("state")); err != nil {
+		if err := putFull(context.Background(), s, "svc", uint64(i), []byte("state")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -250,7 +250,7 @@ func TestDiskStoreSurvivesTornTempWrite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s1.Put(context.Background(), "svc", 3, []byte("acked")); err != nil {
+	if err := putFull(context.Background(), s1, "svc", 3, []byte("acked")); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate a writer that died before its rename: garbage temp file
@@ -264,7 +264,7 @@ func TestDiskStoreSurvivesTornTempWrite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	epoch, data, err := s2.Get(context.Background(), "svc")
+	epoch, data, err := getFull(context.Background(), s2, "svc")
 	if err != nil || epoch != 3 || string(data) != "acked" {
 		t.Fatalf("got %d %q %v, want the acked checkpoint", epoch, data, err)
 	}
@@ -273,7 +273,7 @@ func TestDiskStoreSurvivesTornTempWrite(t *testing.T) {
 		t.Fatalf("keys = %v, %v; torn temp file leaked into the key space", keys, err)
 	}
 	// The next Put replaces the torn temp and commits cleanly.
-	if err := s2.Put(context.Background(), "svc", 4, []byte("newer")); err != nil {
+	if err := putFull(context.Background(), s2, "svc", 4, []byte("newer")); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(torn); !os.IsNotExist(err) {
@@ -288,10 +288,10 @@ func TestStoreHonoursCancelledContext(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			ctx, cancel := context.WithCancel(context.Background())
 			cancel()
-			if err := s.Put(ctx, "k", 1, []byte("x")); !errors.Is(err, context.Canceled) {
+			if err := putFull(ctx, s, "k", 1, []byte("x")); !errors.Is(err, context.Canceled) {
 				t.Fatalf("Put err = %v", err)
 			}
-			if _, _, err := s.Get(ctx, "k"); !errors.Is(err, context.Canceled) {
+			if _, _, err := getFull(ctx, s, "k"); !errors.Is(err, context.Canceled) {
 				t.Fatalf("Get err = %v", err)
 			}
 			if err := s.Delete(ctx, "k"); !errors.Is(err, context.Canceled) {
@@ -316,7 +316,7 @@ func TestDiskStoreIgnoresForeignFiles(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "zz-not-hex.ckpt"), []byte("hi"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(context.Background(), "real", 1, []byte("x")); err != nil {
+	if err := putFull(context.Background(), s, "real", 1, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	keys, err := s.Keys(context.Background())
@@ -345,15 +345,15 @@ func TestQuickStoreLastWriteWins(t *testing.T) {
 				}
 				s := mk(t)
 				for i, b := range blobs {
-					if err := s.Put(context.Background(), "k", uint64(i+1), b); err != nil {
+					if err := putFull(context.Background(), s, "k", uint64(i+1), b); err != nil {
 						return false
 					}
 				}
 				if len(blobs) == 0 {
-					_, _, err := s.Get(context.Background(), "k")
+					_, _, err := getFull(context.Background(), s, "k")
 					return errors.Is(err, ErrNoCheckpoint)
 				}
-				epoch, data, err := s.Get(context.Background(), "k")
+				epoch, data, err := getFull(context.Background(), s, "k")
 				if err != nil || epoch != uint64(len(blobs)) {
 					return false
 				}

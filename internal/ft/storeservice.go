@@ -20,6 +20,7 @@ const (
 	ExNoCheckpoint      = "IDL:repro/FT/NoCheckpoint:1.0"
 	ExStaleEpoch        = "IDL:repro/FT/StaleEpoch:1.0"
 	ExCorruptCheckpoint = "IDL:repro/FT/CorruptCheckpoint:1.0"
+	ExBadBase           = "IDL:repro/FT/BadBase:1.0"
 )
 
 // Operation names of the store wire contract.
@@ -51,14 +52,18 @@ func (s *StoreServant) Invoke(sctx *orb.ServerContext, op string, in *cdr.Decode
 	switch op {
 	case opPut:
 		key := in.GetString()
-		epoch := in.GetUint64()
-		data := in.GetBytes()
-		if err := in.Err(); err != nil {
+		var cp Checkpoint
+		if err := cp.UnmarshalCDR(in); err != nil {
 			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
 		}
-		if err := s.store.Put(ctx, key, epoch, data); err != nil {
-			if errors.Is(err, ErrStaleEpoch) {
+		if err := s.store.Put(ctx, key, cp); err != nil {
+			switch {
+			case errors.Is(err, ErrStaleEpoch):
 				return &orb.UserException{RepoID: ExStaleEpoch, Detail: err.Error()}
+			case errors.Is(err, ErrBadBase):
+				return &orb.UserException{RepoID: ExBadBase, Detail: err.Error()}
+			case errors.Is(err, ErrCorruptCheckpoint):
+				return &orb.UserException{RepoID: ExCorruptCheckpoint, Detail: err.Error()}
 			}
 			return &orb.SystemException{Kind: orb.ExInternal, Detail: err.Error()}
 		}
@@ -69,7 +74,7 @@ func (s *StoreServant) Invoke(sctx *orb.ServerContext, op string, in *cdr.Decode
 		if err := in.Err(); err != nil {
 			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
 		}
-		epoch, data, err := s.store.Get(ctx, key)
+		cp, err := s.store.Get(ctx, key)
 		if err != nil {
 			if errors.Is(err, ErrNoCheckpoint) {
 				return &orb.UserException{RepoID: ExNoCheckpoint, Detail: err.Error()}
@@ -79,8 +84,7 @@ func (s *StoreServant) Invoke(sctx *orb.ServerContext, op string, in *cdr.Decode
 			}
 			return &orb.SystemException{Kind: orb.ExInternal, Detail: err.Error()}
 		}
-		out.PutUint64(epoch)
-		out.PutBytes(data)
+		cp.MarshalCDR(out)
 		return nil
 
 	case opDelete:
@@ -141,46 +145,44 @@ func mapStoreErr(err error) error {
 		return fmt.Errorf("%w: %s", ErrNoCheckpoint, ue.Detail)
 	case ExCorruptCheckpoint:
 		return fmt.Errorf("%w: %s", ErrCorruptCheckpoint, ue.Detail)
+	case ExBadBase:
+		return fmt.Errorf("%w: %s", ErrBadBase, ue.Detail)
 	}
 	return err
 }
 
-// Put implements Store.
-func (c *StoreClient) Put(ctx context.Context, key string, epoch uint64, data []byte) error {
-	err := c.orb.Invoke(ctx, c.ref, opPut, func(e *cdr.Encoder) {
+// Put implements Store. Delta and compressed payloads travel verbatim —
+// materialization happens in the daemon's backing store, so the wire
+// carries only the (small) encoded payload.
+func (c *StoreClient) Put(ctx context.Context, key string, cp Checkpoint) error {
+	err := c.orb.Call(ctx, c.ref, opPut, func(e *cdr.Encoder) {
 		e.PutString(key)
-		e.PutUint64(epoch)
-		e.PutBytes(data)
+		cp.MarshalCDR(e)
 	}, nil)
 	return mapStoreErr(err)
 }
 
 // Get implements Store.
-func (c *StoreClient) Get(ctx context.Context, key string) (uint64, []byte, error) {
-	var epoch uint64
-	var data []byte
-	err := c.orb.Invoke(ctx, c.ref, opGet,
+func (c *StoreClient) Get(ctx context.Context, key string) (Checkpoint, error) {
+	var cp Checkpoint
+	err := c.orb.Call(ctx, c.ref, opGet,
 		func(e *cdr.Encoder) { e.PutString(key) },
-		func(d *cdr.Decoder) error {
-			epoch = d.GetUint64()
-			data = d.GetBytes()
-			return d.Err()
-		})
+		func(d *cdr.Decoder) error { return cp.UnmarshalCDR(d) })
 	if err != nil {
-		return 0, nil, mapStoreErr(err)
+		return Checkpoint{}, mapStoreErr(err)
 	}
-	return epoch, data, nil
+	return cp, nil
 }
 
 // Delete implements Store.
 func (c *StoreClient) Delete(ctx context.Context, key string) error {
-	return mapStoreErr(c.orb.Invoke(ctx, c.ref, opDelete, func(e *cdr.Encoder) { e.PutString(key) }, nil))
+	return mapStoreErr(c.orb.Call(ctx, c.ref, opDelete, func(e *cdr.Encoder) { e.PutString(key) }, nil))
 }
 
 // Keys implements Store.
 func (c *StoreClient) Keys(ctx context.Context) ([]string, error) {
 	var keys []string
-	err := c.orb.Invoke(ctx, c.ref, opKeys, nil, func(d *cdr.Decoder) error {
+	err := c.orb.Call(ctx, c.ref, opKeys, nil, func(d *cdr.Decoder) error {
 		keys = d.GetStringSeq()
 		return d.Err()
 	})

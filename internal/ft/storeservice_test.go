@@ -35,31 +35,31 @@ func TestStoreClientWireRoundTrip(t *testing.T) {
 	sc := newRemoteStore(t, NewMemStore())
 	ctx := context.Background()
 
-	if err := sc.Put(ctx, "svc", 2, []byte("state")); err != nil {
+	if err := putFull(ctx, sc, "svc", 2, []byte("state")); err != nil {
 		t.Fatal(err)
 	}
-	epoch, data, err := sc.Get(ctx, "svc")
+	epoch, data, err := getFull(ctx, sc, "svc")
 	if err != nil || epoch != 2 || string(data) != "state" {
 		t.Fatalf("got %d %q %v", epoch, data, err)
 	}
 
 	// Stale epoch comes back typed.
-	if err := sc.Put(ctx, "svc", 2, []byte("again")); !errors.Is(err, ErrStaleEpoch) {
+	if err := putFull(ctx, sc, "svc", 2, []byte("again")); !errors.Is(err, ErrStaleEpoch) {
 		t.Fatalf("stale put err = %v, want ErrStaleEpoch", err)
 	}
-	if err := sc.Put(ctx, "svc", 1, []byte("older")); !errors.Is(err, ErrStaleEpoch) {
+	if err := putFull(ctx, sc, "svc", 1, []byte("older")); !errors.Is(err, ErrStaleEpoch) {
 		t.Fatalf("rollback put err = %v, want ErrStaleEpoch", err)
 	}
 
 	// Missing checkpoint comes back typed.
-	if _, _, err := sc.Get(ctx, "ghost"); !errors.Is(err, ErrNoCheckpoint) {
+	if _, _, err := getFull(ctx, sc, "ghost"); !errors.Is(err, ErrNoCheckpoint) {
 		t.Fatalf("missing get err = %v, want ErrNoCheckpoint", err)
 	}
 
 	if err := sc.Delete(ctx, "svc"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := sc.Get(ctx, "svc"); !errors.Is(err, ErrNoCheckpoint) {
+	if _, _, err := getFull(ctx, sc, "svc"); !errors.Is(err, ErrNoCheckpoint) {
 		t.Fatalf("deleted get err = %v, want ErrNoCheckpoint", err)
 	}
 	keys, err := sc.Keys(ctx)
@@ -80,7 +80,7 @@ func TestStoreClientCorruptCheckpointOnWire(t *testing.T) {
 	sc := newRemoteStore(t, disk)
 	ctx := context.Background()
 
-	if err := sc.Put(ctx, "svc", 1, []byte("ok")); err != nil {
+	if err := putFull(ctx, sc, "svc", 1, []byte("ok")); err != nil {
 		t.Fatal(err)
 	}
 	// Corrupt the stored file behind the daemon's back.
@@ -92,7 +92,7 @@ func TestStoreClientCorruptCheckpointOnWire(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, _, err = sc.Get(ctx, "svc")
+	_, _, err = getFull(ctx, sc, "svc")
 	if err == nil {
 		t.Fatal("corrupt checkpoint read succeeded over the wire")
 	}
@@ -112,7 +112,7 @@ func TestStoreClientHonoursContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	start := time.Now()
-	err := sc.Put(ctx, "svc", 1, []byte("x"))
+	err := putFull(ctx, sc, "svc", 1, []byte("x"))
 	if err == nil {
 		t.Fatal("put with cancelled ctx succeeded")
 	}
@@ -147,22 +147,22 @@ func TestReplicatedStoreOverWire(t *testing.T) {
 	}
 	ctx := context.Background()
 
-	if err := rs.Put(ctx, "svc", 1, []byte("v1")); err != nil {
+	if err := putFull(ctx, rs, "svc", 1, []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
 	// Crash replica 0's whole ORB.
 	orbs[0].Shutdown()
-	if err := rs.Put(ctx, "svc", 2, []byte("v2")); err != nil {
+	if err := putFull(ctx, rs, "svc", 2, []byte("v2")); err != nil {
 		t.Fatalf("put with a dead replica: %v", err)
 	}
-	epoch, data, err := rs.Get(ctx, "svc")
+	epoch, data, err := getFull(ctx, rs, "svc")
 	if err != nil || epoch != 2 || string(data) != "v2" {
 		t.Fatalf("get with a dead replica: %d %q %v", epoch, data, err)
 	}
 	rs.WaitRepairs()
 	// The surviving backings both hold the newest epoch.
 	for i := 1; i < len(backings); i++ {
-		epoch, _, err := backings[i].Get(ctx, "svc")
+		epoch, _, err := getFull(ctx, backings[i], "svc")
 		if err != nil || epoch != 2 {
 			t.Fatalf("backing %d holds epoch %d, %v", i, epoch, err)
 		}

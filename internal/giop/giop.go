@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/cdr"
@@ -255,6 +256,13 @@ func getContexts(d *cdr.Decoder) ([]ServiceContext, error) {
 // fixed header).
 func (m *Message) encodeBody() []byte {
 	e := cdr.NewEncoder(64 + len(m.Body))
+	m.encodeBodyInto(e)
+	return e.Bytes()
+}
+
+// encodeBodyInto renders the type-specific portion of m into e, so Write
+// can ride a pooled encoder instead of allocating per message.
+func (m *Message) encodeBodyInto(e *cdr.Encoder) {
 	switch m.Type {
 	case MsgRequest:
 		putContexts(e, m.Contexts)
@@ -283,7 +291,6 @@ func (m *Message) encodeBody() []byte {
 	case MsgCloseConnection, MsgError:
 		// no body
 	}
-	return e.Bytes()
 }
 
 // alignPad returns the zero padding needed to bring off to an 8-byte
@@ -298,13 +305,14 @@ func alignPad(off int) []byte {
 func (m *Message) decodeBody(data []byte) error {
 	d := cdr.NewDecoder(data)
 	consumeBody := func() {
-		// Skip alignment padding; the remainder is the operation body.
+		// Skip alignment padding; the remainder is the operation body. The
+		// body aliases the read buffer rather than copying it: Read hands
+		// decodeBody a freshly assembled buffer that is never reused, so
+		// the alias is safe and saves a per-message allocation.
 		off := len(data) - d.Remaining()
 		pad := (8 - off%8) % 8
 		if d.Remaining() >= pad {
-			rest := data[off+pad:]
-			m.Body = make([]byte, len(rest))
-			copy(m.Body, rest)
+			m.Body = data[off+pad:]
 		}
 	}
 	switch m.Type {
@@ -360,19 +368,29 @@ const flagMoreFragments = 0x01
 // It is a variable so tests can exercise fragmentation with small bodies.
 var FragmentSize = 4 << 20
 
-// writeOne emits one raw protocol message.
+// writeBufPool recycles header+body scratch buffers across writeOne
+// calls. Oversized buffers (large checkpoint fragments) are dropped on
+// release so the pool retains only call-sized scratch.
+var writeBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+const writeBufRetain = 1 << 20
+
+// writeOne emits one raw protocol message as a single w.Write of header
+// plus body, assembled in a pooled scratch buffer (w copies the bytes
+// synchronously, so the scratch is safe to recycle on return).
 func writeOne(w io.Writer, typ MsgType, flags byte, body []byte) error {
-	hdr := make([]byte, HeaderSize, HeaderSize+len(body))
-	copy(hdr, Magic[:])
-	hdr[4] = Version
-	hdr[5] = byte(typ)
-	hdr[6] = flags
+	bp := writeBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, Magic[:]...)
+	buf = append(buf, Version, byte(typ), flags, 0)
 	n := uint32(len(body))
-	hdr[8] = byte(n >> 24)
-	hdr[9] = byte(n >> 16)
-	hdr[10] = byte(n >> 8)
-	hdr[11] = byte(n)
-	_, err := w.Write(append(hdr, body...))
+	buf = append(buf, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	buf = append(buf, body...)
+	_, err := w.Write(buf)
+	if cap(buf) <= writeBufRetain {
+		*bp = buf[:0]
+		writeBufPool.Put(bp)
+	}
 	return err
 }
 
@@ -380,7 +398,10 @@ func writeOne(w io.Writer, typ MsgType, flags byte, body []byte) error {
 // Callers multiplexing a connection must serialize whole Write calls (a
 // fragment train may not interleave with other messages).
 func Write(w io.Writer, m *Message) error {
-	body := m.encodeBody()
+	e := cdr.AcquireEncoder()
+	defer e.Release()
+	m.encodeBodyInto(e)
+	body := e.Bytes()
 	if len(body) > MaxMessageSize {
 		return ErrTooBig
 	}
@@ -417,10 +438,17 @@ func Write(w io.Writer, m *Message) error {
 // preceding fragmented message.
 var ErrOrphanFragment = errors.New("giop: fragment without initial message")
 
+// hdrPool recycles header scratch arrays: reading into a stack array
+// through the io.Reader interface forces it to the heap, so readOne
+// borrows a pooled one instead of allocating per message.
+var hdrPool = sync.Pool{New: func() any { return new([HeaderSize]byte) }}
+
 // readOne reads one raw protocol message: its type, flags and body.
 func readOne(r io.Reader) (MsgType, byte, []byte, error) {
-	var hdr [HeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	hp := hdrPool.Get().(*[HeaderSize]byte)
+	defer hdrPool.Put(hp)
+	hdr := hp[:]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		if err == io.ErrUnexpectedEOF {
 			return 0, 0, nil, ErrShortHeader
 		}

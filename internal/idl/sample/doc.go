@@ -5,4 +5,4 @@
 // drifts from the generator's output.
 package sample
 
-//go:generate go run repro/cmd/idlgen -in bank.idl -out bank_gen.go -package sample
+//go:generate go run repro/cmd/idlgen -in bank.idl -out bank_gen.go -package sample -source internal/idl/sample/bank.idl

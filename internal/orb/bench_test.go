@@ -1,0 +1,96 @@
+package orb
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cdr"
+)
+
+// echoServant returns its float64 sequence argument unchanged — a minimal
+// marshal-heavy operation for data-path microbenchmarks.
+type benchEchoServant struct{}
+
+func (benchEchoServant) TypeID() string { return "IDL:repro/Echo:1.0" }
+
+func (benchEchoServant) Invoke(_ *ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+	switch op {
+	case "echo":
+		v := in.GetFloat64Seq()
+		if err := in.Err(); err != nil {
+			return &SystemException{Kind: ExMarshal, Detail: err.Error()}
+		}
+		out.PutFloat64Seq(v)
+		return nil
+	case "note":
+		_ = in.GetFloat64Seq()
+		return in.Err()
+	default:
+		return BadOperation(op)
+	}
+}
+
+// newBenchWorld wires a client and a server ORB over loopback TCP with an
+// echo servant activated.
+func newBenchWorld(b *testing.B, clientOpts Options) (*ORB, ObjectRef) {
+	b.Helper()
+	srv := New(Options{Name: "bench-srv"})
+	b.Cleanup(srv.Shutdown)
+	ad, err := srv.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := ad.Activate("echo", benchEchoServant{})
+	clientOpts.Name = "bench-cli"
+	cli := New(clientOpts)
+	b.Cleanup(cli.Shutdown)
+	return cli, ref
+}
+
+// BenchmarkCallPath measures the synchronous invocation hot path end to
+// end (marshal, wire round trip, unmarshal) over loopback TCP. This is
+// the microbenchmark the PR-level allocation gate (cmd/benchgate) tracks.
+func BenchmarkCallPath(b *testing.B) {
+	args := make([]float64, 16)
+	for i := range args {
+		args[i] = float64(i)
+	}
+	writeArgs := func(e *cdr.Encoder) { e.PutFloat64Seq(args) }
+
+	b.Run("sync", func(b *testing.B) {
+		cli, ref := newBenchWorld(b, Options{})
+		ctx := context.Background()
+		var out []float64
+		readReply := func(d *cdr.Decoder) error {
+			out = d.GetFloat64Seq()
+			return d.Err()
+		}
+		// Warm the connection so the dial is not measured.
+		if err := cli.Call(ctx, ref, "echo", writeArgs, readReply); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cli.Call(ctx, ref, "echo", writeArgs, readReply); err != nil {
+				b.Fatal(err)
+			}
+		}
+		_ = out
+	})
+
+	b.Run("oneway", func(b *testing.B) {
+		cli, ref := newBenchWorld(b, Options{})
+		ctx := context.Background()
+		if err := cli.Notify(ctx, ref, "note", writeArgs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cli.Notify(ctx, ref, "note", writeArgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package orb
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/cdr"
+)
+
+// CallOption shapes a single invocation of the unified call API. Options
+// compose left to right over a zero CallOptions value (plus whatever the
+// calling layer's own defaults are: an ft proxy's retry policy, a
+// Caller's Opts). This one variadic surface replaces the historical
+// Invoke / InvokeOptions / InvokeFollowForwards triplet.
+type CallOption func(*CallOptions)
+
+// WithDeadline bounds the call end to end, measured from the moment it is
+// issued. The tighter of this, the context's own deadline and the ORB's
+// default CallTimeout wins; the remaining time travels in the SCDeadline
+// service context so expired requests are shed server-side.
+func WithDeadline(d time.Duration) CallOption {
+	return func(o *CallOptions) { o.Deadline = d }
+}
+
+// WithRetryBudget grants the resilient-call engine n recover-and-replay
+// rounds after the first failed attempt.
+func WithRetryBudget(n int) CallOption {
+	return func(o *CallOptions) { o.RetryBudget = n }
+}
+
+// WithBackoff spaces successive replay rounds.
+func WithBackoff(b Backoff) CallOption {
+	return func(o *CallOptions) { o.Backoff = b }
+}
+
+// WithIdempotent marks the operation safe to replay even when a failure
+// leaves the first attempt's outcome unknown (COMM_FAILURE after the
+// request was written).
+func WithIdempotent() CallOption {
+	return func(o *CallOptions) { o.Idempotent = true }
+}
+
+// WithFollowForwards makes the call transparently follow
+// LOCATION_FORWARD replies (bounded, to break forwarding loops).
+func WithFollowForwards() CallOption {
+	return func(o *CallOptions) { o.FollowForwards = true }
+}
+
+// WithoutCoalescing flushes this call's request immediately instead of
+// letting it ride the connection's write-coalescing window. Latency-
+// critical singleton calls opt out; fan-outs should stay coalescable.
+func WithoutCoalescing() CallOption {
+	return func(o *CallOptions) { o.NoCoalesce = true }
+}
+
+// CheckpointMode selects how a fault-tolerant proxy checkpoints around
+// one call. The plain ORB ignores it; ft.Proxy.Call interprets it.
+type CheckpointMode int
+
+const (
+	// CheckpointDefault follows the proxy's Policy (CheckpointEvery,
+	// AsyncCheckpoint).
+	CheckpointDefault CheckpointMode = iota
+	// CheckpointSync forces a synchronous checkpoint after this call,
+	// regardless of CheckpointEvery cadence or async pipelining.
+	CheckpointSync
+	// CheckpointAsync requests a pipelined (off-critical-path) store
+	// write for this call's checkpoint.
+	CheckpointAsync
+	// CheckpointSkip suppresses the post-call checkpoint entirely.
+	CheckpointSkip
+)
+
+// WithCheckpointMode overrides the proxy's checkpoint behaviour for this
+// call only (see CheckpointMode).
+func WithCheckpointMode(m CheckpointMode) CallOption {
+	return func(o *CallOptions) { o.Checkpoint = m }
+}
+
+// NewCallOptions folds opts over a zero CallOptions value. Layers that
+// mirror the Call API (ft proxies, generated stubs) use it to accept the
+// same variadic options.
+func NewCallOptions(opts ...CallOption) CallOptions {
+	var o CallOptions
+	o.Apply(opts...)
+	return o
+}
+
+// Apply folds opts onto o in place, so a layer can overlay per-call
+// options over its own defaults.
+func (o *CallOptions) Apply(opts ...CallOption) {
+	for _, opt := range opts {
+		opt(o)
+	}
+}
+
+// Call performs a synchronous remote invocation of op on ref: args fills
+// the request body (nil for no arguments), reply consumes the reply body
+// (nil for void results). Behaviour is shaped by the variadic options —
+// deadline, retry budget and backoff, idempotency, LOCATION_FORWARD
+// following, write-coalescing opt-out. With no options it is a plain
+// bounded round trip: transport failures surface as COMM_FAILURE, servant
+// errors as *UserException / *SystemException.
+//
+// Call replaces the Invoke / InvokeOptions / InvokeFollowForwards
+// triplet; those remain as thin deprecated shims.
+func (o *ORB) Call(ctx context.Context, ref ObjectRef, op string, args func(*cdr.Encoder), reply func(*cdr.Decoder) error, opts ...CallOption) error {
+	if len(opts) == 0 {
+		// Fast path: a zero CallOptions literal stays off the heap, while
+		// folding options pins the value with a pointer (escape analysis).
+		return o.CallOpts(ctx, ref, op, args, reply, CallOptions{})
+	}
+	co := NewCallOptions(opts...)
+	return o.CallOpts(ctx, ref, op, args, reply, co)
+}
+
+// CallOpts is Call with a pre-built CallOptions value — the non-variadic
+// core that layers holding a long-lived CallOptions (Caller, ft proxies)
+// invoke without re-folding options per call.
+func (o *ORB) CallOpts(ctx context.Context, ref ObjectRef, op string, args func(*cdr.Encoder), reply func(*cdr.Decoder) error, co CallOptions) error {
+	if ref.IsNil() {
+		return &SystemException{Kind: ExObjectNotExist, Detail: "nil object reference"}
+	}
+	if co.FollowForwards || co.RetryBudget > 0 {
+		c := &Caller{ORB: o, Opts: co}
+		c.SetRef(ref)
+		return c.Invoke(ctx, op, args, reply)
+	}
+	return o.invokeOnce(ctx, ref, op, args, reply, co)
+}
+
+// Call runs one resilient invocation through the engine: the caller's
+// configured Opts overlaid with the per-call options. It is the unified
+// surface mirroring ORB.Call.
+func (c *Caller) Call(ctx context.Context, op string, args func(*cdr.Encoder), reply func(*cdr.Decoder) error, opts ...CallOption) error {
+	if len(opts) == 0 {
+		return c.Invoke(ctx, op, args, reply)
+	}
+	co := c.Opts
+	co.Apply(opts...)
+	sub := &Caller{
+		ORB: c.ORB, Resolve: c.Resolve, Recover: c.Recover, Redirect: c.Redirect,
+		RetryOn: c.RetryOn, OnRetry: c.OnRetry, Opts: co, MaxHops: c.MaxHops,
+	}
+	sub.SetRef(c.Ref())
+	err := sub.Invoke(ctx, op, args, reply)
+	// Keep any reference the engine recovered to, so later calls through
+	// this Caller start from the live target.
+	if ref := sub.Ref(); !ref.IsNil() && ref != c.Ref() {
+		c.SetRef(ref)
+	}
+	return err
+}

@@ -19,8 +19,10 @@ type clientConn struct {
 	addr string
 	conn net.Conn
 
-	writeMu sync.Mutex
-	bw      *bufio.Writer
+	writeMu        sync.Mutex
+	bw             *bufio.Writer
+	flushScheduled bool        // a deferred flush will run; writes may ride it
+	flushTimer     *time.Timer // the scheduled flush (nil when none)
 
 	mu      sync.Mutex
 	pending map[uint32]chan *giop.Message
@@ -28,6 +30,9 @@ type clientConn struct {
 }
 
 // getConn returns the pooled connection for addr, dialing if necessary.
+// Concurrent callers for an un-pooled address coalesce onto a single
+// in-flight dial (per-address singleflight) instead of racing duplicate
+// connections and discarding the losers.
 func (o *ORB) getConn(addr string) (*clientConn, error) {
 	o.mu.Lock()
 	if o.shutdown {
@@ -38,8 +43,42 @@ func (o *ORB) getConn(addr string) (*clientConn, error) {
 		o.mu.Unlock()
 		return c, nil
 	}
+	if w, ok := o.dials[addr]; ok {
+		o.mu.Unlock()
+		o.counters.dialsCoalesced.Add(1)
+		<-w.done
+		return w.conn, w.err
+	}
+	w := &dialWait{done: make(chan struct{})}
+	o.dials[addr] = w
 	o.mu.Unlock()
 
+	c, err := o.dialConn(addr)
+
+	o.mu.Lock()
+	delete(o.dials, addr)
+	if err == nil {
+		if o.shutdown {
+			err = CommFailure("orb is shut down")
+			c.conn.Close()
+			c = nil
+		} else {
+			o.conns[addr] = c
+		}
+	}
+	o.mu.Unlock()
+
+	w.conn, w.err = c, err
+	close(w.done)
+	if err != nil {
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// dialConn establishes one outbound connection (no pooling).
+func (o *ORB) dialConn(addr string) (*clientConn, error) {
 	dctx, dcancel := context.WithTimeout(context.Background(), o.opts.DialTimeout)
 	nc, err := o.opts.Dialer.DialContext(dctx, "tcp", addr)
 	dcancel()
@@ -47,31 +86,52 @@ func (o *ORB) getConn(addr string) (*clientConn, error) {
 		return nil, CommFailure(fmt.Sprintf("dial %s: %v", addr, err))
 	}
 	o.counters.connectionsDialed.Add(1)
-	c := &clientConn{
+	return &clientConn{
 		orb:     o,
 		addr:    addr,
 		conn:    nc,
 		bw:      bufio.NewWriter(nc),
 		pending: make(map[uint32]chan *giop.Message),
-	}
+	}, nil
+}
 
-	o.mu.Lock()
-	if o.shutdown {
+// Prewarm establishes connections to addrs ahead of first use, so a
+// subsequent fan-out finds warm connections instead of serialising behind
+// dials. Managers call it with a resolver's offer set (the worker
+// addresses they are about to spread calls over). Already-pooled
+// addresses are skipped; dial failures are ignored (the call path simply
+// dials later). It returns the number of connections actually
+// established.
+func (o *ORB) Prewarm(ctx context.Context, addrs ...string) int {
+	var wg sync.WaitGroup
+	warmed := make([]bool, len(addrs))
+	for i, addr := range addrs {
+		if ctx != nil && ctx.Err() != nil {
+			break
+		}
+		o.mu.Lock()
+		_, pooled := o.conns[addr]
 		o.mu.Unlock()
-		nc.Close()
-		return nil, CommFailure("orb is shut down")
+		if pooled || addr == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			if _, err := o.getConn(addr); err == nil {
+				warmed[i] = true
+			}
+		}(i, addr)
 	}
-	if existing, ok := o.conns[addr]; ok {
-		// Lost a dial race; use the existing connection.
-		o.mu.Unlock()
-		nc.Close()
-		return existing, nil
+	wg.Wait()
+	n := 0
+	for _, ok := range warmed {
+		if ok {
+			n++
+		}
 	}
-	o.conns[addr] = c
-	o.mu.Unlock()
-
-	go c.readLoop()
-	return c, nil
+	o.counters.connectionsPrewarmed.Add(uint64(n))
+	return n
 }
 
 // readLoop dispatches replies to waiting callers until the stream dies.
@@ -130,13 +190,23 @@ func (c *clientConn) close(cause error) {
 	}
 }
 
+// replyChanPool recycles the 1-buffered reply channels used to hand a
+// reply from the read loop to the waiting caller. A channel is recycled
+// only after its caller has received from it: exactly one sender can ever
+// claim a pending entry (the map entry is removed under mu before the
+// send), so once the receive completes the channel is empty and unshared.
+// Abandoned channels (cancellation/timeout paths) are never recycled —
+// the read loop or close may still be mid-send on them.
+var replyChanPool = sync.Pool{New: func() any { return make(chan *giop.Message, 1) }}
+
 // register adds a reply channel for a request id. It fails if the
 // connection is already dead.
 func (c *clientConn) register(id uint32) (chan *giop.Message, error) {
-	ch := make(chan *giop.Message, 1)
+	ch := replyChanPool.Get().(chan *giop.Message)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
+		replyChanPool.Put(ch)
 		return nil, c.err
 	}
 	c.pending[id] = ch
@@ -157,8 +227,12 @@ func (c *clientConn) deadErr() error {
 	return c.err
 }
 
-// send writes one message under the write lock.
-func (c *clientConn) send(m *giop.Message) error {
+// send writes one message under the write lock. With flushNow false and a
+// configured CoalesceWindow the buffered bytes may wait up to the window
+// for concurrent writers to share the flush; message bytes are always
+// copied into the buffer synchronously, so callers may release pooled
+// encoders backing m.Body as soon as send returns.
+func (c *clientConn) send(m *giop.Message, flushNow bool) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	if err := c.deadErr(); err != nil {
@@ -168,14 +242,43 @@ func (c *clientConn) send(m *giop.Message) error {
 		c.close(CommFailure(fmt.Sprintf("write to %s: %v", c.addr, err)))
 		return c.deadErr()
 	}
-	if err := c.bw.Flush(); err != nil {
-		c.close(CommFailure(fmt.Sprintf("flush to %s: %v", c.addr, err)))
-		return c.deadErr()
+	window := c.orb.opts.CoalesceWindow
+	switch {
+	case flushNow || window <= 0:
+		if c.flushTimer != nil {
+			c.flushTimer.Stop()
+			c.flushTimer = nil
+			c.flushScheduled = false
+		}
+		if err := c.bw.Flush(); err != nil {
+			c.close(CommFailure(fmt.Sprintf("flush to %s: %v", c.addr, err)))
+			return c.deadErr()
+		}
+	case c.flushScheduled:
+		// A flush is already on its way; this write rides it for free.
+		c.orb.counters.flushesCoalesced.Add(1)
+	default:
+		c.flushScheduled = true
+		c.flushTimer = time.AfterFunc(window, c.flushDeferred)
 	}
 	if m.Type == giop.MsgRequest {
 		c.orb.counters.requestsSent.Add(1)
 	}
 	return nil
+}
+
+// flushDeferred runs the scheduled coalesced flush.
+func (c *clientConn) flushDeferred() {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.flushScheduled = false
+	c.flushTimer = nil
+	if c.deadErr() != nil {
+		return
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.close(CommFailure(fmt.Sprintf("flush to %s: %v", c.addr, err)))
+	}
 }
 
 // abandonError maps a context's termination cause to the system exception
@@ -193,7 +296,7 @@ func abandonError(ctx context.Context, m *giop.Message) error {
 // pending entry is abandoned and a MsgCancelRequest is sent so the server
 // can abort the dispatch. Requests with a context deadline carry the
 // remaining time in the SCDeadline service context.
-func (c *clientConn) roundTrip(ctx context.Context, m *giop.Message) (*giop.Message, error) {
+func (c *clientConn) roundTrip(ctx context.Context, m *giop.Message, noCoalesce bool) (*giop.Message, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, abandonError(ctx, m)
 	}
@@ -204,12 +307,15 @@ func (c *clientConn) roundTrip(ctx context.Context, m *giop.Message) (*giop.Mess
 	if err != nil {
 		return nil, err
 	}
-	if err := c.send(m); err != nil {
+	if err := c.send(m, noCoalesce); err != nil {
 		c.unregister(m.RequestID)
 		return nil, err
 	}
 	select {
 	case reply := <-ch:
+		// The single possible send has completed, so the drained channel
+		// can go back to the pool.
+		replyChanPool.Put(ch)
 		if reply == nil {
 			err := c.deadErr()
 			if err == nil {
@@ -222,7 +328,7 @@ func (c *clientConn) roundTrip(ctx context.Context, m *giop.Message) (*giop.Mess
 		c.unregister(m.RequestID)
 		// Tell the server to abort the dispatch; best-effort (the reply,
 		// if any, is discarded by the read loop since we unregistered).
-		_ = c.send(&giop.Message{Type: giop.MsgCancelRequest, RequestID: m.RequestID})
+		_ = c.send(&giop.Message{Type: giop.MsgCancelRequest, RequestID: m.RequestID}, true)
 		c.orb.counters.cancelsSent.Add(1)
 		return nil, abandonError(ctx, m)
 	}
@@ -244,18 +350,30 @@ func (o *ORB) callContext(ctx context.Context, opts CallOptions) (context.Contex
 	return ctx, func() {}
 }
 
-// Invoke performs a synchronous remote call on ref: writeArgs fills the
-// request body, readReply (which may be nil for void results) consumes the
-// reply body. The call is bounded by ctx and the ORB's default CallTimeout;
-// cancelling ctx abandons the reply and sends a wire-level cancel.
-// Transport failures surface as COMM_FAILURE; servant exceptions surface as
-// *UserException or *SystemException.
+// Invoke performs a synchronous remote call on ref.
+//
+// Deprecated: use Call. Invoke remains as a thin shim over the unified
+// call API and will not grow new capabilities.
 func (o *ORB) Invoke(ctx context.Context, ref ObjectRef, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
-	return o.InvokeOptions(ctx, ref, op, writeArgs, readReply, CallOptions{})
+	return o.CallOpts(ctx, ref, op, writeArgs, readReply, CallOptions{})
 }
 
 // InvokeOptions is Invoke with explicit per-call options.
+//
+// Deprecated: use Call with options, or CallOpts with a prebuilt
+// CallOptions value.
 func (o *ORB) InvokeOptions(ctx context.Context, ref ObjectRef, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error, opts CallOptions) error {
+	return o.CallOpts(ctx, ref, op, writeArgs, readReply, opts)
+}
+
+// invokeOnce is the single-attempt core under Call/CallOpts: one wire
+// round trip, reply decoded, no retries or forward-following. writeArgs
+// fills the request body, readReply (which may be nil for void results)
+// consumes the reply body. The call is bounded by ctx and the ORB's
+// default CallTimeout; cancelling ctx abandons the reply and sends a
+// wire-level cancel. Transport failures surface as COMM_FAILURE; servant
+// exceptions surface as *UserException or *SystemException.
+func (o *ORB) invokeOnce(ctx context.Context, ref ObjectRef, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error, opts CallOptions) error {
 	if ref.IsNil() {
 		return &SystemException{Kind: ExObjectNotExist, Detail: "nil object reference"}
 	}
@@ -266,23 +384,31 @@ func (o *ORB) InvokeOptions(ctx context.Context, ref ObjectRef, op string, write
 	return decodeReply(reply, readReply)
 }
 
-// invokeRaw performs the wire round trip and returns the raw reply.
+// invokeRaw performs the wire round trip and returns the raw reply. The
+// request body rides a pooled encoder that is released before return —
+// safe because send copies the bytes into the connection buffer
+// synchronously and all interceptors have run by then.
 func (o *ORB) invokeRaw(ctx context.Context, ref ObjectRef, op string, writeArgs func(*cdr.Encoder), opts CallOptions) (*giop.Message, error) {
-	m := o.buildRequest(ref, op, writeArgs)
+	m, enc := o.buildRequest(ref, op, writeArgs)
 	o.interceptSendRequest(m)
 	ctx = o.callRequestSent(ctx, m)
 	reply, err := o.transferRequest(ctx, ref, m, opts)
 	if err != nil {
 		o.callReplyReceived(ctx, m, nil, err)
+		enc.Release()
 		return nil, err
 	}
 	o.interceptReceiveReply(reply)
 	o.callReplyReceived(ctx, m, reply, nil)
+	enc.Release()
 	return reply, nil
 }
 
-// buildRequest assembles an un-intercepted request message.
-func (o *ORB) buildRequest(ref ObjectRef, op string, writeArgs func(*cdr.Encoder)) *giop.Message {
+// buildRequest assembles an un-intercepted request message. The returned
+// encoder (nil when writeArgs is nil) backs m.Body; the caller must
+// Release it once the message has been handed to send and all observers
+// of m.Body have run.
+func (o *ORB) buildRequest(ref ObjectRef, op string, writeArgs func(*cdr.Encoder)) (*giop.Message, *cdr.Encoder) {
 	m := &giop.Message{
 		Type:             giop.MsgRequest,
 		RequestID:        o.nextRequestID(),
@@ -290,12 +416,13 @@ func (o *ORB) buildRequest(ref ObjectRef, op string, writeArgs func(*cdr.Encoder
 		ObjectKey:        ref.Key,
 		Operation:        op,
 	}
+	var e *cdr.Encoder
 	if writeArgs != nil {
-		e := cdr.NewEncoder(128)
+		e = cdr.AcquireEncoder()
 		writeArgs(e)
 		m.Body = e.Bytes()
 	}
-	return m
+	return m, e
 }
 
 // transferRequest sends an already-intercepted request and returns the
@@ -312,7 +439,7 @@ func (o *ORB) transferRequest(ctx context.Context, ref ObjectRef, m *giop.Messag
 	}
 	cctx, cancel := o.callContext(ctx, opts)
 	defer cancel()
-	return c.roundTrip(cctx, m)
+	return c.roundTrip(cctx, m, opts.NoCoalesce)
 }
 
 // Notify performs a oneway invocation (IDL "oneway" semantics): the
@@ -327,7 +454,7 @@ func (o *ORB) Notify(ctx context.Context, ref ObjectRef, op string, writeArgs fu
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	m := o.buildRequest(ref, op, writeArgs)
+	m, enc := o.buildRequest(ref, op, writeArgs)
 	m.ResponseExpected = false
 	o.interceptSendRequest(m)
 	ctx = o.callRequestSent(ctx, m)
@@ -335,10 +462,13 @@ func (o *ORB) Notify(ctx context.Context, ref ObjectRef, op string, writeArgs fu
 	// Oneways have no reply; completion for the call interceptors is the
 	// moment the request is on the wire (or failed to get there).
 	o.callReplyReceived(ctx, m, nil, err)
+	enc.Release()
 	return err
 }
 
 // notifyTransfer puts an already-intercepted oneway request on the wire.
+// Oneways are the natural coalescing customer: with a CoalesceWindow set,
+// a burst of notifications shares one flush.
 func (o *ORB) notifyTransfer(ctx context.Context, ref ObjectRef, m *giop.Message) error {
 	if err := ctx.Err(); err != nil {
 		return abandonError(ctx, m)
@@ -350,39 +480,49 @@ func (o *ORB) notifyTransfer(ctx context.Context, ref ObjectRef, m *giop.Message
 	if err != nil {
 		return err
 	}
-	return c.send(m)
+	return c.send(m, false)
 }
 
-// decodeReply maps a reply message to the caller's result or error.
+// decodeReply maps a reply message to the caller's result or error. The
+// reply body is walked with a pooled decoder; decoded values are copies,
+// so nothing aliases the pool after return.
 func decodeReply(reply *giop.Message, readReply func(*cdr.Decoder) error) error {
 	switch reply.ReplyStatus {
 	case giop.ReplyNoException:
 		if readReply == nil {
 			return nil
 		}
-		d := cdr.NewDecoder(reply.Body)
-		if err := readReply(d); err != nil {
-			return err
+		d := cdr.AcquireDecoder(reply.Body)
+		err := readReply(d)
+		if err == nil {
+			err = d.Err()
 		}
-		return d.Err()
+		d.Release()
+		return err
 	case giop.ReplyUserException:
 		ue := new(UserException)
-		d := cdr.NewDecoder(reply.Body)
-		if err := ue.UnmarshalCDR(d); err != nil {
+		d := cdr.AcquireDecoder(reply.Body)
+		err := ue.UnmarshalCDR(d)
+		d.Release()
+		if err != nil {
 			return &SystemException{Kind: ExMarshal, Detail: "undecodable user exception"}
 		}
 		return ue
 	case giop.ReplySystemException:
 		se := new(SystemException)
-		d := cdr.NewDecoder(reply.Body)
-		if err := se.UnmarshalCDR(d); err != nil {
+		d := cdr.AcquireDecoder(reply.Body)
+		err := se.UnmarshalCDR(d)
+		d.Release()
+		if err != nil {
 			return &SystemException{Kind: ExMarshal, Detail: "undecodable system exception"}
 		}
 		return se
 	case giop.ReplyLocationForward:
 		var fwd ObjectRef
-		d := cdr.NewDecoder(reply.Body)
-		if err := fwd.UnmarshalCDR(d); err != nil {
+		d := cdr.AcquireDecoder(reply.Body)
+		err := fwd.UnmarshalCDR(d)
+		d.Release()
+		if err != nil {
 			return &SystemException{Kind: ExMarshal, Detail: "undecodable forward reference"}
 		}
 		return &ForwardError{Target: fwd}
@@ -402,12 +542,11 @@ func (e *ForwardError) Error() string {
 }
 
 // InvokeFollowForwards is Invoke plus transparent LOCATION_FORWARD
-// following (bounded to avoid forwarding loops). It is a thin shim over
-// the resilient-call engine with no retry budget.
+// following (bounded to avoid forwarding loops).
+//
+// Deprecated: use Call with WithFollowForwards.
 func (o *ORB) InvokeFollowForwards(ctx context.Context, ref ObjectRef, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
-	c := &Caller{ORB: o}
-	c.SetRef(ref)
-	return c.Invoke(ctx, op, writeArgs, readReply)
+	return o.Call(ctx, ref, op, writeArgs, readReply, WithFollowForwards())
 }
 
 // Locate asks the adapter at ref.Addr whether it hosts ref.Key (GIOP
@@ -424,7 +563,8 @@ func (o *ORB) Locate(ctx context.Context, ref ObjectRef) (bool, error) {
 	}
 	cctx, cancel := o.callContext(ctx, CallOptions{})
 	defer cancel()
-	reply, err := c.roundTrip(cctx, m)
+	// Locate is a latency-sensitive liveness probe; never coalesce it.
+	reply, err := c.roundTrip(cctx, m, true)
 	if err != nil {
 		return false, err
 	}

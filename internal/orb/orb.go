@@ -85,6 +85,13 @@ type Options struct {
 	// MaxServerWorkers caps concurrently dispatched requests per adapter
 	// connection. Zero means 64.
 	MaxServerWorkers int
+	// CoalesceWindow enables client-side write coalescing: instead of
+	// flushing the socket once per request, a written request waits up to
+	// this long for concurrent callers on the same connection to share the
+	// flush (and its syscall). Zero disables coalescing — every request is
+	// flushed immediately. Individual calls opt out with
+	// WithoutCoalescing / CallOptions.NoCoalesce.
+	CoalesceWindow time.Duration
 	// Dialer opens outbound connections. Nil means a plain net.Dialer.
 	// This is the transport seam fault-injection layers plug into.
 	Dialer Dialer
@@ -102,8 +109,18 @@ type ORB struct {
 
 	mu       sync.Mutex
 	conns    map[string]*clientConn // keyed by remote address
+	dials    map[string]*dialWait   // in-flight dials, keyed by address
 	adapters []*Adapter
 	shutdown bool
+}
+
+// dialWait is one in-flight dial: concurrent callers for the same address
+// wait on done instead of racing their own dials (per-address
+// singleflight).
+type dialWait struct {
+	done chan struct{}
+	conn *clientConn
+	err  error
 }
 
 // New creates an ORB (the CORBA ORB_init analogue).
@@ -120,7 +137,11 @@ func New(opts Options) *ORB {
 	if opts.Listen == nil {
 		opts.Listen = net.Listen
 	}
-	return &ORB{opts: opts, conns: make(map[string]*clientConn)}
+	return &ORB{
+		opts:  opts,
+		conns: make(map[string]*clientConn),
+		dials: make(map[string]*dialWait),
+	}
 }
 
 // Name returns the ORB's configured name.

@@ -37,6 +37,15 @@ type CallOptions struct {
 	// (OBJECT_NOT_EXIST: the dispatch was rejected). The ft proxies set
 	// their own classifier because checkpoint/restore makes replay safe.
 	Idempotent bool
+	// FollowForwards makes the call transparently follow LOCATION_FORWARD
+	// replies (bounded by the engine's MaxHops to break forwarding loops).
+	FollowForwards bool
+	// NoCoalesce flushes this call's request immediately instead of riding
+	// the connection's write-coalescing window (Options.CoalesceWindow).
+	NoCoalesce bool
+	// Checkpoint overrides a fault-tolerant proxy's checkpoint behaviour
+	// for this call. The plain ORB ignores it; ft.Proxy.Call interprets it.
+	Checkpoint CheckpointMode
 }
 
 // Backoff is a bounded exponential backoff schedule with optional jitter.
@@ -361,11 +370,11 @@ func (c *Caller) countRecovery(ok bool) {
 	}
 }
 
-// Invoke is the engine's synchronous convenience: a resilient
-// ORB.InvokeOptions of op with the caller's options.
+// Invoke is the engine's synchronous convenience: a resilient single-shot
+// invocation of op with the caller's options per attempt.
 func (c *Caller) Invoke(ctx context.Context, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
 	return c.Do(ctx, op, func(ctx context.Context, ref ObjectRef) error {
-		return c.ORB.InvokeOptions(ctx, ref, op, writeArgs, readReply, c.Opts)
+		return c.ORB.invokeOnce(ctx, ref, op, writeArgs, readReply, c.Opts)
 	})
 }
 

@@ -28,6 +28,7 @@ type Request struct {
 	intercepted bool
 	done        chan struct{}
 	msg         *giop.Message   // the request as sent (for ReplyReceived)
+	benc        *cdr.Encoder    // pooled encoder backing msg.Body
 	sentCtx     context.Context // ctx after the RequestSent hooks ran
 	reply       *giop.Message
 	err         error
@@ -77,13 +78,13 @@ func (r *Request) Send() {
 	r.sent = true
 	r.mu.Unlock()
 
-	m := r.orb.buildRequest(r.ref, r.op, func(e *cdr.Encoder) {
+	m, enc := r.orb.buildRequest(r.ref, r.op, func(e *cdr.Encoder) {
 		e.PutRaw(r.args.Bytes())
 	})
 	r.orb.interceptSendRequest(m)
 	sctx := r.orb.callRequestSent(r.ctx, m)
 	r.mu.Lock()
-	r.msg, r.sentCtx = m, sctx
+	r.msg, r.benc, r.sentCtx = m, enc, sctx
 	r.mu.Unlock()
 
 	go func() {
@@ -121,10 +122,13 @@ func (r *Request) GetResponse(readReply func(*cdr.Decoder) error) error {
 	r.mu.Lock()
 	intercepted := r.intercepted
 	r.intercepted = true
+	benc := r.benc
+	r.benc = nil
 	r.mu.Unlock()
 	if r.err != nil {
 		if !intercepted {
 			r.orb.callReplyReceived(r.sentCtx, r.msg, nil, r.err)
+			benc.Release()
 		}
 		return r.err
 	}
@@ -133,6 +137,9 @@ func (r *Request) GetResponse(readReply func(*cdr.Decoder) error) error {
 		// most once per request (GetResponse may be called repeatedly).
 		r.orb.interceptReceiveReply(r.reply)
 		r.orb.callReplyReceived(r.sentCtx, r.msg, r.reply, nil)
+		// The pooled request-body encoder is only released once every
+		// observer of msg.Body has run.
+		benc.Release()
 	}
 	return decodeReply(r.reply, readReply)
 }

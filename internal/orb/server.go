@@ -354,11 +354,12 @@ func (a *Adapter) serveConn(conn net.Conn) {
 					return
 				}
 				a.orb.counters.inFlight.Add(1)
-				reply := a.dispatch(rctx, peer, req)
+				reply, release := a.dispatch(rctx, peer, req)
 				a.orb.counters.inFlight.Add(-1)
 				if req.ResponseExpected {
 					write(reply)
 				}
+				release()
 			}(m, rctx, rcancel)
 		case giop.MsgLocateRequest:
 			status := giop.LocateUnknownObject
@@ -380,8 +381,10 @@ func (a *Adapter) serveConn(conn net.Conn) {
 }
 
 // dispatch runs one request through interceptors and the target servant,
-// translating panics and errors into exception replies.
-func (a *Adapter) dispatch(rctx context.Context, peer string, req *giop.Message) *giop.Message {
+// translating panics and errors into exception replies. The reply body
+// rides a pooled encoder: the returned release func must be called after
+// the reply has been written (or discarded, for oneways).
+func (a *Adapter) dispatch(rctx context.Context, peer string, req *giop.Message) (*giop.Message, func()) {
 	a.orb.counters.requestsServed.Add(1)
 	a.orb.interceptReceiveRequest(req)
 	rctx = a.orb.callDispatchStart(rctx, req)
@@ -389,36 +392,36 @@ func (a *Adapter) dispatch(rctx context.Context, peer string, req *giop.Message)
 	reply := &giop.Message{Type: giop.MsgReply, RequestID: req.RequestID}
 	ctx := &ServerContext{ORB: a.orb, Adapter: a, Peer: peer, Request: req, ctx: rctx}
 
+	out := cdr.AcquireEncoder()
+	in := cdr.AcquireDecoder(req.Body)
 	sv, ok := a.Resolve(req.ObjectKey)
 	if !ok || a.isClosed() {
-		setReplyError(reply, ObjectNotExist(req.ObjectKey))
+		encodeReplyError(reply, ObjectNotExist(req.ObjectKey), out)
 	} else if req.Operation == OpIsA {
 		// Reserved operation handled by the adapter for every servant
 		// (CORBA Object::_is_a analogue): type compatibility check.
-		in := cdr.NewDecoder(req.Body)
 		want := in.GetString()
 		if err := in.Err(); err != nil {
-			setReplyError(reply, &SystemException{Kind: ExMarshal, Detail: err.Error()})
+			encodeReplyError(reply, &SystemException{Kind: ExMarshal, Detail: err.Error()}, out)
 		} else {
-			out := cdr.NewEncoder(8)
 			out.PutBool(want == sv.TypeID())
 			reply.ReplyStatus = giop.ReplyNoException
 			reply.Body = out.Bytes()
 		}
 	} else {
-		out := cdr.NewEncoder(128)
-		err := safeInvoke(sv, ctx, req.Operation, cdr.NewDecoder(req.Body), out)
+		err := safeInvoke(sv, ctx, req.Operation, in, out)
 		if err != nil {
-			setReplyError(reply, err)
+			encodeReplyError(reply, err, out)
 		} else {
 			reply.ReplyStatus = giop.ReplyNoException
 			reply.Body = out.Bytes()
 		}
 	}
+	in.Release()
 	reply.Contexts = append(reply.Contexts, ctx.replyContexts...)
 	a.orb.interceptSendReply(reply)
 	a.orb.callDispatchEnd(rctx, req, reply)
-	return reply
+	return reply, out.Release
 }
 
 // safeInvoke shields the dispatcher from servant panics, converting them
@@ -435,7 +438,13 @@ func safeInvoke(sv Servant, ctx *ServerContext, op string, in *cdr.Decoder, out 
 
 // setReplyError encodes err into reply as a user or system exception.
 func setReplyError(reply *giop.Message, err error) {
-	e := cdr.NewEncoder(64)
+	encodeReplyError(reply, err, cdr.NewEncoder(64))
+}
+
+// encodeReplyError encodes err into reply using e (reset first), so the
+// dispatch hot path can reuse its pooled encoder for error bodies.
+func encodeReplyError(reply *giop.Message, err error, e *cdr.Encoder) {
+	e.Reset()
 	switch x := err.(type) {
 	case *UserException:
 		reply.ReplyStatus = giop.ReplyUserException

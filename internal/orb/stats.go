@@ -19,6 +19,17 @@ type Stats struct {
 	ConnectionsAccepted uint64
 	// ConnectionsDialed counts outbound connections established.
 	ConnectionsDialed uint64
+	// DialsCoalesced counts getConn calls that joined another caller's
+	// in-flight dial instead of racing a duplicate connection (per-address
+	// dial singleflight).
+	DialsCoalesced uint64
+	// FlushesCoalesced counts request writes that rode an already-scheduled
+	// flush inside the write-coalescing window instead of paying their own
+	// flush syscall (see Options.CoalesceWindow).
+	FlushesCoalesced uint64
+	// ConnectionsPrewarmed counts connections established ahead of first
+	// use by ORB.Prewarm.
+	ConnectionsPrewarmed uint64
 	// CancelsSent counts MsgCancelRequest messages written after a call
 	// was abandoned (context cancelled or deadline expired).
 	CancelsSent uint64
@@ -44,35 +55,41 @@ type Stats struct {
 
 // orbCounters is the internal atomic representation.
 type orbCounters struct {
-	requestsSent        atomic.Uint64
-	repliesReceived     atomic.Uint64
-	requestsServed      atomic.Uint64
-	connectionsAccepted atomic.Uint64
-	connectionsDialed   atomic.Uint64
-	cancelsSent         atomic.Uint64
-	cancelsReceived     atomic.Uint64
-	requestsShed        atomic.Uint64
-	retriesAttempted    atomic.Uint64
-	recoveriesSucceeded atomic.Uint64
-	recoveriesFailed    atomic.Uint64
-	inFlight            atomic.Int64
+	requestsSent         atomic.Uint64
+	repliesReceived      atomic.Uint64
+	requestsServed       atomic.Uint64
+	connectionsAccepted  atomic.Uint64
+	connectionsDialed    atomic.Uint64
+	dialsCoalesced       atomic.Uint64
+	flushesCoalesced     atomic.Uint64
+	connectionsPrewarmed atomic.Uint64
+	cancelsSent          atomic.Uint64
+	cancelsReceived      atomic.Uint64
+	requestsShed         atomic.Uint64
+	retriesAttempted     atomic.Uint64
+	recoveriesSucceeded  atomic.Uint64
+	recoveriesFailed     atomic.Uint64
+	inFlight             atomic.Int64
 }
 
 // Stats returns a snapshot of the ORB's counters.
 func (o *ORB) Stats() Stats {
 	return Stats{
-		RequestsSent:        o.counters.requestsSent.Load(),
-		RepliesReceived:     o.counters.repliesReceived.Load(),
-		RequestsServed:      o.counters.requestsServed.Load(),
-		ConnectionsAccepted: o.counters.connectionsAccepted.Load(),
-		ConnectionsDialed:   o.counters.connectionsDialed.Load(),
-		CancelsSent:         o.counters.cancelsSent.Load(),
-		CancelsReceived:     o.counters.cancelsReceived.Load(),
-		RequestsShed:        o.counters.requestsShed.Load(),
-		RetriesAttempted:    o.counters.retriesAttempted.Load(),
-		RecoveriesSucceeded: o.counters.recoveriesSucceeded.Load(),
-		RecoveriesFailed:    o.counters.recoveriesFailed.Load(),
-		InFlight:            o.counters.inFlight.Load(),
+		RequestsSent:         o.counters.requestsSent.Load(),
+		RepliesReceived:      o.counters.repliesReceived.Load(),
+		RequestsServed:       o.counters.requestsServed.Load(),
+		ConnectionsAccepted:  o.counters.connectionsAccepted.Load(),
+		ConnectionsDialed:    o.counters.connectionsDialed.Load(),
+		DialsCoalesced:       o.counters.dialsCoalesced.Load(),
+		FlushesCoalesced:     o.counters.flushesCoalesced.Load(),
+		ConnectionsPrewarmed: o.counters.connectionsPrewarmed.Load(),
+		CancelsSent:          o.counters.cancelsSent.Load(),
+		CancelsReceived:      o.counters.cancelsReceived.Load(),
+		RequestsShed:         o.counters.requestsShed.Load(),
+		RetriesAttempted:     o.counters.retriesAttempted.Load(),
+		RecoveriesSucceeded:  o.counters.recoveriesSucceeded.Load(),
+		RecoveriesFailed:     o.counters.recoveriesFailed.Load(),
+		InFlight:             o.counters.inFlight.Load(),
 	}
 }
 
@@ -89,6 +106,9 @@ func (o *ORB) ExportStats(reg *obs.Registry) {
 		{"orb_requests_served_total", "Server-side dispatches across all adapters.", &o.counters.requestsServed},
 		{"orb_connections_accepted_total", "Inbound connections accepted.", &o.counters.connectionsAccepted},
 		{"orb_connections_dialed_total", "Outbound connections established.", &o.counters.connectionsDialed},
+		{"orb_dials_coalesced_total", "getConn calls that joined an in-flight dial.", &o.counters.dialsCoalesced},
+		{"orb_flushes_coalesced_total", "Request writes that shared a coalesced flush.", &o.counters.flushesCoalesced},
+		{"orb_connections_prewarmed_total", "Connections established ahead of first use by Prewarm.", &o.counters.connectionsPrewarmed},
 		{"orb_cancels_sent_total", "Wire-level cancels written for abandoned calls.", &o.counters.cancelsSent},
 		{"orb_cancels_received_total", "Wire-level cancels acted on by the server side.", &o.counters.cancelsReceived},
 		{"orb_requests_shed_total", "Requests rejected by deadline-aware admission.", &o.counters.requestsShed},

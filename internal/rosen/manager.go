@@ -190,6 +190,9 @@ func (m *Manager) ProxyStats() ft.Stats {
 		total.CheckpointFailures += s.CheckpointFailures
 		total.Recoveries += s.Recoveries
 		total.Replays += s.Replays
+		total.CheckpointBytes += s.CheckpointBytes
+		total.DeltaCheckpoints += s.DeltaCheckpoints
+		total.AsyncCheckpoints += s.AsyncCheckpoints
 	}
 	return total
 }
@@ -244,7 +247,25 @@ func (m *Manager) Place(ctx context.Context) error {
 		m.handles = append(m.handles, plainHandle{orb: m.orb, ref: ref})
 		m.refs = append(m.refs, ref)
 	}
+	// Warm the transport to every placed worker before the first round,
+	// so round 1 does not pay the TCP dials serially.
+	addrs := make([]string, 0, len(m.refs))
+	for _, ref := range m.refs {
+		addrs = append(addrs, ref.Addr)
+	}
+	m.orb.Prewarm(ctx, addrs...)
 	return nil
+}
+
+// Close releases per-worker resources: each fault-tolerant proxy's async
+// checkpoint pipeline is drained and stopped. The manager stays usable —
+// later checkpoints are simply stored synchronously.
+func (m *Manager) Close() {
+	for _, h := range m.handles {
+		if ph, ok := h.(proxyHandle); ok {
+			_ = ph.p.Close()
+		}
+	}
 }
 
 func proxyOptions(o *FTOptions) []ft.ProxyOption {
@@ -262,10 +283,10 @@ type keyedStore struct {
 	key   string
 }
 
-func (s keyedStore) Put(ctx context.Context, _ string, epoch uint64, data []byte) error {
-	return s.inner.Put(ctx, s.key, epoch, data)
+func (s keyedStore) Put(ctx context.Context, _ string, cp ft.Checkpoint) error {
+	return s.inner.Put(ctx, s.key, cp)
 }
-func (s keyedStore) Get(ctx context.Context, _ string) (uint64, []byte, error) {
+func (s keyedStore) Get(ctx context.Context, _ string) (ft.Checkpoint, error) {
 	return s.inner.Get(ctx, s.key)
 }
 func (s keyedStore) Delete(ctx context.Context, _ string) error { return s.inner.Delete(ctx, s.key) }
@@ -282,6 +303,9 @@ func (m *Manager) Run(ctx context.Context) (*Result, error) {
 	if err := m.Place(ctx); err != nil {
 		return nil, err
 	}
+	// Land every pipelined checkpoint before Run returns, so callers
+	// reading the store (or ProxyStats) observe the final epochs.
+	defer m.Close()
 	d, err := opt.NewDecomposition(m.cfg.N, m.cfg.Workers)
 	if err != nil {
 		return nil, err
