@@ -1,11 +1,12 @@
 // Command benchgate converts `go test -bench -benchmem` output into a
-// machine-readable JSON artifact and gates allocation regressions against
-// a checked-in baseline: CI fails when any tracked benchmark's allocs/op
-// grows past the allowed percentage over its baseline value.
+// machine-readable JSON artifact and gates regressions against a
+// checked-in baseline: CI fails when any tracked benchmark's allocs/op
+// (or, with -max-time-regress, its ns/op) grows past the allowed
+// percentage over its baseline value.
 //
 // Usage:
 //
-//	go test -run '^$' -bench X -benchmem ./... | benchgate -out BENCH_PR5.json -baseline BENCH_BASELINE_PR5.json
+//	go test -run '^$' -bench X -benchmem ./... | benchgate -out BENCH_PR6.json -baseline BENCH_BASELINE_PR6.json
 //
 // With no -baseline the tool only records. The baseline file has the same
 // schema as -out, so promoting a run to baseline is a file copy.
@@ -105,6 +106,7 @@ func main() {
 	out := flag.String("out", "", "write parsed results as JSON to this file")
 	baseline := flag.String("baseline", "", "baseline JSON to gate allocs/op against")
 	maxRegress := flag.Float64("max-allocs-regress", 10, "allowed allocs/op growth over baseline, percent")
+	maxTimeRegress := flag.Float64("max-time-regress", 0, "allowed ns/op growth over baseline, percent (0: ns/op not gated)")
 	flag.Parse()
 
 	results, err := parse(bufio.NewScanner(os.Stdin))
@@ -140,20 +142,39 @@ func main() {
 	failed := false
 	for _, cur := range results {
 		b, ok := baseBy[cur.Name]
-		if !ok || b.AllocsOp == 0 {
+		if !ok {
 			continue
 		}
-		growth := 100 * (cur.AllocsOp - b.AllocsOp) / b.AllocsOp
-		status := "ok"
-		if growth > *maxRegress {
-			status = "FAIL"
+		if b.AllocsOp != 0 {
+			growth := 100 * (cur.AllocsOp - b.AllocsOp) / b.AllocsOp
+			status := "ok"
+			if growth > *maxRegress {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%-40s allocs/op %8.1f -> %8.1f (%+6.1f%%) %s\n",
+				cur.Name, b.AllocsOp, cur.AllocsOp, growth, status)
+		} else if cur.AllocsOp > b.AllocsOp {
+			// A zero-alloc baseline is an absolute promise: any allocation
+			// at all is a regression (percentages cannot express this).
 			failed = true
+			fmt.Printf("%-40s allocs/op %8.1f -> %8.1f FAIL (zero-alloc baseline)\n",
+				cur.Name, b.AllocsOp, cur.AllocsOp)
 		}
-		fmt.Printf("%-40s allocs/op %8.1f -> %8.1f (%+6.1f%%) %s\n",
-			cur.Name, b.AllocsOp, cur.AllocsOp, growth, status)
+		if *maxTimeRegress > 0 && b.NsPerOp > 0 {
+			growth := 100 * (cur.NsPerOp - b.NsPerOp) / b.NsPerOp
+			status := "ok"
+			if growth > *maxTimeRegress {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%-40s ns/op     %8.0f -> %8.0f (%+6.1f%%) %s\n",
+				cur.Name, b.NsPerOp, cur.NsPerOp, growth, status)
+		}
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchgate: allocs/op regressed more than %.1f%% vs %s\n", *maxRegress, *baseline)
+		fmt.Fprintf(os.Stderr, "benchgate: regression past allowed thresholds (allocs %.1f%%, time %.1f%%) vs %s\n",
+			*maxRegress, *maxTimeRegress, *baseline)
 		os.Exit(1)
 	}
 }

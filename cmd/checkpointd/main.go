@@ -65,6 +65,9 @@ func main() {
 	refFile := flag.String("ref-file", "", "write the service SIOR to this file")
 	peers := flag.String("peers", "", "comma-separated peer replica SIORs (or @file) to form a quorum front-end")
 	obsAddr := flag.String("obs", "", "serve /metrics and /debug/traces on this address (empty: disabled)")
+	workers := flag.Int("workers", 0, "dispatch worker pool size (0: 2×GOMAXPROCS)")
+	readBatch := flag.Int("read-batch", 0, "max request frames per connection read-loop wakeup (0: 32)")
+	replyCoalesce := flag.Duration("reply-coalesce", 0, "server reply-coalescing window (0: disabled)")
 	flag.Parse()
 	slog.SetDefault(obs.NewLogger(os.Stderr, "checkpointd", slog.LevelInfo))
 
@@ -81,7 +84,8 @@ func main() {
 		log.Print("checkpointd: in-memory store")
 	}
 
-	o := orb.New(orb.Options{Name: "checkpointd"})
+	o := orb.New(orb.Options{Name: "checkpointd",
+		WorkerPool: *workers, ReadBatch: *readBatch, ReplyCoalesceWindow: *replyCoalesce})
 	defer o.Shutdown()
 
 	store := local

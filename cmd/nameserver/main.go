@@ -50,10 +50,14 @@ func main() {
 	syncPeriod := flag.Duration("sync-period", time.Second, "replication push interval (with -peers)")
 	sweepPeriod := flag.Duration("sweep-period", 500*time.Millisecond, "leased-offer expiry sweep interval")
 	obsAddr := flag.String("obs", "", "serve /metrics and /debug/traces on this address (empty: disabled)")
+	workers := flag.Int("workers", 0, "dispatch worker pool size (0: 2×GOMAXPROCS)")
+	readBatch := flag.Int("read-batch", 0, "max request frames per connection read-loop wakeup (0: 32)")
+	replyCoalesce := flag.Duration("reply-coalesce", 0, "server reply-coalescing window (0: disabled)")
 	flag.Parse()
 	slog.SetDefault(obs.NewLogger(os.Stderr, "nameserver", slog.LevelInfo))
 
-	o := orb.New(orb.Options{Name: "nameserver"})
+	o := orb.New(orb.Options{Name: "nameserver",
+		WorkerPool: *workers, ReadBatch: *readBatch, ReplyCoalesceWindow: *replyCoalesce})
 	defer o.Shutdown()
 	ad, err := o.NewAdapter(*addr)
 	if err != nil {

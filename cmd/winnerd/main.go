@@ -34,12 +34,17 @@ func main() {
 	refFile := flag.String("ref-file", "", "write the system manager SIOR to this file")
 	maxAge := flag.Duration("max-sample-age", 0, "treat load samples older than this as stale (system role; 0: never)")
 	obsAddr := flag.String("obs", "", "serve /metrics and /debug/traces on this address (system role; empty: disabled)")
+	workers := flag.Int("workers", 0, "dispatch worker pool size (0: 2×GOMAXPROCS)")
+	readBatch := flag.Int("read-batch", 0, "max request frames per connection read-loop wakeup (0: 32)")
+	replyCoalesce := flag.Duration("reply-coalesce", 0, "server reply-coalescing window (0: disabled)")
 	flag.Parse()
 	slog.SetDefault(obs.NewLogger(os.Stderr, "winnerd", slog.LevelInfo))
 
+	tuning := orb.Options{WorkerPool: *workers, ReadBatch: *readBatch, ReplyCoalesceWindow: *replyCoalesce}
+
 	switch *role {
 	case "system":
-		runSystem(*addr, *refFile, *obsAddr, *maxAge)
+		runSystem(*addr, *refFile, *obsAddr, *maxAge, tuning)
 	case "node":
 		runNode(*managerRef, *host, *speed, *period)
 	default:
@@ -47,8 +52,9 @@ func main() {
 	}
 }
 
-func runSystem(addr, refFile, obsAddr string, maxAge time.Duration) {
-	o := orb.New(orb.Options{Name: "winnerd"})
+func runSystem(addr, refFile, obsAddr string, maxAge time.Duration, tuning orb.Options) {
+	tuning.Name = "winnerd"
+	o := orb.New(tuning)
 	defer o.Shutdown()
 	ad, err := o.NewAdapter(addr)
 	if err != nil {

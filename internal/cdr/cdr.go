@@ -298,6 +298,15 @@ func (d *Decoder) GetString() string {
 	return string(b)
 }
 
+// GetStringBytes reads a length-prefixed string and returns the raw bytes
+// without copying: the slice aliases the decoder's buffer and is only
+// valid while that buffer is. Callers that retain the value must copy or
+// intern it; the giop frame reader does the latter to decode repeated
+// object keys and operation names without allocating.
+func (d *Decoder) GetStringBytes() []byte {
+	return d.take(d.seqLen(1))
+}
+
 // GetBytes reads a sequence<octet>. The returned slice is a copy.
 func (d *Decoder) GetBytes() []byte {
 	n := d.seqLen(1)

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/orb"
+)
+
+// SaturateConfig parameterizes the reactor saturation sweep: a single
+// client/server pair over loopback TCP, hammered by an increasing number
+// of concurrent callers so the server's batched receive path and reply
+// coalescing get progressively more pipelining to exploit.
+type SaturateConfig struct {
+	// Concurrency is the sweep of concurrent caller counts.
+	Concurrency []int
+	// Duration is the measured window per sweep point.
+	Duration time.Duration
+	// PayloadDoubles sizes the echoed float64 sequence.
+	PayloadDoubles int
+	// WorkerPool, ReadBatch and ReplyCoalesceWindow are passed through to
+	// the server ORB (zero keeps each knob's default).
+	WorkerPool          int
+	ReadBatch           int
+	ReplyCoalesceWindow time.Duration
+}
+
+// DefaultSaturateConfig sweeps 1..64 callers for a quarter second each —
+// enough to show the batching ratio climbing with offered load without
+// turning a CI bench job into a soak.
+func DefaultSaturateConfig() SaturateConfig {
+	return SaturateConfig{
+		Concurrency:         []int{1, 4, 16, 64},
+		Duration:            250 * time.Millisecond,
+		PayloadDoubles:      16,
+		ReplyCoalesceWindow: 100 * time.Microsecond,
+	}
+}
+
+// SaturateRow is one sweep point.
+type SaturateRow struct {
+	// Concurrency is the number of concurrent callers.
+	Concurrency int
+	// Calls is the number of completed round trips in the window.
+	Calls uint64
+	// CallsPerSec is the observed throughput.
+	CallsPerSec float64
+	// FramesPerRead is the server's batching ratio for this point: GIOP
+	// frames delivered per read syscall.
+	FramesPerRead float64
+	// FlushesCoalesced counts server replies that shared a flush syscall.
+	FlushesCoalesced uint64
+}
+
+// saturateServant echoes a float64 sequence (the data-path benchmark
+// operation, minus any application work).
+type saturateServant struct{}
+
+func (saturateServant) TypeID() string { return "IDL:repro/Echo:1.0" }
+
+func (saturateServant) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *cdr.Encoder) error {
+	if op != "echo" {
+		return orb.BadOperation(op)
+	}
+	v := in.GetFloat64Seq()
+	if err := in.Err(); err != nil {
+		return err
+	}
+	out.PutFloat64Seq(v)
+	return nil
+}
+
+// RunSaturate executes the sweep. Each point gets a fresh client/server
+// pair so per-point stats are clean deltas.
+func RunSaturate(cfg SaturateConfig) ([]SaturateRow, error) {
+	rows := make([]SaturateRow, 0, len(cfg.Concurrency))
+	for _, c := range cfg.Concurrency {
+		row, err := runSaturatePoint(cfg, c)
+		if err != nil {
+			return nil, fmt.Errorf("saturate c=%d: %w", c, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runSaturatePoint(cfg SaturateConfig, concurrency int) (SaturateRow, error) {
+	srv := orb.New(orb.Options{
+		Name:                "saturate-srv",
+		WorkerPool:          cfg.WorkerPool,
+		ReadBatch:           cfg.ReadBatch,
+		ReplyCoalesceWindow: cfg.ReplyCoalesceWindow,
+	})
+	defer srv.Shutdown()
+	ad, err := srv.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		return SaturateRow{}, err
+	}
+	ref := ad.Activate("echo", saturateServant{})
+
+	cli := orb.New(orb.Options{Name: "saturate-cli"})
+	defer cli.Shutdown()
+
+	args := make([]float64, cfg.PayloadDoubles)
+	for i := range args {
+		args[i] = float64(i)
+	}
+	writeArgs := func(e *cdr.Encoder) { e.PutFloat64Seq(args) }
+
+	// Warm the connection (and the pools) outside the window.
+	if err := cli.Call(context.Background(), ref, "echo", writeArgs, nil); err != nil {
+		return SaturateRow{}, err
+	}
+	before := srv.Stats()
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+	var wg sync.WaitGroup
+	calls := make([]uint64, concurrency)
+	errs := make(chan error, concurrency)
+	for g := 0; g < concurrency; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var out []float64
+			readReply := func(d *cdr.Decoder) error {
+				out = d.GetFloat64Seq()
+				return d.Err()
+			}
+			for ctx.Err() == nil {
+				err := cli.Call(context.Background(), ref, "echo", writeArgs, readReply)
+				if err != nil {
+					errs <- err
+					return
+				}
+				calls[g]++
+			}
+			_ = out
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return SaturateRow{}, err
+	default:
+	}
+
+	after := srv.Stats()
+	row := SaturateRow{Concurrency: concurrency}
+	for _, n := range calls {
+		row.Calls += n
+	}
+	row.CallsPerSec = float64(row.Calls) / cfg.Duration.Seconds()
+	if reads := after.FrameReads - before.FrameReads; reads > 0 {
+		row.FramesPerRead = float64(after.FramesRead-before.FramesRead) / float64(reads)
+	}
+	row.FlushesCoalesced = after.ServerFlushesCoalesced - before.ServerFlushesCoalesced
+	return row, nil
+}
+
+// RenderSaturate prints the sweep as an aligned table.
+func RenderSaturate(w io.Writer, rows []SaturateRow) {
+	fmt.Fprintf(w, "Reactor saturation sweep (loopback TCP, echo)\n")
+	fmt.Fprintf(w, "%12s %12s %14s %14s %18s\n",
+		"concurrency", "calls", "calls/sec", "frames/read", "flushes coalesced")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12d %12d %14.0f %14.2f %18d\n",
+			r.Concurrency, r.Calls, r.CallsPerSec, r.FramesPerRead, r.FlushesCoalesced)
+	}
+}

@@ -194,6 +194,10 @@ type Message struct {
 
 	// Body is the CDR-encoded operation arguments or results.
 	Body []byte
+
+	// buf is the refcounted read buffer Body aliases when this message
+	// was produced by a FrameReader; Release drops the reference.
+	buf *frameBuf
 }
 
 // Context returns the data of the first service context with the given id,
@@ -233,23 +237,31 @@ func putContexts(e *cdr.Encoder, ctxs []ServiceContext) {
 // hard decode error — silently dropping the list would leave the decoder
 // misaligned and corrupt every field after it.
 func getContexts(d *cdr.Decoder) ([]ServiceContext, error) {
+	return getContextsIn(d, nil)
+}
+
+// getContextsIn is getContexts appending into dst (retained capacity from
+// a pooled Message), so steady-state decode does not allocate the list.
+func getContextsIn(d *cdr.Decoder, dst []ServiceContext) ([]ServiceContext, error) {
 	n := d.GetUint32()
 	if n > 1024 { // sanity bound; contexts are small and few
 		return nil, fmt.Errorf("giop: service context count %d exceeds limit", n)
 	}
 	if n == 0 {
-		return nil, d.Err()
+		return dst, d.Err()
 	}
-	out := make([]ServiceContext, 0, n)
+	if dst == nil {
+		dst = make([]ServiceContext, 0, n)
+	}
 	for i := uint32(0); i < n; i++ {
 		id := d.GetUint32()
 		data := d.GetBytes()
 		if err := d.Err(); err != nil {
-			return nil, err
+			return dst, err
 		}
-		out = append(out, ServiceContext{ID: id, Data: data})
+		dst = append(dst, ServiceContext{ID: id, Data: data})
 	}
-	return out, nil
+	return dst, nil
 }
 
 // encodeBody renders the type-specific portion of m (everything after the
@@ -303,12 +315,29 @@ func alignPad(off int) []byte {
 
 // decodeBody parses the type-specific portion into m.
 func (m *Message) decodeBody(data []byte) error {
-	d := cdr.NewDecoder(data)
+	return m.decodeBodyIn(data, nil)
+}
+
+// getString reads a string, interning it when it is non-nil so the
+// request hot path reuses one canonical string per object key/operation
+// instead of allocating a fresh copy per frame.
+func getString(d *cdr.Decoder, it *Interner) string {
+	if it == nil {
+		return d.GetString()
+	}
+	return it.Intern(d.GetStringBytes())
+}
+
+// decodeBodyIn is decodeBody with an optional string Interner; pooled
+// messages additionally reuse their retained Contexts capacity.
+func (m *Message) decodeBodyIn(data []byte, it *Interner) error {
+	d := cdr.AcquireDecoder(data)
+	defer d.Release()
 	consumeBody := func() {
 		// Skip alignment padding; the remainder is the operation body. The
-		// body aliases the read buffer rather than copying it: Read hands
-		// decodeBody a freshly assembled buffer that is never reused, so
-		// the alias is safe and saves a per-message allocation.
+		// body aliases the read buffer rather than copying it — safe
+		// because the buffer is either never reused (Read) or refcounted
+		// until every message aliasing it is released (FrameReader).
 		off := len(data) - d.Remaining()
 		pad := (8 - off%8) % 8
 		if d.Remaining() >= pad {
@@ -318,20 +347,20 @@ func (m *Message) decodeBody(data []byte) error {
 	switch m.Type {
 	case MsgRequest:
 		var err error
-		if m.Contexts, err = getContexts(d); err != nil {
+		if m.Contexts, err = getContextsIn(d, m.Contexts); err != nil {
 			return err
 		}
 		m.RequestID = d.GetUint32()
 		m.ResponseExpected = d.GetBool()
-		m.ObjectKey = d.GetString()
-		m.Operation = d.GetString()
+		m.ObjectKey = getString(d, it)
+		m.Operation = getString(d, it)
 		if err := d.Err(); err != nil {
 			return err
 		}
 		consumeBody()
 	case MsgReply:
 		var err error
-		if m.Contexts, err = getContexts(d); err != nil {
+		if m.Contexts, err = getContextsIn(d, m.Contexts); err != nil {
 			return err
 		}
 		m.RequestID = d.GetUint32()
@@ -344,7 +373,7 @@ func (m *Message) decodeBody(data []byte) error {
 		m.RequestID = d.GetUint32()
 	case MsgLocateRequest:
 		m.RequestID = d.GetUint32()
-		m.ObjectKey = d.GetString()
+		m.ObjectKey = getString(d, it)
 	case MsgLocateReply:
 		m.RequestID = d.GetUint32()
 		m.LocateStatus = LocateStatus(d.GetUint32())

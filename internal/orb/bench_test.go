@@ -1,10 +1,13 @@
 package orb
 
 import (
+	"bytes"
 	"context"
 	"testing"
+	"time"
 
 	"repro/internal/cdr"
+	"repro/internal/giop"
 )
 
 // echoServant returns its float64 sequence argument unchanged — a minimal
@@ -33,8 +36,12 @@ func (benchEchoServant) Invoke(_ *ServerContext, op string, in *cdr.Decoder, out
 // newBenchWorld wires a client and a server ORB over loopback TCP with an
 // echo servant activated.
 func newBenchWorld(b *testing.B, clientOpts Options) (*ORB, ObjectRef) {
+	return newBenchWorldOpts(b, clientOpts, Options{Name: "bench-srv"})
+}
+
+func newBenchWorldOpts(b *testing.B, clientOpts, srvOpts Options) (*ORB, ObjectRef) {
 	b.Helper()
-	srv := New(Options{Name: "bench-srv"})
+	srv := New(srvOpts)
 	b.Cleanup(srv.Shutdown)
 	ad, err := srv.NewAdapter("127.0.0.1:0")
 	if err != nil {
@@ -93,4 +100,102 @@ func BenchmarkCallPath(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSyncCall measures concurrent synchronous calls end to end
+// over loopback TCP — the reactor's design point: pipelined requests let
+// the server drain multiple frames per read syscall and coalesce reply
+// flushes, so per-call cost amortizes well below the serial round-trip
+// floor. This is the PR6 latency gate (cmd/benchgate tracks ns/op and
+// allocs/op).
+func BenchmarkSyncCall(b *testing.B) {
+	cli, ref := newBenchWorldOpts(b,
+		Options{},
+		Options{Name: "bench-srv", ReplyCoalesceWindow: 100 * time.Microsecond})
+	ctx := context.Background()
+	args := []float64{1, 2, 3, 4}
+	writeArgs := func(e *cdr.Encoder) { e.PutFloat64Seq(args) }
+	if err := cli.Call(ctx, ref, "echo", writeArgs, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var out []float64
+		readReply := func(d *cdr.Decoder) error {
+			out = d.GetFloat64Seq()
+			return d.Err()
+		}
+		for pb.Next() {
+			if err := cli.Call(ctx, ref, "echo", writeArgs, readReply); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		_ = out
+	})
+}
+
+// loopReader replays one wire frame forever, so a FrameReader sees an
+// endless pipelined stream without any socket in the way.
+type loopReader struct {
+	data []byte
+	off  int
+}
+
+func (r *loopReader) Read(p []byte) (int, error) {
+	if r.off == len(r.data) {
+		r.off = 0
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// BenchmarkOnewayDispatch measures the server-side oneway path in
+// isolation — frame ingest through the FrameReader plus servant dispatch,
+// no socket: this is the reactor's zero-allocation steady state, gated at
+// 0 allocs/op by cmd/benchgate.
+func BenchmarkOnewayDispatch(b *testing.B) {
+	srv := New(Options{Name: "bench-dispatch"})
+	b.Cleanup(srv.Shutdown)
+	a, err := srv.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.Activate("echo", benchEchoServant{})
+
+	body := cdr.NewEncoder(8)
+	body.PutFloat64Seq(nil)
+	var wire bytes.Buffer
+	if err := giop.Write(&wire, &giop.Message{
+		Type:      giop.MsgRequest,
+		RequestID: 1,
+		ObjectKey: "echo",
+		Operation: "note",
+		Body:      body.Bytes(),
+	}); err != nil {
+		b.Fatal(err)
+	}
+
+	fr := giop.NewFrameReader(&loopReader{data: wire.Bytes()}, giop.FrameReaderConfig{})
+	defer fr.Close()
+	batch := make([]*giop.Message, 32)
+	var sctx ServerContext
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n, err := fr.ReadBatch(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range batch[:n] {
+			a.dispatchOneway(ctx, "bench", m, &sctx)
+			m.Release()
+			done++
+		}
+	}
 }

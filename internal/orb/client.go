@@ -381,13 +381,16 @@ func (o *ORB) invokeOnce(ctx context.Context, ref ObjectRef, op string, writeArg
 	if err != nil {
 		return err
 	}
-	return decodeReply(reply, readReply)
+	err = decodeReply(reply, readReply)
+	reply.Release()
+	return err
 }
 
-// invokeRaw performs the wire round trip and returns the raw reply. The
-// request body rides a pooled encoder that is released before return —
-// safe because send copies the bytes into the connection buffer
-// synchronously and all interceptors have run by then.
+// invokeRaw performs the wire round trip and returns the raw reply
+// (which the caller releases once decoded). The request message and its
+// body ride pooled storage released before return — safe because send
+// copies the bytes into the connection buffer synchronously and all
+// interceptors have run by then.
 func (o *ORB) invokeRaw(ctx context.Context, ref ObjectRef, op string, writeArgs func(*cdr.Encoder), opts CallOptions) (*giop.Message, error) {
 	m, enc := o.buildRequest(ref, op, writeArgs)
 	o.interceptSendRequest(m)
@@ -396,26 +399,29 @@ func (o *ORB) invokeRaw(ctx context.Context, ref ObjectRef, op string, writeArgs
 	if err != nil {
 		o.callReplyReceived(ctx, m, nil, err)
 		enc.Release()
+		m.Release()
 		return nil, err
 	}
 	o.interceptReceiveReply(reply)
 	o.callReplyReceived(ctx, m, reply, nil)
 	enc.Release()
+	m.Release()
 	return reply, nil
 }
 
-// buildRequest assembles an un-intercepted request message. The returned
-// encoder (nil when writeArgs is nil) backs m.Body; the caller must
-// Release it once the message has been handed to send and all observers
-// of m.Body have run.
+// buildRequest assembles an un-intercepted request message. The message
+// is pooled (callers that complete synchronously release it; the DII path
+// retains its message and simply never recycles it). The returned encoder
+// (nil when writeArgs is nil) backs m.Body; the caller must Release it
+// once the message has been handed to send and all observers of m.Body
+// have run.
 func (o *ORB) buildRequest(ref ObjectRef, op string, writeArgs func(*cdr.Encoder)) (*giop.Message, *cdr.Encoder) {
-	m := &giop.Message{
-		Type:             giop.MsgRequest,
-		RequestID:        o.nextRequestID(),
-		ResponseExpected: true,
-		ObjectKey:        ref.Key,
-		Operation:        op,
-	}
+	m := giop.AcquireMessage()
+	m.Type = giop.MsgRequest
+	m.RequestID = o.nextRequestID()
+	m.ResponseExpected = true
+	m.ObjectKey = ref.Key
+	m.Operation = op
 	var e *cdr.Encoder
 	if writeArgs != nil {
 		e = cdr.AcquireEncoder()
@@ -463,6 +469,7 @@ func (o *ORB) Notify(ctx context.Context, ref ObjectRef, op string, writeArgs fu
 	// moment the request is on the wire (or failed to get there).
 	o.callReplyReceived(ctx, m, nil, err)
 	enc.Release()
+	m.Release()
 	return err
 }
 
@@ -568,7 +575,9 @@ func (o *ORB) Locate(ctx context.Context, ref ObjectRef) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return reply.LocateStatus == giop.LocateObjectHere, nil
+	here := reply.LocateStatus == giop.LocateObjectHere
+	reply.Release()
+	return here, nil
 }
 
 // OpIsA is the reserved type-check operation every adapter answers on

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/giop"
+	"repro/internal/obs"
 )
 
 // Dialer opens client-side transport connections — the ORB's outbound
@@ -82,9 +83,37 @@ type Options struct {
 	// CallInterceptors run after Interceptors at each hook, in order on
 	// the outbound points and in reverse on the inbound ones.
 	CallInterceptors []CallInterceptor
-	// MaxServerWorkers caps concurrently dispatched requests per adapter
-	// connection. Zero means 64.
+	// MaxServerWorkers is the legacy name for WorkerPool and is honoured
+	// only when WorkerPool is zero. Unlike the pre-reactor ORB, the limit
+	// is process-wide, not per connection.
 	MaxServerWorkers int
+	// WorkerPool sizes the ORB-wide dispatch pool shared by every adapter
+	// connection: at most this many servant invocations run concurrently.
+	// Zero means max(8, 2×GOMAXPROCS) (after MaxServerWorkers, see above).
+	WorkerPool int
+	// ReadBatch caps how many request frames one connection's read loop
+	// hands to the dispatch pool per wakeup. Larger batches amortize
+	// syscalls under pipelining; smaller ones reduce burst latency skew
+	// across connections. Zero means 32.
+	ReadBatch int
+	// ReplyCoalesceWindow enables server-side reply coalescing: while more
+	// replies are owed on a connection, a written reply may wait up to
+	// this long for them to share its flush syscall. The reply that
+	// empties the pipeline always flushes immediately, so the window only
+	// delays replies that have concurrent company. Zero disables
+	// coalescing — every reply is flushed immediately.
+	ReplyCoalesceWindow time.Duration
+	// MaxRequestBody caps the declared body size of inbound frames. An
+	// oversized request is drained with bounded reads (never buffered)
+	// and answered with a MARSHAL system exception; the connection
+	// survives. Zero means giop.MaxMessageSize.
+	MaxRequestBody int
+	// FrameTimeout bounds how long an inbound frame may sit partially
+	// received (slow-loris guard): the read deadline arms when a frame's
+	// first byte arrives and disarms at the frame boundary, so idle
+	// connections are unaffected. Zero means 30s; negative disables the
+	// guard.
+	FrameTimeout time.Duration
 	// CoalesceWindow enables client-side write coalescing: instead of
 	// flushing the socket once per request, a written request waits up to
 	// this long for concurrent callers on the same connection to share the
@@ -107,10 +136,15 @@ type ORB struct {
 	reqID    atomic.Uint32
 	counters orbCounters
 
+	// batchHist, when set by ExportStats, receives one observation per
+	// reactor read batch (the batch size in frames).
+	batchHist atomic.Pointer[obs.Histogram]
+
 	mu       sync.Mutex
 	conns    map[string]*clientConn // keyed by remote address
 	dials    map[string]*dialWait   // in-flight dials, keyed by address
 	adapters []*Adapter
+	pool     *workerPool // shared dispatch pool, started by the first adapter
 	shutdown bool
 }
 
@@ -128,8 +162,11 @@ func New(opts Options) *ORB {
 	if opts.DialTimeout == 0 {
 		opts.DialTimeout = 10 * time.Second
 	}
-	if opts.MaxServerWorkers == 0 {
-		opts.MaxServerWorkers = 64
+	if opts.ReadBatch == 0 {
+		opts.ReadBatch = 32
+	}
+	if opts.FrameTimeout == 0 {
+		opts.FrameTimeout = 30 * time.Second
 	}
 	if opts.Dialer == nil {
 		opts.Dialer = &net.Dialer{}
@@ -226,6 +263,8 @@ func (o *ORB) Shutdown() {
 	o.adapters = nil
 	conns := o.conns
 	o.conns = make(map[string]*clientConn)
+	pool := o.pool
+	o.pool = nil
 	o.mu.Unlock()
 
 	for _, a := range adapters {
@@ -233,6 +272,19 @@ func (o *ORB) Shutdown() {
 	}
 	for _, c := range conns {
 		c.close(CommFailure("orb shutdown"))
+	}
+	if pool != nil {
+		// Adapters have drained their tasks, so the queue is empty and
+		// closing it releases every worker.
+		pool.stop()
+	}
+}
+
+// observeBatchSize records one reactor batch size when a metrics registry
+// is attached (no-op otherwise; the hot path pays one atomic load).
+func (o *ORB) observeBatchSize(n int) {
+	if h := o.batchHist.Load(); h != nil {
+		h.Observe(float64(n))
 	}
 }
 

@@ -3,9 +3,11 @@ package orb
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cdr"
@@ -24,7 +26,9 @@ type Servant interface {
 }
 
 // ServerContext carries per-request server-side information to servants
-// and gives them access to the request's service contexts.
+// and gives them access to the request's service contexts. It is scratch
+// owned by the dispatch machinery: servants must not retain it (or the
+// Request message it points at) past Invoke.
 type ServerContext struct {
 	// ORB is the hosting broker.
 	ORB *ORB
@@ -58,10 +62,12 @@ func (c *ServerContext) AddReplyContext(id uint32, data []byte) {
 }
 
 // Adapter is an object adapter (POA analogue): a TCP listener plus a table
-// of active servants keyed by object key.
+// of active servants keyed by object key. Dispatch concurrency comes from
+// the ORB's shared worker pool, not from per-adapter goroutines.
 type Adapter struct {
-	orb *ORB
-	ln  net.Listener
+	orb  *ORB
+	ln   net.Listener
+	pool *workerPool
 
 	mu       sync.RWMutex
 	servants map[string]Servant
@@ -70,20 +76,32 @@ type Adapter struct {
 	connMu sync.Mutex
 	conns  map[*serverConn]struct{}
 
-	wg  sync.WaitGroup
-	sem chan struct{}
+	wg     sync.WaitGroup // accept loop + connection read loops
+	taskWG sync.WaitGroup // admitted requests not yet finished by a worker
 }
 
-// serverConn is one inbound connection with its serialized writer and the
+// serverConn is one inbound connection: its coalescing writer and the
 // cancellation state of its in-flight requests.
 type serverConn struct {
-	conn    net.Conn
-	writeMu sync.Mutex
-	bw      *bufio.Writer
+	a    *Adapter
+	conn net.Conn
+	peer string
 
-	// mu guards inflight: request id -> cancel func for every request
-	// currently queued or dispatching on this connection. MsgCancelRequest
-	// and connection death cancel through it.
+	writeMu        sync.Mutex
+	bw             *bufio.Writer
+	dead           bool        // a write or flush failed; drop further output
+	flushScheduled bool        // a deferred coalesced flush will run
+	flushTimer     *time.Timer // reusable timer driving deferred flushes
+
+	// pendingReplies counts admitted response-expected requests whose
+	// replies are still owed. The reply that takes it to zero always
+	// flushes immediately — a batch costs one flush without adding
+	// latency when the pipeline empties.
+	pendingReplies atomic.Int64
+
+	// mu guards inflight: request id -> cancel func for every cancellable
+	// request currently queued or dispatching on this connection.
+	// MsgCancelRequest and connection death cancel through it.
 	mu       sync.Mutex
 	inflight map[uint32]context.CancelFunc
 }
@@ -114,12 +132,74 @@ func (c *serverConn) cancelInflight(id uint32) bool {
 	return ok
 }
 
-// write sends one message under the connection's write lock.
-func (c *serverConn) write(m *giop.Message) {
+// writeNow sends one message and flushes immediately (locate replies,
+// admission sheds, protocol errors: standalone writes that never ride a
+// coalesced batch).
+func (c *serverConn) writeNow(m *giop.Message) {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	if err := giop.Write(c.bw, m); err == nil {
-		c.bw.Flush()
+	if c.dead {
+		return
+	}
+	if err := giop.Write(c.bw, m); err != nil {
+		c.dead = true
+		return
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.dead = true
+	}
+}
+
+// writeReply sends a dispatch reply through the server-side coalescing
+// window: while more replies are owed on this connection, the flush may
+// wait up to ReplyCoalesceWindow for them, so a batch of requests costs
+// one flush syscall instead of one per reply. The reply that empties the
+// pipeline flushes immediately.
+func (c *serverConn) writeReply(m *giop.Message) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	pending := c.pendingReplies.Add(-1)
+	if c.dead {
+		return
+	}
+	if err := giop.Write(c.bw, m); err != nil {
+		c.dead = true
+		return
+	}
+	window := c.a.orb.opts.ReplyCoalesceWindow
+	switch {
+	case window <= 0 || pending <= 0:
+		if c.flushTimer != nil {
+			c.flushTimer.Stop()
+		}
+		c.flushScheduled = false
+		if err := c.bw.Flush(); err != nil {
+			c.dead = true
+		}
+	case c.flushScheduled:
+		// A flush is already on its way; this reply rides it for free.
+		c.a.orb.counters.serverFlushesCoalesced.Add(1)
+	default:
+		c.flushScheduled = true
+		if c.flushTimer == nil {
+			c.flushTimer = time.AfterFunc(window, c.flushDeferred)
+		} else {
+			c.flushTimer.Reset(window)
+		}
+	}
+}
+
+// flushDeferred runs the scheduled coalesced flush (the safety net for
+// replies deferred behind a slow dispatch).
+func (c *serverConn) flushDeferred() {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.flushScheduled = false
+	if c.dead {
+		return
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.dead = true
 	}
 }
 
@@ -127,13 +207,17 @@ func (c *serverConn) write(m *giop.Message) {
 // write deadline) and closes the socket.
 func (c *serverConn) shutdown() {
 	c.conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
-	c.write(&giop.Message{Type: giop.MsgCloseConnection})
+	c.writeNow(&giop.Message{Type: giop.MsgCloseConnection})
 	c.conn.Close()
 }
 
 // NewAdapter creates an object adapter listening on addr (use
 // "127.0.0.1:0" for an ephemeral port).
 func (o *ORB) NewAdapter(addr string) (*Adapter, error) {
+	pool, err := o.ensurePool()
+	if err != nil {
+		return nil, err
+	}
 	ln, err := o.opts.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("orb: adapter listen %s: %w", addr, err)
@@ -141,9 +225,9 @@ func (o *ORB) NewAdapter(addr string) (*Adapter, error) {
 	a := &Adapter{
 		orb:      o,
 		ln:       ln,
+		pool:     pool,
 		servants: make(map[string]Servant),
 		conns:    make(map[*serverConn]struct{}),
-		sem:      make(chan struct{}, o.opts.MaxServerWorkers),
 	}
 	o.mu.Lock()
 	o.adapters = append(o.adapters, a)
@@ -213,6 +297,10 @@ func (a *Adapter) Close() {
 	}
 	a.orb.removeAdapter(a)
 	a.wg.Wait()
+	// The read loops are gone; whatever they admitted drains through the
+	// shared pool (connection death has cancelled every request context,
+	// so blocked servants abort promptly).
+	a.taskWG.Wait()
 }
 
 // trackConn registers a live server connection; it returns false when the
@@ -254,18 +342,6 @@ func (a *Adapter) acceptLoop() {
 	}
 }
 
-// requestContext derives the per-request context from the connection
-// context: if the request carries an SCDeadline service context, the
-// remaining duration is rebased onto the server's clock (the wire format
-// carries remaining time, not an absolute instant, so it tolerates clock
-// skew between peers).
-func requestContext(parent context.Context, m *giop.Message) (context.Context, context.CancelFunc) {
-	if remaining, ok := giop.DecodeDeadline(m.Context(giop.SCDeadline)); ok {
-		return context.WithTimeout(parent, remaining)
-	}
-	return context.WithCancel(parent)
-}
-
 // shedReply builds the TIMEOUT reply for a request rejected by
 // deadline-aware admission.
 func shedReply(req *giop.Message) *giop.Message {
@@ -277,120 +353,230 @@ func shedReply(req *giop.Message) *giop.Message {
 	return reply
 }
 
-// serveConn reads requests off one connection and dispatches each in its
-// own goroutine, bounded by the adapter's worker semaphore. Replies are
-// serialized through a write mutex. Every request gets a context derived
-// from the connection's: MsgCancelRequest cancels one request, connection
+// isProtocolError reports whether err is a peer protocol violation worth
+// answering with MsgError before dropping the connection (as opposed to a
+// plain transport failure).
+func isProtocolError(err error) bool {
+	return errors.Is(err, giop.ErrBadMagic) ||
+		errors.Is(err, giop.ErrBadVersion) ||
+		errors.Is(err, giop.ErrTooBig) ||
+		errors.Is(err, giop.ErrOrphanFragment)
+}
+
+// serveConn is the per-connection reactor loop: it drains batches of
+// frames from the connection (many frames per read syscall via the
+// FrameReader), handles control messages inline, and hands requests to
+// the ORB's shared worker pool. Every request gets a context derived from
+// the connection's: MsgCancelRequest cancels one request, connection
 // death cancels them all, and requests whose propagated deadline has
 // already expired are shed without reaching a servant.
 func (a *Adapter) serveConn(conn net.Conn) {
 	defer a.wg.Done()
-	sc := &serverConn{conn: conn, bw: bufio.NewWriter(conn), inflight: make(map[uint32]context.CancelFunc)}
+	o := a.orb
+	sc := &serverConn{
+		a:        a,
+		conn:     conn,
+		peer:     conn.RemoteAddr().String(),
+		bw:       bufio.NewWriter(conn),
+		inflight: make(map[uint32]context.CancelFunc),
+	}
 	if !a.trackConn(sc) {
 		return
 	}
 	defer a.untrackConn(sc)
 	defer conn.Close()
 
-	// connCtx parents every request context on this connection; cancelling
-	// it (connection death, adapter close) aborts all in-flight dispatches.
+	// connCtx parents every request context on this connection. The defer
+	// runs before the socket teardown above it, so connection death
+	// cancels queued and in-flight dispatches immediately.
 	connCtx, connCancel := context.WithCancel(context.Background())
 	defer connCancel()
 
-	br := bufio.NewReader(conn)
-	peer := conn.RemoteAddr().String()
-	var connWG sync.WaitGroup
-	defer connWG.Wait()
-
-	write := sc.write
+	frameTimeout := o.opts.FrameTimeout
+	if frameTimeout < 0 {
+		frameTimeout = 0 // guard disabled explicitly
+	}
+	fr := giop.NewFrameReader(conn, giop.FrameReaderConfig{
+		MaxBody:         o.opts.MaxRequestBody,
+		FrameTimeout:    frameTimeout,
+		SetReadDeadline: conn.SetReadDeadline,
+	})
+	defer fr.Close()
+	batch := make([]*giop.Message, o.opts.ReadBatch)
+	var lastReads, lastFrames uint64
 
 	for {
-		m, err := giop.Read(br)
-		if err != nil {
-			return
+		n, err := fr.ReadBatch(batch)
+		if n > 0 {
+			reads, frames := fr.Stats()
+			o.counters.frameReads.Add(reads - lastReads)
+			o.counters.framesRead.Add(frames - lastFrames)
+			lastReads, lastFrames = reads, frames
+			o.observeBatchSize(n)
 		}
-		switch m.Type {
-		case giop.MsgRequest:
-			rctx, rcancel := requestContext(connCtx, m)
-			if rctx.Err() != nil {
-				// Deadline-aware admission: the propagated deadline expired
-				// before dispatch, so the servant is never invoked.
-				a.orb.counters.requestsShed.Add(1)
-				if m.ResponseExpected {
-					write(shedReply(m))
+		for i, m := range batch[:n] {
+			if !a.handleMessage(sc, connCtx, m) {
+				for _, rest := range batch[i+1 : n] {
+					rest.Release()
 				}
-				rcancel()
+				return
+			}
+		}
+		if err != nil {
+			var tbe *giop.TooBigError
+			if errors.As(err, &tbe) {
+				// Slow-loris / oversize guard: the frame was drained with
+				// bounded reads, so the connection survives; the caller
+				// learns its request was too big via MARSHAL.
+				o.counters.oversizeRejected.Add(1)
+				if tbe.ResponseExpected {
+					reply := &giop.Message{Type: giop.MsgReply, RequestID: tbe.RequestID}
+					setReplyError(reply, &SystemException{Kind: ExMarshal, Detail: err.Error()})
+					sc.writeNow(reply)
+				}
 				continue
 			}
-			sc.addInflight(m.RequestID, rcancel)
-			connWG.Add(1)
-			go func(req *giop.Message, rctx context.Context, rcancel context.CancelFunc) {
-				defer connWG.Done()
-				defer sc.removeInflight(req.RequestID)
-				defer rcancel()
-				// Acquire a worker slot, but stay cancellable while queued
-				// so a cancel or expiry does not waste a dispatch.
-				select {
-				case a.sem <- struct{}{}:
-				case <-rctx.Done():
-					if rctx.Err() == context.DeadlineExceeded {
-						a.orb.counters.requestsShed.Add(1)
-					}
-					if req.ResponseExpected {
-						write(shedReply(req))
-					}
-					return
-				}
-				defer func() { <-a.sem }()
-				if rctx.Err() != nil {
-					// Expired or cancelled between queueing and acquiring
-					// the slot; shed before touching the servant.
-					if rctx.Err() == context.DeadlineExceeded {
-						a.orb.counters.requestsShed.Add(1)
-					}
-					if req.ResponseExpected {
-						write(shedReply(req))
-					}
-					return
-				}
-				a.orb.counters.inFlight.Add(1)
-				reply, release := a.dispatch(rctx, peer, req)
-				a.orb.counters.inFlight.Add(-1)
-				if req.ResponseExpected {
-					write(reply)
-				}
-				release()
-			}(m, rctx, rcancel)
-		case giop.MsgLocateRequest:
-			status := giop.LocateUnknownObject
-			if _, ok := a.Resolve(m.ObjectKey); ok {
-				status = giop.LocateObjectHere
+			if isProtocolError(err) {
+				sc.writeNow(&giop.Message{Type: giop.MsgError})
 			}
-			write(&giop.Message{Type: giop.MsgLocateReply, RequestID: m.RequestID, LocateStatus: status})
-		case giop.MsgCancelRequest:
-			if sc.cancelInflight(m.RequestID) {
-				a.orb.counters.cancelsReceived.Add(1)
-			}
-		case giop.MsgCloseConnection:
-			return
-		default:
-			write(&giop.Message{Type: giop.MsgError})
 			return
 		}
 	}
 }
 
+// handleMessage routes one inbound message; a false return abandons the
+// connection. Request messages pass ownership to the dispatch machinery;
+// everything else is handled inline and released here.
+func (a *Adapter) handleMessage(sc *serverConn, connCtx context.Context, m *giop.Message) bool {
+	switch m.Type {
+	case giop.MsgRequest:
+		a.admitRequest(sc, connCtx, m)
+		return true
+	case giop.MsgLocateRequest:
+		status := giop.LocateUnknownObject
+		if _, ok := a.Resolve(m.ObjectKey); ok {
+			status = giop.LocateObjectHere
+		}
+		sc.writeNow(&giop.Message{Type: giop.MsgLocateReply, RequestID: m.RequestID, LocateStatus: status})
+		m.Release()
+		return true
+	case giop.MsgCancelRequest:
+		if sc.cancelInflight(m.RequestID) {
+			a.orb.counters.cancelsReceived.Add(1)
+		}
+		m.Release()
+		return true
+	case giop.MsgCloseConnection:
+		m.Release()
+		return false
+	default:
+		m.Release()
+		sc.writeNow(&giop.Message{Type: giop.MsgError})
+		return false
+	}
+}
+
+// admitRequest derives the request's context, applies deadline-aware
+// admission and hands the request to the shared worker pool. It takes
+// ownership of m.
+func (a *Adapter) admitRequest(sc *serverConn, connCtx context.Context, m *giop.Message) {
+	o := a.orb
+	var rctx context.Context
+	var rcancel context.CancelFunc
+	if remaining, ok := giop.DecodeDeadline(m.Context(giop.SCDeadline)); ok {
+		// The wire carries remaining time, not an absolute instant, so the
+		// deadline is rebased onto the server's clock (tolerating skew).
+		rctx, rcancel = context.WithTimeout(connCtx, remaining)
+	} else if m.ResponseExpected {
+		rctx, rcancel = context.WithCancel(connCtx)
+	} else {
+		// Zero-allocation oneway fast path: no per-request context.
+		// Connection death and adapter close still cancel via connCtx;
+		// wire-level cancel of an individual oneway is not supported (it
+		// has no reply to save).
+		rctx = connCtx
+	}
+	if rctx.Err() != nil {
+		// Deadline-aware admission: the propagated deadline expired before
+		// dispatch, so the servant is never invoked.
+		o.counters.requestsShed.Add(1)
+		if m.ResponseExpected {
+			sc.writeNow(shedReply(m))
+		}
+		if rcancel != nil {
+			rcancel()
+		}
+		m.Release()
+		return
+	}
+	if rcancel != nil {
+		sc.addInflight(m.RequestID, rcancel)
+	}
+	if m.ResponseExpected {
+		sc.pendingReplies.Add(1)
+	}
+	t := acquireTask()
+	t.a, t.sc, t.req, t.rctx, t.rcancel = a, sc, m, rctx, rcancel
+	a.taskWG.Add(1)
+	select {
+	case a.pool.queue <- t:
+	case <-rctx.Done():
+		// The queue stayed full past the request's lifetime; serveRequest
+		// takes the shed path since the context is already dead.
+		a.serveRequest(t)
+	}
+}
+
+// serveRequest is the worker-side execution of one admitted request: shed
+// if its context died while queued, dispatch otherwise, then clean up the
+// task's cancellation state and pooled resources.
+func (a *Adapter) serveRequest(t *dispatchTask) {
+	o := a.orb
+	sc, req := t.sc, t.req
+	if err := t.rctx.Err(); err != nil {
+		// Cancelled or expired between admission and dequeue: shed without
+		// touching the servant.
+		if err == context.DeadlineExceeded {
+			o.counters.requestsShed.Add(1)
+		}
+		if req.ResponseExpected {
+			sc.writeReply(shedReply(req))
+		}
+	} else if req.ResponseExpected {
+		o.counters.inFlight.Add(1)
+		reply, release := a.dispatch(t.rctx, sc.peer, req, &t.sctx)
+		sc.writeReply(reply)
+		release()
+		reply.Release()
+		o.counters.inFlight.Add(-1)
+	} else {
+		o.counters.inFlight.Add(1)
+		a.dispatchOneway(t.rctx, sc.peer, req, &t.sctx)
+		o.counters.inFlight.Add(-1)
+	}
+	if t.rcancel != nil {
+		sc.removeInflight(req.RequestID)
+		t.rcancel()
+	}
+	req.Release()
+	a.taskWG.Done()
+	releaseTask(t)
+}
+
 // dispatch runs one request through interceptors and the target servant,
-// translating panics and errors into exception replies. The reply body
-// rides a pooled encoder: the returned release func must be called after
-// the reply has been written (or discarded, for oneways).
-func (a *Adapter) dispatch(rctx context.Context, peer string, req *giop.Message) (*giop.Message, func()) {
+// translating panics and errors into exception replies. The reply is a
+// pooled message whose body rides a pooled encoder: the caller writes the
+// reply, then calls the returned release func, then releases the reply.
+// sctx is the caller-owned ServerContext scratch for this dispatch.
+func (a *Adapter) dispatch(rctx context.Context, peer string, req *giop.Message, sctx *ServerContext) (*giop.Message, func()) {
 	a.orb.counters.requestsServed.Add(1)
 	a.orb.interceptReceiveRequest(req)
 	rctx = a.orb.callDispatchStart(rctx, req)
 
-	reply := &giop.Message{Type: giop.MsgReply, RequestID: req.RequestID}
-	ctx := &ServerContext{ORB: a.orb, Adapter: a, Peer: peer, Request: req, ctx: rctx}
+	reply := giop.AcquireMessage()
+	reply.Type = giop.MsgReply
+	reply.RequestID = req.RequestID
+	*sctx = ServerContext{ORB: a.orb, Adapter: a, Peer: peer, Request: req, ctx: rctx, replyContexts: sctx.replyContexts[:0]}
 
 	out := cdr.AcquireEncoder()
 	in := cdr.AcquireDecoder(req.Body)
@@ -409,7 +595,7 @@ func (a *Adapter) dispatch(rctx context.Context, peer string, req *giop.Message)
 			reply.Body = out.Bytes()
 		}
 	} else {
-		err := safeInvoke(sv, ctx, req.Operation, in, out)
+		err := safeInvoke(sv, sctx, req.Operation, in, out)
 		if err != nil {
 			encodeReplyError(reply, err, out)
 		} else {
@@ -418,10 +604,31 @@ func (a *Adapter) dispatch(rctx context.Context, peer string, req *giop.Message)
 		}
 	}
 	in.Release()
-	reply.Contexts = append(reply.Contexts, ctx.replyContexts...)
+	reply.Contexts = append(reply.Contexts, sctx.replyContexts...)
 	a.orb.interceptSendReply(reply)
 	a.orb.callDispatchEnd(rctx, req, reply)
 	return reply, out.Release
+}
+
+// dispatchOneway runs a oneway request: the same interception points as
+// dispatch, but no reply is assembled (DispatchEnd receives a nil reply,
+// per the CallInterceptor contract) and servant errors have nowhere to
+// go. This path is allocation-free in the steady state.
+func (a *Adapter) dispatchOneway(rctx context.Context, peer string, req *giop.Message, sctx *ServerContext) {
+	a.orb.counters.requestsServed.Add(1)
+	a.orb.interceptReceiveRequest(req)
+	rctx = a.orb.callDispatchStart(rctx, req)
+
+	*sctx = ServerContext{ORB: a.orb, Adapter: a, Peer: peer, Request: req, ctx: rctx, replyContexts: sctx.replyContexts[:0]}
+
+	out := cdr.AcquireEncoder()
+	in := cdr.AcquireDecoder(req.Body)
+	if sv, ok := a.Resolve(req.ObjectKey); ok && !a.isClosed() && req.Operation != OpIsA {
+		_ = safeInvoke(sv, sctx, req.Operation, in, out)
+	}
+	in.Release()
+	out.Release()
+	a.orb.callDispatchEnd(rctx, req, nil)
 }
 
 // safeInvoke shields the dispatcher from servant panics, converting them

@@ -40,6 +40,25 @@ type Stats struct {
 	// their propagated deadline had already expired before dispatch, so
 	// the servant was never invoked.
 	RequestsShed uint64
+	// ServerFlushesCoalesced counts server replies that rode an
+	// already-scheduled coalesced flush instead of paying their own flush
+	// syscall (see Options.ReplyCoalesceWindow).
+	ServerFlushesCoalesced uint64
+	// FramesRead counts GIOP frames delivered by server-side reactor read
+	// loops across all adapters.
+	FramesRead uint64
+	// FrameReads counts read syscalls those frames arrived in.
+	FrameReads uint64
+	// FramesPerRead is FramesRead/FrameReads — the reactor's batching
+	// ratio (1.0 means no pipelining benefit; higher means multiple
+	// frames drained per syscall).
+	FramesPerRead float64
+	// OversizeRejected counts inbound frames rejected by the request-body
+	// cap (drained and answered with MARSHAL, connection kept).
+	OversizeRejected uint64
+	// DispatchQueueDepth is the number of admitted requests currently
+	// waiting for a dispatch worker (a gauge, not a counter).
+	DispatchQueueDepth int
 	// RetriesAttempted counts replay rounds entered by the resilient-call
 	// engine (Caller), including rounds consumed by failed recoveries.
 	RetriesAttempted uint64
@@ -55,41 +74,63 @@ type Stats struct {
 
 // orbCounters is the internal atomic representation.
 type orbCounters struct {
-	requestsSent         atomic.Uint64
-	repliesReceived      atomic.Uint64
-	requestsServed       atomic.Uint64
-	connectionsAccepted  atomic.Uint64
-	connectionsDialed    atomic.Uint64
-	dialsCoalesced       atomic.Uint64
-	flushesCoalesced     atomic.Uint64
-	connectionsPrewarmed atomic.Uint64
-	cancelsSent          atomic.Uint64
-	cancelsReceived      atomic.Uint64
-	requestsShed         atomic.Uint64
-	retriesAttempted     atomic.Uint64
-	recoveriesSucceeded  atomic.Uint64
-	recoveriesFailed     atomic.Uint64
-	inFlight             atomic.Int64
+	requestsSent           atomic.Uint64
+	repliesReceived        atomic.Uint64
+	requestsServed         atomic.Uint64
+	connectionsAccepted    atomic.Uint64
+	connectionsDialed      atomic.Uint64
+	dialsCoalesced         atomic.Uint64
+	flushesCoalesced       atomic.Uint64
+	connectionsPrewarmed   atomic.Uint64
+	cancelsSent            atomic.Uint64
+	cancelsReceived        atomic.Uint64
+	requestsShed           atomic.Uint64
+	serverFlushesCoalesced atomic.Uint64
+	framesRead             atomic.Uint64
+	frameReads             atomic.Uint64
+	oversizeRejected       atomic.Uint64
+	retriesAttempted       atomic.Uint64
+	recoveriesSucceeded    atomic.Uint64
+	recoveriesFailed       atomic.Uint64
+	inFlight               atomic.Int64
 }
 
 // Stats returns a snapshot of the ORB's counters.
 func (o *ORB) Stats() Stats {
+	o.mu.Lock()
+	queueDepth := 0
+	if o.pool != nil {
+		queueDepth = o.pool.depth()
+	}
+	o.mu.Unlock()
+	framesRead := o.counters.framesRead.Load()
+	frameReads := o.counters.frameReads.Load()
+	framesPerRead := 0.0
+	if frameReads > 0 {
+		framesPerRead = float64(framesRead) / float64(frameReads)
+	}
 	return Stats{
-		RequestsSent:         o.counters.requestsSent.Load(),
-		RepliesReceived:      o.counters.repliesReceived.Load(),
-		RequestsServed:       o.counters.requestsServed.Load(),
-		ConnectionsAccepted:  o.counters.connectionsAccepted.Load(),
-		ConnectionsDialed:    o.counters.connectionsDialed.Load(),
-		DialsCoalesced:       o.counters.dialsCoalesced.Load(),
-		FlushesCoalesced:     o.counters.flushesCoalesced.Load(),
-		ConnectionsPrewarmed: o.counters.connectionsPrewarmed.Load(),
-		CancelsSent:          o.counters.cancelsSent.Load(),
-		CancelsReceived:      o.counters.cancelsReceived.Load(),
-		RequestsShed:         o.counters.requestsShed.Load(),
-		RetriesAttempted:     o.counters.retriesAttempted.Load(),
-		RecoveriesSucceeded:  o.counters.recoveriesSucceeded.Load(),
-		RecoveriesFailed:     o.counters.recoveriesFailed.Load(),
-		InFlight:             o.counters.inFlight.Load(),
+		RequestsSent:           o.counters.requestsSent.Load(),
+		RepliesReceived:        o.counters.repliesReceived.Load(),
+		RequestsServed:         o.counters.requestsServed.Load(),
+		ConnectionsAccepted:    o.counters.connectionsAccepted.Load(),
+		ConnectionsDialed:      o.counters.connectionsDialed.Load(),
+		DialsCoalesced:         o.counters.dialsCoalesced.Load(),
+		FlushesCoalesced:       o.counters.flushesCoalesced.Load(),
+		ConnectionsPrewarmed:   o.counters.connectionsPrewarmed.Load(),
+		CancelsSent:            o.counters.cancelsSent.Load(),
+		CancelsReceived:        o.counters.cancelsReceived.Load(),
+		RequestsShed:           o.counters.requestsShed.Load(),
+		ServerFlushesCoalesced: o.counters.serverFlushesCoalesced.Load(),
+		FramesRead:             framesRead,
+		FrameReads:             frameReads,
+		FramesPerRead:          framesPerRead,
+		OversizeRejected:       o.counters.oversizeRejected.Load(),
+		DispatchQueueDepth:     queueDepth,
+		RetriesAttempted:       o.counters.retriesAttempted.Load(),
+		RecoveriesSucceeded:    o.counters.recoveriesSucceeded.Load(),
+		RecoveriesFailed:       o.counters.recoveriesFailed.Load(),
+		InFlight:               o.counters.inFlight.Load(),
 	}
 }
 
@@ -112,6 +153,10 @@ func (o *ORB) ExportStats(reg *obs.Registry) {
 		{"orb_cancels_sent_total", "Wire-level cancels written for abandoned calls.", &o.counters.cancelsSent},
 		{"orb_cancels_received_total", "Wire-level cancels acted on by the server side.", &o.counters.cancelsReceived},
 		{"orb_requests_shed_total", "Requests rejected by deadline-aware admission.", &o.counters.requestsShed},
+		{"orb_server_flushes_coalesced_total", "Server replies that shared a coalesced flush.", &o.counters.serverFlushesCoalesced},
+		{"orb_frames_read_total", "GIOP frames delivered by reactor read loops.", &o.counters.framesRead},
+		{"orb_frame_reads_total", "Read syscalls those frames arrived in.", &o.counters.frameReads},
+		{"orb_oversize_rejected_total", "Inbound frames rejected by the request-body cap.", &o.counters.oversizeRejected},
 		{"orb_retries_attempted_total", "Replay rounds entered by the resilient-call engine.", &o.counters.retriesAttempted},
 		{"orb_recoveries_succeeded_total", "Recover steps that produced a replacement reference.", &o.counters.recoveriesSucceeded},
 		{"orb_recoveries_failed_total", "Recover steps that themselves failed.", &o.counters.recoveriesFailed},
@@ -122,4 +167,19 @@ func (o *ORB) ExportStats(reg *obs.Registry) {
 	}
 	reg.NewGaugeFunc("orb_inflight_requests", "Server-side dispatches currently running.",
 		func() float64 { return float64(o.counters.inFlight.Load()) })
+	reg.NewGaugeFunc("orb_dispatch_queue_depth", "Admitted requests waiting for a dispatch worker.",
+		func() float64 {
+			o.mu.Lock()
+			defer o.mu.Unlock()
+			if o.pool == nil {
+				return 0
+			}
+			return float64(o.pool.depth())
+		})
+	// Batch sizes are frame counts, not seconds, so the histogram gets
+	// power-of-two count buckets instead of the latency defaults.
+	hist := reg.NewHistogramVec("orb_read_batch_frames",
+		"Frames delivered per reactor read-loop wakeup.",
+		[]float64{1, 2, 4, 8, 16, 32, 64}).With()
+	o.batchHist.Store(&hist)
 }

@@ -1,0 +1,104 @@
+package orb
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/giop"
+)
+
+// dispatchTask is one admitted request on its way through the shared
+// worker pool. Tasks are pooled; the embedded ServerContext is the
+// per-dispatch scratch that lets the servant-facing context live without
+// a steady-state allocation.
+type dispatchTask struct {
+	a       *Adapter
+	sc      *serverConn
+	req     *giop.Message
+	rctx    context.Context
+	rcancel context.CancelFunc
+	sctx    ServerContext
+}
+
+var taskPool = sync.Pool{New: func() any { return new(dispatchTask) }}
+
+func acquireTask() *dispatchTask { return taskPool.Get().(*dispatchTask) }
+
+func releaseTask(t *dispatchTask) {
+	rc := t.sctx.replyContexts[:0]
+	*t = dispatchTask{}
+	t.sctx.replyContexts = rc
+	taskPool.Put(t)
+}
+
+// workerPool is the ORB-wide bounded dispatch executor: a fixed set of
+// workers draining one queue shared by every adapter connection. It
+// replaces the old per-adapter semaphore — concurrency is a property of
+// the process (how many dispatches the hardware should run), not of any
+// single adapter.
+type workerPool struct {
+	queue chan *dispatchTask
+	wg    sync.WaitGroup
+}
+
+// poolSize resolves the worker count: WorkerPool wins, then the legacy
+// MaxServerWorkers cap, then a GOMAXPROCS-derived default with a floor
+// that keeps blocking servants from serializing small machines.
+func poolSize(opts *Options) int {
+	if opts.WorkerPool > 0 {
+		return opts.WorkerPool
+	}
+	if opts.MaxServerWorkers > 0 {
+		return opts.MaxServerWorkers
+	}
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+func newWorkerPool(workers int) *workerPool {
+	depth := 16 * workers
+	if depth < 256 {
+		depth = 256
+	}
+	p := &workerPool{queue: make(chan *dispatchTask, depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.run()
+	}
+	return p
+}
+
+func (p *workerPool) run() {
+	defer p.wg.Done()
+	for t := range p.queue {
+		t.a.serveRequest(t)
+	}
+}
+
+// stop drains the pool: adapters have already waited for their tasks, so
+// closing the queue lets every worker exit.
+func (p *workerPool) stop() {
+	close(p.queue)
+	p.wg.Wait()
+}
+
+// depth reports how many admitted requests are waiting for a worker.
+func (p *workerPool) depth() int { return len(p.queue) }
+
+// ensurePool lazily starts the dispatch pool (client-only ORBs never pay
+// for it).
+func (o *ORB) ensurePool() (*workerPool, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.shutdown {
+		return nil, CommFailure("orb is shut down")
+	}
+	if o.pool == nil {
+		o.pool = newWorkerPool(poolSize(&o.opts))
+	}
+	return o.pool, nil
+}
