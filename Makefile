@@ -26,10 +26,13 @@ race:
 ## chaos: the fault-injection soaks — Rosenbrock under worker kills, a
 ## naming partition, checkpoint-path delays and a checkpointd replica
 ## crash, plus the control-plane scenario (3 naming replicas, primary
-## nameserver and winnerd killed mid-run, lease expiry), race-enabled,
-## fixed seeds.
+## nameserver and winnerd killed mid-run, lease expiry) and the naming
+## storm (10k push-subscribed clients, group member killed mid-run,
+## naming request traffic must stay flat; CHAOS_ARTIFACT exports the
+## traffic summary as JSON), race-enabled, fixed seeds.
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaosSoak|TestControlPlaneChaos' -v ./integration/
+	CHAOS_ARTIFACT=$${CHAOS_ARTIFACT:-naming_storm_soak.json} \
+		$(GO) test -race -count=1 -run 'TestChaosSoak|TestControlPlaneChaos|TestNamingStormSoak' -v ./integration/
 
 generate:
 	$(GO) generate ./...

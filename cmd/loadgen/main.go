@@ -1,30 +1,58 @@
-// Command loadgen generates artificial background load, the way the
-// paper's experiments load selected workstations ("a background load was
-// generated on 0, 2, 4, 6 or 8 hosts"): it spins the requested number of
-// CPU-bound worker loops for the requested duration.
+// Command loadgen generates artificial load two ways.
+//
+// CPU mode (the paper's experiments load selected workstations — "a
+// background load was generated on 0, 2, 4, 6 or 8 hosts"): spin the
+// requested number of CPU-bound worker loops for the requested duration.
 //
 //	loadgen -procs 2 -duration 5m
+//
+// Naming-storm mode: simulate a fleet of clients that hold a group ref
+// over the push-based naming cache. Each simulated client subscribes
+// once (one watch RPC), then picks a member every -pick-interval from
+// pushed membership — zero resolve traffic while members die and
+// return. This is the client side of the resolve-storm acceptance
+// scenario; kill a group member mid-run and watch the nameserver's
+// naming_resolves_total stay flat while picks keep succeeding.
+//
+//	loadgen -ns @ns1.ref -watch-clients 10000 -group svc/workers -duration 2m
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"math"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"repro/internal/naming"
+	"repro/internal/orb"
 )
 
 func main() {
-	procs := flag.Int("procs", 1, "number of CPU-bound load loops")
+	procs := flag.Int("procs", 1, "number of CPU-bound load loops (CPU mode)")
 	duration := flag.Duration("duration", 0, "stop after this long (0: until interrupted)")
+	nsRef := flag.String("ns", "", "naming service SIOR or @ref-file (enables naming-storm mode)")
+	clients := flag.Int("watch-clients", 1000, "simulated subscribing clients (naming-storm mode)")
+	group := flag.String("group", "svc/workers", "group name the clients hold a ref to")
+	pickInterval := flag.Duration("pick-interval", 100*time.Millisecond, "per-client member pick cadence")
 	flag.Parse()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if *nsRef != "" {
+		runNamingStorm(*nsRef, *clients, *group, *pickInterval, *duration, sig)
+		return
+	}
+
 	if *procs < 1 {
 		log.Fatal("loadgen: -procs must be >= 1")
 	}
-
 	var stop atomic.Bool
 	for i := 0; i < *procs; i++ {
 		go func(seed float64) {
@@ -40,9 +68,12 @@ func main() {
 		}(float64(i + 2))
 	}
 	log.Printf("loadgen: %d load processes running", *procs)
+	wait(duration, sig)
+	stop.Store(true)
+	log.Print("loadgen: done")
+}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+func wait(duration *time.Duration, sig chan os.Signal) {
 	if *duration > 0 {
 		select {
 		case <-time.After(*duration):
@@ -51,8 +82,76 @@ func main() {
 	} else {
 		<-sig
 	}
+}
+
+// runNamingStorm spins n simulated clients, each with its own GroupCache
+// (own subscription, own pushed view) sharing one ORB and one listener
+// adapter, picking from the group on a cadence.
+func runNamingStorm(refSpec string, n int, group string, pickEvery time.Duration, duration time.Duration, sig chan os.Signal) {
+	if strings.HasPrefix(refSpec, "@") {
+		raw, err := os.ReadFile(refSpec[1:])
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		refSpec = strings.TrimSpace(string(raw))
+	}
+	ref, err := orb.RefFromString(refSpec)
+	if err != nil {
+		log.Fatalf("loadgen: bad -ns reference: %v", err)
+	}
+	name, err := naming.ParseName(group)
+	if err != nil {
+		log.Fatalf("loadgen: bad -group name: %v", err)
+	}
+
+	o := orb.New(orb.Options{Name: "loadgen"})
+	defer o.Shutdown()
+	ad, err := o.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	ns := naming.NewClient(o, ref)
+
+	var picksOK, picksFail atomic.Uint64
+	caches := make([]*naming.GroupCache, n)
+	refs := make([]*naming.GroupRef, n)
+	for i := range caches {
+		caches[i] = naming.NewGroupCache(ad, ns, naming.GroupCacheOptions{
+			Refresh: 5 * time.Minute, // pushes carry the updates; refresh is insurance
+		})
+		refs[i] = caches[i].Group(name, naming.SpreadRoundRobin)
+	}
+	log.Printf("loadgen: %d watch clients on %s (group %s)", n, ref.Addr, name)
+
+	var stop atomic.Bool
+	for i := range refs {
+		go func(g *naming.GroupRef) {
+			t := time.NewTicker(pickEvery)
+			defer t.Stop()
+			for !stop.Load() {
+				<-t.C
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				_, err := g.Pick(ctx)
+				cancel()
+				if err != nil {
+					picksFail.Add(1)
+				} else {
+					picksOK.Add(1)
+				}
+			}
+		}(refs[i])
+	}
+
+	wait(&duration, sig)
 	stop.Store(true)
-	log.Print("loadgen: done")
+	var applied, resub uint64
+	for _, c := range caches {
+		applied += c.Applied()
+		resub += c.Resubscribes()
+		c.Close()
+	}
+	log.Printf("loadgen: picks ok=%d fail=%d, invalidations applied=%d, resubscribes=%d",
+		picksOK.Load(), picksFail.Load(), applied, resub)
 }
 
 //go:noinline

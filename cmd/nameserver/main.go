@@ -49,6 +49,8 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated peer nameserver SIORs or @ref-file specs (enables replication)")
 	syncPeriod := flag.Duration("sync-period", time.Second, "replication push interval (with -peers)")
 	sweepPeriod := flag.Duration("sweep-period", 500*time.Millisecond, "leased-offer expiry sweep interval")
+	pushTimeout := flag.Duration("push-timeout", 2*time.Second, "per-watcher invalidation push timeout")
+	watchTTL := flag.Duration("watch-ttl", 5*time.Minute, "drop watchers silent for this long")
 	obsAddr := flag.String("obs", "", "serve /metrics and /debug/traces on this address (empty: disabled)")
 	workers := flag.Int("workers", 0, "dispatch worker pool size (0: 2×GOMAXPROCS)")
 	readBatch := flag.Int("read-batch", 0, "max request frames per connection read-loop wakeup (0: 32)")
@@ -85,6 +87,22 @@ func main() {
 		servant = core.NewPlainNamingServant(reg)
 	}
 
+	// The push hub observes every registry mutation (including sweeper
+	// evictions and adopted peer snapshots) and fans membership updates
+	// out to watching clients. The selector ranks pushed membership
+	// winner-first so winner-weighted clients bias the same way resolve
+	// would.
+	var rank func(naming.Name, []naming.OfferLease) []naming.OfferLease
+	if selector != nil {
+		rank = naming.RankBySelector(selector)
+	}
+	hub := naming.NewHub(o, reg, naming.HubOptions{
+		PushTimeout: *pushTimeout, WatchTTL: *watchTTL, Rank: rank,
+	})
+	hub.Start()
+	defer hub.Stop()
+	servant.SetHub(hub)
+
 	sweeper := naming.NewSweeper(reg, naming.SweeperOptions{Period: *sweepPeriod})
 	sweeper.Start()
 	defer sweeper.Stop()
@@ -113,6 +131,13 @@ func main() {
 			"Monotonic registry mutation epoch.", func() float64 { return float64(reg.Epoch()) })
 		ob.Registry.NewCounterFunc("naming_snapshots_adopted_total",
 			"Peer snapshots adopted by this replica.", reg.SnapshotsAdopted)
+		hub.ExportMetrics(ob.Registry)
+		ob.Registry.NewCounterFunc("naming_resolves_total",
+			"Resolve requests served (the number pushes exist to keep flat).",
+			servant.Resolves)
+		ob.Registry.NewCounterFunc("naming_watch_requests_total",
+			"Watch registrations served (subscriptions and re-watches).",
+			servant.WatchRequests)
 		if selector != nil {
 			ob.Registry.NewCounterFunc("winner_fallback_total",
 				"Resolves that degraded to the fallback selector.", selector.Fallbacks)

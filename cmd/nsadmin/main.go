@@ -6,6 +6,7 @@
 //	nsadmin -ns "$SIOR" offers a/b         # list a group's offers
 //	nsadmin -ns "$SIOR" leases a/b         # list offers with lease state
 //	nsadmin -ns "$SIOR" leases -stale a/b  # only leases at risk / expired
+//	nsadmin -ns "$SIOR" watches            # names with push subscribers
 //	nsadmin -ns "$SIOR" bind a/b "$SIOR2"  # bind a stringified reference
 //	nsadmin -ns "$SIOR" unbind a/b         # remove a binding
 //	nsadmin -ns "$SIOR" mkdir a/b          # create a sub-context
@@ -111,6 +112,15 @@ func main() {
 				continue
 			}
 			fmt.Printf("%-12s %-10s %v\n", l.Offer.Host, leaseLabel(l), l.Offer.Ref)
+		}
+
+	case "watches":
+		watches, err := ns.ListWatches(ctx)
+		if err != nil {
+			log.Fatalf("nsadmin: %v", err)
+		}
+		for _, w := range watches {
+			fmt.Printf("%-8d %s\n", w.Watchers, w.Name)
 		}
 
 	case "bind":

@@ -1,0 +1,253 @@
+package integration
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/naming"
+	"repro/internal/orb"
+)
+
+// The naming-storm soak: a fleet of simulated clients (10k by default,
+// STORM_CLIENTS overrides) each holds a push-subscribed group ref over a
+// 3-replica naming service. The scenario kills one group member, then
+// the whole group, then re-binds a member — and asserts the resolve
+// storm the push protocol exists to prevent never happens: the naming
+// service's resolve counter stays exactly flat and no client re-watches,
+// because every membership change reaches the fleet as oneway pushes.
+// Naming traffic is O(replicas) per event (one push fan-out from the
+// subscribed replica), never O(clients) request traffic.
+
+// stormReplica is one in-process naming replica with its push hub.
+type stormReplica struct {
+	o   *orb.ORB
+	reg *naming.Registry
+	srv *naming.Servant
+	hub *naming.Hub
+	ref orb.ObjectRef
+}
+
+func startStormReplica(t *testing.T) *stormReplica {
+	t.Helper()
+	o := orb.New(orb.Options{Name: "storm-ns"})
+	t.Cleanup(o.Shutdown)
+	a, err := o.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := naming.NewRegistry()
+	srv := naming.NewServant(reg, naming.RoundRobinSelector())
+	hub := naming.NewHub(o, reg, naming.HubOptions{PushTimeout: 5 * time.Second})
+	hub.Start()
+	t.Cleanup(hub.Stop)
+	srv.SetHub(hub)
+	ref := a.Activate(naming.DefaultKey, srv)
+	return &stormReplica{o: o, reg: reg, srv: srv, hub: hub, ref: ref}
+}
+
+func stormClients() int {
+	if s := os.Getenv("STORM_CLIENTS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 10000
+}
+
+func TestNamingStormSoak(t *testing.T) {
+	nClients := stormClients()
+	replicas := []*stormReplica{startStormReplica(t), startStormReplica(t), startStormReplica(t)}
+	group := naming.NewName("workers")
+	memberA := orb.ObjectRef{Addr: "10.0.0.1:7001", Key: "w", TypeID: "IDL:w:1.0"}
+	memberB := orb.ObjectRef{Addr: "10.0.0.2:7001", Key: "w", TypeID: "IDL:w:1.0"}
+	memberC := orb.ObjectRef{Addr: "10.0.0.3:7001", Key: "w", TypeID: "IDL:w:1.0"}
+	// Mutations are applied to every replica's registry directly,
+	// standing in for the replication mesh (exercised elsewhere): this
+	// soak is about the client-facing traffic pattern.
+	mutate := func(f func(r *naming.Registry) error) {
+		t.Helper()
+		for _, rep := range replicas {
+			if err := f(rep.reg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mutate(func(r *naming.Registry) error { return r.BindOffer(group, naming.Offer{Ref: memberA, Host: "w1"}) })
+	mutate(func(r *naming.Registry) error { return r.BindOffer(group, naming.Offer{Ref: memberB, Host: "w2"}) })
+	mutate(func(r *naming.Registry) error { return r.BindOffer(group, naming.Offer{Ref: memberC, Host: "w3"}) })
+
+	co := orb.New(orb.Options{Name: "storm-clients", CallTimeout: 10 * time.Second})
+	t.Cleanup(co.Shutdown)
+	ad, err := co.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := naming.NewHAClient(co, []orb.ObjectRef{replicas[0].ref, replicas[1].ref, replicas[2].ref},
+		naming.HAOptions{PerTryTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	caches := make([]*naming.GroupCache, nClients)
+	refs := make([]*naming.GroupRef, nClients)
+	for i := range caches {
+		caches[i] = naming.NewGroupCache(ad, ha, naming.GroupCacheOptions{Refresh: -1})
+		refs[i] = caches[i].Group(group, naming.SpreadRoundRobin)
+	}
+	t.Cleanup(func() {
+		// Skip per-cache unwatch RPC teardown: 10k serial unwatches cost
+		// real time and the server ORBs die with the test anyway.
+	})
+
+	// Subscribe the whole fleet (the watch doubles as the only resolve
+	// each client ever needs), in parallel.
+	subscribe := func() {
+		t.Helper()
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, 64)
+		errs := make(chan error, nClients)
+		for _, g := range refs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(g *naming.GroupRef) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if _, err := g.Pick(context.Background()); err != nil {
+					errs <- err
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	subscribe()
+
+	totals := func() (resolves, watches uint64) {
+		for _, rep := range replicas {
+			resolves += rep.srv.Resolves()
+			watches += rep.srv.WatchRequests()
+		}
+		return
+	}
+	baseResolves, baseWatches := totals()
+	if baseResolves != 0 {
+		t.Fatalf("subscription phase issued %d resolves, want 0 (watch doubles as resolve)", baseResolves)
+	}
+	if baseWatches != uint64(nClients) {
+		t.Fatalf("subscription phase issued %d watch calls, want exactly %d", baseWatches, nClients)
+	}
+
+	// waitConverged blocks until every client's cached membership has n
+	// members (pushes are oneway and asynchronous).
+	waitConverged := func(what string, n int) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Minute)
+		for {
+			converged := true
+			for _, c := range caches {
+				if len(c.Members(group)) != n {
+					converged = false
+					break
+				}
+			}
+			if converged {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("fleet never converged after %s", what)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// Phase 1: kill one group member. Every client must learn by push
+	// and route around it with zero naming requests.
+	mutate(func(r *naming.Registry) error { return r.UnbindOffer(group, memberA) })
+	waitConverged("member kill", 2)
+	for _, g := range refs {
+		for i := 0; i < 2; i++ {
+			ref, err := g.Pick(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == memberA {
+				t.Fatal("a client picked the killed member after convergence")
+			}
+		}
+	}
+	r1, w1 := totals()
+	if r1 != baseResolves || w1 != baseWatches {
+		t.Fatalf("member kill cost naming traffic: resolves +%d, watches +%d (want +0/+0)",
+			r1-baseResolves, w1-baseWatches)
+	}
+
+	// Phase 2: kill the whole group. Picks must fail locally — the
+	// O(clients) resolve storm this PR exists to prevent is exactly
+	// "every client re-resolves a dead name in a retry loop".
+	mutate(func(r *naming.Registry) error { return r.UnbindOffer(group, memberB) })
+	mutate(func(r *naming.Registry) error { return r.UnbindOffer(group, memberC) })
+	waitConverged("whole-group kill", 0)
+	for _, g := range refs {
+		if _, err := g.Pick(context.Background()); !orb.IsUserException(err, naming.ExNotFound) {
+			t.Fatalf("empty group: want local NotFound, got %v", err)
+		}
+	}
+	r2, w2 := totals()
+	if r2 != r1 || w2 != w1 {
+		t.Fatalf("whole-group death cost naming traffic: resolves +%d, watches +%d (want +0/+0)",
+			r2-r1, w2-w1)
+	}
+
+	// Phase 3: the group comes back; one push per client restores
+	// service, again with zero request traffic.
+	mutate(func(r *naming.Registry) error { return r.BindOffer(group, naming.Offer{Ref: memberB, Host: "w2"}) })
+	waitConverged("group recovery", 1)
+	for _, g := range refs {
+		if ref, err := g.Pick(context.Background()); err != nil || ref != memberB {
+			t.Fatalf("after recovery: got %v, %v", ref, err)
+		}
+	}
+	r3, w3 := totals()
+	if r3 != r2 || w3 != w2 {
+		t.Fatalf("recovery cost naming traffic: resolves +%d, watches +%d (want +0/+0)",
+			r3-r2, w3-w2)
+	}
+
+	var pushed uint64
+	for _, rep := range replicas {
+		pushed += rep.hub.Pushed()
+	}
+	t.Logf("storm: %d clients, %d watch calls total, %d resolves total, %d pushes delivered",
+		nClients, w3, r3, pushed)
+
+	if path := os.Getenv("CHAOS_ARTIFACT"); path != "" {
+		artifact := map[string]any{
+			"scenario":            "naming_storm",
+			"clients":             nClients,
+			"replicas":            len(replicas),
+			"watch_requests":      w3,
+			"resolve_requests":    r3,
+			"invalidation_pushes": pushed,
+			"member_kill_traffic": map[string]uint64{"resolves": r1 - baseResolves, "watches": w1 - baseWatches},
+			"group_kill_traffic":  map[string]uint64{"resolves": r2 - r1, "watches": w2 - w1},
+			"recovery_traffic":    map[string]uint64{"resolves": r3 - r2, "watches": w3 - w2},
+		}
+		data, err := json.MarshalIndent(artifact, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write soak artifact: %v", err)
+		}
+		fmt.Printf("soak artifact written to %s\n", path)
+	}
+}

@@ -31,6 +31,16 @@ type Unbinder interface {
 	UnbindOffer(ctx context.Context, name naming.Name, ref orb.ObjectRef) error
 }
 
+// PushedResolver is a Resolver whose membership is maintained by pushed
+// naming invalidations (naming.GroupRef). Recovery then marks the dead
+// member locally and re-resolves from the cached membership — no naming
+// RPC at all on the common failover path; the nameserver learns of the
+// death through the lease mesh and pushes the removal to everyone.
+type PushedResolver interface {
+	Resolver
+	MarkDead(ref orb.ObjectRef)
+}
+
 // Policy tunes proxy behaviour.
 type Policy struct {
 	// CheckpointEvery stores a checkpoint after every Nth successful
@@ -479,7 +489,13 @@ func (p *Proxy) recoverFrom(ctx context.Context, dead orb.ObjectRef) (orb.Object
 
 	ctx, span := obs.StartSpan(ctx, "ft.recover",
 		obs.String("name", p.name.String()), obs.String("dead", dead.Addr))
-	if p.unbinder != nil {
+	if pr, ok := p.resolver.(PushedResolver); ok {
+		// Push-maintained membership: sideline the dead member locally and
+		// skip the unbind RPC — the resolve below is local too, so this
+		// recovery touches the naming service zero times.
+		pr.MarkDead(dead)
+		span.AddEvent("marked_dead_local", obs.String("addr", dead.Addr))
+	} else if p.unbinder != nil {
 		// Best effort: the offer may already be gone.
 		_ = p.unbinder.UnbindOffer(ctx, p.name, dead)
 		span.AddEvent("unbound_dead_offer", obs.String("addr", dead.Addr))

@@ -77,6 +77,8 @@ type ftWorld struct {
 	ctrA     *counterServant
 	ctrB     *counterServant
 	naming   *naming.Client
+	nsSrv    *naming.Servant
+	nsHub    *naming.Hub
 	store    *StoreClient
 	name     naming.Name
 }
@@ -92,7 +94,12 @@ func newFTWorld(t *testing.T) *ftWorld {
 		t.Fatal(err)
 	}
 	reg := naming.NewRegistry()
-	nsRef := svcAd.Activate(naming.DefaultKey, naming.NewServant(reg, naming.RoundRobinSelector()))
+	w.nsSrv = naming.NewServant(reg, naming.RoundRobinSelector())
+	w.nsHub = naming.NewHub(w.services, reg, naming.HubOptions{})
+	w.nsHub.Start()
+	t.Cleanup(w.nsHub.Stop)
+	w.nsSrv.SetHub(w.nsHub)
+	nsRef := svcAd.Activate(naming.DefaultKey, w.nsSrv)
 	storeRef := svcAd.Activate(StoreDefaultKey, NewStoreServant(NewMemStore()))
 
 	w.client = orb.New(orb.Options{Name: "client"})

@@ -1,0 +1,152 @@
+package ft
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/naming"
+	"repro/internal/orb"
+)
+
+// A GroupRef is usable directly as a proxy's resolver.
+var _ PushedResolver = (*naming.GroupRef)(nil)
+
+// fakePushed is a PushedResolver over a fixed member list: Resolve
+// returns the first member not marked dead, MarkDead records the call.
+type fakePushed struct {
+	mu    sync.Mutex
+	refs  []orb.ObjectRef
+	dead  map[orb.ObjectRef]bool
+	marks int
+}
+
+func (f *fakePushed) Resolve(ctx context.Context, name naming.Name) (orb.ObjectRef, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.refs {
+		if !f.dead[r] {
+			return r, nil
+		}
+	}
+	return orb.ObjectRef{}, errors.New("no live members")
+}
+
+func (f *fakePushed) MarkDead(ref orb.ObjectRef) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead == nil {
+		f.dead = make(map[orb.ObjectRef]bool)
+	}
+	f.dead[ref] = true
+	f.marks++
+}
+
+type countingUnbinder struct{ calls atomic.Int64 }
+
+func (u *countingUnbinder) UnbindOffer(ctx context.Context, name naming.Name, ref orb.ObjectRef) error {
+	u.calls.Add(1)
+	return nil
+}
+
+// TestRecoverySkipsUnbinderForPushedResolver: with a push-maintained
+// resolver, recovery marks the dead member locally and never issues the
+// unbind RPC — even when an unbinder is configured.
+func TestRecoverySkipsUnbinderForPushedResolver(t *testing.T) {
+	w := newFTWorld(t)
+	ctx := context.Background()
+	offers, err := w.naming.ListOffers(ctx, w.name)
+	if err != nil || len(offers) != 2 {
+		t.Fatalf("offers: %v, %v", offers, err)
+	}
+	fp := &fakePushed{refs: []orb.ObjectRef{offers[0].Ref, offers[1].Ref}}
+	cu := &countingUnbinder{}
+	p, err := NewProxy(ctx, w.client, w.name, fp, w.store, Policy{CheckpointEvery: 1}, WithUnbinder(cu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc(p, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	w.adA.Close()
+	w.srvA.Shutdown()
+	v, err := inc(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 10 {
+		t.Fatalf("value after recovery = %d, want 10", v)
+	}
+
+	fp.mu.Lock()
+	marks, deadA := fp.marks, fp.dead[offers[0].Ref]
+	fp.mu.Unlock()
+	if marks != 1 || !deadA {
+		t.Fatalf("MarkDead: calls=%d deadA=%v, want 1/true", marks, deadA)
+	}
+	if n := cu.calls.Load(); n != 0 {
+		t.Fatalf("unbinder called %d times; pushed resolver must skip it", n)
+	}
+	if st := p.Stats(); st.Recoveries == 0 {
+		t.Fatalf("stats = %+v, want a recovery", st)
+	}
+}
+
+// TestProxyRecoversViaPushedMembership is the end-to-end zero-RPC
+// failover path: a proxy resolving through a GroupRef subscribes once,
+// then survives a server crash with no resolve and no further watch
+// traffic at the nameserver.
+func TestProxyRecoversViaPushedMembership(t *testing.T) {
+	w := newFTWorld(t)
+	ctx := context.Background()
+	ad, err := w.client.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := naming.NewGroupCache(ad, w.naming, naming.GroupCacheOptions{Refresh: -1})
+	t.Cleanup(cache.Close)
+	g := cache.Group(w.name, naming.SpreadSticky)
+
+	p, err := NewProxy(ctx, w.client, w.name, g, w.store, Policy{CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := inc(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash whichever server the sticky ref pinned; the replica is the
+	// other one.
+	if p.Ref().Addr == w.adA.Addr() {
+		w.adA.Close()
+		w.srvA.Shutdown()
+	} else {
+		w.adB.Close()
+		w.srvB.Shutdown()
+	}
+	v, err := inc(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 4 {
+		t.Fatalf("value after crash = %d, want 4", v)
+	}
+	if st := p.Stats(); st.Recoveries == 0 {
+		t.Fatalf("stats = %+v, want a recovery", st)
+	}
+
+	// The whole episode cost the nameserver one watch call and zero
+	// resolves: the initial subscription doubles as the resolve, and the
+	// failover ran entirely on cached membership.
+	if n := w.nsSrv.Resolves(); n != 0 {
+		t.Fatalf("nameserver served %d resolves, want 0", n)
+	}
+	if n := w.nsSrv.WatchRequests(); n != 1 {
+		t.Fatalf("nameserver served %d watch requests, want 1", n)
+	}
+}

@@ -78,11 +78,29 @@ func (c *Client) Unbind(ctx context.Context, name Name) error {
 // service's selector (plain or Winner-driven) picks the offer — this is
 // the call whose behaviour the paper changes transparently.
 func (c *Client) Resolve(ctx context.Context, name Name) (orb.ObjectRef, error) {
+	ref, _, err := c.ResolveLease(ctx, name)
+	return ref, err
+}
+
+// ResolveLease is Resolve plus the chosen offer's lease TTL (zero for
+// leaseless offers, and when talking to a pre-lease server whose reply
+// lacks the trailing field). Cache layers use the TTL to age cached
+// references instead of serving them silently forever.
+func (c *Client) ResolveLease(ctx context.Context, name Name) (orb.ObjectRef, time.Duration, error) {
 	var ref orb.ObjectRef
+	var ttl time.Duration
 	err := c.follow(ctx, name, opResolve,
 		func(e *cdr.Encoder, target Name) { target.MarshalCDR(e) },
-		func(d *cdr.Decoder) error { return ref.UnmarshalCDR(d) })
-	return ref, err
+		func(d *cdr.Decoder) error {
+			if err := ref.UnmarshalCDR(d); err != nil {
+				return err
+			}
+			if d.Remaining() >= 8 {
+				ttl = time.Duration(d.GetInt64())
+			}
+			return d.Err()
+		})
+	return ref, ttl, err
 }
 
 // BindNewContext creates a sub-context at name.
@@ -163,20 +181,62 @@ func (c *Client) ListLeases(ctx context.Context, name Name) ([]OfferLease, error
 	err := c.follow(ctx, name, opListLeases,
 		func(e *cdr.Encoder, target Name) { target.MarshalCDR(e) },
 		func(d *cdr.Decoder) error {
+			var err error
+			out, err = getLeases(d)
+			return err
+		})
+	return out, err
+}
+
+// Watch registers callback for oneway membership pushes about name and
+// returns the name's current membership and epoch — one call both
+// subscribes and delta-syncs, which is also how a reconnecting client
+// catches up. sinceEpoch is the epoch the caller already holds (0 for a
+// fresh subscription).
+func (c *Client) Watch(ctx context.Context, name Name, callback orb.ObjectRef, sinceEpoch uint64) ([]OfferLease, uint64, error) {
+	var out []OfferLease
+	var epoch uint64
+	err := c.follow(ctx, name, opWatch,
+		func(e *cdr.Encoder, target Name) {
+			target.MarshalCDR(e)
+			callback.MarshalCDR(e)
+			e.PutUint64(sinceEpoch)
+		},
+		func(d *cdr.Decoder) error {
+			epoch = d.GetUint64()
+			var err error
+			out, err = getLeases(d)
+			return err
+		})
+	return out, epoch, err
+}
+
+// Unwatch removes callback's subscription for name.
+func (c *Client) Unwatch(ctx context.Context, name Name, callback orb.ObjectRef) error {
+	return c.follow(ctx, name, opUnwatch, func(e *cdr.Encoder, target Name) {
+		target.MarshalCDR(e)
+		callback.MarshalCDR(e)
+	}, nil)
+}
+
+// ListWatches returns the server's watch table (operator view;
+// `nsadmin watches`).
+func (c *Client) ListWatches(ctx context.Context) ([]WatchInfo, error) {
+	var out []WatchInfo
+	err := c.follow(ctx, nil, opListWatches,
+		func(e *cdr.Encoder, _ Name) {},
+		func(d *cdr.Decoder) error {
 			n := d.GetUint32()
 			if n > 1<<20 {
-				return &orb.SystemException{Kind: orb.ExMarshal, Detail: "lease list too long"}
+				return &orb.SystemException{Kind: orb.ExMarshal, Detail: "watch list too long"}
 			}
-			out = make([]OfferLease, 0, n)
+			out = make([]WatchInfo, 0, n)
 			for i := uint32(0); i < n; i++ {
-				var l OfferLease
-				if err := l.Offer.Ref.UnmarshalCDR(d); err != nil {
+				wn, err := DecodeName(d)
+				if err != nil {
 					return err
 				}
-				l.Offer.Host = d.GetString()
-				l.Offer.LeaseTTL = time.Duration(d.GetInt64())
-				l.Remaining = time.Duration(d.GetInt64())
-				out = append(out, l)
+				out = append(out, WatchInfo{Name: wn, Watchers: int(d.GetUint32())})
 			}
 			return d.Err()
 		})

@@ -1,0 +1,240 @@
+package naming
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/orb"
+)
+
+// fakeBinder is an in-memory WatchBinder: no nameserver, no pushes —
+// tests drive the cache through watch replies and direct apply calls.
+type fakeBinder struct {
+	mu        sync.Mutex
+	leases    []OfferLease
+	epoch     uint64
+	watches   int
+	unwatches int
+}
+
+func (f *fakeBinder) Watch(ctx context.Context, name Name, callback orb.ObjectRef, sinceEpoch uint64) ([]OfferLease, uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.watches++
+	out := make([]OfferLease, len(f.leases))
+	copy(out, f.leases)
+	return out, f.epoch, nil
+}
+
+func (f *fakeBinder) Unwatch(ctx context.Context, name Name, callback orb.ObjectRef) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.unwatches++
+	return nil
+}
+
+func (f *fakeBinder) watchCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.watches
+}
+
+func offerLease(addr, key string) OfferLease {
+	return OfferLease{Offer: Offer{Ref: testRef(addr, key), Host: addr}}
+}
+
+func TestSpreadRoundRobinCycles(t *testing.T) {
+	f := &fakeBinder{leases: []OfferLease{
+		offerLease("h1:1", "a"), offerLease("h2:1", "b"), offerLease("h3:1", "c"),
+	}, epoch: 1}
+	cache := newTestCache(t, f, GroupCacheOptions{})
+	g := cache.Group(NewName("svc"), SpreadRoundRobin)
+
+	counts := map[orb.ObjectRef]int{}
+	for i := 0; i < 9; i++ {
+		ref, err := g.Pick(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[ref]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("round-robin reached %d members, want 3", len(counts))
+	}
+	for ref, n := range counts {
+		if n != 3 {
+			t.Fatalf("uneven round-robin: %v picked %d times, want 3", ref, n)
+		}
+	}
+	if f.watchCount() != 1 {
+		t.Fatalf("%d watch calls for 9 picks, want 1", f.watchCount())
+	}
+}
+
+func TestSpreadStickyPinsAndFailsOver(t *testing.T) {
+	f := &fakeBinder{leases: []OfferLease{
+		offerLease("h1:1", "a"), offerLease("h2:1", "b"),
+	}, epoch: 1}
+	cache := newTestCache(t, f, GroupCacheOptions{})
+	g := cache.Group(NewName("svc"), SpreadSticky)
+	ctx := context.Background()
+
+	first, err := g.Pick(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		ref, err := g.Pick(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref != first {
+			t.Fatalf("sticky ref moved from %v to %v without a death", first, ref)
+		}
+	}
+
+	g.MarkDead(first)
+	second, err := g.Pick(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second == first {
+		t.Fatal("sticky ref did not fail over off the dead member")
+	}
+	for i := 0; i < 5; i++ {
+		ref, err := g.Pick(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref != second {
+			t.Fatalf("sticky ref unstable after failover: %v vs %v", ref, second)
+		}
+	}
+	if cache.Failovers() != 1 {
+		t.Fatalf("failovers = %d, want 1", cache.Failovers())
+	}
+	if f.watchCount() != 1 {
+		t.Fatalf("failover cost %d watch calls, want the initial 1 only", f.watchCount())
+	}
+}
+
+func TestSpreadWeightedBiasesHead(t *testing.T) {
+	head := offerLease("h1:1", "a")
+	f := &fakeBinder{leases: []OfferLease{
+		head, offerLease("h2:1", "b"), offerLease("h3:1", "c"),
+	}, epoch: 1}
+	cache := newTestCache(t, f, GroupCacheOptions{})
+	g := cache.Group(NewName("svc"), SpreadWeighted)
+
+	counts := map[orb.ObjectRef]int{}
+	const picks = 2000
+	for i := 0; i < picks; i++ {
+		ref, err := g.Pick(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[ref]++
+	}
+	// p(head) = 1/2: expect ~1000 of 2000; allow wide slack.
+	got := counts[head.Offer.Ref]
+	if got < picks*2/5 || got > picks*3/5 {
+		t.Fatalf("head got %d of %d picks, want roughly half", got, picks)
+	}
+	for ref, n := range counts {
+		if ref != head.Offer.Ref && n >= got {
+			t.Fatalf("non-head member %v (%d) out-picked the head (%d)", ref, n, got)
+		}
+	}
+}
+
+func TestDeadMemberTTLReeligibility(t *testing.T) {
+	refA := testRef("h1:1", "a")
+	f := &fakeBinder{leases: []OfferLease{
+		{Offer: Offer{Ref: refA, Host: "h1"}}, offerLease("h2:1", "b"),
+	}, epoch: 1}
+	base := time.Now()
+	var offset atomic.Int64
+	cache := newTestCache(t, f, GroupCacheOptions{
+		DeadMemberTTL: 10 * time.Second,
+		Clock:         func() time.Time { return base.Add(time.Duration(offset.Load())) },
+	})
+	g := cache.Group(NewName("svc"), SpreadRoundRobin)
+	ctx := context.Background()
+
+	if _, err := g.Pick(ctx); err != nil {
+		t.Fatal(err)
+	}
+	g.MarkDead(refA)
+	for i := 0; i < 6; i++ {
+		ref, err := g.Pick(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == refA {
+			t.Fatal("picked a member inside its dead-sideline window")
+		}
+	}
+
+	// Past the sideline TTL the member is eligible again (false-positive
+	// damage is bounded even if no push ever confirms the death).
+	offset.Store(int64(11 * time.Second))
+	seen := map[orb.ObjectRef]bool{}
+	for i := 0; i < 6; i++ {
+		ref, err := g.Pick(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[ref] = true
+	}
+	if !seen[refA] {
+		t.Fatal("sidelined member never became eligible after DeadMemberTTL")
+	}
+}
+
+func TestEmptyGroupFailsLocally(t *testing.T) {
+	f := &fakeBinder{epoch: 1}
+	cache := newTestCache(t, f, GroupCacheOptions{})
+	g := cache.Group(NewName("svc"), SpreadRoundRobin)
+
+	for i := 0; i < 5; i++ {
+		if _, err := g.Pick(context.Background()); !orb.IsUserException(err, ExNotFound) {
+			t.Fatalf("empty group: want NotFound, got %v", err)
+		}
+	}
+	// The empty view from the first watch is authoritative: repeated
+	// picks must not turn into repeated naming calls.
+	if f.watchCount() != 1 {
+		t.Fatalf("5 failing picks cost %d watch calls, want 1", f.watchCount())
+	}
+}
+
+func TestApplyEpochGuard(t *testing.T) {
+	f := &fakeBinder{}
+	cache := newTestCache(t, f, GroupCacheOptions{})
+	name := NewName("svc")
+	cache.Group(name, SpreadRoundRobin)
+
+	one := []OfferLease{offerLease("h1:1", "a")}
+	two := []OfferLease{offerLease("h1:1", "a"), offerLease("h2:1", "b")}
+
+	cache.apply(name, 5, two)
+	cache.apply(name, 3, one) // late reordered push: must not regress
+	cache.apply(name, 5, one) // duplicate delivery: must not regress
+	cache.apply(name, 6, one)
+
+	if got := cache.Epoch(name); got != 6 {
+		t.Fatalf("epoch = %d, want 6", got)
+	}
+	if got := len(cache.Members(name)); got != 1 {
+		t.Fatalf("members = %d, want the epoch-6 view (1)", got)
+	}
+	if cache.StaleDrops() != 2 {
+		t.Fatalf("stale drops = %d, want 2", cache.StaleDrops())
+	}
+	if cache.Applied() != 2 {
+		t.Fatalf("applied = %d, want 2", cache.Applied())
+	}
+}

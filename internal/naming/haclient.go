@@ -34,15 +34,27 @@ type HAClient struct {
 	opts      HAOptions
 
 	primary atomic.Int64
+	// onFailover, when set, runs (in its own goroutine) every time the
+	// sticky primary re-pins to a different endpoint — the signal watch
+	// subscribers use to re-register on the new replica.
+	onFailover atomic.Value // func(addr string)
 
 	cacheMu  sync.Mutex
-	cache    map[string]orb.ObjectRef
+	cache    map[string]haCacheEntry
 	cacheFF  []string // FIFO eviction order
 	degraded atomic.Bool
 
 	failovers      atomic.Uint64
 	degradedServes atomic.Uint64
+	staleServes    atomic.Uint64
 	resolveErrors  atomic.Uint64
+}
+
+// haCacheEntry is one cached resolve result, aged by the offer's lease.
+type haCacheEntry struct {
+	ref orb.ObjectRef
+	ttl time.Duration // lease TTL at resolve time (0: leaseless)
+	at  time.Time     // when the entry was cached
 }
 
 // haEndpoint is one replica with its breaker.
@@ -64,6 +76,8 @@ type HAOptions struct {
 	// Logger receives failover/degraded diagnostics (default
 	// slog.Default()).
 	Logger *slog.Logger
+	// Clock overrides the cache-aging clock (tests; default time.Now).
+	Clock func() time.Time
 }
 
 // HAStats is a snapshot of the client's failover counters.
@@ -73,6 +87,12 @@ type HAStats struct {
 	// DegradedServes counts resolves served from the cache because no
 	// replica answered.
 	DegradedServes uint64
+	// StaleServes counts degraded serves of cache entries older than the
+	// lease TTL the offer carried when cached: the reference may point at
+	// a server whose lease has since lapsed. Such entries are still served
+	// (availability over freshness while the whole control plane is down)
+	// but never silently — each one is counted here and logged.
+	StaleServes uint64
 	// ResolveErrors counts resolves that failed outright: no replica
 	// answered and the cache had nothing (transport-class exhaustion
 	// only; authoritative answers like NotFound are not errors).
@@ -94,7 +114,10 @@ func NewHAClient(o *orb.ORB, refs []orb.ObjectRef, opts HAOptions) (*HAClient, e
 	if opts.Logger == nil {
 		opts.Logger = slog.Default()
 	}
-	h := &HAClient{opts: opts, cache: make(map[string]orb.ObjectRef)}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	h := &HAClient{opts: opts, cache: make(map[string]haCacheEntry)}
 	for _, ref := range refs {
 		h.endpoints = append(h.endpoints, &haEndpoint{
 			client:  NewClient(o, ref),
@@ -110,8 +133,17 @@ func (h *HAClient) Stats() HAStats {
 	return HAStats{
 		Failovers:      h.failovers.Load(),
 		DegradedServes: h.degradedServes.Load(),
+		StaleServes:    h.staleServes.Load(),
 		ResolveErrors:  h.resolveErrors.Load(),
 	}
+}
+
+// SetOnFailover installs fn to run (in its own goroutine) whenever the
+// sticky primary re-pins to a different endpoint, with the new primary's
+// address. Watch subscribers hook this to re-register their watches on
+// the replica that is now answering.
+func (h *HAClient) SetOnFailover(fn func(addr string)) {
+	h.onFailover.Store(fn)
 }
 
 // Degraded reports whether the last resolve was served from the cache
@@ -132,6 +164,9 @@ func (h *HAClient) ExportMetrics(reg *obs.Registry) {
 	reg.NewCounterFunc("naming_degraded_serves_total",
 		"Resolves served from the client-side cache with all replicas down.",
 		func() uint64 { return h.degradedServes.Load() })
+	reg.NewCounterFunc("naming_stale_serves_total",
+		"Degraded serves of cached references older than their lease TTL.",
+		func() uint64 { return h.staleServes.Load() })
 	reg.NewCounterFunc("naming_resolve_errors_total",
 		"Resolves that failed with no replica reachable and no cached reference.",
 		func() uint64 { return h.resolveErrors.Load() })
@@ -197,7 +232,11 @@ func (h *HAClient) do(ctx context.Context, op string, f func(ctx context.Context
 		if err == nil || !failoverErr(err) {
 			// Success, or an authoritative answer from a live replica.
 			ep.breaker.Success()
-			h.primary.Store(int64(idx))
+			if prev := h.primary.Swap(int64(idx)); int(prev)%n != idx {
+				if fn, ok := h.onFailover.Load().(func(addr string)); ok && fn != nil {
+					go fn(ep.addr)
+				}
+			}
 			if h.degraded.CompareAndSwap(true, false) {
 				h.opts.Logger.Info("naming: control plane reachable again, leaving degraded mode", "endpoint", ep.addr)
 			}
@@ -222,18 +261,28 @@ func (h *HAClient) do(ctx context.Context, op string, f func(ctx context.Context
 // mode. Successful resolves refresh the cache.
 func (h *HAClient) Resolve(ctx context.Context, name Name) (orb.ObjectRef, error) {
 	var ref orb.ObjectRef
+	var ttl time.Duration
 	err := h.do(ctx, opResolve, func(ctx context.Context, c *Client) error {
 		var e error
-		ref, e = c.Resolve(ctx, name)
+		ref, ttl, e = c.ResolveLease(ctx, name)
 		return e
 	})
 	if err == nil {
-		h.cachePut(name, ref)
+		h.cachePut(name, ref, ttl)
 		return ref, nil
 	}
 	if failoverErr(err) {
-		if cached, ok := h.cacheGet(name); ok {
+		if cached, stale, ok := h.cacheGet(name); ok {
 			h.degradedServes.Add(1)
+			if stale {
+				// The entry outlived the lease TTL it was cached with: the
+				// server behind it may have lost its registration since.
+				// Serve it anyway — it is the only lead we have with the
+				// whole control plane down — but flag it.
+				h.staleServes.Add(1)
+				h.opts.Logger.Warn("naming: serving cached reference past its lease TTL",
+					"name", name.String(), "addr", cached.Addr)
+			}
 			if h.degraded.CompareAndSwap(false, true) {
 				h.opts.Logger.Warn("naming: all replicas down, serving cached references (degraded mode)")
 			}
@@ -244,7 +293,7 @@ func (h *HAClient) Resolve(ctx context.Context, name Name) (orb.ObjectRef, error
 	return orb.ObjectRef{}, err
 }
 
-func (h *HAClient) cachePut(name Name, ref orb.ObjectRef) {
+func (h *HAClient) cachePut(name Name, ref orb.ObjectRef, ttl time.Duration) {
 	k := name.String()
 	h.cacheMu.Lock()
 	defer h.cacheMu.Unlock()
@@ -255,14 +304,21 @@ func (h *HAClient) cachePut(name Name, ref orb.ObjectRef) {
 			h.cacheFF = h.cacheFF[1:]
 		}
 	}
-	h.cache[k] = ref
+	h.cache[k] = haCacheEntry{ref: ref, ttl: ttl, at: h.opts.Clock()}
 }
 
-func (h *HAClient) cacheGet(name Name) (orb.ObjectRef, bool) {
+// cacheGet returns the cached reference for name and whether it has
+// outlived the lease TTL it was resolved with (leaseless entries never
+// go stale).
+func (h *HAClient) cacheGet(name Name) (ref orb.ObjectRef, stale, ok bool) {
 	h.cacheMu.Lock()
 	defer h.cacheMu.Unlock()
-	ref, ok := h.cache[name.String()]
-	return ref, ok
+	ent, ok := h.cache[name.String()]
+	if !ok {
+		return orb.ObjectRef{}, false, false
+	}
+	stale = ent.ttl > 0 && h.opts.Clock().After(ent.at.Add(ent.ttl))
+	return ent.ref, stale, true
 }
 
 // The remaining operations are thin failover wrappers around the
@@ -347,4 +403,39 @@ func (h *HAClient) ListLeases(ctx context.Context, name Name) ([]OfferLease, err
 	return out, err
 }
 
+// Watch registers callback for membership pushes about name on the first
+// healthy replica (see Client.Watch). Combine with SetOnFailover to
+// re-register when the primary changes: a watch lives on exactly one
+// replica, so after failover the new primary must learn it again.
+func (h *HAClient) Watch(ctx context.Context, name Name, callback orb.ObjectRef, sinceEpoch uint64) ([]OfferLease, uint64, error) {
+	var out []OfferLease
+	var epoch uint64
+	err := h.do(ctx, opWatch, func(ctx context.Context, c *Client) error {
+		var e error
+		out, epoch, e = c.Watch(ctx, name, callback, sinceEpoch)
+		return e
+	})
+	return out, epoch, err
+}
+
+// Unwatch removes callback's subscription for name.
+func (h *HAClient) Unwatch(ctx context.Context, name Name, callback orb.ObjectRef) error {
+	return h.do(ctx, opUnwatch, func(ctx context.Context, c *Client) error {
+		return c.Unwatch(ctx, name, callback)
+	})
+}
+
+// ListWatches returns the primary replica's watch table.
+func (h *HAClient) ListWatches(ctx context.Context) ([]WatchInfo, error) {
+	var out []WatchInfo
+	err := h.do(ctx, opListWatches, func(ctx context.Context, c *Client) error {
+		var e error
+		out, e = c.ListWatches(ctx)
+		return e
+	})
+	return out, err
+}
+
 var _ LeaseBinder = (*HAClient)(nil)
+var _ WatchBinder = (*HAClient)(nil)
+var _ WatchBinder = (*Client)(nil)

@@ -107,6 +107,7 @@ func (r *Registry) RestoreSnapshot(data []byte) error {
 	r.mu.Lock()
 	r.root = root
 	r.epoch = epoch
+	r.notifyLocked(nil) // the whole tree changed
 	r.mu.Unlock()
 	return nil
 }
@@ -129,6 +130,7 @@ func (r *Registry) AdoptSnapshot(data []byte) (bool, error) {
 	r.root = root
 	r.epoch = epoch
 	r.adopts++
+	r.notifyLocked(nil) // the whole tree changed
 	return true, nil
 }
 

@@ -105,6 +105,13 @@ type Registry struct {
 	adopts uint64
 	// now is the lease clock (time.Now outside tests).
 	now func() time.Time
+	// watchNotify, when set, observes every membership-changing mutation
+	// (bind, rebind, unbind, offer bound/unbound/evicted, snapshot
+	// adoption). It is called under the registry lock, so implementations
+	// must only record the name and return (the Hub records a dirty name
+	// and kicks its worker). A nil Name means "everything may have
+	// changed" (snapshot replaced the tree).
+	watchNotify func(n Name)
 }
 
 // NewRegistry creates an empty naming tree.
@@ -115,6 +122,26 @@ func (r *Registry) SetClock(now func() time.Time) {
 	r.mu.Lock()
 	r.now = now
 	r.mu.Unlock()
+}
+
+// SetWatchNotify installs the mutation observer the push Hub feeds on.
+// fn runs under the registry lock on every membership-changing mutation
+// and must not call back into the registry; a nil Name argument means
+// the whole tree may have changed (snapshot adoption). Lease renewals do
+// NOT notify: membership is unchanged and pushing every renewal would
+// turn the heartbeat traffic into a push storm.
+func (r *Registry) SetWatchNotify(fn func(n Name)) {
+	r.mu.Lock()
+	r.watchNotify = fn
+	r.mu.Unlock()
+}
+
+// notifyLocked forwards a mutation to the watch observer. Callers hold
+// r.mu.
+func (r *Registry) notifyLocked(n Name) {
+	if r.watchNotify != nil {
+		r.watchNotify(n)
+	}
 }
 
 // Epoch returns the registry's mutation counter.
@@ -170,6 +197,7 @@ func (r *Registry) Bind(n Name, ref orb.ObjectRef) error {
 	}
 	node.entries[key(last)] = &entry{typ: BindObject, ref: ref}
 	r.epoch++
+	r.notifyLocked(n)
 	return nil
 }
 
@@ -196,6 +224,7 @@ func (r *Registry) Rebind(n Name, ref orb.ObjectRef) error {
 	}
 	node.entries[key(last)] = &entry{typ: BindObject, ref: ref}
 	r.epoch++
+	r.notifyLocked(n)
 	return nil
 }
 
@@ -234,6 +263,7 @@ func (r *Registry) Unbind(n Name) error {
 	}
 	delete(node.entries, key(last))
 	r.epoch++
+	r.notifyLocked(n)
 	return nil
 }
 
@@ -288,6 +318,7 @@ func (r *Registry) BindOffer(n Name, offer Offer) error {
 	if !ok {
 		node.entries[key(last)] = &entry{typ: BindGroup, group: []Offer{offer}}
 		r.epoch++
+		r.notifyLocked(n)
 		return nil
 	}
 	if e.typ != BindGroup {
@@ -300,6 +331,7 @@ func (r *Registry) BindOffer(n Name, offer Offer) error {
 	}
 	e.group = append(e.group, offer)
 	r.epoch++
+	r.notifyLocked(n)
 	return nil
 }
 
@@ -355,6 +387,13 @@ func (r *Registry) ExpireOffers() []ExpiredOffer {
 	expireNode(r.root, nil, now, &evicted)
 	if len(evicted) > 0 {
 		r.epoch++
+		seen := make(map[string]bool, len(evicted))
+		for _, ev := range evicted {
+			if k := ev.Name.String(); !seen[k] {
+				seen[k] = true
+				r.notifyLocked(ev.Name)
+			}
+		}
 	}
 	return evicted
 }
@@ -407,6 +446,7 @@ func (r *Registry) UnbindOffer(n Name, ref orb.ObjectRef) error {
 				delete(node.entries, key(last))
 			}
 			r.epoch++
+			r.notifyLocked(n)
 			return nil
 		}
 	}
@@ -496,6 +536,52 @@ func (r *Registry) LiveOffers(n Name) ([]Offer, error) {
 		return nil, errNotFound(n)
 	}
 	return live, nil
+}
+
+// WatchView returns the live membership at n together with the registry
+// epoch, both read under a single lock acquisition. That atomicity is
+// what makes the push protocol's epoch guard sound: membership read in
+// one critical section can never be stamped with an epoch from a later
+// one (a stale view with a newer epoch would be kept by clients
+// forever). Unlike LiveOffers, an absent or fully-expired name is not an
+// error here — it is an empty membership, which is exactly what a
+// watcher must learn when the whole group dies. Object bindings show as
+// a single leaseless member, mirroring Offers.
+func (r *Registry) WatchView(n Name) ([]OfferLease, uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	epoch := r.epoch
+	if n.Validate() != nil {
+		return nil, epoch
+	}
+	node, last, err := r.walk(n)
+	if err != nil {
+		return nil, epoch
+	}
+	e, ok := node.entries[key(last)]
+	if !ok {
+		return nil, epoch
+	}
+	now := r.now()
+	var out []OfferLease
+	switch e.typ {
+	case BindObject:
+		out = []OfferLease{{Offer: Offer{Ref: e.ref}}}
+	case BindRemote:
+		out = []OfferLease{{Offer: Offer{Ref: e.remote}}}
+	case BindGroup:
+		for _, o := range e.group {
+			if o.expired(now) {
+				continue
+			}
+			l := OfferLease{Offer: o}
+			if !o.Expires.IsZero() {
+				l.Remaining = o.Expires.Sub(now)
+			}
+			out = append(out, l)
+		}
+	}
+	return out, epoch
 }
 
 // List returns the bindings of the context at n (nil n lists the root),

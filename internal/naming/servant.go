@@ -1,6 +1,7 @@
 package naming
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cdr"
@@ -60,6 +61,10 @@ func FirstSelector() Selector {
 type Servant struct {
 	reg *Registry
 	sel Selector
+	hub *Hub
+
+	resolves atomic.Uint64
+	watchReq atomic.Uint64
 }
 
 // NewServant wraps reg; sel may be nil for the plain baseline.
@@ -72,6 +77,19 @@ func NewServant(reg *Registry, sel Selector) *Servant {
 
 // Registry returns the underlying naming tree.
 func (s *Servant) Registry() *Registry { return s.reg }
+
+// SetHub enables the watch/unwatch/list_watches operations, serving the
+// push-based invalidation channel through h. Without a hub those
+// operations fail with BAD_OPERATION (pre-subscription servers).
+func (s *Servant) SetHub(h *Hub) { s.hub = h }
+
+// Resolves returns how many resolve requests this servant has served —
+// the number the push protocol exists to keep flat under failover.
+func (s *Servant) Resolves() uint64 { return s.resolves.Load() }
+
+// WatchRequests returns how many watch registrations this servant has
+// served (initial subscriptions plus re-watches).
+func (s *Servant) WatchRequests() uint64 { return s.watchReq.Load() }
 
 // TypeID implements orb.Servant.
 func (s *Servant) TypeID() string { return TypeID }
@@ -122,11 +140,16 @@ func (s *Servant) Invoke(sctx *orb.ServerContext, op string, in *cdr.Decoder, ou
 		if err != nil {
 			return errInvalidName(err.Error())
 		}
-		ref, err := s.resolve(sctx, name)
+		s.resolves.Add(1)
+		chosen, err := s.resolve(sctx, name)
 		if err != nil {
 			return wireErr(err)
 		}
-		ref.MarshalCDR(out)
+		chosen.Ref.MarshalCDR(out)
+		// Trailing lease TTL: pre-lease clients stop reading after the
+		// reference (reply decoding tolerates trailing bytes); lease-aware
+		// clients (ResolveLease) use it to age their degraded-mode cache.
+		out.PutInt64(int64(chosen.LeaseTTL))
 		return nil
 
 	case opBindNewContext:
@@ -199,13 +222,7 @@ func (s *Servant) Invoke(sctx *orb.ServerContext, op string, in *cdr.Decoder, ou
 		if err != nil {
 			return wireErr(err)
 		}
-		out.PutUint32(uint32(len(leases)))
-		for _, l := range leases {
-			l.Offer.Ref.MarshalCDR(out)
-			out.PutString(l.Offer.Host)
-			out.PutInt64(int64(l.Offer.LeaseTTL))
-			out.PutInt64(int64(l.Remaining))
-		}
+		putLeases(out, leases)
 		return nil
 
 	case opSyncState:
@@ -259,6 +276,57 @@ func (s *Servant) Invoke(sctx *orb.ServerContext, op string, in *cdr.Decoder, ou
 		}
 		return nil
 
+	case opWatch:
+		if s.hub == nil {
+			return orb.BadOperation(op)
+		}
+		name, err := DecodeName(in)
+		if err != nil {
+			return errInvalidName(err.Error())
+		}
+		var callback orb.ObjectRef
+		if err := callback.UnmarshalCDR(in); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		sinceEpoch := in.GetUint64()
+		if err := in.Err(); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		s.watchReq.Add(1)
+		leases, epoch := s.hub.Watch(name, callback, sinceEpoch)
+		obs.SpanFromContext(sctx.Context()).AddEvent("naming.watched",
+			obs.String("name", name.String()), obs.String("callback", callback.Addr))
+		out.PutUint64(epoch)
+		putLeases(out, leases)
+		return nil
+
+	case opUnwatch:
+		if s.hub == nil {
+			return orb.BadOperation(op)
+		}
+		name, err := DecodeName(in)
+		if err != nil {
+			return errInvalidName(err.Error())
+		}
+		var callback orb.ObjectRef
+		if err := callback.UnmarshalCDR(in); err != nil {
+			return &orb.SystemException{Kind: orb.ExMarshal, Detail: err.Error()}
+		}
+		s.hub.Unwatch(name, callback)
+		return nil
+
+	case opListWatches:
+		if s.hub == nil {
+			return orb.BadOperation(op)
+		}
+		infos := s.hub.Watches()
+		out.PutUint32(uint32(len(infos)))
+		for _, wi := range infos {
+			wi.Name.MarshalCDR(out)
+			out.PutUint32(uint32(wi.Watchers))
+		}
+		return nil
+
 	default:
 		return orb.BadOperation(op)
 	}
@@ -268,17 +336,17 @@ func (s *Servant) Invoke(sctx *orb.ServerContext, op string, in *cdr.Decoder, ou
 // return directly; group bindings go through the Selector, seeing only
 // offers whose lease (if any) is still live. The winning host and the
 // selector's reasoning land on the dispatch's trace span.
-func (s *Servant) resolve(sctx *orb.ServerContext, name Name) (orb.ObjectRef, error) {
+func (s *Servant) resolve(sctx *orb.ServerContext, name Name) (Offer, error) {
 	offers, err := s.reg.LiveOffers(name)
 	if err != nil {
-		return orb.ObjectRef{}, err
+		return Offer{}, err
 	}
 	span := obs.SpanFromContext(sctx.Context())
 	if len(offers) == 1 {
 		span.AddEvent("naming.selected",
 			obs.String("name", name.String()), obs.String("host", offers[0].Host),
 			obs.String("addr", offers[0].Ref.Addr), obs.String("reason", ReasonSingleOffer))
-		return offers[0].Ref, nil
+		return offers[0], nil
 	}
 	var chosen Offer
 	decision := Decision{Reason: "selector"}
@@ -288,10 +356,10 @@ func (s *Servant) resolve(sctx *orb.ServerContext, name Name) (orb.ObjectRef, er
 		chosen, err = s.sel.Select(name, offers)
 	}
 	if err != nil {
-		return orb.ObjectRef{}, err
+		return Offer{}, err
 	}
 	span.AddEvent("naming.selected",
 		obs.String("name", name.String()), obs.String("host", chosen.Host),
 		obs.String("addr", chosen.Ref.Addr), obs.String("reason", decision.Reason))
-	return chosen.Ref, nil
+	return chosen, nil
 }

@@ -76,6 +76,12 @@ var backoffRandMu sync.Mutex
 // no explicit Rand.
 var backoffRand = rand.New(rand.NewSource(time.Now().UnixNano()))
 
+// Delay returns the sleep before retry round n (1-based): the exported
+// view of the engine's schedule, for components that run their own retry
+// loops (e.g. naming re-subscription) but want the same bounded
+// exponential-with-jitter behaviour.
+func (b Backoff) Delay(n int) time.Duration { return b.delay(n) }
+
 // delay returns the sleep before replay round n (1-based).
 func (b Backoff) delay(n int) time.Duration {
 	if b.Base <= 0 || n <= 0 {
