@@ -26,13 +26,16 @@ race:
 ## chaos: the fault-injection soaks — Rosenbrock under worker kills, a
 ## naming partition, checkpoint-path delays and a checkpointd replica
 ## crash, plus the control-plane scenario (3 naming replicas, primary
-## nameserver and winnerd killed mid-run, lease expiry) and the naming
+## nameserver and winnerd killed mid-run, lease expiry), the naming
 ## storm (10k push-subscribed clients, group member killed mid-run,
 ## naming request traffic must stay flat; CHAOS_ARTIFACT exports the
-## traffic summary as JSON), race-enabled, fixed seeds.
+## traffic summary as JSON) and the flight-recorder dump scenario
+## (worker killed mid-run must auto-dump the black box;
+## FLIGHTREC_ARTIFACT exports the dump JSON), race-enabled, fixed seeds.
 chaos:
 	CHAOS_ARTIFACT=$${CHAOS_ARTIFACT:-naming_storm_soak.json} \
-		$(GO) test -race -count=1 -run 'TestChaosSoak|TestControlPlaneChaos|TestNamingStormSoak' -v ./integration/
+	FLIGHTREC_ARTIFACT=$${FLIGHTREC_ARTIFACT:-flightrec_dump.json} \
+		$(GO) test -race -count=1 -run 'TestChaosSoak|TestControlPlaneChaos|TestNamingStormSoak|TestFlightRecorderChaosDump' -v ./integration/
 
 generate:
 	$(GO) generate ./...
@@ -50,5 +53,6 @@ bench-json:
 	$(GO) run ./cmd/rosenbench -experiment both -quick -json > BENCH_PR3.json
 	$(GO) run ./cmd/rosenbench -saturate -quick -json > BENCH_SATURATE.json
 	( $(GO) test -run '^$$' -bench 'BenchmarkCallPath|BenchmarkSyncCall|BenchmarkOnewayDispatch|BenchmarkProxyCall' -benchmem -benchtime=5000x ./internal/orb/ ./internal/ft/ && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkFlightRecord' -benchmem -benchtime=5000x ./internal/obs/ && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkAblationCheckpointEvery' -benchmem -benchtime=1x . ) \
 		| $(GO) run ./cmd/benchgate -out BENCH_PR6.json -baseline BENCH_BASELINE_PR6.json -max-allocs-regress 10 -max-time-regress 75

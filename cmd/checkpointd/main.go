@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +29,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/ft"
 	"repro/internal/obs"
@@ -64,7 +66,8 @@ func main() {
 	dir := flag.String("dir", "", "persist checkpoints to this directory (empty: in-memory)")
 	refFile := flag.String("ref-file", "", "write the service SIOR to this file")
 	peers := flag.String("peers", "", "comma-separated peer replica SIORs (or @file) to form a quorum front-end")
-	obsAddr := flag.String("obs", "", "serve /metrics and /debug/traces on this address (empty: disabled)")
+	obsAddr := flag.String("obs", "", "serve /metrics, /healthz and /debug endpoints on this address (empty: disabled)")
+	dumpDir := flag.String("dump-dir", "", "write anomaly flight-recorder dumps here (empty: disabled)")
 	workers := flag.Int("workers", 0, "dispatch worker pool size (0: 2×GOMAXPROCS)")
 	readBatch := flag.Int("read-batch", 0, "max request frames per connection read-loop wakeup (0: 32)")
 	replyCoalesce := flag.Duration("reply-coalesce", 0, "server reply-coalescing window (0: disabled)")
@@ -114,11 +117,20 @@ func main() {
 	sior := ref.ToString()
 	fmt.Println(sior)
 	if *obsAddr != "" {
-		_, ln, err := o.Observe("checkpointd", *obsAddr)
+		ob, ln, err := o.ObserveOpts("checkpointd", *obsAddr,
+			obs.ObserverOptions{Anomaly: obs.AnomalyOptions{DumpDir: *dumpDir}})
 		if err != nil {
 			log.Fatalf("checkpointd: obs endpoint: %v", err)
 		}
 		defer ln.Close()
+		// The store probe exercises the same path Get/Put ride (quorum
+		// front-end included), so /readyz flips when a majority is lost.
+		ob.Health.Register("store", func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_, err := store.Keys(ctx)
+			return err
+		})
 		fmt.Println("OBS:" + ln.Addr().String())
 		log.Printf("checkpointd: observability on http://%s/metrics", ln.Addr())
 	}

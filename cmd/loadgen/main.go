@@ -20,6 +20,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"math"
 	"os"
@@ -40,13 +41,14 @@ func main() {
 	clients := flag.Int("watch-clients", 1000, "simulated subscribing clients (naming-storm mode)")
 	group := flag.String("group", "svc/workers", "group name the clients hold a ref to")
 	pickInterval := flag.Duration("pick-interval", 100*time.Millisecond, "per-client member pick cadence")
+	obsAddr := flag.String("obs", "", "serve /metrics, /healthz and /debug endpoints on this address (naming-storm mode; empty: disabled)")
 	flag.Parse()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
 	if *nsRef != "" {
-		runNamingStorm(*nsRef, *clients, *group, *pickInterval, *duration, sig)
+		runNamingStorm(*nsRef, *clients, *group, *pickInterval, *duration, *obsAddr, sig)
 		return
 	}
 
@@ -87,7 +89,7 @@ func wait(duration *time.Duration, sig chan os.Signal) {
 // runNamingStorm spins n simulated clients, each with its own GroupCache
 // (own subscription, own pushed view) sharing one ORB and one listener
 // adapter, picking from the group on a cadence.
-func runNamingStorm(refSpec string, n int, group string, pickEvery time.Duration, duration time.Duration, sig chan os.Signal) {
+func runNamingStorm(refSpec string, n int, group string, pickEvery time.Duration, duration time.Duration, obsAddr string, sig chan os.Signal) {
 	if strings.HasPrefix(refSpec, "@") {
 		raw, err := os.ReadFile(refSpec[1:])
 		if err != nil {
@@ -113,6 +115,27 @@ func runNamingStorm(refSpec string, n int, group string, pickEvery time.Duration
 	ns := naming.NewClient(o, ref)
 
 	var picksOK, picksFail atomic.Uint64
+	if obsAddr != "" {
+		// The observer makes the load generator itself diagnosable: its
+		// flight recorder captures the client-side view of pushes and
+		// picks, and /healthz turns red when picks start failing.
+		ob, ln, err := o.Observe("loadgen", obsAddr)
+		if err != nil {
+			log.Fatalf("loadgen: obs endpoint: %v", err)
+		}
+		defer ln.Close()
+		ob.Registry.NewCounterFunc("loadgen_picks_ok_total",
+			"Group member picks that succeeded.", picksOK.Load)
+		ob.Registry.NewCounterFunc("loadgen_picks_failed_total",
+			"Group member picks that failed.", picksFail.Load)
+		ob.Health.Register("picks", func() error {
+			if ok, fail := picksOK.Load(), picksFail.Load(); fail > 0 && fail >= ok {
+				return fmt.Errorf("%d of %d picks failing", fail, ok+fail)
+			}
+			return nil
+		})
+		log.Printf("loadgen: observability on http://%s/metrics", ln.Addr())
+	}
 	caches := make([]*naming.GroupCache, n)
 	refs := make([]*naming.GroupRef, n)
 	for i := range caches {

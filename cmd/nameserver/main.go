@@ -51,7 +51,8 @@ func main() {
 	sweepPeriod := flag.Duration("sweep-period", 500*time.Millisecond, "leased-offer expiry sweep interval")
 	pushTimeout := flag.Duration("push-timeout", 2*time.Second, "per-watcher invalidation push timeout")
 	watchTTL := flag.Duration("watch-ttl", 5*time.Minute, "drop watchers silent for this long")
-	obsAddr := flag.String("obs", "", "serve /metrics and /debug/traces on this address (empty: disabled)")
+	obsAddr := flag.String("obs", "", "serve /metrics, /healthz and /debug endpoints on this address (empty: disabled)")
+	dumpDir := flag.String("dump-dir", "", "write anomaly flight-recorder dumps here (empty: disabled)")
 	workers := flag.Int("workers", 0, "dispatch worker pool size (0: 2×GOMAXPROCS)")
 	readBatch := flag.Int("read-batch", 0, "max request frames per connection read-loop wakeup (0: 32)")
 	replyCoalesce := flag.Duration("reply-coalesce", 0, "server reply-coalescing window (0: disabled)")
@@ -120,11 +121,16 @@ func main() {
 	sior := ref.ToString()
 	fmt.Println(sior)
 	if *obsAddr != "" {
-		ob, ln, err := o.Observe("nameserver", *obsAddr)
+		ob, ln, err := o.ObserveOpts("nameserver", *obsAddr,
+			obs.ObserverOptions{Anomaly: obs.AnomalyOptions{DumpDir: *dumpDir}})
 		if err != nil {
 			log.Fatalf("nameserver: obs endpoint: %v", err)
 		}
 		defer ln.Close()
+		ob.Health.Register("hub", hub.HealthProbe)
+		if repl != nil {
+			ob.Health.Register("replication", repl.HealthProbe)
+		}
 		ob.Registry.NewCounterFunc("naming_offers_evicted_total",
 			"Leased offers expired and unbound by the sweeper.", sweeper.Evicted)
 		ob.Registry.NewGaugeFunc("naming_epoch",

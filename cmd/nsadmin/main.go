@@ -11,24 +11,37 @@
 //	nsadmin -ns "$SIOR" unbind a/b         # remove a binding
 //	nsadmin -ns "$SIOR" mkdir a/b          # create a sub-context
 //	nsadmin -ns "$SIOR" ping a/b           # resolve and liveness-probe
+//	nsadmin health 127.0.0.1:8080          # query a daemon's /healthz
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/naming"
+	"repro/internal/obs"
 	"repro/internal/orb"
 )
 
 func main() {
-	nsRefStr := flag.String("ns", "", "SIOR of the naming service (required)")
+	nsRefStr := flag.String("ns", "", "SIOR of the naming service (required except for health)")
 	timeout := flag.Duration("timeout", 5*time.Second, "overall deadline for the command")
 	flag.Parse()
+	// health talks HTTP to a daemon's obs endpoint, not GIOP to the
+	// naming service, so it runs before the -ns requirement.
+	if flag.Arg(0) == "health" {
+		if flag.NArg() < 2 {
+			log.Fatal("nsadmin: health needs an obs address (host:port)")
+		}
+		os.Exit(healthCmd(flag.Arg(1), *timeout))
+	}
 	if *nsRefStr == "" || flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -156,6 +169,51 @@ func main() {
 	default:
 		log.Fatalf("nsadmin: unknown command %q", cmd)
 	}
+}
+
+// healthCmd fetches and renders a daemon's /healthz report. Exit status:
+// 0 healthy, 1 degraded, 2 unreachable or undecodable.
+func healthCmd(addr string, timeout time.Duration) int {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
+	if err != nil {
+		log.Printf("nsadmin: %v", err)
+		return 2
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Printf("nsadmin: %v", err)
+		return 2
+	}
+	defer resp.Body.Close()
+	var rep obs.HealthReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		log.Printf("nsadmin: decode /healthz: %v", err)
+		return 2
+	}
+	fmt.Printf("%-10s %s\n", rep.Status, rep.Service)
+	components := make([]string, 0, len(rep.Components))
+	for name := range rep.Components {
+		components = append(components, name)
+	}
+	sort.Strings(components)
+	for _, name := range components {
+		c := rep.Components[name]
+		state := "ok"
+		if !c.OK {
+			state = "FAIL"
+		}
+		fmt.Printf("  %-10s %-4s %s\n", name, state, c.Detail)
+	}
+	for _, an := range rep.Anomalies {
+		fmt.Printf("  anomaly    %s x%d %s %s\n",
+			an.Kind, an.Count, an.Time.Format(time.RFC3339), an.Detail)
+	}
+	if !rep.OK() {
+		return 1
+	}
+	return 0
 }
 
 // staleLease reports whether a lease deserves operator attention: it has

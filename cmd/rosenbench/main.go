@@ -66,6 +66,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
 	trace := flag.Bool("trace", false, "collect RPC traces during table1 and print a latency/trace report")
+	flightrec := flag.String("flightrec", "", "with -trace, save the flight-recorder snapshot to this JSON file after table1")
 	traceTop := flag.Int("trace-top", 5, "number of slowest traces to print with -trace")
 	saturate := flag.Bool("saturate", false, "run the reactor saturation sweep instead of the paper experiments")
 	workers := flag.Int("workers", 0, "server dispatch worker pool size for -saturate (0 = default)")
@@ -191,5 +192,16 @@ func main() {
 			experiments.RenderSeparator(out)
 		}
 		experiments.RenderTraceReport(out, ob, *traceTop)
+		if *flightrec != "" {
+			f, err := os.Create(*flightrec)
+			if err != nil {
+				log.Fatalf("rosenbench: flightrec: %v", err)
+			}
+			if err := ob.Flight.WriteJSON(f); err != nil {
+				log.Fatalf("rosenbench: flightrec: %v", err)
+			}
+			f.Close()
+			log.Printf("rosenbench: flight recorder saved to %s (%d records)", *flightrec, ob.Flight.Len())
+		}
 	}
 }

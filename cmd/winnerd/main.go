@@ -33,7 +33,8 @@ func main() {
 	period := flag.Duration("period", 2*time.Second, "sampling period (node role)")
 	refFile := flag.String("ref-file", "", "write the system manager SIOR to this file")
 	maxAge := flag.Duration("max-sample-age", 0, "treat load samples older than this as stale (system role; 0: never)")
-	obsAddr := flag.String("obs", "", "serve /metrics and /debug/traces on this address (system role; empty: disabled)")
+	obsAddr := flag.String("obs", "", "serve /metrics, /healthz and /debug endpoints on this address (system role; empty: disabled)")
+	dumpDir := flag.String("dump-dir", "", "write anomaly flight-recorder dumps here (system role; empty: disabled)")
 	workers := flag.Int("workers", 0, "dispatch worker pool size (0: 2×GOMAXPROCS)")
 	readBatch := flag.Int("read-batch", 0, "max request frames per connection read-loop wakeup (0: 32)")
 	replyCoalesce := flag.Duration("reply-coalesce", 0, "server reply-coalescing window (0: disabled)")
@@ -44,7 +45,7 @@ func main() {
 
 	switch *role {
 	case "system":
-		runSystem(*addr, *refFile, *obsAddr, *maxAge, tuning)
+		runSystem(*addr, *refFile, *obsAddr, *dumpDir, *maxAge, tuning)
 	case "node":
 		runNode(*managerRef, *host, *speed, *period)
 	default:
@@ -52,7 +53,7 @@ func main() {
 	}
 }
 
-func runSystem(addr, refFile, obsAddr string, maxAge time.Duration, tuning orb.Options) {
+func runSystem(addr, refFile, obsAddr, dumpDir string, maxAge time.Duration, tuning orb.Options) {
 	tuning.Name = "winnerd"
 	o := orb.New(tuning)
 	defer o.Shutdown()
@@ -69,11 +70,18 @@ func runSystem(addr, refFile, obsAddr string, maxAge time.Duration, tuning orb.O
 	sior := ref.ToString()
 	fmt.Println(sior)
 	if obsAddr != "" {
-		ob, ln, err := o.Observe("winnerd", obsAddr)
+		ob, ln, err := o.ObserveOpts("winnerd", obsAddr,
+			obs.ObserverOptions{Anomaly: obs.AnomalyOptions{DumpDir: dumpDir}})
 		if err != nil {
 			log.Fatalf("winnerd: obs endpoint: %v", err)
 		}
 		defer ln.Close()
+		ob.Health.Register("winner", func() error {
+			if stale := len(mgr.StaleHosts()); stale > 0 {
+				return fmt.Errorf("%d hosts with stale load samples", stale)
+			}
+			return nil
+		})
 		ob.Registry.NewGaugeFunc("winner_hosts",
 			"Hosts currently known to the system manager.",
 			func() float64 { return float64(mgr.HostCount()) })

@@ -89,8 +89,17 @@ func newTable1World(workers int, ob *obs.Observer) (*table1World, error) {
 	if ob != nil {
 		cis = []orb.CallInterceptor{ob}
 	}
+	// With an observer attached, every ORB of the deployment also feeds
+	// its black-box flight recorder, so a post-run report (or an anomaly
+	// dump) can replay the deployment-wide request tail.
+	attach := func(o *orb.ORB) *orb.ORB {
+		if ob != nil {
+			o.AttachFlightRecorder(ob.Flight)
+		}
+		return o
+	}
 	w := &table1World{}
-	w.services = orb.New(orb.Options{Name: "services", CallInterceptors: cis})
+	w.services = attach(orb.New(orb.Options{Name: "services", CallInterceptors: cis}))
 	ad, err := w.services.NewAdapter("127.0.0.1:0")
 	if err != nil {
 		w.close()
@@ -100,13 +109,13 @@ func newTable1World(workers int, ob *obs.Observer) (*table1World, error) {
 	nsRef := ad.Activate(naming.DefaultKey, naming.NewServant(reg, naming.RoundRobinSelector()))
 	storeRef := ad.Activate(ft.StoreDefaultKey, ft.NewStoreServant(ft.NewMemStore()))
 
-	w.manager = orb.New(orb.Options{Name: "manager", CallInterceptors: cis})
+	w.manager = attach(orb.New(orb.Options{Name: "manager", CallInterceptors: cis}))
 	w.naming = naming.NewClient(w.manager, nsRef)
 	w.store = ft.NewStoreClient(w.manager, storeRef)
 
 	name := naming.NewName(rosen.ServiceName)
 	for j := 0; j < workers; j++ {
-		wo := orb.New(orb.Options{Name: fmt.Sprintf("worker%d", j), CallInterceptors: cis})
+		wo := attach(orb.New(orb.Options{Name: fmt.Sprintf("worker%d", j), CallInterceptors: cis}))
 		wad, err := wo.NewAdapter("127.0.0.1:0")
 		if err != nil {
 			w.close()

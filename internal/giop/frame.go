@@ -329,6 +329,15 @@ func (fr *FrameReader) ReadBatch(dst []*Message) (int, error) {
 		dst[n] = m
 		n++
 	}
+	if n > 0 {
+		// One clock read stamps the whole batch: the admission timestamp
+		// queue-wait measurements start from, cheap enough to be
+		// unconditional.
+		now := time.Now()
+		for i := 0; i < n; i++ {
+			dst[i].Received = now
+		}
+	}
 	if fr.avail() == 0 {
 		fr.disarmGuard()
 	}

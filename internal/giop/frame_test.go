@@ -358,3 +358,46 @@ func TestFrameReaderBufferRecycling(t *testing.T) {
 		m.Release()
 	}
 }
+
+func TestReadBatchStampsAdmission(t *testing.T) {
+	msgs := make([]*Message, 3)
+	for i := range msgs {
+		msgs[i] = req(uint32(i+1), "echo", []byte{byte(i)})
+	}
+	stream := encodeStream(t, msgs...)
+	fr := NewFrameReader(&chunkReader{data: stream}, FrameReaderConfig{})
+	defer fr.Close()
+
+	before := time.Now()
+	batch := make([]*Message, 8)
+	n, err := fr.ReadBatch(batch)
+	after := time.Now()
+	if err != nil || n != 3 {
+		t.Fatalf("ReadBatch = %d, %v", n, err)
+	}
+	stamp := batch[0].Received
+	if stamp.IsZero() {
+		t.Fatal("delivered message has a zero Received stamp")
+	}
+	if stamp.Before(before) || stamp.After(after) {
+		t.Fatalf("Received %v outside [%v, %v]", stamp, before, after)
+	}
+	// One clock read per batch: every message in the batch shares it.
+	for i, m := range batch[:n] {
+		if !m.Received.Equal(stamp) {
+			t.Fatalf("frame %d Received %v != batch stamp %v", i, m.Received, stamp)
+		}
+	}
+	// Release must clear the stamp so pooled reuse can't leak an old
+	// admission time into a locally built message.
+	m := batch[0]
+	m.Release()
+	fresh := AcquireMessage()
+	if !fresh.Received.IsZero() {
+		t.Fatal("pooled message carries a stale Received stamp")
+	}
+	fresh.Release()
+	for _, m := range batch[1:n] {
+		m.Release()
+	}
+}

@@ -195,6 +195,12 @@ type Message struct {
 	// Body is the CDR-encoded operation arguments or results.
 	Body []byte
 
+	// Received is when the FrameReader delivered this message (one clock
+	// read per batch, shared by every message in it). It is the
+	// admission stamp the reactor's queue-wait measurement starts from;
+	// zero for locally built messages.
+	Received time.Time
+
 	// buf is the refcounted read buffer Body aliases when this message
 	// was produced by a FrameReader; Release drops the reference.
 	buf *frameBuf

@@ -180,6 +180,25 @@ func (h *HAClient) ExportMetrics(reg *obs.Registry) {
 		})
 }
 
+// HealthProbe is the naming client's component probe for obs.Health:
+// unhealthy while serving cached references in degraded mode (every
+// replica down), degraded detail while some replica breakers are open.
+func (h *HAClient) HealthProbe() error {
+	if h.degraded.Load() {
+		return errors.New("all nameserver replicas down, serving cached references")
+	}
+	open := 0
+	for _, e := range h.endpoints {
+		if e.breaker.State() == orb.BreakerOpen {
+			open++
+		}
+	}
+	if open > 0 {
+		return fmt.Errorf("%d/%d replica breakers open", open, len(h.endpoints))
+	}
+	return nil
+}
+
 // failoverErr classifies err as transport-class: worth trying the next
 // replica. Authoritative answers (user exceptions such as NotFound,
 // marshal errors, cancellations) must NOT fail over — a healthy replica

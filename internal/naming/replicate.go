@@ -2,6 +2,7 @@ package naming
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"os"
@@ -189,6 +190,27 @@ func (r *Replicator) Start() {
 			}
 		}
 	}()
+}
+
+// HealthProbe is the replication mesh's component probe for obs.Health:
+// unhealthy before Start, after Stop, and while every push so far has
+// failed (no peer reachable yet — replicas are diverging).
+func (r *Replicator) HealthProbe() error {
+	r.mu.Lock()
+	started := r.started
+	r.mu.Unlock()
+	if !started {
+		return errors.New("replicator not started")
+	}
+	select {
+	case <-r.stop:
+		return errors.New("replicator stopped")
+	default:
+	}
+	if p, e := r.pushes.Load(), r.pushErrors.Load(); p == 0 && e > 0 {
+		return fmt.Errorf("no peer reachable yet (%d push errors)", e)
+	}
+	return nil
 }
 
 // Stop halts the push loop and waits for it to exit.

@@ -2,6 +2,7 @@ package naming
 
 import (
 	"context"
+	"errors"
 	"log/slog"
 	"sort"
 	"sync"
@@ -403,6 +404,24 @@ func (h *Hub) Start() {
 			}
 		}
 	}()
+}
+
+// HealthProbe is the hub's component probe for obs.Health: unhealthy
+// before Start and after Stop, when watchers silently go stale because
+// no one pushes invalidations.
+func (h *Hub) HealthProbe() error {
+	h.startMu.Lock()
+	started := h.started
+	h.startMu.Unlock()
+	if !started {
+		return errors.New("push hub not started")
+	}
+	select {
+	case <-h.stop:
+		return errors.New("push hub stopped")
+	default:
+		return nil
+	}
 }
 
 // Stop halts the worker and waits for it to exit.

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Outcome classifies how one request ended, for flight-recorder records.
+type Outcome uint8
+
+// Flight-record outcomes.
+const (
+	// OutcomeOK is a successful reply.
+	OutcomeOK Outcome = iota
+	// OutcomeUserException is a reply carrying a user exception.
+	OutcomeUserException
+	// OutcomeSystemException is a reply carrying a system exception.
+	OutcomeSystemException
+	// OutcomeForward is a LOCATION_FORWARD reply.
+	OutcomeForward
+	// OutcomeShed is a request rejected by deadline-aware admission
+	// (its propagated deadline expired before a servant ran).
+	OutcomeShed
+	// OutcomeOneway is a oneway dispatch (no reply exists).
+	OutcomeOneway
+	// OutcomeTransportError is a client-side call that failed before a
+	// reply arrived (COMM_FAILURE, cancellation, timeout).
+	OutcomeTransportError
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeUserException:
+		return "user_exception"
+	case OutcomeSystemException:
+		return "system_exception"
+	case OutcomeForward:
+		return "forward"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeOneway:
+		return "oneway"
+	case OutcomeTransportError:
+		return "transport_error"
+	default:
+		return "unknown"
+	}
+}
+
+// FlightRecord is one per-request black-box record. All fields are plain
+// values (interned strings, fixed arrays), so recording one never
+// allocates — the record path must stay cheap enough to run on every
+// request of a saturated server.
+type FlightRecord struct {
+	// Time is the completion instant in Unix nanoseconds.
+	Time int64
+	// Op is the operation name (interned by the frame reader).
+	Op string
+	// Peer is the remote address of the calling/called connection.
+	Peer string
+	// Side distinguishes server dispatches from client calls.
+	Side Side
+	// Bytes is the request body size.
+	Bytes int32
+	// QueueWait is admission → dequeue time in nanoseconds (server side;
+	// zero for client records).
+	QueueWait int64
+	// Service is dequeue → dispatch-done time in nanoseconds (round-trip
+	// time for client records).
+	Service int64
+	// Outcome classifies how the request ended.
+	Outcome Outcome
+	// Trace is the request's 128-bit trace id (zero when the call carried
+	// no sampled trace context).
+	Trace TraceID
+}
+
+// Side is the record's vantage point.
+type Side uint8
+
+// Record sides.
+const (
+	// SideServer is a dispatch observed by the reactor.
+	SideServer Side = iota
+	// SideClient is an outbound call observed by the invoker.
+	SideClient
+)
+
+// String implements fmt.Stringer.
+func (s Side) String() string {
+	if s == SideClient {
+		return "client"
+	}
+	return "server"
+}
+
+// FlightRecorder is the black-box ring: a fixed-size buffer of the most
+// recent FlightRecords, overwritten oldest-first. Recording is a mutex,
+// a cursor bump and a struct copy — zero allocations at steady state —
+// so it stays on even when nobody is looking; its value is precisely
+// that the seconds before an anomaly are already captured when the
+// anomaly trips.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	recs  []FlightRecord
+	next  int
+	full  bool
+	total uint64
+}
+
+// DefaultFlightRecorderSize holds a few seconds of saturated-server
+// history without measurable memory cost.
+const DefaultFlightRecorderSize = 4096
+
+// NewFlightRecorder creates a recorder holding up to capacity records.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FlightRecorder{recs: make([]FlightRecord, capacity)}
+}
+
+// Record appends one record, overwriting the oldest when full. It is
+// safe for concurrent use and never allocates.
+func (f *FlightRecorder) Record(r FlightRecord) {
+	f.mu.Lock()
+	f.recs[f.next] = r
+	f.next++
+	if f.next == len(f.recs) {
+		f.next = 0
+		f.full = true
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Len returns the number of buffered records.
+func (f *FlightRecorder) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.full {
+		return len(f.recs)
+	}
+	return f.next
+}
+
+// Total returns the count of records ever written (including overwritten
+// ones) — exported as obs_flight_records_total.
+func (f *FlightRecorder) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Snapshot copies the buffered records, oldest first.
+func (f *FlightRecorder) Snapshot() []FlightRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.full {
+		return append([]FlightRecord(nil), f.recs[:f.next]...)
+	}
+	out := make([]FlightRecord, 0, len(f.recs))
+	out = append(out, f.recs[f.next:]...)
+	out = append(out, f.recs[:f.next]...)
+	return out
+}
+
+// ExportMetrics registers the recorder's own meta-metrics with reg.
+func (f *FlightRecorder) ExportMetrics(reg *Registry) {
+	reg.NewCounterFunc("obs_flight_records_total",
+		"Flight-recorder records written (including overwritten ones).", f.Total)
+}
+
+// WriteJSON serializes the current snapshot (oldest first) to w in the
+// same record shape /debug/flightrec and anomaly dumps use — for tools
+// that save a run's black box to a file.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(recordsToJSON(f.Snapshot()))
+}
+
+// flightRecordJSON is the /debug/flightrec and dump wire shape.
+type flightRecordJSON struct {
+	Time        time.Time `json:"time"`
+	Side        string    `json:"side"`
+	Op          string    `json:"op"`
+	Peer        string    `json:"peer"`
+	Bytes       int32     `json:"bytes"`
+	QueueWaitNS int64     `json:"queue_wait_ns"`
+	ServiceNS   int64     `json:"service_ns"`
+	Outcome     string    `json:"outcome"`
+	TraceID     string    `json:"trace_id,omitempty"`
+}
+
+func recordToJSON(r FlightRecord) flightRecordJSON {
+	j := flightRecordJSON{
+		Time:        time.Unix(0, r.Time),
+		Side:        r.Side.String(),
+		Op:          r.Op,
+		Peer:        r.Peer,
+		Bytes:       r.Bytes,
+		QueueWaitNS: r.QueueWait,
+		ServiceNS:   r.Service,
+		Outcome:     r.Outcome.String(),
+	}
+	if !r.Trace.IsZero() {
+		j.TraceID = r.Trace.String()
+	}
+	return j
+}
+
+// recordsToJSON converts a snapshot for serialization.
+func recordsToJSON(recs []FlightRecord) []flightRecordJSON {
+	out := make([]flightRecordJSON, len(recs))
+	for i, r := range recs {
+		out[i] = recordToJSON(r)
+	}
+	return out
+}

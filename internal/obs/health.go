@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Health aggregates component liveness probes into one structured
+// report, served at /healthz (always 200, full report) and /readyz
+// (503 while any component fails — the load-balancer / daemon view).
+// Components register a probe function once; probes run at query time
+// and must be fast and non-blocking (read a flag or counter, don't do
+// IO).
+type Health struct {
+	mu     sync.Mutex
+	probes []healthProbe
+}
+
+type healthProbe struct {
+	component string
+	fn        func() error
+}
+
+// NewHealth creates an empty probe registry.
+func NewHealth() *Health { return &Health{} }
+
+// Register adds a component probe. fn returns nil when healthy; its
+// error message becomes the component's detail. Registering the same
+// component again replaces the probe (daemons re-wire on failover).
+func (h *Health) Register(component string, fn func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.probes {
+		if h.probes[i].component == component {
+			h.probes[i].fn = fn
+			return
+		}
+	}
+	h.probes = append(h.probes, healthProbe{component: component, fn: fn})
+}
+
+// ComponentHealth is one component's probe result.
+type ComponentHealth struct {
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// HealthReport is the /healthz document.
+type HealthReport struct {
+	Service string `json:"service,omitempty"`
+	// Status is "ok" when every component passes, else "degraded".
+	Status     string                     `json:"status"`
+	Time       time.Time                  `json:"time"`
+	Components map[string]ComponentHealth `json:"components"`
+	// Anomalies lists recent anomaly trips when an anomaly sink is
+	// attached (see Observer), oldest first.
+	Anomalies []Anomaly `json:"anomalies,omitempty"`
+}
+
+// OK reports whether every component passed.
+func (r HealthReport) OK() bool { return r.Status == "ok" }
+
+// Check runs every probe and assembles the report.
+func (h *Health) Check() HealthReport {
+	h.mu.Lock()
+	probes := append([]healthProbe(nil), h.probes...)
+	h.mu.Unlock()
+
+	rep := HealthReport{Status: "ok", Time: time.Now(), Components: make(map[string]ComponentHealth, len(probes))}
+	for _, p := range probes {
+		if err := p.fn(); err != nil {
+			rep.Components[p.component] = ComponentHealth{OK: false, Detail: err.Error()}
+			rep.Status = "degraded"
+		} else {
+			rep.Components[p.component] = ComponentHealth{OK: true}
+		}
+	}
+	return rep
+}

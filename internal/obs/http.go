@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -45,11 +47,25 @@ func spanToJSON(s *Span) spanJSON {
 
 // Handler serves the observability endpoints over reg and ring:
 //
-//	/metrics       — Prometheus text exposition format
+//	/metrics       — Prometheus text exposition format; ?exemplars=1 (or
+//	                 Accept: application/openmetrics-text) adds
+//	                 OpenMetrics exemplar annotations linking hot
+//	                 histogram buckets to trace ids
 //	/debug/traces  — recent traces as JSON, slowest first (?n= limits)
 func Handler(reg *Registry, ring *Ring) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	registerMetricsAndTraces(mux, reg, ring)
+	return mux
+}
+
+func registerMetricsAndTraces(mux *http.ServeMux, reg *Registry, ring *Ring) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("exemplars") == "1" ||
+			strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			reg.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
 	})
@@ -81,11 +97,75 @@ func Handler(reg *Registry, ring *Ring) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(out)
 	})
+}
+
+// flightJSON is the /debug/flightrec document.
+type flightJSON struct {
+	Service string             `json:"service"`
+	Total   uint64             `json:"total"`
+	Records []flightRecordJSON `json:"records"`
+}
+
+// Handler returns the observer's full HTTP surface:
+//
+//	/metrics          — Prometheus text format (?exemplars=1 for OpenMetrics)
+//	/debug/traces     — recent traces, slowest first
+//	/debug/flightrec  — the black-box ring as JSON, oldest first (?n= keeps
+//	                    only the newest n)
+//	/debug/pprof/     — the standard runtime profiles
+//	/healthz          — structured component health, always 200
+//	/readyz           — 200 when every probe passes, 503 otherwise
+func (ob *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	registerMetricsAndTraces(mux, ob.Registry, ob.Ring)
+
+	mux.HandleFunc("/debug/flightrec", func(w http.ResponseWriter, r *http.Request) {
+		recs := ob.Flight.Snapshot()
+		if v := r.URL.Query().Get("n"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 && n < len(recs) {
+				recs = recs[len(recs)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(flightJSON{Service: ob.Service, Total: ob.Flight.Total(), Records: recordsToJSON(recs)})
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		rep := ob.healthReport()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		rep := ob.healthReport()
+		w.Header().Set("Content-Type", "application/json")
+		if !rep.OK() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
 	return mux
 }
 
-// Handler returns the observer's HTTP endpoints.
-func (ob *Observer) Handler() http.Handler { return Handler(ob.Registry, ob.Ring) }
+func (ob *Observer) healthReport() HealthReport {
+	rep := ob.Health.Check()
+	rep.Service = ob.Service
+	if ob.Anomalies != nil {
+		rep.Anomalies = ob.Anomalies.Recent()
+	}
+	return rep
+}
 
 // Serve binds addr (":0" picks a free port) and serves handler in the
 // background; the returned listener reports the bound address. Callers

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Registry holds metric families and renders them in Prometheus text
@@ -22,7 +23,7 @@ type Registry struct {
 
 type family interface {
 	name() string
-	write(w io.Writer)
+	write(w io.Writer, exemplars bool)
 }
 
 // NewRegistry creates an empty metric registry.
@@ -41,13 +42,28 @@ func (r *Registry) register(f family) {
 }
 
 // WritePrometheus renders every registered family to w in Prometheus
-// text exposition format.
+// text exposition format (0.0.4) — no exemplars, parseable by every
+// scraper.
 func (r *Registry) WritePrometheus(w io.Writer) {
+	r.writeAll(w, false)
+}
+
+// WriteOpenMetrics renders the same families with OpenMetrics-style
+// exemplar annotations on histogram buckets (`# {trace_id="..."} v ts`)
+// so a hot bucket links to a /debug/traces entry. Serve it only to
+// clients that ask (Accept: application/openmetrics-text or
+// /metrics?exemplars=1) — 0.0.4-only parsers reject the `#` suffix.
+func (r *Registry) WriteOpenMetrics(w io.Writer) {
+	r.writeAll(w, true)
+	io.WriteString(w, "# EOF\n")
+}
+
+func (r *Registry) writeAll(w io.Writer, exemplars bool) {
 	r.mu.Lock()
 	fams := append([]family(nil), r.families...)
 	r.mu.Unlock()
 	for _, f := range fams {
-		f.write(w)
+		f.write(w, exemplars)
 	}
 }
 
@@ -138,9 +154,25 @@ func (cv *CounterVec) With(values ...string) *Counter {
 	return &s.c
 }
 
+// With1 is With for single-label families without the variadic slice,
+// which escapes and costs one allocation per call — the hot-path form.
+func (cv *CounterVec) With1(value string) *Counter {
+	if len(cv.labels) != 1 {
+		panic(fmt.Sprintf("obs: %s wants %d labels, got 1", cv.fname, len(cv.labels)))
+	}
+	cv.mu.Lock()
+	s, ok := cv.series[value]
+	if !ok {
+		s = &counterSeries{values: []string{value}}
+		cv.series[value] = s
+	}
+	cv.mu.Unlock()
+	return &s.c
+}
+
 func (cv *CounterVec) name() string { return cv.fname }
 
-func (cv *CounterVec) write(w io.Writer) {
+func (cv *CounterVec) write(w io.Writer, _ bool) {
 	cv.mu.Lock()
 	keys := make([]string, 0, len(cv.series))
 	for k := range cv.series {
@@ -176,6 +208,21 @@ type histogramSeries struct {
 	counts  []atomic.Uint64 // one per bucket + one for +Inf
 	count   atomic.Uint64
 	sumBits atomic.Uint64 // float64 sum via math.Float64bits CAS
+	// exemplars holds the most recent sampled observation per bucket
+	// (one slot per bucket + one for +Inf), linking the bucket to a
+	// trace in /debug/traces. Populated only by ObserveExemplar.
+	exemplars []exemplarSlot
+}
+
+// exemplarSlot is one bucket's exemplar: the latest sampled observation
+// that landed there. Overwriting keeps it allocation-free and biased
+// toward recent traffic, which is what incident debugging wants.
+type exemplarSlot struct {
+	mu    sync.Mutex
+	set   bool
+	value float64
+	trace TraceID
+	nanos int64
 }
 
 // ExponentialBuckets returns n upper bounds starting at start, each
@@ -227,13 +274,34 @@ func (hv *HistogramVec) With(values ...string) Histogram {
 	defer hv.mu.Unlock()
 	s, ok := hv.series[key]
 	if !ok {
-		s = &histogramSeries{
-			values: append([]string(nil), values...),
-			counts: make([]atomic.Uint64, len(hv.buckets)+1),
-		}
+		s = newHistogramSeries(append([]string(nil), values...), len(hv.buckets))
 		hv.series[key] = s
 	}
 	return Histogram{hv: hv, s: s}
+}
+
+// With1 is With for single-label families without the variadic slice,
+// which escapes and costs one allocation per call — the hot-path form.
+func (hv *HistogramVec) With1(value string) Histogram {
+	if len(hv.labels) != 1 {
+		panic(fmt.Sprintf("obs: %s wants %d labels, got 1", hv.fname, len(hv.labels)))
+	}
+	hv.mu.Lock()
+	s, ok := hv.series[value]
+	if !ok {
+		s = newHistogramSeries([]string{value}, len(hv.buckets))
+		hv.series[value] = s
+	}
+	hv.mu.Unlock()
+	return Histogram{hv: hv, s: s}
+}
+
+func newHistogramSeries(values []string, buckets int) *histogramSeries {
+	return &histogramSeries{
+		values:    values,
+		counts:    make([]atomic.Uint64, buckets+1),
+		exemplars: make([]exemplarSlot, buckets+1),
+	}
 }
 
 // Observe records one value (in seconds for latency families).
@@ -250,9 +318,37 @@ func (h Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one value and pins it as the bucket's exemplar
+// under the given trace id, so a slow /metrics bucket points at a
+// concrete /debug/traces entry. Call it only for sampled observations —
+// an exemplar must reference a findable trace. A zero trace id degrades
+// to a plain Observe. Never allocates.
+func (h Histogram) ObserveExemplar(v float64, trace TraceID) {
+	i := sort.SearchFloat64s(h.hv.buckets, v)
+	h.s.counts[i].Add(1)
+	h.s.count.Add(1)
+	for {
+		old := h.s.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.s.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	if trace.IsZero() {
+		return
+	}
+	e := &h.s.exemplars[i]
+	e.mu.Lock()
+	e.set = true
+	e.value = v
+	e.trace = trace
+	e.nanos = time.Now().UnixNano()
+	e.mu.Unlock()
+}
+
 func (hv *HistogramVec) name() string { return hv.fname }
 
-func (hv *HistogramVec) write(w io.Writer) {
+func (hv *HistogramVec) write(w io.Writer, exemplars bool) {
 	hv.mu.Lock()
 	keys := make([]string, 0, len(hv.series))
 	for k := range hv.series {
@@ -270,14 +366,31 @@ func (hv *HistogramVec) write(w io.Writer) {
 		var cum uint64
 		for i, ub := range hv.buckets {
 			cum += s.counts[i].Load()
-			fmt.Fprintf(w, "%s_bucket%s %d\n",
-				hv.fname, labelString(hv.labels, s.values, "le", formatFloat(ub)), cum)
+			fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+				hv.fname, labelString(hv.labels, s.values, "le", formatFloat(ub)), cum,
+				s.exemplarSuffix(i, exemplars))
 		}
 		cum += s.counts[len(hv.buckets)].Load()
-		fmt.Fprintf(w, "%s_bucket%s %d\n", hv.fname, labelString(hv.labels, s.values, "le", "+Inf"), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", hv.fname, labelString(hv.labels, s.values, "le", "+Inf"), cum,
+			s.exemplarSuffix(len(hv.buckets), exemplars))
 		fmt.Fprintf(w, "%s_sum%s %g\n", hv.fname, labelString(hv.labels, s.values), math.Float64frombits(s.sumBits.Load()))
 		fmt.Fprintf(w, "%s_count%s %d\n", hv.fname, labelString(hv.labels, s.values), s.count.Load())
 	}
+}
+
+// exemplarSuffix renders ` # {trace_id="..."} value timestamp` for the
+// bucket when exemplar output is requested and the slot is populated.
+func (s *histogramSeries) exemplarSuffix(i int, enabled bool) string {
+	if !enabled || i >= len(s.exemplars) {
+		return ""
+	}
+	e := &s.exemplars[i]
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.set {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %g %.3f", e.trace.String(), e.value, float64(e.nanos)/1e9)
 }
 
 func formatFloat(f float64) string {
@@ -368,7 +481,7 @@ func (r *Registry) NewCounterFunc(name, help string, fn func() uint64) {
 
 func (cf *CounterFunc) name() string { return cf.fname }
 
-func (cf *CounterFunc) write(w io.Writer) {
+func (cf *CounterFunc) write(w io.Writer, _ bool) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", cf.fname, cf.help, cf.fname, cf.fname, cf.fn())
 }
 
@@ -386,6 +499,36 @@ func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
 
 func (gf *GaugeFunc) name() string { return gf.fname }
 
-func (gf *GaugeFunc) write(w io.Writer) {
+func (gf *GaugeFunc) write(w io.Writer, _ bool) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", gf.fname, gf.help, gf.fname, gf.fname, gf.fn())
+}
+
+// MultiGaugeFunc exports a labeled gauge family whose series are
+// enumerated at scrape time — e.g. per-connection inflight counts, where
+// the set of live connections changes constantly and a hot-path
+// series-per-peer registry would be waste.
+type MultiGaugeFunc struct {
+	fname  string
+	help   string
+	labels []string
+	fn     func(emit func(labelValues []string, v float64))
+}
+
+// NewMultiGaugeFunc registers a scrape-time labeled gauge family. fn is
+// called per scrape and emits one series per call to emit; the number of
+// label values must match the declared labels.
+func (r *Registry) NewMultiGaugeFunc(name, help string, labels []string, fn func(emit func(labelValues []string, v float64))) {
+	r.register(&MultiGaugeFunc{fname: name, help: help, labels: labels, fn: fn})
+}
+
+func (mg *MultiGaugeFunc) name() string { return mg.fname }
+
+func (mg *MultiGaugeFunc) write(w io.Writer, _ bool) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", mg.fname, mg.help, mg.fname)
+	mg.fn(func(values []string, v float64) {
+		if len(values) != len(mg.labels) {
+			return
+		}
+		fmt.Fprintf(w, "%s%s %g\n", mg.fname, labelString(mg.labels, values), v)
+	})
 }

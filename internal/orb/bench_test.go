@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cdr"
 	"repro/internal/giop"
+	"repro/internal/obs"
 )
 
 // echoServant returns its float64 sequence argument unchanged — a minimal
@@ -112,6 +113,55 @@ func BenchmarkSyncCall(b *testing.B) {
 	cli, ref := newBenchWorldOpts(b,
 		Options{},
 		Options{Name: "bench-srv", ReplyCoalesceWindow: 100 * time.Microsecond})
+	ctx := context.Background()
+	args := []float64{1, 2, 3, 4}
+	writeArgs := func(e *cdr.Encoder) { e.PutFloat64Seq(args) }
+	if err := cli.Call(ctx, ref, "echo", writeArgs, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var out []float64
+		readReply := func(d *cdr.Decoder) error {
+			out = d.GetFloat64Seq()
+			return d.Err()
+		}
+		for pb.Next() {
+			if err := cli.Call(ctx, ref, "echo", writeArgs, readReply); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		_ = out
+	})
+}
+
+// BenchmarkSyncCallObserved is BenchmarkSyncCall with the full signal
+// plane attached: tracing interceptor (head sampling off, so the fast
+// path is measured), ORB stats exported, queue-wait/service histograms
+// live and both ORBs feeding one flight recorder. The benchgate budget
+// for this path is ≤2 allocs/op over BenchmarkSyncCall — observability
+// must not tax the data path it observes.
+func BenchmarkSyncCallObserved(b *testing.B) {
+	srv := New(Options{Name: "bench-srv", ReplyCoalesceWindow: 100 * time.Microsecond})
+	b.Cleanup(srv.Shutdown)
+	ad, err := srv.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := ad.Activate("echo", benchEchoServant{})
+	cli := New(Options{Name: "bench-cli"})
+	b.Cleanup(cli.Shutdown)
+
+	ob := obs.NewObserverOpts("bench", obs.ObserverOptions{Sample: obs.SampleNone})
+	cli.AddCallInterceptor(ob)
+	srv.AddCallInterceptor(ob)
+	srv.ExportStats(ob.Registry)
+	srv.AttachFlightRecorder(ob.Flight)
+	cli.AttachFlightRecorder(ob.Flight)
+
 	ctx := context.Background()
 	args := []float64{1, 2, 3, 4}
 	writeArgs := func(e *cdr.Encoder) { e.PutFloat64Seq(args) }

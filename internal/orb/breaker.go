@@ -3,6 +3,8 @@ package orb
 import (
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // BreakerState is the circuit breaker's current disposition.
@@ -42,6 +44,9 @@ type BreakerOptions struct {
 	// Cooldown is how long the breaker stays open before allowing a
 	// half-open probe (default 1s).
 	Cooldown time.Duration
+	// Name identifies the guarded endpoint in anomaly reports. Empty
+	// breakers still signal, just anonymously.
+	Name string
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
 }
@@ -131,8 +136,13 @@ func (b *Breaker) Failure() {
 	}
 }
 
-// trip opens the breaker (caller holds the lock).
+// trip opens the breaker (caller holds the lock). The closed/half-open →
+// open transition raises the breaker anomaly; re-trips while already open
+// stay quiet so one flapping endpoint cannot spam the diagnostics plane.
 func (b *Breaker) trip() {
+	if b.state != BreakerOpen {
+		obs.SignalTrip(obs.AnomalyBreakerOpen, b.opts.Name)
+	}
 	b.state = BreakerOpen
 	b.failures = 0
 	b.probing = false

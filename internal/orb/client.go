@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cdr"
 	"repro/internal/giop"
+	"repro/internal/obs"
 )
 
 // clientConn is a multiplexed client-side connection: many in-flight
@@ -392,21 +393,53 @@ func (o *ORB) invokeOnce(ctx context.Context, ref ObjectRef, op string, writeArg
 // copies the bytes into the connection buffer synchronously and all
 // interceptors have run by then.
 func (o *ORB) invokeRaw(ctx context.Context, ref ObjectRef, op string, writeArgs func(*cdr.Encoder), opts CallOptions) (*giop.Message, error) {
+	fl := o.flight.Load()
+	var start time.Time
+	if fl != nil {
+		start = time.Now()
+	}
 	m, enc := o.buildRequest(ref, op, writeArgs)
 	o.interceptSendRequest(m)
 	ctx = o.callRequestSent(ctx, m)
 	reply, err := o.transferRequest(ctx, ref, m, opts)
 	if err != nil {
 		o.callReplyReceived(ctx, m, nil, err)
+		o.recordClientCall(fl, m, ref.Addr, start, obs.OutcomeTransportError)
 		enc.Release()
 		m.Release()
 		return nil, err
 	}
 	o.interceptReceiveReply(reply)
 	o.callReplyReceived(ctx, m, reply, nil)
+	o.recordClientCall(fl, m, ref.Addr, start, replyOutcome(reply.ReplyStatus))
 	enc.Release()
 	m.Release()
 	return reply, nil
+}
+
+// recordClientCall appends one client-side flight record for a finished
+// outbound call. fl is the recorder loaded at call start (nil-safe).
+// Client records have no queue-wait; Service is the full round trip as the
+// caller experienced it. The trace id is copied only from sampled calls —
+// unsampled ones carry the process-constant placeholder context, which
+// would link every record to the same meaningless trace.
+func (o *ORB) recordClientCall(fl *obs.FlightRecorder, m *giop.Message, peer string, start time.Time, outcome obs.Outcome) {
+	if fl == nil {
+		return
+	}
+	rec := obs.FlightRecord{
+		Time:    time.Now().UnixNano(),
+		Op:      m.Operation,
+		Peer:    peer,
+		Side:    obs.SideClient,
+		Bytes:   int32(len(m.Body)),
+		Service: int64(time.Since(start)),
+		Outcome: outcome,
+	}
+	if tc, ok := obs.DecodeTraceContext(m.Context(giop.SCTrace)); ok && tc.Sampled {
+		rec.Trace = tc.TraceID
+	}
+	fl.Record(rec)
 }
 
 // buildRequest assembles an un-intercepted request message. The message
@@ -460,6 +493,11 @@ func (o *ORB) Notify(ctx context.Context, ref ObjectRef, op string, writeArgs fu
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	fl := o.flight.Load()
+	var start time.Time
+	if fl != nil {
+		start = time.Now()
+	}
 	m, enc := o.buildRequest(ref, op, writeArgs)
 	m.ResponseExpected = false
 	o.interceptSendRequest(m)
@@ -468,6 +506,11 @@ func (o *ORB) Notify(ctx context.Context, ref ObjectRef, op string, writeArgs fu
 	// Oneways have no reply; completion for the call interceptors is the
 	// moment the request is on the wire (or failed to get there).
 	o.callReplyReceived(ctx, m, nil, err)
+	if err != nil {
+		o.recordClientCall(fl, m, ref.Addr, start, obs.OutcomeTransportError)
+	} else {
+		o.recordClientCall(fl, m, ref.Addr, start, obs.OutcomeOneway)
+	}
 	enc.Release()
 	m.Release()
 	return err

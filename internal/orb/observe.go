@@ -8,14 +8,26 @@ import (
 
 // Observe is the one-call observability hookup for a daemon process: it
 // attaches a fresh obs.Observer to this ORB's call-interceptor chain
-// (tracing + per-method RPC metrics), exports the ORB's own counters
-// into the observer's registry, and serves /metrics and /debug/traces
-// on addr in the background. The returned listener reports the bound
-// address (useful with ":0") and stops the endpoint when closed.
+// (tracing + per-method RPC metrics), exports the ORB's own counters and
+// load signals into the observer's registry, wires the black-box flight
+// recorder and anomaly plane into the request paths, registers the ORB's
+// health probe, and serves /metrics, /debug/traces, /debug/flightrec,
+// /debug/pprof, /healthz and /readyz on addr in the background. The
+// returned listener reports the bound address (useful with ":0") and
+// stops the endpoint when closed.
 func (o *ORB) Observe(service, addr string) (*obs.Observer, net.Listener, error) {
-	ob := obs.NewObserver(service)
+	return o.ObserveOpts(service, addr, obs.ObserverOptions{})
+}
+
+// ObserveOpts is Observe with explicit observer options (sampling rate,
+// ring and recorder sizes, anomaly dump directory and burst rules).
+func (o *ORB) ObserveOpts(service, addr string, opts obs.ObserverOptions) (*obs.Observer, net.Listener, error) {
+	ob := obs.NewObserverOpts(service, opts)
 	o.AddCallInterceptor(ob)
 	o.ExportStats(ob.Registry)
+	o.AttachFlightRecorder(ob.Flight)
+	ob.Health.Register("orb", o.HealthProbe)
+	obs.SetDefaultAnomalies(ob.Anomalies)
 	ln, err := obs.Serve(addr, ob.Handler())
 	if err != nil {
 		return nil, nil, err

@@ -140,6 +140,14 @@ type ORB struct {
 	// reactor read batch (the batch size in frames).
 	batchHist atomic.Pointer[obs.Histogram]
 
+	// signals, when set by ExportStats, carries the reactor's per-request
+	// load-signal instruments (queue-wait and service-time histograms);
+	// flight, when set by AttachFlightRecorder, receives one black-box
+	// record per request. Both are atomic pointers so an unobserved ORB
+	// pays one load and a branch per request.
+	signals atomic.Pointer[loadSignals]
+	flight  atomic.Pointer[obs.FlightRecorder]
+
 	mu       sync.Mutex
 	conns    map[string]*clientConn // keyed by remote address
 	dials    map[string]*dialWait   // in-flight dials, keyed by address

@@ -364,8 +364,11 @@ func (c *Caller) countRetry() {
 	}
 }
 
-// countRecovery bumps the ORB's recovery outcome counters.
+// countRecovery bumps the ORB's recovery outcome counters. Every recover
+// step also feeds the recovery-storm anomaly: a burst of them — even
+// successful ones — means the process is churning through replicas.
 func (c *Caller) countRecovery(ok bool) {
+	obs.Signal(obs.AnomalyRecovery)
 	if c.ORB == nil {
 		return
 	}

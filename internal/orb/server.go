@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cdr"
 	"repro/internal/giop"
+	"repro/internal/obs"
 )
 
 // Servant is the server-side implementation contract (the skeleton
@@ -500,6 +501,8 @@ func (a *Adapter) admitRequest(sc *serverConn, connCtx context.Context, m *giop.
 		// Deadline-aware admission: the propagated deadline expired before
 		// dispatch, so the servant is never invoked.
 		o.counters.requestsShed.Add(1)
+		obs.Signal(obs.AnomalyDeadlineShed)
+		o.recordRequest(m, sc.peer, 0, 0, obs.OutcomeShed)
 		if m.ResponseExpected {
 			sc.writeNow(shedReply(m))
 		}
@@ -517,34 +520,59 @@ func (a *Adapter) admitRequest(sc *serverConn, connCtx context.Context, m *giop.
 	}
 	t := acquireTask()
 	t.a, t.sc, t.req, t.rctx, t.rcancel = a, sc, m, rctx, rcancel
+	t.admitted = m.Received
 	a.taskWG.Add(1)
 	select {
 	case a.pool.queue <- t:
-	case <-rctx.Done():
-		// The queue stayed full past the request's lifetime; serveRequest
-		// takes the shed path since the context is already dead.
-		a.serveRequest(t)
+	default:
+		// The queue is full right now — the saturation signal the anomaly
+		// sink watches for — but the request still waits its turn below.
+		obs.Signal(obs.AnomalyQueueSaturated)
+		select {
+		case a.pool.queue <- t:
+		case <-rctx.Done():
+			// The queue stayed full past the request's lifetime; serveRequest
+			// takes the shed path since the context is already dead.
+			a.serveRequest(t)
+		}
 	}
 }
 
 // serveRequest is the worker-side execution of one admitted request: shed
 // if its context died while queued, dispatch otherwise, then clean up the
-// task's cancellation state and pooled resources.
+// task's cancellation state and pooled resources. The dequeue and
+// dispatch-done stamps taken here, against the admission stamp carried by
+// the task, feed the queue-wait and service-time signal plane — but only
+// when instruments are attached, so an unobserved ORB skips the clock
+// reads entirely.
 func (a *Adapter) serveRequest(t *dispatchTask) {
 	o := a.orb
 	sc, req := t.sc, t.req
+	observed := o.signals.Load() != nil || o.flight.Load() != nil
+	var dequeued time.Time
+	var queueWait time.Duration
+	if observed {
+		dequeued = time.Now()
+		if !t.admitted.IsZero() {
+			queueWait = dequeued.Sub(t.admitted)
+		}
+	}
+	outcome := obs.OutcomeOK
 	if err := t.rctx.Err(); err != nil {
 		// Cancelled or expired between admission and dequeue: shed without
 		// touching the servant.
 		if err == context.DeadlineExceeded {
 			o.counters.requestsShed.Add(1)
+			obs.Signal(obs.AnomalyDeadlineShed)
 		}
 		if req.ResponseExpected {
 			sc.writeReply(shedReply(req))
 		}
+		outcome = obs.OutcomeShed
 	} else if req.ResponseExpected {
 		o.counters.inFlight.Add(1)
 		reply, release := a.dispatch(t.rctx, sc.peer, req, &t.sctx)
+		outcome = replyOutcome(reply.ReplyStatus)
 		sc.writeReply(reply)
 		release()
 		reply.Release()
@@ -553,6 +581,10 @@ func (a *Adapter) serveRequest(t *dispatchTask) {
 		o.counters.inFlight.Add(1)
 		a.dispatchOneway(t.rctx, sc.peer, req, &t.sctx)
 		o.counters.inFlight.Add(-1)
+		outcome = obs.OutcomeOneway
+	}
+	if observed {
+		o.recordRequest(req, sc.peer, queueWait, time.Since(dequeued), outcome)
 	}
 	if t.rcancel != nil {
 		sc.removeInflight(req.RequestID)
@@ -561,6 +593,82 @@ func (a *Adapter) serveRequest(t *dispatchTask) {
 	req.Release()
 	a.taskWG.Done()
 	releaseTask(t)
+}
+
+// replyOutcome maps a reply status to a flight-record outcome.
+func replyOutcome(st giop.ReplyStatus) obs.Outcome {
+	switch st {
+	case giop.ReplyUserException:
+		return obs.OutcomeUserException
+	case giop.ReplySystemException:
+		return obs.OutcomeSystemException
+	case giop.ReplyLocationForward:
+		return obs.OutcomeForward
+	default:
+		return obs.OutcomeOK
+	}
+}
+
+// recordRequest feeds the load-signal histograms and the flight recorder
+// for one finished (or shed) server-side request. Zero-alloc at steady
+// state: interned strings, value-type records, single-label fast paths.
+func (o *ORB) recordRequest(req *giop.Message, peer string, queueWait, service time.Duration, outcome obs.Outcome) {
+	sig := o.signals.Load()
+	fl := o.flight.Load()
+	if sig == nil && fl == nil {
+		return
+	}
+	tc, ok := obs.DecodeTraceContext(req.Context(giop.SCTrace))
+	sampled := ok && tc.Sampled
+	if sig != nil {
+		qh := sig.queueWait.With1(req.Operation)
+		sh := sig.service.With1(req.Operation)
+		if sampled {
+			qh.ObserveExemplar(queueWait.Seconds(), tc.TraceID)
+			sh.ObserveExemplar(service.Seconds(), tc.TraceID)
+		} else {
+			qh.Observe(queueWait.Seconds())
+			sh.Observe(service.Seconds())
+		}
+	}
+	if fl != nil {
+		rec := obs.FlightRecord{
+			Time:      time.Now().UnixNano(),
+			Op:        req.Operation,
+			Peer:      peer,
+			Side:      obs.SideServer,
+			Bytes:     int32(len(req.Body)),
+			QueueWait: int64(queueWait),
+			Service:   int64(service),
+			Outcome:   outcome,
+		}
+		if sampled {
+			rec.Trace = tc.TraceID
+		}
+		fl.Record(rec)
+	}
+}
+
+// exportConnInflight emits the per-connection inflight gauge series at
+// scrape time, across every adapter's live connections.
+func (o *ORB) exportConnInflight(emit func(labelValues []string, v float64)) {
+	o.mu.Lock()
+	adapters := append([]*Adapter(nil), o.adapters...)
+	o.mu.Unlock()
+	for _, a := range adapters {
+		a.connMu.Lock()
+		conns := make([]*serverConn, 0, len(a.conns))
+		for c := range a.conns {
+			conns = append(conns, c)
+		}
+		a.connMu.Unlock()
+		for _, c := range conns {
+			c.mu.Lock()
+			n := len(c.inflight)
+			c.mu.Unlock()
+			emit([]string{c.peer}, float64(n))
+		}
+	}
 }
 
 // dispatch runs one request through interceptors and the target servant,

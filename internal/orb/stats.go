@@ -1,10 +1,26 @@
 package orb
 
 import (
+	"errors"
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/obs"
 )
+
+// loadSignals are the reactor's per-request instruments, installed by
+// ExportStats and read on every dispatch via one atomic pointer load.
+type loadSignals struct {
+	// queueWait observes admission → dequeue per operation.
+	queueWait *obs.HistogramVec
+	// service observes dequeue → dispatch-done per operation.
+	service *obs.HistogramVec
+}
+
+// queueWaitBuckets span 10µs (an uncontended handoff) to ~5s; queue
+// waits sit well below the RPC latency floor when the pool is healthy,
+// so the latency defaults would collapse the signal into one bucket.
+var queueWaitBuckets = obs.ExponentialBuckets(10e-6, 2, 20)
 
 // Stats are cumulative ORB-level counters (monitoring hook for
 // production deployments; every counter is updated atomically).
@@ -176,10 +192,71 @@ func (o *ORB) ExportStats(reg *obs.Registry) {
 			}
 			return float64(o.pool.depth())
 		})
+	reg.NewGaugeFunc("orb_worker_pool_size", "Dispatch workers in the shared pool.",
+		func() float64 {
+			o.mu.Lock()
+			defer o.mu.Unlock()
+			if o.pool == nil {
+				return 0
+			}
+			return float64(o.pool.size)
+		})
+	reg.NewGaugeFunc("orb_worker_pool_busy", "Dispatch workers currently executing a request.",
+		func() float64 {
+			o.mu.Lock()
+			defer o.mu.Unlock()
+			if o.pool == nil {
+				return 0
+			}
+			return float64(o.pool.busy.Load())
+		})
+	reg.NewGaugeFunc("orb_dispatch_queue_capacity", "Dispatch queue slots.",
+		func() float64 {
+			o.mu.Lock()
+			defer o.mu.Unlock()
+			if o.pool == nil {
+				return 0
+			}
+			return float64(cap(o.pool.queue))
+		})
+	reg.NewMultiGaugeFunc("orb_connection_inflight_requests",
+		"Cancellable requests queued or dispatching, per inbound connection.",
+		[]string{"peer"}, o.exportConnInflight)
 	// Batch sizes are frame counts, not seconds, so the histogram gets
 	// power-of-two count buckets instead of the latency defaults.
 	hist := reg.NewHistogramVec("orb_read_batch_frames",
 		"Frames delivered per reactor read-loop wakeup.",
 		[]float64{1, 2, 4, 8, 16, 32, 64}).With()
 	o.batchHist.Store(&hist)
+	// The request lifecycle histograms: stamped at admission (the frame
+	// batch timestamp), dequeue and dispatch-done by the reactor.
+	o.signals.Store(&loadSignals{
+		queueWait: reg.NewHistogramVec("orb_request_queue_wait_seconds",
+			"Admission to dequeue wait per operation.", queueWaitBuckets, "op"),
+		service: reg.NewHistogramVec("orb_request_service_seconds",
+			"Dequeue to dispatch-done time per operation.", queueWaitBuckets, "op"),
+	})
+}
+
+// AttachFlightRecorder wires the black-box recorder into the ORB's
+// request paths: the reactor records every finished dispatch and the
+// client records every outbound call. Attach once during setup.
+func (o *ORB) AttachFlightRecorder(f *obs.FlightRecorder) { o.flight.Store(f) }
+
+// HealthProbe is the ORB's component probe for obs.Health: it degrades
+// after shutdown and while the dispatch queue is nearly saturated (≥90%
+// of capacity) — the same condition that trips the queue-saturation
+// anomaly.
+func (o *ORB) HealthProbe() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.shutdown {
+		return errors.New("orb shut down")
+	}
+	if o.pool != nil {
+		if d, c := o.pool.depth(), cap(o.pool.queue); c > 0 && d >= c*9/10 {
+			return fmt.Errorf("dispatch queue %d/%d", d, c)
+		}
+	}
+	return nil
 }

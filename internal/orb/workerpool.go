@@ -4,6 +4,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/giop"
 )
@@ -18,7 +20,10 @@ type dispatchTask struct {
 	req     *giop.Message
 	rctx    context.Context
 	rcancel context.CancelFunc
-	sctx    ServerContext
+	// admitted is the request's admission instant (the FrameReader's
+	// batch stamp); dequeue minus admitted is the queue-wait signal.
+	admitted time.Time
+	sctx     ServerContext
 }
 
 var taskPool = sync.Pool{New: func() any { return new(dispatchTask) }}
@@ -40,6 +45,10 @@ func releaseTask(t *dispatchTask) {
 type workerPool struct {
 	queue chan *dispatchTask
 	wg    sync.WaitGroup
+	size  int
+	// busy counts workers currently executing a dispatch — with size,
+	// the worker-pool occupancy gauge the admission controller needs.
+	busy atomic.Int64
 }
 
 // poolSize resolves the worker count: WorkerPool wins, then the legacy
@@ -64,7 +73,7 @@ func newWorkerPool(workers int) *workerPool {
 	if depth < 256 {
 		depth = 256
 	}
-	p := &workerPool{queue: make(chan *dispatchTask, depth)}
+	p := &workerPool{queue: make(chan *dispatchTask, depth), size: workers}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.run()
@@ -75,7 +84,9 @@ func newWorkerPool(workers int) *workerPool {
 func (p *workerPool) run() {
 	defer p.wg.Done()
 	for t := range p.queue {
+		p.busy.Add(1)
 		t.a.serveRequest(t)
+		p.busy.Add(-1)
 	}
 }
 
