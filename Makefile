@@ -29,13 +29,18 @@ race:
 ## nameserver and winnerd killed mid-run, lease expiry), the naming
 ## storm (10k push-subscribed clients, group member killed mid-run,
 ## naming request traffic must stay flat; CHAOS_ARTIFACT exports the
-## traffic summary as JSON) and the flight-recorder dump scenario
+## traffic summary as JSON), the flight-recorder dump scenario
 ## (worker killed mid-run must auto-dump the black box;
-## FLIGHTREC_ARTIFACT exports the dump JSON), race-enabled, fixed seeds.
+## FLIGHTREC_ARTIFACT exports the dump JSON) and the mixed-priority
+## overload soak (three QoS classes past saturation: batch sheds with
+## retry-after hints, critical p99 stays flat, the degradation
+## controller walks down the ladder and back; QOS_ARTIFACT exports the
+## per-class outcome summary as JSON), race-enabled, fixed seeds.
 chaos:
 	CHAOS_ARTIFACT=$${CHAOS_ARTIFACT:-naming_storm_soak.json} \
 	FLIGHTREC_ARTIFACT=$${FLIGHTREC_ARTIFACT:-flightrec_dump.json} \
-		$(GO) test -race -count=1 -run 'TestChaosSoak|TestControlPlaneChaos|TestNamingStormSoak|TestFlightRecorderChaosDump' -v ./integration/
+	QOS_ARTIFACT=$${QOS_ARTIFACT:-qos_soak.json} \
+		$(GO) test -race -count=1 -run 'TestChaosSoak|TestControlPlaneChaos|TestNamingStormSoak|TestFlightRecorderChaosDump|TestMixedPriorityOverloadSoak' -v ./integration/
 
 generate:
 	$(GO) generate ./...

@@ -71,8 +71,18 @@ func main() {
 	workers := flag.Int("workers", 0, "dispatch worker pool size (0: 2×GOMAXPROCS)")
 	readBatch := flag.Int("read-batch", 0, "max request frames per connection read-loop wakeup (0: 32)")
 	replyCoalesce := flag.Duration("reply-coalesce", 0, "server reply-coalescing window (0: disabled)")
+	qosClasses := flag.String("qos-classes", "", "per-class dispatch weights, e.g. critical:16,normal:4,batch:1")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate in req/s (0: unlimited)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant token-bucket burst (0: rate)")
+	degradeHigh := flag.Float64("degrade-high", 0, "load score that steps the runtime one degradation mode down (0: controller disabled)")
+	degradeLow := flag.Float64("degrade-low", 0.5, "load score that steps the runtime one degradation mode back up")
 	flag.Parse()
 	slog.SetDefault(obs.NewLogger(os.Stderr, "checkpointd", slog.LevelInfo))
+
+	weights, err := orb.ParseClassWeights(*qosClasses)
+	if err != nil {
+		log.Fatalf("checkpointd: -qos-classes: %v", err)
+	}
 
 	var local ft.Store
 	if *dir != "" {
@@ -88,8 +98,14 @@ func main() {
 	}
 
 	o := orb.New(orb.Options{Name: "checkpointd",
-		WorkerPool: *workers, ReadBatch: *readBatch, ReplyCoalesceWindow: *replyCoalesce})
+		WorkerPool: *workers, ReadBatch: *readBatch, ReplyCoalesceWindow: *replyCoalesce,
+		QoS: orb.QoSOptions{Weights: weights, TenantRate: *tenantRate, TenantBurst: *tenantBurst}})
 	defer o.Shutdown()
+	if *degradeHigh > 0 {
+		stop := o.StartDegradeController(orb.DegradeConfig{High: *degradeHigh, Low: *degradeLow})
+		defer stop()
+		log.Printf("checkpointd: adaptive degradation on (high %.2f, low %.2f)", *degradeHigh, *degradeLow)
+	}
 
 	store := local
 	if *peers != "" {

@@ -15,6 +15,16 @@
 // naming_resolves_total stay flat while picks keep succeeding.
 //
 //	loadgen -ns @ns1.ref -watch-clients 10000 -group svc/workers -duration 2m
+//
+// Mixed-priority mode: drive the naming service's resolve path with a
+// blend of QoS classes past saturation and watch admission control work.
+// -qos-mix gives the client count per class; each client stamps its
+// calls with its class (and a tenant id when -tenants is set) and counts
+// successes, admission sheds and other failures separately. Pair with a
+// server running -tenant-rate / -degrade-high to see batch shed first
+// while critical latency stays flat:
+//
+//	loadgen -ns @ns1.ref -qos-mix critical:2,normal:8,batch:32 -tenants 4 -duration 1m
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -42,11 +53,21 @@ func main() {
 	group := flag.String("group", "svc/workers", "group name the clients hold a ref to")
 	pickInterval := flag.Duration("pick-interval", 100*time.Millisecond, "per-client member pick cadence")
 	obsAddr := flag.String("obs", "", "serve /metrics, /healthz and /debug endpoints on this address (naming-storm mode; empty: disabled)")
+	qosMix := flag.String("qos-mix", "", "per-class client counts, e.g. critical:2,normal:8,batch:32 (enables mixed-priority mode; needs -ns)")
+	tenants := flag.Int("tenants", 0, "spread mixed-priority clients over this many tenant ids (0: anonymous)")
+	callInterval := flag.Duration("call-interval", 10*time.Millisecond, "per-client call cadence (mixed-priority mode)")
 	flag.Parse()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
+	if *qosMix != "" {
+		if *nsRef == "" {
+			log.Fatal("loadgen: -qos-mix needs -ns")
+		}
+		runQoSMix(*nsRef, *qosMix, *group, *tenants, *callInterval, *duration, sig)
+		return
+	}
 	if *nsRef != "" {
 		runNamingStorm(*nsRef, *clients, *group, *pickInterval, *duration, *obsAddr, sig)
 		return
@@ -175,6 +196,95 @@ func runNamingStorm(refSpec string, n int, group string, pickEvery time.Duration
 	}
 	log.Printf("loadgen: picks ok=%d fail=%d, invalidations applied=%d, resubscribes=%d",
 		picksOK.Load(), picksFail.Load(), applied, resub)
+}
+
+// runQoSMix drives the naming service's resolve path with a blend of QoS
+// classes past saturation. Each simulated client owns a stub stamped with
+// its class (and a tenant id when -tenants is set) and resolves the group
+// name on a cadence; outcomes are tallied per class with admission sheds
+// (TRANSIENT carrying a retry-after hint) split from other failures, so a
+// run against an overloaded server shows batch shedding while critical
+// stays clean.
+func runQoSMix(refSpec, mix, group string, tenants int, every, duration time.Duration, sig chan os.Signal) {
+	if strings.HasPrefix(refSpec, "@") {
+		raw, err := os.ReadFile(refSpec[1:])
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		refSpec = strings.TrimSpace(string(raw))
+	}
+	ref, err := orb.RefFromString(refSpec)
+	if err != nil {
+		log.Fatalf("loadgen: bad -ns reference: %v", err)
+	}
+	name, err := naming.ParseName(group)
+	if err != nil {
+		log.Fatalf("loadgen: bad -group name: %v", err)
+	}
+	var counts [orb.NumClasses]int
+	for _, part := range strings.Split(mix, ",") {
+		cls, val, ok := strings.Cut(part, ":")
+		if !ok {
+			log.Fatalf("loadgen: bad -qos-mix entry %q (want class:count)", part)
+		}
+		p, err := orb.ParsePriority(cls)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < 0 {
+			log.Fatalf("loadgen: bad count in -qos-mix entry %q", part)
+		}
+		counts[p] = n
+	}
+
+	o := orb.New(orb.Options{Name: "loadgen"})
+	defer o.Shutdown()
+
+	var okN, shedN, failN [orb.NumClasses]atomic.Uint64
+	var stop atomic.Bool
+	tenant := 0
+	total := 0
+	for class := orb.Priority(0); class < orb.NumClasses; class++ {
+		for i := 0; i < counts[class]; i++ {
+			opts := []orb.CallOption{orb.WithPriority(class)}
+			if tenants > 0 {
+				opts = append(opts, orb.WithTenant(fmt.Sprintf("tenant-%d", tenant%tenants)))
+				tenant++
+			}
+			ns := naming.NewClient(o, ref)
+			ns.SetCallOptions(opts...)
+			total++
+			go func(class orb.Priority, ns *naming.Client) {
+				t := time.NewTicker(every)
+				defer t.Stop()
+				for !stop.Load() {
+					<-t.C
+					ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+					_, err := ns.Resolve(ctx, name)
+					cancel()
+					switch {
+					case err == nil:
+						okN[class].Add(1)
+					case orb.IsAdmissionShed(err):
+						shedN[class].Add(1)
+					default:
+						failN[class].Add(1)
+					}
+				}
+			}(class, ns)
+		}
+	}
+	log.Printf("loadgen: %d mixed-priority clients on %s (group %s, every %v)", total, ref.Addr, name, every)
+	wait(&duration, sig)
+	stop.Store(true)
+	for _, class := range []orb.Priority{orb.ClassCritical, orb.ClassNormal, orb.ClassBatch} {
+		if counts[class] == 0 {
+			continue
+		}
+		log.Printf("loadgen: %-8s ok=%d shed=%d fail=%d",
+			class, okN[class].Load(), shedN[class].Load(), failN[class].Load())
+	}
 }
 
 //go:noinline

@@ -56,12 +56,27 @@ func main() {
 	workers := flag.Int("workers", 0, "dispatch worker pool size (0: 2×GOMAXPROCS)")
 	readBatch := flag.Int("read-batch", 0, "max request frames per connection read-loop wakeup (0: 32)")
 	replyCoalesce := flag.Duration("reply-coalesce", 0, "server reply-coalescing window (0: disabled)")
+	qosClasses := flag.String("qos-classes", "", "per-class dispatch weights, e.g. critical:16,normal:4,batch:1")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate in req/s (0: unlimited)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant token-bucket burst (0: rate)")
+	degradeHigh := flag.Float64("degrade-high", 0, "load score that steps the runtime one degradation mode down (0: controller disabled)")
+	degradeLow := flag.Float64("degrade-low", 0.5, "load score that steps the runtime one degradation mode back up")
 	flag.Parse()
 	slog.SetDefault(obs.NewLogger(os.Stderr, "nameserver", slog.LevelInfo))
 
+	weights, err := orb.ParseClassWeights(*qosClasses)
+	if err != nil {
+		log.Fatalf("nameserver: -qos-classes: %v", err)
+	}
 	o := orb.New(orb.Options{Name: "nameserver",
-		WorkerPool: *workers, ReadBatch: *readBatch, ReplyCoalesceWindow: *replyCoalesce})
+		WorkerPool: *workers, ReadBatch: *readBatch, ReplyCoalesceWindow: *replyCoalesce,
+		QoS: orb.QoSOptions{Weights: weights, TenantRate: *tenantRate, TenantBurst: *tenantBurst}})
 	defer o.Shutdown()
+	if *degradeHigh > 0 {
+		stop := o.StartDegradeController(orb.DegradeConfig{High: *degradeHigh, Low: *degradeLow})
+		defer stop()
+		log.Printf("nameserver: adaptive degradation on (high %.2f, low %.2f)", *degradeHigh, *degradeLow)
+	}
 	ad, err := o.NewAdapter(*addr)
 	if err != nil {
 		log.Fatalf("nameserver: %v", err)
@@ -83,6 +98,9 @@ func main() {
 		}
 		selector = core.NewWinnerSelector(core.ClientRanker{C: winner.NewClient(o, ref)}, nil)
 		servant = naming.NewServant(reg, selector)
+		// Under overload the degradation controller parks the selector on
+		// its cheap fallback — the ranking round trip is the first cost shed.
+		o.OnDegrade(selector.DegradeHook())
 		log.Printf("nameserver: load distribution enabled via %v", ref)
 	} else {
 		servant = core.NewPlainNamingServant(reg)

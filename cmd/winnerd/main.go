@@ -38,14 +38,24 @@ func main() {
 	workers := flag.Int("workers", 0, "dispatch worker pool size (0: 2×GOMAXPROCS)")
 	readBatch := flag.Int("read-batch", 0, "max request frames per connection read-loop wakeup (0: 32)")
 	replyCoalesce := flag.Duration("reply-coalesce", 0, "server reply-coalescing window (0: disabled)")
+	qosClasses := flag.String("qos-classes", "", "per-class dispatch weights, e.g. critical:16,normal:4,batch:1")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate in req/s (0: unlimited)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant token-bucket burst (0: rate)")
+	degradeHigh := flag.Float64("degrade-high", 0, "load score that steps the runtime one degradation mode down (0: controller disabled)")
+	degradeLow := flag.Float64("degrade-low", 0.5, "load score that steps the runtime one degradation mode back up")
 	flag.Parse()
 	slog.SetDefault(obs.NewLogger(os.Stderr, "winnerd", slog.LevelInfo))
 
-	tuning := orb.Options{WorkerPool: *workers, ReadBatch: *readBatch, ReplyCoalesceWindow: *replyCoalesce}
+	weights, err := orb.ParseClassWeights(*qosClasses)
+	if err != nil {
+		log.Fatalf("winnerd: -qos-classes: %v", err)
+	}
+	tuning := orb.Options{WorkerPool: *workers, ReadBatch: *readBatch, ReplyCoalesceWindow: *replyCoalesce,
+		QoS: orb.QoSOptions{Weights: weights, TenantRate: *tenantRate, TenantBurst: *tenantBurst}}
 
 	switch *role {
 	case "system":
-		runSystem(*addr, *refFile, *obsAddr, *dumpDir, *maxAge, tuning)
+		runSystem(*addr, *refFile, *obsAddr, *dumpDir, *maxAge, tuning, *degradeHigh, *degradeLow)
 	case "node":
 		runNode(*managerRef, *host, *speed, *period)
 	default:
@@ -53,10 +63,15 @@ func main() {
 	}
 }
 
-func runSystem(addr, refFile, obsAddr, dumpDir string, maxAge time.Duration, tuning orb.Options) {
+func runSystem(addr, refFile, obsAddr, dumpDir string, maxAge time.Duration, tuning orb.Options, degradeHigh, degradeLow float64) {
 	tuning.Name = "winnerd"
 	o := orb.New(tuning)
 	defer o.Shutdown()
+	if degradeHigh > 0 {
+		stop := o.StartDegradeController(orb.DegradeConfig{High: degradeHigh, Low: degradeLow})
+		defer stop()
+		log.Printf("winnerd: adaptive degradation on (high %.2f, low %.2f)", degradeHigh, degradeLow)
+	}
 	ad, err := o.NewAdapter(addr)
 	if err != nil {
 		log.Fatalf("winnerd: %v", err)

@@ -1,0 +1,281 @@
+package integration
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/obs"
+	"repro/internal/orb"
+)
+
+// The mixed-priority overload soak: a deliberately small server (two
+// workers, a 16-slot dispatch queue, an adaptive-degradation controller)
+// is driven past saturation by a closed-loop fleet mixing all three QoS
+// classes. The QoS plane's promises are asserted end to end: batch is
+// shed (fast-rejected with retry-after hints, visible in the
+// orb_admission_shed_total counters), critical is never shed and its p99
+// stays bounded, the degradation controller walks the runtime down the
+// ladder (every transition a degrade_mode anomaly, /healthz failing its
+// qos probe) and back up to normal once the storm passes.
+
+// qosWorkServant burns a fixed service time per call — a stand-in for
+// real servant work that makes the two-worker server's capacity exact.
+type qosWorkServant struct {
+	serviceTime time.Duration
+}
+
+func (s *qosWorkServant) TypeID() string { return "IDL:repro/QoSWork:1.0" }
+
+func (s *qosWorkServant) Invoke(_ *orb.ServerContext, op string, _ *cdr.Decoder, _ *cdr.Encoder) error {
+	if op != "work" {
+		return orb.BadOperation(op)
+	}
+	time.Sleep(s.serviceTime)
+	return nil
+}
+
+// qosClassLoad tallies one class's closed-loop outcomes.
+type qosClassLoad struct {
+	ok, shed, fail atomic.Uint64
+
+	mu  sync.Mutex
+	lat []time.Duration
+}
+
+func (l *qosClassLoad) record(d time.Duration) {
+	l.mu.Lock()
+	l.lat = append(l.lat, d)
+	l.mu.Unlock()
+}
+
+func (l *qosClassLoad) p99() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), l.lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)*99)/100]
+}
+
+func TestMixedPriorityOverloadSoak(t *testing.T) {
+	srv := orb.New(orb.Options{Name: "qos-soak-srv", WorkerPool: 2, DispatchQueueDepth: 16})
+	t.Cleanup(srv.Shutdown)
+	a, err := srv.NewAdapter("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := a.Activate("work", &qosWorkServant{serviceTime: 2 * time.Millisecond})
+
+	// The observer serves /healthz and collects the degrade_mode
+	// anomalies, so the soak asserts exactly what an operator would see.
+	ob, ln, err := srv.Observe("qos-soak", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	_ = ob
+
+	var transMu sync.Mutex
+	var transitions []orb.DegradeMode
+	srv.OnDegrade(func(m orb.DegradeMode) {
+		transMu.Lock()
+		transitions = append(transitions, m)
+		transMu.Unlock()
+	})
+	stopCtl := srv.StartDegradeController(orb.DegradeConfig{
+		High: 0.85, Low: 0.3, Interval: 50 * time.Millisecond, HoldTicks: 2,
+	})
+	t.Cleanup(stopCtl)
+
+	cli := orb.New(orb.Options{Name: "qos-soak-cli", CallTimeout: 10 * time.Second})
+	t.Cleanup(cli.Shutdown)
+
+	loads := map[orb.Priority]*qosClassLoad{
+		orb.ClassCritical: {}, orb.ClassNormal: {}, orb.ClassBatch: {},
+	}
+	fleet := []struct {
+		class   orb.Priority
+		clients int
+	}{
+		{orb.ClassCritical, 4},
+		{orb.ClassNormal, 8},
+		{orb.ClassBatch, 16},
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for _, f := range fleet {
+		for i := 0; i < f.clients; i++ {
+			wg.Add(1)
+			go func(class orb.Priority) {
+				defer wg.Done()
+				load := loads[class]
+				for !stop.Load() {
+					start := time.Now()
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					err := cli.Call(ctx, ref, "work", nil, nil, orb.WithPriority(class))
+					cancel()
+					switch {
+					case err == nil:
+						load.ok.Add(1)
+						load.record(time.Since(start))
+					case orb.IsAdmissionShed(err):
+						load.shed.Add(1)
+						// Honour the server's hint like a well-behaved
+						// client (capped so the soak keeps offering load).
+						if d := orb.RetryAfterHint(err); d > 0 {
+							if d > 50*time.Millisecond {
+								d = 50 * time.Millisecond
+							}
+							time.Sleep(d)
+						}
+					default:
+						load.fail.Add(1)
+					}
+				}
+			}(f.class)
+		}
+	}
+
+	// Wait for the controller to react to the saturated pool, then grab
+	// the operator's view mid-storm.
+	degradeDeadline := time.Now().Add(10 * time.Second)
+	for srv.DegradeMode() == orb.ModeNormal {
+		if time.Now().After(degradeDeadline) {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatal("degradation controller never left normal mode under sustained overload")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var midStorm obs.HealthReport
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&midStorm)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep the storm up long enough for every class to accumulate a
+	// meaningful sample, then stop and let the runtime recover.
+	time.Sleep(2 * time.Second)
+	stop.Store(true)
+	wg.Wait()
+
+	recoverDeadline := time.Now().Add(15 * time.Second)
+	for srv.DegradeMode() != orb.ModeNormal {
+		if time.Now().After(recoverDeadline) {
+			t.Fatalf("runtime stuck in %v after load stopped", srv.DegradeMode())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	crit, norm, batch := loads[orb.ClassCritical], loads[orb.ClassNormal], loads[orb.ClassBatch]
+	critP99 := crit.p99()
+	t.Logf("critical: ok=%d shed=%d fail=%d p99=%v", crit.ok.Load(), crit.shed.Load(), crit.fail.Load(), critP99)
+	t.Logf("normal:   ok=%d shed=%d fail=%d p99=%v", norm.ok.Load(), norm.shed.Load(), norm.fail.Load(), norm.p99())
+	t.Logf("batch:    ok=%d shed=%d fail=%d p99=%v", batch.ok.Load(), batch.shed.Load(), batch.fail.Load(), batch.p99())
+	transMu.Lock()
+	t.Logf("degrade transitions: %v", transitions)
+	transMu.Unlock()
+
+	// Batch was shed, and the server's counters attribute it.
+	if batch.shed.Load() == 0 {
+		t.Fatal("no batch call was shed past saturation")
+	}
+	if n := srv.AdmissionShed(orb.ClassBatch, orb.ShedQueueFull) +
+		srv.AdmissionShed(orb.ClassBatch, orb.ShedDegradedMode); n == 0 {
+		t.Fatal("orb_admission_shed_total{class=batch} never moved")
+	}
+	// Critical was never shed by admission control and kept serving with
+	// a bounded tail through the whole storm.
+	if n := crit.shed.Load(); n != 0 {
+		t.Fatalf("admission control shed %d critical calls", n)
+	}
+	if n := crit.fail.Load(); n != 0 {
+		t.Fatalf("%d critical calls failed outright", n)
+	}
+	if crit.ok.Load() == 0 {
+		t.Fatal("no critical call completed")
+	}
+	if critP99 > 500*time.Millisecond {
+		t.Fatalf("critical p99 = %v under overload, want well under 500ms", critP99)
+	}
+	// The operator saw it: mid-storm /healthz failed the qos probe and
+	// the anomaly log carried the degrade_mode transition.
+	if c, ok := midStorm.Components["qos"]; !ok || c.OK {
+		t.Fatalf("mid-storm /healthz qos probe = %+v, want failing", midStorm.Components)
+	}
+	sawAnomaly := false
+	for _, an := range midStorm.Anomalies {
+		if an.Kind == obs.AnomalyDegradeMode {
+			sawAnomaly = true
+		}
+	}
+	if !sawAnomaly {
+		t.Fatalf("mid-storm /healthz anomalies %v carry no degrade_mode trip", midStorm.Anomalies)
+	}
+	// The ladder was walked one step at a time, down and back to normal.
+	transMu.Lock()
+	defer transMu.Unlock()
+	if len(transitions) < 2 {
+		t.Fatalf("transitions = %v, want at least one step down and one back up", transitions)
+	}
+	if transitions[0] != orb.ModeDegraded {
+		t.Fatalf("first transition = %v, want degraded (one step at a time)", transitions[0])
+	}
+	if last := transitions[len(transitions)-1]; last != orb.ModeNormal {
+		t.Fatalf("final transition = %v, want normal", last)
+	}
+
+	if path := os.Getenv("QOS_ARTIFACT"); path != "" {
+		perClass := map[string]any{}
+		for class, l := range loads {
+			perClass[class.String()] = map[string]any{
+				"ok": l.ok.Load(), "shed": l.shed.Load(), "fail": l.fail.Load(),
+				"p99_ms": float64(l.p99()) / float64(time.Millisecond),
+			}
+		}
+		sheds := map[string]uint64{}
+		for _, class := range []orb.Priority{orb.ClassCritical, orb.ClassNormal, orb.ClassBatch} {
+			for _, reason := range []string{orb.ShedQueueFull, orb.ShedTenantThrottle, orb.ShedDegradedMode} {
+				if n := srv.AdmissionShed(class, reason); n > 0 {
+					sheds[class.String()+"/"+reason] = n
+				}
+			}
+		}
+		trans := make([]string, len(transitions))
+		for i, m := range transitions {
+			trans[i] = m.String()
+		}
+		artifact := map[string]any{
+			"scenario":            "mixed_priority_overload",
+			"classes":             perClass,
+			"admission_sheds":     sheds,
+			"degrade_transitions": trans,
+			"final_mode":          srv.DegradeMode().String(),
+		}
+		data, err := json.MarshalIndent(artifact, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write soak artifact: %v", err)
+		}
+		fmt.Printf("soak artifact written to %s\n", path)
+	}
+}

@@ -81,6 +81,10 @@ type WinnerSelector struct {
 	breaker *orb.Breaker
 	// fallbacks counts resolves that degraded to the fallback selector.
 	fallbacks atomic.Uint64
+	// degraded, set by the ORB's adaptive-degradation controller, routes
+	// every resolve straight to the cheap fallback — under overload the
+	// ranking round trip to the system manager is the first cost to shed.
+	degraded atomic.Bool
 }
 
 // NewWinnerSelector builds a selector backed by ranker. fallback may be
@@ -105,6 +109,21 @@ func (s *WinnerSelector) ConfigureBreaker(opts orb.BreakerOptions) {
 // Fallbacks returns how many resolves degraded to the fallback selector —
 // the nameserver exports it as winner_fallback_total.
 func (s *WinnerSelector) Fallbacks() uint64 { return s.fallbacks.Load() }
+
+// SetDegraded forces (or lifts) degraded selection: while set, resolves
+// skip the ranker entirely and use the cheap fallback policy, tagged
+// ReasonFallbackDegraded. Normally driven through DegradeHook.
+func (s *WinnerSelector) SetDegraded(on bool) { s.degraded.Store(on) }
+
+// Degraded reports whether degraded selection is in force.
+func (s *WinnerSelector) Degraded() bool { return s.degraded.Load() }
+
+// DegradeHook adapts the selector to the ORB's degradation controller:
+// register the returned func with orb.ORB.OnDegrade and the selector
+// switches to its cheap fallback in any mode below normal.
+func (s *WinnerSelector) DegradeHook() func(orb.DegradeMode) {
+	return func(mode orb.DegradeMode) { s.SetDegraded(mode != orb.ModeNormal) }
+}
 
 // Select implements naming.Selector.
 func (s *WinnerSelector) Select(name naming.Name, offers []naming.Offer) (naming.Offer, error) {
@@ -137,6 +156,12 @@ func (s *WinnerSelector) SelectExplain(name naming.Name, offers []naming.Offer) 
 	}
 	if len(hosts) == 0 {
 		return s.fallbackExplain(name, offers, naming.ReasonFallbackNoHosts)
+	}
+	if s.degraded.Load() {
+		// Degraded mode: the runtime is shedding load, and the ranking
+		// round trip is optional work — round-robin is never worse than
+		// plain naming.
+		return s.fallbackExplain(name, offers, naming.ReasonFallbackDegraded)
 	}
 	if !s.breaker.Allow() {
 		// The manager is known-dead and the cooldown hasn't elapsed:

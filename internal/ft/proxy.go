@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cdr"
@@ -142,6 +143,12 @@ type Proxy struct {
 
 	// recoverMu serializes whole recovery sequences.
 	recoverMu sync.Mutex
+
+	// degraded, set by the ORB's adaptive-degradation controller via
+	// DegradeHook, relaxes the forced-sync cadence: a degraded runtime
+	// spends its checkpoint budget on throughput, widening SyncEvery by
+	// degradeSyncFactor instead of fsyncing on schedule.
+	degraded atomic.Bool
 
 	// ckptMu serializes checkpoint production — epoch allocation, delta
 	// encoding against lastFull, and pipeline enqueue — so queued epochs
@@ -359,7 +366,7 @@ func (p *Proxy) checkpoint(ctx context.Context, ref orb.ObjectRef, async bool) (
 	p.lastFull, p.lastEpoch = data, epoch
 	if async && !p.ckptClosed {
 		p.asyncSince++
-		if p.policy.SyncEvery > 0 && p.asyncSince >= p.policy.SyncEvery {
+		if se := p.effectiveSyncEvery(); se > 0 && p.asyncSince >= se {
 			async, p.asyncSince = false, 0
 		}
 	}
@@ -381,6 +388,34 @@ func (p *Proxy) checkpoint(ctx context.Context, ref orb.ObjectRef, async bool) (
 	// epochs in order and this one lands newest.
 	p.drainCheckpoints()
 	return p.storePut(ctx, cp, data)
+}
+
+// degradeSyncFactor widens Policy.SyncEvery while the runtime is
+// degraded: forced synchronous checkpoints happen 4× less often, buying
+// call throughput at the cost of a longer unacknowledged-state window.
+const degradeSyncFactor = 4
+
+// effectiveSyncEvery is the forced-sync cadence after degradation widening.
+func (p *Proxy) effectiveSyncEvery() int {
+	se := p.policy.SyncEvery
+	if se > 0 && p.degraded.Load() {
+		se *= degradeSyncFactor
+	}
+	return se
+}
+
+// SetDegraded switches the proxy's degraded checkpointing behaviour
+// (see effectiveSyncEvery). Normally driven through DegradeHook.
+func (p *Proxy) SetDegraded(on bool) { p.degraded.Store(on) }
+
+// Degraded reports whether degraded checkpointing is in force.
+func (p *Proxy) Degraded() bool { return p.degraded.Load() }
+
+// DegradeHook adapts the proxy to the ORB's degradation controller:
+// register the returned func with orb.ORB.OnDegrade and the proxy
+// relaxes its checkpoint sync cadence in any mode below normal.
+func (p *Proxy) DegradeHook() func(orb.DegradeMode) {
+	return func(mode orb.DegradeMode) { p.SetDegraded(mode != orb.ModeNormal) }
 }
 
 // storePut writes cp to the store, re-sending a full snapshot when a

@@ -143,6 +143,18 @@ const (
 	// context untouched — unknown service-context IDs are preserved
 	// verbatim through encode/decode.
 	SCTrace uint32 = 0x54524143 // "TRAC"
+	// SCQoS carries the caller's quality-of-service intent on requests:
+	// one priority-class byte (0 critical, 1 normal, 2 batch) followed by
+	// the tenant id as raw bytes. Absence means normal class, anonymous
+	// tenant — so QoS-unaware clients keep their pre-QoS behaviour and
+	// QoS-unaware servers relay the context verbatim like any unknown id.
+	SCQoS uint32 = 0x514f5331 // "QOS1"
+	// SCRetryAfter rides on admission-rejected replies: a uint64
+	// nanosecond hint telling the caller how long to wait before
+	// reoffering the request. The resilient-call engine folds it into its
+	// backoff schedule, so shed traffic spreads out instead of hammering
+	// an overloaded adapter.
+	SCRetryAfter uint32 = 0x52545259 // "RTRY"
 )
 
 // EncodeDeadline renders a remaining-duration deadline for SCDeadline.
@@ -165,6 +177,52 @@ func DecodeDeadline(data []byte) (remaining time.Duration, ok bool) {
 	d := cdr.NewDecoder(data)
 	ns := d.GetUint64()
 	if d.Err() != nil || ns > uint64(1<<62) {
+		return 0, false
+	}
+	return time.Duration(ns), true
+}
+
+// EncodeQoS renders an SCQoS payload: the priority-class byte followed by
+// the tenant id verbatim. The layout is deliberately trivial — one
+// allocation, no CDR framing — because it is attached on the client hot
+// path of every prioritized call.
+func EncodeQoS(class uint8, tenant string) []byte {
+	data := make([]byte, 1+len(tenant))
+	data[0] = class
+	copy(data[1:], tenant)
+	return data
+}
+
+// DecodeQoS parses an SCQoS payload. ok is false when the context is
+// absent; callers then fall back to normal class and anonymous tenant.
+// The tenant string aliases nothing — it is copied out of the (pooled)
+// frame buffer, since admission bookkeeping outlives the request message.
+func DecodeQoS(data []byte) (class uint8, tenant string, ok bool) {
+	if len(data) == 0 {
+		return 0, "", false
+	}
+	return data[0], string(data[1:]), true
+}
+
+// EncodeRetryAfter renders an SCRetryAfter payload (nanoseconds).
+func EncodeRetryAfter(d time.Duration) []byte {
+	if d < 0 {
+		d = 0
+	}
+	e := cdr.NewEncoder(8)
+	e.PutUint64(uint64(d))
+	return e.Bytes()
+}
+
+// DecodeRetryAfter parses an SCRetryAfter payload. ok is false when data
+// is absent or malformed (callers then back off on their own schedule).
+func DecodeRetryAfter(data []byte) (d time.Duration, ok bool) {
+	if len(data) == 0 {
+		return 0, false
+	}
+	dec := cdr.NewDecoder(data)
+	ns := dec.GetUint64()
+	if dec.Err() != nil || ns > uint64(1<<62) {
 		return 0, false
 	}
 	return time.Duration(ns), true

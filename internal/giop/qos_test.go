@@ -1,0 +1,97 @@
+package giop
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// roundTripMessage encodes m and decodes it back.
+func roundTripMessage(t *testing.T, m *Message) *Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return out
+}
+
+func TestQoSRoundTrip(t *testing.T) {
+	cases := []struct {
+		class  uint8
+		tenant string
+	}{
+		{0, ""},
+		{1, "acme"},
+		{2, "tenant-with-a-long-id-0123456789"},
+	}
+	for _, c := range cases {
+		class, tenant, ok := DecodeQoS(EncodeQoS(c.class, c.tenant))
+		if !ok || class != c.class || tenant != c.tenant {
+			t.Fatalf("DecodeQoS(EncodeQoS(%d, %q)) = (%d, %q, %v)", c.class, c.tenant, class, tenant, ok)
+		}
+	}
+	if _, _, ok := DecodeQoS(nil); ok {
+		t.Fatal("DecodeQoS(nil) reported ok")
+	}
+}
+
+// TestQoSDecodeDoesNotAlias checks the decoded tenant survives the
+// payload buffer being recycled — admission bookkeeping (token buckets)
+// retains tenant strings past the request message's pooled lifetime.
+func TestQoSDecodeDoesNotAlias(t *testing.T) {
+	data := EncodeQoS(2, "tenant-a")
+	_, tenant, _ := DecodeQoS(data)
+	for i := range data {
+		data[i] = 0xFF
+	}
+	if tenant != "tenant-a" {
+		t.Fatalf("tenant aliases payload buffer: %q", tenant)
+	}
+}
+
+func TestRetryAfterRoundTrip(t *testing.T) {
+	for _, d := range []time.Duration{0, time.Millisecond, 2500 * time.Millisecond} {
+		got, ok := DecodeRetryAfter(EncodeRetryAfter(d))
+		if !ok || got != d {
+			t.Fatalf("DecodeRetryAfter(EncodeRetryAfter(%v)) = (%v, %v)", d, got, ok)
+		}
+	}
+	if got, ok := DecodeRetryAfter(EncodeRetryAfter(-time.Second)); !ok || got != 0 {
+		t.Fatalf("negative retry-after should clamp to zero, got (%v, %v)", got, ok)
+	}
+	if _, ok := DecodeRetryAfter(nil); ok {
+		t.Fatal("DecodeRetryAfter(nil) reported ok")
+	}
+	if _, ok := DecodeRetryAfter([]byte{1, 2}); ok {
+		t.Fatal("DecodeRetryAfter(short) reported ok")
+	}
+}
+
+// TestQoSContextRelayedVerbatim pins the forward-compatibility story: a
+// QoS-unaware peer must relay SCQoS/SCRetryAfter contexts untouched.
+func TestQoSContextRelayedVerbatim(t *testing.T) {
+	m := &Message{
+		Type:             MsgRequest,
+		RequestID:        7,
+		ResponseExpected: true,
+		ObjectKey:        "k",
+		Operation:        "op",
+		Contexts: []ServiceContext{
+			{ID: SCQoS, Data: EncodeQoS(2, "acme")},
+			{ID: SCRetryAfter, Data: EncodeRetryAfter(time.Second)},
+		},
+	}
+	out := roundTripMessage(t, m)
+	if len(out.Contexts) != 2 || out.Contexts[0].ID != SCQoS || out.Contexts[1].ID != SCRetryAfter {
+		t.Fatalf("contexts not preserved: %+v", out.Contexts)
+	}
+	class, tenant, ok := DecodeQoS(out.Context(SCQoS))
+	if !ok || class != 2 || tenant != "acme" {
+		t.Fatalf("SCQoS mangled in transit: (%d, %q, %v)", class, tenant, ok)
+	}
+}

@@ -14,13 +14,21 @@ import (
 // context mounted from another naming server, the stub re-issues the
 // operation there with the remaining name (bounded hop count).
 type Client struct {
-	orb *orb.ORB
-	ref orb.ObjectRef
+	orb  *orb.ORB
+	ref  orb.ObjectRef
+	opts orb.CallOptions
 }
 
 // NewClient builds a stub for the naming service at ref.
 func NewClient(o *orb.ORB, ref orb.ObjectRef) *Client {
 	return &Client{orb: o, ref: ref}
+}
+
+// SetCallOptions sets default per-call options (QoS class, tenant id,
+// deadline, ...) applied to every operation this stub issues. Call during
+// setup, before the stub is shared across goroutines.
+func (c *Client) SetCallOptions(opts ...orb.CallOption) {
+	c.opts = orb.NewCallOptions(opts...)
 }
 
 // Ref returns the service's object reference.
@@ -36,6 +44,7 @@ func (c *Client) follow(ctx context.Context, name Name, op string, writeArgs fun
 	target := name
 	caller := &orb.Caller{
 		ORB:     c.orb,
+		Opts:    c.opts,
 		MaxHops: maxFederationHops,
 		Redirect: func(err error) (orb.ObjectRef, bool) {
 			fref, rest, ok := decodeFederated(err)

@@ -163,30 +163,21 @@ func (c *GroupCache) StaleDrops() uint64 { return c.staleDrops.Load() }
 func (c *GroupCache) Failovers() uint64 { return c.failovers.Load() }
 
 // ExportMetrics registers the cache's counters with an obs registry.
-// The group_* families predate the naming_ prefix convention; they stay
-// registered for one release alongside the canonical naming_group_*
-// names (see the README deprecation note) and then go away.
+// Only the canonical naming_group_* names are exported; the pre-rename
+// group_* aliases completed their one-release deprecation window and are
+// gone.
 func (c *GroupCache) ExportMetrics(reg *obs.Registry) {
 	reg.NewCounterFunc("naming_watch_resubscribes_total",
 		"Watch re-registrations after a naming replica failover.", c.Resubscribes)
-	renamed := []struct {
-		name, legacy, help string
-		v                  func() uint64
-	}{
-		{"naming_group_member_failovers_total", "group_member_failovers_total",
-			"Group members locally marked dead and failed over from pushed membership.", c.Failovers},
-		{"naming_group_invalidations_applied_total", "group_invalidations_applied_total",
-			"Pushed or fetched membership updates accepted by the epoch guard.", c.Applied},
-		{"naming_group_stale_pushes_dropped_total", "group_stale_pushes_dropped_total",
-			"Membership updates discarded for carrying a non-newer epoch.", c.StaleDrops},
-		{"naming_group_refreshes_total", "group_refreshes_total",
-			"Jittered fallback re-watches (push-channel partition insurance).",
-			func() uint64 { return c.refreshes.Load() }},
-	}
-	for _, m := range renamed {
-		reg.NewCounterFunc(m.name, m.help, m.v)
-		reg.NewCounterFunc(m.legacy, "Deprecated: renamed to "+m.name+".", m.v)
-	}
+	reg.NewCounterFunc("naming_group_member_failovers_total",
+		"Group members locally marked dead and failed over from pushed membership.", c.Failovers)
+	reg.NewCounterFunc("naming_group_invalidations_applied_total",
+		"Pushed or fetched membership updates accepted by the epoch guard.", c.Applied)
+	reg.NewCounterFunc("naming_group_stale_pushes_dropped_total",
+		"Membership updates discarded for carrying a non-newer epoch.", c.StaleDrops)
+	reg.NewCounterFunc("naming_group_refreshes_total",
+		"Jittered fallback re-watches (push-channel partition insurance).",
+		func() uint64 { return c.refreshes.Load() })
 }
 
 // Group returns a spreading ref over the group at name. The first Pick

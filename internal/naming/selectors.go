@@ -17,6 +17,10 @@ const (
 	ReasonFallbackWinnerDown  = "fallback-winner-down"
 	ReasonFallbackStale       = "fallback-stale"
 	ReasonFallbackHostUnknown = "fallback-host-unknown"
+	// ReasonFallbackDegraded marks resolves served by the cheap fallback
+	// because the runtime's adaptive-degradation controller put the
+	// selector in degraded mode (load shedding, not a ranking failure).
+	ReasonFallbackDegraded = "fallback-degraded"
 )
 
 // RoundRobinSelector cycles through a group's offers in registration

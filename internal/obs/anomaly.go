@@ -32,6 +32,13 @@ const (
 	// AnomalyRecovery accumulates client-side recoveries (failover +
 	// checkpoint restore); a burst trips as a recovery storm.
 	AnomalyRecovery AnomalyKind = "recovery"
+	// AnomalyAdmissionShed accumulates QoS admission rejections (queue
+	// caps, tenant throttles, degraded-mode gates); a burst trips when
+	// shedding turns from incidental into sustained.
+	AnomalyAdmissionShed AnomalyKind = "admission_shed"
+	// AnomalyDegradeMode fires on every degradation-controller mode
+	// transition (via SignalTrip, with the transition as detail).
+	AnomalyDegradeMode AnomalyKind = "degrade_mode"
 )
 
 // BurstRule trips an anomaly when Threshold occurrences land within
@@ -71,6 +78,8 @@ func defaultBurstRules() map[AnomalyKind]BurstRule {
 		AnomalyQueueSaturated: {Threshold: 4, Window: 5 * time.Second},
 		AnomalyDeadlineShed:   {Threshold: 16, Window: 10 * time.Second},
 		AnomalyRecovery:       {Threshold: 8, Window: 10 * time.Second},
+		AnomalyAdmissionShed:  {Threshold: 32, Window: 10 * time.Second},
+		AnomalyDegradeMode:    {Threshold: 1, Window: time.Second},
 	}
 }
 

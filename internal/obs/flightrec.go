@@ -75,6 +75,11 @@ type FlightRecord struct {
 	Service int64
 	// Outcome classifies how the request ended.
 	Outcome Outcome
+	// Class is the request's QoS priority class name ("critical",
+	// "normal", "batch"); empty for records from QoS-unaware paths.
+	// Callers must pass an interned/constant string (orb.Priority.String
+	// returns constants) to keep recording allocation-free.
+	Class string
 	// Trace is the request's 128-bit trace id (zero when the call carried
 	// no sampled trace context).
 	Trace TraceID
@@ -195,6 +200,7 @@ type flightRecordJSON struct {
 	QueueWaitNS int64     `json:"queue_wait_ns"`
 	ServiceNS   int64     `json:"service_ns"`
 	Outcome     string    `json:"outcome"`
+	Class       string    `json:"class,omitempty"`
 	TraceID     string    `json:"trace_id,omitempty"`
 }
 
@@ -208,6 +214,7 @@ func recordToJSON(r FlightRecord) flightRecordJSON {
 		QueueWaitNS: r.QueueWait,
 		ServiceNS:   r.Service,
 		Outcome:     r.Outcome.String(),
+		Class:       r.Class,
 	}
 	if !r.Trace.IsZero() {
 		j.TraceID = r.Trace.String()

@@ -532,3 +532,33 @@ func (mg *MultiGaugeFunc) write(w io.Writer, _ bool) {
 		fmt.Fprintf(w, "%s%s %g\n", mg.fname, labelString(mg.labels, values), v)
 	})
 }
+
+// MultiCounterFunc is the counter analogue of MultiGaugeFunc: a labeled
+// counter family enumerated at scrape time, for counters kept in fixed
+// atomic arrays on the hot path (e.g. per-class admission sheds) rather
+// than in a series map.
+type MultiCounterFunc struct {
+	fname  string
+	help   string
+	labels []string
+	fn     func(emit func(labelValues []string, v uint64))
+}
+
+// NewMultiCounterFunc registers a scrape-time labeled counter family. fn
+// is called per scrape and emits one series per call to emit; the number
+// of label values must match the declared labels.
+func (r *Registry) NewMultiCounterFunc(name, help string, labels []string, fn func(emit func(labelValues []string, v uint64))) {
+	r.register(&MultiCounterFunc{fname: name, help: help, labels: labels, fn: fn})
+}
+
+func (mc *MultiCounterFunc) name() string { return mc.fname }
+
+func (mc *MultiCounterFunc) write(w io.Writer, _ bool) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", mc.fname, mc.help, mc.fname)
+	mc.fn(func(values []string, v uint64) {
+		if len(values) != len(mc.labels) {
+			return
+		}
+		fmt.Fprintf(w, "%s%s %d\n", mc.fname, labelString(mc.labels, values), v)
+	})
+}

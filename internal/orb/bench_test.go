@@ -187,6 +187,49 @@ func BenchmarkSyncCallObserved(b *testing.B) {
 	})
 }
 
+// BenchmarkSyncCallQoS is BenchmarkSyncCall with the QoS plane engaged
+// on both sides: every call is stamped with a priority class and a
+// tenant id (one SCQoS service context per request), the server decodes
+// it at admission, runs the tenant token bucket and routes through the
+// per-class weighted queues. The client folds its options once and uses
+// CallOpts per call — the pattern of every long-lived stamped caller
+// (Caller.Opts, naming.Client.SetCallOptions). The benchgate budget for
+// this path is ≤2 allocs/op over BenchmarkSyncCallObserved — admission
+// control must not tax the calls it admits.
+func BenchmarkSyncCallQoS(b *testing.B) {
+	cli, ref := newBenchWorldOpts(b,
+		Options{},
+		Options{
+			Name:                "bench-srv",
+			ReplyCoalesceWindow: 100 * time.Microsecond,
+			QoS:                 QoSOptions{TenantRate: 1e9},
+		})
+	ctx := context.Background()
+	args := []float64{1, 2, 3, 4}
+	writeArgs := func(e *cdr.Encoder) { e.PutFloat64Seq(args) }
+	qos := NewCallOptions(WithPriority(ClassNormal), WithTenant("bench-tenant"))
+	if err := cli.CallOpts(ctx, ref, "echo", writeArgs, nil, qos); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var out []float64
+		readReply := func(d *cdr.Decoder) error {
+			out = d.GetFloat64Seq()
+			return d.Err()
+		}
+		for pb.Next() {
+			if err := cli.CallOpts(ctx, ref, "echo", writeArgs, readReply, qos); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		_ = out
+	})
+}
+
 // loopReader replays one wire frame forever, so a FrameReader sees an
 // endless pipelined stream without any socket in the way.
 type loopReader struct {
@@ -232,8 +275,7 @@ func BenchmarkOnewayDispatch(b *testing.B) {
 	fr := giop.NewFrameReader(&loopReader{data: wire.Bytes()}, giop.FrameReaderConfig{})
 	defer fr.Close()
 	batch := make([]*giop.Message, 32)
-	var sctx ServerContext
-	ctx := context.Background()
+	t := &dispatchTask{a: a, rctx: context.Background()}
 
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -243,7 +285,7 @@ func BenchmarkOnewayDispatch(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, m := range batch[:n] {
-			a.dispatchOneway(ctx, "bench", m, &sctx)
+			a.dispatchOneway(t, "bench", m, &t.sctx)
 			m.Release()
 			done++
 		}

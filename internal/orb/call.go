@@ -53,6 +53,21 @@ func WithoutCoalescing() CallOption {
 	return func(o *CallOptions) { o.NoCoalesce = true }
 }
 
+// WithPriority stamps the call with a QoS class (carried in the SCQoS
+// service context): ClassCritical is dispatched first and never shed by
+// admission control, ClassBatch is shed first under overload. The
+// default, ClassNormal, sends no context at all.
+func WithPriority(p Priority) CallOption {
+	return func(o *CallOptions) { o.Priority = p }
+}
+
+// WithTenant identifies the caller for per-tenant admission fairness:
+// the server spends one token from this tenant's bucket per admitted
+// request. Calls without a tenant share the anonymous bucket.
+func WithTenant(tenant string) CallOption {
+	return func(o *CallOptions) { o.Tenant = tenant }
+}
+
 // CheckpointMode selects how a fault-tolerant proxy checkpoints around
 // one call. The plain ORB ignores it; ft.Proxy.Call interprets it.
 type CheckpointMode int

@@ -399,6 +399,12 @@ func (o *ORB) invokeRaw(ctx context.Context, ref ObjectRef, op string, writeArgs
 		start = time.Now()
 	}
 	m, enc := o.buildRequest(ref, op, writeArgs)
+	// QoS coordinates ride the SCQoS service context. Default traffic
+	// (normal class, no tenant) sends none — byte-identical to a pre-QoS
+	// client, and the attach cost is only paid by calls that opted in.
+	if opts.Priority != ClassNormal || opts.Tenant != "" {
+		m.SetContext(giop.SCQoS, giop.EncodeQoS(uint8(opts.Priority), opts.Tenant))
+	}
 	o.interceptSendRequest(m)
 	ctx = o.callRequestSent(ctx, m)
 	reply, err := o.transferRequest(ctx, ref, m, opts)
@@ -565,6 +571,12 @@ func decodeReply(reply *giop.Message, readReply func(*cdr.Decoder) error) error 
 		d.Release()
 		if err != nil {
 			return &SystemException{Kind: ExMarshal, Detail: "undecodable system exception"}
+		}
+		// An admission shed carries the server's backoff hint in a reply
+		// service context; surface it on the exception for the resilient
+		// call engine.
+		if ra, ok := giop.DecodeRetryAfter(reply.Context(giop.SCRetryAfter)); ok {
+			se.RetryAfter = ra
 		}
 		return se
 	case giop.ReplyLocationForward:

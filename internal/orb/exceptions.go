@@ -3,6 +3,7 @@ package orb
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/cdr"
 )
@@ -62,6 +63,11 @@ type SystemException struct {
 	Kind   ExceptionKind
 	Minor  uint32
 	Detail string
+	// RetryAfter is the server's backoff hint for TRANSIENT admission
+	// sheds. It travels in the SCRetryAfter reply service context, not in
+	// the CDR exception body, and is populated client-side when the reply
+	// is decoded; zero means no hint.
+	RetryAfter time.Duration
 }
 
 // SystemKind returns the exception kind's CORBA name ("COMM_FAILURE",
@@ -104,6 +110,26 @@ func IsSystemException(err error, kind ExceptionKind) bool {
 // IsCommFailure reports whether err is a COMM_FAILURE — the condition the
 // paper's proxy classes intercept to trigger checkpoint/restart recovery.
 func IsCommFailure(err error) bool { return IsSystemException(err, ExCommFailure) }
+
+// RetryAfterHint extracts the server's retry-after backoff hint from an
+// admission-shed failure (zero when err carries none).
+func RetryAfterHint(err error) time.Duration {
+	var se *SystemException
+	if errors.As(err, &se) {
+		return se.RetryAfter
+	}
+	return 0
+}
+
+// IsAdmissionShed reports whether err is a QoS admission rejection: a
+// TRANSIENT system exception carrying a retry-after hint. Sheds happen
+// strictly before the servant runs, so replaying one is always safe —
+// the resilient-call engine retries them even for non-idempotent
+// operations.
+func IsAdmissionShed(err error) bool {
+	var se *SystemException
+	return errors.As(err, &se) && se.Kind == ExTransient && se.RetryAfter > 0
+}
 
 // MarshalCDR encodes the exception as a system-exception reply body.
 func (e *SystemException) MarshalCDR(enc *cdr.Encoder) {

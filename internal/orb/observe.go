@@ -27,6 +27,10 @@ func (o *ORB) ObserveOpts(service, addr string, opts obs.ObserverOptions) (*obs.
 	o.ExportStats(ob.Registry)
 	o.AttachFlightRecorder(ob.Flight)
 	ob.Health.Register("orb", o.HealthProbe)
+	// The QoS probe fails (with the mode name) whenever the adaptive-
+	// degradation controller has the runtime below normal, so /healthz
+	// mirrors every transition the anomaly log records.
+	ob.Health.Register("qos", o.QoSHealthProbe)
 	obs.SetDefaultAnomalies(ob.Anomalies)
 	ln, err := obs.Serve(addr, ob.Handler())
 	if err != nil {

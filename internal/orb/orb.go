@@ -96,6 +96,16 @@ type Options struct {
 	// syscalls under pipelining; smaller ones reduce burst latency skew
 	// across connections. Zero means 32.
 	ReadBatch int
+	// DispatchQueueDepth caps the total number of admitted requests
+	// waiting for a dispatch worker across all priority classes. Zero
+	// means max(256, 16×workers).
+	DispatchQueueDepth int
+	// QoS shapes the server adapter's admission control: per-class
+	// dequeue weights, the batch queue share, per-tenant token-bucket
+	// rates and the retry-after hint attached to sheds. The zero value
+	// enables class-aware dispatch with defaults and no tenant
+	// throttling.
+	QoS QoSOptions
 	// ReplyCoalesceWindow enables server-side reply coalescing: while more
 	// replies are owed on a connection, a written reply may wait up to
 	// this long for them to share its flush syscall. The reply that
@@ -148,6 +158,21 @@ type ORB struct {
 	signals atomic.Pointer[loadSignals]
 	flight  atomic.Pointer[obs.FlightRecorder]
 
+	// qos is the resolved admission-control configuration; tenants is the
+	// per-tenant token-bucket table (nil when tenant throttling is off);
+	// admissionShed counts QoS rejections per class and reason.
+	qos           QoSOptions
+	tenants       *tenantBuckets
+	admissionShed shedCounters
+
+	// degrade is the adaptive-degradation mode (a DegradeMode); every
+	// admission decision loads it. replyCoalesce is the effective
+	// server-side reply-coalescing window in nanoseconds — the base
+	// Options value widened by the degradation controller under load.
+	degrade       atomic.Int32
+	replyCoalesce atomic.Int64
+	degradeHooks  []func(DegradeMode) // registered at setup, called on transitions
+
 	mu       sync.Mutex
 	conns    map[string]*clientConn // keyed by remote address
 	dials    map[string]*dialWait   // in-flight dials, keyed by address
@@ -182,11 +207,17 @@ func New(opts Options) *ORB {
 	if opts.Listen == nil {
 		opts.Listen = net.Listen
 	}
-	return &ORB{
+	o := &ORB{
 		opts:  opts,
+		qos:   opts.QoS.withDefaults(),
 		conns: make(map[string]*clientConn),
 		dials: make(map[string]*dialWait),
 	}
+	if o.qos.TenantRate > 0 {
+		o.tenants = newTenantBuckets(o.qos.TenantRate, o.qos.TenantBurst)
+	}
+	o.replyCoalesce.Store(int64(opts.ReplyCoalesceWindow))
+	return o
 }
 
 // Name returns the ORB's configured name.

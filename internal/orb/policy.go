@@ -46,6 +46,15 @@ type CallOptions struct {
 	// Checkpoint overrides a fault-tolerant proxy's checkpoint behaviour
 	// for this call. The plain ORB ignores it; ft.Proxy.Call interprets it.
 	Checkpoint CheckpointMode
+	// Priority is the call's QoS class, carried to the server in the
+	// SCQoS service context. The zero value (ClassNormal) with an empty
+	// Tenant sends no context at all — indistinguishable from a pre-QoS
+	// client on the wire.
+	Priority Priority
+	// Tenant identifies the caller for per-tenant admission fairness
+	// (token buckets at the server adapter). Empty means the anonymous
+	// tenant.
+	Tenant string
 }
 
 // Backoff is a bounded exponential backoff schedule with optional jitter.
@@ -151,11 +160,12 @@ func (e *RetryError) Error() string {
 func (e *RetryError) Unwrap() error { return e.Last }
 
 // DefaultRetryOn is the engine's default failure classifier: COMM_FAILURE
-// (the paper's recovery trigger) and OBJECT_NOT_EXIST (server restarted
-// without state) are retryable; everything else — user exceptions, bad
-// operations, marshal errors — is returned to the caller unchanged.
+// (the paper's recovery trigger), OBJECT_NOT_EXIST (server restarted
+// without state) and QoS admission sheds (rejected before dispatch, with
+// a retry-after hint) are retryable; everything else — user exceptions,
+// bad operations, marshal errors — is returned to the caller unchanged.
 func DefaultRetryOn(err error) bool {
-	return IsCommFailure(err) || IsSystemException(err, ExObjectNotExist)
+	return IsCommFailure(err) || IsSystemException(err, ExObjectNotExist) || IsAdmissionShed(err)
 }
 
 // Caller is the unified resilient-call engine: one implementation of the
@@ -270,7 +280,11 @@ func (c *Caller) Do(ctx context.Context, op string, attempt func(ctx context.Con
 		} else {
 			// Unknown-outcome failures (COMM_FAILURE) are not replayed
 			// for non-idempotent operations; see CallOptions.Idempotent.
-			retryOn = func(err error) bool { return IsSystemException(err, ExObjectNotExist) }
+			// Admission sheds provably happened before dispatch, so they
+			// are replay-safe regardless of idempotency.
+			retryOn = func(err error) bool {
+				return IsSystemException(err, ExObjectNotExist) || IsAdmissionShed(err)
+			}
 		}
 	}
 	maxHops := c.MaxHops
@@ -312,7 +326,7 @@ func (c *Caller) Do(ctx context.Context, op string, attempt func(ctx context.Con
 		}
 		round++
 		c.countRetry()
-		if serr := sleepCtx(ctx, c.Opts.Backoff.delay(round)); serr != nil {
+		if serr := sleepCtx(ctx, c.retryDelay(round, last)); serr != nil {
 			return &RetryError{Op: op, Attempts: round, Last: last}
 		}
 		// Recovery itself may fail transiently — the naming service can be
@@ -329,7 +343,7 @@ func (c *Caller) Do(ctx context.Context, op string, attempt func(ctx context.Con
 			}
 			round++
 			c.countRetry()
-			if serr := sleepCtx(ctx, c.Opts.Backoff.delay(round)); serr != nil {
+			if serr := sleepCtx(ctx, c.retryDelay(round, last)); serr != nil {
 				return &RetryError{Op: op, Attempts: round, Last: last}
 			}
 			fresh, rerr = c.recoverRef(ctx, ref, err)
@@ -342,6 +356,18 @@ func (c *Caller) Do(ctx context.Context, op string, attempt func(ctx context.Con
 			c.OnRetry(round, err)
 		}
 	}
+}
+
+// retryDelay is the sleep before replay round n: the engine's backoff
+// schedule widened to at least the server's retry-after hint (carried by
+// admission-shed failures), so shed callers come back when the server
+// said it would have capacity, not sooner.
+func (c *Caller) retryDelay(n int, cause error) time.Duration {
+	d := c.Opts.Backoff.delay(n)
+	if ra := RetryAfterHint(cause); ra > d {
+		d = ra
+	}
+	return d
 }
 
 // runAttempt invokes attempt; replay rounds (round > 0) under a traced

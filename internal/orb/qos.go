@@ -1,0 +1,275 @@
+package orb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Priority is a request's admission class. The zero value is ClassNormal
+// so a zero CallOptions means default traffic; importance order is the
+// dispatchOrder table, not the numeric value. The class travels from
+// client to server in the SCQoS service context; servers use it to order
+// dispatch and to decide who is shed first under overload, so a
+// saturated adapter degrades batch work long before it touches critical
+// traffic.
+type Priority uint8
+
+// Priority classes. Numeric values are wire format and array indices
+// only — see dispatchOrder for importance.
+const (
+	// ClassNormal is the default: the class of a zero CallOptions and of
+	// requests carrying no SCQoS context — i.e. every pre-QoS client.
+	ClassNormal Priority = iota
+	// ClassCritical is never shed by admission control (only by its own
+	// deadline) and is dispatched ahead of everything else at saturation.
+	ClassCritical
+	// ClassBatch is background work: first to queue-cap, first to shed,
+	// dispatched only on spare capacity at saturation.
+	ClassBatch
+	// NumClasses is the number of priority classes.
+	NumClasses = 3
+)
+
+// dispatchOrder lists the classes most- to least-important; queue scans
+// (strict priority, WRR credit spending) walk it instead of assuming the
+// numeric order means anything.
+var dispatchOrder = [NumClasses]Priority{ClassCritical, ClassNormal, ClassBatch}
+
+// String returns the class's wire-stable name ("critical", "normal",
+// "batch"). The returned strings are constants, so labelling hot paths
+// with them never allocates.
+func (p Priority) String() string {
+	switch p {
+	case ClassCritical:
+		return "critical"
+	case ClassBatch:
+		return "batch"
+	default:
+		return "normal"
+	}
+}
+
+// ParsePriority maps a class name to its Priority.
+func ParsePriority(s string) (Priority, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "critical":
+		return ClassCritical, nil
+	case "normal", "":
+		return ClassNormal, nil
+	case "batch":
+		return ClassBatch, nil
+	}
+	return ClassNormal, fmt.Errorf("orb: unknown priority class %q", s)
+}
+
+// classFromWire clamps a wire byte to a valid Priority (unknown future
+// classes degrade to batch rather than gaining priority).
+func classFromWire(b uint8) Priority {
+	if b >= NumClasses {
+		return ClassBatch
+	}
+	return Priority(b)
+}
+
+// Shed reasons, the "reason" label of orb_admission_shed_total.
+const (
+	// ShedQueueFull: the class's queue share was exhausted.
+	ShedQueueFull = "queue_full"
+	// ShedTenantThrottle: the tenant's token bucket was empty.
+	ShedTenantThrottle = "tenant_throttle"
+	// ShedDegradedMode: the degradation controller has closed admission
+	// for this class (batch in degraded mode, batch+normal in
+	// critical-only mode).
+	ShedDegradedMode = "degraded_mode"
+	// NumShedReasons is the number of admission shed reasons.
+	NumShedReasons = 3
+)
+
+// shedReasonIndex maps a reason to its counter slot.
+func shedReasonIndex(reason string) int {
+	switch reason {
+	case ShedTenantThrottle:
+		return 1
+	case ShedDegradedMode:
+		return 2
+	default:
+		return 0
+	}
+}
+
+var shedReasonNames = [NumShedReasons]string{ShedQueueFull, ShedTenantThrottle, ShedDegradedMode}
+
+// shedCounters is the fixed class×reason admission-shed counter matrix
+// behind orb_admission_shed_total{class,reason}: always counting (tests
+// and Stats read it without a registry), exported at scrape time.
+type shedCounters [NumClasses][NumShedReasons]atomic.Uint64
+
+func (s *shedCounters) add(class Priority, reason string) {
+	s[class][shedReasonIndex(reason)].Add(1)
+}
+
+func (s *shedCounters) get(class Priority, reason string) uint64 {
+	return s[class][shedReasonIndex(reason)].Load()
+}
+
+func (s *shedCounters) total() uint64 {
+	var n uint64
+	for c := range s {
+		for r := range s[c] {
+			n += s[c][r].Load()
+		}
+	}
+	return n
+}
+
+// QoSOptions shape the server adapter's admission control.
+type QoSOptions struct {
+	// Weights are the per-class dequeue weights (critical, normal, batch)
+	// of the weighted-round-robin scheduler that replaced the FIFO
+	// dispatch queue. While the queue is comfortable, classes share
+	// workers proportionally (so batch is not starved by a busy normal
+	// stream); once the queue saturates, dequeue turns strictly
+	// priority-ordered — batch is never dispatched while critical work is
+	// queued. Zero values mean {16, 4, 1}.
+	Weights [NumClasses]int
+	// BatchShare divides the dispatch queue's capacity to get the batch
+	// class's queue cap: batch requests beyond capacity/BatchShare are
+	// fast-rejected with a retry-after hint instead of crowding out
+	// higher classes. Zero means 4 (batch may hold at most a quarter of
+	// the queue); 1 gives batch the full queue.
+	BatchShare int
+	// TenantRate is the per-tenant sustained admission rate in requests
+	// per second, enforced by a token bucket per tenant id. Zero disables
+	// tenant throttling. Requests carrying no tenant id share the
+	// anonymous bucket.
+	TenantRate float64
+	// TenantBurst is the token-bucket depth (instantaneous burst above
+	// the sustained rate). Zero means max(1, TenantRate).
+	TenantBurst float64
+	// RetryAfter is the backoff hint attached to queue-full and
+	// degraded-mode rejections (tenant-throttle rejections compute the
+	// exact time until a token accrues). Zero means 50ms.
+	RetryAfter time.Duration
+}
+
+func (q QoSOptions) withDefaults() QoSOptions {
+	if q.Weights == ([NumClasses]int{}) {
+		q.Weights = DefaultClassWeights
+	}
+	for c := range q.Weights {
+		if q.Weights[c] <= 0 {
+			q.Weights[c] = 1
+		}
+	}
+	if q.BatchShare <= 0 {
+		q.BatchShare = 4
+	}
+	if q.TenantBurst <= 0 {
+		q.TenantBurst = q.TenantRate
+		if q.TenantBurst < 1 {
+			q.TenantBurst = 1
+		}
+	}
+	if q.RetryAfter <= 0 {
+		q.RetryAfter = 50 * time.Millisecond
+	}
+	return q
+}
+
+// DefaultClassWeights are the dequeue weights applied when none are
+// configured: critical 16, normal 4, batch 1.
+var DefaultClassWeights = [NumClasses]int{ClassCritical: 16, ClassNormal: 4, ClassBatch: 1}
+
+// ParseClassWeights parses a "critical:16,normal:4,batch:1" spec (the
+// daemons' -qos-classes flag). Omitted classes keep their default weight.
+func ParseClassWeights(spec string) ([NumClasses]int, error) {
+	w := DefaultClassWeights
+	if strings.TrimSpace(spec) == "" {
+		return w, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(part, ":")
+		if !ok {
+			return w, fmt.Errorf("orb: bad class weight %q (want class:weight)", part)
+		}
+		p, err := ParsePriority(name)
+		if err != nil {
+			return w, err
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n <= 0 {
+			return w, fmt.Errorf("orb: bad weight in %q", part)
+		}
+		w[p] = n
+	}
+	return w, nil
+}
+
+// tenantBucket is one tenant's token bucket. Tokens refill continuously
+// at the configured rate and cap at burst.
+type tenantBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxTenantBuckets bounds the bucket table. A peer inventing unbounded
+// tenant ids degrades to a table reset (everyone refills), never to
+// unbounded memory.
+const maxTenantBuckets = 4096
+
+// tenantBuckets enforces per-tenant admission rates. All methods are
+// safe for concurrent use; the common admit path is one mutex, a map
+// probe and a little float arithmetic.
+type tenantBuckets struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu sync.Mutex
+	m  map[string]*tenantBucket
+}
+
+func newTenantBuckets(rate, burst float64) *tenantBuckets {
+	return &tenantBuckets{rate: rate, burst: burst, m: make(map[string]*tenantBucket)}
+}
+
+// admit spends one token from tenant's bucket. When the bucket is empty
+// it reports the time until the next token accrues — the retry-after
+// hint sent back to the caller.
+func (tb *tenantBuckets) admit(tenant string, now time.Time) (ok bool, retryAfter time.Duration) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	b := tb.m[tenant]
+	if b == nil {
+		if len(tb.m) >= maxTenantBuckets {
+			tb.m = make(map[string]*tenantBucket)
+		}
+		b = &tenantBucket{tokens: tb.burst, last: now}
+		tb.m[tenant] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens += elapsed * tb.rate
+			if b.tokens > tb.burst {
+				b.tokens = tb.burst
+			}
+			b.last = now
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	missing := 1 - b.tokens
+	return false, time.Duration(missing / tb.rate * float64(time.Second))
+}
+
+// size returns the number of tracked tenants.
+func (tb *tenantBuckets) size() int {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return len(tb.m)
+}

@@ -37,6 +37,11 @@ type ServerContext struct {
 	Adapter *Adapter
 	// Peer is the remote address of the calling connection.
 	Peer string
+	// Priority is the request's QoS class, decoded from the SCQoS service
+	// context at admission (ClassNormal when the caller sent none).
+	Priority Priority
+	// Tenant is the caller's tenant id from SCQoS (empty when absent).
+	Tenant string
 	// Request is the raw request message (service contexts readable).
 	Request *giop.Message
 	// ctx is the request's cancellation context (see Context).
@@ -167,7 +172,7 @@ func (c *serverConn) writeReply(m *giop.Message) {
 		c.dead = true
 		return
 	}
-	window := c.a.orb.opts.ReplyCoalesceWindow
+	window := c.a.orb.replyCoalesceWindow()
 	switch {
 	case window <= 0 || pending <= 0:
 		if c.flushTimer != nil {
@@ -354,6 +359,24 @@ func shedReply(req *giop.Message) *giop.Message {
 	return reply
 }
 
+// qosShedReply builds the TRANSIENT reply for a request rejected by QoS
+// admission control, carrying the retry-after hint in an SCRetryAfter
+// service context so resilient callers back off for the right amount of
+// time instead of hammering a saturated server.
+func qosShedReply(req *giop.Message, class Priority, reason string, retryAfter time.Duration) *giop.Message {
+	reply := &giop.Message{Type: giop.MsgReply, RequestID: req.RequestID}
+	setReplyError(reply, &SystemException{
+		Kind:   ExTransient,
+		Detail: fmt.Sprintf("%s.%s: admission shed (class %s, %s)", req.ObjectKey, req.Operation, class, reason),
+	})
+	if retryAfter > 0 {
+		reply.Contexts = append(reply.Contexts, giop.ServiceContext{
+			ID: giop.SCRetryAfter, Data: giop.EncodeRetryAfter(retryAfter),
+		})
+	}
+	return reply
+}
+
 // isProtocolError reports whether err is a peer protocol violation worth
 // answering with MsgError before dropping the connection (as opposed to a
 // plain transport failure).
@@ -477,11 +500,38 @@ func (a *Adapter) handleMessage(sc *serverConn, connCtx context.Context, m *giop
 	}
 }
 
-// admitRequest derives the request's context, applies deadline-aware
-// admission and hands the request to the shared worker pool. It takes
-// ownership of m.
+// admitRequest derives the request's context, applies the admission
+// pipeline — deadline check, degradation-mode gate, per-tenant token
+// bucket, per-class queue — and hands the request to the shared worker
+// pool. It takes ownership of m.
 func (a *Adapter) admitRequest(sc *serverConn, connCtx context.Context, m *giop.Message) {
 	o := a.orb
+	// Decode the QoS coordinates once; requests without SCQoS (every
+	// pre-QoS client) are normal-class anonymous traffic.
+	class, tenant := ClassNormal, ""
+	if data := m.Context(giop.SCQoS); data != nil {
+		if c, tn, ok := giop.DecodeQoS(data); ok {
+			class, tenant = classFromWire(c), tn
+		}
+	}
+	// Degradation-mode gate: a degraded runtime closes admission for
+	// batch, a critical-only runtime for everything below critical.
+	// Critical traffic is never shed here — that is what the class means.
+	if mode := o.DegradeMode(); mode != ModeNormal && class != ClassCritical {
+		if class == ClassBatch || mode == ModeCriticalOnly {
+			a.shedQoS(sc, m, class, ShedDegradedMode, o.qos.RetryAfter)
+			return
+		}
+	}
+	// Per-tenant fairness: one token per admitted request. Critical is
+	// exempt (admission control never sheds it); the hint is the exact
+	// time until the tenant's next token accrues.
+	if o.tenants != nil && class != ClassCritical {
+		if ok, retryAfter := o.tenants.admit(tenant, time.Now()); !ok {
+			a.shedQoS(sc, m, class, ShedTenantThrottle, retryAfter)
+			return
+		}
+	}
 	var rctx context.Context
 	var rcancel context.CancelFunc
 	if remaining, ok := giop.DecodeDeadline(m.Context(giop.SCDeadline)); ok {
@@ -502,7 +552,7 @@ func (a *Adapter) admitRequest(sc *serverConn, connCtx context.Context, m *giop.
 		// dispatch, so the servant is never invoked.
 		o.counters.requestsShed.Add(1)
 		obs.Signal(obs.AnomalyDeadlineShed)
-		o.recordRequest(m, sc.peer, 0, 0, obs.OutcomeShed)
+		o.recordRequest(m, sc.peer, 0, 0, obs.OutcomeShed, class)
 		if m.ResponseExpected {
 			sc.writeNow(shedReply(m))
 		}
@@ -521,21 +571,48 @@ func (a *Adapter) admitRequest(sc *serverConn, connCtx context.Context, m *giop.
 	t := acquireTask()
 	t.a, t.sc, t.req, t.rctx, t.rcancel = a, sc, m, rctx, rcancel
 	t.admitted = m.Received
+	t.class, t.tenant = class, tenant
 	a.taskWG.Add(1)
-	select {
-	case a.pool.queue <- t:
-	default:
-		// The queue is full right now — the saturation signal the anomaly
-		// sink watches for — but the request still waits its turn below.
-		obs.Signal(obs.AnomalyQueueSaturated)
-		select {
-		case a.pool.queue <- t:
-		case <-rctx.Done():
-			// The queue stayed full past the request's lifetime; serveRequest
-			// takes the shed path since the context is already dead.
-			a.serveRequest(t)
+	switch a.pool.enqueue(t) {
+	case admitQueued:
+	case admitRejected:
+		// Batch queue share exhausted: fast-reject with the configured
+		// retry-after hint. The admission state registered above is
+		// unwound here; the reply rides the coalescing path because
+		// pendingReplies already counts it.
+		o.counters.requestsShed.Add(1)
+		o.admissionShed.add(t.class, ShedQueueFull)
+		obs.Signal(obs.AnomalyAdmissionShed)
+		o.recordRequest(m, sc.peer, 0, 0, obs.OutcomeShed, t.class)
+		if m.ResponseExpected {
+			sc.writeReply(qosShedReply(m, t.class, ShedQueueFull, o.qos.RetryAfter))
 		}
+		if rcancel != nil {
+			sc.removeInflight(m.RequestID)
+			rcancel()
+		}
+		m.Release()
+		a.taskWG.Done()
+		releaseTask(t)
+	default:
+		// admitCtxDead / admitClosed: serveRequest takes the shed path
+		// (dead context) or answers for the closing adapter.
+		a.serveRequest(t)
 	}
+}
+
+// shedQoS rejects one request before any admission state is registered:
+// count it, record it, answer with a TRANSIENT + retry-after reply.
+func (a *Adapter) shedQoS(sc *serverConn, m *giop.Message, class Priority, reason string, retryAfter time.Duration) {
+	o := a.orb
+	o.counters.requestsShed.Add(1)
+	o.admissionShed.add(class, reason)
+	obs.Signal(obs.AnomalyAdmissionShed)
+	o.recordRequest(m, sc.peer, 0, 0, obs.OutcomeShed, class)
+	if m.ResponseExpected {
+		sc.writeNow(qosShedReply(m, class, reason, retryAfter))
+	}
+	m.Release()
 }
 
 // serveRequest is the worker-side execution of one admitted request: shed
@@ -571,7 +648,7 @@ func (a *Adapter) serveRequest(t *dispatchTask) {
 		outcome = obs.OutcomeShed
 	} else if req.ResponseExpected {
 		o.counters.inFlight.Add(1)
-		reply, release := a.dispatch(t.rctx, sc.peer, req, &t.sctx)
+		reply, release := a.dispatch(t, sc.peer, req, &t.sctx)
 		outcome = replyOutcome(reply.ReplyStatus)
 		sc.writeReply(reply)
 		release()
@@ -579,12 +656,12 @@ func (a *Adapter) serveRequest(t *dispatchTask) {
 		o.counters.inFlight.Add(-1)
 	} else {
 		o.counters.inFlight.Add(1)
-		a.dispatchOneway(t.rctx, sc.peer, req, &t.sctx)
+		a.dispatchOneway(t, sc.peer, req, &t.sctx)
 		o.counters.inFlight.Add(-1)
 		outcome = obs.OutcomeOneway
 	}
 	if observed {
-		o.recordRequest(req, sc.peer, queueWait, time.Since(dequeued), outcome)
+		o.recordRequest(req, sc.peer, queueWait, time.Since(dequeued), outcome, t.class)
 	}
 	if t.rcancel != nil {
 		sc.removeInflight(req.RequestID)
@@ -612,7 +689,7 @@ func replyOutcome(st giop.ReplyStatus) obs.Outcome {
 // recordRequest feeds the load-signal histograms and the flight recorder
 // for one finished (or shed) server-side request. Zero-alloc at steady
 // state: interned strings, value-type records, single-label fast paths.
-func (o *ORB) recordRequest(req *giop.Message, peer string, queueWait, service time.Duration, outcome obs.Outcome) {
+func (o *ORB) recordRequest(req *giop.Message, peer string, queueWait, service time.Duration, outcome obs.Outcome, class Priority) {
 	sig := o.signals.Load()
 	fl := o.flight.Load()
 	if sig == nil && fl == nil {
@@ -641,6 +718,7 @@ func (o *ORB) recordRequest(req *giop.Message, peer string, queueWait, service t
 			QueueWait: int64(queueWait),
 			Service:   int64(service),
 			Outcome:   outcome,
+			Class:     class.String(),
 		}
 		if sampled {
 			rec.Trace = tc.TraceID
@@ -676,15 +754,15 @@ func (o *ORB) exportConnInflight(emit func(labelValues []string, v float64)) {
 // pooled message whose body rides a pooled encoder: the caller writes the
 // reply, then calls the returned release func, then releases the reply.
 // sctx is the caller-owned ServerContext scratch for this dispatch.
-func (a *Adapter) dispatch(rctx context.Context, peer string, req *giop.Message, sctx *ServerContext) (*giop.Message, func()) {
+func (a *Adapter) dispatch(t *dispatchTask, peer string, req *giop.Message, sctx *ServerContext) (*giop.Message, func()) {
 	a.orb.counters.requestsServed.Add(1)
 	a.orb.interceptReceiveRequest(req)
-	rctx = a.orb.callDispatchStart(rctx, req)
+	rctx := a.orb.callDispatchStart(t.rctx, req)
 
 	reply := giop.AcquireMessage()
 	reply.Type = giop.MsgReply
 	reply.RequestID = req.RequestID
-	*sctx = ServerContext{ORB: a.orb, Adapter: a, Peer: peer, Request: req, ctx: rctx, replyContexts: sctx.replyContexts[:0]}
+	*sctx = ServerContext{ORB: a.orb, Adapter: a, Peer: peer, Priority: t.class, Tenant: t.tenant, Request: req, ctx: rctx, replyContexts: sctx.replyContexts[:0]}
 
 	out := cdr.AcquireEncoder()
 	in := cdr.AcquireDecoder(req.Body)
@@ -722,12 +800,12 @@ func (a *Adapter) dispatch(rctx context.Context, peer string, req *giop.Message,
 // dispatch, but no reply is assembled (DispatchEnd receives a nil reply,
 // per the CallInterceptor contract) and servant errors have nowhere to
 // go. This path is allocation-free in the steady state.
-func (a *Adapter) dispatchOneway(rctx context.Context, peer string, req *giop.Message, sctx *ServerContext) {
+func (a *Adapter) dispatchOneway(t *dispatchTask, peer string, req *giop.Message, sctx *ServerContext) {
 	a.orb.counters.requestsServed.Add(1)
 	a.orb.interceptReceiveRequest(req)
-	rctx = a.orb.callDispatchStart(rctx, req)
+	rctx := a.orb.callDispatchStart(t.rctx, req)
 
-	*sctx = ServerContext{ORB: a.orb, Adapter: a, Peer: peer, Request: req, ctx: rctx, replyContexts: sctx.replyContexts[:0]}
+	*sctx = ServerContext{ORB: a.orb, Adapter: a, Peer: peer, Priority: t.class, Tenant: t.tenant, Request: req, ctx: rctx, replyContexts: sctx.replyContexts[:0]}
 
 	out := cdr.AcquireEncoder()
 	in := cdr.AcquireDecoder(req.Body)

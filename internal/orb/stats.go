@@ -86,6 +86,12 @@ type Stats struct {
 	// InFlight is the number of server-side dispatches currently running
 	// across all adapters (a gauge, not a counter).
 	InFlight int64
+	// AdmissionShed counts requests rejected by QoS admission control
+	// across every class and reason (per-class/reason counts via
+	// ORB.AdmissionShed).
+	AdmissionShed uint64
+	// DegradeMode is the adaptive-degradation mode name at snapshot time.
+	DegradeMode string
 }
 
 // orbCounters is the internal atomic representation.
@@ -147,7 +153,15 @@ func (o *ORB) Stats() Stats {
 		RecoveriesSucceeded:    o.counters.recoveriesSucceeded.Load(),
 		RecoveriesFailed:       o.counters.recoveriesFailed.Load(),
 		InFlight:               o.counters.inFlight.Load(),
+		AdmissionShed:          o.admissionShed.total(),
+		DegradeMode:            o.DegradeMode().String(),
 	}
+}
+
+// AdmissionShed returns the count of QoS admission rejections for one
+// class and reason (see the Shed* reason constants).
+func (o *ORB) AdmissionShed(class Priority, reason string) uint64 {
+	return o.admissionShed.get(class, reason)
 }
 
 // ExportStats registers every Stats counter with reg as a scrape-time
@@ -217,7 +231,39 @@ func (o *ORB) ExportStats(reg *obs.Registry) {
 			if o.pool == nil {
 				return 0
 			}
-			return float64(cap(o.pool.queue))
+			return float64(o.pool.capacity)
+		})
+	reg.NewMultiGaugeFunc("orb_dispatch_queue_class_depth",
+		"Admitted requests waiting for a worker, per priority class.",
+		[]string{"class"}, func(emit func(labelValues []string, v float64)) {
+			o.mu.Lock()
+			pool := o.pool
+			o.mu.Unlock()
+			if pool == nil {
+				return
+			}
+			for c := Priority(0); c < NumClasses; c++ {
+				emit([]string{c.String()}, float64(pool.classDepth(c)))
+			}
+		})
+	reg.NewMultiCounterFunc("orb_admission_shed_total",
+		"Requests rejected by QoS admission control, per class and reason.",
+		[]string{"class", "reason"}, func(emit func(labelValues []string, v uint64)) {
+			for c := Priority(0); c < NumClasses; c++ {
+				for r := 0; r < NumShedReasons; r++ {
+					emit([]string{c.String(), shedReasonNames[r]}, o.admissionShed[c][r].Load())
+				}
+			}
+		})
+	reg.NewGaugeFunc("orb_degrade_mode",
+		"Adaptive-degradation mode (0=normal, 1=degraded, 2=critical-only).",
+		func() float64 { return float64(o.DegradeMode()) })
+	reg.NewGaugeFunc("orb_qos_tenant_buckets", "Tenants tracked by the admission token-bucket table.",
+		func() float64 {
+			if o.tenants == nil {
+				return 0
+			}
+			return float64(o.tenants.size())
 		})
 	reg.NewMultiGaugeFunc("orb_connection_inflight_requests",
 		"Cancellable requests queued or dispatching, per inbound connection.",
@@ -254,7 +300,7 @@ func (o *ORB) HealthProbe() error {
 		return errors.New("orb shut down")
 	}
 	if o.pool != nil {
-		if d, c := o.pool.depth(), cap(o.pool.queue); c > 0 && d >= c*9/10 {
+		if d, c := o.pool.depth(), o.pool.capacity; c > 0 && d >= c*9/10 {
 			return fmt.Errorf("dispatch queue %d/%d", d, c)
 		}
 	}
