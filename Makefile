@@ -35,12 +35,17 @@ race:
 ## overload soak (three QoS classes past saturation: batch sheds with
 ## retry-after hints, critical p99 stays flat, the degradation
 ## controller walks down the ladder and back; QOS_ARTIFACT exports the
-## per-class outcome summary as JSON), race-enabled, fixed seeds.
+## per-class outcome summary as JSON) and the elastic scale soak (a real
+## workerd pool grows 4→12 and shrinks to 6 mid-run, a Degrading host's
+## state migrates proactively with zero replayed calls, and the result
+## stays bitwise-identical to a fixed 6-worker run; ELASTIC_ARTIFACT
+## exports the run summary as JSON), race-enabled, fixed seeds.
 chaos:
 	CHAOS_ARTIFACT=$${CHAOS_ARTIFACT:-naming_storm_soak.json} \
 	FLIGHTREC_ARTIFACT=$${FLIGHTREC_ARTIFACT:-flightrec_dump.json} \
 	QOS_ARTIFACT=$${QOS_ARTIFACT:-qos_soak.json} \
-		$(GO) test -race -count=1 -run 'TestChaosSoak|TestControlPlaneChaos|TestNamingStormSoak|TestFlightRecorderChaosDump|TestMixedPriorityOverloadSoak' -v ./integration/
+	ELASTIC_ARTIFACT=$${ELASTIC_ARTIFACT:-elastic_scale_soak.json} \
+		$(GO) test -race -count=1 -run 'TestChaosSoak|TestControlPlaneChaos|TestNamingStormSoak|TestFlightRecorderChaosDump|TestMixedPriorityOverloadSoak|TestElasticScaleSoak' -v ./integration/
 
 generate:
 	$(GO) generate ./...

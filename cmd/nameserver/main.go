@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/naming"
 	"repro/internal/obs"
@@ -61,6 +62,7 @@ func main() {
 	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant token-bucket burst (0: rate)")
 	degradeHigh := flag.Float64("degrade-high", 0, "load score that steps the runtime one degradation mode down (0: controller disabled)")
 	degradeLow := flag.Float64("degrade-low", 0.5, "load score that steps the runtime one degradation mode back up")
+	elastic := flag.Bool("elastic", false, "maintain a cluster membership view from offer lifecycle (hosts join on first bound offer, leave on last)")
 	flag.Parse()
 	slog.SetDefault(obs.NewLogger(os.Stderr, "nameserver", slog.LevelInfo))
 
@@ -122,6 +124,25 @@ func main() {
 	defer hub.Stop()
 	servant.SetHub(hub)
 
+	// With -elastic the nameserver derives a first-class membership view
+	// from offer lifecycle: a host's first bound offer is a Join, its last
+	// offer unbinding (explicitly or by sweeper eviction) is a Leave. The
+	// observer runs under the registry lock, so it must only refcount and
+	// feed membership — never call back into the registry.
+	var membership *cluster.Membership
+	if *elastic {
+		membership = cluster.NewMembership(cluster.WithMembershipLogger(slog.Default()))
+		tracker := membership.TrackOffers("naming")
+		reg.SetOfferObserver(func(n naming.Name, o naming.Offer, bound bool) {
+			if bound {
+				tracker.Bound(o.Host)
+			} else {
+				tracker.Unbound(o.Host)
+			}
+		})
+		log.Print("nameserver: elastic membership view on (offer lifecycle drives join/leave)")
+	}
+
 	sweeper := naming.NewSweeper(reg, naming.SweeperOptions{Period: *sweepPeriod})
 	sweeper.Start()
 	defer sweeper.Stop()
@@ -171,6 +192,9 @@ func main() {
 				"Successful snapshot pushes to peers.", repl.Pushes)
 			ob.Registry.NewCounterFunc("naming_replication_push_errors_total",
 				"Failed snapshot pushes to peers.", repl.PushErrors)
+		}
+		if membership != nil {
+			membership.ExportMetrics(ob.Registry)
 		}
 		fmt.Println("OBS:" + ln.Addr().String())
 		log.Printf("nameserver: observability on http://%s/metrics", ln.Addr())

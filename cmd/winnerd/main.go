@@ -19,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/winner"
@@ -43,6 +44,8 @@ func main() {
 	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant token-bucket burst (0: rate)")
 	degradeHigh := flag.Float64("degrade-high", 0, "load score that steps the runtime one degradation mode down (0: controller disabled)")
 	degradeLow := flag.Float64("degrade-low", 0.5, "load score that steps the runtime one degradation mode back up")
+	degradeTrend := flag.Float64("degrade-trend", 0, "effective-speed fraction of a host's peak below which it counts as degrading (system role; 0: membership view disabled)")
+	degradeSamples := flag.Int("degrade-samples", 3, "consecutive below-trend samples before a Degrading membership event fires (system role)")
 	flag.Parse()
 	slog.SetDefault(obs.NewLogger(os.Stderr, "winnerd", slog.LevelInfo))
 
@@ -55,7 +58,8 @@ func main() {
 
 	switch *role {
 	case "system":
-		runSystem(*addr, *refFile, *obsAddr, *dumpDir, *maxAge, tuning, *degradeHigh, *degradeLow)
+		runSystem(*addr, *refFile, *obsAddr, *dumpDir, *maxAge, tuning,
+			*degradeHigh, *degradeLow, *degradeTrend, *degradeSamples)
 	case "node":
 		runNode(*managerRef, *host, *speed, *period)
 	default:
@@ -63,7 +67,7 @@ func main() {
 	}
 }
 
-func runSystem(addr, refFile, obsAddr, dumpDir string, maxAge time.Duration, tuning orb.Options, degradeHigh, degradeLow float64) {
+func runSystem(addr, refFile, obsAddr, dumpDir string, maxAge time.Duration, tuning orb.Options, degradeHigh, degradeLow, degradeTrend float64, degradeSamples int) {
 	tuning.Name = "winnerd"
 	o := orb.New(tuning)
 	defer o.Shutdown()
@@ -80,6 +84,20 @@ func runSystem(addr, refFile, obsAddr, dumpDir string, maxAge time.Duration, tun
 	if maxAge > 0 {
 		mgr.SetMaxSampleAge(maxAge, time.Now)
 		log.Printf("winnerd: samples stale after %v", maxAge)
+	}
+	// With -degrade-trend the system manager maintains a first-class
+	// cluster membership view: every load report feeds it, hosts whose
+	// effective speed collapses below the trend threshold emit Degrading
+	// events, and Forget reports deaths — all visible on /metrics.
+	var membership *cluster.Membership
+	if degradeTrend > 0 {
+		membership = cluster.NewMembership(
+			cluster.WithDegradeTrend(degradeTrend),
+			cluster.WithDegradeSamples(degradeSamples),
+			cluster.WithMembershipLogger(slog.Default()))
+		mgr.SetMembershipSink(membership.Feed("winner"))
+		log.Printf("winnerd: membership view on (degrade trend %.2f over %d samples)",
+			degradeTrend, degradeSamples)
 	}
 	ref := ad.Activate(winner.DefaultKey, winner.NewServant(mgr))
 	sior := ref.ToString()
@@ -103,6 +121,9 @@ func runSystem(addr, refFile, obsAddr, dumpDir string, maxAge time.Duration, tun
 		ob.Registry.NewGaugeFunc("winner_stale_hosts",
 			"Known hosts whose newest load sample exceeds -max-sample-age.",
 			func() float64 { return float64(len(mgr.StaleHosts())) })
+		if membership != nil {
+			membership.ExportMetrics(ob.Registry)
+		}
 		fmt.Println("OBS:" + ln.Addr().String())
 		log.Printf("winnerd: observability on http://%s/metrics", ln.Addr())
 	}

@@ -1,0 +1,93 @@
+// Command workerd runs one Rosenbrock worker service as a standalone
+// process: a checkpointable subproblem solver wrapped for the ft layer,
+// announced to the naming service as a leased group offer so the elastic
+// manager can discover it, claim it, and — when the process dies or its
+// lease lapses — notice its departure and re-decompose.
+//
+//	workerd -addr 127.0.0.1:0 -ns "$(cat /tmp/ns.ref)" -host node07 -ttl 2s
+//
+// The first stdout line is the worker's SIOR (printed after the naming
+// registration succeeds, so a parent that has read it may immediately
+// resolve the group).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/ft"
+	"repro/internal/naming"
+	"repro/internal/obs"
+	"repro/internal/orb"
+	"repro/internal/rosen"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	nsSIOR := flag.String("ns", "", "naming service SIOR to announce the worker to (empty: no registration)")
+	host := flag.String("host", "", "logical host name carried in the offer (default: the hostname)")
+	ttl := flag.Duration("ttl", 2*time.Second, "offer lease TTL; 0 binds without a lease")
+	obsAddr := flag.String("obs", "", "serve /metrics, /healthz and /debug endpoints on this address (empty: disabled)")
+	workers := flag.Int("workers", 0, "dispatch worker pool size (0: 2×GOMAXPROCS)")
+	flag.Parse()
+	slog.SetDefault(obs.NewLogger(os.Stderr, "workerd", slog.LevelInfo))
+
+	if *host == "" {
+		h, err := os.Hostname()
+		if err != nil {
+			log.Fatalf("workerd: no -host and no hostname: %v", err)
+		}
+		*host = h
+	}
+
+	o := orb.New(orb.Options{Name: "workerd", WorkerPool: *workers})
+	defer o.Shutdown()
+	ad, err := o.NewAdapter(*addr)
+	if err != nil {
+		log.Fatalf("workerd: %v", err)
+	}
+	ref := ad.Activate("worker", ft.Wrap(rosen.NewWorker(nil)))
+
+	var ann *rosen.Announcement
+	if *nsSIOR != "" {
+		nsRef, err := orb.RefFromString(*nsSIOR)
+		if err != nil {
+			log.Fatalf("workerd: -ns: %v", err)
+		}
+		nsc := naming.NewClient(o, nsRef)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		ann, err = rosen.AnnounceWorker(ctx, nsc, ref, *host, *ttl)
+		cancel()
+		if err != nil {
+			log.Fatalf("workerd: announce: %v", err)
+		}
+		log.Printf("workerd: announced %s on %q (lease %v)", ref.Addr, *host, *ttl)
+	}
+
+	fmt.Println(ref.ToString())
+	if *obsAddr != "" {
+		_, ln, err := o.ObserveOpts("workerd", *obsAddr, obs.ObserverOptions{})
+		if err != nil {
+			log.Fatalf("workerd: obs endpoint: %v", err)
+		}
+		defer ln.Close()
+		fmt.Println("OBS:" + ln.Addr().String())
+	}
+	log.Printf("workerd: serving on %s as host %q", ad.Addr(), *host)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if ann != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		ann.Stop(ctx)
+		cancel()
+	}
+}

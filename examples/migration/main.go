@@ -98,7 +98,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	migrator := ft.NewMigrator(proxy, env.Naming, env.Manager, ft.MigratorOptions{MinImprovement: 1.5})
+	migrator := ft.NewMigrator(ctx, proxy,
+		ft.MigrateOffers(env.Naming), ft.MigrateLoads(env.Manager),
+		ft.MigrateMinImprovement(1.5))
 	detector := ft.NewDetector(client, env.Naming, ft.DetectorOptions{Suspicions: 1})
 	detector.Watch(name)
 

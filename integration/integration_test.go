@@ -31,7 +31,7 @@ func TestMain(m *testing.M) {
 	}
 	defer os.RemoveAll(dir)
 	binDir = dir
-	for _, tool := range []string{"nameserver", "winnerd", "checkpointd", "nsadmin"} {
+	for _, tool := range []string{"nameserver", "winnerd", "checkpointd", "nsadmin", "workerd"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 		cmd.Dir = ".."
 		if out, err := cmd.CombinedOutput(); err != nil {

@@ -241,7 +241,7 @@ func TestVirtualTimePropagatesThroughCalls(t *testing.T) {
 	if err := client.Compute(1); err != nil {
 		t.Fatal(err)
 	}
-	err := cn.ORB.Invoke(context.Background(), ref, "work",
+	err := cn.ORB.Call(context.Background(), ref, "work",
 		func(e *cdr.Encoder) { e.PutFloat64(3) },
 		func(d *cdr.Decoder) error { d.GetFloat64(); return d.Err() })
 	if err != nil {
@@ -293,7 +293,7 @@ func TestLatencyCharged(t *testing.T) {
 	cn := startNode(t, client, 0.25)
 	sn := startNode(t, server, 0.25)
 	ref := sn.Adapter.Activate("w", &computeServant{host: server})
-	err := cn.ORB.Invoke(context.Background(), ref, "work",
+	err := cn.ORB.Call(context.Background(), ref, "work",
 		func(e *cdr.Encoder) { e.PutFloat64(1) },
 		func(d *cdr.Decoder) error { d.GetFloat64(); return d.Err() })
 	if err != nil {
@@ -314,14 +314,14 @@ func TestNodeFailGivesCommFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	ref := sn.Adapter.Activate("w", &computeServant{host: server})
-	if err := cn.ORB.Invoke(context.Background(), ref, "work", func(e *cdr.Encoder) { e.PutFloat64(0) }, nil); err != nil {
+	if err := cn.ORB.Call(context.Background(), ref, "work", func(e *cdr.Encoder) { e.PutFloat64(0) }, nil); err != nil {
 		t.Fatal(err)
 	}
 	sn.Fail()
 	if !sn.Failed() {
 		t.Fatal("node not failed")
 	}
-	err = cn.ORB.Invoke(context.Background(), ref, "work", func(e *cdr.Encoder) { e.PutFloat64(0) }, nil)
+	err = cn.ORB.Call(context.Background(), ref, "work", func(e *cdr.Encoder) { e.PutFloat64(0) }, nil)
 	if !orb.IsCommFailure(err) {
 		t.Fatalf("err = %v, want COMM_FAILURE", err)
 	}
@@ -344,7 +344,7 @@ func TestNodeRestartServesAgain(t *testing.T) {
 	}
 	// Fresh adapter, fresh port; re-activate and call.
 	ref2 := sn.Adapter.Activate("w", &computeServant{host: server})
-	if err := cn.ORB.Invoke(context.Background(), ref2, "work", func(e *cdr.Encoder) { e.PutFloat64(1) }, nil); err != nil {
+	if err := cn.ORB.Call(context.Background(), ref2, "work", func(e *cdr.Encoder) { e.PutFloat64(1) }, nil); err != nil {
 		t.Fatalf("call after restart: %v", err)
 	}
 	if err := sn.Restart(NodeOptions{}); err != nil {

@@ -86,7 +86,7 @@ func (w *Wrapper) Invoke(ctx *orb.ServerContext, op string, in *cdr.Decoder, out
 // FetchCheckpoint pulls the current state blob from the servant at ref.
 func FetchCheckpoint(ctx context.Context, o *orb.ORB, ref orb.ObjectRef) ([]byte, error) {
 	var data []byte
-	err := o.Invoke(ctx, ref, OpCheckpoint, nil, func(d *cdr.Decoder) error {
+	err := o.Call(ctx, ref, OpCheckpoint, nil, func(d *cdr.Decoder) error {
 		data = d.GetBytes()
 		return d.Err()
 	})
@@ -95,5 +95,5 @@ func FetchCheckpoint(ctx context.Context, o *orb.ORB, ref orb.ObjectRef) ([]byte
 
 // PushRestore installs a state blob into the servant at ref.
 func PushRestore(ctx context.Context, o *orb.ORB, ref orb.ObjectRef, data []byte) error {
-	return o.Invoke(ctx, ref, OpRestore, func(e *cdr.Encoder) { e.PutBytes(data) }, nil)
+	return o.Call(ctx, ref, OpRestore, func(e *cdr.Encoder) { e.PutBytes(data) }, nil)
 }

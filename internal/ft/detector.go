@@ -31,6 +31,17 @@ type DetectorOptions struct {
 	// OnEvict, when set, is called after each successful unbind (metrics
 	// hooks, tests).
 	OnEvict func(name naming.Name, offer naming.Offer, suspicions int)
+	// Membership, when set, receives a host-level death report for every
+	// evicted offer. Routing detector evictions and lease expiries through
+	// the same cluster membership view means a single death produces one
+	// coherent Leave event no matter which mechanism noticed it first —
+	// the membership dedups the racing reports.
+	Membership DeathReporter
+}
+
+// DeathReporter consumes host death notices; cluster.Feeder satisfies it.
+type DeathReporter interface {
+	ReportDead(host string)
 }
 
 // Detector is a proactive failure detector for group bindings: it probes
@@ -160,6 +171,9 @@ func (d *Detector) Step(ctx context.Context) int {
 					}
 					if d.opts.OnEvict != nil {
 						d.opts.OnEvict(name, o, suspicions)
+					}
+					if d.opts.Membership != nil && o.Host != "" {
+						d.opts.Membership.ReportDead(o.Host)
 					}
 				}
 			}

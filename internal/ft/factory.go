@@ -72,7 +72,7 @@ func (f *Factory) Invoke(_ *orb.ServerContext, op string, in *cdr.Decoder, out *
 // and returns its reference.
 func CreateViaFactory(ctx context.Context, o *orb.ORB, factoryRef orb.ObjectRef) (orb.ObjectRef, error) {
 	var ref orb.ObjectRef
-	err := o.Invoke(ctx, factoryRef, opCreate, nil, func(d *cdr.Decoder) error {
+	err := o.Call(ctx, factoryRef, opCreate, nil, func(d *cdr.Decoder) error {
 		return ref.UnmarshalCDR(d)
 	})
 	return ref, err

@@ -27,7 +27,9 @@ func TestMigratorMovesToMuchBetterHost(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Proxy sits on hostA. hostB is 4x faster → migrate.
-	mig := NewMigrator(p, w.naming, loadTable{"hostA": 0.25, "hostB": 1.0}, MigratorOptions{MinImprovement: 2})
+	mig := NewMigrator(context.Background(), p,
+		MigrateOffers(w.naming), MigrateLoads(loadTable{"hostA": 0.25, "hostB": 1.0}),
+		MigrateMinImprovement(2))
 	host, err := mig.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +55,9 @@ func TestMigratorStaysOnSlightImprovement(t *testing.T) {
 	if _, err := inc(p, 1); err != nil {
 		t.Fatal(err)
 	}
-	mig := NewMigrator(p, w.naming, loadTable{"hostA": 1.0, "hostB": 1.2}, MigratorOptions{MinImprovement: 1.5})
+	mig := NewMigrator(context.Background(), p,
+		MigrateOffers(w.naming), MigrateLoads(loadTable{"hostA": 1.0, "hostB": 1.2}),
+		MigrateMinImprovement(1.5))
 	host, err := mig.Step(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +73,7 @@ func TestMigratorStaysOnSlightImprovement(t *testing.T) {
 func TestMigratorUnknownLoadsNoMove(t *testing.T) {
 	w := newFTWorld(t)
 	p := w.newProxy(Policy{CheckpointEvery: 1})
-	mig := NewMigrator(p, w.naming, loadTable{}, MigratorOptions{})
+	mig := NewMigratorWithOptions(p, w.naming, loadTable{}, MigratorOptions{}) // deprecated shim stays covered
 	host, err := mig.Step(context.Background())
 	if err != nil || host != "" {
 		t.Fatalf("step = %q, %v", host, err)
@@ -85,7 +89,8 @@ func TestMigratorWithWinnerManager(t *testing.T) {
 	mgr := winner.NewManager()
 	mgr.Report(winner.LoadSample{Host: "hostA", Speed: 1, RunQueue: 3, Seq: 1}) // eff 0.25
 	mgr.Report(winner.LoadSample{Host: "hostB", Speed: 1, RunQueue: 0, Seq: 1}) // eff 1.0
-	mig := NewMigrator(p, w.naming, mgr, MigratorOptions{MinImprovement: 2})
+	mig := NewMigrator(context.Background(), p,
+		MigrateOffers(w.naming), MigrateLoads(mgr), MigrateMinImprovement(2))
 	host, err := mig.Step(context.Background())
 	if err != nil || host != "hostB" {
 		t.Fatalf("step = %q, %v", host, err)

@@ -1,0 +1,131 @@
+package ft
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// TestProactiveMigrationZeroReplay is the tentpole's trace-level claim: a
+// Degrading membership event moves the service's checkpointed state to a
+// healthy host while the source still answers, so — unlike reactive
+// crash recovery — the trace contains no "replay" spans at all.
+func TestProactiveMigrationZeroReplay(t *testing.T) {
+	ring := obs.NewRing(4096)
+	old := obs.Default()
+	obs.SetDefault(obs.NewTracer("ft-test", obs.WithRing(ring)))
+	t.Cleanup(func() { obs.SetDefault(old) })
+
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 1})
+	if _, err := inc(p, 42); err != nil {
+		t.Fatal(err)
+	}
+
+	ms := cluster.NewMembership(cluster.WithDegradeTrend(0.5), cluster.WithDegradeSamples(2))
+	ms.ReportAlive("hostA", "test")
+	ms.ReportAlive("hostB", "test")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	mig := NewMigrator(ctx, p, MigrateOffers(w.naming), MigrateMembership(ms))
+
+	// hostA's effective speed collapses: peak 2.0, then two samples at
+	// 0.2 (trend 0.1 < 0.5) → Degrading → the watch goroutine moves off.
+	ms.ReportLoad("hostA", 2.0, "winner")
+	ms.ReportLoad("hostA", 0.2, "winner")
+	ms.ReportLoad("hostA", 0.2, "winner")
+
+	// Wait for the proactive span to land in the ring (it is added at
+	// span End, strictly after the migration completed).
+	deadline := time.Now().Add(5 * time.Second)
+	for !hasSpan(ring, "ft.migrate.proactive") {
+		if time.Now().After(deadline) {
+			t.Fatal("proactive migration never happened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if mig.Proactive() != 1 {
+		t.Fatalf("proactive = %d", mig.Proactive())
+	}
+
+	// State travelled via checkpoint, not replay.
+	w.ctrB.mu.Lock()
+	got := w.ctrB.value
+	w.ctrB.mu.Unlock()
+	if got != 42 {
+		t.Fatalf("hostB state = %d, want 42", got)
+	}
+	if v, err := inc(p, 1); err != nil || v != 43 {
+		t.Fatalf("post-migration inc = %d, %v", v, err)
+	}
+	if s := p.Stats(); s.Replays != 0 || s.Recoveries != 0 {
+		t.Fatalf("proactive move must not recover/replay: %+v", s)
+	}
+
+	// Trace-level assertion: a proactive span exists, and no replay span
+	// shares its trace (in fact none exists at all — the source never
+	// died, nothing was re-driven).
+	var sawProactive bool
+	for _, sp := range ring.Spans() {
+		switch sp.Name() {
+		case "ft.migrate.proactive":
+			sawProactive = true
+			if to, _ := sp.Attr("to_host"); to != "hostB" {
+				t.Fatalf("proactive span to_host = %q", to)
+			}
+		case "replay":
+			t.Fatalf("replay span in a proactive-migration trace: %+v", sp)
+		}
+	}
+	if !sawProactive {
+		t.Fatal("no ft.migrate.proactive span recorded")
+	}
+
+	cancel()
+	select {
+	case <-mig.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("watch goroutine did not exit")
+	}
+}
+
+func hasSpan(ring *obs.Ring, name string) bool {
+	for _, sp := range ring.Spans() {
+		if sp.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestProactiveMigrationSkipsUnhealthyTargets pins target selection to
+// the membership view: the only other offer's host is itself degrading,
+// so MoveOff must decline rather than hop onto a sinking ship.
+func TestProactiveMigrationSkipsUnhealthyTargets(t *testing.T) {
+	w := newFTWorld(t)
+	p := w.newProxy(Policy{CheckpointEvery: 1})
+	if _, err := inc(p, 7); err != nil {
+		t.Fatal(err)
+	}
+	ms := cluster.NewMembership(cluster.WithDegradeSamples(1))
+	ms.ReportAlive("hostA", "t")
+	ms.ReportLoad("hostB", 1.0, "t")
+	ms.ReportLoad("hostB", 0.1, "t") // hostB degraded too
+
+	mig := NewMigrator(context.Background(), p,
+		MigrateOffers(w.naming), MigrateMembership(ms))
+	host, err := mig.MoveOff(context.Background(), "hostA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host != "" {
+		t.Fatalf("moved to unhealthy host %q", host)
+	}
+	if mig.Migrations() != 0 {
+		t.Fatalf("migrations = %d", mig.Migrations())
+	}
+}

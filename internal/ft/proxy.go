@@ -621,8 +621,12 @@ func (p *Proxy) Notify(ctx context.Context, op string, writeArgs func(*cdr.Encod
 // paper's observation that a checkpoint/restore-capable service "can in
 // principle be migrated from one host to another ... also due to a
 // changing load situation".
-func (p *Proxy) Migrate(ctx context.Context, target orb.ObjectRef) error {
+func (p *Proxy) Migrate(ctx context.Context, target orb.ObjectRef) (err error) {
 	cur := p.Ref()
+	ctx, span := obs.StartSpan(ctx, "ft.migrate",
+		obs.String("name", p.name.String()),
+		obs.String("from", cur.Addr), obs.String("to", target.Addr))
+	defer func() { span.EndErr(err) }()
 	// Migration is a synchronous checkpoint by construction: the restore
 	// into target must see this exact state (the sync path drains any
 	// pipelined epochs first).
@@ -636,4 +640,39 @@ func (p *Proxy) Migrate(ctx context.Context, target orb.ObjectRef) error {
 	p.ref = target
 	p.mu.Unlock()
 	return nil
+}
+
+// Seed installs state as the service's authoritative current state: it
+// pushes the blob into the live servant and stores it as the newest
+// checkpoint epoch, so both the running object and any later recovery
+// restore start from exactly this state. The elastic manager uses it to
+// reset workers at a re-decomposition boundary — stale warm-start state
+// from the previous topology must not leak into the new segment, whether
+// through the live servant or through a crash-restore of an old epoch.
+func (p *Proxy) Seed(ctx context.Context, state []byte) (err error) {
+	cur := p.Ref()
+	ctx, span := obs.StartSpan(ctx, "ft.seed",
+		obs.String("name", p.name.String()), obs.String("target", cur.Addr))
+	defer func() { span.EndErr(err) }()
+	if err := PushRestore(ctx, p.orb, cur, state); err != nil {
+		return fmt.Errorf("ft: seed %s into %v: %w", p.name, cur, err)
+	}
+	if p.store == nil {
+		return nil
+	}
+	// Land pipelined epochs first so the seed lands strictly newest.
+	p.drainCheckpoints()
+	p.ckptMu.Lock()
+	p.mu.Lock()
+	p.epoch++
+	epoch := p.epoch
+	p.mu.Unlock()
+	cp := Full(epoch, state)
+	if p.policy.CompressCheckpoint {
+		cp = cp.Compressed()
+	}
+	p.lastFull, p.lastEpoch = state, epoch
+	p.ckptMu.Unlock()
+	span.SetAttr("epoch", fmt.Sprintf("%d", epoch))
+	return p.storePut(ctx, cp, state)
 }

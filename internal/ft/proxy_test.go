@@ -575,7 +575,7 @@ func TestFactoryCreatesServants(t *testing.T) {
 		t.Fatal(err)
 	}
 	var v int64
-	if err := w.client.Invoke(context.Background(), ref, "get", nil, func(d *cdr.Decoder) error { v = d.GetInt64(); return d.Err() }); err != nil {
+	if err := w.client.Call(context.Background(), ref, "get", nil, func(d *cdr.Decoder) error { v = d.GetInt64(); return d.Err() }); err != nil {
 		t.Fatal(err)
 	}
 	if v != 9 {
@@ -584,7 +584,7 @@ func TestFactoryCreatesServants(t *testing.T) {
 	if len(factory.Created()) != 1 {
 		t.Fatalf("created = %d", len(factory.Created()))
 	}
-	if err := w.client.Invoke(context.Background(), factoryRef, "bogus", nil, nil); !orb.IsSystemException(err, orb.ExBadOperation) {
+	if err := w.client.Call(context.Background(), factoryRef, "bogus", nil, nil); !orb.IsSystemException(err, orb.ExBadOperation) {
 		t.Fatalf("err = %v", err)
 	}
 }

@@ -312,7 +312,7 @@ func TestGeneratedTellerInterface(t *testing.T) {
 
 func TestGeneratedServantRejectsUnknownOp(t *testing.T) {
 	client, stub, _ := startAccount(t)
-	err := client.Invoke(context.Background(), stub.Ref(), "no_such_op", nil, nil)
+	err := client.Call(context.Background(), stub.Ref(), "no_such_op", nil, nil)
 	if !orb.IsSystemException(err, orb.ExBadOperation) {
 		t.Fatalf("err = %v", err)
 	}

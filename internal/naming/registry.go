@@ -112,6 +112,12 @@ type Registry struct {
 	// and kicks its worker). A nil Name means "everything may have
 	// changed" (snapshot replaced the tree).
 	watchNotify func(n Name)
+	// offerObserver, when set, observes individual offer lifecycle
+	// transitions (bound=true on BindOffer, bound=false on UnbindOffer and
+	// sweeper eviction). Like watchNotify it runs under the registry lock
+	// and must only record and return; a cluster.OfferTracker turns these
+	// into host-level membership Join/Leave events.
+	offerObserver func(n Name, o Offer, bound bool)
 }
 
 // NewRegistry creates an empty naming tree.
@@ -136,11 +142,30 @@ func (r *Registry) SetWatchNotify(fn func(n Name)) {
 	r.mu.Unlock()
 }
 
+// SetOfferObserver installs the offer lifecycle observer. fn runs under
+// the registry lock on every BindOffer, UnbindOffer and sweeper eviction
+// and must not call back into the registry. Snapshot adoption does not
+// feed the observer: replicated state changes wholesale and the adopting
+// replica is not the membership authority for it.
+func (r *Registry) SetOfferObserver(fn func(n Name, o Offer, bound bool)) {
+	r.mu.Lock()
+	r.offerObserver = fn
+	r.mu.Unlock()
+}
+
 // notifyLocked forwards a mutation to the watch observer. Callers hold
 // r.mu.
 func (r *Registry) notifyLocked(n Name) {
 	if r.watchNotify != nil {
 		r.watchNotify(n)
+	}
+}
+
+// observeOfferLocked forwards an offer transition to the offer observer.
+// Callers hold r.mu.
+func (r *Registry) observeOfferLocked(n Name, o Offer, bound bool) {
+	if r.offerObserver != nil {
+		r.offerObserver(n, o, bound)
 	}
 }
 
@@ -319,6 +344,7 @@ func (r *Registry) BindOffer(n Name, offer Offer) error {
 		node.entries[key(last)] = &entry{typ: BindGroup, group: []Offer{offer}}
 		r.epoch++
 		r.notifyLocked(n)
+		r.observeOfferLocked(n, offer, true)
 		return nil
 	}
 	if e.typ != BindGroup {
@@ -332,6 +358,7 @@ func (r *Registry) BindOffer(n Name, offer Offer) error {
 	e.group = append(e.group, offer)
 	r.epoch++
 	r.notifyLocked(n)
+	r.observeOfferLocked(n, offer, true)
 	return nil
 }
 
@@ -393,6 +420,7 @@ func (r *Registry) ExpireOffers() []ExpiredOffer {
 				seen[k] = true
 				r.notifyLocked(ev.Name)
 			}
+			r.observeOfferLocked(ev.Name, ev.Offer, false)
 		}
 	}
 	return evicted
@@ -447,6 +475,7 @@ func (r *Registry) UnbindOffer(n Name, ref orb.ObjectRef) error {
 			}
 			r.epoch++
 			r.notifyLocked(n)
+			r.observeOfferLocked(n, o, false)
 			return nil
 		}
 	}

@@ -183,7 +183,7 @@ func TestRemoteSelectorErrorSurfacesAsUserException(t *testing.T) {
 
 func TestRemoteBadOperation(t *testing.T) {
 	c := startService(t, nil)
-	err := c.orb.Invoke(context.Background(), c.ref, "frobnicate", nil, nil)
+	err := c.orb.Call(context.Background(), c.ref, "frobnicate", nil, nil)
 	if !orb.IsSystemException(err, orb.ExBadOperation) {
 		t.Fatalf("err = %v", err)
 	}

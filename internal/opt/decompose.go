@@ -103,6 +103,40 @@ func (d *Decomposition) Assemble(boundary []float64, blocks [][]float64) ([]floa
 	return x, nil
 }
 
+// Split decomposes a full variable vector into the manager's boundary
+// values and per-worker block values — the exact inverse of Assemble.
+// Elastic re-decomposition carries state between worker counts with it:
+// assemble the best point under the outgoing decomposition, split it
+// under the incoming one, and every variable lands in its new owner's
+// block (or on the manager's boundary) without loss.
+func (d *Decomposition) Split(x []float64) ([]float64, [][]float64, error) {
+	if len(x) != d.n {
+		return nil, nil, fmt.Errorf("opt: vector dim %d != %d", len(x), d.n)
+	}
+	boundary := make([]float64, len(d.boundaryIdx))
+	for i, gi := range d.boundaryIdx {
+		boundary[i] = x[gi]
+	}
+	blocks := make([][]float64, d.workers)
+	for j, block := range d.blockIdx {
+		blocks[j] = make([]float64, len(block))
+		for i, gi := range block {
+			blocks[j][i] = x[gi]
+		}
+	}
+	return boundary, blocks, nil
+}
+
+// MaxWorkers returns the largest worker count a problem of dimension n
+// supports (NewDecomposition requires n-(w-1) ≥ w interior variables).
+func MaxWorkers(n int) int {
+	w := (n + 1) / 2
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // SubproblemObjective returns worker j's objective over its block
 // variables, with the given boundary values fixed. Each global Rosenbrock
 // term (x_i, x_{i+1}) is charged to exactly one worker — the one owning a

@@ -1,0 +1,116 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSplitAssembleRoundTrip(t *testing.T) {
+	// Split must invert Assemble for every valid (n, w) pair up to a
+	// representative size — the elastic re-decomposition carry-over relies
+	// on it to move state between worker counts without loss.
+	rng := rand.New(rand.NewSource(7))
+	for n := 2; n <= 40; n++ {
+		for w := 1; w <= MaxWorkers(n); w++ {
+			d, err := NewDecomposition(n, w)
+			if err != nil {
+				t.Fatalf("n=%d w=%d: %v", n, w, err)
+			}
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			boundary, blocks, err := d.Split(x)
+			if err != nil {
+				t.Fatalf("n=%d w=%d split: %v", n, w, err)
+			}
+			if len(boundary) != d.ManagerDim() || len(blocks) != w {
+				t.Fatalf("n=%d w=%d: boundary %d blocks %d", n, w, len(boundary), len(blocks))
+			}
+			back, err := d.Assemble(boundary, blocks)
+			if err != nil {
+				t.Fatalf("n=%d w=%d assemble: %v", n, w, err)
+			}
+			for i := range x {
+				if back[i] != x[i] {
+					t.Fatalf("n=%d w=%d: x[%d] = %v != %v", n, w, i, back[i], x[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSplitCarriesStateAcrossWidths(t *testing.T) {
+	// Assemble under one decomposition, Split under another: every
+	// variable must land somewhere (sum preserved), modelling the elastic
+	// rebalance from w1 workers to w2.
+	const n = 30
+	for w1 := 1; w1 <= MaxWorkers(n); w1++ {
+		for w2 := 1; w2 <= MaxWorkers(n); w2++ {
+			d1, err := NewDecomposition(n, w1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2, err := NewDecomposition(n, w2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = float64(i + 1)
+			}
+			b1, bl1, err := d1.Split(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := d1.Assemble(b1, bl1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, bl2, err := d2.Split(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum float64
+			for _, v := range b2 {
+				sum += v
+			}
+			for _, bl := range bl2 {
+				for _, v := range bl {
+					sum += v
+				}
+			}
+			want := float64(n*(n+1)) / 2
+			if sum != want {
+				t.Fatalf("w1=%d w2=%d: sum %v != %v (variables lost in transit)", w1, w2, sum, want)
+			}
+		}
+	}
+}
+
+func TestSplitRejectsWrongDim(t *testing.T) {
+	d, err := NewDecomposition(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Split(make([]float64, 11)); err == nil {
+		t.Fatal("short vector accepted")
+	}
+}
+
+func TestMaxWorkersMatchesDecompositionLimit(t *testing.T) {
+	for n := 1; n <= 60; n++ {
+		w := MaxWorkers(n)
+		if w < 1 {
+			t.Fatalf("MaxWorkers(%d) = %d", n, w)
+		}
+		if n >= 2 {
+			if _, err := NewDecomposition(n, w); err != nil {
+				t.Fatalf("MaxWorkers(%d) = %d rejected: %v", n, w, err)
+			}
+		}
+		if _, err := NewDecomposition(n, w+1); err == nil {
+			t.Fatalf("NewDecomposition(%d, %d) accepted beyond MaxWorkers", n, w+1)
+		}
+	}
+}

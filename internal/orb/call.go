@@ -10,8 +10,9 @@ import (
 // CallOption shapes a single invocation of the unified call API. Options
 // compose left to right over a zero CallOptions value (plus whatever the
 // calling layer's own defaults are: an ft proxy's retry policy, a
-// Caller's Opts). This one variadic surface replaces the historical
-// Invoke / InvokeOptions / InvokeFollowForwards triplet.
+// Caller's Opts). This one variadic surface is the ORB's only
+// synchronous call entry point (the historical Invoke / InvokeOptions /
+// InvokeFollowForwards triplet has been removed).
 type CallOption func(*CallOptions)
 
 // WithDeadline bounds the call end to end, measured from the moment it is
@@ -116,9 +117,6 @@ func (o *CallOptions) Apply(opts ...CallOption) {
 // following, write-coalescing opt-out. With no options it is a plain
 // bounded round trip: transport failures surface as COMM_FAILURE, servant
 // errors as *UserException / *SystemException.
-//
-// Call replaces the Invoke / InvokeOptions / InvokeFollowForwards
-// triplet; those remain as thin deprecated shims.
 func (o *ORB) Call(ctx context.Context, ref ObjectRef, op string, args func(*cdr.Encoder), reply func(*cdr.Decoder) error, opts ...CallOption) error {
 	if len(opts) == 0 {
 		// Fast path: a zero CallOptions literal stays off the heap, while

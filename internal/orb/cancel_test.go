@@ -88,7 +88,7 @@ func TestCancelMidCallPropagatesToServant(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
-	go func() { errc <- o.Invoke(ctx, ref, "block", nil, nil) }()
+	go func() { errc <- o.Call(ctx, ref, "block", nil, nil) }()
 	<-sv.started
 	cancel()
 
@@ -128,7 +128,7 @@ func TestExpiredRequestShedBeforeDispatch(t *testing.T) {
 		Interceptors: []Interceptor{expiredDeadlineStamper{}},
 	})
 
-	err := o.Invoke(context.Background(), ref, "fast", nil, nil)
+	err := o.Call(context.Background(), ref, "fast", nil, nil)
 	if !IsSystemException(err, ExTimeout) {
 		t.Fatalf("err = %v, want TIMEOUT", err)
 	}
@@ -147,12 +147,12 @@ func TestDeadlineExpiresWhileQueuedOnBusyServer(t *testing.T) {
 	o, _, ref, sv := newCtxPair(t, Options{Name: "busy", MaxServerWorkers: 1})
 
 	blockErr := make(chan error, 1)
-	go func() { blockErr <- o.Invoke(context.Background(), ref, "block", nil, nil) }()
+	go func() { blockErr <- o.Call(context.Background(), ref, "block", nil, nil) }()
 	<-sv.started
 
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	err := o.Invoke(ctx, ref, "fast", nil, nil)
+	err := o.Call(ctx, ref, "fast", nil, nil)
 	if !IsSystemException(err, ExTimeout) {
 		t.Fatalf("err = %v, want TIMEOUT", err)
 	}
@@ -280,7 +280,7 @@ func TestCancelRacesReplyDelivery(t *testing.T) {
 
 func callAdd2(ctx context.Context, o *ORB, ref ObjectRef, a, b int64) (int64, error) {
 	var sum int64
-	err := o.Invoke(ctx, ref, "add",
+	err := o.Call(ctx, ref, "add",
 		func(e *cdr.Encoder) { e.PutInt64(a); e.PutInt64(b) },
 		func(d *cdr.Decoder) error { sum = d.GetInt64(); return d.Err() })
 	return sum, err

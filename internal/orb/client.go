@@ -351,22 +351,6 @@ func (o *ORB) callContext(ctx context.Context, opts CallOptions) (context.Contex
 	return ctx, func() {}
 }
 
-// Invoke performs a synchronous remote call on ref.
-//
-// Deprecated: use Call. Invoke remains as a thin shim over the unified
-// call API and will not grow new capabilities.
-func (o *ORB) Invoke(ctx context.Context, ref ObjectRef, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
-	return o.CallOpts(ctx, ref, op, writeArgs, readReply, CallOptions{})
-}
-
-// InvokeOptions is Invoke with explicit per-call options.
-//
-// Deprecated: use Call with options, or CallOpts with a prebuilt
-// CallOptions value.
-func (o *ORB) InvokeOptions(ctx context.Context, ref ObjectRef, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error, opts CallOptions) error {
-	return o.CallOpts(ctx, ref, op, writeArgs, readReply, opts)
-}
-
 // invokeOnce is the single-attempt core under Call/CallOpts: one wire
 // round trip, reply decoded, no retries or forward-following. writeArgs
 // fills the request body, readReply (which may be nil for void results)
@@ -603,14 +587,6 @@ func (e *ForwardError) Error() string {
 	return fmt.Sprintf("orb: location forward to %v", e.Target)
 }
 
-// InvokeFollowForwards is Invoke plus transparent LOCATION_FORWARD
-// following (bounded to avoid forwarding loops).
-//
-// Deprecated: use Call with WithFollowForwards.
-func (o *ORB) InvokeFollowForwards(ctx context.Context, ref ObjectRef, op string, writeArgs func(*cdr.Encoder), readReply func(*cdr.Decoder) error) error {
-	return o.Call(ctx, ref, op, writeArgs, readReply, WithFollowForwards())
-}
-
 // Locate asks the adapter at ref.Addr whether it hosts ref.Key (GIOP
 // LocateRequest analogue).
 func (o *ORB) Locate(ctx context.Context, ref ObjectRef) (bool, error) {
@@ -644,7 +620,7 @@ const OpIsA = "_is_a"
 // rebind), this asks the live object.
 func (o *ORB) IsA(ctx context.Context, ref ObjectRef, typeID string) (bool, error) {
 	var ok bool
-	err := o.Invoke(ctx, ref, OpIsA,
+	err := o.Call(ctx, ref, OpIsA,
 		func(e *cdr.Encoder) { e.PutString(typeID) },
 		func(d *cdr.Decoder) error { ok = d.GetBool(); return d.Err() })
 	return ok, err

@@ -68,7 +68,7 @@ func newTestPair(t *testing.T, opts Options) (*ORB, *Adapter, ObjectRef, *calcSe
 
 func callAdd(o *ORB, ref ObjectRef, a, b int64) (int64, error) {
 	var sum int64
-	err := o.Invoke(context.Background(), ref, "add",
+	err := o.Call(context.Background(), ref, "add",
 		func(e *cdr.Encoder) { e.PutInt64(a); e.PutInt64(b) },
 		func(d *cdr.Decoder) error { sum = d.GetInt64(); return d.Err() })
 	return sum, err
@@ -87,14 +87,14 @@ func TestSynchronousInvoke(t *testing.T) {
 
 func TestVoidReply(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{})
-	if err := o.Invoke(context.Background(), ref, "sleep", func(e *cdr.Encoder) { e.PutInt64(0) }, nil); err != nil {
+	if err := o.Call(context.Background(), ref, "sleep", func(e *cdr.Encoder) { e.PutInt64(0) }, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestUserException(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{})
-	err := o.Invoke(context.Background(), ref, "div",
+	err := o.Call(context.Background(), ref, "div",
 		func(e *cdr.Encoder) { e.PutFloat64(1); e.PutFloat64(0) },
 		func(d *cdr.Decoder) error { d.GetFloat64(); return d.Err() })
 	var ue *UserException
@@ -111,7 +111,7 @@ func TestUserException(t *testing.T) {
 
 func TestBadOperation(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{})
-	err := o.Invoke(context.Background(), ref, "no_such_op", nil, nil)
+	err := o.Call(context.Background(), ref, "no_such_op", nil, nil)
 	if !IsSystemException(err, ExBadOperation) {
 		t.Fatalf("err = %v, want BAD_OPERATION", err)
 	}
@@ -120,7 +120,7 @@ func TestBadOperation(t *testing.T) {
 func TestObjectNotExist(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{})
 	ref.Key = "ghost"
-	err := o.Invoke(context.Background(), ref, "add", func(e *cdr.Encoder) { e.PutInt64(1); e.PutInt64(1) }, nil)
+	err := o.Call(context.Background(), ref, "add", func(e *cdr.Encoder) { e.PutInt64(1); e.PutInt64(1) }, nil)
 	if !IsSystemException(err, ExObjectNotExist) {
 		t.Fatalf("err = %v, want OBJECT_NOT_EXIST", err)
 	}
@@ -141,7 +141,7 @@ func TestDeactivateRaisesObjectNotExist(t *testing.T) {
 func TestNilReferenceRejected(t *testing.T) {
 	o := New(Options{})
 	defer o.Shutdown()
-	err := o.Invoke(context.Background(), ObjectRef{}, "op", nil, nil)
+	err := o.Call(context.Background(), ObjectRef{}, "op", nil, nil)
 	if !IsSystemException(err, ExObjectNotExist) {
 		t.Fatalf("err = %v", err)
 	}
@@ -149,7 +149,7 @@ func TestNilReferenceRejected(t *testing.T) {
 
 func TestServantPanicBecomesInternal(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{})
-	err := o.Invoke(context.Background(), ref, "boom", nil, nil)
+	err := o.Call(context.Background(), ref, "boom", nil, nil)
 	if !IsSystemException(err, ExInternal) {
 		t.Fatalf("err = %v, want INTERNAL", err)
 	}
@@ -175,7 +175,7 @@ func TestCommFailureOnUnreachableAddress(t *testing.T) {
 	o := New(Options{DialTimeout: 200 * time.Millisecond})
 	defer o.Shutdown()
 	ref := ObjectRef{TypeID: "x", Addr: "127.0.0.1:1", Key: "k"}
-	err := o.Invoke(context.Background(), ref, "op", nil, nil)
+	err := o.Call(context.Background(), ref, "op", nil, nil)
 	if !IsCommFailure(err) {
 		t.Fatalf("err = %v, want COMM_FAILURE", err)
 	}
@@ -233,7 +233,7 @@ func TestConcurrentInvocationsMultiplex(t *testing.T) {
 
 func TestCallTimeout(t *testing.T) {
 	o, _, ref, _ := newTestPair(t, Options{CallTimeout: 50 * time.Millisecond})
-	err := o.Invoke(context.Background(), ref, "sleep", func(e *cdr.Encoder) { e.PutInt64(2000) }, nil)
+	err := o.Call(context.Background(), ref, "sleep", func(e *cdr.Encoder) { e.PutInt64(2000) }, nil)
 	if !IsSystemException(err, ExTimeout) {
 		t.Fatalf("err = %v, want TIMEOUT", err)
 	}
@@ -381,17 +381,18 @@ func TestLocationForwardFollowed(t *testing.T) {
 	o, a, ref, _ := newTestPair(t, Options{})
 	fwdRef := a.Activate("fwd", &forwardServant{target: ref})
 	sum := int64(0)
-	err := o.InvokeFollowForwards(context.Background(), fwdRef, "add",
+	err := o.Call(context.Background(), fwdRef, "add",
 		func(e *cdr.Encoder) { e.PutInt64(5); e.PutInt64(6) },
-		func(d *cdr.Decoder) error { sum = d.GetInt64(); return d.Err() })
+		func(d *cdr.Decoder) error { sum = d.GetInt64(); return d.Err() },
+		WithFollowForwards())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sum != 11 {
 		t.Fatalf("sum = %d", sum)
 	}
-	// Plain Invoke must surface the ForwardError.
-	err = o.Invoke(context.Background(), fwdRef, "add", func(e *cdr.Encoder) { e.PutInt64(1); e.PutInt64(1) }, nil)
+	// A plain Call must surface the ForwardError.
+	err = o.Call(context.Background(), fwdRef, "add", func(e *cdr.Encoder) { e.PutInt64(1); e.PutInt64(1) }, nil)
 	var fe *ForwardError
 	if !errors.As(err, &fe) {
 		t.Fatalf("err = %v, want ForwardError", err)
@@ -407,7 +408,7 @@ func TestForwardLoopBounded(t *testing.T) {
 	}
 	self := ObjectRef{TypeID: "loop", Addr: a.Addr(), Key: "loop"}
 	a.Activate("loop", &forwardServant{target: self})
-	err = o.InvokeFollowForwards(context.Background(), self, "op", nil, nil)
+	err = o.Call(context.Background(), self, "op", nil, nil, WithFollowForwards())
 	if !IsSystemException(err, ExTransient) {
 		t.Fatalf("err = %v, want TRANSIENT", err)
 	}

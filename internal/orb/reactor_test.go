@@ -81,13 +81,13 @@ func TestCancelRequestWhileQueued(t *testing.T) {
 
 	// Occupy the only worker.
 	blockErr := make(chan error, 1)
-	go func() { blockErr <- o.Invoke(context.Background(), ref, "block", nil, nil) }()
+	go func() { blockErr <- o.Call(context.Background(), ref, "block", nil, nil) }()
 	<-sv.started
 
 	// Queue a second call behind it, then cancel it while queued.
 	ctx, cancel := context.WithCancel(context.Background())
 	queuedErr := make(chan error, 1)
-	go func() { queuedErr <- o.Invoke(ctx, ref, "fast", nil, nil) }()
+	go func() { queuedErr <- o.Call(ctx, ref, "fast", nil, nil) }()
 	waitStats(t, o, func(st Stats) bool { return st.RequestsSent >= 2 })
 	cancel()
 	if err := <-queuedErr; !IsSystemException(err, ExCancelled) {
@@ -171,7 +171,7 @@ func TestOversizeRequestRejectedConnectionSurvives(t *testing.T) {
 	t.Cleanup(cli.Shutdown)
 
 	big := make([]float64, 1<<17) // ~1 MiB on the wire
-	err = cli.Invoke(context.Background(), ref, "note",
+	err = cli.Call(context.Background(), ref, "note",
 		func(e *cdr.Encoder) { e.PutFloat64Seq(big) }, nil)
 	if !IsSystemException(err, ExMarshal) {
 		t.Fatalf("oversize call err = %v, want MARSHAL", err)
@@ -180,7 +180,7 @@ func TestOversizeRequestRejectedConnectionSurvives(t *testing.T) {
 	// Same pooled connection must still carry normal traffic.
 	small := []float64{1, 2, 3}
 	var out []float64
-	err = cli.Invoke(context.Background(), ref, "echo",
+	err = cli.Call(context.Background(), ref, "echo",
 		func(e *cdr.Encoder) { e.PutFloat64Seq(small) },
 		func(d *cdr.Decoder) error { out = d.GetFloat64Seq(); return d.Err() })
 	if err != nil {

@@ -141,7 +141,7 @@ func TestServerWorkerCapRespected(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_ = client.Invoke(context.Background(), ref, "work", nil, nil)
+			_ = client.Call(context.Background(), ref, "work", nil, nil)
 		}()
 	}
 	wg.Wait()
@@ -196,7 +196,7 @@ func TestClientRejectsOversizedReply(t *testing.T) {
 	o := New(Options{CallTimeout: 5 * time.Second})
 	defer o.Shutdown()
 	ref := ObjectRef{TypeID: "T", Addr: ln.Addr().String(), Key: "k"}
-	err = o.Invoke(context.Background(), ref, "op", nil, nil)
+	err = o.Call(context.Background(), ref, "op", nil, nil)
 	if !IsCommFailure(err) && !IsSystemException(err, ExTimeout) {
 		t.Fatalf("err = %v", err)
 	}

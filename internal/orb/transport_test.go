@@ -59,7 +59,7 @@ func TestCustomDialerIsUsed(t *testing.T) {
 	defer client.Shutdown()
 
 	var got string
-	err = client.Invoke(context.Background(), ref, "echo",
+	err = client.Call(context.Background(), ref, "echo",
 		func(e *cdr.Encoder) { e.PutString("hi") },
 		func(dec *cdr.Decoder) error { got = dec.GetString(); return dec.Err() })
 	if err != nil {
@@ -77,7 +77,7 @@ func TestRefusingDialerSurfacesCommFailure(t *testing.T) {
 	client := New(Options{Name: "refused-client", Dialer: refusingDialer{}})
 	defer client.Shutdown()
 	ref := ObjectRef{TypeID: "T", Addr: "127.0.0.1:1", Key: "x"}
-	err := client.Invoke(context.Background(), ref, "op", nil, nil)
+	err := client.Call(context.Background(), ref, "op", nil, nil)
 	if !IsCommFailure(err) {
 		t.Fatalf("err = %v, want COMM_FAILURE", err)
 	}

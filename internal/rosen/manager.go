@@ -3,6 +3,7 @@ package rosen
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cdr"
@@ -147,9 +148,15 @@ type Manager struct {
 	// clockHost, when set, measures runtime on its virtual clock.
 	clockHost *cluster.Host
 	ftOpts    *FTOptions
+	// elastic, when set, switches Run to the segmented re-decomposition
+	// loop driven by the cluster membership view (see elastic.go).
+	elastic *ElasticOptions
 
 	handles []workerHandle
 	refs    []orb.ObjectRef
+
+	esMu sync.Mutex
+	es   ElasticStats
 }
 
 // NewManager builds a manager that locates workers via resolver (the
@@ -202,11 +209,17 @@ func (m *Manager) ProxyStats() ft.Stats {
 // currently best host; with the plain service placement ignores load —
 // this is the entire difference between the paper's two Figure 3 curves.
 func (m *Manager) Place(ctx context.Context) error {
+	return m.place(ctx, m.cfg.Workers)
+}
+
+// place resolves workers many worker references; Place and the elastic
+// segment loop (which re-places at each new width) both go through it.
+func (m *Manager) place(ctx context.Context, workers int) error {
 	if m.handles != nil {
 		return nil
 	}
 	name := naming.NewName(ServiceName)
-	for j := 0; j < m.cfg.Workers; j++ {
+	for j := 0; j < workers; j++ {
 		if m.cfg.Replication > 1 {
 			// Active replication: resolve one reference per replica (the
 			// naming service spreads them over hosts) and multicast.
@@ -300,13 +313,26 @@ func (m *Manager) Run(ctx context.Context) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if m.elastic != nil {
+		return m.runElastic(ctx)
+	}
 	if err := m.Place(ctx); err != nil {
 		return nil, err
 	}
 	// Land every pipelined checkpoint before Run returns, so callers
 	// reading the store (or ProxyStats) observe the final epochs.
 	defer m.Close()
-	d, err := opt.NewDecomposition(m.cfg.N, m.cfg.Workers)
+	return m.runSegment(ctx, m.cfg.Workers, nil)
+}
+
+// runSegment executes one full bilevel optimization at the given worker
+// count against the current placement. In fixed mode it is the whole run;
+// in elastic mode each membership epoch runs one segment, and interrupted
+// (when non-nil) is polled between manager evaluations — a true return
+// aborts the segment with errInterrupted and its partial result is
+// discarded, keeping segment results equal to fresh fixed-pool runs.
+func (m *Manager) runSegment(ctx context.Context, workers int, interrupted func() bool) (*Result, error) {
+	d, err := opt.NewDecomposition(m.cfg.N, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -339,12 +365,12 @@ func (m *Manager) Run(ctx context.Context) (*Result, error) {
 		// Each manager round — one parallel fan-out to all workers — is a
 		// span, so rosenbench -trace shows rounds with their worker calls.
 		rctx, rspan := obs.StartSpan(ctx, "rosen.round",
-			obs.Int("round", int64(round)), obs.Int("workers", int64(m.cfg.Workers)))
-		reqs := make([]requester, m.cfg.Workers)
-		for j := 0; j < m.cfg.Workers; j++ {
+			obs.Int("round", int64(round)), obs.Int("workers", int64(workers)))
+		reqs := make([]requester, workers)
+		for j := 0; j < workers; j++ {
 			sr := SolveRequest{
 				N:             int32(m.cfg.N),
-				Workers:       int32(m.cfg.Workers),
+				Workers:       int32(workers),
 				Index:         int32(j),
 				Boundary:      boundary,
 				MaxIterations: int32(m.cfg.WorkerIterations),
@@ -359,7 +385,7 @@ func (m *Manager) Run(ctx context.Context) (*Result, error) {
 			reqs[j] = req
 		}
 		total := 0.0
-		blocks := make([][]float64, m.cfg.Workers)
+		blocks := make([][]float64, workers)
 		for j, req := range reqs {
 			var reply SolveReply
 			if err := req.GetResponse(func(dd *cdr.Decoder) error { return reply.UnmarshalCDR(dd) }); err != nil {
@@ -390,7 +416,10 @@ func (m *Manager) Run(ctx context.Context) (*Result, error) {
 	if _, err := opt.MinimizeComplexBox(managerObj, mb, opt.ComplexBoxOptions{
 		MaxIterations: m.cfg.ManagerIterations,
 		Seed:          m.cfg.Seed,
-		Stop:          func() bool { return ctx.Err() != nil || solveErr != nil },
+		Stop: func() bool {
+			return ctx.Err() != nil || solveErr != nil ||
+				(interrupted != nil && interrupted())
+		},
 	}); err != nil {
 		return nil, err
 	}
@@ -399,6 +428,9 @@ func (m *Manager) Run(ctx context.Context) (*Result, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if interrupted != nil && interrupted() {
+		return nil, errInterrupted
 	}
 
 	res.Rounds = round

@@ -389,7 +389,7 @@ func TestWorkerSolveDirect(t *testing.T) {
 	req := SolveRequest{N: 10, Workers: 2, Index: 0, Boundary: []float64{0.5},
 		MaxIterations: 100, Seed: 3, Lo: -2, Hi: 2}
 	var reply SolveReply
-	err = o.Invoke(context.Background(), ref, OpSolve,
+	err = o.Call(context.Background(), ref, OpSolve,
 		func(e *cdr.Encoder) { req.MarshalCDR(e) },
 		func(dd *cdr.Decoder) error { return reply.UnmarshalCDR(dd) })
 	if err != nil {
@@ -419,13 +419,13 @@ func TestWorkerRejectsBadRequests(t *testing.T) {
 		{N: 10, Workers: 2, Index: 0, Boundary: []float64{0, 0}, MaxIterations: 10, Lo: -1, Hi: 1}, // wrong boundary dim
 	}
 	for i, req := range cases {
-		err := o.Invoke(context.Background(), ref, OpSolve,
+		err := o.Call(context.Background(), ref, OpSolve,
 			func(e *cdr.Encoder) { req.MarshalCDR(e) }, nil)
 		if !orb.IsUserException(err, ExBadSolve) {
 			t.Fatalf("case %d: err = %v", i, err)
 		}
 	}
-	if err := o.Invoke(context.Background(), ref, "unknown_op", nil, nil); !orb.IsSystemException(err, orb.ExBadOperation) {
+	if err := o.Call(context.Background(), ref, "unknown_op", nil, nil); !orb.IsSystemException(err, orb.ExBadOperation) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -465,7 +465,7 @@ func TestWorkerWarmStartImproves(t *testing.T) {
 		req := SolveRequest{N: 10, Workers: 2, Index: 0, Boundary: []float64{1},
 			MaxIterations: 150, Seed: seed, Lo: -2, Hi: 2}
 		var reply SolveReply
-		if err := o.Invoke(context.Background(), ref, OpSolve,
+		if err := o.Call(context.Background(), ref, OpSolve,
 			func(e *cdr.Encoder) { req.MarshalCDR(e) },
 			func(dd *cdr.Decoder) error { return reply.UnmarshalCDR(dd) }); err != nil {
 			t.Fatal(err)

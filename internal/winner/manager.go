@@ -25,6 +25,15 @@ type hostEntry struct {
 	seen time.Time
 }
 
+// MembershipSink receives the manager's host-level signals: one load
+// figure per ingested sample and a death notice per forgotten host. It is
+// declared here (not imported) so the cluster membership view can consume
+// Winner data without an import cycle; cluster.Feeder satisfies it.
+type MembershipSink interface {
+	ReportLoad(host string, eff float64)
+	ReportDead(host string)
+}
+
 // Manager is the Winner system manager core: it aggregates node-manager
 // reports and ranks hosts by adjusted effective speed. It is exposed
 // remotely by Servant but is equally usable in-process (the simulated NOW
@@ -40,6 +49,18 @@ type Manager struct {
 	// alpha is the EWMA smoothing factor for run-queue values; 0 or 1
 	// disables smoothing (raw samples).
 	alpha float64
+
+	// sink, when set, mirrors every ingested sample (post-smoothing) and
+	// every Forget into the cluster membership view.
+	sink MembershipSink
+}
+
+// SetMembershipSink mirrors the manager's per-host signals into sink
+// (typically cluster.Membership via Feed("winner")). Pass nil to detach.
+func (m *Manager) SetMembershipSink(s MembershipSink) {
+	m.mu.Lock()
+	m.sink = s
+	m.mu.Unlock()
 }
 
 // NewManager creates an empty system manager.
@@ -55,24 +76,30 @@ func (m *Manager) Report(s LoadSample) {
 		return
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	h, ok := m.hosts[s.Host]
 	if !ok {
-		m.hosts[s.Host] = &hostEntry{info: HostInfo{Sample: s}, seen: m.now()}
-		return
+		h = &hostEntry{info: HostInfo{Sample: s}, seen: m.now()}
+		m.hosts[s.Host] = h
+	} else {
+		if s.Seq != 0 && s.Seq <= h.info.Sample.Seq {
+			m.mu.Unlock()
+			return
+		}
+		if m.alpha > 0 && m.alpha < 1 {
+			// Exponentially weighted moving average: a single load spike (a
+			// cron job, a measurement glitch) should not immediately reroute
+			// placements; sustained load should.
+			s.RunQueue = m.alpha*s.RunQueue + (1-m.alpha)*h.info.Sample.RunQueue
+		}
+		h.info.Sample = s
+		h.info.Pending = 0
+		h.seen = m.now()
 	}
-	if s.Seq != 0 && s.Seq <= h.info.Sample.Seq {
-		return
+	sink, eff := m.sink, h.info.AdjustedEffectiveSpeed()
+	m.mu.Unlock()
+	if sink != nil {
+		sink.ReportLoad(s.Host, eff)
 	}
-	if m.alpha > 0 && m.alpha < 1 {
-		// Exponentially weighted moving average: a single load spike (a
-		// cron job, a measurement glitch) should not immediately reroute
-		// placements; sustained load should.
-		s.RunQueue = m.alpha*s.RunQueue + (1-m.alpha)*h.info.Sample.RunQueue
-	}
-	h.info.Sample = s
-	h.info.Pending = 0
-	h.seen = m.now()
 }
 
 // SetSmoothing configures EWMA smoothing of reported run-queue lengths.
@@ -90,7 +117,11 @@ func (m *Manager) SetSmoothing(alpha float64) {
 func (m *Manager) Forget(host string) {
 	m.mu.Lock()
 	delete(m.hosts, host)
+	sink := m.sink
 	m.mu.Unlock()
+	if sink != nil {
+		sink.ReportDead(host)
+	}
 }
 
 // Host returns the manager's view of one host.
